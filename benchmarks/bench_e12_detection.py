@@ -1,0 +1,90 @@
+"""E12 -- the Section 3 substrate: detection and lattice machinery at scale.
+
+Supporting measurements for the model everything else stands on:
+
+* weak-conjunctive *possibly* detection is near-linear in trace size
+  (candidate elimination advances each pointer at most once);
+* the detector agrees with exhaustive lattice enumeration on small traces
+  (the enumeration being exponential is the reason the detector exists);
+* consistent-cut counts collapse as message density rises (the lattice
+  thins -- the structural fact predicate control exploits).
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.bench import Sweep, geometric_fit
+from repro.detection import possibly_bad, possibly_exhaustive
+from repro.trace import CutLattice
+from repro.workloads import availability_predicate, random_deposet
+
+
+def test_e12_wcp_detection_scales(benchmark):
+    def run():
+        sweep = Sweep("E12: weak-conjunctive detection runtime vs trace size")
+        for events in (100, 400, 1600, 6400):
+            dep = random_deposet(
+                n=6, events_per_proc=events // 6, message_rate=0.25,
+                flip_rate=0.3, seed=events,
+            )
+            pred = availability_predicate(6, var="up")
+            t0 = time.perf_counter()
+            witness = possibly_bad(dep, pred)
+            dt = time.perf_counter() - t0
+            sweep.add(
+                states=dep.num_states, witness=witness is not None,
+                detect_ms=round(dt * 1e3, 3),
+            )
+        return sweep
+
+    sweep = run_once(benchmark, run)
+    print("\n" + sweep.render())
+    benchmark.extra_info["table"] = sweep.rows
+    exponent = geometric_fit(sweep.column("states"), sweep.column("detect_ms"))
+    print(f"fitted exponent: states^{exponent:.2f} (claim: ~1, certainly << 2)")
+    assert exponent < 1.8
+
+
+def test_e12_wcp_agrees_with_exhaustive(benchmark):
+    def run():
+        agree = 0
+        trials = 40
+        for seed in range(trials):
+            dep = random_deposet(
+                n=3, events_per_proc=5, message_rate=0.4, flip_rate=0.4, seed=seed
+            )
+            pred = availability_predicate(3, var="up")
+            fast = possibly_bad(dep, pred)
+            slow = possibly_exhaustive(dep, pred.negated())
+            agree += (fast is None) == (slow is None)
+        return trials, agree
+
+    trials, agree = run_once(benchmark, run)
+    print(f"\nE12: detector vs exhaustive agreement: {agree}/{trials}")
+    assert agree == trials
+
+
+def test_e12_messages_thin_the_lattice(benchmark):
+    def run():
+        sweep = Sweep("E12: consistent cuts vs message density (n=3, 6 events each)")
+        for rate in (0.0, 0.2, 0.4, 0.6):
+            counts = []
+            for seed in range(8):
+                dep = random_deposet(
+                    n=3, events_per_proc=6, message_rate=rate, seed=seed
+                )
+                counts.append(CutLattice(dep).count_consistent_cuts())
+            grid = 1
+            for m in dep.state_counts:
+                grid *= m
+            sweep.add(
+                message_rate=rate,
+                mean_cuts=round(sum(counts) / len(counts), 1),
+            )
+        return sweep
+
+    sweep = run_once(benchmark, run)
+    print("\n" + sweep.render())
+    benchmark.extra_info["table"] = sweep.rows
+    cuts = sweep.column("mean_cuts")
+    assert cuts[0] > cuts[-1]  # more messages -> fewer consistent cuts

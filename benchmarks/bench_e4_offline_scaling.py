@@ -1,0 +1,95 @@
+"""E4 -- Section 5 evaluation: O(n^2 p) optimized vs O(n^3 p) naive.
+
+The work measure is ``pair_checks`` -- the number of ``crossable``
+evaluations -- which is exactly what the paper's complexity argument
+counts: the naive variant recomputes ValidPairs (O(n^2)) on each of the
+O(np) iterations; the optimized variant re-examines only pairs whose
+next-interval changed (O(n) per consumed interval).
+
+Claims reproduced:
+
+* with p fixed, optimized work grows ~ n^2 while naive grows ~ n^3
+  (scaling exponents fitted on log-log sweeps);
+* with n fixed, both grow ~ p (linear);
+* both variants emit equivalent results (same iterations; both verify).
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import Sweep, geometric_fit
+from repro.core import control_disjunctive
+from repro.workloads import mutex_predicate, mutex_trace
+
+
+def _work(n: int, p: int, variant: str, seed: int = 0):
+    dep = mutex_trace(cs_per_proc=p, n=n, seed=seed)
+    pred = mutex_predicate(n)
+    # Random pair selection spreads the crossings over all processes, so the
+    # outer loop runs the paper's worst-case Theta(np) iterations (the
+    # deterministic first-pair selector would exhaust a single process after
+    # only p iterations and finish early -- a legitimate but uninteresting
+    # best case).  Both variants draw the same selection sequence.
+    return control_disjunctive(dep, pred, variant=variant, seed=seed + 1)
+
+
+def test_e4_scaling_in_n(benchmark):
+    ns = (4, 8, 16, 32)
+    p = 12
+
+    def run():
+        sweep = Sweep(f"E4: pair-check work vs n (p={p} critical sections/process)")
+        for n in ns:
+            opt = _work(n, p, "optimized")
+            naive = _work(n, p, "naive")
+            assert opt.iterations == naive.iterations
+            sweep.add(
+                n=n, p=p,
+                optimized_checks=opt.pair_checks,
+                naive_checks=naive.pair_checks,
+                ratio=round(naive.pair_checks / opt.pair_checks, 2),
+                iterations=opt.iterations,
+            )
+        return sweep
+
+    sweep = run_once(benchmark, run)
+    print("\n" + sweep.render())
+    benchmark.extra_info["table"] = sweep.rows
+    exp_opt = geometric_fit(list(ns), sweep.column("optimized_checks"))
+    exp_naive = geometric_fit(list(ns), sweep.column("naive_checks"))
+    print(f"fitted exponents: optimized n^{exp_opt:.2f} (claim: 2), "
+          f"naive n^{exp_naive:.2f} (claim: 3)")
+    assert 1.5 <= exp_opt <= 2.5
+    assert 2.5 <= exp_naive <= 3.5
+    assert exp_naive - exp_opt > 0.5  # the ablation's whole point
+
+
+def test_e4_scaling_in_p(benchmark):
+    n = 6
+    ps = (8, 16, 32, 64)
+
+    def run():
+        sweep = Sweep(f"E4: pair-check work vs p (n={n} processes)")
+        for p in ps:
+            opt = _work(n, p, "optimized")
+            naive = _work(n, p, "naive")
+            sweep.add(
+                n=n, p=p,
+                optimized_checks=opt.pair_checks,
+                naive_checks=naive.pair_checks,
+            )
+        return sweep
+
+    sweep = run_once(benchmark, run)
+    print("\n" + sweep.render())
+    benchmark.extra_info["table"] = sweep.rows
+    for col in ("optimized_checks", "naive_checks"):
+        exp = geometric_fit(list(ps), sweep.column(col))
+        print(f"fitted exponent for {col}: p^{exp:.2f} (claim: 1)")
+        assert 0.7 <= exp <= 1.3
+
+
+def test_e4_wall_clock_optimized(benchmark):
+    """Wall-clock of the optimized algorithm on the biggest sweep point."""
+    dep = mutex_trace(cs_per_proc=32, n=16, seed=1)
+    pred = mutex_predicate(16)
+    result = benchmark(lambda: control_disjunctive(dep, pred, variant="optimized"))
+    assert len(result.control) > 0

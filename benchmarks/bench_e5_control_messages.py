@@ -1,0 +1,87 @@
+"""E5 -- Section 5 evaluation: control-message complexity.
+
+Claims reproduced:
+
+* the control relation has at most one arrow per outer-loop iteration, so
+  ``|C| <= total false-intervals <= n*p`` -- measured across sweeps;
+* two-process mutual exclusion: at most one control message per critical
+  section, "in the worst case (which is unlikely)" -- we measure both the
+  bound and how far below it typical traces fall;
+* each control message is a one-way two-process synchronisation (the
+  concurrency argument): arrows touch exactly two processes each.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import Sweep
+from repro.core import control_disjunctive
+from repro.errors import NoControllerExistsError
+from repro.predicates import false_intervals
+from repro.workloads import (
+    availability_predicate,
+    mutex_predicate,
+    mutex_trace,
+    random_server_trace,
+)
+
+
+def test_e5_chain_length_bounded_by_intervals(benchmark):
+    def run():
+        sweep = Sweep("E5: |C| vs the n*p bound (random server traces)")
+        for n in (2, 4, 8):
+            for outages in (4, 8, 16):
+                total_arrows = total_intervals = runs = 0
+                for seed in range(10):
+                    dep = random_server_trace(n, outages_per_server=outages, seed=seed)
+                    pred = availability_predicate(n)
+                    intervals = sum(len(iv) for iv in false_intervals(dep, pred))
+                    try:
+                        res = control_disjunctive(dep, pred, seed=seed)
+                    except NoControllerExistsError:
+                        continue
+                    assert len(res.control) <= max(intervals, 1)
+                    for src, dst in res.control:
+                        assert src.proc != dst.proc  # 2-process syncs only
+                    total_arrows += len(res.control)
+                    total_intervals += intervals
+                    runs += 1
+                if runs:
+                    sweep.add(
+                        n=n, p=outages, runs=runs,
+                        arrows=total_arrows, intervals=total_intervals,
+                        np_bound=runs * n * outages,
+                        fill=round(total_arrows / (runs * n * outages), 3),
+                    )
+        return sweep
+
+    sweep = run_once(benchmark, run)
+    print("\n" + sweep.render())
+    benchmark.extra_info["table"] = sweep.rows
+    for row in sweep.rows:
+        assert row["arrows"] <= row["np_bound"]
+
+
+def test_e5_two_process_mutex_one_message_per_cs(benchmark):
+    def run():
+        sweep = Sweep("E5: 2-process mutex, control messages per critical section")
+        for p in (5, 10, 20, 40):
+            worst = 0.0
+            total = 0
+            for seed in range(10):
+                dep = mutex_trace(cs_per_proc=p, n=2, seed=seed)
+                res = control_disjunctive(dep, mutex_predicate(2), seed=seed)
+                per_cs = len(res.control) / (2 * p)
+                worst = max(worst, per_cs)
+                total += len(res.control)
+            sweep.add(
+                cs_per_proc=p, seeds=10,
+                mean_msgs_per_cs=round(total / (10 * 2 * p), 3),
+                worst_msgs_per_cs=round(worst, 3),
+            )
+        return sweep
+
+    sweep = run_once(benchmark, run)
+    print("\n" + sweep.render())
+    benchmark.extra_info["table"] = sweep.rows
+    for row in sweep.rows:
+        # the paper's bound: one message per critical section, worst case
+        assert row["worst_msgs_per_cs"] <= 1.0

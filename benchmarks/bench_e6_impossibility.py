@@ -1,0 +1,82 @@
+"""E6 -- Theorem 3: on-line control is impossible without A1/A2.
+
+The scenario (reconstructed from the theorem statement; the proof's
+counterexample lives in the unavailable technical report): a non-scapegoat
+process goes false and then blocks, while false, waiting for a message its
+peer will only send *after* going false itself.  Any strategy must either
+let the peer go false (violating the disjunction) or block it forever
+(deadlock).  The benchmark runs the scapegoat strategy on a family of such
+scenarios and shows it always takes the deadlock horn -- never the
+violation -- while the A1-respecting variant of the same communication
+shape always terminates.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import Sweep
+from repro.core.online import OnlineDisjunctiveControl
+from repro.sim import System
+
+
+def scenario(block_while_false: bool, extra_peers: int, seed: int):
+    """P0 blocks on a receive (while false iff ``block_while_false``);
+    P1 wants to go false before sending; extra peers cycle innocently."""
+
+    def blocker(ctx):
+        yield ctx.set(up=False)
+        if not block_while_false:
+            yield ctx.set(up=True)
+        yield ctx.receive()
+        yield ctx.set(up=True)
+
+    def sender(ctx):
+        yield ctx.compute(5.0)
+        yield ctx.set(up=False)
+        yield ctx.send(0, "wake")
+        yield ctx.set(up=True)
+
+    def bystander(ctx):
+        for _ in range(3):
+            yield ctx.compute(2.0)
+            yield ctx.set(up=False)
+            yield ctx.compute(1.0)
+            yield ctx.set(up=True)
+
+    programs = [blocker, sender] + [bystander] * extra_peers
+    n = len(programs)
+    guard = OnlineDisjunctiveControl(
+        [lambda v: bool(v.get("up", False)) for _ in range(n)]
+    )
+    start = [{"up": False}] + [{"up": True}] * (n - 1)
+    system = System(programs, start_vars=start, guard=guard, seed=seed)
+    result = system.run(max_events=100_000)
+    return guard, result
+
+
+def test_e6_dilemma(benchmark):
+    def run():
+        sweep = Sweep("E6: the Theorem-3 dilemma under the scapegoat strategy")
+        for extra in (0, 1, 3):
+            for seed in range(3):
+                guard, result = scenario(True, extra, seed)
+                sweep.add(
+                    n=2 + extra, seed=seed, a1_violated=True,
+                    predicate_violated=bool(guard.violations),
+                    deadlocked=result.deadlocked,
+                )
+        for extra in (0, 1, 3):
+            guard, result = scenario(False, extra, seed=0)
+            sweep.add(
+                n=2 + extra, seed=0, a1_violated=False,
+                predicate_violated=bool(guard.violations),
+                deadlocked=result.deadlocked,
+            )
+        return sweep
+
+    sweep = run_once(benchmark, run)
+    print("\n" + sweep.render())
+    benchmark.extra_info["table"] = sweep.rows
+    for row in sweep.rows:
+        # the strategy NEVER violates the predicate...
+        assert not row["predicate_violated"]
+        # ...and pays with deadlock exactly when A1 is violated
+        assert row["deadlocked"] == row["a1_violated"]

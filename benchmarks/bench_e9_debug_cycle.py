@@ -1,0 +1,73 @@
+"""E9 -- Figure 4 / Section 7: the active-debugging cycle, measured.
+
+Claims reproduced:
+
+* the exact Figure 4 narrative: C1 has precisely the two violating cuts G
+  and H; availability control (C2) removes them; "e before f" control on
+  C1 (C4) removes them too, identifying bug2 as the root cause;
+* the full observe -> control -> replay cycle runs at debugger-interactive
+  speed on realistically-sized traces (hundreds of states).
+"""
+
+from benchmarks.conftest import run_once
+from repro import DebugSession, at_least_one, happens_before
+from repro.bench import Sweep
+from repro.errors import NoControllerExistsError
+from repro.workloads import random_server_trace
+from repro.workloads.servers import figure4_c1
+
+
+def test_e9_figure4_walkthrough(benchmark):
+    def run():
+        dep, labels = figure4_c1()
+        avail = at_least_one(3, "avail")
+        c1 = DebugSession(dep, "C1")
+        gh = c1.detect(avail, exhaustive=True)
+        c2, ctl_avail = c1.control(avail, name="C2")
+        e, f = labels["e"], labels["f"]
+        c4, ctl_ef = c1.control(happens_before(e, f, n=3), name="C4")
+        return gh, c2, ctl_avail, c4, ctl_ef
+
+    gh, c2, ctl_avail, c4, ctl_ef = run_once(benchmark, run)
+    avail = at_least_one(3, "avail")
+    print(f"\nE9: violating cuts of C1 (the figure's G, H): {gh}")
+    print(f"C2 control: {ctl_avail.arrows}; bug1 in C2: {c2.bug_possible(avail)}")
+    print(f"C4 control: {ctl_ef.arrows}; bug1 in C4: {c4.bug_possible(avail)}")
+    assert gh == [(1, 1, 1), (2, 1, 1)]
+    assert not c2.bug_possible(avail)
+    assert not c4.bug_possible(avail)  # fixing bug2 fixed bug1
+
+
+def test_e9_debug_cycle_scales(benchmark):
+    def run():
+        sweep = Sweep("E9: observe->control->replay wall time on larger traces")
+        import time
+
+        for n, outages in ((3, 10), (5, 20), (8, 40)):
+            dep = random_server_trace(n, outages_per_server=outages, seed=5)
+            avail = at_least_one(n, "avail")
+            session = DebugSession(dep)
+            t0 = time.perf_counter()
+            witness = session.detect(avail)
+            detect_s = time.perf_counter() - t0
+            controlled = False
+            t0 = time.perf_counter()
+            try:
+                session.control(avail)
+                controlled = True
+            except NoControllerExistsError:
+                pass
+            control_s = time.perf_counter() - t0
+            sweep.add(
+                n=n, states=dep.num_states, bug=witness is not None,
+                controlled=controlled,
+                detect_ms=round(detect_s * 1e3, 2),
+                control_and_replay_ms=round(control_s * 1e3, 2),
+            )
+        return sweep
+
+    sweep = run_once(benchmark, run)
+    print("\n" + sweep.render())
+    benchmark.extra_info["table"] = sweep.rows
+    for row in sweep.rows:
+        assert row["control_and_replay_ms"] < 5_000  # interactive

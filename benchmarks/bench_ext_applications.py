@@ -1,0 +1,118 @@
+"""Extension experiments: the Conclusions' application directions, measured.
+
+Not figures of the paper itself, but the applications its Conclusions
+sketch -- included so the extension subsystems get the same measured
+treatment as the core claims:
+
+* **recovery** -- domino-effect severity vs checkpoint period on
+  message-heavy traces, and the cost of recovery + controlled re-execution;
+* **deadlock avoidance** -- CNF control of AB/BA lock hazards across
+  process counts;
+* **live detection** -- the on-line violation monitor agrees with
+  post-mortem detection across seeds, under control and without it.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import Sweep
+from repro.core.online import OnlineDisjunctiveControl
+from repro.core.separated import control_cnf
+from repro.detection import possibly_bad
+from repro.detection.online import ViolationMonitor
+from repro.recovery import periodic_checkpoints, recovery_line
+from repro.sim import System
+from repro.workloads import (
+    availability_predicate,
+    deadlock_hazard_clauses,
+    opposed_transactions_trace,
+    random_deposet,
+)
+
+
+def test_ext_domino_vs_checkpoint_period(benchmark):
+    def run():
+        sweep = Sweep("EXT: domino-effect severity vs checkpoint period")
+        for every in (1, 2, 4, 8):
+            lost = domino = 0
+            for seed in range(10):
+                dep = random_deposet(
+                    n=4, events_per_proc=12, message_rate=0.5, seed=seed
+                )
+                plan = periodic_checkpoints(dep, every=every)
+                analysis = recovery_line(dep, plan)
+                lost += analysis.lost_states
+                domino += sum(analysis.domino_steps)
+            sweep.add(
+                period=every, runs=10,
+                rollback_cascades=domino,
+                states_lost=lost,
+            )
+        return sweep
+
+    sweep = run_once(benchmark, run)
+    print("\n" + sweep.render())
+    benchmark.extra_info["table"] = sweep.rows
+    lost = sweep.column("states_lost")
+    assert lost[0] <= lost[-1]  # denser checkpoints lose less work
+
+
+def test_ext_deadlock_avoidance_scales(benchmark):
+    def run():
+        sweep = Sweep("EXT: CNF control of AB/BA lock hazards")
+        for n in (2, 3, 4):
+            dep = opposed_transactions_trace(rounds=2, n=n, seed=n)
+            clauses = deadlock_hazard_clauses(range(n), "a", "b", n=n)
+            relation = control_cnf(dep, clauses, seed=0, max_attempts=20)
+            controlled = relation.apply(dep)
+            ok = all(
+                possibly_bad(controlled, clause) is None for clause in clauses
+            )
+            sweep.add(
+                n=n, clauses=len(clauses), arrows=len(relation), verified=ok
+            )
+        return sweep
+
+    sweep = run_once(benchmark, run)
+    print("\n" + sweep.render())
+    benchmark.extra_info["table"] = sweep.rows
+    assert all(row["verified"] for row in sweep.rows)
+
+
+def test_ext_live_detection_agrees(benchmark):
+    def updown(ctx):
+        for _ in range(5):
+            yield ctx.compute(float(ctx.rng.uniform(1.0, 3.0)))
+            yield ctx.set(up=False)
+            yield ctx.compute(float(ctx.rng.uniform(0.5, 1.5)))
+            yield ctx.set(up=True)
+
+    def run():
+        agree = found = silent_under_control = 0
+        trials = 12
+        for seed in range(trials):
+            conditions = [lambda v: bool(v.get("up", False))] * 3
+            monitor = ViolationMonitor(conditions)
+            result = System(
+                [updown] * 3, start_vars=[{"up": True}] * 3,
+                observers=[monitor], seed=seed, jitter=0.4,
+            ).run()
+            offline = possibly_bad(result.deposet, availability_predicate(3, var="up"))
+            agree += monitor.first == offline
+            found += offline is not None
+
+            guarded_monitor = ViolationMonitor(conditions)
+            System(
+                [updown] * 3, start_vars=[{"up": True}] * 3,
+                observers=[guarded_monitor],
+                guard=OnlineDisjunctiveControl(conditions),
+                seed=seed, jitter=0.4,
+            ).run()
+            silent_under_control += not guarded_monitor.violations
+        return trials, agree, found, silent_under_control
+
+    trials, agree, found, silent = run_once(benchmark, run)
+    print(f"\nEXT: live-vs-postmortem agreement {agree}/{trials} "
+          f"(violations found in {found}); silent under control: "
+          f"{silent}/{trials}")
+    assert agree == trials
+    assert silent == trials
+    assert found > 0

@@ -1,0 +1,15 @@
+"""Shared settings for the experiment suite.
+
+Every benchmark prints its experiment table (visible with ``-s``; also
+attached to the benchmark's ``extra_info`` so it lands in
+``--benchmark-json`` output), and asserts the *shape* claims from the
+paper -- who wins, by roughly what factor, where the bounds hold.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single warm round (experiments are heavy and
+    deterministic; statistical repetition adds nothing)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Theorem 1 made concrete: SAT lives inside predicate control.
+
+Builds the Figure 1 reduction for a small CNF formula, solves the
+satisfying-global-sequence problem exhaustively, decodes the satisfying
+assignment, turns the sequence into an actual control strategy, and shows
+the exponential wall for general predicates next to the polynomial
+disjunctive algorithm.
+"""
+
+import time
+
+from repro import (
+    CNF,
+    control_general,
+    decode_assignment,
+    dpll_solve,
+    random_ksat,
+    sat_to_sgsd,
+    sgsd,
+)
+from repro.bench import Sweep
+from repro.core import control_disjunctive
+from repro.workloads import availability_predicate, random_deposet
+
+
+def main() -> None:
+    # --- the reduction on a concrete formula -----------------------------
+    cnf = CNF(3, [[1, -2], [-1, 3], [2, 3]])
+    print(f"formula: {cnf.clauses}  (vars x1..x3)")
+    inst = sat_to_sgsd(cnf)
+    print(f"reduced deposet: {inst.deposet!r}  "
+          f"(one 2-state process per variable + the 3-state aux process)")
+
+    seq = sgsd(inst.deposet, inst.predicate)
+    assignment = decode_assignment(inst, seq)
+    print(f"satisfying sequence found; decoded assignment: "
+          f"{dict(zip(['x1','x2','x3'], assignment))}")
+    assert cnf.evaluate(assignment)
+    assert dpll_solve(cnf) is not None
+
+    control = control_general(inst.deposet, inst.predicate)
+    print(f"the sequence as a control strategy: {len(control)} arrow(s)")
+
+    # --- an unsatisfiable formula has no controller ------------------------
+    unsat = CNF(2, [[1], [2], [-1, -2]])
+    inst = sat_to_sgsd(unsat)
+    print(f"\nunsatisfiable formula {unsat.clauses}: "
+          f"sequence = {sgsd(inst.deposet, inst.predicate)}")
+
+    # --- the exponential wall vs the polynomial special case ---------------
+    sweep = Sweep("\ngeneral (SGSD search) vs disjunctive (Figure 2) runtime")
+    for m in (4, 6, 8, 10):
+        cnf = random_ksat(m, int(2.5 * m), k=3, seed=m)
+        inst = sat_to_sgsd(cnf)
+        t0 = time.perf_counter()
+        sgsd(inst.deposet, inst.predicate)
+        general_s = time.perf_counter() - t0
+
+        dep = random_deposet(n=m, events_per_proc=12, seed=m)
+        pred = availability_predicate(m, var="up")
+        t0 = time.perf_counter()
+        try:
+            control_disjunctive(dep, pred)
+        except Exception:
+            pass
+        disjunctive_s = time.perf_counter() - t0
+        sweep.add(size=m, general_sgsd_s=general_s, disjunctive_s=disjunctive_s)
+    print(sweep)
+    print("general predicates: runtime explodes with problem size "
+          "(NP-hard, Theorem 1); disjunctive predicates stay cheap "
+          "(O(n^2 p), Theorem 2).")
+
+
+if __name__ == "__main__":
+    main()

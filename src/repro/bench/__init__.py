@@ -1,0 +1,11 @@
+"""Experiment harness: parameter sweeps and table rendering.
+
+The paper's evaluation is analytic; the benchmark suite regenerates each
+claim as a measured table (EXPERIMENTS.md records paper-vs-measured).  This
+package holds the shared plumbing so ``benchmarks/`` and ``examples/`` can
+print identically-shaped tables.
+"""
+
+from repro.bench.harness import format_table, geometric_fit, Sweep
+
+__all__ = ["format_table", "geometric_fit", "Sweep"]

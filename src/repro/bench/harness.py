@@ -1,0 +1,82 @@
+"""Table formatting and scaling-fit helpers for the experiment suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "geometric_fit", "Sweep"]
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title or '(empty table)'}\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[ci]) for r in cells))
+        for ci, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def geometric_fit(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x): the scaling exponent.
+
+    Used to check complexity claims: measuring work ``w`` at sizes ``s``,
+    ``geometric_fit(s, w)`` near ``2`` supports an ``O(s^2)`` claim.
+    Zero-valued measurements are dropped.
+    """
+    pts = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pts) < 2:
+        raise ValueError("need at least two positive points to fit")
+    lx = np.log([p[0] for p in pts])
+    ly = np.log([p[1] for p in pts])
+    slope, _ = np.polyfit(lx, ly, 1)
+    return float(slope)
+
+
+@dataclass
+class Sweep:
+    """Accumulates rows of one experiment and renders/asserts over them."""
+
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def column(self, name: str) -> List[Any]:
+        return [row[name] for row in self.rows]
+
+    def render(self, columns: Optional[Sequence[str]] = None) -> str:
+        return format_table(self.rows, columns=columns, title=self.title)
+
+    def __str__(self) -> str:
+        return self.render()

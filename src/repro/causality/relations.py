@@ -1,0 +1,299 @@
+"""Whole-trace happened-before: event-level causality, state-level queries.
+
+The paper's model orders *local states*; operationally, causality lives on
+*events* (the transitions between states).  The two views are off by half a
+step -- ``complete(s_{i,a})`` and ``enter(s_{i,a+1})`` are the **same
+event** -- and conflating them loses real cycles: a control arrow whose
+source state is *entered* by the very event it transitively blocks is
+acyclic on states but deadlocks operationally.  :class:`CausalOrder`
+therefore:
+
+1. builds the **event graph**: per-process event chains plus one edge per
+   arrow (message or control, uniformly): ``leave(src_state) ->
+   enter(dst_state)``;
+2. checks acyclicity there (Kahn's algorithm) -- this is the paper's
+   "control relation does not interfere with ->", and coincides with
+   "replayable without deadlock";
+3. derives per-state vector clocks ``V(s)[k] = max{a : s_{k,a} -> s}``
+   (``->`` strict: ``s_{k,a}`` *completed* before ``s`` was *entered*),
+   giving O(1) state-level queries:
+
+   ``s_{i,a} -> s_{j,b}``  iff  ``i == j and a < b``, or
+   ``i != j and a <= V(s_{j,b})[i]``.
+
+A global state (one state per process) is *consistent* iff its states are
+pairwise concurrent: ``V(cut[j])[i] < cut[i]`` for all ``i != j``.  The
+strict inequality implements the paper's state-based reading: a cut holding
+both a sender's pre-send state and the receiver's post-receive state cannot
+occur.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, NamedTuple, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MalformedTraceError
+
+__all__ = ["StateRef", "CausalOrder", "CycleError"]
+
+
+class StateRef(NamedTuple):
+    """A local state identified by ``(process index, state index)``."""
+
+    proc: int
+    index: int
+
+    def __repr__(self) -> str:  # compact, shows up a lot in debug output
+        return f"s[{self.proc},{self.index}]"
+
+
+class CycleError(MalformedTraceError):
+    """The supplied arrows create a cycle in the event graph."""
+
+    def __init__(self, remaining: Sequence[Tuple[int, int]]):
+        self.remaining = list(remaining)
+        preview = ", ".join(f"ev[{i},{e}]" for i, e in self.remaining[:8])
+        super().__init__(
+            f"causal relation is cyclic; {len(self.remaining)} events are on "
+            f"cycles or downstream of one (e.g. {preview})"
+        )
+
+
+Arrow = Tuple[StateRef, StateRef]
+EventRef = Tuple[int, int]  # (proc, event index); event e leaves state e
+
+
+class CausalOrder:
+    """O(1) happened-before queries over a (possibly extended) deposet.
+
+    Parameters
+    ----------
+    state_counts:
+        ``state_counts[i]`` is the number of local states of process ``i``
+        (each process has at least its start state).  Process ``i`` has
+        ``state_counts[i] - 1`` events.
+    arrows:
+        Cross-state edges ``(src, dst)`` with the uniform strict semantics
+        *src completed before dst entered*: message arrows (the paper's
+        *remotely precedes*) and any control arrows of an extended deposet.
+        ``src`` must have a leaving event (``src.index <= m_src - 2``; a
+        final state never completes) and ``dst`` an entering event
+        (``dst.index >= 1``); these are the D1/D2 constraints generalised
+        to control arrows.
+
+    Raises
+    ------
+    CycleError
+        If the event graph is cyclic -- i.e. the control relation
+        *interferes* with causality / the extended computation cannot be
+        executed.
+    MalformedTraceError
+        If an arrow references a nonexistent state or event, or points
+        backwards within one process.
+    """
+
+    __slots__ = ("n", "state_counts", "_clocks", "_arrows")
+
+    def __init__(
+        self,
+        state_counts: Sequence[int],
+        arrows: Iterable[Arrow] = (),
+    ):
+        self.n = len(state_counts)
+        if self.n == 0:
+            raise MalformedTraceError("a computation needs at least one process")
+        self.state_counts: Tuple[int, ...] = tuple(int(m) for m in state_counts)
+        for i, m in enumerate(self.state_counts):
+            if m < 1:
+                raise MalformedTraceError(
+                    f"process {i} has {m} states; every process has at least "
+                    f"a start state"
+                )
+        self._arrows: List[Arrow] = [
+            (StateRef(*a), StateRef(*b)) for a, b in arrows
+        ]
+        self._validate_arrows()
+        #: per-process state-clock matrices, shape (m_i, n), dtype int32
+        self._clocks: List[np.ndarray] = self._compute_clocks()
+
+    # -- construction ------------------------------------------------------
+
+    def _validate_arrows(self) -> None:
+        for src, dst in self._arrows:
+            for ref in (src, dst):
+                if not (0 <= ref.proc < self.n):
+                    raise MalformedTraceError(f"arrow endpoint {ref!r}: no such process")
+                if not (0 <= ref.index < self.state_counts[ref.proc]):
+                    raise MalformedTraceError(f"arrow endpoint {ref!r}: no such state")
+            if src.index > self.state_counts[src.proc] - 2:
+                raise MalformedTraceError(
+                    f"arrow source {src!r} is a final state: it never "
+                    f"completes, so the arrow could never be satisfied (D2)"
+                )
+            if dst.index < 1:
+                raise MalformedTraceError(
+                    f"arrow target {dst!r} is a start state: it is entered "
+                    f"before anything can be waited for (D1)"
+                )
+            if src.proc == dst.proc and src.index >= dst.index:
+                raise MalformedTraceError(
+                    f"same-process arrow {src!r} -> {dst!r} points backwards"
+                )
+
+    def _compute_clocks(self) -> List[np.ndarray]:
+        n = self.n
+        counts = self.state_counts
+        event_counts = [m - 1 for m in counts]
+
+        # Event clocks: EC[i][e][k] = max event index of process k that
+        # happens-before-or-equals event (i, e); -1 when none.
+        ec = [np.full((max(m, 1), n), -1, dtype=np.int32) for m in event_counts]
+
+        incoming: Dict[EventRef, List[EventRef]] = {}
+        outgoing: Dict[EventRef, List[EventRef]] = {}
+        indeg = [np.zeros(max(m, 1), dtype=np.int32) for m in event_counts]
+        for src, dst in self._arrows:
+            src_ev: EventRef = (src.proc, src.index)          # leave(src)
+            dst_ev: EventRef = (dst.proc, dst.index - 1)      # enter(dst)
+            if src_ev == dst_ev:
+                continue  # complete(s) == enter(s+1): trivially satisfied
+            incoming.setdefault(dst_ev, []).append(src_ev)
+            outgoing.setdefault(src_ev, []).append(dst_ev)
+            indeg[dst_ev[0]][dst_ev[1]] += 1
+        for i in range(n):
+            if event_counts[i] > 1:
+                indeg[i][1:event_counts[i]] += 1  # in-process chain
+
+        ready: deque[EventRef] = deque(
+            (i, 0) for i in range(n) if event_counts[i] > 0 and indeg[i][0] == 0
+        )
+        done = 0
+        total = sum(event_counts)
+        while ready:
+            ev = ready.popleft()
+            i, e = ev
+            row = ec[i][e]
+            if e > 0:
+                np.maximum(row, ec[i][e - 1], out=row)
+            for src_ev in incoming.get(ev, ()):
+                np.maximum(row, ec[src_ev[0]][src_ev[1]], out=row)
+            row[i] = e
+            done += 1
+            if e + 1 < event_counts[i]:
+                indeg[i][e + 1] -= 1
+                if indeg[i][e + 1] == 0:
+                    ready.append((i, e + 1))
+            for dst_ev in outgoing.get(ev, ()):
+                indeg[dst_ev[0]][dst_ev[1]] -= 1
+                if indeg[dst_ev[0]][dst_ev[1]] == 0:
+                    ready.append(dst_ev)
+
+        if done != total:
+            remaining = [
+                (i, e)
+                for i in range(n)
+                for e in range(event_counts[i])
+                if indeg[i][e] > 0
+            ]
+            raise CycleError(remaining)
+
+        # State clocks: state (j, b) for b >= 1 was entered by event
+        # (j, b-1); its clock is that event's clock, with the convention
+        # V(s)[proc(s)] = index(s).  State (j, 0) has the zero clock.
+        clocks = [np.full((m, n), -1, dtype=np.int32) for m in counts]
+        for j in range(n):
+            if counts[j] > 1:
+                clocks[j][1:, :] = ec[j][: counts[j] - 1, :]
+                # EC[j][b-1][j] = b-1 (the entering event itself); the
+                # convention for the state's own component is its index.
+            clocks[j][:, j] = np.arange(counts[j], dtype=np.int32)
+        return clocks
+
+    # -- queries -----------------------------------------------------------
+
+    def clock(self, ref: StateRef | Tuple[int, int]) -> np.ndarray:
+        """The state clock ``V(s)`` (read-only view)."""
+        proc, index = ref
+        return self._clocks[proc][index]
+
+    def clock_matrix(self, proc: int) -> np.ndarray:
+        """All clocks of one process, shape ``(m_proc, n)``."""
+        return self._clocks[proc]
+
+    def happened_before(
+        self, a: StateRef | Tuple[int, int], b: StateRef | Tuple[int, int]
+    ) -> bool:
+        """Strict ``a -> b`` over states (a completed before b entered)."""
+        (pi, ai), (pj, bj) = a, b
+        if pi == pj:
+            return ai < bj
+        return ai <= self._clocks[pj][bj, pi]
+
+    def happened_before_eq(
+        self, a: StateRef | Tuple[int, int], b: StateRef | Tuple[int, int]
+    ) -> bool:
+        """Reflexive ``a ->= b`` (the paper's underlined arrow)."""
+        return tuple(a) == tuple(b) or self.happened_before(a, b)
+
+    def enters_before(
+        self, a: StateRef | Tuple[int, int], b: StateRef | Tuple[int, int]
+    ) -> bool:
+        """``enter(a) <= enter(b)``: every execution that has entered ``b``
+        has (at least) entered ``a``.
+
+        This is the relation the off-line algorithm's ``crossable`` and
+        cursor-advance conditions need: it differs from the state relation
+        ``->`` by half a step, because ``complete(s_a)`` and
+        ``enter(s_{a+1})`` are the same event.  Start states are entered
+        from time zero, so they precede everything.
+        """
+        (pa, ia), (pb, ib) = a, b
+        if pa == pb:
+            return ia <= ib
+        if ia == 0:
+            return True
+        # enter(a) is the completion of a's predecessor state.
+        return self.happened_before((pa, ia - 1), (pb, ib))
+
+    def concurrent(
+        self, a: StateRef | Tuple[int, int], b: StateRef | Tuple[int, int]
+    ) -> bool:
+        """``a || b``: neither state causally precedes the other."""
+        return (
+            tuple(a) != tuple(b)
+            and not self.happened_before(a, b)
+            and not self.happened_before(b, a)
+        )
+
+    def is_consistent_cut(self, cut: Sequence[int]) -> bool:
+        """Is the global state ``cut`` (one state index per process) consistent?
+
+        ``cut`` is consistent iff its states are pairwise concurrent:
+        ``V(cut[j])[i] < cut[i]`` for all ``i != j`` (strict -- see the
+        module docstring).
+        """
+        if len(cut) != self.n:
+            raise ValueError(f"cut has {len(cut)} entries for {self.n} processes")
+        for j in range(self.n):
+            row = self._clocks[j][cut[j]]
+            for i in range(self.n):
+                if i != j and row[i] >= cut[i]:
+                    return False
+        return True
+
+    def extended(self, extra_arrows: Iterable[Arrow]) -> "CausalOrder":
+        """A new order with additional arrows (e.g. a control relation).
+
+        Raises :class:`CycleError` when the extra arrows interfere with the
+        existing causality -- equivalently, when the extended computation
+        cannot be replayed without deadlock.
+        """
+        return CausalOrder(self.state_counts, list(self._arrows) + list(extra_arrows))
+
+    @property
+    def arrows(self) -> List[Arrow]:
+        """The cross-state arrows this order was built from (copy)."""
+        return list(self._arrows)

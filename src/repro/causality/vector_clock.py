@@ -1,0 +1,120 @@
+"""Vector clocks as immutable value objects.
+
+These are the clocks carried by *live* processes in the discrete-event
+simulator (:mod:`repro.sim`).  Trace analysis uses the batch table in
+:mod:`repro.causality.relations` instead, which is far cheaper for whole
+computations.
+
+The component convention follows the paper's state-level model: component
+``i`` of the clock attached to a state ``s`` is the index of the latest
+state on process ``i`` that causally precedes-or-equals ``s`` (``-1`` when
+no state of process ``i`` is causally below ``s``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """An immutable vector clock over ``n`` processes.
+
+    Supports the standard operations: per-component access, ``tick`` (bump
+    one's own component), ``merge`` (componentwise max, used on message
+    receipt) and the causality comparisons ``happened_before`` /
+    ``concurrent_with``.
+
+    >>> a = VectorClock.zero(2).tick(0)
+    >>> b = VectorClock.zero(2).tick(1).merge(a)
+    >>> a.happened_before(b)
+    True
+    >>> b.happened_before(a)
+    False
+    """
+
+    __slots__ = ("_components",)
+
+    def __init__(self, components: Iterable[int]):
+        self._components: Tuple[int, ...] = tuple(int(c) for c in components)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zero(cls, n: int) -> "VectorClock":
+        """The clock of a start state: no state observed on any process.
+
+        The paper indexes local states from 0 (the start state |_i), so the
+        neutral element is all ``-1``: "no state seen yet".
+        """
+        if n <= 0:
+            raise ValueError(f"need at least one process, got n={n}")
+        return cls((-1,) * n)
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processes this clock spans."""
+        return len(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __getitem__(self, i: int) -> int:
+        return self._components[i]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._components)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._components == other._components
+
+    def __hash__(self) -> int:
+        return hash(self._components)
+
+    def __repr__(self) -> str:
+        return f"VectorClock({list(self._components)})"
+
+    def as_tuple(self) -> Tuple[int, ...]:
+        """The raw component tuple."""
+        return self._components
+
+    # -- clock algebra -----------------------------------------------------
+
+    def tick(self, proc: int) -> "VectorClock":
+        """Return a copy with process ``proc``'s component incremented.
+
+        Called when process ``proc`` takes an event and enters a new local
+        state.
+        """
+        comps = list(self._components)
+        comps[proc] += 1
+        return VectorClock(comps)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Componentwise maximum -- the receive-side clock update."""
+        if len(other) != len(self):
+            raise ValueError(
+                f"cannot merge clocks of widths {len(self)} and {len(other)}"
+            )
+        return VectorClock(
+            max(a, b) for a, b in zip(self._components, other._components)
+        )
+
+    # -- causality queries -------------------------------------------------
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """``self >= other`` componentwise."""
+        return all(a >= b for a, b in zip(self._components, other._components))
+
+    def happened_before(self, other: "VectorClock") -> bool:
+        """Strict causal precedence of the states carrying these clocks."""
+        return other.dominates(self) and self._components != other._components
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock causally precedes the other."""
+        return not self.happened_before(other) and not other.happened_before(self)

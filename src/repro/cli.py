@@ -1,0 +1,215 @@
+"""Command-line interface: inspect, detect, control, and replay traces.
+
+The trace currency is the JSON format of :mod:`repro.trace.io`; predicates
+are specified with a tiny spec language so the common safety properties fit
+on a shell line:
+
+* ``at-least-one:VAR``       -- ``VAR_1 v ... v VAR_n``
+* ``mutex:VAR``              -- ``not VAR_1 v ... v not VAR_n``
+* ``happens-before:P,I>Q,J`` -- state ``I`` of process ``P`` before state
+  ``J`` of process ``Q``
+
+Commands::
+
+    python -m repro info trace.json
+    python -m repro render trace.json --predicate at-least-one:up
+    python -m repro detect trace.json --predicate at-least-one:up [--all]
+    python -m repro control trace.json --predicate mutex:cs -o fixed.json
+    python -m repro replay fixed.json -o replayed.json
+    python -m repro mutex-bench --algorithm antitoken --n 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.offline import control_disjunctive
+from repro.debug.properties import at_least_one, happens_before, mutual_exclusion
+from repro.detection.conjunctive import possibly_bad
+from repro.detection.lattice_walk import violating_cuts
+from repro.errors import NoControllerExistsError, ReproError
+from repro.mutex.driver import ALGORITHMS, run_mutex_workload
+from repro.predicates.disjunctive import DisjunctivePredicate
+from repro.replay.engine import replay
+from repro.trace.deposet import Deposet
+from repro.trace.io import dump_deposet, load_deposet
+from repro.trace.render import render_deposet
+
+__all__ = ["main", "parse_predicate"]
+
+
+def parse_predicate(spec: str, n: int) -> DisjunctivePredicate:
+    """Parse a predicate spec (see module docstring)."""
+    kind, _, arg = spec.partition(":")
+    if not arg:
+        raise ValueError(f"predicate spec {spec!r} needs an argument after ':'")
+    if kind == "at-least-one":
+        return at_least_one(n, arg)
+    if kind == "mutex":
+        return mutual_exclusion(n, arg)
+    if kind == "happens-before":
+        try:
+            left, right = arg.split(">")
+            p, i = (int(v) for v in left.split(","))
+            q, j = (int(v) for v in right.split(","))
+        except ValueError as exc:
+            raise ValueError(
+                f"happens-before spec must look like 'P,I>Q,J', got {arg!r}"
+            ) from exc
+        return happens_before((p, i), (q, j), n)
+    raise ValueError(
+        f"unknown predicate kind {kind!r}; use at-least-one:, mutex:, or "
+        f"happens-before:"
+    )
+
+
+def _load(path: str) -> Deposet:
+    return load_deposet(path)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.trace.stats import deposet_stats
+
+    dep = _load(args.trace)
+    print(dep.describe())
+    print("  " + deposet_stats(dep).describe())
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    dep = _load(args.trace)
+    pred = parse_predicate(args.predicate, dep.n) if args.predicate else None
+    sys.stdout.write(render_deposet(dep, predicate=pred, show_vars=args.var))
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    dep = _load(args.trace)
+    pred = parse_predicate(args.predicate, dep.n)
+    if args.all:
+        cuts = violating_cuts(dep, pred)
+        print(f"{len(cuts)} violating consistent global state(s)")
+        for cut in cuts[: args.limit]:
+            print(f"  {cut}")
+        if len(cuts) > args.limit:
+            print(f"  ... ({len(cuts) - args.limit} more)")
+        return 0 if not cuts else 1
+    witness = possibly_bad(dep, pred)
+    if witness is None:
+        print("predicate holds in every consistent global state")
+        return 0
+    print(f"violation possible at consistent global state {witness}")
+    return 1
+
+
+def _cmd_control(args: argparse.Namespace) -> int:
+    dep = _load(args.trace)
+    pred = parse_predicate(args.predicate, dep.n)
+    try:
+        result = control_disjunctive(dep, pred, seed=args.seed)
+    except NoControllerExistsError as exc:
+        print(f"No Controller Exists: {exc}")
+        return 2
+    control = result.control
+    if args.minimize:
+        control = control.minimized(dep)
+    print(f"control relation ({len(control)} arrow(s)):")
+    for src, dst in control:
+        print(f"  {dep.proc_names[src.proc]}:{src.index} C> "
+              f"{dep.proc_names[dst.proc]}:{dst.index}")
+    if args.output:
+        dump_deposet(control.apply(dep), args.output)
+        print(f"controlled trace written to {args.output}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    dep = _load(args.trace)
+    result = replay(dep, seed=args.seed, jitter=args.jitter)
+    print(f"replayed: {result.run.events} events, "
+          f"{result.control_messages} control message(s), "
+          f"duration {result.run.duration:.3f}")
+    if args.output:
+        dump_deposet(result.deposet, args.output)
+        print(f"recorded trace written to {args.output}")
+    return 0
+
+
+def _cmd_mutex_bench(args: argparse.Namespace) -> int:
+    report = run_mutex_workload(
+        args.algorithm, n=args.n, cs_per_proc=args.entries,
+        think_time=args.think, cs_time=args.cs, mean_delay=args.delay,
+        seed=args.seed,
+    )
+    for key, value in report.row().items():
+        print(f"{key:12s} {value}")
+    return 0 if report.safe and not report.deadlocked else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="predicate control for active debugging (IPPS 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="summarise a trace")
+    p.add_argument("trace")
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("render", help="ASCII space-time diagram")
+    p.add_argument("trace")
+    p.add_argument("--predicate", help="highlight this predicate's false states")
+    p.add_argument("--var", help="highlight where this variable is falsy")
+    p.set_defaults(fn=_cmd_render)
+
+    p = sub.add_parser("detect", help="find violating global states")
+    p.add_argument("trace")
+    p.add_argument("--predicate", required=True)
+    p.add_argument("--all", action="store_true", help="enumerate all (exponential)")
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(fn=_cmd_detect)
+
+    p = sub.add_parser("control", help="off-line predicate control")
+    p.add_argument("trace")
+    p.add_argument("--predicate", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--minimize", action="store_true",
+                   help="drop arrows implied transitively")
+    p.add_argument("-o", "--output", help="write the controlled trace here")
+    p.set_defaults(fn=_cmd_control)
+
+    p = sub.add_parser("replay", help="re-execute a (controlled) trace")
+    p.add_argument("trace")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jitter", type=float, default=0.0)
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser("mutex-bench", help="run one (n-1)-mutex workload")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="antitoken")
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--entries", type=int, default=20)
+    p.add_argument("--think", type=float, default=4.0)
+    p.add_argument("--cs", type=float, default=1.0)
+    p.add_argument("--delay", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_mutex_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Predicate control for arbitrary boolean predicates (exponential).
+
+Theorem 1 shows off-line predicate control is NP-hard in general, via the
+equivalence *satisfying control strategy exists iff satisfying global
+sequence exists* (SGSD).  This module implements the constructive halves of
+that equivalence:
+
+* :func:`control_from_sequence` -- turn a **single-step** satisfying global
+  sequence into a control relation that admits (up to stutters) only that
+  sequence, by *serialising* it: each step's event is forced after the
+  previous step's event with one control arrow
+  ``(state left at step r-1)  C->  (state entered at step r)``.
+  The controlled deposet then has exactly the sequence's cuts as its
+  consistent cuts, so it satisfies the predicate everywhere the sequence
+  does.
+
+* :func:`control_general` -- single-step SGSD search (exhaustive; see
+  :mod:`repro.detection.sgsd`) followed by :func:`control_from_sequence`.
+
+Why single-step?  A control strategy cannot make two processes advance
+*simultaneously* (forcing each advance before the other is an event-level
+cycle), so sequences that dodge a bad cut by moving two processes at once
+are not enforceable.  Sequences with subset moves witness the paper's
+*feasibility* notion; sequences with single moves witness *enforceable*
+control.  For disjunctive predicates the two coincide (Lemma 2), which is
+one reason that class is so well-behaved.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.causality.relations import StateRef
+from repro.core.control_relation import ControlRelation
+from repro.detection.sgsd import sgsd
+from repro.errors import NoControllerExistsError
+from repro.predicates.base import Predicate
+from repro.trace.deposet import Deposet
+from repro.trace.global_state import Cut, final_cut, initial_cut
+
+__all__ = ["control_from_sequence", "control_general"]
+
+
+def control_from_sequence(dep: Deposet, sequence: Sequence[Cut]) -> ControlRelation:
+    """Serialisation arrows admitting exactly the given global sequence.
+
+    ``sequence`` must start at ``bottom``, end at ``top``, and advance
+    exactly one process by one state per step (stutter steps are tolerated
+    and skipped).  Raises :class:`ValueError` on multi-process steps:
+    simultaneous advances cannot be enforced by any control strategy.
+    """
+    if not sequence or tuple(sequence[0]) != initial_cut(dep):
+        raise ValueError("sequence must start at the initial cut")
+    if tuple(sequence[-1]) != final_cut(dep):
+        raise ValueError("sequence must end at the final cut")
+
+    # Extract the step events: (proc, state index left).
+    steps: List[StateRef] = []
+    for prev, cur in zip(sequence, sequence[1:]):
+        moved = [
+            (i, a, b) for i, (a, b) in enumerate(zip(prev, cur)) if a != b
+        ]
+        if not moved:
+            continue  # stutter
+        if len(moved) > 1:
+            raise ValueError(
+                f"step {prev} -> {cur} advances {len(moved)} processes at "
+                f"once; a control strategy cannot enforce simultaneity -- "
+                f"use a single-step sequence (sgsd(..., moves='single'))"
+            )
+        i, a, b = moved[0]
+        if b != a + 1:
+            raise ValueError(
+                f"step advances process {i} from state {a} to {b}; global "
+                f"sequences advance by at most one state per step"
+            )
+        steps.append(StateRef(i, a))  # the state left by this step's event
+
+    order = dep.order
+    arrows = []
+    for before, after in zip(steps, steps[1:]):
+        if before.proc == after.proc:
+            continue  # same-process order is free
+        dst = StateRef(after.proc, after.index + 1)  # state entered
+        # Skip arrows already implied by the computation's causality:
+        # `before` completed strictly precedes `dst` entered.
+        if not order.happened_before(before, dst):
+            arrows.append((before, dst))
+    return ControlRelation(arrows)
+
+
+def control_general(dep: Deposet, pred: Predicate) -> ControlRelation:
+    """Off-line control for an arbitrary global predicate.
+
+    Searches for a single-step satisfying global sequence (exponential in
+    general -- that is Theorem 1) and serialises it into a control
+    relation.  Raises :class:`~repro.errors.NoControllerExistsError` when no
+    enforceable satisfying sequence exists.
+    """
+    sequence = sgsd(dep, pred, moves="single")
+    if sequence is None:
+        raise NoControllerExistsError(
+            "no single-step global sequence satisfies the predicate"
+        )
+    return control_from_sequence(dep, sequence)

@@ -1,0 +1,240 @@
+"""On-line predicate control for disjunctive predicates (Figure 3).
+
+Theorem 3: without assumptions the problem is unsolvable for ``n >= 2`` --
+any strategy can be forced to deadlock (see
+``tests/core/test_online_impossibility.py`` for the scenario).  Under
+
+* **A1** -- a process never blocks (waits for a message) in a state where
+  its local predicate is false, and
+* **A2** -- every final state satisfies the local predicate,
+
+the *scapegoat* strategy solves it (Theorem 4): at any time some process is
+the scapegoat and must keep its local predicate true; before making it
+false it asks another controller to take over (``req``), blocks until the
+acknowledgement arrives (``ack``), and only then proceeds.  A controller
+receiving ``req`` while true takes the role and acks immediately; while
+false it remembers the request (``pending``) and acks as soon as it becomes
+true.  The scapegoat role is an *anti-token*: a liability rather than a
+privilege.
+
+Two peer-selection strategies are provided:
+
+* ``unicast`` (the paper's Figure 3): ask one peer; 2 control messages per
+  handoff, response time in ``[2T, 2T + E_max]``;
+* ``broadcast`` (the paper's Section 6 optimisation): ask everyone --
+  better chance of an immediate ack (lower response time), more messages,
+  and every acker becomes a scapegoat (anti-tokens multiply), which
+  experiment E11 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import OnlineControlError
+from repro.sim.system import TransitionGuard
+
+__all__ = ["Handoff", "OnlineDisjunctiveControl"]
+
+LocalCondition = Callable[[Dict[str, Any]], bool]
+
+
+@dataclass
+class Handoff:
+    """One completed scapegoat handoff (for the E7 metrics)."""
+
+    proc: int
+    requested_at: float
+    committed_at: float
+    messages: int
+
+    @property
+    def response_time(self) -> float:
+        return self.committed_at - self.requested_at
+
+
+class OnlineDisjunctiveControl(TransitionGuard):
+    """The scapegoat controllers, one per process, as a transition guard.
+
+    Parameters
+    ----------
+    conditions:
+        ``conditions[i]`` is ``l_i`` as a function of ``P_i``'s variables.
+    strategy:
+        ``"unicast"`` or ``"broadcast"`` (see module docstring).
+    peer_selection:
+        For unicast: ``"ring"`` (deterministic round-robin over the other
+        processes) or ``"random"``.
+    seed:
+        RNG seed for random peer selection.
+    """
+
+    def __init__(
+        self,
+        conditions: List[LocalCondition],
+        strategy: str = "unicast",
+        peer_selection: str = "ring",
+        seed: int = 0,
+    ):
+        if strategy not in ("unicast", "broadcast"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if peer_selection not in ("ring", "random"):
+            raise ValueError(f"unknown peer selection {peer_selection!r}")
+        self.conditions = list(conditions)
+        self.strategy = strategy
+        self.peer_selection = peer_selection
+        self.rng = np.random.default_rng(seed)
+        self.n = len(conditions)
+        # controller state (Figure 3)
+        self.scapegoat = [False] * self.n
+        #: deferred acks: (requester, requester's handoff round)
+        self.pending: List[List[tuple]] = [[] for _ in range(self.n)]
+        self.awaiting = [False] * self.n
+        self._round = [0] * self.n
+        self._blocked_commit: List[Optional[Callable[[], None]]] = [None] * self.n
+        self._blocked_since: List[float] = [0.0] * self.n
+        self._buffered_reqs: List[List[tuple]] = [[] for _ in range(self.n)]
+        self._ring_next = [0] * self.n
+        # metrics / verification
+        self.handoffs: List[Handoff] = []
+        self.violations: List[str] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, system) -> None:
+        super().attach(system)
+        if self.n != system.n:
+            raise OnlineControlError(
+                f"{self.n} local conditions for {system.n} processes"
+            )
+        initial = [
+            i for i in range(self.n)
+            if self.conditions[i](system.recorder.current_vars(i))
+        ]
+        if not initial:
+            raise OnlineControlError(
+                "the disjunction is false in the initial global state; no "
+                "on-line strategy can fix the past"
+            )
+        self.scapegoat[initial[0]] = True
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _holds(self, proc: int) -> bool:
+        return self.conditions[proc](self.system.recorder.current_vars(proc))
+
+    def _select_peers(self, proc: int) -> List[int]:
+        others = [j for j in range(self.n) if j != proc]
+        if self.strategy == "broadcast":
+            return others
+        if self.peer_selection == "random":
+            return [others[int(self.rng.integers(len(others)))]]
+        peer = others[self._ring_next[proc] % len(others)]
+        self._ring_next[proc] += 1
+        return [peer]
+
+    def _send(self, src: int, dst: int, payload: Dict[str, Any]) -> None:
+        self.system.send_control(
+            src, dst, payload, self._on_control, tag=payload["type"],
+            record_mode="entered",
+        )
+
+    # -- the guard hook -----------------------------------------------------------
+
+    def request_transition(self, proc, updates, next_vars, commit):
+        if self.conditions[proc](next_vars) or not self.scapegoat[proc]:
+            commit()
+            self._after_commit(proc)
+            return
+        # scapegoat about to violate its local predicate: hand off first
+        self.awaiting[proc] = True
+        self._round[proc] += 1
+        self._blocked_commit[proc] = commit
+        self._blocked_since[proc] = self.system.queue.now
+        for peer in self._select_peers(proc):
+            self._send(
+                proc, peer,
+                {"type": "req", "from": proc, "round": self._round[proc]},
+            )
+
+    def _after_commit(self, proc: int) -> None:
+        # pending(i) and l_i(s): take the role, release the requesters
+        if self.pending[proc] and self._holds(proc):
+            requesters, self.pending[proc] = self.pending[proc], []
+            self.scapegoat[proc] = True
+            for j, rnd in requesters:
+                self._send(proc, j, {"type": "ack", "from": proc, "round": rnd})
+        self._check_invariant()
+
+    def on_process_finished(self, proc: int) -> None:
+        if not self._holds(proc):
+            self.violations.append(
+                f"assumption A2 violated: process {proc} finished with its "
+                f"local predicate false"
+            )
+
+    # -- control-message handling -----------------------------------------------------
+
+    def _on_control(self, delivery) -> None:
+        payload = delivery.payload
+        proc = delivery.dst
+        if payload["type"] == "req":
+            if self.awaiting[proc]:
+                # mid-handoff: defer until our own transfer completes
+                self._buffered_reqs[proc].append((payload["from"], payload["round"]))
+            else:
+                self._handle_req(proc, payload["from"], payload["round"])
+        elif payload["type"] == "ack":
+            self._handle_ack(proc, payload["from"], payload["round"])
+        else:  # pragma: no cover - internal protocol
+            raise OnlineControlError(f"unknown control message {payload!r}")
+
+    def _handle_req(self, proc: int, requester: int, rnd: int) -> None:
+        if self._holds(proc):
+            self.scapegoat[proc] = True
+            self._send(proc, requester, {"type": "ack", "from": proc, "round": rnd})
+        else:
+            self.pending[proc].append((requester, rnd))
+
+    def _handle_ack(self, proc: int, acker: int, rnd: int) -> None:
+        if not self.awaiting[proc] or rnd != self._round[proc]:
+            # A late or stale ack: either we are not blocked, or the ack
+            # answers an *earlier* handoff that someone else already
+            # satisfied.  The sender became a scapegoat while true (safe --
+            # one more anti-token); it must NOT release the current
+            # handoff, whose safety argument rests on an ack for *this*
+            # round.  (Without the round check, two processes' stale
+            # pending acks can release each other and break the
+            # disjunction -- found by the contended broadcast tests.)
+            return
+        self.awaiting[proc] = False
+        self.scapegoat[proc] = False
+        commit = self._blocked_commit[proc]
+        self._blocked_commit[proc] = None
+        msgs = 2 if self.strategy == "unicast" else self.n  # req fanout + this ack
+        self.handoffs.append(
+            Handoff(
+                proc=proc,
+                requested_at=self._blocked_since[proc],
+                committed_at=self.system.queue.now,
+                messages=msgs,
+            )
+        )
+        commit()
+        self._after_commit(proc)
+        # now process reqs that arrived during the handoff
+        buffered, self._buffered_reqs[proc] = self._buffered_reqs[proc], []
+        for requester, req_round in buffered:
+            self._handle_req(proc, requester, req_round)
+
+    # -- run-time verification ------------------------------------------------------
+
+    def _check_invariant(self) -> None:
+        """The controlled run must satisfy the disjunction at every instant."""
+        if not any(self._holds(i) for i in range(self.n)):
+            self.violations.append(
+                f"disjunction violated at t={self.system.queue.now}"
+            )

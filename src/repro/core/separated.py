@@ -1,0 +1,136 @@
+"""Beyond one disjunction: control for conjunctions of disjunctive clauses.
+
+The paper's Conclusions report follow-up work solving predicate control for
+*locally independent* predicates -- arbitrary predicates whose
+false-intervals are **mutually separated** -- which generalises disjunctive
+predicates and captures properties like system-wide deadlock avoidance and
+richer two-process mutual exclusions.  This module implements our
+formulation of that direction:
+
+``B = clause_1 and clause_2 and ... and clause_m``  with each clause
+disjunctive.  The controller *layers* the Figure-2 algorithm: clause 1 is
+controlled on the original trace; clause 2 on the resulting controlled
+deposet (so its chain respects clause 1's arrows); and so on.  Layering is
+**sound** by monotonicity -- adding arrows only removes consistent cuts, so
+once a clause has no consistent violating cut it never regains one -- and
+every step's interference is checked.
+
+Layering is **not complete** in general: a clause order can paint the next
+clause into a corner.  We retry over clause permutations and selection
+seeds (this is where the "mutually separated" restriction earns its keep:
+when, on every process, the false-intervals of different clauses are
+pairwise separated by true states of *all* clauses, the layers cannot
+conflict and the first attempt succeeds -- see
+:func:`clauses_mutually_separated`).  Every returned relation is verified
+exactly against every clause.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.control_relation import ControlRelation
+from repro.core.offline import control_disjunctive
+from repro.core.verify import verify_control
+from repro.errors import InterferenceError, NoControllerExistsError
+from repro.predicates.disjunctive import DisjunctivePredicate
+from repro.predicates.intervals import false_intervals
+from repro.trace.deposet import Deposet
+
+__all__ = ["control_cnf", "clauses_mutually_separated"]
+
+
+def clauses_mutually_separated(
+    dep: Deposet, clauses: Sequence[DisjunctivePredicate]
+) -> bool:
+    """Are the clauses' false-intervals mutually separated on every process?
+
+    For every process and every pair of distinct clauses, no false-interval
+    of one clause may touch or abut a false-interval of the other (at least
+    one state that is true for *both* clauses lies between them, and they
+    never overlap).  This is our concrete reading of the paper's "mutually
+    separated" restriction; under it the layered controller's chains use
+    disjoint regions and compose without conflict.
+    """
+    per_clause = [false_intervals(dep, clause) for clause in clauses]
+    for proc in range(dep.n):
+        spans: List[Tuple[int, int, int]] = []  # (lo, hi, clause index)
+        for ci, ivs in enumerate(per_clause):
+            spans.extend((iv.lo, iv.hi, ci) for iv in ivs[proc])
+        spans.sort()
+        for (lo1, hi1, c1), (lo2, hi2, c2) in zip(spans, spans[1:]):
+            if c1 == c2:
+                continue
+            if lo2 <= hi1 + 1:  # overlapping or adjacent
+                return False
+    return True
+
+
+def control_cnf(
+    dep: Deposet,
+    clauses: Sequence[DisjunctivePredicate],
+    max_attempts: int = 12,
+    seed: int = 0,
+) -> ControlRelation:
+    """A control relation making every disjunctive clause hold.
+
+    Tries clause orders (all permutations for <= 3 clauses, else random
+    shuffles) and per-attempt selection seeds until a layering verifies.
+
+    Raises
+    ------
+    NoControllerExistsError
+        When some clause is infeasible on its own, or no attempted layering
+        succeeds.  (The former is definitive; the latter is definitive only
+        under the mutual-separation restriction -- the error message says
+        which case occurred.)
+    """
+    clauses = list(clauses)
+    if not clauses:
+        return ControlRelation()
+    rng = np.random.default_rng(seed)
+
+    if len(clauses) <= 3:
+        orders = list(permutations(range(len(clauses))))
+    else:
+        orders = [tuple(rng.permutation(len(clauses))) for _ in range(max_attempts)]
+
+    definitive_failure: Optional[NoControllerExistsError] = None
+    attempts = 0
+    for order in orders:
+        if attempts >= max_attempts:
+            break
+        attempts += 1
+        relation = ControlRelation()
+        controlled = dep
+        try:
+            for ci in order:
+                result = control_disjunctive(
+                    controlled, clauses[ci], seed=int(rng.integers(2**31))
+                )
+                relation = relation.merged_with(result.control)
+                controlled = controlled.with_control(result.control.arrows)
+            # exact verification of every clause on the final deposet
+            for clause in clauses:
+                verify_control(dep, clause, relation)
+            return relation
+        except NoControllerExistsError as exc:
+            if controlled is dep:
+                # the very first clause failed on the raw trace: infeasible
+                definitive_failure = exc
+        except InterferenceError:
+            continue  # this layering conflicted; try another order
+
+    if definitive_failure is not None:
+        raise NoControllerExistsError(
+            "a clause is infeasible for the computation on its own",
+            witness=definitive_failure.witness,
+        )
+    raise NoControllerExistsError(
+        f"no clause layering succeeded in {attempts} attempts; the clauses "
+        f"are {'NOT ' if not clauses_mutually_separated(dep, clauses) else ''}"
+        f"mutually separated"
+    )

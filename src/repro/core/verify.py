@@ -1,0 +1,88 @@
+"""Exact verification and feasibility queries for predicate control.
+
+The key fact (Section 3): a deposet satisfies ``B`` iff **every consistent
+global state** satisfies ``B`` -- every consistent cut lies on some global
+sequence, and sequences visit only consistent cuts.  For disjunctive ``B``
+the violating cuts are exactly the weak-conjunctive cuts of ``not l_1 and
+... and not l_n``, so verification is one run of the efficient detector --
+no enumeration, no sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.control_relation import ControlRelation
+from repro.core.offline import control_disjunctive
+from repro.detection.conjunctive import possibly_bad
+from repro.errors import NoControllerExistsError, ReproError
+from repro.predicates.disjunctive import DisjunctivePredicate
+from repro.trace.deposet import Deposet
+
+__all__ = [
+    "deposet_satisfies",
+    "verify_control",
+    "is_feasible",
+    "definitely_violated",
+]
+
+
+def deposet_satisfies(dep: Deposet, pred: DisjunctivePredicate) -> bool:
+    """Does every global sequence of ``dep`` satisfy ``pred`` throughout?
+
+    Control arrows of a controlled deposet participate (consistency is
+    evaluated over the extended causality).
+    """
+    return possibly_bad(dep, pred) is None
+
+
+class ControlVerificationError(ReproError):
+    """A control relation failed verification (should never happen for
+    relations produced by this library's algorithms)."""
+
+    def __init__(self, message: str, counterexample: Optional[Tuple[int, ...]] = None):
+        super().__init__(message)
+        self.counterexample = counterexample
+
+
+def verify_control(
+    dep: Deposet, pred: DisjunctivePredicate, control: ControlRelation
+) -> Deposet:
+    """Apply ``control`` to ``dep`` and prove the result satisfies ``pred``.
+
+    Returns the controlled deposet.  Raises
+    :class:`~repro.errors.InterferenceError` if the relation interferes with
+    causality, or :class:`ControlVerificationError` with a counterexample
+    cut if some consistent global state still violates ``pred``.
+    """
+    controlled = control.apply(dep)
+    witness = possibly_bad(controlled, pred)
+    if witness is not None:
+        raise ControlVerificationError(
+            f"controlled deposet still violates predicate at cut {witness}",
+            counterexample=witness,
+        )
+    return controlled
+
+
+def is_feasible(dep: Deposet, pred: DisjunctivePredicate) -> bool:
+    """Is there *any* global sequence of ``dep`` satisfying ``pred``?
+
+    Decided by running the off-line algorithm: it succeeds exactly when no
+    overlapping set of false-intervals exists.
+    """
+    try:
+        control_disjunctive(dep, pred)
+        return True
+    except NoControllerExistsError:
+        return False
+
+
+def definitely_violated(dep: Deposet, pred: DisjunctivePredicate) -> bool:
+    """Does **every** global sequence hit a cut violating ``pred``?
+
+    The complement of :func:`is_feasible`; equivalently *definitely(not B)*
+    in detection terms, and equivalently "an overlapping set of
+    false-intervals exists" by Lemma 2 plus completeness of the algorithm.
+    """
+    return not is_feasible(dep, pred)

@@ -1,0 +1,24 @@
+"""Active debugging: the observe -> control -> replay cycle (Section 7).
+
+* :mod:`repro.debug.properties` -- the paper's example safety properties as
+  ready-made disjunctive predicates, including the event-ordering property
+  "x must happen before y";
+* :mod:`repro.debug.session` -- :class:`DebugSession`, a small driver for
+  the walkthrough of Figure 4: detect a bug on a traced computation, apply
+  off-line control, replay, inspect, repeat; and hand the winning predicate
+  to the on-line controller for future runs.
+"""
+
+from repro.debug.properties import (
+    at_least_one,
+    mutual_exclusion,
+    happens_before,
+)
+from repro.debug.session import DebugSession
+
+__all__ = [
+    "at_least_one",
+    "mutual_exclusion",
+    "happens_before",
+    "DebugSession",
+]

@@ -1,0 +1,74 @@
+"""The paper's Section 5 example predicates, packaged.
+
+(1) two-process mutual exclusion     ``not cs_1 v not cs_2``
+(2) at least one server available    ``avail_1 v ... v avail_n``
+(3) x must happen before y           ``after_x v before_y``
+(4) at least one philosopher thinks  ``think_1 v ... v think_n``
+
+All are disjunctive, hence controllable by the efficient algorithms.  (3)
+shows the fine-grained power of the class: "after x" / "before y" are local
+predicates over the state *index*, so ordering two specific states across
+processes is just another disjunction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from repro.causality.relations import StateRef
+from repro.predicates.disjunctive import DisjunctivePredicate
+from repro.predicates.local import LocalPredicate
+
+__all__ = ["at_least_one", "mutual_exclusion", "happens_before"]
+
+StateLike = Union[StateRef, Tuple[int, int]]
+
+
+def at_least_one(n: int, var: str, procs: Sequence[int] | None = None) -> DisjunctivePredicate:
+    """``var_1 v var_2 v ... v var_n`` over the given processes.
+
+    Properties (2) and (4) of the paper: server availability, philosopher
+    thinking -- any "at least one of them is fine" invariant.
+    """
+    if procs is None:
+        procs = range(n)
+    return DisjunctivePredicate(
+        [LocalPredicate.var_true(i, var) for i in procs], n=n
+    )
+
+
+def mutual_exclusion(n: int, var: str = "cs", procs: Sequence[int] | None = None) -> DisjunctivePredicate:
+    """``not cs_1 v ... v not cs_n``: at most ``len(procs) - 1`` inside.
+
+    With two processes this is property (1); with all ``n`` it is the
+    ``(n-1)``-mutual exclusion of Section 6.
+    """
+    if procs is None:
+        procs = range(n)
+    return DisjunctivePredicate(
+        [LocalPredicate.var_false(i, var) for i in procs], n=n
+    )
+
+
+def happens_before(x: StateLike, y: StateLike, n: int) -> DisjunctivePredicate:
+    """Property (3): state ``x`` must happen before state ``y``.
+
+    ``B = after_x v before_y``: every global state either has ``x``'s
+    process already at/past ``x``, or ``y``'s process strictly before
+    ``y``.  Controlling ``B`` forces ``x -> y`` in the controlled
+    computation.
+    """
+    x = StateRef(*x)
+    y = StateRef(*y)
+    if x.proc == y.proc:
+        raise ValueError(
+            "happens-before control is only needed across processes; "
+            "same-process order is fixed by the program"
+        )
+    return DisjunctivePredicate(
+        [
+            LocalPredicate.at_or_after(x.proc, x.index),
+            LocalPredicate.before(y.proc, y.index),
+        ],
+        n=n,
+    )

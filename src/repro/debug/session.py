@@ -1,0 +1,180 @@
+"""Debug sessions: drive the active-debugging cycle of Section 7.
+
+A :class:`DebugSession` wraps one traced computation and offers the three
+moves of the paper's methodology:
+
+* :meth:`detect` -- find the consistent global states violating a safety
+  predicate (the bug's "where");
+* :meth:`control` -- apply off-line predicate control and *replay* the
+  computation under it, yielding a new session over the controlled
+  computation ("does the bug survive if I forbid this?");
+* :meth:`online_guard` -- once a safety predicate has been validated
+  off-line, produce the on-line controller that prevents the bug in fresh
+  runs.
+
+Sessions are immutable; every ``control`` produces a new one, and
+``history`` records the chain (C1 -> C2 -> ... in the paper's Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.control_relation import ControlRelation
+from repro.core.offline import control_disjunctive
+from repro.core.online import OnlineDisjunctiveControl
+from repro.detection.conjunctive import possibly_bad
+from repro.detection.lattice_walk import violating_cuts
+from repro.predicates.base import Predicate
+from repro.predicates.disjunctive import as_disjunctive
+from repro.replay.engine import replay
+from repro.trace.deposet import Deposet
+from repro.trace.global_state import Cut
+
+__all__ = ["DebugSession", "ControlStep"]
+
+
+@dataclass(frozen=True)
+class ControlStep:
+    """One applied control in a session's history."""
+
+    predicate: str
+    control: ControlRelation
+    from_name: str
+    to_name: str
+
+
+class DebugSession:
+    """One computation under inspection."""
+
+    def __init__(
+        self,
+        dep: Deposet,
+        name: str = "C1",
+        history: Optional[List[ControlStep]] = None,
+    ):
+        self.dep = dep
+        self.name = name
+        self.history: List[ControlStep] = list(history or [])
+
+    # -- observe -------------------------------------------------------------
+
+    def detect(self, safety: Predicate, exhaustive: bool = False):
+        """Consistent global states violating ``safety``.
+
+        By default returns the single least witness from the efficient
+        weak-conjunctive detector (``None`` when the bug is impossible);
+        with ``exhaustive=True`` returns *all* violating consistent cuts
+        (exponential; fine for debugging-sized traces -- this is how the
+        paper's Figure 4 talks about "the global states G and H").
+        """
+        if exhaustive:
+            return violating_cuts(self.dep, safety)
+        disj = as_disjunctive(safety, self.dep.n)
+        return possibly_bad(self.dep, disj)
+
+    def bug_possible(self, safety: Predicate) -> bool:
+        """Can ``safety`` be violated in this computation?"""
+        disj = as_disjunctive(safety, self.dep.n)
+        return possibly_bad(self.dep, disj) is not None
+
+    def is_consistent(self, cut: Cut) -> bool:
+        """Is ``cut`` a consistent global state of this computation?"""
+        return self.dep.order.is_consistent_cut(cut)
+
+    # -- control + replay ---------------------------------------------------------
+
+    def control(
+        self,
+        safety: Predicate,
+        name: Optional[str] = None,
+        seed: int = 0,
+    ) -> Tuple["DebugSession", ControlRelation]:
+        """Off-line control for ``safety``, then a controlled replay.
+
+        Returns the new session (over the recorded controlled computation)
+        and the control relation used.  Raises
+        :class:`~repro.errors.NoControllerExistsError` when the bug occurs
+        in every execution of this trace.
+        """
+        disj = as_disjunctive(safety, self.dep.n)
+        if possibly_bad(self.dep, disj) is None:
+            # already satisfied (e.g. by controls applied earlier in the
+            # session): nothing to add, but keep the cycle's bookkeeping
+            result_control = ControlRelation()
+            replayed = replay(self.dep, result_control, seed=seed)
+        else:
+            result = control_disjunctive(self.dep, disj, seed=seed)
+            result_control = result.control
+            replayed = replay(self.dep, result_control, seed=seed)
+        new_name = name or f"C{len(self.history) + 2}"
+        step = ControlStep(
+            predicate=repr(safety),
+            control=result_control,
+            from_name=self.name,
+            to_name=new_name,
+        )
+        return (
+            DebugSession(replayed.deposet, new_name, self.history + [step]),
+            result_control,
+        )
+
+    # -- prevention -------------------------------------------------------------------
+
+    def online_guard(
+        self, safety: Predicate, strategy: str = "unicast", seed: int = 0
+    ) -> OnlineDisjunctiveControl:
+        """An on-line controller enforcing ``safety`` on *future* runs.
+
+        The predicate must be disjunctive over variable-based local
+        predicates (index-based predicates like ``happens_before`` refer to
+        trace positions of *this* computation and do not transfer to new
+        runs unless the new run has the same event structure).
+        """
+        disj = as_disjunctive(safety, self.dep.n)
+        conditions = []
+        for i in range(self.dep.n):
+            local = disj.local(i)
+            if local is None:
+                conditions.append(lambda vars: False)
+            else:
+                conditions.append(
+                    lambda vars, _l=local, _i=i: bool(
+                        _l.fn(_StateProxy(_i, vars))
+                    )
+                )
+        return OnlineDisjunctiveControl(conditions, strategy=strategy, seed=seed)
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"session {self.name}: {self.dep!r}"]
+        for step in self.history:
+            lines.append(
+                f"  {step.from_name} --[{step.predicate}, "
+                f"{len(step.control)} control msg(s)]--> {step.to_name}"
+            )
+        return "\n".join(lines)
+
+
+class _StateProxy:
+    """Adapts on-line variable dicts to the StateInfo protocol.
+
+    On-line controllers see only the current variables; state indices are
+    unknown mid-run, so index-based predicates cannot be evaluated (they
+    raise through the attribute access below).
+    """
+
+    __slots__ = ("proc", "vars")
+
+    def __init__(self, proc: int, vars: dict):
+        self.proc = proc
+        self.vars = vars
+
+    @property
+    def index(self) -> int:
+        raise ValueError(
+            "index-based local predicates (after/before) cannot be enforced "
+            "on-line: a fresh run's state indices are not known in advance"
+        )

@@ -1,0 +1,40 @@
+"""Predicate detection over traced computations.
+
+The active-debugging cycle starts by *detecting* a bug -- a global state
+where a safety predicate fails.  This package provides:
+
+* :func:`possibly_bad` -- the efficient weak-conjunctive detector
+  (Garg-Waldecker style) used both for bug detection and for verifying
+  controller output: for a disjunctive ``B = l_1 v ... v l_n`` it finds a
+  consistent global state where *all* ``l_i`` are false, if one exists.
+* :func:`possibly_exhaustive` / :func:`definitely_exhaustive` -- lattice
+  BFS ground truth for small traces.
+* :mod:`repro.detection.sgsd` -- satisfying-global-sequence detection, the
+  NP-complete problem of Lemma 1 (exhaustive, subset-move semantics).
+* :mod:`repro.detection.reduction` -- the SAT -> SGSD mapping of Figure 1.
+"""
+
+from repro.detection.conjunctive import possibly_bad, find_conjunctive_cut
+from repro.detection.lattice_walk import (
+    possibly_exhaustive,
+    definitely_exhaustive,
+    violating_cuts,
+)
+from repro.detection.sgsd import sgsd, sgsd_feasible
+from repro.detection.reduction import sat_to_sgsd, decode_assignment, SGSDInstance
+from repro.detection.online import Violation, ViolationMonitor
+
+__all__ = [
+    "possibly_bad",
+    "find_conjunctive_cut",
+    "possibly_exhaustive",
+    "definitely_exhaustive",
+    "violating_cuts",
+    "sgsd",
+    "sgsd_feasible",
+    "sat_to_sgsd",
+    "decode_assignment",
+    "SGSDInstance",
+    "Violation",
+    "ViolationMonitor",
+]

@@ -1,0 +1,106 @@
+"""Weak conjunctive predicate detection (Garg-Waldecker).
+
+Detects *possibly(b_1 and b_2 and ... and b_n)* where ``b_i`` is local to
+process ``i``: is there a **consistent global state** in which every ``b_i``
+holds?  For a disjunctive safety predicate ``B = l_1 v ... v l_n`` the "bug"
+is exactly the conjunction of the negations, so this detector drives both
+bug detection (Section 7 of the paper) and exact verification of controller
+output: a deposet satisfies ``B`` iff this detector finds nothing.
+
+Algorithm (candidate elimination): keep one candidate state per process --
+the earliest not-yet-eliminated state satisfying ``b_i``.  While two
+candidates are causally ordered, the earlier one can belong to no satisfying
+consistent cut (all earlier candidates of the later process were already
+eliminated), so advance it.  When all candidates are pairwise concurrent
+they form a witness cut; when a process runs out of candidates, no witness
+exists.  Runs in O(n^2 * F) comparisons for F false states with O(1)
+happened-before queries via the state-clock table.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.predicates.disjunctive import DisjunctivePredicate
+from repro.predicates.intervals import local_truth_table
+from repro.trace.deposet import Deposet
+
+__all__ = ["possibly_bad", "find_conjunctive_cut"]
+
+Cut = Tuple[int, ...]
+
+
+def find_conjunctive_cut(
+    dep: Deposet, conjunct_truth: Sequence[np.ndarray]
+) -> Optional[Cut]:
+    """A consistent cut where every per-process boolean array is true.
+
+    ``conjunct_truth[i][a]`` gives ``b_i`` at state ``a`` of process ``i``;
+    an all-true array makes process ``i`` unconstrained.
+
+    Returns the *least* such cut (the algorithm only ever advances past
+    provably-excluded states), or ``None``.
+    """
+    n = dep.n
+    if len(conjunct_truth) != n:
+        raise ValueError(f"{len(conjunct_truth)} truth arrays for {n} processes")
+    order = dep.order
+
+    # Candidate index lists: positions where b_i holds, in execution order.
+    positions: List[np.ndarray] = [
+        np.flatnonzero(np.asarray(t, dtype=bool)) for t in conjunct_truth
+    ]
+    if any(len(p) == 0 for p in positions):
+        return None
+    ptr = [0] * n  # ptr[i]: index into positions[i]
+
+    def cand(i: int) -> int:
+        return int(positions[i][ptr[i]])
+
+    # Processes whose candidate changed and must be re-compared.
+    dirty: deque[int] = deque(range(n))
+    in_dirty = [True] * n
+    while dirty:
+        i = dirty.popleft()
+        in_dirty[i] = False
+        advanced_any = False
+        for j in range(n):
+            if j == i:
+                continue
+            # Eliminate whichever of the pair is causally below the other.
+            while True:
+                ci, cj = cand(i), cand(j)
+                if order.happened_before((i, ci), (j, cj)):
+                    loser = i
+                elif order.happened_before((j, cj), (i, ci)):
+                    loser = j
+                else:
+                    break
+                ptr[loser] += 1
+                if ptr[loser] >= len(positions[loser]):
+                    return None
+                if not in_dirty[loser]:
+                    dirty.append(loser)
+                    in_dirty[loser] = True
+                advanced_any = True
+        if advanced_any and not in_dirty[i]:
+            # i itself may have advanced; recheck it against everyone.
+            dirty.append(i)
+            in_dirty[i] = True
+
+    return tuple(cand(i) for i in range(n))
+
+
+def possibly_bad(dep: Deposet, pred: DisjunctivePredicate) -> Optional[Cut]:
+    """The least consistent global state violating the disjunctive ``pred``.
+
+    ``None`` means every consistent global state of ``dep`` satisfies
+    ``pred`` -- i.e. every global sequence satisfies it, i.e. the deposet
+    *satisfies B* in the paper's sense.  Control arrows of a controlled
+    deposet are honoured (detection runs over the extended causality).
+    """
+    truth = local_truth_table(dep, pred)
+    return find_conjunctive_cut(dep, [~t for t in truth])

@@ -1,0 +1,52 @@
+"""Exhaustive possibly/definitely detection by walking the cut lattice.
+
+Ground truth for small traces; exponential in general (that is Lemma 1).
+
+* ``possibly(pred)``  -- some consistent cut satisfies ``pred``;
+* ``definitely(pred)`` -- every global sequence passes through a cut
+  satisfying ``pred``, i.e. there is **no** global sequence all of whose
+  cuts satisfy ``not pred``.  Global sequences may advance several
+  processes at once, so this is evaluated with subset moves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.predicates.base import Predicate
+from repro.trace.deposet import Deposet
+from repro.trace.global_state import Cut, CutLattice
+
+__all__ = ["possibly_exhaustive", "definitely_exhaustive", "violating_cuts"]
+
+
+def possibly_exhaustive(dep: Deposet, pred: Predicate) -> Optional[Cut]:
+    """The first consistent cut (in BFS order) satisfying ``pred``."""
+    lat = CutLattice(dep)
+    for cut in lat.iter_consistent_cuts():
+        if pred.evaluate(dep, cut):
+            return cut
+    return None
+
+
+def definitely_exhaustive(dep: Deposet, pred: Predicate) -> bool:
+    """Does every global sequence hit a cut satisfying ``pred``?"""
+    lat = CutLattice(dep)
+    return not lat.exists_satisfying_sequence(
+        lambda cut: not pred.evaluate(dep, cut)
+    )
+
+
+def violating_cuts(dep: Deposet, safety: Predicate) -> List[Cut]:
+    """All consistent cuts violating a safety predicate (BFS order).
+
+    This is the "detect the bug, then look at where it can happen" step of
+    the paper's Section 7 walkthrough (the global states G and H of
+    Figure 4).
+    """
+    lat = CutLattice(dep)
+    return [
+        cut
+        for cut in lat.iter_consistent_cuts()
+        if not safety.evaluate(dep, cut)
+    ]

@@ -1,0 +1,155 @@
+"""On-line (run-time) weak-conjunctive violation detection.
+
+The passive half of the paper's debugging cycle, executed *live*: a
+monitor observes a running system (via the simulator's
+:class:`~repro.sim.system.Observer` hook), maintains vector clocks, and
+detects -- while the run is still in progress -- every consistent global
+state in which all local conditions are false.  This is the classic
+Garg-Waldecker weak-conjunctive-predicate detector in its on-line,
+checker-process form: each process contributes a queue of candidate
+(false) states stamped with vector clocks; whenever two queue heads are
+causally ordered the earlier one is eliminated; when the heads are pairwise
+concurrent they form a violating cut.
+
+The monitor is deliberately the mirror image of
+:class:`~repro.core.online.OnlineDisjunctiveControl`: same per-process
+local conditions, but *watching* instead of *blocking* -- run both to see
+detection report nothing once control is active.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.causality.vector_clock import VectorClock
+from repro.errors import OnlineControlError
+from repro.sim.system import Observer
+
+__all__ = ["Violation", "ViolationMonitor"]
+
+LocalCondition = Callable[[Dict[str, Any]], bool]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected violating global state."""
+
+    cut: Tuple[int, ...]
+    detected_at: float
+
+
+class ViolationMonitor(Observer):
+    """Detects cuts where **every** local condition is false, on-line.
+
+    Parameters
+    ----------
+    conditions:
+        ``conditions[i]`` is ``l_i`` over ``P_i``'s variables; a violation
+        is a consistent global state with all ``l_i`` false (the negation
+        of the disjunction ``l_1 v ... v l_n``).
+
+    After (or during) a run, ``violations`` holds the disjoint witnesses
+    found, in causal order; ``first`` is the least one -- it equals
+    ``possibly_bad`` on the recorded trace of the same run.
+    """
+
+    def __init__(self, conditions: List[LocalCondition]):
+        self.conditions = list(conditions)
+        self.n = len(conditions)
+        self.violations: List[Violation] = []
+        self._clocks: List[VectorClock] = []
+        #: clock of every past state, per process (control-merge lookups)
+        self._history: List[List[VectorClock]] = [[] for _ in range(self.n)]
+        self._send_clocks: Dict[int, VectorClock] = {}
+        #: control-induced merges waiting for the target's next event
+        self._pending_merge: List[List[VectorClock]] = [[] for _ in range(self.n)]
+        self._queues: List[Deque[Tuple[int, VectorClock]]] = [
+            deque() for _ in range(self.n)
+        ]
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, system) -> None:
+        super().attach(system)
+        if self.n != system.n:
+            raise OnlineControlError(
+                f"{self.n} conditions for {system.n} processes"
+            )
+        for i in range(self.n):
+            clock = VectorClock.zero(self.n).tick(i)  # state 0's clock
+            self._clocks.append(clock)
+            self._history[i].append(clock)
+            if not self.conditions[i](system.recorder.current_vars(i)):
+                self._queues[i].append((0, clock))
+        self._sweep()
+
+    @property
+    def first(self) -> Optional[Tuple[int, ...]]:
+        return self.violations[0].cut if self.violations else None
+
+    # -- observation --------------------------------------------------------------
+
+    def on_control(self, src_proc, dst_proc, src_state) -> None:
+        # "entered" semantics: the message proves enter(src_state) precedes
+        # dst's next entered state, i.e. src_state's *predecessor* completed
+        # before it -- merge that predecessor's clock (no content when the
+        # sender was still in its start state).
+        if src_state >= 1:
+            self._pending_merge[dst_proc].append(
+                self._history[src_proc][src_state - 1]
+            )
+
+    def on_event(self, proc, index, vars, kind, msg_uid=None) -> None:
+        clock = self._clocks[proc].tick(proc)
+        if kind == "receive" and msg_uid is not None:
+            sender_clock = self._send_clocks.pop(msg_uid, None)
+            if sender_clock is not None:
+                clock = clock.merge(sender_clock)
+        for merged in self._pending_merge[proc]:
+            clock = clock.merge(merged)
+        self._pending_merge[proc].clear()
+        self._clocks[proc] = clock
+        self._history[proc].append(clock)
+        if kind == "send" and msg_uid is not None:
+            self._send_clocks[msg_uid] = clock
+        if not self.conditions[proc](vars):
+            self._queues[proc].append((index, clock))
+            self._sweep()
+
+    # -- the checker ---------------------------------------------------------------
+
+    def _heads(self) -> Optional[List[Tuple[int, VectorClock]]]:
+        if any(not q for q in self._queues):
+            return None
+        return [q[0] for q in self._queues]
+
+    def _sweep(self) -> None:
+        """Run candidate elimination until a cut is found or a queue dries."""
+        while True:
+            heads = self._heads()
+            if heads is None:
+                return
+            eliminated = False
+            for i in range(self.n):
+                ai, _ = heads[i]
+                for j in range(self.n):
+                    if i == j:
+                        continue
+                    _, vj = heads[j]
+                    if vj[i] >= ai:  # state ai on P_i precedes head_j: drop it
+                        self._queues[i].popleft()
+                        eliminated = True
+                        break
+                if eliminated:
+                    break
+            if eliminated:
+                continue
+            # pairwise concurrent: a violating consistent global state
+            cut = tuple(heads[i][0] for i in range(self.n))
+            self.violations.append(
+                Violation(cut=cut, detected_at=self.system.queue.now)
+            )
+            for q in self._queues:
+                q.popleft()  # continue looking for disjoint later witnesses

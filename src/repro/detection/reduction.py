@@ -1,0 +1,96 @@
+"""The SAT -> SGSD reduction of Figure 1 (Lemma 1).
+
+For a CNF formula ``b`` over variables ``x_1..x_m``:
+
+* each variable gets its own process with two states -- ``x`` true, then
+  ``x`` false (no messages anywhere, so every cut is consistent);
+* one extra process ``P_{m+1}`` runs true -> false -> true;
+* the SGSD predicate is ``B = b v x_{m+1}``.
+
+Every global sequence must at some cut have ``P_{m+1}`` in its middle
+(false) state -- local states cannot be skipped -- and at that cut ``B``
+degenerates to ``b`` evaluated at the variable processes' current states.
+Hence a satisfying global sequence exists iff ``b`` is satisfiable, and the
+witness cut's variable states decode the satisfying assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.predicates.base import Predicate
+from repro.predicates.boolean import And, Not, Or
+from repro.predicates.local import LocalPredicate
+from repro.sat.cnf import CNF
+from repro.trace.deposet import Deposet
+from repro.trace.global_state import Cut
+
+__all__ = ["SGSDInstance", "sat_to_sgsd", "decode_assignment"]
+
+
+@dataclass(frozen=True)
+class SGSDInstance:
+    """The deposet/predicate pair produced by the reduction."""
+
+    deposet: Deposet
+    predicate: Predicate
+    num_vars: int
+
+    @property
+    def aux_proc(self) -> int:
+        """Index of the extra process ``P_{m+1}``."""
+        return self.num_vars
+
+
+def _literal_predicate(lit: int) -> Predicate:
+    proc = abs(lit) - 1
+    var_true = LocalPredicate.var_true(proc, "x")
+    return var_true if lit > 0 else Not(var_true)
+
+
+def cnf_predicate(cnf: CNF) -> Predicate:
+    """``b`` as a global predicate over the variable processes."""
+    if not cnf.clauses:
+        from repro.predicates.base import TRUE
+
+        return TRUE
+    return And(*(Or(*map(_literal_predicate, clause)) if clause else _false()
+                 for clause in cnf.clauses))
+
+
+def _false() -> Predicate:
+    from repro.predicates.base import FALSE
+
+    return FALSE
+
+
+def sat_to_sgsd(cnf: CNF) -> SGSDInstance:
+    """Build the Figure 1 instance for ``cnf``."""
+    m = cnf.num_vars
+    states: List[List[dict]] = [
+        [{"x": True}, {"x": False}] for _ in range(m)
+    ]
+    states.append([{"x": True}, {"x": False}, {"x": True}])
+    dep = Deposet(
+        states,
+        proc_names=[f"x{v}" for v in range(1, m + 1)] + ["aux"],
+    )
+    predicate = Or(cnf_predicate(cnf), LocalPredicate.var_true(m, "x"))
+    return SGSDInstance(dep, predicate, m)
+
+
+def decode_assignment(
+    instance: SGSDInstance, sequence: Sequence[Cut]
+) -> Optional[List[bool]]:
+    """Extract the satisfying assignment from a witness sequence.
+
+    Looks for a cut where the auxiliary process sits in its middle (false)
+    state; the variable processes' positions there give the assignment
+    (state 0 = true, state 1 = false).  Returns ``None`` if no such cut is
+    on the sequence (then the sequence cannot be a valid witness).
+    """
+    for cut in sequence:
+        if cut[instance.aux_proc] == 1:
+            return [cut[v] == 0 for v in range(instance.num_vars)]
+    return None

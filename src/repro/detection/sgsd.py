@@ -1,0 +1,41 @@
+"""Satisfying Global Sequence Detection (SGSD) -- Lemma 1's problem.
+
+Given a deposet and a global predicate ``B``, decide whether some global
+sequence satisfies ``B`` at every one of its cuts, and produce a witness
+sequence.  NP-complete for general ``B`` (the paper reduces SAT to it), so
+this implementation is an exhaustive memoised search over the consistent-cut
+lattice with subset moves; it is meant for small instances -- the efficient
+path for disjunctive predicates is :mod:`repro.core.offline`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.predicates.base import Predicate
+from repro.trace.deposet import Deposet
+from repro.trace.global_state import Cut, CutLattice
+
+__all__ = ["sgsd", "sgsd_feasible"]
+
+
+def sgsd(dep: Deposet, pred: Predicate, moves: str = "subset") -> Optional[List[Cut]]:
+    """A global sequence satisfying ``pred`` everywhere, or ``None``.
+
+    The returned sequence starts at ``bottom``, ends at ``top``, and every
+    cut on it is consistent and satisfies ``pred``.  With the default
+    ``moves="subset"`` each step advances a nonempty subset of processes by
+    one state (the paper's sequence semantics); ``moves="single"`` restricts
+    to one process per step, which is the class of sequences a control
+    strategy can enforce (simultaneity is not implementable in an
+    asynchronous system).
+    """
+    lat = CutLattice(dep)
+    return lat.find_satisfying_sequence(
+        lambda cut: pred.evaluate(dep, cut), moves=moves
+    )
+
+
+def sgsd_feasible(dep: Deposet, pred: Predicate, moves: str = "subset") -> bool:
+    """Does a satisfying global sequence exist?  (Lemma 1's decision form.)"""
+    return sgsd(dep, pred, moves=moves) is not None

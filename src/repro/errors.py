@@ -1,0 +1,103 @@
+"""Exception hierarchy for the predicate-control library.
+
+Every error raised on purpose by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still distinguishing the interesting cases:
+
+* :class:`MalformedTraceError` -- a deposet violates the model constraints
+  (D1--D3 of the paper, or causality contains a cycle).
+* :class:`NoControllerExistsError` -- the predicate-control algorithm proved
+  the predicate infeasible for the given computation (Lemma 2 of the paper:
+  an overlapping set of false-intervals exists).
+* :class:`InterferenceError` -- a proposed control relation interferes with
+  the computation's causality (would create a cycle in the extended
+  happened-before relation), so no valid controlled deposet exists for it.
+* :class:`ReplayDeadlockError` -- a controlled replay could not make
+  progress; operationally this is how interference manifests at run time.
+* :class:`SimulationError` -- the discrete-event substrate was driven into
+  an invalid configuration (e.g. a message to an unknown process).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "MalformedTraceError",
+    "PredicateError",
+    "NotDisjunctiveError",
+    "NoControllerExistsError",
+    "InterferenceError",
+    "ReplayDeadlockError",
+    "SimulationError",
+    "OnlineControlError",
+    "AssumptionViolationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class MalformedTraceError(ReproError):
+    """A trace/deposet violates the model constraints (D1, D2, D3, acyclicity)."""
+
+
+class PredicateError(ReproError):
+    """A predicate was used in a way its class does not support."""
+
+
+class NotDisjunctiveError(PredicateError):
+    """A predicate could not be normalised to disjunctive form.
+
+    The efficient algorithms of Sections 5-6 of the paper require
+    ``B = l_1 v l_2 v ... v l_n`` with ``l_i`` local to process ``i``.
+    """
+
+
+class NoControllerExistsError(ReproError):
+    """Predicate control is infeasible for the given computation.
+
+    Raised by the off-line algorithm (Figure 2 of the paper) when it detects
+    an overlapping set of false-intervals: by Lemma 2 *every* global sequence
+    of the computation passes through a global state violating ``B``, so no
+    control strategy can satisfy ``B``.
+    """
+
+    def __init__(self, message: str = "No Controller Exists", *, witness=None):
+        super().__init__(message)
+        #: Optional overlap witness: one false-interval per process.
+        self.witness = witness
+
+
+class InterferenceError(ReproError):
+    """A control relation interferes with causality (creates a cycle)."""
+
+    def __init__(self, message: str = "control relation interferes with causality", *, cycle=None):
+        super().__init__(message)
+        #: Optional list of states forming the offending cycle.
+        self.cycle = cycle
+
+
+class ReplayDeadlockError(ReproError):
+    """A controlled replay deadlocked (no process can take its next step)."""
+
+    def __init__(self, message: str = "replay deadlocked", *, blocked=None):
+        super().__init__(message)
+        #: Optional mapping of process -> description of what it waits for.
+        self.blocked = blocked
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid configuration."""
+
+
+class OnlineControlError(ReproError):
+    """An on-line control strategy failed (protocol violation or deadlock)."""
+
+
+class AssumptionViolationError(OnlineControlError):
+    """A program violates assumption A1 or A2 required by on-line control.
+
+    A1: a process never blocks in a state where its local predicate is false.
+    A2: the local predicate holds in every final state.
+    """

@@ -1,0 +1,31 @@
+"""``(n-1)``-mutual exclusion: the paper's application of on-line control.
+
+Section 6 observes that with ``l_i = not cs_i`` the scapegoat strategy
+*is* an ``(n-1)``-mutual-exclusion algorithm -- at all times at least one
+process is outside its critical section -- costing **2 control messages per
+n CS entries** with response time in ``[2T, 2T + E_max]``, against k-mutex
+algorithms that pay per *entry*.  This package provides:
+
+* :func:`run_mutex_workload` -- a common driver: each process loops
+  think -> enter CS -> compute -> exit CS on the simulator, under one of
+  the algorithms below, collecting messages/entry and response times;
+* ``antitoken`` / ``antitoken-broadcast`` -- on-line predicate control
+  (:class:`~repro.core.online.OnlineDisjunctiveControl`);
+* ``central`` -- a coordinator granting up to ``k`` simultaneous entries
+  (3 messages per CS, baseline);
+* ``raymond`` -- Raymond-style permission-based k-mutex (broadcast request,
+  enter after ``n-k`` replies; ``2(n-1)`` messages per CS, baseline).
+"""
+
+from repro.mutex.metrics import MutexReport
+from repro.mutex.driver import run_mutex_workload, ALGORITHMS
+from repro.mutex.central import CentralKMutex
+from repro.mutex.raymond import RaymondKMutex
+
+__all__ = [
+    "MutexReport",
+    "run_mutex_workload",
+    "ALGORITHMS",
+    "CentralKMutex",
+    "RaymondKMutex",
+]

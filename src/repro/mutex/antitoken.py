@@ -1,0 +1,68 @@
+"""The paper's ``(n-1)``-mutex: on-line predicate control with
+``l_i = not cs_i`` (the anti-token / scapegoat strategy)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.core.online import OnlineDisjunctiveControl
+from repro.mutex.base import CS_VAR
+
+__all__ = ["AntiTokenMutex"]
+
+
+class AntiTokenMutex(OnlineDisjunctiveControl):
+    """Scapegoat controllers specialised to critical sections, with the
+    metrics the mutex experiments need.
+
+    The scapegoat is the one process that must stay *out* of the CS until
+    another takes the liability over; everyone else enters with zero
+    messages and zero delay.
+    """
+
+    def __init__(self, n: int, strategy: str = "unicast", peer_selection: str = "ring", seed: int = 0):
+        conditions = [
+            (lambda vars, _i=i: not vars.get(CS_VAR, False)) for i in range(n)
+        ]
+        super().__init__(
+            conditions, strategy=strategy, peer_selection=peer_selection, seed=seed
+        )
+        self.k = n - 1
+        self.entries = 0
+        self.response_times: List[float] = []
+        self.max_concurrent = 0
+
+    def request_transition(
+        self,
+        proc: int,
+        updates: Dict[str, Any],
+        next_vars: Dict[str, Any],
+        commit: Callable[[], None],
+    ) -> None:
+        cur = self.system.recorder.current_vars(proc)
+        entering = bool(next_vars.get(CS_VAR)) and not cur.get(CS_VAR)
+        if entering:
+            self.entries += 1
+            asked_at = self.system.queue.now
+
+            def timed_commit() -> None:
+                self.response_times.append(self.system.queue.now - asked_at)
+                commit()
+                self._track_concurrency()
+
+            super().request_transition(proc, updates, next_vars, timed_commit)
+        else:
+            def tracked_commit() -> None:
+                commit()
+                self._track_concurrency()
+
+            super().request_transition(proc, updates, next_vars, tracked_commit)
+
+    def _track_concurrency(self) -> None:
+        inside = sum(
+            1
+            for i in range(self.system.n)
+            if self.system.recorder.current_vars(i).get(CS_VAR)
+        )
+        if inside > self.max_concurrent:
+            self.max_concurrent = inside

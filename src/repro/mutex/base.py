@@ -1,0 +1,84 @@
+"""Shared machinery for critical-section guards.
+
+A mutex algorithm is a :class:`~repro.sim.system.TransitionGuard` that
+intercepts the ``cs: False -> True`` (enter) and ``cs: True -> False``
+(exit) transitions of the common workload program.  The base class does the
+bookkeeping every algorithm needs -- response times, entry counts, and the
+safety tracker (maximum number of processes simultaneously inside the CS,
+measured at every commit) -- so subclasses only implement ``on_enter`` /
+``on_exit``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.sim.system import TransitionGuard
+
+__all__ = ["CSGuardBase", "CS_VAR"]
+
+CS_VAR = "cs"
+
+
+class CSGuardBase(TransitionGuard):
+    """Metrics + dispatch for critical-section algorithms."""
+
+    def __init__(self) -> None:
+        self.response_times: List[float] = []
+        self.entries = 0
+        self.max_concurrent = 0
+        self.violations: List[str] = []
+
+    # -- subclass protocol ---------------------------------------------------
+
+    def on_enter(self, proc: int, grant: Callable[[], None]) -> None:
+        """Called when ``proc`` asks to enter; call ``grant()`` to admit."""
+        grant()
+
+    def on_exit(self, proc: int, release: Callable[[], None]) -> None:
+        """Called when ``proc`` leaves; call ``release()`` to commit."""
+        release()
+
+    def after_commit(self, proc: int) -> None:
+        """Hook after any commit (default: nothing)."""
+
+    # -- guard plumbing ----------------------------------------------------------
+
+    def request_transition(
+        self,
+        proc: int,
+        updates: Dict[str, Any],
+        next_vars: Dict[str, Any],
+        commit: Callable[[], None],
+    ) -> None:
+        cur = self.system.recorder.current_vars(proc)
+        entering = bool(next_vars.get(CS_VAR)) and not cur.get(CS_VAR)
+        exiting = not next_vars.get(CS_VAR) and bool(cur.get(CS_VAR))
+
+        def finish() -> None:
+            commit()
+            self._track_concurrency()
+            self.after_commit(proc)
+
+        if entering:
+            self.entries += 1
+            asked_at = self.system.queue.now
+
+            def grant() -> None:
+                self.response_times.append(self.system.queue.now - asked_at)
+                finish()
+
+            self.on_enter(proc, grant)
+        elif exiting:
+            self.on_exit(proc, finish)
+        else:
+            finish()
+
+    def _track_concurrency(self) -> None:
+        inside = sum(
+            1
+            for i in range(self.system.n)
+            if self.system.recorder.current_vars(i).get(CS_VAR)
+        )
+        if inside > self.max_concurrent:
+            self.max_concurrent = inside

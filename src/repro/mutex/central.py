@@ -1,0 +1,82 @@
+"""Centralized-coordinator k-mutual exclusion (baseline).
+
+One coordinator (co-located with process ``home``) admits up to ``k``
+processes at a time, queuing further requests FIFO.  Costs 3 messages per
+remote critical-section entry (request, grant, release; the co-located
+process pays none), response time ``2T`` uncontested.  The classic
+simplest correct k-mutex -- the yardstick the anti-token strategy's
+2-messages-per-``n``-entries is measured against in experiment E8.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+from repro.mutex.base import CSGuardBase
+
+__all__ = ["CentralKMutex"]
+
+
+class CentralKMutex(CSGuardBase):
+    """Coordinator-based k-mutex as a transition guard."""
+
+    def __init__(self, k: int, home: int = 0):
+        super().__init__()
+        if k < 1:
+            raise ValueError(f"need k >= 1, got {k}")
+        self.k = k
+        self.home = home
+        self._active = 0
+        self._queue: Deque[Tuple[int, Callable[[], None]]] = deque()
+
+    # -- coordinator logic (runs at `home`) -----------------------------------
+
+    def _coord_request(self, proc: int, grant_cb: Callable[[], None]) -> None:
+        if self._active < self.k:
+            self._active += 1
+            self._reply_grant(proc, grant_cb)
+        else:
+            self._queue.append((proc, grant_cb))
+
+    def _coord_release(self) -> None:
+        if self._queue:
+            proc, grant_cb = self._queue.popleft()
+            self._reply_grant(proc, grant_cb)
+        else:
+            self._active -= 1
+
+    def _reply_grant(self, proc: int, grant_cb: Callable[[], None]) -> None:
+        if proc == self.home:
+            grant_cb()
+        else:
+            self.system.send_control(
+                self.home, proc, grant_cb, lambda d: d.payload(), tag="grant"
+            )
+
+    # -- guard protocol ------------------------------------------------------------
+
+    def on_enter(self, proc: int, grant: Callable[[], None]) -> None:
+        if proc == self.home:
+            self._coord_request(proc, grant)
+        else:
+            self.system.send_control(
+                proc,
+                self.home,
+                (proc, grant),
+                lambda d: self._coord_request(*d.payload),
+                tag="request",
+            )
+
+    def on_exit(self, proc: int, release: Callable[[], None]) -> None:
+        release()  # leave the CS immediately...
+        if proc == self.home:
+            self._coord_release()
+        else:
+            self.system.send_control(
+                proc,
+                self.home,
+                None,
+                lambda d: self._coord_release(),
+                tag="release",
+            )

@@ -1,0 +1,63 @@
+"""Metrics collected from mutual-exclusion workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["MutexReport"]
+
+
+@dataclass
+class MutexReport:
+    """Everything the E7/E8/E11 experiments report about one run.
+
+    ``response_times`` holds one entry per critical-section entry: the
+    delay between the process *asking* to enter and actually entering
+    (0 for uncontested entries under the anti-token strategy).
+    """
+
+    algorithm: str
+    n: int
+    k: int
+    entries: int
+    control_messages: int
+    response_times: List[float] = field(default_factory=list)
+    duration: float = 0.0
+    max_concurrent_cs: int = 0
+    violations: List[str] = field(default_factory=list)
+    deadlocked: bool = False
+
+    @property
+    def messages_per_entry(self) -> float:
+        return self.control_messages / self.entries if self.entries else 0.0
+
+    @property
+    def mean_response(self) -> float:
+        return float(np.mean(self.response_times)) if self.response_times else 0.0
+
+    @property
+    def max_response(self) -> float:
+        return float(np.max(self.response_times)) if self.response_times else 0.0
+
+    @property
+    def safe(self) -> bool:
+        """No more than ``k`` processes were ever in the CS, and no
+        invariant violations were recorded."""
+        return self.max_concurrent_cs <= self.k and not self.violations
+
+    def row(self) -> Dict[str, object]:
+        """A flat dict for the bench harness tables."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "k": self.k,
+            "entries": self.entries,
+            "msgs/entry": round(self.messages_per_entry, 3),
+            "mean_resp": round(self.mean_response, 3),
+            "max_resp": round(self.max_response, 3),
+            "max_in_cs": self.max_concurrent_cs,
+            "safe": self.safe,
+        }

@@ -1,0 +1,106 @@
+"""Raymond-style permission-based k-mutual exclusion (baseline).
+
+Ricart-Agrawala generalised to ``k`` simultaneous entries (Raymond 1989):
+a requester timestamps its request (Lamport clock), broadcasts it to the
+other ``n-1`` processes, and enters once ``n-k`` replies have arrived.  A
+process defers its reply while it is inside the CS, or while it has an
+outstanding request with higher priority (smaller ``(timestamp, id)``);
+deferred replies are sent on exit.
+
+Safety sketch: were ``k+1`` processes inside simultaneously, the one whose
+request is latest would have been deferred by the other ``k``, leaving it
+at most ``n-1-k`` replies -- below its ``n-k`` threshold.
+
+Costs ``2(n-1)`` messages per entry regardless of contention, which is the
+contrast experiment E8 draws against the anti-token strategy at
+``k = n-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.mutex.base import CSGuardBase
+
+__all__ = ["RaymondKMutex"]
+
+
+class RaymondKMutex(CSGuardBase):
+    """Permission-based k-mutex as a transition guard."""
+
+    def __init__(self, n: int, k: int):
+        super().__init__()
+        if not (1 <= k <= n):
+            raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+        self.n = n
+        self.k = k
+        self.clock = [0] * n
+        self.requesting: List[Optional[Tuple[int, int]]] = [None] * n  # (ts, id)
+        self.in_cs = [False] * n
+        self.replies_needed = [0] * n
+        # deferred replies: (requester, request ts) pairs
+        self.deferred: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        self._grants: List[Optional[Callable[[], None]]] = [None] * n
+
+    # -- protocol messages -------------------------------------------------------
+
+    def _send(self, src: int, dst: int, payload, tag: str) -> None:
+        self.system.send_control(src, dst, payload, self._on_message, tag=tag)
+
+    def _on_message(self, delivery) -> None:
+        kind, *args = delivery.payload
+        if kind == "request":
+            self._on_request(delivery.dst, *args)
+        elif kind == "reply":
+            self._on_reply(delivery.dst, *args)
+        else:  # pragma: no cover - internal protocol
+            raise SimulationError(f"unknown mutex message {delivery.payload!r}")
+
+    def _on_request(self, proc: int, ts: int, requester: int) -> None:
+        self.clock[proc] = max(self.clock[proc], ts) + 1
+        mine = self.requesting[proc]
+        defer = self.in_cs[proc] or (mine is not None and mine < (ts, requester))
+        if defer:
+            self.deferred[proc].append((requester, ts))
+        else:
+            self._send(proc, requester, ("reply", ts), "reply")
+
+    def _on_reply(self, proc: int, ts: int) -> None:
+        # Replies are matched to the round they answer: with k > 1 a process
+        # enters after n-k replies, and the remaining replies of that round
+        # straggle in later -- they must not count towards the next round.
+        mine = self.requesting[proc]
+        if mine is None or mine[0] != ts:
+            return
+        self.replies_needed[proc] -= 1
+        if self.replies_needed[proc] == 0 and self._grants[proc] is not None:
+            grant = self._grants[proc]
+            self._grants[proc] = None
+            self.requesting[proc] = None
+            self.in_cs[proc] = True
+            grant()
+
+    # -- guard protocol --------------------------------------------------------------
+
+    def on_enter(self, proc: int, grant: Callable[[], None]) -> None:
+        self.clock[proc] += 1
+        ts = self.clock[proc]
+        self.requesting[proc] = (ts, proc)
+        self.replies_needed[proc] = self.n - self.k
+        if self.replies_needed[proc] == 0:  # k == n: trivially admitted
+            self.requesting[proc] = None
+            self.in_cs[proc] = True
+            grant()
+            return
+        self._grants[proc] = grant
+        for j in range(self.n):
+            if j != proc:
+                self._send(proc, j, ("request", ts, proc), "request")
+
+    def on_exit(self, proc: int, release: Callable[[], None]) -> None:
+        self.in_cs[proc] = False
+        release()
+        deferred, self.deferred[proc] = self.deferred[proc], []
+        for j, ts in deferred:
+            self._send(proc, j, ("reply", ts), "reply")

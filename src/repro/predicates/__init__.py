@@ -1,0 +1,38 @@
+"""Global predicates over deposets.
+
+The paper's predicate hierarchy:
+
+* a *local predicate* of process ``i`` is a boolean function of ``P_i``'s
+  variables (we also allow its state index, which expresses the paper's
+  "after x" / "before y" event-ordering predicates);
+* a *global predicate* combines local predicates with ``and``/``or``/``not``;
+* a *disjunctive predicate* is ``B = l_1 v l_2 v ... v l_n`` with ``l_i``
+  local to ``P_i`` -- the class for which predicate control is tractable.
+
+:func:`as_disjunctive` normalises arbitrary boolean combinations into
+disjunctive form when possible (local-only subtrees on the same process are
+folded into a single local predicate), raising
+:class:`~repro.errors.NotDisjunctiveError` otherwise.
+"""
+
+from repro.predicates.base import Predicate, StateInfo, TRUE, FALSE
+from repro.predicates.local import LocalPredicate
+from repro.predicates.boolean import And, Or, Not
+from repro.predicates.disjunctive import DisjunctivePredicate, as_disjunctive
+from repro.predicates.intervals import FalseInterval, false_intervals, local_truth_table
+
+__all__ = [
+    "Predicate",
+    "StateInfo",
+    "TRUE",
+    "FALSE",
+    "LocalPredicate",
+    "And",
+    "Or",
+    "Not",
+    "DisjunctivePredicate",
+    "as_disjunctive",
+    "FalseInterval",
+    "false_intervals",
+    "local_truth_table",
+]

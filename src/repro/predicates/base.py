@@ -1,0 +1,84 @@
+"""Predicate abstract base class and constants."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, FrozenSet, NamedTuple, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.deposet import Deposet
+
+__all__ = ["StateInfo", "Predicate", "TruePredicate", "FalsePredicate", "TRUE", "FALSE"]
+
+
+class StateInfo(NamedTuple):
+    """What a local predicate may observe about one local state."""
+
+    proc: int
+    index: int
+    vars: Dict[str, Any]
+
+
+class Predicate(abc.ABC):
+    """A boolean function of global states of a deposet.
+
+    ``B(G)`` is evaluated by :meth:`evaluate` on a cut (tuple of one state
+    index per process).  Subclasses must also report which processes their
+    truth value depends on (:meth:`procs`), which drives disjunctive
+    normalisation.
+    """
+
+    @abc.abstractmethod
+    def evaluate(self, dep: "Deposet", cut: Sequence[int]) -> bool:
+        """The value ``B(G)`` at global state ``cut``."""
+
+    @abc.abstractmethod
+    def procs(self) -> FrozenSet[int]:
+        """Processes whose local state can influence this predicate."""
+
+    # -- operator sugar ------------------------------------------------------
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        from repro.predicates.boolean import Or
+
+        return Or(self, other)
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        from repro.predicates.boolean import And
+
+        return And(self, other)
+
+    def __invert__(self) -> "Predicate":
+        from repro.predicates.boolean import Not
+
+        return Not(self)
+
+
+class TruePredicate(Predicate):
+    """The constant ``true``."""
+
+    def evaluate(self, dep: "Deposet", cut: Sequence[int]) -> bool:
+        return True
+
+    def procs(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class FalsePredicate(Predicate):
+    """The constant ``false``."""
+
+    def evaluate(self, dep: "Deposet", cut: Sequence[int]) -> bool:
+        return False
+
+    def procs(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+TRUE = TruePredicate()
+FALSE = FalsePredicate()

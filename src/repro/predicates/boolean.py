@@ -1,0 +1,70 @@
+"""Boolean combinators over predicates."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, TYPE_CHECKING, Tuple
+
+from repro.predicates.base import Predicate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.deposet import Deposet
+
+__all__ = ["And", "Or", "Not"]
+
+
+class _NaryOp(Predicate):
+    symbol = "?"
+
+    def __init__(self, *operands: Predicate):
+        if not operands:
+            raise ValueError(f"{type(self).__name__} needs at least one operand")
+        flat = []
+        for op in operands:
+            if type(op) is type(self):
+                flat.extend(op.operands)  # associativity: flatten nested same-ops
+            else:
+                flat.append(op)
+        self.operands: Tuple[Predicate, ...] = tuple(flat)
+
+    def procs(self) -> FrozenSet[int]:
+        out: FrozenSet[int] = frozenset()
+        for op in self.operands:
+            out |= op.procs()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + f" {self.symbol} ".join(map(repr, self.operands)) + ")"
+
+
+class And(_NaryOp):
+    """Conjunction; short-circuits."""
+
+    symbol = "&"
+
+    def evaluate(self, dep: "Deposet", cut: Sequence[int]) -> bool:
+        return all(op.evaluate(dep, cut) for op in self.operands)
+
+
+class Or(_NaryOp):
+    """Disjunction; short-circuits."""
+
+    symbol = "|"
+
+    def evaluate(self, dep: "Deposet", cut: Sequence[int]) -> bool:
+        return any(op.evaluate(dep, cut) for op in self.operands)
+
+
+class Not(Predicate):
+    """Negation."""
+
+    def __init__(self, operand: Predicate):
+        self.operand = operand
+
+    def evaluate(self, dep: "Deposet", cut: Sequence[int]) -> bool:
+        return not self.operand.evaluate(dep, cut)
+
+    def procs(self) -> FrozenSet[int]:
+        return self.operand.procs()
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"

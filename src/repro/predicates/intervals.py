@@ -1,0 +1,103 @@
+"""False-intervals: maximal runs of local states violating a local predicate.
+
+The off-line algorithm (Figure 2 of the paper) and Lemma 2's *overlap*
+condition are phrased entirely in terms of these intervals: ``I.lo`` /
+``I.hi`` are the first and last states of a maximal run where ``l_i`` is
+false.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.causality.relations import StateRef
+from repro.predicates.disjunctive import DisjunctivePredicate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.deposet import Deposet
+
+__all__ = ["FalseInterval", "local_truth_table", "false_intervals"]
+
+
+@dataclass(frozen=True)
+class FalseInterval:
+    """A maximal run ``[lo, hi]`` of consecutive false states on ``proc``."""
+
+    proc: int
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @property
+    def lo_ref(self) -> StateRef:
+        return StateRef(self.proc, self.lo)
+
+    @property
+    def hi_ref(self) -> StateRef:
+        return StateRef(self.proc, self.hi)
+
+    def __len__(self) -> int:
+        return self.hi - self.lo + 1
+
+    def __contains__(self, index: int) -> bool:
+        return self.lo <= index <= self.hi
+
+    def __repr__(self) -> str:
+        return f"I[{self.proc}: {self.lo}..{self.hi}]"
+
+
+def local_truth_table(dep: "Deposet", pred: DisjunctivePredicate) -> List[np.ndarray]:
+    """``table[i][a]`` = value of ``l_i`` at state ``a`` of process ``i``.
+
+    Processes without a disjunct get all-false rows (they can never satisfy
+    the disjunction).
+    """
+    if pred.n > dep.n:
+        raise ValueError(
+            f"predicate spans {pred.n} processes, deposet has {dep.n}"
+        )
+    table: List[np.ndarray] = []
+    for i in range(dep.n):
+        local = pred.local(i)
+        m = dep.state_counts[i]
+        if local is None:
+            table.append(np.zeros(m, dtype=bool))
+        else:
+            table.append(
+                np.fromiter(
+                    (local.holds_at(dep, a) for a in range(m)),
+                    dtype=bool,
+                    count=m,
+                )
+            )
+    return table
+
+
+def false_intervals(
+    dep: "Deposet", pred: DisjunctivePredicate
+) -> List[List[FalseInterval]]:
+    """Per-process lists of maximal false-intervals, in execution order."""
+    return intervals_from_truth(local_truth_table(dep, pred))
+
+
+def intervals_from_truth(table: Sequence[np.ndarray]) -> List[List[FalseInterval]]:
+    """Extract maximal false runs from per-process truth arrays."""
+    out: List[List[FalseInterval]] = []
+    for proc, truth in enumerate(table):
+        ivs: List[FalseInterval] = []
+        m = len(truth)
+        if m:
+            # boundaries of runs of False: diff over the inverted array
+            fal = ~np.asarray(truth, dtype=bool)
+            idx = np.flatnonzero(np.diff(np.concatenate(([False], fal, [False])).astype(np.int8)))
+            # idx pairs are (start, end+1) of each False run
+            for lo, hi_plus in zip(idx[0::2], idx[1::2]):
+                ivs.append(FalseInterval(proc, int(lo), int(hi_plus) - 1))
+        out.append(ivs)
+    return out

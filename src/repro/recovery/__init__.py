@@ -1,0 +1,25 @@
+"""Distributed recovery: the Conclusions' other off-line application.
+
+"Off-line predicate control would find applications wherever control is
+required when the computation is known a priori, such as in distributed
+recovery."  This package supplies the recovery substrate -- checkpoints,
+consistent recovery lines, the domino effect -- and the bridge to
+predicate control: after rolling a failed computation back to a consistent
+line, re-execute it *under control* so the re-run provably avoids the bad
+global states that preceded the failure.
+"""
+
+from repro.recovery.checkpoints import CheckpointPlan, periodic_checkpoints
+from repro.recovery.recovery_line import (
+    RecoveryAnalysis,
+    recovery_line,
+    recover_and_replay,
+)
+
+__all__ = [
+    "CheckpointPlan",
+    "periodic_checkpoints",
+    "RecoveryAnalysis",
+    "recovery_line",
+    "recover_and_replay",
+]

@@ -1,0 +1,77 @@
+"""Checkpoint plans: which local states have saved snapshots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.trace.deposet import Deposet
+
+__all__ = ["CheckpointPlan", "periodic_checkpoints"]
+
+
+class CheckpointError(ReproError):
+    """A checkpoint plan does not fit the computation."""
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """Per-process sorted tuples of checkpointed state indices.
+
+    Index 0 (the start state) is always an implicit checkpoint -- a process
+    can at worst restart from the beginning.
+    """
+
+    indices: Tuple[Tuple[int, ...], ...]
+
+    def __init__(self, indices: Sequence[Sequence[int]]):
+        norm = tuple(
+            tuple(sorted(set(int(i) for i in row) | {0})) for row in indices
+        )
+        object.__setattr__(self, "indices", norm)
+
+    @property
+    def n(self) -> int:
+        return len(self.indices)
+
+    def validate(self, dep: Deposet) -> None:
+        if self.n != dep.n:
+            raise CheckpointError(
+                f"plan covers {self.n} processes, computation has {dep.n}"
+            )
+        for i, row in enumerate(self.indices):
+            if row and row[-1] >= dep.state_counts[i]:
+                raise CheckpointError(
+                    f"checkpoint at state {row[-1]} of process {i}, which "
+                    f"has only {dep.state_counts[i]} states"
+                )
+
+    def latest_at_or_before(self, proc: int, state: int) -> int:
+        """The newest checkpoint of ``proc`` not after ``state``."""
+        best = 0
+        for idx in self.indices[proc]:
+            if idx <= state:
+                best = idx
+            else:
+                break
+        return best
+
+    def previous(self, proc: int, checkpoint: int) -> int:
+        """The checkpoint preceding ``checkpoint`` (0 bottoms out)."""
+        row = self.indices[proc]
+        pos = row.index(checkpoint)
+        return row[pos - 1] if pos > 0 else 0
+
+
+def periodic_checkpoints(dep: Deposet, every: int) -> CheckpointPlan:
+    """Uncoordinated periodic checkpointing: every ``every``-th state.
+
+    The classic plan that exhibits the domino effect on message-heavy
+    traces.
+    """
+    if every < 1:
+        raise CheckpointError(f"need every >= 1, got {every}")
+    return CheckpointPlan(
+        [list(range(0, m, every)) for m in dep.state_counts]
+    )

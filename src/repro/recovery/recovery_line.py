@@ -1,0 +1,133 @@
+"""Recovery lines: maximal consistent global checkpoints.
+
+After a failure, each process must roll back to a checkpoint such that the
+resulting global state is *consistent* -- in rollback terms: no **orphan
+messages** (received before the line but sent after it).  Rolling one
+process back can orphan another's checkpoint, forcing it back too: the
+**domino effect**, which uncoordinated checkpointing famously suffers.
+
+The fixpoint computation below is the standard rollback-propagation
+algorithm expressed with this library's state clocks: start from each
+process's newest checkpoint at or before its failure point; while some
+pair ``(i, j)`` has ``V(line[j])[i] >= line[i]`` (process ``j``'s
+checkpoint causally depends on a state process ``i`` has rolled past),
+move ``j`` to its previous checkpoint.  Termination: indices only
+decrease; state 0 is always consistent.  The result is the unique maximal
+consistent checkpoint cut dominated by the failure points (each individual
+rollback step is forced).
+
+Messages *in transit* across the line (sent before, received after) are
+reported: a real system must replay them from sender logs; our controlled
+re-execution regenerates them for free because replay re-runs the whole
+computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.control_relation import ControlRelation
+from repro.core.offline import control_disjunctive
+from repro.predicates.disjunctive import DisjunctivePredicate
+from repro.recovery.checkpoints import CheckpointPlan
+from repro.replay.engine import ReplayResult, replay
+from repro.trace.deposet import Deposet
+from repro.trace.states import MessageArrow
+
+__all__ = ["RecoveryAnalysis", "recovery_line", "recover_and_replay"]
+
+
+@dataclass(frozen=True)
+class RecoveryAnalysis:
+    """Everything the recovery coordinator needs to know."""
+
+    #: the failure points rolled back from (one state index per process)
+    failure: Tuple[int, ...]
+    #: the recovery line: a consistent global checkpoint <= failure
+    line: Tuple[int, ...]
+    #: per-process number of rollback steps the domino effect forced
+    #: beyond the initial checkpoint choice
+    domino_steps: Tuple[int, ...]
+    #: messages crossing the line forward (sent before, received after):
+    #: must be replayed from logs in a real system
+    in_transit: Tuple[MessageArrow, ...]
+    #: states of computation lost to the rollback
+    lost_states: int
+
+
+def recovery_line(
+    dep: Deposet,
+    plan: CheckpointPlan,
+    failure: Optional[Sequence[int]] = None,
+) -> RecoveryAnalysis:
+    """Compute the maximal consistent recovery line for a failure.
+
+    ``failure[i]`` is the last state process ``i`` reached before the
+    crash (defaults to the final states: a post-mortem analysis).
+    """
+    plan.validate(dep)
+    if failure is None:
+        failure = [m - 1 for m in dep.state_counts]
+    if len(failure) != dep.n:
+        raise ValueError(f"{len(failure)} failure points for {dep.n} processes")
+    for i, f in enumerate(failure):
+        if not (0 <= f < dep.state_counts[i]):
+            raise ValueError(f"failure point {f} outside process {i}")
+
+    order = dep.order
+    line: List[int] = [
+        plan.latest_at_or_before(i, failure[i]) for i in range(dep.n)
+    ]
+    initial = list(line)
+    # rollback propagation to the consistent fixpoint
+    changed = True
+    while changed:
+        changed = False
+        for j in range(dep.n):
+            row = order.clock((j, line[j]))
+            for i in range(dep.n):
+                if i != j and row[i] >= line[i]:
+                    # j's checkpoint depends on a state i rolled past:
+                    # j is orphaned, roll it back one checkpoint
+                    line[j] = plan.previous(j, line[j])
+                    changed = True
+                    break
+
+    domino = tuple(
+        plan.indices[i].index(initial[i]) - plan.indices[i].index(line[i])
+        for i in range(dep.n)
+    )
+    in_transit = tuple(
+        m for m in dep.messages
+        if m.src.index <= line[m.src.proc] and m.dst.index > line[m.dst.proc]
+    )
+    lost = sum(f - l for f, l in zip(failure, line))
+    return RecoveryAnalysis(
+        failure=tuple(failure),
+        line=tuple(line),
+        domino_steps=domino,
+        in_transit=in_transit,
+        lost_states=lost,
+    )
+
+
+def recover_and_replay(
+    dep: Deposet,
+    plan: CheckpointPlan,
+    safety: DisjunctivePredicate,
+    failure: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Tuple[RecoveryAnalysis, ControlRelation, ReplayResult]:
+    """Roll back, then re-execute under predicate control.
+
+    The paper's point: recovery re-runs a computation that is *known a
+    priori*, which is exactly off-line predicate control's setting -- so
+    the re-execution can be forced to satisfy the safety predicate whose
+    violation (presumably) caused the failure.  Returns the analysis, the
+    control relation, and the controlled replay.
+    """
+    analysis = recovery_line(dep, plan, failure)
+    result = control_disjunctive(dep, safety, seed=seed)
+    replayed = replay(dep, result.control, seed=seed)
+    return analysis, result.control, replayed

@@ -1,0 +1,18 @@
+"""Controlled replay: re-execute a traced computation under a control relation.
+
+This is the operational half of off-line predicate control: the trace fixes
+each process's event sequence and message pairing; the control relation is
+enforced by control messages -- the controller of the arrow's source sends
+at the instant its process *leaves* the source state, and the controller of
+the target blocks its process from *entering* the target state until the
+message arrives.  Replaying a controlled deposet therefore yields a real
+execution whose recorded trace is the original plus the control arrows.
+
+A replay deadlocks exactly when the control relation interferes with the
+computation's causality (an event-level cycle); the engine detects this and
+raises :class:`~repro.errors.ReplayDeadlockError`.
+"""
+
+from repro.replay.engine import replay, ReplayResult
+
+__all__ = ["replay", "ReplayResult"]

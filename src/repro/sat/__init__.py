@@ -1,0 +1,13 @@
+"""A small SAT substrate (CNF + DPLL) for the NP-hardness experiments.
+
+Lemma 1 of the paper maps SAT to *satisfying global sequence detection*
+(SGSD).  To exercise the reduction in both directions we need a reference
+SAT solver; this package provides a dependency-free DPLL with unit
+propagation and pure-literal elimination, plus seeded random formula
+generators.
+"""
+
+from repro.sat.cnf import CNF, random_ksat
+from repro.sat.dpll import dpll_solve
+
+__all__ = ["CNF", "random_ksat", "dpll_solve"]

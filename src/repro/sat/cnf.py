@@ -1,0 +1,99 @@
+"""CNF formulas in DIMACS-style literal encoding.
+
+A literal is a nonzero integer: ``+v`` is variable ``v`` (1-based),
+``-v`` its negation.  A clause is a list of literals; a formula a list of
+clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CNF", "random_ksat"]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """An immutable CNF formula."""
+
+    num_vars: int
+    clauses: Tuple[Tuple[int, ...], ...]
+
+    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]]):
+        object.__setattr__(self, "num_vars", int(num_vars))
+        norm = tuple(tuple(int(l) for l in clause) for clause in clauses)
+        object.__setattr__(self, "clauses", norm)
+        for clause in self.clauses:
+            if not clause:
+                continue  # empty clause allowed: the formula is unsatisfiable
+            for lit in clause:
+                if lit == 0 or abs(lit) > self.num_vars:
+                    raise ValueError(f"literal {lit} out of range for {self.num_vars} vars")
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Value of the formula under a full assignment (index 0 = var 1)."""
+        if len(assignment) != self.num_vars:
+            raise ValueError(
+                f"assignment has {len(assignment)} values for {self.num_vars} vars"
+            )
+        return all(
+            any(
+                assignment[abs(lit) - 1] == (lit > 0)
+                for lit in clause
+            )
+            for clause in self.clauses
+        )
+
+    def simplify(self, lit: int) -> Optional["CNF"]:
+        """The residual formula after asserting ``lit``.
+
+        Returns ``None`` when a clause becomes empty (conflict).  Satisfied
+        clauses are dropped; falsified literals removed.
+        """
+        new_clauses: List[Tuple[int, ...]] = []
+        for clause in self.clauses:
+            if lit in clause:
+                continue
+            if -lit in clause:
+                reduced = tuple(l for l in clause if l != -lit)
+                if not reduced:
+                    return None
+                new_clauses.append(reduced)
+            else:
+                new_clauses.append(clause)
+        return CNF(self.num_vars, new_clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self.num_vars}, clauses={self.num_clauses})"
+
+
+def random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int = 3,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> CNF:
+    """A uniformly random k-SAT formula (distinct variables per clause).
+
+    ``num_clauses/num_vars`` around 4.26 puts random 3-SAT near the
+    satisfiability phase transition, which is the hard regime used by the
+    E1 benchmarks.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    if k > num_vars:
+        raise ValueError(f"k={k} > num_vars={num_vars}")
+    clauses = []
+    for _ in range(num_clauses):
+        vars_ = rng.choice(num_vars, size=k, replace=False) + 1
+        signs = rng.integers(0, 2, size=k) * 2 - 1
+        clauses.append(tuple(int(v * s) for v, s in zip(vars_, signs)))
+    return CNF(num_vars, clauses)

@@ -1,0 +1,65 @@
+"""DPLL satisfiability with unit propagation and pure-literal elimination."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sat.cnf import CNF
+
+__all__ = ["dpll_solve"]
+
+
+def dpll_solve(cnf: CNF) -> Optional[List[bool]]:
+    """A satisfying assignment (list indexed by var-1), or ``None`` if UNSAT."""
+    assignment: Dict[int, bool] = {}
+    if not _dpll(cnf, assignment):
+        return None
+    # Unconstrained variables default to True.
+    return [assignment.get(v, True) for v in range(1, cnf.num_vars + 1)]
+
+
+def _dpll(cnf: CNF, assignment: Dict[int, bool]) -> bool:
+    # Unit propagation.
+    while True:
+        if any(len(c) == 0 for c in cnf.clauses):
+            return False
+        units = [c[0] for c in cnf.clauses if len(c) == 1]
+        if not units:
+            break
+        lit = units[0]
+        assignment[abs(lit)] = lit > 0
+        reduced = cnf.simplify(lit)
+        if reduced is None:
+            return False
+        cnf = reduced
+
+    if not cnf.clauses:
+        return True
+
+    # Pure-literal elimination.
+    polarity: Dict[int, int] = {}
+    for clause in cnf.clauses:
+        for lit in clause:
+            v = abs(lit)
+            polarity[v] = polarity.get(v, 0) | (1 if lit > 0 else 2)
+    pures = [v if pol == 1 else -v for v, pol in polarity.items() if pol in (1, 2)]
+    if pures:
+        for lit in pures:
+            assignment[abs(lit)] = lit > 0
+            reduced = cnf.simplify(lit)
+            if reduced is None:  # pragma: no cover - pure literals cannot conflict
+                return False
+            cnf = reduced
+        return _dpll(cnf, assignment)
+
+    # Branch on the first literal of the first clause.
+    lit = cnf.clauses[0][0]
+    for choice in (lit, -lit):
+        trial = dict(assignment)
+        trial[abs(choice)] = choice > 0
+        reduced = cnf.simplify(choice)
+        if reduced is not None and _dpll(reduced, trial):
+            assignment.clear()
+            assignment.update(trial)
+            return True
+    return False

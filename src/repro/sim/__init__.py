@@ -1,0 +1,37 @@
+"""A deterministic discrete-event simulator for asynchronous message passing.
+
+This is the substrate standing in for the paper's distributed testbed: ``n``
+sequential processes, reliable point-to-point channels with configurable
+delay, no shared memory, no global clock visible to processes.  Programs are
+Python generators yielding commands (mpi4py-flavoured ``send``/``receive``
+plus local events and simulated compute time); every run is reproducible
+under a seed.
+
+The simulator records each run as a :class:`~repro.trace.deposet.Deposet`
+(the recorder), and exposes a *transition guard* hook -- the attachment
+point for on-line predicate control: a controller may transparently block a
+process's next state transition, which the process cannot distinguish from
+mere slowness.
+"""
+
+from repro.sim.kernel import EventQueue
+from repro.sim.network import Network
+from repro.sim.recorder import TraceRecorder
+from repro.sim.system import (
+    System,
+    ProcessContext,
+    TransitionGuard,
+    Observer,
+    RunResult,
+)
+
+__all__ = [
+    "EventQueue",
+    "Network",
+    "TraceRecorder",
+    "System",
+    "ProcessContext",
+    "TransitionGuard",
+    "Observer",
+    "RunResult",
+]

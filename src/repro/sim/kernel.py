@@ -1,0 +1,58 @@
+"""The discrete-event kernel: a timestamped callback queue.
+
+Determinism: ties in simulated time are broken by a monotonically
+increasing sequence number, so two runs with the same seed execute the same
+callback order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """A priority queue of ``(time, seq, callback)`` entries."""
+
+    __slots__ = ("now", "_heap", "_seq", "_popped")
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._popped = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        self._seq += 1
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        return self._popped
+
+    def step(self) -> bool:
+        """Pop and run the earliest callback; ``False`` when empty."""
+        if not self._heap:
+            return False
+        t, _, callback = heapq.heappop(self._heap)
+        self.now = t
+        self._popped += 1
+        callback()
+        return True
+
+    def run(self, max_events: Optional[int] = None, until: Optional[float] = None) -> None:
+        """Drain the queue, optionally bounded by event count or sim time."""
+        while self._heap:
+            if max_events is not None and self._popped >= max_events:
+                return
+            if until is not None and self._heap[0][0] > until:
+                return
+            self.step()

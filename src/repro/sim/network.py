@@ -1,0 +1,119 @@
+"""Reliable asynchronous channels with configurable delay.
+
+Application messages and control messages travel on logically independent
+channels (the paper's control system uses its own channels), but share the
+same delay model so the on-line evaluation's ``T`` (average propagation
+delay) means the same thing for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.kernel import EventQueue
+
+__all__ = ["Delivery", "Network"]
+
+
+@dataclass
+class Delivery:
+    """A message in flight / delivered."""
+
+    src: int
+    dst: int
+    payload: Any
+    tag: Optional[str]
+    control: bool
+    sent_at: float
+    delivered_at: float = field(default=float("nan"))
+
+
+class Network:
+    """Point-to-point reliable channels over the event queue.
+
+    Parameters
+    ----------
+    queue:
+        The simulation kernel.
+    mean_delay:
+        The paper's ``T``.  Per-message delay is ``mean_delay`` exactly when
+        ``jitter == 0``, else uniform in ``mean_delay * [1-jitter, 1+jitter]``
+        (keeping the mean at ``T``).
+    rng:
+        Seeded generator; required when ``jitter > 0``.
+    fifo:
+        When true, each directed channel delivers in send order (a later
+        message never overtakes an earlier one on the same ``src -> dst``
+        pair; it is delayed to the earlier one's delivery time if the drawn
+        delays would reorder them).  The paper's model places no ordering
+        constraint, which is the default.
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        mean_delay: float = 1.0,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        fifo: bool = False,
+    ):
+        if mean_delay < 0:
+            raise SimulationError(f"negative mean delay {mean_delay}")
+        if not (0.0 <= jitter <= 1.0):
+            raise SimulationError(f"jitter must be in [0, 1], got {jitter}")
+        self.queue = queue
+        self.mean_delay = mean_delay
+        self.jitter = jitter
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.fifo = fifo
+        self._last_arrival: dict = {}
+        #: statistics
+        self.app_messages_sent = 0
+        self.control_messages_sent = 0
+
+    def _delay(self) -> float:
+        if self.jitter == 0.0:
+            return self.mean_delay
+        lo = self.mean_delay * (1.0 - self.jitter)
+        hi = self.mean_delay * (1.0 + self.jitter)
+        return float(self.rng.uniform(lo, hi))
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        deliver: Callable[[Delivery], None],
+        tag: Optional[str] = None,
+        control: bool = False,
+    ) -> Delivery:
+        """Ship a message; ``deliver`` runs at arrival time."""
+        if src == dst:
+            raise SimulationError(f"process {src} sending to itself")
+        delivery = Delivery(
+            src=src, dst=dst, payload=payload, tag=tag, control=control,
+            sent_at=self.queue.now,
+        )
+        if control:
+            self.control_messages_sent += 1
+        else:
+            self.app_messages_sent += 1
+
+        def arrive() -> None:
+            delivery.delivered_at = self.queue.now
+            deliver(delivery)
+
+        delay = self._delay()
+        if self.fifo:
+            channel = (src, dst, control)
+            arrival = max(
+                self.queue.now + delay, self._last_arrival.get(channel, 0.0)
+            )
+            self._last_arrival[channel] = arrival
+            delay = arrival - self.queue.now
+        self.queue.schedule(delay, arrive)
+        return delivery

@@ -1,0 +1,137 @@
+"""Recording a simulated run as a deposet.
+
+Every state transition of every process is captured (variable snapshot +
+timestamp), application messages become *remotely precedes* arrows, and
+control messages become control arrows of the extended deposet.
+
+Control-arrow strength: a recorded control arrow must never *overstate*
+causality, or verification on the recorded trace would be unsound.  Two
+modes are supported:
+
+* ``exact`` source (used by the replay engine, which sends control messages
+  at the instant a process leaves the source state): arrow ``(s, t)`` with
+  the strict *complete(s) < enter(t)* reading.
+* ``entered`` source (used by on-line controllers, which send while merely
+  *in* a state ``u``): the guaranteed causality is only
+  *enter(u) < enter(t)*, recorded as the strict arrow ``(u-1, t)``
+  (complete of ``u``'s predecessor = enter of ``u``); when ``u`` is the
+  start state there is no causal content and the arrow is dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.causality.relations import StateRef
+from repro.trace.deposet import Deposet
+from repro.trace.states import MessageArrow
+
+__all__ = ["TraceRecorder"]
+
+
+@dataclass
+class _PendingControl:
+    src_proc: int
+    src_state: int  # recorded per the chosen mode (may be -1: no content)
+    tag: Optional[str]
+
+
+class TraceRecorder:
+    """Accumulates states, messages and control arrows during a run."""
+
+    def __init__(self, n: int, start_vars: List[Dict[str, Any]], start_time: float = 0.0):
+        if len(start_vars) != n:
+            raise ValueError(f"{len(start_vars)} start assignments for {n} processes")
+        self.n = n
+        self._states: List[List[Dict[str, Any]]] = [
+            [dict(start_vars[i])] for i in range(n)
+        ]
+        self._timestamps: List[List[float]] = [[start_time] for _ in range(n)]
+        self._messages: List[MessageArrow] = []
+        self._control: List[Tuple[StateRef, StateRef]] = []
+        # control messages delivered to proc j but whose target state (the
+        # next state j enters) is not known yet
+        self._awaiting_target: List[List[_PendingControl]] = [[] for _ in range(n)]
+
+    # -- underlying events ---------------------------------------------------
+
+    def current_state(self, proc: int) -> int:
+        return len(self._states[proc]) - 1
+
+    def current_vars(self, proc: int) -> Dict[str, Any]:
+        return self._states[proc][-1]
+
+    def record_event(
+        self, proc: int, updates: Dict[str, Any], time: float
+    ) -> StateRef:
+        """The process takes an event and enters a new state."""
+        new_vars = dict(self._states[proc][-1])
+        new_vars.update(updates)
+        self._states[proc].append(new_vars)
+        self._timestamps[proc].append(time)
+        entered = StateRef(proc, len(self._states[proc]) - 1)
+        # resolve control arrows waiting for this process's next state
+        for pending in self._awaiting_target[proc]:
+            if pending.src_state >= 0:
+                self._control.append(
+                    (StateRef(pending.src_proc, pending.src_state), entered)
+                )
+        self._awaiting_target[proc].clear()
+        return entered
+
+    def record_message(
+        self,
+        src: StateRef,
+        dst: StateRef,
+        payload: Any = None,
+        tag: Optional[str] = None,
+    ) -> None:
+        """An application message: ``src`` is the sender's state before the
+        send event, ``dst`` the receiver's state after the receive event."""
+        self._messages.append(MessageArrow(src, dst, payload=payload, tag=tag))
+
+    # -- control messages -------------------------------------------------------
+
+    def control_delivered(
+        self,
+        src_proc: int,
+        dst_proc: int,
+        src_state: int,
+        mode: str = "entered",
+        tag: Optional[str] = None,
+    ) -> None:
+        """A control message from ``src_proc`` (sent at ``src_state``)
+        reached ``dst_proc``'s controller; the induced arrow targets the
+        next underlying state ``dst_proc`` enters.
+
+        ``mode="exact"``: the sender sent at the instant it *left*
+        ``src_state`` (strict arrow source).  ``mode="entered"``: the sender
+        sent while merely *in* ``src_state``; the sound strict source is its
+        predecessor state (dropped when ``src_state`` is the start state).
+        """
+        if mode == "exact":
+            recorded_src = src_state
+        elif mode == "entered":
+            recorded_src = src_state - 1
+        else:
+            raise ValueError(f"unknown control recording mode {mode!r}")
+        self._awaiting_target[dst_proc].append(
+            _PendingControl(src_proc, recorded_src, tag)
+        )
+
+    # -- finalisation --------------------------------------------------------------
+
+    @property
+    def control_arrows(self) -> List[Tuple[StateRef, StateRef]]:
+        return list(self._control)
+
+    def build(self, proc_names: Optional[List[str]] = None) -> Deposet:
+        """The recorded computation as a (possibly controlled) deposet."""
+        return Deposet(
+            self._states,
+            self._messages,
+            self._control,
+            proc_names=proc_names,
+            timestamps=self._timestamps,
+        )

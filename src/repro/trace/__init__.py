@@ -1,0 +1,47 @@
+"""The deposet (decomposed partially-ordered set) trace model.
+
+This package implements Section 3 of the paper: local states and events,
+message arrows (*remotely precedes*), the D1--D3 well-formedness
+constraints, consistent global states, the lattice of consistent cuts,
+global sequences, plus a builder DSL and a JSON trace format.
+
+A :class:`~repro.trace.deposet.Deposet` is the universal currency of the
+library: the simulator records one, detection algorithms analyse one, the
+off-line control algorithm consumes one and emits a *controlled* one (the
+same deposet extended with control arrows), and the replay engine executes
+one.
+"""
+
+from repro.trace.states import EventKind, Event, MessageArrow
+from repro.trace.deposet import Deposet
+from repro.trace.builder import ComputationBuilder
+from repro.trace.global_state import (
+    CutLattice,
+    initial_cut,
+    final_cut,
+    cut_states,
+)
+from repro.trace.io import deposet_to_dict, deposet_from_dict, dump_deposet, load_deposet
+from repro.trace.render import render_deposet
+from repro.trace.stats import DeposetStats, deposet_stats
+from repro.trace.slicing import prefix_at
+
+__all__ = [
+    "EventKind",
+    "Event",
+    "MessageArrow",
+    "Deposet",
+    "ComputationBuilder",
+    "CutLattice",
+    "initial_cut",
+    "final_cut",
+    "cut_states",
+    "deposet_to_dict",
+    "deposet_from_dict",
+    "dump_deposet",
+    "load_deposet",
+    "render_deposet",
+    "DeposetStats",
+    "deposet_stats",
+    "prefix_at",
+]

@@ -1,0 +1,176 @@
+"""A small DSL for constructing deposets by hand.
+
+Used throughout the tests and examples to transcribe space-time diagrams
+(like the paper's Figure 4) directly into code:
+
+>>> b = ComputationBuilder(2, start_vars=[{"avail": True}, {"avail": True}])
+>>> b.local(0, avail=False)          # P0 becomes unavailable
+s[0,1]
+>>> m = b.send(0)                    # P0 sends a message ...
+>>> _ = b.receive(1, m, avail=False) # ... P1 receives it and goes down too
+>>> dep = b.build()
+>>> dep.state_counts
+(3, 2)
+
+Each ``local``/``send``/``receive`` call appends one event (and hence one
+new local state) to a process; keyword arguments update the process's
+variables in the new state (variables persist until overwritten).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.causality.relations import StateRef
+from repro.errors import MalformedTraceError
+from repro.trace.deposet import Deposet
+from repro.trace.states import MessageArrow
+
+__all__ = ["ComputationBuilder", "PendingMessage"]
+
+
+@dataclass
+class PendingMessage:
+    """Handle returned by :meth:`ComputationBuilder.send`."""
+
+    src: StateRef
+    payload: Any = None
+    tag: Optional[str] = None
+    delivered: bool = field(default=False, compare=False)
+
+
+class ComputationBuilder:
+    """Incrementally build a :class:`~repro.trace.deposet.Deposet`.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    names:
+        Optional process names.
+    start_vars:
+        Optional initial variable assignment per process (each process's
+        start state); defaults to empty assignments.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        names: Optional[Sequence[str]] = None,
+        start_vars: Optional[Sequence[Mapping[str, Any]]] = None,
+    ):
+        if n <= 0:
+            raise MalformedTraceError(f"need at least one process, got n={n}")
+        self.n = n
+        self._names = list(names) if names is not None else None
+        if start_vars is not None and len(start_vars) != n:
+            raise MalformedTraceError(
+                f"{len(start_vars)} start assignments for {n} processes"
+            )
+        self._states: List[List[Dict[str, Any]]] = [
+            [dict(start_vars[i]) if start_vars is not None else {}]
+            for i in range(n)
+        ]
+        self._messages: List[MessageArrow] = []
+        self._labels: Dict[str, StateRef] = {}
+        self._pending: List[PendingMessage] = []
+
+    # -- events ------------------------------------------------------------
+
+    def _check_proc(self, proc: int) -> None:
+        if not (0 <= proc < self.n):
+            raise MalformedTraceError(f"no process {proc}")
+
+    def _append_state(self, proc: int, updates: Mapping[str, Any]) -> StateRef:
+        new_vars = dict(self._states[proc][-1])
+        new_vars.update(updates)
+        self._states[proc].append(new_vars)
+        return StateRef(proc, len(self._states[proc]) - 1)
+
+    def local(self, proc: int, **updates: Any) -> StateRef:
+        """Append a local event to ``proc``; returns the new state."""
+        self._check_proc(proc)
+        return self._append_state(proc, updates)
+
+    def send(
+        self,
+        proc: int,
+        payload: Any = None,
+        tag: Optional[str] = None,
+        **updates: Any,
+    ) -> PendingMessage:
+        """Append a send event to ``proc``; deliver later with :meth:`receive`."""
+        self._check_proc(proc)
+        src = StateRef(proc, len(self._states[proc]) - 1)
+        self._append_state(proc, updates)
+        pending = PendingMessage(src=src, payload=payload, tag=tag)
+        self._pending.append(pending)
+        return pending
+
+    def receive(
+        self, proc: int, message: PendingMessage, **updates: Any
+    ) -> StateRef:
+        """Append a receive event for a previously-sent message."""
+        self._check_proc(proc)
+        if message.delivered:
+            raise MalformedTraceError("message already delivered")
+        if message.src.proc == proc:
+            raise MalformedTraceError("a process cannot receive its own message")
+        dst = self._append_state(proc, updates)
+        message.delivered = True
+        self._messages.append(
+            MessageArrow(message.src, dst, payload=message.payload, tag=message.tag)
+        )
+        return dst
+
+    def transfer(
+        self,
+        src_proc: int,
+        dst_proc: int,
+        payload: Any = None,
+        tag: Optional[str] = None,
+        **updates: Any,
+    ) -> StateRef:
+        """Shorthand: ``send`` immediately followed by the matching ``receive``.
+
+        Variable updates apply to the *receiver*.
+        """
+        return self.receive(dst_proc, self.send(src_proc, payload, tag), **updates)
+
+    # -- labels --------------------------------------------------------------
+
+    def mark(self, proc: int, label: str) -> StateRef:
+        """Attach ``label`` to the current (latest) state of ``proc``."""
+        self._check_proc(proc)
+        ref = StateRef(proc, len(self._states[proc]) - 1)
+        self._labels[label] = ref
+        return ref
+
+    @property
+    def labels(self) -> Dict[str, StateRef]:
+        """Labels attached via :meth:`mark` (shared mapping)."""
+        return self._labels
+
+    def at(self, proc: int) -> StateRef:
+        """The current (latest) state of ``proc``."""
+        self._check_proc(proc)
+        return StateRef(proc, len(self._states[proc]) - 1)
+
+    # -- finalisation ----------------------------------------------------------
+
+    def build(self, allow_undelivered: bool = False) -> Deposet:
+        """Produce the deposet.
+
+        Raises :class:`MalformedTraceError` if messages remain undelivered,
+        unless ``allow_undelivered`` -- the paper's model has reliable
+        channels, so a trace normally contains no lost messages.
+        """
+        undelivered = [p for p in self._pending if not p.delivered]
+        if undelivered and not allow_undelivered:
+            raise MalformedTraceError(
+                f"{len(undelivered)} message(s) sent but never received "
+                f"(first from {undelivered[0].src!r}); pass "
+                f"allow_undelivered=True to model message loss"
+            )
+        return Deposet(self._states, self._messages, proc_names=self._names)

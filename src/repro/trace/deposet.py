@@ -1,0 +1,318 @@
+"""The deposet: a traced distributed computation.
+
+``Deposet`` is an immutable value: all mutation happens through
+:class:`~repro.trace.builder.ComputationBuilder` (hand-built traces), the
+simulator's recorder (executed traces), or :meth:`Deposet.with_control`
+(extension by a control relation, yielding the paper's *controlled
+deposet*).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.causality.relations import CausalOrder, CycleError, StateRef
+from repro.errors import InterferenceError, MalformedTraceError
+from repro.trace.states import Event, EventKind, MessageArrow
+
+__all__ = ["Deposet"]
+
+ControlArrow = Tuple[StateRef, StateRef]
+
+
+class Deposet:
+    """A distributed computation as a decomposed partially-ordered set.
+
+    Parameters
+    ----------
+    vars_by_state:
+        ``vars_by_state[i][a]`` is the variable assignment (a mapping) of
+        local state ``a`` of process ``i``.  Process ``i`` has
+        ``len(vars_by_state[i])`` states; the first is its start state
+        ``bottom_i`` and the last its final state ``top_i``.
+    messages:
+        The *remotely precedes* arrows (see :class:`MessageArrow`).
+    control_arrows:
+        Extra causal arrows from a control relation; a deposet with a
+        nonempty control relation is a *controlled deposet*.  The arrows
+        must not interfere with (create a cycle in) the underlying
+        causality; violations raise :class:`~repro.errors.InterferenceError`.
+    proc_names:
+        Optional human-readable process names (defaults to ``P0..P{n-1}``).
+    timestamps:
+        Optional per-state wall-clock times from a simulator run, same
+        shape as ``vars_by_state``.
+
+    Raises
+    ------
+    MalformedTraceError
+        On violations of D1--D3 or a cyclic message relation.
+    InterferenceError
+        When ``control_arrows`` interfere with the underlying causality.
+    """
+
+    __slots__ = (
+        "_vars",
+        "_messages",
+        "_control",
+        "_names",
+        "_timestamps",
+        "__dict__",  # for cached_property
+    )
+
+    def __init__(
+        self,
+        vars_by_state: Sequence[Sequence[Mapping[str, Any]]],
+        messages: Iterable[MessageArrow] = (),
+        control_arrows: Iterable[ControlArrow] = (),
+        proc_names: Optional[Sequence[str]] = None,
+        timestamps: Optional[Sequence[Sequence[float]]] = None,
+    ):
+        if len(vars_by_state) == 0:
+            raise MalformedTraceError("a computation needs at least one process")
+        self._vars: Tuple[Tuple[Dict[str, Any], ...], ...] = tuple(
+            tuple(dict(v) for v in proc_states) for proc_states in vars_by_state
+        )
+        for i, proc_states in enumerate(self._vars):
+            if len(proc_states) == 0:
+                raise MalformedTraceError(f"process {i} has no states")
+        self._messages: Tuple[MessageArrow, ...] = tuple(
+            m if isinstance(m, MessageArrow) else MessageArrow(*m) for m in messages
+        )
+        self._control: Tuple[ControlArrow, ...] = tuple(
+            (StateRef(*a), StateRef(*b)) for a, b in control_arrows
+        )
+        if proc_names is not None and len(proc_names) != len(self._vars):
+            raise MalformedTraceError(
+                f"{len(proc_names)} names for {len(self._vars)} processes"
+            )
+        self._names: Tuple[str, ...] = (
+            tuple(proc_names)
+            if proc_names is not None
+            else tuple(f"P{i}" for i in range(len(self._vars)))
+        )
+        self._timestamps = (
+            tuple(tuple(float(t) for t in row) for row in timestamps)
+            if timestamps is not None
+            else None
+        )
+        if self._timestamps is not None:
+            for i, row in enumerate(self._timestamps):
+                if len(row) != len(self._vars[i]):
+                    raise MalformedTraceError(
+                        f"timestamps for process {i} have {len(row)} entries "
+                        f"for {len(self._vars[i])} states"
+                    )
+        self._validate_messages()
+        # Force causality construction so malformed traces fail eagerly.
+        self.order
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return len(self._vars)
+
+    @cached_property
+    def state_counts(self) -> Tuple[int, ...]:
+        """``m_i`` for each process.
+
+        Cached: profiling showed the per-call tuple rebuild dominating the
+        off-line algorithm's inner loop (the deposet is immutable, so
+        caching is safe).
+        """
+        return tuple(len(proc_states) for proc_states in self._vars)
+
+    @property
+    def num_states(self) -> int:
+        """Total local states across all processes."""
+        return sum(self.state_counts)
+
+    @property
+    def proc_names(self) -> Tuple[str, ...]:
+        return self._names
+
+    @property
+    def messages(self) -> Tuple[MessageArrow, ...]:
+        return self._messages
+
+    @property
+    def control_arrows(self) -> Tuple[ControlArrow, ...]:
+        return self._control
+
+    @property
+    def timestamps(self):
+        return self._timestamps
+
+    def bottom(self, proc: int) -> StateRef:
+        """The start state ``bottom_proc``."""
+        return StateRef(proc, 0)
+
+    def top(self, proc: int) -> StateRef:
+        """The final state ``top_proc``."""
+        return StateRef(proc, len(self._vars[proc]) - 1)
+
+    def is_bottom(self, ref: StateRef) -> bool:
+        return ref.index == 0
+
+    def is_top(self, ref: StateRef) -> bool:
+        return ref.index == len(self._vars[ref.proc]) - 1
+
+    # -- state content -----------------------------------------------------
+
+    def state_vars(self, ref: StateRef | Tuple[int, int]) -> Dict[str, Any]:
+        """The variable assignment of a local state (do not mutate)."""
+        proc, index = ref
+        return self._vars[proc][index]
+
+    def proc_states(self, proc: int) -> Tuple[Dict[str, Any], ...]:
+        """All variable assignments of one process, in execution order."""
+        return self._vars[proc]
+
+    # -- derived structure ---------------------------------------------------
+
+    @cached_property
+    def events(self) -> Tuple[Tuple[Event, ...], ...]:
+        """Per-process event sequences, derived from the message arrows."""
+        roles: Dict[Tuple[int, int], Tuple[EventKind, int]] = {}
+        for mi, msg in enumerate(self._messages):
+            send_ev = (msg.src.proc, msg.src.index)
+            recv_ev = (msg.dst.proc, msg.dst.index - 1)
+            for ev, kind in ((send_ev, EventKind.SEND), (recv_ev, EventKind.RECEIVE)):
+                if ev in roles:
+                    raise MalformedTraceError(
+                        f"event {ev} participates in two messages "
+                        f"(D3 / one message per event)"
+                    )
+                roles[ev] = (kind, mi)
+        out: List[Tuple[Event, ...]] = []
+        for i, proc_states in enumerate(self._vars):
+            evs = []
+            for k in range(len(proc_states) - 1):
+                kind, mi = roles.get((i, k), (EventKind.LOCAL, None))
+                evs.append(Event(i, k, kind, mi))
+            out.append(tuple(evs))
+        return tuple(out)
+
+    @cached_property
+    def base_order(self) -> CausalOrder:
+        """Happened-before of the *underlying* computation (no control)."""
+        return CausalOrder(
+            self.state_counts, [(m.src, m.dst) for m in self._messages]
+        )
+
+    @cached_property
+    def order(self) -> CausalOrder:
+        """Happened-before of the (possibly extended) computation."""
+        if not self._control:
+            return self.base_order
+        try:
+            return self.base_order.extended(self._control)
+        except CycleError as exc:
+            raise InterferenceError(
+                "control relation interferes with causality", cycle=exc.remaining
+            ) from exc
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate_messages(self) -> None:
+        counts = self.state_counts
+        seen_events: Dict[Tuple[int, int], MessageArrow] = {}
+        for msg in self._messages:
+            for ref in (msg.src, msg.dst):
+                if not (0 <= ref.proc < self.n):
+                    raise MalformedTraceError(f"{msg!r}: no process {ref.proc}")
+                if not (0 <= ref.index < counts[ref.proc]):
+                    raise MalformedTraceError(f"{msg!r}: no state {ref!r}")
+            if msg.dst.index < 1:
+                raise MalformedTraceError(
+                    f"{msg!r}: received before the initial state (D1)"
+                )
+            if msg.src.index > counts[msg.src.proc] - 2:
+                raise MalformedTraceError(
+                    f"{msg!r}: sent after the final state (D2)"
+                )
+            for ev in ((msg.src.proc, msg.src.index), (msg.dst.proc, msg.dst.index - 1)):
+                if ev in seen_events:
+                    raise MalformedTraceError(
+                        f"event {ev} used by both {seen_events[ev]!r} and {msg!r} "
+                        f"(D3 / one message per event)"
+                    )
+                seen_events[ev] = msg
+        for a, b in self._control:
+            for ref in (a, b):
+                if not (0 <= ref.proc < self.n):
+                    raise MalformedTraceError(f"control arrow endpoint {ref!r}: no process")
+                if not (0 <= ref.index < counts[ref.proc]):
+                    raise MalformedTraceError(f"control arrow endpoint {ref!r}: no state")
+
+    # -- derivation ----------------------------------------------------------
+
+    def with_control(self, arrows: Iterable[ControlArrow]) -> "Deposet":
+        """The controlled deposet: this computation plus a control relation.
+
+        The new arrows are *appended* to any existing control relation.
+        Raises :class:`~repro.errors.InterferenceError` if the union
+        interferes with the underlying causality.
+        """
+        return Deposet(
+            self._vars,
+            self._messages,
+            tuple(self._control) + tuple((StateRef(*a), StateRef(*b)) for a, b in arrows),
+            self._names,
+            self._timestamps,
+        )
+
+    def without_control(self) -> "Deposet":
+        """The underlying computation, dropping any control relation."""
+        if not self._control:
+            return self
+        return Deposet(self._vars, self._messages, (), self._names, self._timestamps)
+
+    # -- misc ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Deposet):
+            return NotImplemented
+        return (
+            self._vars == other._vars
+            # message order is meaningless (D3 makes duplicates impossible)
+            and frozenset(self._messages) == frozenset(other._messages)
+            and frozenset(self._control) == frozenset(other._control)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.state_counts, frozenset(self._messages), frozenset(self._control))
+        )
+
+    def __repr__(self) -> str:
+        ctrl = f", control={len(self._control)}" if self._control else ""
+        return (
+            f"Deposet(n={self.n}, states={self.state_counts}, "
+            f"messages={len(self._messages)}{ctrl})"
+        )
+
+    def describe(self) -> str:
+        """A small multi-line summary for logs and examples."""
+        lines = [repr(self)]
+        for i in range(self.n):
+            kinds = "".join(
+                {"local": ".", "send": "s", "receive": "r"}[e.kind.value]
+                for e in self.events[i]
+            )
+            lines.append(f"  {self._names[i]}: {len(self._vars[i])} states, events [{kinds}]")
+        if self._control:
+            lines.append("  control: " + ", ".join(f"{a!r}->{b!r}" for a, b in self._control))
+        return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Global states, the lattice of consistent cuts, and global sequences.
+
+A *global state* (cut) is one local state per process, represented as a
+tuple of state indices.  A cut is *consistent* when its states are pairwise
+concurrent; the consistent cuts ordered componentwise form a lattice
+(Mattern), with the initial cut ``bottom`` and final cut ``top`` always
+consistent (via D1/D2).
+
+A *global sequence* is a ``<=``-ordered sequence of consistent cuts whose
+restriction to any process yields that process's full state sequence (with
+stutters): between consecutive cuts each process advances by **at most one**
+state, but several processes may advance simultaneously.  Simultaneous
+moves matter: they let a sequence "cut the corner" past an inconsistent or
+predicate-violating intermediate cut, which is exactly why satisfying-
+sequence detection (SGSD) is defined over subset moves.
+
+Everything here is exhaustive/exponential and meant for small traces:
+ground truth for the efficient algorithms, property tests, and the
+NP-hardness experiments.  The efficient counterparts live in
+:mod:`repro.detection`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.causality.relations import StateRef
+from repro.trace.deposet import Deposet
+
+__all__ = [
+    "Cut",
+    "initial_cut",
+    "final_cut",
+    "cut_states",
+    "CutLattice",
+]
+
+Cut = Tuple[int, ...]
+
+
+def initial_cut(dep: Deposet) -> Cut:
+    """The cut ``bottom = (bottom_1, ..., bottom_n)``."""
+    return (0,) * dep.n
+
+
+def final_cut(dep: Deposet) -> Cut:
+    """The cut ``top = (top_1, ..., top_n)``."""
+    return tuple(m - 1 for m in dep.state_counts)
+
+
+def cut_states(cut: Cut) -> Tuple[StateRef, ...]:
+    """The cut's states as :class:`StateRef` values."""
+    return tuple(StateRef(i, a) for i, a in enumerate(cut))
+
+
+class CutLattice:
+    """Exhaustive navigation of a deposet's consistent-cut lattice.
+
+    Consistency is evaluated against ``dep.order`` -- i.e. including any
+    control arrows -- so the same class checks controlled deposets.
+    """
+
+    def __init__(self, dep: Deposet):
+        self.dep = dep
+        self._order = dep.order
+        self._counts = dep.state_counts
+        self.n = dep.n
+
+    # -- point queries -------------------------------------------------------
+
+    def is_consistent(self, cut: Cut) -> bool:
+        return self._order.is_consistent_cut(cut)
+
+    # -- neighbourhood -------------------------------------------------------
+
+    def successors(self, cut: Cut) -> Iterator[Cut]:
+        """Consistent cuts covering ``cut``: advance exactly one process."""
+        for i in range(self.n):
+            if cut[i] + 1 < self._counts[i]:
+                nxt = cut[:i] + (cut[i] + 1,) + cut[i + 1 :]
+                if self._advance_ok(cut, nxt, (i,)):
+                    yield nxt
+
+    def subset_successors(self, cut: Cut) -> Iterator[Cut]:
+        """Consistent cuts reached by advancing a nonempty *subset* of
+        processes one state each -- the legal steps of a global sequence.
+        """
+        movable = [i for i in range(self.n) if cut[i] + 1 < self._counts[i]]
+        for r in range(1, len(movable) + 1):
+            for subset in combinations(movable, r):
+                nxt = list(cut)
+                for i in subset:
+                    nxt[i] += 1
+                t = tuple(nxt)
+                if self._advance_ok(cut, t, subset):
+                    yield t
+
+    def _advance_ok(self, cut: Cut, nxt: Cut, moved: Sequence[int]) -> bool:
+        # Incremental consistency: assuming `cut` is consistent, only the
+        # freshly-entered states can introduce a violation (a stationary
+        # state's constraint V(cut[j])[i] < cut[i] only slackens when i
+        # advances), so checking the clock rows of the moved states against
+        # all components of `nxt` suffices.
+        for i in moved:
+            row = self._order.clock((i, nxt[i]))
+            for j in range(self.n):
+                if j != i and row[j] >= nxt[j]:
+                    return False
+        return True
+
+    # -- global enumeration ----------------------------------------------------
+
+    def iter_consistent_cuts(self) -> Iterator[Cut]:
+        """All consistent cuts, in lexicographic order.
+
+        Complete by construction: components are assigned process by
+        process, pruning as soon as two assigned states are causally
+        ordered.  (Under the strict state-based consistency semantics the
+        consistent cuts are *not* graded -- advancing one process at a time
+        from ``bottom`` can miss cuts that require two processes to move
+        together -- so a BFS would be incomplete.)
+        """
+        counts = self._counts
+        order = self._order
+        n = self.n
+        cut: List[int] = [0] * n
+
+        def assign(j: int) -> Iterator[Cut]:
+            if j == n:
+                yield tuple(cut)
+                return
+            for b in range(counts[j]):
+                row = order.clock((j, b))
+                ok = True
+                for i in range(j):
+                    if row[i] >= cut[i] or order.clock((i, cut[i]))[j] >= b:
+                        ok = False
+                        break
+                if ok:
+                    cut[j] = b
+                    yield from assign(j + 1)
+            cut[j] = 0
+
+        yield from assign(0)
+
+    def consistent_cuts(self) -> List[Cut]:
+        return list(self.iter_consistent_cuts())
+
+    def count_consistent_cuts(self) -> int:
+        return sum(1 for _ in self.iter_consistent_cuts())
+
+    # -- global sequences --------------------------------------------------------
+
+    def iter_global_sequences(
+        self, max_sequences: Optional[int] = None
+    ) -> Iterator[Tuple[Cut, ...]]:
+        """Enumerate stutter-free global sequences (DFS, exponential).
+
+        A stutter-free sequence moves a nonempty subset of processes at each
+        step; re-inserting stutters never changes which cuts a sequence
+        visits, so this is the canonical representative set.
+        """
+        start = initial_cut(self.dep)
+        goal = final_cut(self.dep)
+        emitted = 0
+
+        def dfs(cut: Cut, prefix: List[Cut]) -> Iterator[Tuple[Cut, ...]]:
+            nonlocal emitted
+            if cut == goal:
+                yield tuple(prefix)
+                emitted += 1
+                return
+            for nxt in self.subset_successors(cut):
+                if max_sequences is not None and emitted >= max_sequences:
+                    return
+                prefix.append(nxt)
+                yield from dfs(nxt, prefix)
+                prefix.pop()
+
+        yield from dfs(start, [start])
+
+    def all_sequences_satisfy(self, pred: Callable[[Cut], bool]) -> bool:
+        """Do all *consistent cuts* satisfy ``pred``?
+
+        Sequences visit only consistent cuts, so this soundly implies that
+        every global sequence satisfies ``pred`` at every cut (it may be
+        slightly conservative: under the strict state semantics a consistent
+        cut is not guaranteed to lie on a complete sequence).
+        """
+        return all(pred(cut) for cut in self.iter_consistent_cuts())
+
+    def exists_satisfying_sequence(
+        self, pred: Callable[[Cut], bool], moves: str = "subset"
+    ) -> bool:
+        """Is there a global sequence all of whose cuts satisfy ``pred``?
+
+        This is exhaustive SGSD with memoisation on cuts: reachability of
+        ``top`` from ``bottom`` through pred-satisfying consistent cuts.
+        ``moves="subset"`` uses the paper's sequence semantics (several
+        processes may advance at once); ``moves="single"`` restricts to one
+        process per step -- the sequences a control strategy can actually
+        enforce.
+        """
+        return self.find_satisfying_sequence(pred, moves=moves) is not None
+
+    def find_satisfying_sequence(
+        self, pred: Callable[[Cut], bool], moves: str = "subset"
+    ) -> Optional[List[Cut]]:
+        """A witness sequence for :meth:`exists_satisfying_sequence`."""
+        if moves not in ("subset", "single"):
+            raise ValueError(f"unknown move semantics {moves!r}")
+        successors = (
+            self.subset_successors if moves == "subset" else self.successors
+        )
+        start = initial_cut(self.dep)
+        goal = final_cut(self.dep)
+        if not pred(start) or not pred(goal):
+            return None
+        # Iterative DFS with a dead-set; path reconstruction via parents.
+        parents: Dict[Cut, Optional[Cut]] = {start: None}
+        stack: List[Cut] = [start]
+        while stack:
+            cut = stack.pop()
+            if cut == goal:
+                path = [cut]
+                while parents[path[-1]] is not None:
+                    path.append(parents[path[-1]])
+                return list(reversed(path))
+            for nxt in successors(cut):
+                if nxt not in parents and pred(nxt):
+                    parents[nxt] = cut
+                    stack.append(nxt)
+        return None

@@ -1,0 +1,107 @@
+"""JSON (de)serialisation of deposets.
+
+The schema is deliberately plain so traces can be produced by external
+tracers and inspected by hand:
+
+.. code-block:: json
+
+    {
+      "format": "repro-deposet/1",
+      "proc_names": ["P0", "P1"],
+      "states": [[{"x": 1}, {"x": 2}], [{}]],
+      "messages": [{"src": [0, 0], "dst": [1, 1], "tag": null}],
+      "control": [[[0, 1], [1, 2]]],
+      "timestamps": null
+    }
+
+Payloads are serialised only when JSON-representable; otherwise they are
+dropped with a ``repr`` placeholder (payloads are never semantically
+meaningful to the algorithms).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.causality.relations import StateRef
+from repro.errors import MalformedTraceError
+from repro.trace.deposet import Deposet
+from repro.trace.states import MessageArrow
+
+__all__ = ["deposet_to_dict", "deposet_from_dict", "dump_deposet", "load_deposet"]
+
+FORMAT = "repro-deposet/1"
+
+
+def _jsonable(value: Any) -> Any:
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return {"__repr__": repr(value)}
+
+
+def deposet_to_dict(dep: Deposet) -> Dict[str, Any]:
+    """A JSON-ready dictionary describing ``dep``."""
+    return {
+        "format": FORMAT,
+        "proc_names": list(dep.proc_names),
+        "states": [
+            [{k: _jsonable(v) for k, v in vars.items()} for vars in dep.proc_states(i)]
+            for i in range(dep.n)
+        ],
+        "messages": [
+            {
+                "src": [m.src.proc, m.src.index],
+                "dst": [m.dst.proc, m.dst.index],
+                "tag": m.tag,
+                "payload": _jsonable(m.payload),
+            }
+            for m in dep.messages
+        ],
+        "control": [
+            [[a.proc, a.index], [b.proc, b.index]] for a, b in dep.control_arrows
+        ],
+        "timestamps": (
+            [list(row) for row in dep.timestamps] if dep.timestamps else None
+        ),
+    }
+
+
+def deposet_from_dict(data: Dict[str, Any]) -> Deposet:
+    """Rebuild a deposet from :func:`deposet_to_dict` output."""
+    if data.get("format") != FORMAT:
+        raise MalformedTraceError(
+            f"unknown trace format {data.get('format')!r}; expected {FORMAT!r}"
+        )
+    messages = [
+        MessageArrow(
+            StateRef(*m["src"]),
+            StateRef(*m["dst"]),
+            payload=m.get("payload"),
+            tag=m.get("tag"),
+        )
+        for m in data["messages"]
+    ]
+    control = [
+        (StateRef(*a), StateRef(*b)) for a, b in data.get("control", [])
+    ]
+    return Deposet(
+        data["states"],
+        messages,
+        control,
+        proc_names=data.get("proc_names"),
+        timestamps=data.get("timestamps"),
+    )
+
+
+def dump_deposet(dep: Deposet, path: Union[str, Path]) -> None:
+    """Write ``dep`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(deposet_to_dict(dep), indent=1))
+
+
+def load_deposet(path: Union[str, Path]) -> Deposet:
+    """Read a deposet written by :func:`dump_deposet`."""
+    return deposet_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,119 @@
+"""ASCII space-time diagrams of deposets.
+
+Renders the classic distributed-computation picture -- one horizontal line
+per process, message arrows between them -- in plain text, optionally
+highlighting the false-intervals of a predicate (the paper's "thicker
+intervals") and the control arrows of a controlled deposet.  Used by the
+examples and by :meth:`DebugSession.describe`-style inspection; purely a
+presentation helper, no algorithmic content.
+
+Layout: local states are placed at columns aligned across processes by a
+global topological time (each state's column is one past the maximum
+column of its causal predecessors), so arrows always point rightwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.causality.relations import StateRef
+from repro.predicates.disjunctive import DisjunctivePredicate
+from repro.predicates.intervals import local_truth_table
+from repro.trace.deposet import Deposet
+
+__all__ = ["render_deposet"]
+
+_CELL = 4  # characters per column
+
+
+def _columns(dep: Deposet) -> List[List[int]]:
+    """Column index per state, topologically consistent."""
+    cols: List[List[int]] = [[0] * m for m in dep.state_counts]
+    # incoming arrows per state
+    incoming: Dict[Tuple[int, int], List[StateRef]] = {}
+    for msg in dep.messages:
+        incoming.setdefault((msg.dst.proc, msg.dst.index), []).append(msg.src)
+    for src, dst in dep.control_arrows:
+        incoming.setdefault((dst.proc, dst.index), []).append(src)
+
+    changed = True
+    while changed:  # few iterations: arrows are acyclic
+        changed = False
+        for i in range(dep.n):
+            for a in range(dep.state_counts[i]):
+                col = 0
+                if a > 0:
+                    col = cols[i][a - 1] + 1
+                for src in incoming.get((i, a), ()):
+                    col = max(col, cols[src.proc][src.index] + 1)
+                if col > cols[i][a]:
+                    cols[i][a] = col
+                    changed = True
+    return cols
+
+
+def render_deposet(
+    dep: Deposet,
+    predicate: Optional[DisjunctivePredicate] = None,
+    show_vars: Optional[str] = None,
+) -> str:
+    """Render ``dep`` as an ASCII space-time diagram.
+
+    Parameters
+    ----------
+    predicate:
+        When given, states where the process's local predicate is false are
+        drawn ``#`` (the paper's thick intervals) instead of ``o``.
+    show_vars:
+        Name of a boolean variable to annotate instead of a predicate
+        (``#`` where falsy).
+
+    Returns a multi-line string; one row per process, ``o``/``#`` for
+    states, ``s``/``r`` marking send/receive columns underneath, and one
+    line per message/control arrow (they are listed, not drawn, to keep the
+    diagram readable at any size).
+    """
+    cols = _columns(dep)
+    width = max(c for row in cols for c in row) + 1
+
+    truth = None
+    if predicate is not None:
+        truth = local_truth_table(dep, predicate)
+
+    name_w = max(len(name) for name in dep.proc_names)
+    lines: List[str] = []
+    for i in range(dep.n):
+        row = [" "] * (width * _CELL)
+        prev_col = None
+        for a, col in enumerate(cols[i]):
+            pos = col * _CELL
+            good = True
+            if truth is not None:
+                good = bool(truth[i][a])
+            elif show_vars is not None:
+                good = bool(dep.state_vars((i, a)).get(show_vars, False))
+            row[pos] = "o" if good else "#"
+            if prev_col is not None:
+                fill = "-" if truth is None and show_vars is None else (
+                    "-" if good else "="
+                )
+                for p in range(prev_col * _CELL + 1, pos):
+                    row[p] = fill
+            prev_col = col
+        lines.append(f"{dep.proc_names[i]:>{name_w}} {''.join(row).rstrip()}")
+
+    arrow_lines = []
+    for msg in dep.messages:
+        tag = f" [{msg.tag}]" if msg.tag else ""
+        arrow_lines.append(
+            f"  msg  {dep.proc_names[msg.src.proc]}:{msg.src.index}"
+            f" ~> {dep.proc_names[msg.dst.proc]}:{msg.dst.index}{tag}"
+        )
+    for src, dst in dep.control_arrows:
+        arrow_lines.append(
+            f"  ctl  {dep.proc_names[src.proc]}:{src.index}"
+            f" C> {dep.proc_names[dst.proc]}:{dst.index}"
+        )
+    legend = "  (o true/state, # false state"
+    legend += ", = inside a false interval)" if (truth is not None or show_vars) else ")"
+    return "\n".join(lines + [legend] + arrow_lines) + "\n"

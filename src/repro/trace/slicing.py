@@ -1,0 +1,80 @@
+"""Trace slicing: truncate a computation at a consistent cut.
+
+``prefix_at(dep, cut)`` keeps, per process, the states up to and including
+``cut[i]``.  For a *consistent* cut this is again a valid deposet: no kept
+receive can depend on a dropped send (that is what consistency says), and
+messages crossing the cut forward (sent inside, received outside) simply
+degrade to local events -- they are the "in transit" messages recovery
+must replay from logs, and they are returned alongside the slice.
+
+Typical uses: analysing only the computation up to a failure point, or
+shrinking a huge trace around a detected violation before exhaustive
+inspection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import MalformedTraceError
+from repro.trace.deposet import Deposet
+from repro.trace.states import MessageArrow
+
+__all__ = ["prefix_at"]
+
+
+def prefix_at(
+    dep: Deposet, cut: Sequence[int]
+) -> Tuple[Deposet, Tuple[MessageArrow, ...]]:
+    """The sub-computation up to (and including) ``cut``.
+
+    Parameters
+    ----------
+    cut:
+        One state index per process; must be a consistent global state of
+        ``dep`` (otherwise the slice would contain a receive whose send was
+        cut away).
+
+    Returns
+    -------
+    (slice, in_transit):
+        The truncated deposet (control arrows inside the cut are kept) and
+        the messages that crossed the cut forward.
+    """
+    if len(cut) != dep.n:
+        raise ValueError(f"cut has {len(cut)} entries for {dep.n} processes")
+    for i, c in enumerate(cut):
+        if not (0 <= c < dep.state_counts[i]):
+            raise ValueError(f"cut component {c} outside process {i}")
+    if not dep.order.is_consistent_cut(cut):
+        raise MalformedTraceError(
+            f"cannot slice at inconsistent cut {tuple(cut)}"
+        )
+    states = [
+        list(dep.proc_states(i))[: cut[i] + 1] for i in range(dep.n)
+    ]
+    kept: List[MessageArrow] = []
+    in_transit: List[MessageArrow] = []
+    for msg in dep.messages:
+        sent_inside = msg.src.index < cut[msg.src.proc]  # send event kept
+        received_inside = msg.dst.index <= cut[msg.dst.proc]
+        if sent_inside and received_inside:
+            kept.append(msg)
+        elif sent_inside:
+            in_transit.append(msg)
+        # consistency precludes received_inside without sent_inside
+    control = [
+        (a, b)
+        for a, b in dep.control_arrows
+        if a.index < cut[a.proc] and b.index <= cut[b.proc]
+    ]
+    timestamps = (
+        [list(row)[: cut[i] + 1] for i, row in enumerate(dep.timestamps)]
+        if dep.timestamps
+        else None
+    )
+    sliced = Deposet(
+        states, kept, control, proc_names=list(dep.proc_names),
+        timestamps=timestamps,
+    )
+    return sliced, tuple(in_transit)

@@ -1,0 +1,134 @@
+"""Deposet statistics: quantify a computation's concurrency structure.
+
+Debugging and the experiment harness both want quick structural summaries:
+how parallel is this trace (would control even matter?), how long is its
+critical path, how dense is the communication.  All measures are exact and
+cheap except ``concurrency_fraction`` on huge traces, which is sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.trace.deposet import Deposet
+
+__all__ = ["DeposetStats", "deposet_stats"]
+
+
+def _critical_path(dep: Deposet) -> int:
+    """States on the longest event chain (send -> receive hops included).
+
+    Computed on the event graph (the operational truth): an arrow's target
+    event follows the *leave* event of its source state, so a ping-pong of
+    k messages has critical path 2k+1, not k+1.
+    """
+    counts = dep.state_counts
+    levels = [[0] * max(m - 1, 0) for m in counts]
+    incoming: dict = {}
+    for src, dst in [(m.src, m.dst) for m in dep.messages] + list(dep.control_arrows):
+        src_ev = (src.proc, src.index)
+        dst_ev = (dst.proc, dst.index - 1)
+        if src_ev != dst_ev:
+            incoming.setdefault(dst_ev, []).append(src_ev)
+
+    changed = True
+    while changed:  # acyclic: settles in O(depth) sweeps
+        changed = False
+        for i in range(dep.n):
+            for e in range(counts[i] - 1):
+                lev = 1
+                if e > 0:
+                    lev = levels[i][e - 1] + 1
+                for (sp, se) in incoming.get((i, e), ()):
+                    lev = max(lev, levels[sp][se] + 1)
+                if lev > levels[i][e]:
+                    levels[i][e] = lev
+                    changed = True
+    longest_events = max((l for row in levels for l in row), default=0)
+    return longest_events + 1
+
+
+@dataclass(frozen=True)
+class DeposetStats:
+    """Structural summary of one computation."""
+
+    n: int
+    total_states: int
+    total_events: int
+    messages: int
+    control_arrows: int
+    #: longest causal chain of states (the computation's "makespan" in
+    #: logical steps); total_states / critical_path ~ achievable speed-up
+    critical_path: int
+    #: fraction of cross-process state pairs that are concurrent (in [0,1]);
+    #: 1.0 = fully parallel trace, ~0 = fully serialised
+    concurrency_fraction: float
+    #: messages per event -- the communication density
+    message_density: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.n} processes, {self.total_states} states, "
+            f"{self.messages} messages ({self.message_density:.2f}/event), "
+            f"critical path {self.critical_path}, "
+            f"concurrency {self.concurrency_fraction:.0%}"
+        )
+
+
+def deposet_stats(
+    dep: Deposet,
+    sample_pairs: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> DeposetStats:
+    """Compute :class:`DeposetStats` for ``dep``.
+
+    ``concurrency_fraction`` enumerates all cross-process state pairs when
+    there are at most ``sample_pairs`` of them, else samples that many
+    (seeded; pass ``rng`` to control).
+    """
+    counts = dep.state_counts
+    total_states = dep.num_states
+    total_events = total_states - dep.n
+    critical = _critical_path(dep)
+
+    order = dep.order
+    pairs = []
+    all_pairs = [
+        ((i, a), (j, b))
+        for i in range(dep.n)
+        for j in range(i + 1, dep.n)
+        for a in range(counts[i])
+        for b in range(counts[j])
+    ] if total_states <= 80 else None
+    if all_pairs is not None:
+        pairs = all_pairs
+    else:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        for _ in range(sample_pairs):
+            i, j = rng.choice(dep.n, size=2, replace=False)
+            pairs.append(
+                (
+                    (int(i), int(rng.integers(counts[i]))),
+                    (int(j), int(rng.integers(counts[j]))),
+                )
+            )
+    if pairs:
+        concurrent = sum(order.concurrent(x, y) for x, y in pairs)
+        fraction = concurrent / len(pairs)
+    else:
+        fraction = 1.0  # single process: vacuously, nothing to serialise
+
+    return DeposetStats(
+        n=dep.n,
+        total_states=total_states,
+        total_events=total_events,
+        messages=len(dep.messages),
+        control_arrows=len(dep.control_arrows),
+        critical_path=critical,
+        concurrency_fraction=fraction,
+        message_density=(len(dep.messages) / total_events) if total_events else 0.0,
+    )

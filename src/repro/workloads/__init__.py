@@ -1,0 +1,36 @@
+"""Workload generators: traces and programs used by tests and benchmarks.
+
+* :mod:`repro.workloads.random_traces` -- seeded random deposets with a
+  single boolean variable per process (availability-style predicates);
+* :mod:`repro.workloads.servers` -- replicated-server availability traces,
+  including the exact computation ``C1`` of the paper's Figure 4;
+* :mod:`repro.workloads.mutex_traces` -- critical-section traces for the
+  two-process mutual-exclusion experiments (E5);
+* :mod:`repro.workloads.philosophers` -- "at least one philosopher is
+  thinking" traces (example predicate (4) of Section 5).
+"""
+
+from repro.workloads.random_traces import random_deposet, random_bool_patterns
+from repro.workloads.servers import figure4_c1, random_server_trace, availability_predicate
+from repro.workloads.mutex_traces import mutex_trace, mutex_predicate
+from repro.workloads.philosophers import philosophers_trace, thinking_predicate
+from repro.workloads.locking import (
+    opposed_transactions_trace,
+    deadlock_hazard_clauses,
+    holds_and_wants,
+)
+
+__all__ = [
+    "opposed_transactions_trace",
+    "deadlock_hazard_clauses",
+    "holds_and_wants",
+    "random_deposet",
+    "random_bool_patterns",
+    "figure4_c1",
+    "random_server_trace",
+    "availability_predicate",
+    "mutex_trace",
+    "mutex_predicate",
+    "philosophers_trace",
+    "thinking_predicate",
+]

@@ -1,0 +1,96 @@
+"""Two-phase-locking workloads: the deadlock-avoidance application.
+
+The paper's Conclusions name *system-wide deadlock avoidance* as a property
+expressible with locally-independent predicates.  The classic hazard: two
+processes acquire the same two locks in opposite orders; the global state
+"P holds a & wants b, Q holds b & wants a" deadlocks the application.
+
+Avoidance as predicate control: for each unordered lock pair and process
+pair, require "never both hold-one-want-other simultaneously" -- each such
+requirement is a two-process *disjunctive* clause, so the conjunction is a
+CNF over disjunctive clauses handled by :func:`repro.core.separated.control_cnf`,
+and (on traces where transactions are separated by lock-free states) the
+clauses are mutually separated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.predicates.boolean import Not
+from repro.predicates.disjunctive import DisjunctivePredicate, as_disjunctive
+from repro.predicates.local import LocalPredicate
+from repro.trace.builder import ComputationBuilder
+from repro.trace.deposet import Deposet
+
+__all__ = [
+    "opposed_transactions_trace",
+    "deadlock_hazard_clauses",
+    "holds_and_wants",
+]
+
+
+def holds_and_wants(proc: int, held: str, wanted: str) -> LocalPredicate:
+    """Local predicate: ``proc`` holds ``held`` and is waiting for ``wanted``."""
+    return LocalPredicate.from_vars(
+        proc,
+        lambda v, _h=held, _w=wanted: bool(v.get(_h)) and v.get("wants") == _w,
+        name=f"holds({held})&wants({wanted})@{proc}",
+    )
+
+
+def deadlock_hazard_clauses(
+    procs: Sequence[int], lock_a: str, lock_b: str, n: int
+) -> List[DisjunctivePredicate]:
+    """One disjunctive clause per ordered process pair: not (i holds a &
+    wants b while j holds b & wants a).  A cycle in the wait-for graph over
+    two locks requires one of these global states, so enforcing every
+    clause makes the AB/BA deadlock pattern unreachable."""
+    clauses: List[DisjunctivePredicate] = []
+    for i in procs:
+        for j in procs:
+            if i >= j:
+                continue
+            for first, second in ((lock_a, lock_b), (lock_b, lock_a)):
+                clause = as_disjunctive(
+                    Not(holds_and_wants(i, first, second))
+                    | Not(holds_and_wants(j, second, first)),
+                    n=n,
+                )
+                clauses.append(clause)
+    return clauses
+
+
+def opposed_transactions_trace(
+    rounds: int = 1,
+    n: int = 2,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Deposet:
+    """Transactions taking locks ``a`` then ``b`` (even processes) or ``b``
+    then ``a`` (odd processes), with lock-free gaps between rounds.
+
+    Lock acquisition is modelled optimistically (this is a *trace*; in the
+    recorded run nobody actually deadlocked), but the hazard states are
+    concurrent across processes, so the untreated trace admits global
+    states where the wait-for cycle exists -- the bug predicate control
+    removes.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    start = [{"a": False, "b": False, "wants": None} for _ in range(n)]
+    b = ComputationBuilder(n, start_vars=start)
+    for _ in range(rounds):
+        for i in range(n):
+            first, second = ("a", "b") if i % 2 == 0 else ("b", "a")
+            for _ in range(int(rng.integers(1, 3))):
+                b.local(i)  # lock-free gap (separates the clauses)
+            b.local(i, **{first: True, "wants": second})   # hold 1st, want 2nd
+            b.local(i, **{second: True, "wants": None})    # got both
+            b.local(i, **{first: False})                   # release 1st
+            b.local(i, **{second: False})                  # release 2nd
+        for i in range(n):
+            b.local(i)  # trailing gap
+    return b.build()

@@ -1,0 +1,58 @@
+"""Critical-section traces for the mutual-exclusion experiments.
+
+Two-process mutual exclusion is example predicate (1) of Section 5:
+``B = not cs_1 v not cs_2``.  The paper's Section 5 evaluation notes that
+controlling a two-process mutex trace emits at most one control message per
+critical section; experiment E5 measures that bound on these traces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.predicates.disjunctive import DisjunctivePredicate
+from repro.predicates.local import LocalPredicate
+from repro.trace.builder import ComputationBuilder
+from repro.trace.deposet import Deposet
+
+__all__ = ["mutex_trace", "mutex_predicate"]
+
+
+def mutex_predicate(n: int = 2, var: str = "cs") -> DisjunctivePredicate:
+    """``(n-1)``-mutual-exclusion safety: someone is outside the CS.
+
+    For ``n = 2`` this is the classic two-process mutual exclusion
+    ``not cs_1 v not cs_2``.
+    """
+    return DisjunctivePredicate(
+        [LocalPredicate.var_false(i, var) for i in range(n)], n=n
+    )
+
+
+def mutex_trace(
+    cs_per_proc: int,
+    n: int = 2,
+    think_run: int = 2,
+    cs_run: int = 1,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Deposet:
+    """Processes alternating think / critical-section phases, uncoordinated.
+
+    No messages are exchanged, so every interleaving is possible and the
+    critical sections of different processes are all mutually concurrent --
+    the worst case for a controller, which must serialise them.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    b = ComputationBuilder(n, start_vars=[{"cs": False}] * n)
+    for proc in range(n):
+        for _ in range(cs_per_proc):
+            for _ in range(1 + int(rng.integers(think_run))):
+                b.local(proc, cs=False)
+            for _ in range(1 + int(rng.integers(cs_run))):
+                b.local(proc, cs=True)
+        b.local(proc, cs=False)  # A2-style: end outside the CS
+    return b.build()

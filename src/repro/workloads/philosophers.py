@@ -1,0 +1,73 @@
+"""Dining-philosophers-flavoured traces.
+
+"At least one philosopher is thinking" is example predicate (4) of the
+paper's Section 5.  The trace generator produces think/eat cycles with
+fork-request messages between neighbours (ring topology), giving message-
+rich inputs for the off-line controller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.predicates.disjunctive import DisjunctivePredicate
+from repro.predicates.local import LocalPredicate
+from repro.trace.builder import ComputationBuilder
+from repro.trace.deposet import Deposet
+
+__all__ = ["philosophers_trace", "thinking_predicate"]
+
+
+def thinking_predicate(n: int) -> DisjunctivePredicate:
+    """``thinking_1 v ... v thinking_n``."""
+    return DisjunctivePredicate(
+        [LocalPredicate.var_true(i, "thinking") for i in range(n)], n=n
+    )
+
+
+def philosophers_trace(
+    n: int,
+    meals_per_philosopher: int,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Deposet:
+    """Philosophers cycling think -> eat, trading fork tokens on a ring.
+
+    Each philosopher, per meal: thinks for a few events, sends a fork
+    request to the right-hand neighbour, eats (``thinking=False``), and
+    later the neighbour receives the request.  Message delivery is delayed
+    randomly, so eating phases overlap across the ring.
+    """
+    if n < 2:
+        raise ValueError("need at least two philosophers")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    b = ComputationBuilder(
+        n,
+        names=[f"phil{i}" for i in range(n)],
+        start_vars=[{"thinking": True}] * n,
+    )
+    pending = []
+    # round-robin over philosophers to keep phases loosely aligned
+    for _ in range(meals_per_philosopher):
+        for proc in range(n):
+            for _ in range(1 + int(rng.integers(2))):
+                b.local(proc, thinking=True)
+            pending.append(b.send(proc, tag="fork-req"))
+            for _ in range(1 + int(rng.integers(2))):
+                b.local(proc, thinking=False)
+            # deliver a random deliverable pending request
+            deliverable = [m for m in pending if m.src.proc != proc]
+            if deliverable and rng.random() < 0.7:
+                msg = deliverable[int(rng.integers(len(deliverable)))]
+                pending.remove(msg)
+                b.receive(proc, msg)
+    for proc in range(n):
+        b.local(proc, thinking=True)  # all end up thinking
+    for msg in pending:
+        candidates = [p for p in range(n) if p != msg.src.proc]
+        proc = candidates[int(rng.integers(len(candidates)))]
+        b.receive(proc, msg)
+    return b.build()

@@ -1,0 +1,96 @@
+"""Seeded random deposets.
+
+Each process carries one boolean variable (default ``"up"``) that flips at
+random events; random messages weave the processes together.  All
+generation is deterministic under ``seed`` (or an explicit
+``numpy.random.Generator``), per the reproducibility conventions of the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.trace.builder import ComputationBuilder
+from repro.trace.deposet import Deposet
+
+__all__ = ["random_deposet", "random_bool_patterns"]
+
+
+def random_bool_patterns(
+    n: int,
+    length: int,
+    flip_rate: float,
+    rng: np.random.Generator,
+    start_true_prob: float = 0.8,
+) -> List[List[bool]]:
+    """Per-process boolean state sequences with geometric-ish runs."""
+    patterns: List[List[bool]] = []
+    for _ in range(n):
+        value = bool(rng.random() < start_true_prob)
+        seq = [value]
+        for _ in range(length):
+            if rng.random() < flip_rate:
+                value = not value
+            seq.append(value)
+        patterns.append(seq)
+    return patterns
+
+
+def random_deposet(
+    n: int,
+    events_per_proc: int,
+    message_rate: float = 0.3,
+    var: str = "up",
+    flip_rate: float = 0.3,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    start_true_prob: float = 0.8,
+) -> Deposet:
+    """A random valid deposet.
+
+    Events are scheduled by a random interleaving; with probability
+    ``message_rate`` an event is a communication step (receiving a pending
+    message when one exists, otherwise sending to a random peer), else a
+    local event.  Every event may flip the process's ``var`` with
+    probability ``flip_rate``.  Pending messages are drained at the end so
+    channels are reliable (no lost messages).
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+
+    values = [bool(rng.random() < start_true_prob) for _ in range(n)]
+    b = ComputationBuilder(n, start_vars=[{var: v} for v in values])
+    pending: List = []  # undelivered PendingMessage handles
+
+    def maybe_flip(proc: int) -> dict:
+        if rng.random() < flip_rate:
+            values[proc] = not values[proc]
+        return {var: values[proc]}
+
+    total = n * events_per_proc
+    for _ in range(total):
+        proc = int(rng.integers(n))
+        updates = maybe_flip(proc)
+        if n > 1 and rng.random() < message_rate:
+            deliverable = [m for m in pending if m.src.proc != proc]
+            if deliverable and rng.random() < 0.5:
+                msg = deliverable[int(rng.integers(len(deliverable)))]
+                pending.remove(msg)
+                b.receive(proc, msg, **updates)
+            else:
+                pending.append(b.send(proc, **updates))
+        else:
+            b.local(proc, **updates)
+
+    # Drain: deliver leftovers to random other processes (reliable channels).
+    for msg in pending:
+        candidates = [p for p in range(n) if p != msg.src.proc]
+        proc = candidates[int(rng.integers(len(candidates)))]
+        b.receive(proc, msg, **maybe_flip(proc))
+
+    return b.build()

@@ -1,0 +1,113 @@
+"""Replicated-server availability workloads (the paper's running example).
+
+The system invariant is "at least one server is available at all times"
+(example predicate (2) of Section 5).  :func:`figure4_c1` transcribes the
+computation ``C1`` of Figure 4: three servers whose unavailability
+("thicker") intervals are mutually concurrent, creating exactly the two
+violating consistent global states ``G`` and ``H``; the states ``e``
+(S2 back up) and ``f`` (S3 going down) of the walkthrough are labelled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.causality.relations import StateRef
+from repro.predicates.disjunctive import DisjunctivePredicate
+from repro.predicates.local import LocalPredicate
+from repro.trace.builder import ComputationBuilder
+from repro.trace.deposet import Deposet
+
+__all__ = ["figure4_c1", "random_server_trace", "availability_predicate"]
+
+
+def availability_predicate(n: int, var: str = "avail") -> DisjunctivePredicate:
+    """``avail_1 v avail_2 v ... v avail_n`` -- at least one server up."""
+    return DisjunctivePredicate(
+        [LocalPredicate.var_true(i, var) for i in range(n)], n=n
+    )
+
+
+def figure4_c1() -> Tuple[Deposet, Dict[str, StateRef]]:
+    """The computation ``C1`` of Figure 4 and its labelled states.
+
+    Returns the trace plus labels: ``e`` (S2's recovery state), ``f``
+    (S3's first unavailable state), and ``G``/``H`` are the two violating
+    cuts ``(1, 1, 1)`` and ``(2, 1, 1)`` (S1 down twice as long).
+    """
+    b = ComputationBuilder(
+        3, names=["S1", "S2", "S3"], start_vars=[{"avail": True}] * 3
+    )
+    b.local(0, avail=False)  # S1 goes down: s[0,1]
+    b.local(1, avail=False)  # S2 goes down: s[1,1]
+    b.local(2, avail=False)  # S3 goes down: s[2,1] -- state "f"
+    b.mark(2, "f")
+    b.local(0, avail=False)  # S1 still down: s[0,2]
+    b.local(1, avail=True)   # S2 recovers:  s[1,2] -- state "e"
+    b.mark(1, "e")
+    b.local(0, avail=True)   # S1 recovers:  s[0,3]
+    b.local(2, avail=True)   # S3 recovers:  s[2,2]
+    m = b.send(1)            # gossip S2 -> S3 after both recovered
+    b.receive(2, m)
+    return b.build(), dict(b.labels)
+
+
+def random_server_trace(
+    n: int,
+    outages_per_server: int,
+    up_run: int = 3,
+    down_run: int = 2,
+    message_rate: float = 0.2,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Deposet:
+    """Servers cycling through up/down phases with gossip messages.
+
+    Each server performs ``outages_per_server`` outages; phase lengths are
+    geometric with means ``up_run``/``down_run``.  Gossip sends happen at
+    random events and are delivered at random later events (never breaking
+    the deposet constraints).
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    b = ComputationBuilder(
+        n,
+        names=[f"S{i + 1}" for i in range(n)],
+        start_vars=[{"avail": True}] * n,
+    )
+    # Per-server remaining plan: list of (value, length) phases.
+    plans = []
+    for _ in range(n):
+        phases = []
+        for _ in range(outages_per_server):
+            phases.append((True, 1 + int(rng.geometric(1.0 / up_run))))
+            phases.append((False, 1 + int(rng.geometric(1.0 / down_run))))
+        phases.append((True, 1 + int(rng.geometric(1.0 / up_run))))
+        plans.append([v for v, length in phases for _ in range(length)])
+
+    pending = []
+    cursors = [0] * n
+    live = list(range(n))
+    while live:
+        proc = live[int(rng.integers(len(live)))]
+        value = plans[proc][cursors[proc]]
+        cursors[proc] += 1
+        if cursors[proc] >= len(plans[proc]):
+            live.remove(proc)
+        deliverable = [m for m in pending if m.src.proc != proc]
+        if n > 1 and rng.random() < message_rate:
+            if deliverable and rng.random() < 0.5:
+                msg = deliverable[int(rng.integers(len(deliverable)))]
+                pending.remove(msg)
+                b.receive(proc, msg, avail=value)
+            else:
+                pending.append(b.send(proc, avail=value))
+        else:
+            b.local(proc, avail=value)
+    for msg in pending:
+        candidates = [p for p in range(n) if p != msg.src.proc]
+        proc = candidates[int(rng.integers(len(candidates)))]
+        b.receive(proc, msg)
+    return b.build()

@@ -1,0 +1,67 @@
+"""Tests for the experiment harness (tables + scaling fits)."""
+
+import pytest
+
+from repro.bench import Sweep, format_table, geometric_fit
+
+
+def test_format_table_alignment():
+    rows = [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yyyy"}]
+    out = format_table(rows, title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("a ")
+    assert "22" in lines[4]
+    # columns aligned: header and rows share the separator width
+    assert len(lines[2]) == len(lines[1])
+
+
+def test_format_table_empty():
+    assert "(empty table)" in format_table([])
+
+
+def test_format_table_column_selection():
+    rows = [{"a": 1, "b": 2}]
+    out = format_table(rows, columns=["b"])
+    assert "a" not in out.splitlines()[0]
+
+
+def test_format_table_float_formatting():
+    rows = [{"x": 0.00012345, "y": 123456.789, "z": 1.5, "w": 0.0}]
+    out = format_table(rows)
+    assert "0.000123" in out
+    assert "1.23e+05" in out
+    assert "1.5" in out
+
+
+def test_geometric_fit_quadratic():
+    xs = [2, 4, 8, 16]
+    ys = [x**2 for x in xs]
+    assert geometric_fit(xs, ys) == pytest.approx(2.0)
+
+
+def test_geometric_fit_linear_with_constant():
+    xs = [10, 100, 1000]
+    ys = [7 * x for x in xs]
+    assert geometric_fit(xs, ys) == pytest.approx(1.0)
+
+
+def test_geometric_fit_drops_zeros():
+    assert geometric_fit([1, 2, 4], [0, 2, 4]) == pytest.approx(1.0)
+
+
+def test_geometric_fit_needs_two_points():
+    with pytest.raises(ValueError):
+        geometric_fit([1], [1])
+    with pytest.raises(ValueError):
+        geometric_fit([0, 0], [1, 1])
+
+
+def test_sweep_accumulates_and_renders():
+    s = Sweep("demo")
+    s.add(n=1, t=0.5)
+    s.add(n=2, t=1.0)
+    assert s.column("n") == [1, 2]
+    out = s.render()
+    assert out.startswith("demo")
+    assert str(s) == out

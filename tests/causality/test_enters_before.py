@@ -1,0 +1,73 @@
+"""Unit tests for the entered-level relation (the half-step corrector)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.causality import CausalOrder
+from repro.workloads import random_deposet
+
+
+def order_with_msg():
+    # msg: s[0,1] completed before s[1,2] entered
+    return CausalOrder([4, 4], [((0, 1), (1, 2))])
+
+
+def test_same_process_is_index_order():
+    co = order_with_msg()
+    assert co.enters_before((0, 1), (0, 1))
+    assert co.enters_before((0, 1), (0, 3))
+    assert not co.enters_before((0, 3), (0, 1))
+
+
+def test_bottom_enters_before_everything():
+    co = order_with_msg()
+    assert co.enters_before((0, 0), (1, 3))
+    assert co.enters_before((1, 0), (0, 3))
+
+
+def test_half_step_difference_around_a_send():
+    co = order_with_msg()
+    # the send is the event leaving s[0,1] = entering s[0,2]
+    # strict ->: s[0,1] completed before s[1,2] entered
+    assert co.happened_before((0, 1), (1, 2))
+    # entered-level: s[0,2]'s ENTRY is that same event, so it also
+    # "enters before" the receive's result -- though s[0,2] does NOT
+    # happen-before s[1,2] in the strict state relation
+    assert co.enters_before((0, 2), (1, 2))
+    assert not co.happened_before((0, 2), (1, 2))
+
+
+def test_enters_before_false_across_concurrent_states():
+    co = order_with_msg()
+    assert not co.enters_before((1, 1), (0, 2))
+    assert not co.enters_before((0, 3), (1, 1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=20_000))
+def test_enters_before_is_implied_by_happened_before(seed):
+    dep = random_deposet(n=3, events_per_proc=5, message_rate=0.4, seed=seed)
+    co = dep.order
+    for i in range(dep.n):
+        for a in range(dep.state_counts[i]):
+            for j in range(dep.n):
+                for b in range(dep.state_counts[j]):
+                    if co.happened_before((i, a), (j, b)):
+                        # completed-before is strictly stronger than
+                        # entered-before
+                        assert co.enters_before((i, a), (j, b))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=20_000))
+def test_enters_before_transitive(seed):
+    dep = random_deposet(n=3, events_per_proc=4, message_rate=0.5, seed=seed)
+    co = dep.order
+    states = [
+        (i, a) for i in range(dep.n) for a in range(dep.state_counts[i])
+    ]
+    import itertools
+
+    for x, y, z in itertools.islice(itertools.permutations(states, 3), 3000):
+        if co.enters_before(x, y) and co.enters_before(y, z):
+            assert co.enters_before(x, z), (x, y, z)

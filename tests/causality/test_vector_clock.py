@@ -1,0 +1,111 @@
+"""Unit tests for the VectorClock value type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.causality import VectorClock
+
+
+def test_zero_clock_components():
+    vc = VectorClock.zero(3)
+    assert list(vc) == [-1, -1, -1]
+    assert vc.n == 3
+
+
+def test_zero_requires_positive_width():
+    with pytest.raises(ValueError):
+        VectorClock.zero(0)
+
+
+def test_tick_bumps_single_component():
+    vc = VectorClock.zero(3).tick(1)
+    assert list(vc) == [-1, 0, -1]
+
+
+def test_tick_is_pure():
+    vc = VectorClock.zero(2)
+    vc.tick(0)
+    assert list(vc) == [-1, -1]
+
+
+def test_merge_componentwise_max():
+    a = VectorClock([3, 0, 2])
+    b = VectorClock([1, 5, 2])
+    assert list(a.merge(b)) == [3, 5, 2]
+
+
+def test_merge_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        VectorClock.zero(2).merge(VectorClock.zero(3))
+
+
+def test_happened_before_strict():
+    a = VectorClock([1, 0])
+    b = VectorClock([2, 0])
+    assert a.happened_before(b)
+    assert not b.happened_before(a)
+    assert not a.happened_before(a)
+
+
+def test_concurrent_clocks():
+    a = VectorClock([1, 0])
+    b = VectorClock([0, 1])
+    assert a.concurrent_with(b)
+    assert b.concurrent_with(a)
+
+
+def test_equality_and_hash():
+    assert VectorClock([1, 2]) == VectorClock([1, 2])
+    assert hash(VectorClock([1, 2])) == hash(VectorClock([1, 2]))
+    assert VectorClock([1, 2]) != VectorClock([2, 1])
+
+
+def test_message_exchange_scenario():
+    # P0 ticks, sends; P1 ticks then receives -> merged state dominates both.
+    p0 = VectorClock.zero(2).tick(0)
+    p1 = VectorClock.zero(2).tick(1)
+    p1_after = p1.tick(1).merge(p0)
+    assert p0.happened_before(p1_after)
+    assert p1.happened_before(p1_after)
+
+
+clock_lists = st.lists(st.integers(min_value=-1, max_value=50), min_size=1, max_size=6)
+
+
+@given(clock_lists)
+def test_merge_idempotent(components):
+    vc = VectorClock(components)
+    assert vc.merge(vc) == vc
+
+
+@given(clock_lists, st.data())
+def test_merge_commutative(components, data):
+    other = data.draw(
+        st.lists(
+            st.integers(min_value=-1, max_value=50),
+            min_size=len(components),
+            max_size=len(components),
+        )
+    )
+    a, b = VectorClock(components), VectorClock(other)
+    assert a.merge(b) == b.merge(a)
+
+
+@given(clock_lists, st.data())
+def test_exactly_one_causality_relation(components, data):
+    other = data.draw(
+        st.lists(
+            st.integers(min_value=-1, max_value=50),
+            min_size=len(components),
+            max_size=len(components),
+        )
+    )
+    a, b = VectorClock(components), VectorClock(other)
+    relations = [
+        a == b,
+        a.happened_before(b),
+        b.happened_before(a),
+        a != b and a.concurrent_with(b),
+    ]
+    assert sum(relations) == 1

@@ -1,0 +1,131 @@
+"""Tests for general-predicate control (the constructive side of Theorem 1).
+
+The strategy <-> sequence equivalence: from a (single-step) satisfying
+global sequence we build a control relation admitting only that sequence;
+conversely, running the off-line SGSD search under the controlled deposet
+reproduces a satisfying sequence.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import control_from_sequence, control_general
+from repro.detection import sat_to_sgsd, sgsd
+from repro.errors import NoControllerExistsError
+from repro.predicates import LocalPredicate, Or
+from repro.sat import CNF, dpll_solve, random_ksat
+from repro.trace import ComputationBuilder, CutLattice
+from repro.trace.global_state import final_cut, initial_cut
+
+
+def grid(n=2, k=2):
+    b = ComputationBuilder(n)
+    for i in range(n):
+        for _ in range(k):
+            b.local(i)
+    return b.build()
+
+
+def test_serialisation_admits_only_the_sequence():
+    dep = grid(2, 1)
+    seq = [(0, 0), (1, 0), (1, 1)]  # P0 first, then P1
+    control = control_from_sequence(dep, seq)
+    controlled = control.apply(dep)
+    lat = CutLattice(controlled)
+    assert set(lat.consistent_cuts()) == set(seq)
+
+
+def test_serialisation_skips_implied_arrows():
+    b = ComputationBuilder(2)
+    b.local(0)
+    m = b.send(0)
+    b.receive(1, m)
+    dep = b.build()
+    # the only executable order already follows causality: P0 twice, then P1
+    seq = [(0, 0), (1, 0), (2, 0), (2, 1)]
+    control = control_from_sequence(dep, seq)
+    assert len(control) == 0
+
+
+def test_rejects_simultaneous_moves():
+    dep = grid(2, 1)
+    with pytest.raises(ValueError, match="simultaneity"):
+        control_from_sequence(dep, [(0, 0), (1, 1)])
+
+
+def test_rejects_bad_endpoints():
+    dep = grid(2, 1)
+    with pytest.raises(ValueError):
+        control_from_sequence(dep, [(1, 0), (1, 1)])
+    with pytest.raises(ValueError):
+        control_from_sequence(dep, [(0, 0), (1, 0)])
+
+
+def test_rejects_multi_state_jumps():
+    dep = grid(1, 2)
+    with pytest.raises(ValueError):
+        control_from_sequence(dep, [(0,), (2,)])
+
+
+def test_stutters_tolerated():
+    dep = grid(2, 1)
+    seq = [(0, 0), (0, 0), (1, 0), (1, 1), (1, 1)]
+    control = control_from_sequence(dep, seq)
+    controlled = control.apply(dep)
+    assert CutLattice(controlled).is_consistent((1, 0))
+
+
+def test_control_general_enforces_predicate():
+    # two processes must not both be in phase 1 simultaneously (a general,
+    # corner-sensitive predicate: not disjunctive-friendly orderings)
+    b = ComputationBuilder(2, start_vars=[{"phase": 0}, {"phase": 0}])
+    for i in range(2):
+        b.local(i, phase=1)
+        b.local(i, phase=2)
+    dep = b.build()
+    both_in_1 = Or(
+        LocalPredicate.var_equals(0, "phase", 1).__invert__(),
+        LocalPredicate.var_equals(1, "phase", 1).__invert__(),
+    )
+    control = control_general(dep, both_in_1)
+    controlled = control.apply(dep)
+    lat = CutLattice(controlled)
+    for cut in lat.consistent_cuts():
+        assert both_in_1.evaluate(controlled, cut)
+
+
+def test_control_general_infeasible():
+    b = ComputationBuilder(1, start_vars=[{"ok": True}])
+    b.local(0, ok=False)
+    b.local(0, ok=True)
+    dep = b.build()
+    with pytest.raises(NoControllerExistsError):
+        control_general(dep, LocalPredicate.var_true(0, "ok"))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_sat_reduction_roundtrip_through_control(seed):
+    """E2: SAT -> SGSD -> control strategy -> controlled deposet whose every
+    consistent cut satisfies B; and infeasible formulas give no strategy."""
+    cnf = random_ksat(3, 5, k=2, seed=seed)
+    inst = sat_to_sgsd(cnf)
+    model = dpll_solve(cnf)
+    try:
+        control = control_general(inst.deposet, inst.predicate)
+    except NoControllerExistsError:
+        assert model is None
+        return
+    assert model is not None
+    controlled = control.apply(inst.deposet)
+    lat = CutLattice(controlled)
+    cuts = lat.consistent_cuts()
+    assert initial_cut(inst.deposet) in cuts
+    assert final_cut(inst.deposet) in cuts
+    for cut in cuts:
+        assert inst.predicate.evaluate(controlled, cut)
+    # and the controlled deposet still admits a full single-step execution
+    assert (
+        lat.find_satisfying_sequence(lambda c: True, moves="single") is not None
+    )

@@ -1,0 +1,236 @@
+"""Correctness tests for the off-line disjunctive control algorithm.
+
+The two load-bearing properties (Theorem 2):
+
+* soundness -- when the algorithm emits a control relation, the controlled
+  deposet satisfies ``B`` (checked exactly via weak-conjunctive detection);
+* completeness -- the algorithm reports *No Controller Exists* exactly when
+  no satisfying global sequence exists (checked against exhaustive SGSD on
+  small random traces).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    control_disjunctive,
+    deposet_satisfies,
+    is_feasible,
+    verify_control,
+)
+from repro.detection import possibly_bad, sgsd_feasible
+from repro.errors import NoControllerExistsError
+from repro.predicates import DisjunctivePredicate, LocalPredicate, Or, false_intervals
+from repro.trace import ComputationBuilder
+from repro.workloads import (
+    availability_predicate,
+    figure4_c1,
+    mutex_predicate,
+    mutex_trace,
+    philosophers_trace,
+    random_deposet,
+    thinking_predicate,
+)
+
+
+def up_pred(n):
+    return availability_predicate(n, var="up")
+
+
+def patterns(*seqs):
+    b = ComputationBuilder(len(seqs), start_vars=[{"up": s[0]} for s in seqs])
+    for i, s in enumerate(seqs):
+        for v in s[1:]:
+            b.local(i, up=v)
+    return b.build()
+
+
+# -- basic soundness ---------------------------------------------------------
+
+
+def test_already_satisfying_trace_gets_empty_control():
+    dep = patterns([True, True, True], [True, False, True])
+    res = control_disjunctive(dep, up_pred(2))
+    assert len(res.control) == 0
+    assert deposet_satisfies(dep, up_pred(2))
+
+
+def test_concurrent_down_intervals_get_serialised():
+    dep = patterns([True, False, True], [True, False, True])
+    pred = up_pred(2)
+    assert possibly_bad(dep, pred) is not None  # the bug is possible...
+    res = control_disjunctive(dep, pred)
+    controlled = verify_control(dep, pred, res.control)  # ...and controllable
+    assert deposet_satisfies(controlled, pred)
+    assert len(res.control) >= 1
+
+
+def test_figure4_availability_control():
+    dep, labels = figure4_c1()
+    pred = availability_predicate(3)
+    violating = possibly_bad(dep, pred)
+    assert violating is not None
+    res = control_disjunctive(dep, pred)
+    controlled = verify_control(dep, pred, res.control)
+    assert possibly_bad(controlled, pred) is None
+    # the chain stays small: one arrow per crossed interval at most
+    assert len(res.control) <= 3
+
+
+def test_two_process_mutex_one_message_per_cs():
+    dep = mutex_trace(cs_per_proc=5, n=2, seed=1)
+    pred = mutex_predicate(2)
+    res = control_disjunctive(dep, pred)
+    verify_control(dep, pred, res.control)
+    # Section 5 evaluation: at most one control message per critical section
+    assert len(res.control) <= 2 * 5
+
+
+def test_philosophers_controlled():
+    dep = philosophers_trace(4, meals_per_philosopher=2, seed=3)
+    pred = thinking_predicate(4)
+    res = control_disjunctive(dep, pred)
+    verify_control(dep, pred, res.control)
+
+
+# -- infeasibility -----------------------------------------------------------
+
+
+def test_both_processes_always_down_infeasible():
+    dep = patterns([False, False], [False, False])
+    with pytest.raises(NoControllerExistsError) as exc:
+        control_disjunctive(dep, up_pred(2))
+    assert exc.value.witness is not None
+
+
+def test_single_process_midtrace_down_infeasible():
+    dep = patterns([True, False, True])
+    pred = DisjunctivePredicate([LocalPredicate.var_true(0, "up")], n=1)
+    assert not is_feasible(dep, pred)
+
+
+def test_single_process_always_up_feasible():
+    dep = patterns([True, True])
+    pred = DisjunctivePredicate([LocalPredicate.var_true(0, "up")], n=1)
+    res = control_disjunctive(dep, pred)
+    assert len(res.control) == 0
+
+
+def test_message_locked_overlap_infeasible():
+    # P0 goes down and *stays down until after* P1 is down (message from
+    # P1's down state into P0's down interval), and vice versa: the down
+    # intervals overlap in every execution.
+    b = ComputationBuilder(2, start_vars=[{"up": True}, {"up": True}])
+    b.local(0, up=False)  # s[0,1] down
+    b.local(1, up=False)  # s[1,1] down
+    m0 = b.send(0)        # sent while down: s[0,2]
+    m1 = b.send(1)        # sent while down: s[1,2]
+    b.receive(0, m1)      # s[0,3] still down
+    b.receive(1, m0)      # s[1,3] still down
+    b.local(0, up=True)
+    b.local(1, up=True)
+    dep = b.build()
+    pred = up_pred(2)
+    assert not is_feasible(dep, pred)
+    # ground truth: no satisfying sequence exists
+    assert not sgsd_feasible(dep, Or(*pred.locals_by_proc.values()))
+
+
+# -- agreement with exhaustive ground truth -----------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_feasibility_matches_exhaustive_sgsd(seed):
+    dep = random_deposet(
+        n=3, events_per_proc=4, message_rate=0.4, flip_rate=0.5, seed=seed,
+        start_true_prob=0.6,
+    )
+    pred = up_pred(3)
+    feasible = is_feasible(dep, pred)
+    # Ground truth is *single-move* SGSD: a controller can only enforce
+    # sequences whose steps are single events.  (Subset-move sequences may
+    # "skip" a configuration that every real execution passes through --
+    # e.g. when the event taking one process into its false interval is the
+    # very send that lets another process leave its own.)
+    ground_truth = sgsd_feasible(
+        dep, Or(*pred.locals_by_proc.values()), moves="single"
+    )
+    assert feasible == ground_truth
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_soundness_on_random_traces(seed):
+    dep = random_deposet(
+        n=4, events_per_proc=8, message_rate=0.35, flip_rate=0.4, seed=seed,
+        start_true_prob=0.7,
+    )
+    pred = up_pred(4)
+    try:
+        res = control_disjunctive(dep, pred)
+    except NoControllerExistsError:
+        return
+    controlled = verify_control(dep, pred, res.control)
+    assert deposet_satisfies(controlled, pred)
+    total_intervals = sum(len(ivs) for ivs in false_intervals(dep, pred))
+    assert len(res.control) <= max(total_intervals, 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=5),
+)
+def test_random_selection_always_verifies(seed, select_seed):
+    dep = random_deposet(
+        n=3, events_per_proc=6, message_rate=0.3, flip_rate=0.45, seed=seed
+    )
+    pred = up_pred(3)
+    try:
+        res = control_disjunctive(dep, pred, seed=select_seed)
+    except NoControllerExistsError:
+        assert not is_feasible(dep, pred)
+        return
+    verify_control(dep, pred, res.control)
+
+
+# -- variants ------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_naive_variant_agrees(seed):
+    dep = random_deposet(
+        n=3, events_per_proc=6, message_rate=0.3, flip_rate=0.45, seed=seed
+    )
+    pred = up_pred(3)
+    outcomes = {}
+    for variant in ("optimized", "naive"):
+        try:
+            res = control_disjunctive(dep, pred, variant=variant)
+            verify_control(dep, pred, res.control)
+            outcomes[variant] = True
+        except NoControllerExistsError:
+            outcomes[variant] = False
+    assert outcomes["optimized"] == outcomes["naive"]
+
+
+def test_variant_work_counters():
+    dep = mutex_trace(cs_per_proc=20, n=4, seed=5)
+    pred = mutex_predicate(4)
+    opt = control_disjunctive(dep, pred, variant="optimized")
+    naive = control_disjunctive(dep, pred, variant="naive")
+    assert opt.pair_checks <= naive.pair_checks
+    assert opt.iterations == naive.iterations  # same deterministic choices
+
+
+def test_unknown_variant_rejected():
+    dep = patterns([True, True])
+    with pytest.raises(ValueError):
+        control_disjunctive(
+            dep,
+            DisjunctivePredicate([LocalPredicate.var_true(0, "up")], n=1),
+            variant="bogus",
+        )

@@ -1,0 +1,76 @@
+"""Theorem 3: on-line control is impossible without assumptions A1/A2.
+
+The counterexample scenario: a process goes false and then *blocks waiting
+for a message* (violating A1) that its peer will only send after going
+false itself.  Any control strategy faces the dilemma:
+
+* let the peer go false too -> the disjunction is violated; or
+* block the peer -> the blocked process's message never arrives, the first
+  process stays false forever, and the peer is blocked forever: deadlock.
+
+The scapegoat strategy (correct under A1/A2) deadlocks here, demonstrating
+the theorem's scenario concretely; under A1 (the blocking receive happens
+while *true*) the same shape is handled fine.
+"""
+
+from repro.core.online import OnlineDisjunctiveControl
+from repro.sim import System
+
+
+def make_guard():
+    return OnlineDisjunctiveControl(
+        [lambda v: bool(v.get("up", False)) for _ in range(2)]
+    )
+
+
+def test_a1_violation_forces_deadlock_or_violation():
+    def blocker(ctx):  # P0: not the scapegoat; goes down, then blocks (A1!)
+        yield ctx.set(up=False)
+        yield ctx.receive()     # waits, while down, for P1's message
+        yield ctx.set(up=True)
+
+    def peer(ctx):  # P1: the scapegoat; wants to go down before sending
+        yield ctx.compute(5.0)  # let P0 go down first
+        yield ctx.set(up=False)  # controller must block this forever
+        yield ctx.send(0, "wake up")
+        yield ctx.set(up=True)
+
+    guard = make_guard()
+    system = System(
+        [blocker, peer],
+        start_vars=[{"up": False}, {"up": True}],  # P1 is the scapegoat
+        guard=guard,
+        seed=0,
+    )
+    result = system.run()
+    # The strategy kept the predicate (never both down at an instant)...
+    assert guard.violations == []
+    # ...at the price of deadlock: P1 blocked by its controller, P0 waiting
+    # for the message P1 can now never send.
+    assert result.deadlocked
+    assert result.blocked[1] == "blocked by controller"
+    assert result.blocked[0] == "waiting for a message"
+
+
+def test_same_shape_with_a1_respected_terminates():
+    def blocker(ctx):  # now blocks while *true* (A1 respected)
+        yield ctx.set(up=False)
+        yield ctx.set(up=True)
+        yield ctx.receive()
+
+    def peer(ctx):
+        yield ctx.compute(5.0)
+        yield ctx.set(up=False)
+        yield ctx.send(0, "wake up")
+        yield ctx.set(up=True)
+
+    guard = make_guard()
+    system = System(
+        [blocker, peer],
+        start_vars=[{"up": False}, {"up": True}],
+        guard=guard,
+        seed=0,
+    )
+    result = system.run()
+    assert not result.deadlocked
+    assert guard.violations == []

@@ -1,0 +1,120 @@
+"""The paper's Section 7 / Figure 4 walkthrough, end to end.
+
+A replicated-server system (S1, S2, S3) should always keep one server
+available.  The traced computation C1 violates this in exactly two
+consistent global states G and H.  The walkthrough:
+
+1. detect bug1 ("all servers unavailable") in C1: the cuts G, H;
+2. off-line control C1 with the availability predicate -> C2; bug1 gone;
+3. suspect bug2 ("e and f occur at the same time"); confirm it in C1;
+4. control C1 with "e must happen before f" -> C4; observe that this
+   *also* eliminates bug1 -- so bug2 is the root cause;
+5. prevent the bug on-line in fresh runs with the validated predicate.
+"""
+
+import pytest
+
+from repro.debug import DebugSession, at_least_one, happens_before
+from repro.errors import NotDisjunctiveError
+from repro.predicates import And, LocalPredicate
+from repro.sim import System
+from repro.workloads.servers import figure4_c1
+
+AVAIL = at_least_one(3, "avail")
+
+
+@pytest.fixture()
+def c1():
+    dep, labels = figure4_c1()
+    return DebugSession(dep, "C1"), labels
+
+
+def test_step1_detect_bug1(c1):
+    session, labels = c1
+    cuts = session.detect(AVAIL, exhaustive=True)
+    # exactly the two global states G and H of the figure
+    assert cuts == [(1, 1, 1), (2, 1, 1)]
+    assert session.bug_possible(AVAIL)
+
+
+def test_step2_offline_control_eliminates_bug1(c1):
+    session, labels = c1
+    c2, control = session.control(AVAIL, name="C2")
+    assert len(control) >= 1
+    assert not c2.bug_possible(AVAIL)
+    # G and H are no longer consistent global states of C2
+    assert not c2.is_consistent((1, 1, 1))
+    assert not c2.is_consistent((2, 1, 1))
+    assert c2.name == "C2"
+    assert "C1" in c2.describe() and "C2" in c2.describe()
+
+
+def test_step3_bug2_is_possible_in_c1(c1):
+    session, labels = c1
+    e, f = labels["e"], labels["f"]
+    order_ef = happens_before(e, f, n=3)
+    # e and f are concurrent in C1, so "e before f" can be violated
+    assert session.dep.order.concurrent(e, f)
+    assert session.bug_possible(order_ef)
+
+
+def test_step4_controlling_bug2_also_fixes_bug1(c1):
+    session, labels = c1
+    e, f = labels["e"], labels["f"]
+    c4, control = session.control(happens_before(e, f, n=3), name="C4")
+    # the new control message forces e to occur (be entered) before f ...
+    assert c4.dep.order.enters_before(e, f)
+    assert not c4.dep.order.concurrent(e, f) or c4.dep.order.enters_before(e, f)
+    assert not c4.bug_possible(happens_before(e, f, n=3))
+    # ... and G and H are inconsistent, so bug1 is gone too: bug2 was the
+    # most important bug.
+    assert not c4.bug_possible(AVAIL)
+    assert not c4.is_consistent((1, 1, 1))
+    assert not c4.is_consistent((2, 1, 1))
+
+
+def test_step5_online_prevention_on_fresh_runs(c1):
+    session, labels = c1
+    guard = session.online_guard(AVAIL)
+
+    def server(ctx):
+        for _ in range(5):
+            yield ctx.compute(float(ctx.rng.uniform(1.0, 3.0)))
+            yield ctx.set(avail=False)
+            yield ctx.compute(float(ctx.rng.uniform(0.5, 1.5)))
+            yield ctx.set(avail=True)
+
+    system = System(
+        [server, server, server],
+        start_vars=[{"avail": True}] * 3,
+        guard=guard,
+        seed=99,
+        jitter=0.4,
+    )
+    result = system.run()
+    assert not result.deadlocked
+    assert guard.violations == []
+
+
+def test_online_guard_rejects_index_predicates(c1):
+    session, labels = c1
+    e, f = labels["e"], labels["f"]
+    guard = session.online_guard(happens_before(e, f, n=3))
+
+    def server(ctx):
+        yield ctx.set(avail=False)
+
+    # the controller evaluates its local conditions as soon as it attaches
+    with pytest.raises(ValueError, match="index-based"):
+        System(
+            [server, server, server], start_vars=[{"avail": True}] * 3, guard=guard
+        )
+
+
+def test_detect_requires_normalisable_predicate(c1):
+    session, labels = c1
+    cross = And(
+        LocalPredicate.var_true(0, "avail"), LocalPredicate.var_true(1, "avail")
+    )
+    with pytest.raises(NotDisjunctiveError):
+        session.bug_possible(cross)

@@ -1,0 +1,80 @@
+"""Tests for DebugSession mechanics beyond the Figure-4 walkthrough."""
+
+import pytest
+
+from repro.debug import DebugSession, at_least_one
+from repro.errors import NoControllerExistsError
+from repro.workloads import random_server_trace
+
+
+@pytest.fixture()
+def session():
+    return DebugSession(random_server_trace(3, outages_per_server=2, seed=4))
+
+
+def test_default_naming_chain(session):
+    safety = at_least_one(3, "avail")
+    if not session.bug_possible(safety):
+        pytest.skip("seed produced a clean trace")
+    s2, _ = session.control(safety)
+    assert s2.name == "C2"
+    # controlling an already-clean computation yields an empty relation and
+    # continues the chain naming
+    s3, ctl = s2.control(safety)
+    assert s3.name == "C3"
+    assert len(ctl) == 0
+    assert [step.to_name for step in s3.history] == ["C2", "C3"]
+
+
+def test_sessions_are_immutable(session):
+    safety = at_least_one(3, "avail")
+    if not session.bug_possible(safety):
+        pytest.skip("seed produced a clean trace")
+    before = session.dep
+    s2, _ = session.control(safety)
+    assert session.dep is before
+    assert session.history == []
+    assert s2.history and s2.history[0].from_name == "C1"
+
+
+def test_control_replays_the_same_underlying_computation(session):
+    safety = at_least_one(3, "avail")
+    if not session.bug_possible(safety):
+        pytest.skip("seed produced a clean trace")
+    s2, ctl = session.control(safety)
+    assert s2.dep.without_control() == session.dep.without_control()
+    assert set(s2.dep.control_arrows) >= set()
+
+
+def test_detect_modes_agree_on_emptiness():
+    clean = DebugSession(random_server_trace(2, outages_per_server=1, seed=17))
+    safety = at_least_one(2, "avail")
+    fast = clean.detect(safety)
+    slow = clean.detect(safety, exhaustive=True)
+    assert (fast is None) == (len(slow) == 0)
+    if fast is not None:
+        assert fast in slow
+
+
+def test_infeasible_surfaces(session):
+    from repro.predicates import DisjunctivePredicate, LocalPredicate
+    from repro.trace import ComputationBuilder
+
+    b = ComputationBuilder(1, start_vars=[{"avail": True}])
+    b.local(0, avail=False)
+    b.local(0, avail=True)
+    s = DebugSession(b.build())
+    with pytest.raises(NoControllerExistsError):
+        s.control(
+            DisjunctivePredicate([LocalPredicate.var_true(0, "avail")], n=1)
+        )
+
+
+def test_describe_lists_history(session):
+    safety = at_least_one(3, "avail")
+    if not session.bug_possible(safety):
+        pytest.skip("seed produced a clean trace")
+    s2, _ = session.control(safety, name="fixed")
+    text = s2.describe()
+    assert "fixed" in text
+    assert "control msg" in text

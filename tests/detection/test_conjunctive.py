@@ -1,0 +1,102 @@
+"""Tests for weak-conjunctive (possibly) detection, vs. exhaustive ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import possibly_bad, possibly_exhaustive, find_conjunctive_cut
+from repro.predicates import DisjunctivePredicate, LocalPredicate
+from repro.trace import ComputationBuilder, CutLattice
+from repro.workloads.random_traces import random_deposet
+
+
+def up_pred(n):
+    return DisjunctivePredicate(
+        [LocalPredicate.var_true(i, "up") for i in range(n)], n=n
+    )
+
+
+def trace_from_patterns(*patterns):
+    b = ComputationBuilder(len(patterns), start_vars=[{"up": p[0]} for p in patterns])
+    for i, p in enumerate(patterns):
+        for v in p[1:]:
+            b.local(i, up=v)
+    return b.build()
+
+
+def test_no_violation_when_one_proc_always_up():
+    dep = trace_from_patterns([True, True], [True, False, True])
+    assert possibly_bad(dep, up_pred(2)) is None
+
+
+def test_violation_found_no_messages():
+    dep = trace_from_patterns([True, False, True], [True, False, True])
+    cut = possibly_bad(dep, up_pred(2))
+    assert cut == (1, 1)
+
+
+def test_violation_witness_is_least():
+    dep = trace_from_patterns([True, False, True, False], [True, False])
+    cut = possibly_bad(dep, up_pred(2))
+    assert cut == (1, 1)
+
+
+def test_messages_can_preclude_violation():
+    # P0 down then up, sends; P1 goes down only after receiving -> the down
+    # intervals are causally ordered and never concurrent.
+    b = ComputationBuilder(2, start_vars=[{"up": True}, {"up": True}])
+    b.local(0, up=False)
+    b.local(0, up=True)
+    m = b.send(0)
+    b.receive(1, m)
+    b.local(1, up=False)
+    b.local(1, up=True)
+    dep = b.build()
+    assert possibly_bad(dep, up_pred(2)) is None
+
+
+def test_control_arrows_affect_detection():
+    dep = trace_from_patterns([True, False, True], [True, False, True])
+    assert possibly_bad(dep, up_pred(2)) is not None
+    # force P0's down state to be entered only after P1's down state is
+    # over (completed): the two down intervals can no longer be concurrent
+    controlled = dep.with_control([((1, 1), (0, 1))])
+    assert possibly_bad(controlled, up_pred(2)) is None
+
+
+def test_find_conjunctive_cut_unconstrained_process():
+    dep = trace_from_patterns([True, False], [True, True])
+    truth = [np.array([False, True]), np.array([True, True])]
+    cut = find_conjunctive_cut(dep, truth)
+    assert cut == (1, 0)
+
+
+def test_find_conjunctive_cut_wrong_arity():
+    dep = trace_from_patterns([True], [True])
+    with pytest.raises(ValueError):
+        find_conjunctive_cut(dep, [np.array([True])])
+
+
+def test_witness_is_consistent_and_violating():
+    dep = trace_from_patterns([True, False, True], [False, True])
+    pred = up_pred(2)
+    cut = possibly_bad(dep, pred)
+    assert cut is not None
+    assert CutLattice(dep).is_consistent(cut)
+    assert not pred.evaluate(dep, cut)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_agrees_with_exhaustive_on_random_traces(seed):
+    dep = random_deposet(
+        n=3, events_per_proc=5, message_rate=0.4, var="up", flip_rate=0.45, seed=seed
+    )
+    pred = up_pred(3)
+    fast = possibly_bad(dep, pred)
+    slow = possibly_exhaustive(dep, pred.negated())
+    assert (fast is None) == (slow is None)
+    if fast is not None:
+        assert CutLattice(dep).is_consistent(fast)
+        assert not pred.evaluate(dep, fast)

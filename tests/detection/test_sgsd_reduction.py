@@ -1,0 +1,101 @@
+"""Tests for SGSD and the SAT reduction (Lemma 1 / Figure 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import (
+    decode_assignment,
+    sat_to_sgsd,
+    sgsd,
+    sgsd_feasible,
+)
+from repro.predicates import LocalPredicate, Or
+from repro.sat import CNF, dpll_solve, random_ksat
+from repro.trace import ComputationBuilder, CutLattice
+
+
+def test_reduction_shape():
+    cnf = CNF(3, [[1, -2, 3]])
+    inst = sat_to_sgsd(cnf)
+    assert inst.deposet.n == 4
+    assert inst.deposet.state_counts == (2, 2, 2, 3)
+    assert inst.aux_proc == 3
+    assert inst.deposet.messages == ()
+
+
+def test_satisfiable_formula_yields_sequence():
+    cnf = CNF(2, [[1], [-2]])  # x1 and not x2
+    inst = sat_to_sgsd(cnf)
+    seq = sgsd(inst.deposet, inst.predicate)
+    assert seq is not None
+    assignment = decode_assignment(inst, seq)
+    assert assignment == [True, False]
+    assert cnf.evaluate(assignment)
+
+
+def test_unsatisfiable_formula_yields_none():
+    cnf = CNF(1, [[1], [-1]])
+    inst = sat_to_sgsd(cnf)
+    assert not sgsd_feasible(inst.deposet, inst.predicate)
+
+
+def test_tautology_any_sequence():
+    cnf = CNF(1, [[1, -1]])
+    inst = sat_to_sgsd(cnf)
+    assert sgsd_feasible(inst.deposet, inst.predicate)
+
+
+def test_decode_requires_aux_middle_state():
+    cnf = CNF(1, [[1]])
+    inst = sat_to_sgsd(cnf)
+    # a fake "sequence" that never visits aux state 1
+    assert decode_assignment(inst, [(0, 0), (1, 2)]) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_reduction_agrees_with_dpll(seed):
+    cnf = random_ksat(3, 6, k=2, seed=seed)
+    inst = sat_to_sgsd(cnf)
+    seq = sgsd(inst.deposet, inst.predicate)
+    model = dpll_solve(cnf)
+    assert (seq is not None) == (model is not None)
+    if seq is not None:
+        assignment = decode_assignment(inst, seq)
+        assert assignment is not None
+        assert cnf.evaluate(assignment)
+
+
+def test_sgsd_respects_messages():
+    # message forces P0's bad state while P1 is past its guard
+    b = ComputationBuilder(2, start_vars=[{"ok": True}, {"ok": True}])
+    b.local(0, ok=False)
+    m = b.send(0)
+    b.receive(1, m, ok=False)
+    b.local(0, ok=True)
+    b.local(1, ok=True)
+    dep = b.build()
+    pred = Or(LocalPredicate.var_true(0, "ok"), LocalPredicate.var_true(1, "ok"))
+    seq = sgsd(dep, pred)
+    assert seq is not None
+    lat = CutLattice(dep)
+    for cut in seq:
+        assert lat.is_consistent(cut)
+        assert pred.evaluate(dep, cut)
+
+
+def test_sgsd_infeasible_when_bottom_violates():
+    b = ComputationBuilder(1, start_vars=[{"ok": False}])
+    b.local(0, ok=True)
+    dep = b.build()
+    assert not sgsd_feasible(dep, LocalPredicate.var_true(0, "ok"))
+
+
+def test_sgsd_single_process_must_visit_every_state():
+    # mid-trace violation on a single process: no corner-cutting possible
+    b = ComputationBuilder(1, start_vars=[{"ok": True}])
+    b.local(0, ok=False)
+    b.local(0, ok=True)
+    dep = b.build()
+    assert not sgsd_feasible(dep, LocalPredicate.var_true(0, "ok"))

@@ -1,0 +1,75 @@
+"""Direct tests for the CS guard base and the mutex driver plumbing."""
+
+import pytest
+
+from repro.mutex import ALGORITHMS, CentralKMutex, RaymondKMutex, run_mutex_workload
+from repro.mutex.base import CSGuardBase
+from repro.mutex.driver import make_cs_program
+from repro.sim import System
+
+
+def test_base_guard_counts_entries_and_responses():
+    guard = CSGuardBase()
+    system = System(
+        [make_cs_program(3, think_time=1.0, cs_time=0.5)],
+        start_vars=[{"cs": False}],
+        guard=guard,
+    )
+    system.run()
+    assert guard.entries == 3
+    assert guard.response_times == [0.0, 0.0, 0.0]  # base admits instantly
+    assert guard.max_concurrent == 1
+
+
+def test_central_rejects_bad_k():
+    with pytest.raises(ValueError):
+        CentralKMutex(0)
+
+
+def test_raymond_rejects_bad_k():
+    with pytest.raises(ValueError):
+        RaymondKMutex(3, 0)
+    with pytest.raises(ValueError):
+        RaymondKMutex(3, 4)
+
+
+def test_raymond_k_equals_n_trivially_admits():
+    report = run_mutex_workload("raymond", n=3, k=3, cs_per_proc=4, seed=1)
+    assert not report.deadlocked
+    assert report.control_messages == 0  # n-k == 0 replies needed
+    assert report.max_concurrent_cs <= 3
+
+
+def test_central_k_one_is_strict_mutex():
+    report = run_mutex_workload(
+        "central", n=4, k=1, cs_per_proc=5, think_time=0.5, cs_time=2.0,
+        seed=2,
+    )
+    assert report.max_concurrent_cs == 1
+    assert report.safe
+
+
+def test_raymond_k_one_is_strict_mutex():
+    report = run_mutex_workload(
+        "raymond", n=4, k=1, cs_per_proc=5, think_time=0.5, cs_time=2.0,
+        seed=2,
+    )
+    assert report.max_concurrent_cs == 1
+    assert report.safe
+
+
+def test_algorithm_registry_documents_everything():
+    assert set(ALGORITHMS) == {
+        "antitoken", "antitoken-random", "antitoken-broadcast",
+        "central", "raymond",
+    }
+    for desc in ALGORITHMS.values():
+        assert desc
+
+
+def test_antitoken_random_peer_selection_safe():
+    report = run_mutex_workload(
+        "antitoken-random", n=5, cs_per_proc=10, think_time=1.0,
+        cs_time=2.0, seed=6,
+    )
+    assert report.safe and not report.deadlocked

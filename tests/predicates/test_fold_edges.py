@@ -1,0 +1,93 @@
+"""Edge cases of disjunctive normalisation and predicate evaluation."""
+
+import pytest
+
+from repro.errors import NotDisjunctiveError
+from repro.predicates import (
+    And,
+    DisjunctivePredicate,
+    FALSE,
+    LocalPredicate,
+    Not,
+    Or,
+    TRUE,
+    as_disjunctive,
+    local_truth_table,
+)
+from repro.trace import ComputationBuilder
+
+
+def dep2():
+    b = ComputationBuilder(2, start_vars=[{"f": True}, {"f": False}])
+    b.local(0, f=False)
+    b.local(1, f=True)
+    return b.build()
+
+
+def test_fold_handles_nested_disjunctive_node():
+    inner = DisjunctivePredicate([LocalPredicate.var_true(0, "f")], n=2)
+    d = as_disjunctive(Or(inner, LocalPredicate.var_true(1, "f")), n=2)
+    assert set(d.locals_by_proc) == {0, 1}
+    assert d.evaluate(dep2(), (0, 0))
+
+
+def test_fold_handles_constants_inside_single_proc_subtree():
+    sub = And(LocalPredicate.var_true(0, "f"), TRUE)
+    d = as_disjunctive(Or(sub, LocalPredicate.var_true(1, "f")), n=2)
+    assert d.evaluate(dep2(), (0, 0))
+    assert not d.evaluate(dep2(), (1, 0))
+
+    sub2 = Or(LocalPredicate.var_true(0, "f"), FALSE)
+    d2 = as_disjunctive(Or(sub2, LocalPredicate.var_true(1, "f")), n=2)
+    assert d2.evaluate(dep2(), (0, 0))
+
+
+def test_pure_constant_rejected():
+    with pytest.raises(NotDisjunctiveError):
+        as_disjunctive(TRUE, n=2)
+
+
+def test_double_negation_folds():
+    d = as_disjunctive(Or(Not(Not(LocalPredicate.var_true(0, "f")))), n=2)
+    assert d.evaluate(dep2(), (0, 0))
+    assert not d.evaluate(dep2(), (1, 0))
+
+
+def test_nary_flattening():
+    p = Or(
+        Or(LocalPredicate.var_true(0, "f"), LocalPredicate.at_or_after(0, 1)),
+        LocalPredicate.var_true(1, "f"),
+    )
+    assert len(p.operands) == 3  # nested Or flattened
+    d = as_disjunctive(p, n=2)
+    assert set(d.locals_by_proc) == {0, 1}
+
+
+def test_and_needs_operands():
+    with pytest.raises(ValueError):
+        And()
+    with pytest.raises(ValueError):
+        Or()
+
+
+def test_local_predicate_rejects_negative_proc():
+    with pytest.raises(ValueError):
+        LocalPredicate(-1, lambda s: True)
+
+
+def test_truth_table_rejects_wider_predicate():
+    d = DisjunctivePredicate([LocalPredicate.var_true(3, "f")], n=4)
+    with pytest.raises(ValueError):
+        local_truth_table(dep2(), d)
+
+
+def test_disjunctive_needs_a_disjunct():
+    with pytest.raises(NotDisjunctiveError):
+        DisjunctivePredicate([None, None], n=2)
+
+
+def test_repr_smoke():
+    d = DisjunctivePredicate([LocalPredicate.var_true(0, "f")], n=2)
+    assert "f@0" in repr(d)
+    assert "&" in repr(And(LocalPredicate.var_true(0, "f"), TRUE))
+    assert repr(Not(TRUE)) == "~TRUE"

@@ -1,0 +1,83 @@
+"""Tests for false-interval extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.predicates import DisjunctivePredicate, LocalPredicate, false_intervals, local_truth_table
+from repro.predicates.intervals import FalseInterval, intervals_from_truth
+from repro.trace import ComputationBuilder
+
+
+def avail_trace(pattern0, pattern1):
+    """Build a 2-process trace whose 'up' variable follows the given patterns."""
+    b = ComputationBuilder(2, start_vars=[{"up": pattern0[0]}, {"up": pattern1[0]}])
+    for v in pattern0[1:]:
+        b.local(0, up=v)
+    for v in pattern1[1:]:
+        b.local(1, up=v)
+    return b.build()
+
+
+def up_pred(n=2):
+    return DisjunctivePredicate(
+        [LocalPredicate.var_true(i, "up") for i in range(n)], n=n
+    )
+
+
+def test_truth_table_values():
+    dep = avail_trace([True, False, True], [False, False, True])
+    table = local_truth_table(dep, up_pred())
+    assert table[0].tolist() == [True, False, True]
+    assert table[1].tolist() == [False, False, True]
+
+
+def test_truth_table_missing_disjunct_all_false():
+    dep = avail_trace([True], [True])
+    pred = DisjunctivePredicate([LocalPredicate.var_true(0, "up")], n=2)
+    table = local_truth_table(dep, pred)
+    assert table[1].tolist() == [False]
+
+
+def test_false_intervals_basic():
+    dep = avail_trace([True, False, False, True], [False, True, False])
+    ivs = false_intervals(dep, up_pred())
+    assert ivs[0] == [FalseInterval(0, 1, 2)]
+    assert ivs[1] == [FalseInterval(1, 0, 0), FalseInterval(1, 2, 2)]
+
+
+def test_false_intervals_none_when_always_true():
+    dep = avail_trace([True, True], [True])
+    ivs = false_intervals(dep, up_pred())
+    assert ivs == [[], []]
+
+
+def test_false_intervals_whole_process():
+    dep = avail_trace([False, False], [True])
+    ivs = false_intervals(dep, up_pred())
+    assert ivs[0] == [FalseInterval(0, 0, 1)]
+
+
+def test_interval_accessors():
+    iv = FalseInterval(3, 2, 5)
+    assert iv.lo_ref == (3, 2)
+    assert iv.hi_ref == (3, 5)
+    assert len(iv) == 4
+    assert 4 in iv and 6 not in iv
+
+
+def test_interval_rejects_empty():
+    with pytest.raises(ValueError):
+        FalseInterval(0, 3, 2)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=40))
+def test_intervals_partition_false_states(bits):
+    (ivs,) = intervals_from_truth([np.array(bits, dtype=bool)])
+    covered = sorted(idx for iv in ivs for idx in range(iv.lo, iv.hi + 1))
+    expected = [i for i, v in enumerate(bits) if not v]
+    assert covered == expected
+    # maximality: adjacent intervals are separated by at least one true state
+    for a, b in zip(ivs, ivs[1:]):
+        assert a.hi + 1 < b.lo

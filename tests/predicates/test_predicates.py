@@ -1,0 +1,147 @@
+"""Tests for the predicate language and disjunctive normalisation."""
+
+import pytest
+
+from repro.errors import NotDisjunctiveError
+from repro.predicates import (
+    And,
+    DisjunctivePredicate,
+    LocalPredicate,
+    Not,
+    Or,
+    TRUE,
+    FALSE,
+    as_disjunctive,
+)
+from repro.trace import ComputationBuilder
+
+
+def sample_dep():
+    b = ComputationBuilder(2, start_vars=[{"cs": False}, {"cs": False}])
+    b.local(0, cs=True)
+    b.local(0, cs=False)
+    b.local(1, cs=True)
+    b.local(1, cs=False)
+    return b.build()
+
+
+def test_local_predicate_var_true():
+    dep = sample_dep()
+    p = LocalPredicate.var_true(0, "cs")
+    assert not p.holds_at(dep, 0)
+    assert p.holds_at(dep, 1)
+    assert not p.holds_at(dep, 2)
+
+
+def test_local_predicate_missing_var_is_false():
+    dep = sample_dep()
+    assert not LocalPredicate.var_true(0, "nope").holds_at(dep, 0)
+    assert LocalPredicate.var_false(0, "nope").holds_at(dep, 0)
+
+
+def test_index_predicates():
+    dep = sample_dep()
+    after = LocalPredicate.at_or_after(0, 2)
+    before = LocalPredicate.before(0, 2)
+    assert not after.holds_at(dep, 1) and after.holds_at(dep, 2)
+    assert before.holds_at(dep, 1) and not before.holds_at(dep, 2)
+
+
+def test_boolean_evaluation_on_cut():
+    dep = sample_dep()
+    p0 = LocalPredicate.var_true(0, "cs")
+    p1 = LocalPredicate.var_true(1, "cs")
+    assert Or(p0, p1).evaluate(dep, (1, 0))
+    assert not And(p0, p1).evaluate(dep, (1, 0))
+    assert And(p0, p1).evaluate(dep, (1, 1))
+    assert Not(p0).evaluate(dep, (0, 0))
+    assert (p0 | p1).evaluate(dep, (1, 0))
+    assert not (p0 & p1).evaluate(dep, (1, 0))
+    assert (~p0).evaluate(dep, (0, 0))
+
+
+def test_constants():
+    dep = sample_dep()
+    assert TRUE.evaluate(dep, (0, 0))
+    assert not FALSE.evaluate(dep, (0, 0))
+
+
+def test_procs_tracking():
+    p0 = LocalPredicate.var_true(0, "cs")
+    p1 = LocalPredicate.var_true(1, "cs")
+    assert Or(p0, p1).procs() == {0, 1}
+    assert Not(p0).procs() == {0}
+
+
+def test_disjunctive_evaluate_and_negated():
+    dep = sample_dep()
+    mutex = DisjunctivePredicate(
+        [LocalPredicate.var_false(0, "cs"), LocalPredicate.var_false(1, "cs")]
+    )
+    assert mutex.evaluate(dep, (1, 0))       # only P0 in CS
+    assert not mutex.evaluate(dep, (1, 1))   # both in CS -> violated
+    bad = mutex.negated()
+    assert bad.evaluate(dep, (1, 1))
+    assert not bad.evaluate(dep, (1, 0))
+
+
+def test_disjunctive_rejects_duplicate_process():
+    p = LocalPredicate.var_true(0, "cs")
+    with pytest.raises(NotDisjunctiveError):
+        DisjunctivePredicate([p, LocalPredicate.var_false(0, "cs")])
+
+
+def test_disjunctive_positional_none_entries():
+    d = DisjunctivePredicate([None, LocalPredicate.var_true(1, "cs")], n=3)
+    assert d.local(0) is None
+    assert d.local(1) is not None
+    assert d.n == 3
+
+
+def test_as_disjunctive_from_or():
+    dep = sample_dep()
+    p = Or(LocalPredicate.var_false(0, "cs"), LocalPredicate.var_false(1, "cs"))
+    d = as_disjunctive(p, n=2)
+    assert isinstance(d, DisjunctivePredicate)
+    assert d.evaluate(dep, (1, 0))
+    assert not d.evaluate(dep, (1, 1))
+
+
+def test_as_disjunctive_folds_same_process_operands():
+    dep = sample_dep()
+    p = Or(
+        LocalPredicate.var_true(0, "cs"),
+        LocalPredicate.at_or_after(0, 2),
+        LocalPredicate.var_true(1, "cs"),
+    )
+    d = as_disjunctive(p, n=2)
+    assert set(d.locals_by_proc) == {0, 1}
+    # fold keeps semantics: true at (2, 0) via index clause
+    assert d.evaluate(dep, (2, 0))
+    assert not d.evaluate(dep, (0, 0))
+
+
+def test_as_disjunctive_folds_negation_and_conjunction():
+    dep = sample_dep()
+    # Not(cs0) is local; And(Not(cs0), before) is still local to P0
+    p = Or(And(Not(LocalPredicate.var_true(0, "cs")), LocalPredicate.before(0, 2)))
+    d = as_disjunctive(p, n=2)
+    assert d.evaluate(dep, (0, 1))
+    assert not d.evaluate(dep, (1, 1))
+    assert not d.evaluate(dep, (2, 1))
+
+
+def test_as_disjunctive_rejects_cross_process_conjunction():
+    p = And(LocalPredicate.var_true(0, "cs"), LocalPredicate.var_true(1, "cs"))
+    with pytest.raises(NotDisjunctiveError):
+        as_disjunctive(p, n=2)
+    with pytest.raises(NotDisjunctiveError):
+        as_disjunctive(Or(p, LocalPredicate.var_true(0, "cs")), n=2)
+
+
+def test_as_disjunctive_passthrough():
+    d = DisjunctivePredicate([LocalPredicate.var_true(0, "cs")], n=2)
+    d2 = as_disjunctive(d, n=3)
+    assert d2.n == 3
+    d3 = as_disjunctive(LocalPredicate.var_true(1, "cs"), n=2)
+    assert set(d3.locals_by_proc) == {1}

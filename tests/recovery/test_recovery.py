@@ -1,0 +1,168 @@
+"""Tests for checkpoints, recovery lines, and the domino effect."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import possibly_bad
+from repro.recovery import (
+    CheckpointPlan,
+    periodic_checkpoints,
+    recover_and_replay,
+    recovery_line,
+)
+from repro.recovery.checkpoints import CheckpointError
+from repro.trace import ComputationBuilder, CutLattice
+from repro.workloads import availability_predicate, random_deposet
+
+
+def ping_chain(k):
+    """P0 and P1 exchange k message round trips."""
+    b = ComputationBuilder(2)
+    for _ in range(k):
+        m = b.send(0)
+        b.receive(1, m)
+        m = b.send(1)
+        b.receive(0, m)
+    return b.build()
+
+
+# -- checkpoint plans -----------------------------------------------------------
+
+
+def test_plan_always_includes_bottom():
+    plan = CheckpointPlan([[3, 1], []])
+    assert plan.indices == ((0, 1, 3), (0,))
+
+
+def test_plan_validation():
+    dep = ping_chain(1)  # 3 states on P0? 0,1(send),2(recv) -> 3? see below
+    plan = CheckpointPlan([[99], []])
+    with pytest.raises(CheckpointError):
+        plan.validate(dep)
+    with pytest.raises(CheckpointError):
+        CheckpointPlan([[0]]).validate(dep)  # arity
+
+
+def test_periodic_plan():
+    dep = ping_chain(2)
+    plan = periodic_checkpoints(dep, every=2)
+    for i in range(dep.n):
+        assert plan.indices[i][0] == 0
+        assert all(b - a == 2 for a, b in zip(plan.indices[i], plan.indices[i][1:]))
+    with pytest.raises(CheckpointError):
+        periodic_checkpoints(dep, every=0)
+
+
+def test_latest_and_previous():
+    plan = CheckpointPlan([[0, 2, 5]])
+    assert plan.latest_at_or_before(0, 4) == 2
+    assert plan.latest_at_or_before(0, 5) == 5
+    assert plan.latest_at_or_before(0, 1) == 0
+    assert plan.previous(0, 5) == 2
+    assert plan.previous(0, 0) == 0
+
+
+# -- recovery lines ------------------------------------------------------------------
+
+
+def test_line_is_consistent_and_at_checkpoints():
+    dep = ping_chain(3)
+    plan = periodic_checkpoints(dep, every=2)
+    analysis = recovery_line(dep, plan)
+    assert CutLattice(dep).is_consistent(analysis.line)
+    for i, s in enumerate(analysis.line):
+        assert s in plan.indices[i]
+        assert s <= analysis.failure[i]
+
+
+def test_no_messages_no_rollback_beyond_latest_checkpoint():
+    b = ComputationBuilder(2)
+    for _ in range(4):
+        b.local(0)
+        b.local(1)
+    dep = b.build()
+    plan = periodic_checkpoints(dep, every=2)
+    analysis = recovery_line(dep, plan)
+    assert analysis.line == (4, 4)
+    assert analysis.domino_steps == (0, 0)
+    assert analysis.in_transit == ()
+
+
+def test_domino_effect_on_ping_chain():
+    # uncoordinated odd-period checkpoints on a tight ping-pong chain:
+    # rolling one process back cascades all the way to the start
+    dep = ping_chain(4)  # 9 states per process
+    # P1's checkpoints sit right after its receives, P0's right after its
+    # receives of the replies: each rollback orphans the other's checkpoint
+    plan = CheckpointPlan([[2, 6], [3, 7]])
+    failure = [dep.state_counts[0] - 1, dep.state_counts[1] - 1]
+    analysis = recovery_line(dep, plan, failure)
+    assert sum(analysis.domino_steps) > 0
+    assert CutLattice(dep).is_consistent(analysis.line)
+    # the cascade runs all the way back to the start
+    assert analysis.line == (0, 0)
+    assert analysis.lost_states == 16
+
+
+def test_failure_point_bounds_checked():
+    dep = ping_chain(1)
+    plan = periodic_checkpoints(dep, every=2)
+    with pytest.raises(ValueError):
+        recovery_line(dep, plan, failure=[99, 0])
+    with pytest.raises(ValueError):
+        recovery_line(dep, plan, failure=[0])
+
+
+def test_in_transit_messages_reported():
+    b = ComputationBuilder(2)
+    b.local(0)
+    m = b.send(0)
+    b.local(1)
+    b.local(1)
+    b.receive(1, m)
+    dep = b.build()
+    # line at (2, 2): message sent at src (0,1)<=2... dst (1,3) > 2
+    plan = CheckpointPlan([[2], [2]])
+    analysis = recovery_line(dep, plan, failure=[2, 3])
+    assert analysis.line == (2, 2)
+    assert len(analysis.in_transit) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=20_000),
+    st.integers(min_value=1, max_value=4),
+)
+def test_line_properties_on_random_traces(seed, every):
+    dep = random_deposet(n=3, events_per_proc=8, message_rate=0.4, seed=seed)
+    plan = periodic_checkpoints(dep, every=every)
+    failure = [m - 1 for m in dep.state_counts]
+    analysis = recovery_line(dep, plan, failure)
+    # consistent, dominated by the failure, anchored at checkpoints
+    assert CutLattice(dep).is_consistent(analysis.line)
+    assert all(l <= f for l, f in zip(analysis.line, failure))
+    # maximality: bumping any single process to its next checkpoint breaks
+    # consistency or the failure bound
+    for i in range(dep.n):
+        row = plan.indices[i]
+        pos = row.index(analysis.line[i])
+        if pos + 1 >= len(row) or row[pos + 1] > failure[i]:
+            continue
+        bumped = list(analysis.line)
+        bumped[i] = row[pos + 1]
+        assert not CutLattice(dep).is_consistent(bumped), (
+            "line was not maximal", analysis.line, i
+        )
+
+
+def test_recover_and_replay_end_to_end():
+    from repro.workloads import random_server_trace
+
+    dep = random_server_trace(3, outages_per_server=3, seed=9)
+    plan = periodic_checkpoints(dep, every=3)
+    safety = availability_predicate(3)
+    analysis, control, replayed = recover_and_replay(dep, plan, safety, seed=9)
+    assert CutLattice(dep).is_consistent(analysis.line)
+    assert possibly_bad(replayed.deposet, safety) is None
+    assert replayed.deposet.without_control() == dep

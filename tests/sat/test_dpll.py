@@ -1,0 +1,113 @@
+"""Tests for the CNF model and DPLL solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import CNF, dpll_solve, random_ksat
+
+
+def brute_force_sat(cnf: CNF) -> bool:
+    return any(
+        cnf.evaluate(list(bits))
+        for bits in itertools.product([False, True], repeat=cnf.num_vars)
+    )
+
+
+def test_empty_formula_sat():
+    cnf = CNF(3, [])
+    model = dpll_solve(cnf)
+    assert model is not None
+    assert cnf.evaluate(model)
+
+
+def test_empty_clause_unsat():
+    assert dpll_solve(CNF(2, [[]])) is None
+
+
+def test_single_unit():
+    model = dpll_solve(CNF(1, [[-1]]))
+    assert model == [False]
+
+
+def test_contradictory_units():
+    assert dpll_solve(CNF(1, [[1], [-1]])) is None
+
+
+def test_simple_3sat():
+    cnf = CNF(3, [[1, 2, 3], [-1, -2, -3], [1, -2, 3]])
+    model = dpll_solve(cnf)
+    assert model is not None
+    assert cnf.evaluate(model)
+
+
+def test_pigeonhole_2_in_1_unsat():
+    # two pigeons, one hole: x1 = pigeon1 in hole, x2 = pigeon2 in hole
+    cnf = CNF(2, [[1], [2], [-1, -2]])
+    assert dpll_solve(cnf) is None
+
+
+def test_evaluate_rejects_wrong_width():
+    with pytest.raises(ValueError):
+        CNF(2, [[1]]).evaluate([True])
+
+
+def test_literal_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        CNF(2, [[3]])
+    with pytest.raises(ValueError):
+        CNF(2, [[0]])
+
+
+def test_random_ksat_shape():
+    cnf = random_ksat(6, 10, k=3, seed=42)
+    assert cnf.num_vars == 6
+    assert cnf.num_clauses == 10
+    for clause in cnf.clauses:
+        assert len(clause) == 3
+        assert len({abs(l) for l in clause}) == 3
+
+
+def test_random_ksat_deterministic_under_seed():
+    assert random_ksat(5, 8, seed=7).clauses == random_ksat(5, 8, seed=7).clauses
+
+
+def test_random_ksat_k_too_large():
+    with pytest.raises(ValueError):
+        random_ksat(2, 1, k=3)
+
+
+clauses_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=4).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    max_size=8,
+)
+
+
+@settings(max_examples=60)
+@given(clauses_strategy)
+def test_dpll_agrees_with_brute_force(clauses):
+    cnf = CNF(4, clauses)
+    model = dpll_solve(cnf)
+    if model is None:
+        assert not brute_force_sat(cnf)
+    else:
+        assert cnf.evaluate(model)
+
+
+@settings(max_examples=20)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_dpll_on_random_3sat(seed):
+    cnf = random_ksat(5, 12, k=3, seed=seed)
+    model = dpll_solve(cnf)
+    assert (model is not None) == brute_force_sat(cnf)
+    if model is not None:
+        assert cnf.evaluate(model)

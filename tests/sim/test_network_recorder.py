@@ -1,0 +1,134 @@
+"""Tests for the network delay model and the trace recorder details."""
+
+import pytest
+
+from repro.causality import StateRef
+from repro.errors import SimulationError
+from repro.sim import Network, System, TraceRecorder
+from repro.sim.kernel import EventQueue
+
+import numpy as np
+
+
+# -- network ------------------------------------------------------------------
+
+
+def test_constant_delay():
+    q = EventQueue()
+    net = Network(q, mean_delay=3.0)
+    seen = []
+    net.send(0, 1, "x", lambda d: seen.append(d))
+    q.run()
+    assert seen[0].delivered_at == pytest.approx(3.0)
+    assert seen[0].sent_at == 0.0
+
+
+def test_jitter_bounds_and_mean():
+    q = EventQueue()
+    net = Network(q, mean_delay=2.0, jitter=0.5, rng=np.random.default_rng(1))
+    times = []
+    for _ in range(200):
+        net.send(0, 1, None, lambda d: times.append(d.delivered_at - d.sent_at))
+    q.run()
+    assert all(1.0 - 1e-9 <= t <= 3.0 + 1e-9 for t in times)
+    assert abs(np.mean(times) - 2.0) < 0.15
+
+
+def test_network_rejects_self_send_and_bad_params():
+    q = EventQueue()
+    net = Network(q)
+    with pytest.raises(SimulationError):
+        net.send(1, 1, None, lambda d: None)
+    with pytest.raises(SimulationError):
+        Network(q, mean_delay=-1)
+    with pytest.raises(SimulationError):
+        Network(q, jitter=2.0)
+
+
+def test_message_counters_split_by_plane():
+    q = EventQueue()
+    net = Network(q)
+    net.send(0, 1, None, lambda d: None)
+    net.send(0, 1, None, lambda d: None, control=True)
+    assert net.app_messages_sent == 1
+    assert net.control_messages_sent == 1
+
+
+# -- recorder ---------------------------------------------------------------------
+
+
+def test_recorder_entered_mode_shifts_source():
+    rec = TraceRecorder(2, [{}, {}])
+    rec.record_event(0, {"x": 1}, 1.0)       # P0 now at state 1
+    rec.record_event(0, {"x": 2}, 2.0)       # P0 now at state 2
+    rec.control_delivered(0, 1, src_state=2, mode="entered")
+    rec.record_event(1, {"y": 1}, 3.0)       # P1 enters state 1 -> resolve
+    assert rec.control_arrows == [(StateRef(0, 1), StateRef(1, 1))]
+
+
+def test_recorder_exact_mode_keeps_source():
+    rec = TraceRecorder(2, [{}, {}])
+    rec.record_event(0, {}, 1.0)
+    rec.control_delivered(0, 1, src_state=1, mode="exact")
+    rec.record_event(1, {}, 2.0)
+    assert rec.control_arrows == [(StateRef(0, 1), StateRef(1, 1))]
+
+
+def test_recorder_drops_contentless_entered_arrows():
+    rec = TraceRecorder(2, [{}, {}])
+    rec.control_delivered(0, 1, src_state=0, mode="entered")  # enter(bottom)
+    rec.record_event(1, {}, 1.0)
+    assert rec.control_arrows == []
+
+
+def test_recorder_unresolved_control_arrow_dropped_at_build():
+    rec = TraceRecorder(2, [{}, {}])
+    rec.record_event(0, {}, 1.0)
+    rec.control_delivered(0, 1, src_state=1, mode="exact")
+    # P1 never takes another event: no target state, no arrow
+    dep = rec.build()
+    assert dep.control_arrows == ()
+
+
+def test_recorder_rejects_unknown_mode():
+    rec = TraceRecorder(2, [{}, {}])
+    with pytest.raises(ValueError):
+        rec.control_delivered(0, 1, src_state=1, mode="psychic")
+
+
+def test_recorder_rejects_arity_mismatch():
+    with pytest.raises(ValueError):
+        TraceRecorder(2, [{}])
+
+
+def test_recorder_timestamps_in_build():
+    rec = TraceRecorder(1, [{"v": 0}])
+    rec.record_event(0, {"v": 1}, 2.5)
+    dep = rec.build(["p"])
+    assert dep.timestamps == ((0.0, 2.5),)
+    assert dep.proc_names == ("p",)
+
+
+# -- system odds and ends -----------------------------------------------------------
+
+
+def test_until_bound_stops_early():
+    def prog(ctx):
+        for _ in range(100):
+            yield ctx.compute(1.0)
+            yield ctx.set(tick=ctx.now)
+
+    sys_ = System([prog])
+    result = sys_.run(until=5.5)
+    assert result.duration <= 5.5
+    assert not result.deadlocked or result.blocked  # bounded run reports state
+
+
+def test_max_events_bound():
+    def prog(ctx):
+        while True:
+            yield ctx.compute(1.0)
+
+    sys_ = System([prog])
+    result = sys_.run(max_events=10)
+    assert result.events == 10

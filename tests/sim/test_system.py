@@ -1,0 +1,178 @@
+"""Tests for the discrete-event simulator substrate."""
+
+import pytest
+
+from repro.causality import StateRef
+from repro.errors import SimulationError
+from repro.sim import System, TransitionGuard
+from repro.sim.kernel import EventQueue
+from repro.trace import EventKind
+
+
+def test_event_queue_ordering():
+    q = EventQueue()
+    seen = []
+    q.schedule(2.0, lambda: seen.append("b"))
+    q.schedule(1.0, lambda: seen.append("a"))
+    q.schedule(2.0, lambda: seen.append("c"))  # tie broken by insertion order
+    q.run()
+    assert seen == ["a", "b", "c"]
+    assert q.now == 2.0
+
+
+def test_event_queue_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        EventQueue().schedule(-1.0, lambda: None)
+
+
+def test_local_events_recorded():
+    def prog(ctx):
+        yield ctx.compute(1.0)
+        yield ctx.set(x=1)
+        yield ctx.set(x=2)
+
+    result = System([prog], start_vars=[{"x": 0}]).run()
+    dep = result.deposet
+    assert not result.deadlocked
+    assert dep.state_counts == (3,)
+    assert [s["x"] for s in dep.proc_states(0)] == [0, 1, 2]
+    assert dep.timestamps[0][0] == 0.0
+    assert dep.timestamps[0][1] == pytest.approx(1.0)
+
+
+def test_message_passing_and_trace():
+    def sender(ctx):
+        yield ctx.compute(0.5)
+        yield ctx.send(1, {"v": 42}, sent=True)
+
+    def receiver(ctx):
+        payload = yield ctx.receive(got=True)
+        assert payload == {"v": 42}
+        yield ctx.set(v=payload["v"])
+
+    sys_ = System(
+        [sender, receiver],
+        start_vars=[{"sent": False}, {"got": False}],
+        mean_delay=2.0,
+    )
+    result = sys_.run()
+    dep = result.deposet
+    assert not result.deadlocked
+    assert result.app_messages == 1
+    (msg,) = dep.messages
+    assert msg.src == StateRef(0, 0)
+    assert msg.dst == StateRef(1, 1)
+    assert dep.state_vars((1, 2))["v"] == 42
+    # delivery takes the channel delay
+    assert dep.timestamps[1][1] == pytest.approx(2.5)
+    kinds = [e.kind for e in dep.events[0]]
+    assert kinds == [EventKind.SEND]
+
+
+def test_receive_tag_filtering():
+    def sender(ctx):
+        yield ctx.send(1, "noise", tag="noise")
+        yield ctx.send(1, "signal", tag="signal")
+
+    def receiver(ctx):
+        first = yield ctx.receive(tag="signal")
+        second = yield ctx.receive(tag="noise")
+        yield ctx.set(order=(first, second))
+
+    result = System([sender, receiver]).run()
+    assert result.deposet.state_vars((1, 3))["order"] == ("signal", "noise")
+
+
+def test_deadlock_detected():
+    def waiter(ctx):
+        yield ctx.receive()
+
+    def silent(ctx):
+        yield ctx.compute(1.0)
+
+    result = System([waiter, silent]).run()
+    assert result.deadlocked
+    assert result.blocked == {0: "waiting for a message"}
+
+
+def test_determinism_under_seed():
+    def prog(ctx):
+        for _ in range(5):
+            yield ctx.compute(float(ctx.rng.random()))
+            yield ctx.set(t=ctx.now)
+
+    r1 = System([prog, prog], seed=7, jitter=0.5).run()
+    r2 = System([prog, prog], seed=7, jitter=0.5).run()
+    assert r1.deposet == r2.deposet
+    assert r1.duration == r2.duration
+    r3 = System([prog, prog], seed=8, jitter=0.5).run()
+    assert r3.duration != r1.duration
+
+
+def test_guard_can_delay_transition():
+    class DelayGuard(TransitionGuard):
+        def request_transition(self, proc, updates, next_vars, commit):
+            if updates.get("cs"):
+                self.system.queue.schedule(10.0, commit)
+            else:
+                commit()
+
+    def prog(ctx):
+        yield ctx.set(cs=True)
+        yield ctx.set(cs=False)
+
+    result = System([prog], start_vars=[{"cs": False}], guard=DelayGuard()).run()
+    assert not result.deadlocked
+    ts = result.deposet.timestamps[0]
+    assert ts[1] == pytest.approx(10.0)  # the guarded entry waited
+    assert ts[2] == pytest.approx(10.0)  # the exit was immediate
+
+
+def test_send_to_unknown_process_rejected():
+    def prog(ctx):
+        yield ctx.send(5, "x")
+
+    with pytest.raises(SimulationError):
+        System([prog]).run()
+
+
+def test_bad_command_rejected():
+    def prog(ctx):
+        yield "not-a-command"
+
+    with pytest.raises(SimulationError):
+        System([prog]).run()
+
+
+def test_vars_view(n=2):
+    observed = []
+
+    def prog(ctx):
+        yield ctx.set(x=1)
+        observed.append(ctx.vars())
+        yield ctx.set(x=2)
+
+    System([prog], start_vars=[{"x": 0}]).run()
+    assert observed == [{"x": 1}]
+
+
+def test_control_messages_counted_separately():
+    class ChattyGuard(TransitionGuard):
+        def request_transition(self, proc, updates, next_vars, commit):
+            if proc == 0 and updates:
+                self.system.send_control(0, 1, "ping", lambda d: None)
+            commit()
+
+    def prog0(ctx):
+        yield ctx.set(x=1)
+
+    def prog1(ctx):
+        yield ctx.compute(5.0)
+        yield ctx.set(y=1)
+
+    result = System([prog0, prog1], guard=ChattyGuard()).run()
+    assert result.control_messages == 1
+    assert result.app_messages == 0
+    # the control arrow targets P1's next entered state, with the sender's
+    # predecessor as source ("entered" mode); sender was at state 0 -> dropped
+    assert result.deposet.control_arrows == ()

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_predicate
+from repro.trace import dump_deposet, load_deposet
+from repro.workloads import mutex_trace
+from repro.workloads.servers import figure4_c1
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    dep, _ = figure4_c1()
+    path = tmp_path / "c1.json"
+    dump_deposet(dep, path)
+    return str(path)
+
+
+def test_parse_predicate_at_least_one():
+    pred = parse_predicate("at-least-one:up", 3)
+    assert set(pred.locals_by_proc) == {0, 1, 2}
+
+
+def test_parse_predicate_mutex():
+    pred = parse_predicate("mutex:cs", 2)
+    assert pred.n == 2
+
+
+def test_parse_predicate_happens_before():
+    pred = parse_predicate("happens-before:0,2>1,3", 4)
+    assert set(pred.locals_by_proc) == {0, 1}
+
+
+@pytest.mark.parametrize("bad", ["nope", "mutex", "happens-before:xyz", "zap:cs"])
+def test_parse_predicate_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_predicate(bad, 3)
+
+
+def test_cli_info(trace_file, capsys):
+    assert main(["info", trace_file]) == 0
+    out = capsys.readouterr().out
+    assert "S1" in out and "critical path" in out
+
+
+def test_cli_render(trace_file, capsys):
+    assert main(["render", trace_file, "--predicate", "at-least-one:avail"]) == 0
+    out = capsys.readouterr().out
+    assert "#" in out
+
+
+def test_cli_detect_violation(trace_file, capsys):
+    assert main(["detect", trace_file, "--predicate", "at-least-one:avail"]) == 1
+    assert "violation possible" in capsys.readouterr().out
+
+
+def test_cli_detect_all(trace_file, capsys):
+    assert main([
+        "detect", trace_file, "--predicate", "at-least-one:avail", "--all",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "2 violating" in out
+
+
+def test_cli_control_and_recheck(trace_file, tmp_path, capsys):
+    fixed = str(tmp_path / "fixed.json")
+    assert main([
+        "control", trace_file, "--predicate", "at-least-one:avail",
+        "-o", fixed, "--minimize",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "control relation" in out
+    assert main(["detect", fixed, "--predicate", "at-least-one:avail"]) == 0
+
+
+def test_cli_control_infeasible(tmp_path, capsys):
+    from repro.trace import ComputationBuilder
+
+    b = ComputationBuilder(1, start_vars=[{"avail": True}])
+    b.local(0, avail=False)
+    b.local(0, avail=True)
+    path = tmp_path / "t.json"
+    dump_deposet(b.build(), path)
+    assert main(["control", str(path), "--predicate", "at-least-one:avail"]) == 2
+
+
+def test_cli_replay_roundtrip(trace_file, tmp_path, capsys):
+    out_path = str(tmp_path / "replayed.json")
+    assert main(["replay", trace_file, "-o", out_path]) == 0
+    original = load_deposet(trace_file)
+    assert load_deposet(out_path).without_control() == original
+
+
+def test_cli_mutex_bench(capsys):
+    assert main([
+        "mutex-bench", "--algorithm", "antitoken", "--n", "3",
+        "--entries", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "msgs/entry" in out
+
+
+def test_cli_missing_file_errors(capsys):
+    assert main(["info", "/nonexistent/trace.json"]) == 3
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_full_pipeline_mutex(tmp_path, capsys):
+    path = tmp_path / "mutex.json"
+    dump_deposet(mutex_trace(cs_per_proc=3, n=2, seed=0), path)
+    fixed = str(tmp_path / "fixed.json")
+    assert main([
+        "control", str(path), "--predicate", "mutex:cs", "-o", fixed,
+    ]) == 0
+    assert main(["replay", fixed]) == 0

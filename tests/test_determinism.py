@@ -1,0 +1,63 @@
+"""Reproducibility contracts: everything seeded is bit-identical on re-run."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import control_disjunctive, replay
+from repro.errors import NoControllerExistsError
+from repro.mutex import run_mutex_workload
+from repro.workloads import (
+    availability_predicate,
+    mutex_trace,
+    philosophers_trace,
+    random_deposet,
+    random_server_trace,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_replay_deterministic_under_seed(seed):
+    dep = random_deposet(n=3, events_per_proc=6, message_rate=0.3, seed=seed)
+    a = replay(dep, seed=seed, jitter=0.5)
+    b = replay(dep, seed=seed, jitter=0.5)
+    assert a.deposet == b.deposet
+    assert a.run.duration == b.run.duration
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_offline_control_deterministic(seed):
+    dep = random_deposet(n=3, events_per_proc=6, message_rate=0.3, seed=seed)
+    pred = availability_predicate(3, var="up")
+    try:
+        a = control_disjunctive(dep, pred, seed=7)
+        b = control_disjunctive(dep, pred, seed=7)
+    except NoControllerExistsError:
+        with pytest.raises(NoControllerExistsError):
+            control_disjunctive(dep, pred, seed=7)
+        return
+    assert a.control.arrows == b.control.arrows
+    assert a.iterations == b.iterations
+
+
+def test_mutex_workloads_deterministic():
+    a = run_mutex_workload("antitoken", n=4, cs_per_proc=10, seed=3)
+    b = run_mutex_workload("antitoken", n=4, cs_per_proc=10, seed=3)
+    assert a.response_times == b.response_times
+    assert a.control_messages == b.control_messages
+    c = run_mutex_workload("antitoken", n=4, cs_per_proc=10, seed=4)
+    assert (a.response_times != c.response_times
+            or a.control_messages != c.control_messages)
+
+
+@pytest.mark.parametrize("factory", [
+    lambda s: random_deposet(n=4, events_per_proc=6, seed=s),
+    lambda s: random_server_trace(3, outages_per_server=2, seed=s),
+    lambda s: mutex_trace(cs_per_proc=4, n=3, seed=s),
+    lambda s: philosophers_trace(3, meals_per_philosopher=2, seed=s),
+])
+def test_workload_generators_deterministic(factory):
+    assert factory(11) == factory(11)
+    assert factory(11) != factory(12)

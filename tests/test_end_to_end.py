@@ -1,0 +1,139 @@
+"""End-to-end integration: the full active-debugging lifecycle on the sim.
+
+This is the library's reason to exist, exercised as one story:
+
+1. *run* an uncoordinated replicated-server system on the simulator and
+   record its trace;
+2. *observe*: detect whether "all servers down" is a possible global state
+   of the recorded computation;
+3. *control off-line*: synthesize a control relation for the availability
+   predicate and *replay* the very same computation under it;
+4. *verify* the controlled replay exactly;
+5. *prevent on-line*: run a fresh computation under the scapegoat
+   controller and check the invariant at every instant and in the recorded
+   trace;
+6. round-trip everything through the JSON trace format on the way.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DebugSession,
+    OnlineDisjunctiveControl,
+    System,
+    at_least_one,
+    control_disjunctive,
+    deposet_from_dict,
+    deposet_to_dict,
+    possibly_bad,
+    replay,
+)
+from repro.errors import NoControllerExistsError
+
+
+def server_program(cycles, down_scale=1.0):
+    def program(ctx):
+        for _ in range(cycles):
+            yield ctx.compute(float(ctx.rng.uniform(1.0, 3.0)))
+            yield ctx.set(avail=False)
+            yield ctx.compute(float(ctx.rng.uniform(0.5, 1.5)) * down_scale)
+            # gossip while recovering
+            if ctx.rng.random() < 0.4:
+                yield ctx.send((ctx.proc + 1) % ctx.n, "heartbeat", avail=True)
+            else:
+                yield ctx.set(avail=True)
+        # drain heartbeats so the trace has no lost messages
+        while True:
+            yield ctx.compute(0.1)
+            yield ctx.receive()
+
+    return program
+
+
+def run_uncontrolled(n, cycles, seed):
+    """Run until the senders finish; receivers drain then the run ends by
+    event bound (their trailing receive is dropped from the trace)."""
+
+    def program_factory():
+        return server_program(cycles)
+
+    system = System(
+        [server_program(cycles) for _ in range(n)],
+        start_vars=[{"avail": True}] * n,
+        seed=seed,
+        jitter=0.3,
+    )
+    return system.run(max_events=100_000)
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_full_lifecycle(seed):
+    n = 3
+    result = run_uncontrolled(n, cycles=4, seed=seed)
+    # drain loops block on receive at the end; that is the expected shape
+    dep = result.deposet
+    safety = at_least_one(n, "avail")
+
+    # JSON round trip before analysis (what a real workflow would persist)
+    dep = deposet_from_dict(deposet_to_dict(dep))
+
+    session = DebugSession(dep, "recorded")
+    witness = session.detect(safety)
+    if witness is None:
+        return  # this seed's run was lucky; other seeds cover the bug path
+
+    try:
+        controlled_session, control = session.control(safety)
+    except NoControllerExistsError:
+        # every execution of this trace hits the bug; nothing to replay
+        return
+    assert not controlled_session.bug_possible(safety)
+    assert controlled_session.dep.without_control() == dep
+
+    # on-line prevention of the same predicate on a *fresh* run
+    guard = OnlineDisjunctiveControl(
+        [lambda v: bool(v.get("avail", False)) for _ in range(n)]
+    )
+    fresh = System(
+        [server_program(3) for _ in range(n)],
+        start_vars=[{"avail": True}] * n,
+        guard=guard,
+        seed=seed + 1000,
+        jitter=0.3,
+    )
+    fresh_result = fresh.run(max_events=100_000)
+    assert guard.violations == []
+    assert possibly_bad(fresh_result.deposet, safety) is None
+
+
+def test_at_least_one_seed_exhibits_the_bug():
+    hits = 0
+    for seed in (0, 3, 11):
+        dep = run_uncontrolled(3, cycles=4, seed=seed).deposet
+        if possibly_bad(dep, at_least_one(3, "avail")) is not None:
+            hits += 1
+    assert hits > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_recorded_traces_roundtrip_json(seed):
+    dep = run_uncontrolled(3, cycles=2, seed=seed).deposet
+    again = deposet_from_dict(deposet_to_dict(dep))
+    assert again == dep
+    assert again.timestamps == dep.timestamps
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_recorded_trace_controls_and_replays(seed):
+    dep = run_uncontrolled(3, cycles=3, seed=seed).deposet
+    safety = at_least_one(3, "avail")
+    try:
+        res = control_disjunctive(dep, safety)
+    except NoControllerExistsError:
+        return
+    out = replay(dep, res.control, seed=seed)
+    assert possibly_bad(out.deposet, safety) is None

@@ -1,0 +1,102 @@
+"""Tests for the builder DSL and JSON trace round-tripping."""
+
+import pytest
+
+from repro.causality import StateRef
+from repro.errors import MalformedTraceError
+from repro.trace import (
+    ComputationBuilder,
+    deposet_from_dict,
+    deposet_to_dict,
+    dump_deposet,
+    load_deposet,
+)
+
+
+def test_builder_marks_and_at():
+    b = ComputationBuilder(2)
+    b.local(0, x=1)
+    ref = b.mark(0, "a")
+    assert ref == StateRef(0, 1)
+    assert b.at(0) == StateRef(0, 1)
+    assert b.labels["a"] == ref
+
+
+def test_builder_transfer_shorthand():
+    b = ComputationBuilder(2)
+    b.transfer(0, 1, payload="hello", x=7)
+    dep = b.build()
+    (msg,) = dep.messages
+    assert msg.payload == "hello"
+    assert dep.state_vars((1, 1))["x"] == 7
+
+
+def test_builder_rejects_undelivered_by_default():
+    b = ComputationBuilder(2)
+    b.send(0)
+    with pytest.raises(MalformedTraceError):
+        b.build()
+    dep = b.build(allow_undelivered=True)
+    # the undelivered send degrades to a local event
+    assert dep.messages == ()
+    assert dep.state_counts == (2, 1)
+
+
+def test_builder_rejects_double_delivery():
+    b = ComputationBuilder(3)
+    m = b.send(0)
+    b.receive(1, m)
+    with pytest.raises(MalformedTraceError):
+        b.receive(2, m)
+
+
+def test_builder_rejects_self_receive():
+    b = ComputationBuilder(2)
+    m = b.send(0)
+    with pytest.raises(MalformedTraceError):
+        b.receive(0, m)
+
+
+def test_builder_bad_process():
+    b = ComputationBuilder(2)
+    with pytest.raises(MalformedTraceError):
+        b.local(5)
+
+
+def build_rich_trace():
+    b = ComputationBuilder(3, names=["S1", "S2", "S3"], start_vars=[{"avail": True}] * 3)
+    b.local(0, avail=False)
+    m = b.send(0, payload={"k": 1}, tag="app")
+    b.receive(2, m, avail=False)
+    b.local(0, avail=True)
+    b.local(1, avail=False)
+    b.local(2, avail=True)
+    dep = b.build()
+    return dep.with_control([((2, 1), (1, 1))])
+
+
+def test_json_roundtrip_dict():
+    dep = build_rich_trace()
+    again = deposet_from_dict(deposet_to_dict(dep))
+    assert again == dep
+    assert again.proc_names == ("S1", "S2", "S3")
+    assert again.messages[0].tag == "app"
+
+
+def test_json_roundtrip_file(tmp_path):
+    dep = build_rich_trace()
+    path = tmp_path / "trace.json"
+    dump_deposet(dep, path)
+    assert load_deposet(path) == dep
+
+
+def test_unknown_format_rejected():
+    with pytest.raises(MalformedTraceError):
+        deposet_from_dict({"format": "bogus"})
+
+
+def test_non_jsonable_payload_degrades_gracefully():
+    b = ComputationBuilder(2)
+    b.transfer(0, 1, payload=object())
+    data = deposet_to_dict(b.build())
+    assert "__repr__" in data["messages"][0]["payload"]

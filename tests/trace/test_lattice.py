@@ -1,0 +1,114 @@
+"""Tests for consistent-cut enumeration and global sequences."""
+
+import pytest
+
+from repro.trace import ComputationBuilder, CutLattice, final_cut, initial_cut
+from repro.trace.global_state import cut_states
+
+
+def two_proc_no_messages(k0=2, k1=2):
+    b = ComputationBuilder(2)
+    for _ in range(k0):
+        b.local(0)
+    for _ in range(k1):
+        b.local(1)
+    return b.build()
+
+
+def messaged_deposet():
+    b = ComputationBuilder(2)
+    b.local(0)
+    m = b.send(0)
+    b.receive(1, m)
+    b.local(1)
+    return b.build()
+
+
+def test_independent_processes_grid_lattice():
+    dep = two_proc_no_messages(2, 2)  # 3x3 grid, all cuts consistent
+    lat = CutLattice(dep)
+    assert lat.count_consistent_cuts() == 9
+
+
+def test_message_prunes_cuts():
+    dep = messaged_deposet()
+    lat = CutLattice(dep)
+    cuts = set(lat.consistent_cuts())
+    # message src s[0,1], dst s[1,1]: P1 past the receive (state >= 1)
+    # requires P0 strictly past the sender state s[0,1], i.e. at state 2.
+    assert cuts == {(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)}
+    assert initial_cut(dep) in cuts and final_cut(dep) in cuts
+
+
+def test_successors_advance_one_process():
+    dep = two_proc_no_messages(1, 1)
+    lat = CutLattice(dep)
+    succ = set(lat.successors((0, 0)))
+    assert succ == {(1, 0), (0, 1)}
+
+
+def test_subset_successors_include_diagonal():
+    dep = two_proc_no_messages(1, 1)
+    lat = CutLattice(dep)
+    succ = set(lat.subset_successors((0, 0)))
+    assert succ == {(1, 0), (0, 1), (1, 1)}
+
+
+def test_global_sequences_cover_all_local_states():
+    dep = two_proc_no_messages(2, 1)
+    lat = CutLattice(dep)
+    for seq in lat.iter_global_sequences():
+        assert seq[0] == initial_cut(dep)
+        assert seq[-1] == final_cut(dep)
+        for i in range(dep.n):
+            indices = sorted({cut[i] for cut in seq})
+            assert indices == list(range(dep.state_counts[i]))
+
+
+def test_sequences_are_monotone():
+    dep = messaged_deposet()
+    lat = CutLattice(dep)
+    for seq in lat.iter_global_sequences(max_sequences=50):
+        for a, b in zip(seq, seq[1:]):
+            assert all(x <= y <= x + 1 for x, y in zip(a, b))
+            assert a != b
+
+
+def test_all_sequences_satisfy_matches_all_cuts():
+    dep = messaged_deposet()
+    lat = CutLattice(dep)
+    assert lat.all_sequences_satisfy(lambda cut: True)
+    assert not lat.all_sequences_satisfy(lambda cut: cut != (2, 1))
+    # predicate violated only at an inconsistent cut is fine
+    assert lat.all_sequences_satisfy(lambda cut: cut != (1, 1))
+
+
+def test_exists_satisfying_sequence_corner_cutting():
+    # 1x1 grid: avoiding both mixed corners requires the diagonal move
+    dep = two_proc_no_messages(1, 1)
+    lat = CutLattice(dep)
+    pred = lambda cut: cut not in {(0, 1), (1, 0)}
+    seq = lat.find_satisfying_sequence(pred)
+    assert seq == [(0, 0), (1, 1)]
+
+
+def test_no_satisfying_sequence_when_bottom_bad():
+    dep = two_proc_no_messages(1, 1)
+    lat = CutLattice(dep)
+    assert not lat.exists_satisfying_sequence(lambda cut: cut != (0, 0))
+
+
+def test_find_satisfying_sequence_is_valid():
+    dep = messaged_deposet()
+    lat = CutLattice(dep)
+    seq = lat.find_satisfying_sequence(lambda cut: True)
+    assert seq is not None
+    for cut in seq:
+        assert lat.is_consistent(cut)
+    for a, b in zip(seq, seq[1:]):
+        assert all(x <= y <= x + 1 for x, y in zip(a, b))
+
+
+def test_cut_states_helper():
+    refs = cut_states((1, 2, 0))
+    assert [(r.proc, r.index) for r in refs] == [(0, 1), (1, 2), (2, 0)]

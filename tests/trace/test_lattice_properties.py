@@ -1,0 +1,101 @@
+"""E12 property tests: structural invariants of the consistent-cut lattice.
+
+These validate the Section 3 model facts everything else relies on:
+
+* bottom and top are always consistent (via D1/D2);
+* the consistent cuts are closed under componentwise min and max
+  (Mattern: they form a lattice);
+* every global sequence visits only consistent cuts and every local state;
+* detection/consistency are invariant under adding control arrows only in
+  one direction (arrows can only remove consistent cuts).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import CutLattice
+from repro.trace.global_state import final_cut, initial_cut
+from repro.workloads import random_deposet
+
+SMALL = dict(n=3, events_per_proc=4, message_rate=0.45, flip_rate=0.3)
+
+
+def small_dep(seed):
+    return random_deposet(seed=seed, **SMALL)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_bottom_and_top_consistent(seed):
+    dep = small_dep(seed)
+    lat = CutLattice(dep)
+    assert lat.is_consistent(initial_cut(dep))
+    assert lat.is_consistent(final_cut(dep))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_consistent_cuts_form_a_lattice(seed):
+    dep = small_dep(seed)
+    lat = CutLattice(dep)
+    cuts = lat.consistent_cuts()
+    cut_set = set(cuts)
+    # closure under meet (min) and join (max), sampled pairs
+    import itertools
+
+    for a, b in itertools.islice(itertools.combinations(cuts, 2), 400):
+        meet = tuple(min(x, y) for x, y in zip(a, b))
+        join = tuple(max(x, y) for x, y in zip(a, b))
+        assert meet in cut_set, (a, b, meet)
+        assert join in cut_set, (a, b, join)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_sequences_visit_only_consistent_cuts(seed):
+    dep = small_dep(seed)
+    lat = CutLattice(dep)
+    seq = lat.find_satisfying_sequence(lambda c: True)
+    assert seq is not None  # a valid deposet always has an execution
+    for cut in seq:
+        assert lat.is_consistent(cut)
+    for i in range(dep.n):
+        assert sorted({c[i] for c in seq}) == list(range(dep.state_counts[i]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_single_step_execution_always_exists(seed):
+    # event-level acyclicity guarantees a full topological execution
+    dep = small_dep(seed)
+    lat = CutLattice(dep)
+    assert lat.find_satisfying_sequence(lambda c: True, moves="single")
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_control_arrows_only_remove_cuts(seed):
+    from repro.core import control_disjunctive
+    from repro.errors import NoControllerExistsError
+    from repro.workloads import availability_predicate
+
+    dep = small_dep(seed)
+    pred = availability_predicate(3, var="up")
+    try:
+        res = control_disjunctive(dep, pred)
+    except NoControllerExistsError:
+        return
+    if not res.control:
+        return
+    before = set(CutLattice(dep).consistent_cuts())
+    after = set(CutLattice(res.control.apply(dep)).consistent_cuts())
+    assert after <= before
+    assert initial_cut(dep) in after and final_cut(dep) in after
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_cut_counts_consistent_between_apis(seed):
+    dep = small_dep(seed)
+    lat = CutLattice(dep)
+    assert lat.count_consistent_cuts() == len(lat.consistent_cuts())

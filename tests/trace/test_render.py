@@ -1,0 +1,74 @@
+"""Tests for the ASCII space-time renderer."""
+
+from repro.trace import ComputationBuilder
+from repro.trace.render import render_deposet
+from repro.workloads import availability_predicate
+from repro.workloads.servers import figure4_c1
+
+
+def sample():
+    b = ComputationBuilder(2, names=["A", "B"], start_vars=[{"up": True}] * 2)
+    b.local(0, up=False)
+    m = b.send(0)
+    b.receive(1, m, up=False)
+    b.local(1, up=True)
+    return b.build()
+
+
+def test_render_plain():
+    out = render_deposet(sample())
+    lines = out.splitlines()
+    assert lines[0].startswith("A ")
+    assert lines[1].startswith("B ")
+    assert lines[0].count("o") == 3  # A has 3 states
+    assert lines[1].count("o") == 3
+    assert any("msg" in line for line in lines)
+
+
+def test_render_with_predicate_marks_false_states():
+    dep = sample()
+    out = render_deposet(dep, predicate=availability_predicate(2, var="up"))
+    lines = out.splitlines()
+    # A: up, down, down -> one 'o' and two '#'
+    assert lines[0].count("#") == 2
+    assert lines[0].count("o") == 1
+    # B: up, down, up
+    assert lines[1].count("#") == 1
+
+
+def test_render_with_var():
+    out = render_deposet(sample(), show_vars="up")
+    assert "#" in out
+
+
+def test_render_respects_causality_columns():
+    from repro.trace.render import _columns
+
+    dep = sample()
+    cols = _columns(dep)
+    # within-process monotone
+    for row in cols:
+        assert row == sorted(row) and len(set(row)) == len(row)
+    # B's post-receive state strictly right of A's pre-send state
+    (msg,) = dep.messages
+    assert cols[msg.dst.proc][msg.dst.index] > cols[msg.src.proc][msg.src.index]
+    assert "~>" in render_deposet(dep)
+
+
+def test_render_control_arrows_listed():
+    b = ComputationBuilder(2, names=["A", "B"])
+    b.local(0)
+    b.local(1)
+    b.local(1)
+    b.local(0)
+    dep = b.build().with_control([((1, 1), (0, 2))])
+    out = render_deposet(dep)
+    assert "C>" in out
+
+
+def test_render_figure4():
+    dep, _ = figure4_c1()
+    out = render_deposet(dep, predicate=availability_predicate(3))
+    assert out.count("\n") >= 4
+    for name in ("S1", "S2", "S3"):
+        assert name in out

@@ -1,0 +1,94 @@
+"""Tests for trace slicing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MalformedTraceError
+from repro.trace import ComputationBuilder, CutLattice
+from repro.trace.slicing import prefix_at
+from repro.workloads import random_deposet
+
+
+def messaged():
+    b = ComputationBuilder(2, start_vars=[{"x": 0}, {"x": 0}])
+    b.local(0, x=1)
+    m = b.send(0)
+    b.local(1, x=5)
+    b.receive(1, m, x=6)
+    b.local(0, x=2)
+    return b.build()
+
+
+def test_full_cut_is_identity():
+    dep = messaged()
+    cut = tuple(m - 1 for m in dep.state_counts)
+    sliced, transit = prefix_at(dep, cut)
+    assert sliced == dep
+    assert transit == ()
+
+
+def test_bottom_cut_keeps_only_starts():
+    dep = messaged()
+    sliced, transit = prefix_at(dep, (0, 0))
+    assert sliced.state_counts == (1, 1)
+    assert sliced.messages == ()
+    assert transit == ()
+
+
+def test_in_transit_messages_identified():
+    dep = messaged()
+    # P0 past the send (state 2), P1 before the receive (state 1)
+    sliced, transit = prefix_at(dep, (2, 1))
+    assert sliced.state_counts == (3, 2)
+    assert sliced.messages == ()
+    assert len(transit) == 1
+    # the send event degrades to a local event in the slice
+    assert all(e.kind.value == "local" for e in sliced.events[0])
+
+
+def test_inconsistent_cut_rejected():
+    dep = messaged()
+    # P1 past the receive while P0 still at the sender state
+    with pytest.raises(MalformedTraceError):
+        prefix_at(dep, (1, 2))
+    with pytest.raises(ValueError):
+        prefix_at(dep, (1, 99))
+    with pytest.raises(ValueError):
+        prefix_at(dep, (1,))
+
+
+def test_vars_and_names_preserved():
+    dep = messaged()
+    sliced, _ = prefix_at(dep, (2, 1))
+    assert sliced.state_vars((0, 1))["x"] == 1
+    assert sliced.state_vars((1, 1))["x"] == 5
+    assert sliced.proc_names == dep.proc_names
+
+
+def test_control_arrows_inside_kept():
+    b = ComputationBuilder(2)
+    for _ in range(3):
+        b.local(0)
+        b.local(1)
+    dep = b.build().with_control([((0, 1), (1, 2))])
+    sliced, _ = prefix_at(dep, (2, 2))
+    assert sliced.control_arrows == dep.control_arrows
+    sliced2, _ = prefix_at(dep, (1, 1))
+    assert sliced2.control_arrows == ()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=20_000))
+def test_slices_at_random_consistent_cuts_are_valid(seed):
+    dep = random_deposet(n=3, events_per_proc=5, message_rate=0.4, seed=seed)
+    lat = CutLattice(dep)
+    cuts = lat.consistent_cuts()
+    for cut in cuts[:: max(1, len(cuts) // 10)]:
+        sliced, transit = prefix_at(dep, cut)  # construction validates
+        assert sliced.state_counts == tuple(c + 1 for c in cut)
+        # the slice's consistent cuts are exactly dep's cuts under `cut`
+        sub = {
+            c for c in cuts if all(x <= y for x, y in zip(c, cut))
+        }
+        assert set(CutLattice(sliced).consistent_cuts()) == sub

@@ -1,0 +1,70 @@
+"""Tests for deposet statistics."""
+
+import pytest
+
+from repro.trace import ComputationBuilder
+from repro.trace.stats import deposet_stats
+from repro.workloads import random_deposet
+
+
+def test_independent_processes_fully_concurrent():
+    b = ComputationBuilder(2)
+    b.local(0)
+    b.local(1)
+    dep = b.build()
+    stats = deposet_stats(dep)
+    assert stats.concurrency_fraction == 1.0
+    assert stats.critical_path == 2  # two states in a row per process
+    assert stats.messages == 0
+    assert stats.total_events == 2
+
+
+def test_fully_serialised_chain():
+    # ping-pong: every state ordered with every other
+    b = ComputationBuilder(2)
+    m = b.send(0)
+    b.receive(1, m)
+    m = b.send(1)
+    b.receive(0, m)
+    dep = b.build()
+    stats = deposet_stats(dep)
+    assert stats.messages == 2
+    assert stats.critical_path == 5  # 0 -> send -> recv -> send -> recv
+    # 5 of the 9 cross pairs remain concurrent (strict state semantics)
+    assert stats.concurrency_fraction == pytest.approx(5 / 9)
+
+
+def test_single_process():
+    b = ComputationBuilder(1)
+    b.local(0)
+    stats = deposet_stats(b.build())
+    assert stats.concurrency_fraction == 1.0
+    assert stats.n == 1
+
+
+def test_control_arrows_counted_and_reduce_concurrency():
+    b = ComputationBuilder(2)
+    for _ in range(3):
+        b.local(0)
+        b.local(1)
+    dep = b.build()
+    free = deposet_stats(dep)
+    controlled = deposet_stats(dep.with_control([((0, 1), (1, 1)), ((1, 2), (0, 3))]))
+    assert controlled.control_arrows == 2
+    assert controlled.concurrency_fraction < free.concurrency_fraction
+    assert controlled.critical_path > free.critical_path
+
+
+def test_sampled_path_on_large_trace_deterministic():
+    dep = random_deposet(n=5, events_per_proc=30, message_rate=0.3, seed=3)
+    a = deposet_stats(dep)
+    b = deposet_stats(dep)
+    assert a == b
+    assert 0.0 <= a.concurrency_fraction <= 1.0
+    assert a.message_density == pytest.approx(len(dep.messages) / a.total_events)
+
+
+def test_describe_readable():
+    dep = random_deposet(n=3, events_per_proc=4, seed=1)
+    text = deposet_stats(dep).describe()
+    assert "processes" in text and "critical path" in text

@@ -1,0 +1,125 @@
+"""Tests for the workload generators (they must always emit valid deposets)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import CutLattice
+from repro.workloads import (
+    availability_predicate,
+    mutex_predicate,
+    mutex_trace,
+    philosophers_trace,
+    random_bool_patterns,
+    random_deposet,
+    random_server_trace,
+    thinking_predicate,
+)
+from repro.workloads.servers import figure4_c1
+
+import numpy as np
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_random_deposet_valid_and_deterministic(seed):
+    a = random_deposet(n=4, events_per_proc=6, message_rate=0.5, seed=seed)
+    b = random_deposet(n=4, events_per_proc=6, message_rate=0.5, seed=seed)
+    assert a == b
+    assert a.n == 4
+    # construction validated D1-D3 and acyclicity; sanity: consistent bottom
+    assert a.order.is_consistent_cut([0] * 4)
+
+
+def test_random_deposet_event_budget():
+    dep = random_deposet(n=3, events_per_proc=5, message_rate=0.0, seed=1)
+    # without messages every scheduled event lands on some process
+    assert dep.num_states == 3 + 15
+
+
+def test_random_deposet_message_rate_zero_means_no_messages():
+    dep = random_deposet(n=3, events_per_proc=10, message_rate=0.0, seed=2)
+    assert dep.messages == ()
+
+
+def test_random_deposet_messages_appear_at_high_rate():
+    dep = random_deposet(n=3, events_per_proc=20, message_rate=0.9, seed=3)
+    assert len(dep.messages) > 5
+
+
+def test_random_deposet_single_process():
+    dep = random_deposet(n=1, events_per_proc=5, message_rate=0.9, seed=4)
+    assert dep.messages == ()
+    assert dep.n == 1
+
+
+def test_random_deposet_rejects_zero_processes():
+    with pytest.raises(ValueError):
+        random_deposet(n=0, events_per_proc=3)
+
+
+def test_random_bool_patterns_shape():
+    rng = np.random.default_rng(0)
+    pats = random_bool_patterns(3, 10, 0.3, rng)
+    assert len(pats) == 3
+    assert all(len(p) == 11 for p in pats)
+
+
+def test_server_trace_var_and_determinism():
+    a = random_server_trace(3, outages_per_server=2, seed=5)
+    b = random_server_trace(3, outages_per_server=2, seed=5)
+    assert a == b
+    for i in range(3):
+        assert all("avail" in s for s in a.proc_states(i))
+        assert a.proc_states(i)[0]["avail"] is True
+
+
+def test_server_trace_has_outages():
+    dep = random_server_trace(3, outages_per_server=2, seed=6)
+    downs = sum(
+        not s["avail"] for i in range(3) for s in dep.proc_states(i)
+    )
+    assert downs > 0
+
+
+def test_mutex_trace_alternates_and_ends_outside():
+    dep = mutex_trace(cs_per_proc=4, n=3, seed=7)
+    for i in range(3):
+        states = dep.proc_states(i)
+        assert states[0]["cs"] is False
+        assert states[-1]["cs"] is False  # A2-style ending
+        entries = sum(
+            (not a["cs"]) and b["cs"] for a, b in zip(states, states[1:])
+        )
+        assert entries == 4
+
+
+def test_philosophers_trace_valid():
+    dep = philosophers_trace(4, meals_per_philosopher=2, seed=8)
+    assert dep.n == 4
+    assert len(dep.messages) == 8  # one fork request per meal per phil
+    for i in range(4):
+        assert dep.proc_states(i)[-1]["thinking"] is True
+
+
+def test_philosophers_needs_two():
+    with pytest.raises(ValueError):
+        philosophers_trace(1, meals_per_philosopher=1)
+
+
+def test_predicate_helpers_arity():
+    assert availability_predicate(3).n == 3
+    assert mutex_predicate(4).n == 4
+    assert thinking_predicate(5).n == 5
+
+
+def test_figure4_shape():
+    dep, labels = figure4_c1()
+    assert dep.n == 3
+    assert dep.proc_names == ("S1", "S2", "S3")
+    assert set(labels) == {"e", "f"}
+    # the two violating cuts are exactly G and H
+    lat = CutLattice(dep)
+    pred = availability_predicate(3)
+    bad = [c for c in lat.iter_consistent_cuts() if not pred.evaluate(dep, c)]
+    assert bad == [(1, 1, 1), (2, 1, 1)]
