@@ -4,12 +4,33 @@ Every benchmark prints its experiment table (visible with ``-s``; also
 attached to the benchmark's ``extra_info`` so it lands in
 ``--benchmark-json`` output), and asserts the *shape* claims from the
 paper -- who wins, by roughly what factor, where the bounds hold.
+
+``run_once`` additionally snapshots the :mod:`repro.obs` metrics registry
+around each experiment and prints the per-experiment delta, so the tables
+captured into ``bench_tables.txt`` carry a metrics baseline (kernel
+events, control messages, handoffs, lattice expansions, ...) that future
+performance PRs can diff against.
 """
 
 import pytest
 
+from repro.obs import METRICS
+from repro.obs.metrics import MetricsRegistry
+from repro.bench.harness import format_metrics_snapshot
+
 
 def run_once(benchmark, fn):
     """Benchmark ``fn`` with a single warm round (experiments are heavy and
-    deterministic; statistical repetition adds nothing)."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    deterministic; statistical repetition adds nothing).
+
+    Metrics activity during the round is diffed and attached to the
+    benchmark's ``extra_info["metrics"]`` and printed alongside the table.
+    """
+    before = METRICS.snapshot()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    delta = MetricsRegistry.diff(before, METRICS.snapshot())
+    benchmark.extra_info["metrics"] = delta
+    line = format_metrics_snapshot(delta)
+    if line:
+        print(f"\n[obs metrics] {line}")
+    return result

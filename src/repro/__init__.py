@@ -71,6 +71,17 @@ from repro.errors import (
     SimulationError,
 )
 from repro.mutex import MutexReport, run_mutex_workload
+from repro.obs import (
+    METRICS,
+    TRACER,
+    MetricsRegistry,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.predicates import (
     And,
     DisjunctivePredicate,
@@ -102,6 +113,7 @@ from repro.trace import (
     deposet_to_dict,
     dump_deposet,
     load_deposet,
+    load_deposet_meta,
     prefix_at,
     render_deposet,
 )
@@ -114,7 +126,11 @@ __all__ = [
     # trace model
     "ComputationBuilder", "CutLattice", "Deposet", "MessageArrow",
     "deposet_from_dict", "deposet_to_dict", "dump_deposet", "load_deposet",
-    "render_deposet", "DeposetStats", "deposet_stats", "prefix_at",
+    "load_deposet_meta", "render_deposet", "DeposetStats", "deposet_stats",
+    "prefix_at",
+    # observability (the flight recorder)
+    "TRACER", "Tracer", "TraceEvent", "METRICS", "MetricsRegistry",
+    "write_jsonl", "read_jsonl", "to_chrome_trace", "write_chrome_trace",
     # predicates
     "And", "DisjunctivePredicate", "FalseInterval", "LocalPredicate",
     "Not", "Or", "as_disjunctive", "false_intervals",

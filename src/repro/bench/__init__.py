@@ -6,6 +6,11 @@ package holds the shared plumbing so ``benchmarks/`` and ``examples/`` can
 print identically-shaped tables.
 """
 
-from repro.bench.harness import format_table, geometric_fit, Sweep
+from repro.bench.harness import (
+    Sweep,
+    format_metrics_snapshot,
+    format_table,
+    geometric_fit,
+)
 
-__all__ = ["format_table", "geometric_fit", "Sweep"]
+__all__ = ["format_table", "format_metrics_snapshot", "geometric_fit", "Sweep"]

@@ -7,7 +7,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "geometric_fit", "Sweep"]
+__all__ = ["format_table", "geometric_fit", "format_metrics_snapshot", "Sweep"]
 
 
 def format_table(
@@ -60,6 +60,25 @@ def geometric_fit(xs: Sequence[float], ys: Sequence[float]) -> float:
     ly = np.log([p[1] for p in pts])
     slope, _ = np.polyfit(lx, ly, 1)
     return float(slope)
+
+
+def format_metrics_snapshot(diff: Dict[str, Any]) -> str:
+    """A one-line rendering of a metrics-snapshot diff for bench tables.
+
+    Takes the structure produced by
+    :meth:`repro.obs.metrics.MetricsRegistry.diff` and keeps only the
+    instruments that moved, so the line stays short and greppable in
+    ``bench_tables.txt``.
+    """
+    parts = []
+    for name, value in diff.get("counters", {}).items():
+        if value:
+            parts.append(f"{name}={value}")
+    for name, summ in diff.get("histograms", {}).items():
+        if summ.get("count"):
+            parts.append(f"{name}.count={summ['count']}")
+            parts.append(f"{name}.mean={summ['mean']:.4g}")
+    return " ".join(parts)
 
 
 @dataclass

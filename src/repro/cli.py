@@ -17,6 +17,12 @@ Commands::
     python -m repro control trace.json --predicate mutex:cs -o fixed.json
     python -m repro replay fixed.json -o replayed.json
     python -m repro mutex-bench --algorithm antitoken --n 8
+
+The ``obs`` family drives the flight recorder (:mod:`repro.obs`)::
+
+    python -m repro obs record --workload philosophers --predicate disjunctive
+    python -m repro obs summary
+    python -m repro obs export --format chrome out.json   # open in Perfetto
 """
 
 from __future__ import annotations
@@ -137,6 +143,123 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+#: default recording path shared by ``obs record`` / ``summary`` / ``export``
+DEFAULT_RECORDING = "obs-recording.jsonl"
+
+
+def _obs_predicate(spec: str, n: int):
+    """``disjunctive`` -> the workload's canonical predicate; else a spec."""
+    from repro.workloads.philosophers import thinking_predicate
+
+    if spec in ("disjunctive", "thinking"):
+        return thinking_predicate(n)
+    return parse_predicate(spec, n)
+
+
+def _cmd_obs_record(args: argparse.Namespace) -> int:
+    from repro.obs import METRICS, TRACER, write_jsonl
+    from repro.obs.metrics import MetricsRegistry
+
+    before = METRICS.snapshot()
+    proc_names = None
+    with TRACER.recording(capacity=args.capacity):
+        TRACER.reset()
+        if args.workload == "philosophers":
+            from repro.core.offline import control_disjunctive
+            from repro.detection.lattice_walk import violating_cuts
+            from repro.replay.engine import replay
+            from repro.workloads.philosophers import philosophers_trace
+
+            dep = philosophers_trace(args.n, args.rounds, seed=args.seed)
+            proc_names = list(dep.proc_names)
+            pred = _obs_predicate(args.predicate, args.n)
+            # detection walk (observable expansions) on bounded traces only
+            if dep.num_states <= args.detect_limit:
+                cuts = violating_cuts(dep, pred)
+                print(f"detected {len(cuts)} violating consistent global state(s)")
+            try:
+                result = control_disjunctive(dep, pred, seed=args.seed)
+            except NoControllerExistsError as exc:
+                print(f"No Controller Exists: {exc}")
+                result = None
+            if result is not None:
+                rep = replay(dep, result.control, seed=args.seed)
+                print(
+                    f"controlled replay: {rep.run.events} kernel events, "
+                    f"{rep.control_messages} control message(s)"
+                )
+                if args.trace_out:
+                    dump_deposet(
+                        rep.deposet, args.trace_out,
+                        obs={"metrics": MetricsRegistry.diff(
+                            before, METRICS.snapshot())},
+                    )
+        else:  # mutex
+            report = run_mutex_workload(
+                args.algorithm, n=args.n, cs_per_proc=args.rounds,
+                seed=args.seed,
+            )
+            proc_names = [f"P{i}" for i in range(args.n)]
+            print(
+                f"mutex workload: {report.entries} CS entries, "
+                f"{report.control_messages} control message(s), "
+                f"safe={report.safe}"
+            )
+        events = TRACER.drain()
+        dropped = TRACER.dropped
+
+    meta = {
+        "workload": args.workload,
+        "predicate": args.predicate,
+        "n": args.n,
+        "seed": args.seed,
+        "proc_names": proc_names,
+        "dropped": dropped,
+        "metrics": MetricsRegistry.diff(before, METRICS.snapshot()),
+    }
+    write_jsonl(events, args.output, meta=meta)
+    print(f"{len(events)} event(s) recorded to {args.output}"
+          + (f" ({dropped} dropped by the ring buffer)" if dropped else ""))
+    return 0
+
+
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.obs import read_jsonl
+    from repro.obs.metrics import MetricsRegistry
+
+    meta, events = read_jsonl(args.recording)
+    print(f"recording: {args.recording}")
+    if meta:
+        print(f"  workload={meta.get('workload')} n={meta.get('n')} "
+              f"seed={meta.get('seed')} dropped={meta.get('dropped', 0)}")
+    print(f"  {len(events)} event(s)")
+    for name, count in sorted(Counter(ev.name for ev in events).items()):
+        print(f"    {name:20s} {count}")
+    metrics = (meta or {}).get("metrics")
+    if metrics:
+        registry = MetricsRegistry()
+        print(f"  metrics: {registry.describe(metrics)}")
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs import read_jsonl, write_chrome_trace, write_jsonl
+
+    meta, events = read_jsonl(args.input)
+    if args.format == "chrome":
+        write_chrome_trace(
+            events, args.output,
+            proc_names=(meta or {}).get("proc_names"), meta=meta,
+        )
+    else:
+        write_jsonl(events, args.output, meta=meta)
+    print(f"{len(events)} event(s) exported to {args.output} "
+          f"({args.format} format)")
+    return 0
+
+
 def _cmd_mutex_bench(args: argparse.Namespace) -> int:
     report = run_mutex_workload(
         args.algorithm, n=args.n, cs_per_proc=args.entries,
@@ -187,6 +310,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jitter", type=float, default=0.0)
     p.add_argument("-o", "--output")
     p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser("obs", help="flight recorder: record/summarise/export")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    p = obs_sub.add_parser("record", help="run an instrumented workload")
+    p.add_argument("--workload", choices=("philosophers", "mutex"),
+                   default="philosophers")
+    p.add_argument("--predicate", default="disjunctive",
+                   help="'disjunctive' (workload default) or a spec like "
+                        "at-least-one:thinking")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--rounds", type=int, default=2,
+                   help="meals per philosopher / CS entries per process")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                   default="antitoken", help="mutex workload only")
+    p.add_argument("--capacity", type=int, default=100_000,
+                   help="ring-buffer capacity (events)")
+    p.add_argument("--detect-limit", type=int, default=80,
+                   help="skip the exhaustive lattice walk above this many "
+                        "states (it is exponential)")
+    p.add_argument("--trace-out",
+                   help="also dump the controlled deposet (with obs block)")
+    p.add_argument("-o", "--output", default=DEFAULT_RECORDING)
+    p.set_defaults(fn=_cmd_obs_record)
+
+    p = obs_sub.add_parser("summary", help="summarise a recording")
+    p.add_argument("recording", nargs="?", default=DEFAULT_RECORDING)
+    p.set_defaults(fn=_cmd_obs_summary)
+
+    p = obs_sub.add_parser("export", help="convert a recording for viewers")
+    p.add_argument("output", help="output path (e.g. out.json)")
+    p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome")
+    p.add_argument("--input", default=DEFAULT_RECORDING)
+    p.set_defaults(fn=_cmd_obs_export)
 
     p = sub.add_parser("mutex-bench", help="run one (n-1)-mutex workload")
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="antitoken")

@@ -43,11 +43,19 @@ import numpy as np
 from repro.causality.relations import CausalOrder, StateRef
 from repro.core.control_relation import ControlRelation
 from repro.errors import NoControllerExistsError
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.predicates.disjunctive import DisjunctivePredicate
 from repro.predicates.intervals import FalseInterval, false_intervals
 from repro.trace.deposet import Deposet
 
 __all__ = ["OfflineResult", "control_disjunctive"]
+
+_SOLVES = METRICS.counter("offline.solves")
+_INFEASIBLE = METRICS.counter("offline.infeasible")
+_ARROWS = METRICS.counter("offline.arrows")
+_ITERATIONS = METRICS.counter("offline.iterations")
+_PAIR_CHECKS = METRICS.counter("offline.pair_checks")
 
 
 @dataclass
@@ -218,7 +226,26 @@ def control_disjunctive(
         raise ValueError(f"unknown variant {variant!r}")
     if rng is None and seed is not None:
         rng = np.random.default_rng(seed)
+    with TRACER.span("offline.control", variant=variant, n=dep.n) as span:
+        try:
+            result = _solve(dep, pred, variant, rng)
+        except NoControllerExistsError:
+            _INFEASIBLE.inc()
+            raise
+        _SOLVES.inc()
+        span.add(
+            arrows=len(result.control), iterations=result.iterations,
+            pair_checks=result.pair_checks,
+        )
+        return result
 
+
+def _solve(
+    dep: Deposet,
+    pred: DisjunctivePredicate,
+    variant: str,
+    rng: Optional[np.random.Generator],
+) -> OfflineResult:
     order = dep.order
     intervals = false_intervals(dep, pred)
     cursor = _Cursor(dep, order, intervals)
@@ -237,11 +264,20 @@ def control_disjunctive(
 
     def add_control(k_prime: int, k: Optional[int]) -> None:
         if cursor.true_from_bottom(k_prime):
+            if chain and TRACER.enabled:
+                TRACER.event("offline.chain_reset", restart=k_prime,
+                             dropped=len(chain))
             chain.clear()  # the chain can start at bottom_{k'}
         elif k is not None and k != k_prime:
-            chain.append(
-                (StateRef(k_prime, cursor.pos[k_prime]), cursor.next_state(k))
-            )
+            src = StateRef(k_prime, cursor.pos[k_prime])
+            dst = cursor.next_state(k)
+            chain.append((src, dst))
+            _ARROWS.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "offline.arrow",
+                    src=[src.proc, src.index], dst=[dst.proc, dst.index],
+                )
 
     # Incremental ValidPairs bookkeeping (optimized variant).
     valid: Set[Tuple[int, int]] = set()
@@ -274,6 +310,10 @@ def control_disjunctive(
                             valid.add((i, j))
         if not valid:
             witness = tuple(cursor.next_interval(i) for i in range(n))
+            _ITERATIONS.inc(iterations)
+            _PAIR_CHECKS.inc(pair_checks)
+            if TRACER.enabled:
+                TRACER.event("offline.infeasible", iteration=iterations)
             raise NoControllerExistsError(witness=witness)
 
         k_prime, l = select(list(valid))
@@ -284,6 +324,11 @@ def control_disjunctive(
         # crossable guarantees hi != top).
         nl = cursor.next_interval(l)
         target = StateRef(l, nl.hi + 1)
+        if TRACER.enabled:
+            TRACER.event(
+                "offline.cross", anchor=k_prime, crossed=l,
+                interval=[nl.lo, nl.hi], iteration=iterations,
+            )
         changed: Set[int] = set()
         cursor.advance_through(target, changed)
         prev_anchor = k_prime
@@ -295,6 +340,8 @@ def control_disjunctive(
     k_prime = finished[0] if rng is None else finished[int(rng.integers(len(finished)))]
     add_control(k_prime, prev_anchor)
 
+    _ITERATIONS.inc(iterations)
+    _PAIR_CHECKS.inc(pair_checks)
     return OfflineResult(
         control=ControlRelation(chain),
         iterations=iterations,

@@ -35,9 +35,16 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from repro.errors import OnlineControlError
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.sim.system import TransitionGuard
 
 __all__ = ["Handoff", "OnlineDisjunctiveControl"]
+
+_BLOCKS = METRICS.counter("online.blocks")
+_HANDOFFS = METRICS.counter("online.handoffs")
+_TAKEOVERS = METRICS.counter("online.takeovers")
+_RESPONSE = METRICS.histogram("online.handoff_response")
 
 LocalCondition = Callable[[Dict[str, Any]], bool]
 
@@ -154,6 +161,12 @@ class OnlineDisjunctiveControl(TransitionGuard):
         self._round[proc] += 1
         self._blocked_commit[proc] = commit
         self._blocked_since[proc] = self.system.queue.now
+        _BLOCKS.inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "online.block", proc=proc, round=self._round[proc],
+                sim_time=self.system.queue.now, strategy=self.strategy,
+            )
         for peer in self._select_peers(proc):
             self._send(
                 proc, peer,
@@ -165,6 +178,12 @@ class OnlineDisjunctiveControl(TransitionGuard):
         if self.pending[proc] and self._holds(proc):
             requesters, self.pending[proc] = self.pending[proc], []
             self.scapegoat[proc] = True
+            _TAKEOVERS.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "online.takeover", proc=proc, deferred=len(requesters),
+                    sim_time=self.system.queue.now,
+                )
             for j, rnd in requesters:
                 self._send(proc, j, {"type": "ack", "from": proc, "round": rnd})
         self._check_invariant()
@@ -195,6 +214,12 @@ class OnlineDisjunctiveControl(TransitionGuard):
     def _handle_req(self, proc: int, requester: int, rnd: int) -> None:
         if self._holds(proc):
             self.scapegoat[proc] = True
+            _TAKEOVERS.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "online.takeover", proc=proc, requester=requester,
+                    sim_time=self.system.queue.now,
+                )
             self._send(proc, requester, {"type": "ack", "from": proc, "round": rnd})
         else:
             self.pending[proc].append((requester, rnd))
@@ -215,14 +240,21 @@ class OnlineDisjunctiveControl(TransitionGuard):
         commit = self._blocked_commit[proc]
         self._blocked_commit[proc] = None
         msgs = 2 if self.strategy == "unicast" else self.n  # req fanout + this ack
-        self.handoffs.append(
-            Handoff(
-                proc=proc,
-                requested_at=self._blocked_since[proc],
-                committed_at=self.system.queue.now,
-                messages=msgs,
-            )
+        handoff = Handoff(
+            proc=proc,
+            requested_at=self._blocked_since[proc],
+            committed_at=self.system.queue.now,
+            messages=msgs,
         )
+        self.handoffs.append(handoff)
+        _HANDOFFS.inc()
+        _RESPONSE.observe(handoff.response_time)
+        if TRACER.enabled:
+            TRACER.event(
+                "online.handoff", proc=proc, acker=acker, round=rnd,
+                response=handoff.response_time, messages=msgs,
+                sim_time=self.system.queue.now,
+            )
         commit()
         self._after_commit(proc)
         # now process reqs that arrived during the handoff

@@ -7,23 +7,43 @@ Ground truth for small traces; exponential in general (that is Lemma 1).
   satisfying ``pred``, i.e. there is **no** global sequence all of whose
   cuts satisfy ``not pred``.  Global sequences may advance several
   processes at once, so this is evaluated with subset moves.
+
+Every lattice expansion (consistent cut visited) is counted in the
+``detection.lattice_states`` metric and -- when the flight recorder is on
+-- emitted as a ``lattice.expand`` event, so detection cost is visible in
+recordings and bench snapshots.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.predicates.base import Predicate
 from repro.trace.deposet import Deposet
 from repro.trace.global_state import Cut, CutLattice
 
 __all__ = ["possibly_exhaustive", "definitely_exhaustive", "violating_cuts"]
 
+_LATTICE_STATES = METRICS.counter("detection.lattice_states")
+_LATTICE_WALKS = METRICS.counter("detection.lattice_walks")
+
+
+def _iter_counted(lat: CutLattice):
+    """Iterate consistent cuts, counting (and tracing) each expansion."""
+    _LATTICE_WALKS.inc()
+    for cut in lat.iter_consistent_cuts():
+        _LATTICE_STATES.inc()
+        if TRACER.enabled:
+            TRACER.event("lattice.expand", cut=list(cut))
+        yield cut
+
 
 def possibly_exhaustive(dep: Deposet, pred: Predicate) -> Optional[Cut]:
     """The first consistent cut (in BFS order) satisfying ``pred``."""
     lat = CutLattice(dep)
-    for cut in lat.iter_consistent_cuts():
+    for cut in _iter_counted(lat):
         if pred.evaluate(dep, cut):
             return cut
     return None
@@ -32,9 +52,15 @@ def possibly_exhaustive(dep: Deposet, pred: Predicate) -> Optional[Cut]:
 def definitely_exhaustive(dep: Deposet, pred: Predicate) -> bool:
     """Does every global sequence hit a cut satisfying ``pred``?"""
     lat = CutLattice(dep)
-    return not lat.exists_satisfying_sequence(
-        lambda cut: not pred.evaluate(dep, cut)
-    )
+    _LATTICE_WALKS.inc()
+
+    def avoids(cut: Cut) -> bool:
+        _LATTICE_STATES.inc()
+        if TRACER.enabled:
+            TRACER.event("lattice.expand", cut=list(cut), mode="sequence")
+        return not pred.evaluate(dep, cut)
+
+    return not lat.exists_satisfying_sequence(avoids)
 
 
 def violating_cuts(dep: Deposet, safety: Predicate) -> List[Cut]:
@@ -45,8 +71,9 @@ def violating_cuts(dep: Deposet, safety: Predicate) -> List[Cut]:
     Figure 4).
     """
     lat = CutLattice(dep)
-    return [
-        cut
-        for cut in lat.iter_consistent_cuts()
-        if not safety.evaluate(dep, cut)
-    ]
+    with TRACER.span("lattice.walk", states=dep.num_states):
+        return [
+            cut
+            for cut in _iter_counted(lat)
+            if not safety.evaluate(dep, cut)
+        ]

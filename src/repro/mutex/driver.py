@@ -16,9 +16,15 @@ from repro.mutex.base import CSGuardBase
 from repro.mutex.central import CentralKMutex
 from repro.mutex.metrics import MutexReport
 from repro.mutex.raymond import RaymondKMutex
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.sim.system import ProcessContext, System
 
 __all__ = ["run_mutex_workload", "ALGORITHMS", "make_cs_program"]
+
+_WORKLOADS = METRICS.counter("mutex.workloads")
+_ENTRIES = METRICS.counter("mutex.cs_entries")
+_CTL_MSGS = METRICS.counter("mutex.control_messages")
 
 
 def make_cs_program(cs_count: int, think_time: float, cs_time: float):
@@ -88,7 +94,15 @@ def run_mutex_workload(
         guard=guard,
         seed=seed,
     )
-    result = system.run()
+    with TRACER.span("mutex.workload", algorithm=algorithm, n=n, k=k) as span:
+        result = system.run()
+        span.add(
+            control_messages=result.control_messages,
+            sim_duration=result.duration,
+            deadlocked=result.deadlocked,
+        )
+    _WORKLOADS.inc()
+    _CTL_MSGS.inc(result.control_messages)
     violations = list(getattr(guard, "violations", []))
     if isinstance(guard, CSGuardBase) or isinstance(guard, AntiTokenMutex):
         entries = guard.entries
@@ -96,6 +110,7 @@ def run_mutex_workload(
         max_concurrent = guard.max_concurrent
     else:  # pragma: no cover - all algorithms covered above
         entries, response_times, max_concurrent = 0, [], 0
+    _ENTRIES.inc(entries)
     return MutexReport(
         algorithm=algorithm,
         n=n,

@@ -1,0 +1,52 @@
+"""The flight recorder: causal observability for predicate-control runs.
+
+Three zero-dependency pieces:
+
+* :mod:`repro.obs.tracer` -- a structured tracer with vector-clock-stamped
+  spans and instant events, kept in a bounded process-local ring buffer.
+  Disabled by default; the enabled-check is a single attribute read so
+  instrumented hot loops stay within noise of untraced runs.
+* :mod:`repro.obs.metrics` -- a counters/gauges/histograms registry with a
+  ``snapshot()`` the bench harness diffs per experiment.
+* :mod:`repro.obs.export` -- JSONL and Chrome ``trace_event`` / Perfetto
+  writers, rendering a controlled run as a per-process timeline with
+  control messages as flow arrows.
+
+Typical use::
+
+    from repro.obs import TRACER, METRICS
+
+    before = METRICS.snapshot()
+    with TRACER.recording():
+        ...  # any instrumented run: System.run, control_disjunctive, ...
+        events = TRACER.drain()
+    delta = METRICS.diff(before, METRICS.snapshot())
+
+The instrumentation points are threaded through the simulator kernel, the
+on-line and off-line controllers, lattice-walk detection, and the mutex
+driver; the ``repro obs`` CLI family records, summarises, and exports.
+"""
+
+from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import TRACER, TraceEvent, Tracer
+from repro.obs.export import (
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "TRACER",
+    "Tracer",
+    "TraceEvent",
+    "METRICS",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,172 @@
+"""Recording writers: JSONL and Chrome trace-event (Perfetto) format.
+
+JSONL is the archival format (one event per line, a leading ``meta`` line
+carrying the metrics snapshot and workload description); the Chrome
+format is the *rendering* -- open the exported file at ``ui.perfetto.dev``
+or ``chrome://tracing`` and the run appears as one track per process,
+spans as slices, and control messages as flow arrows between tracks.
+
+Trace-event specifics (see the Chrome Trace Event Format spec):
+
+* timestamps are microseconds; we rebase to the first event so traces
+  start at ``t = 0``;
+* flow arrows (``ph: "s"`` / ``"f"``) must be enclosed in slices on their
+  tracks, so each endpoint of a control message also gets a hairline
+  ``"X"`` slice for the arrow to bind to;
+* track naming uses ``"M"`` metadata events (``process_name`` /
+  ``thread_name``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.tracer import TraceEvent
+
+__all__ = ["write_jsonl", "read_jsonl", "to_chrome_trace", "write_chrome_trace"]
+
+#: tid used for process-agnostic events (the "global" track)
+_GLOBAL_TID = 0
+#: minimum slice width (us) so instants and flow anchors stay visible
+_HAIRLINE_US = 1.0
+
+
+def write_jsonl(
+    events: Sequence[TraceEvent],
+    path: Union[str, Path],
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a recording: an optional ``meta`` line, then one event per line."""
+    lines: List[str] = []
+    if meta is not None:
+        lines.append(json.dumps({"type": "meta", **meta}))
+    for ev in events:
+        lines.append(json.dumps({"type": "event", **ev.to_dict()}))
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def read_jsonl(
+    path: Union[str, Path],
+) -> Tuple[Dict[str, Any], List[TraceEvent]]:
+    """Read a recording back; returns ``(meta, events)`` (meta may be ``{}``)."""
+    meta: Dict[str, Any] = {}
+    events: List[TraceEvent] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("type") == "meta":
+            record.pop("type", None)
+            meta = record
+        else:
+            record.pop("type", None)
+            events.append(TraceEvent.from_dict(record))
+    return meta, events
+
+
+def _tid(proc: Optional[int]) -> int:
+    return _GLOBAL_TID if proc is None else proc + 1
+
+
+def _category(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def to_chrome_trace(
+    events: Sequence[TraceEvent],
+    proc_names: Optional[Sequence[str]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Convert a recording to a Chrome ``trace_event`` JSON object.
+
+    Every traced process gets its own track; spans become ``"X"`` complete
+    slices, instants become ``"i"`` events, and any send/deliver event pair
+    sharing a ``flow`` field becomes a flow arrow between tracks.
+    """
+    if events:
+        t0 = min(ev.ts for ev in events)
+    else:
+        t0 = 0.0
+
+    def us(ts: float) -> float:
+        return round((ts - t0) * 1e6, 3)
+
+    trace: List[Dict[str, Any]] = []
+    procs = sorted({ev.proc for ev in events if ev.proc is not None})
+    trace.append({
+        "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+        "args": {"name": "repro"},
+    })
+    trace.append({
+        "ph": "M", "pid": 0, "tid": _GLOBAL_TID, "name": "thread_name",
+        "args": {"name": "global"},
+    })
+    for p in procs:
+        label = (
+            proc_names[p]
+            if proc_names is not None and p < len(proc_names)
+            else f"P{p}"
+        )
+        trace.append({
+            "ph": "M", "pid": 0, "tid": _tid(p), "name": "thread_name",
+            "args": {"name": label},
+        })
+        # keep track order = process order in the viewer
+        trace.append({
+            "ph": "M", "pid": 0, "tid": _tid(p), "name": "thread_sort_index",
+            "args": {"sort_index": _tid(p)},
+        })
+
+    #: flow id -> whether its start ("s") has been emitted
+    flows_started: Dict[Any, bool] = {}
+    for ev in events:
+        tid = _tid(ev.proc)
+        args = {"seq": ev.seq, **ev.fields}
+        if ev.clock:
+            args["clock"] = {str(k): v for k, v in sorted(ev.clock.items())}
+        base = {
+            "pid": 0, "tid": tid, "ts": us(ev.ts), "name": ev.name,
+            "cat": _category(ev.name), "args": args,
+        }
+        flow_id = ev.fields.get("flow")
+        if ev.kind == "span":
+            trace.append({**base, "ph": "X", "dur": max(ev.dur * 1e6, _HAIRLINE_US)})
+        elif flow_id is not None:
+            # a flow endpoint: a hairline slice to anchor the arrow, plus
+            # the flow start (first sighting of the id) or finish
+            trace.append({**base, "ph": "X", "dur": _HAIRLINE_US})
+            phase = "s" if not flows_started.get(flow_id) else "f"
+            flows_started[flow_id] = True
+            flow_ev = {
+                "ph": phase, "pid": 0, "tid": tid, "ts": us(ev.ts),
+                "name": _category(ev.name), "cat": _category(ev.name),
+                "id": flow_id,
+            }
+            if phase == "f":
+                flow_ev["bp"] = "e"  # bind to the enclosing slice
+            trace.append(flow_ev)
+        else:
+            trace.append({**base, "ph": "i", "s": "t"})
+
+    out: Dict[str, Any] = {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        out["otherData"] = meta
+    return out
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent],
+    path: Union[str, Path],
+    proc_names: Optional[Sequence[str]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write ``events`` as a Chrome/Perfetto-loadable trace JSON file."""
+    Path(path).write_text(
+        json.dumps(to_chrome_trace(events, proc_names=proc_names, meta=meta))
+    )

@@ -1,0 +1,188 @@
+"""Counters, gauges and histograms with diffable snapshots.
+
+Unlike the tracer, metrics are *always on*: every instrument is a bound
+object whose update is one attribute mutation, and the hot-path
+integrations aggregate (e.g. the kernel adds its event count once per
+``run()`` drain rather than per event), so the registry costs nothing
+measurable.
+
+``snapshot()`` returns a plain JSON-ready dict; ``diff(before, after)``
+subtracts counter/histogram totals (gauges keep their ``after`` value),
+which is what the bench harness records per experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming count/sum/min/max (no buckets; cheap and diffable)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name may hold exactly one instrument kind; asking for the same name
+    with a different kind raises ``TypeError``.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _claim(self, name: str, table: Dict[str, Any], kind: str) -> None:
+        for other_kind, other in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if other is not table and name in other:
+                raise TypeError(
+                    f"metric {name!r} already registered as a {other_kind}, "
+                    f"cannot re-register as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._claim(name, self._counters, "counter")
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._claim(name, self._gauges, "gauge")
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._claim(name, self._histograms, "histogram")
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state of every instrument."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    @staticmethod
+    def diff(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+        """What happened between two snapshots.
+
+        Counters and histogram count/sum subtract; histogram min/max/mean
+        and gauges report the ``after`` value (extrema are not invertible).
+        Instruments absent from ``before`` count from zero.
+        """
+        counters = {
+            k: v - before.get("counters", {}).get(k, 0)
+            for k, v in after.get("counters", {}).items()
+        }
+        gauges = dict(after.get("gauges", {}))
+        histograms = {}
+        for k, summ in after.get("histograms", {}).items():
+            prev = before.get("histograms", {}).get(
+                k, {"count": 0, "sum": 0.0}
+            )
+            count = summ["count"] - prev["count"]
+            total = summ["sum"] - prev["sum"]
+            histograms[k] = {
+                "count": count,
+                "sum": total,
+                "min": summ["min"],
+                "max": summ["max"],
+                "mean": total / count if count else 0.0,
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; production code diffs snapshots)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def describe(self, diff: Optional[Dict[str, Any]] = None) -> str:
+        """One compact ``k=v`` line, suitable for bench tables."""
+        snap = diff if diff is not None else self.snapshot()
+        parts = []
+        for k, v in snap.get("counters", {}).items():
+            if v:
+                parts.append(f"{k}={v}")
+        for k, v in snap.get("gauges", {}).items():
+            if v:
+                parts.append(f"{k}={v:.4g}")
+        for k, summ in snap.get("histograms", {}).items():
+            if summ["count"]:
+                parts.append(f"{k}.count={summ['count']}")
+                parts.append(f"{k}.mean={summ['mean']:.4g}")
+        return " ".join(parts) if parts else "(no metric activity)"
+
+
+#: The process-wide registry every instrumentation point writes to.
+METRICS = MetricsRegistry()

@@ -1,0 +1,309 @@
+"""A structured tracer with vector-clock stamps and a bounded ring buffer.
+
+Design constraints (in priority order):
+
+1. **Free when off.**  Instrumented call sites guard with a single
+   attribute read (``if TRACER.enabled: ...``), so disabled tracing costs
+   one boolean check on the hot path and nothing else.
+2. **Bounded memory.**  Events land in a ``deque(maxlen=capacity)``; a
+   long run keeps the most recent ``capacity`` events and counts the rest
+   in :attr:`Tracer.dropped`.
+3. **Causally stamped.**  Every event carries a vector clock over the
+   *traced* processes (a sparse ``{proc: count}`` mapping -- the tracer
+   does not need to know ``n`` up front).  An event on process ``p`` ticks
+   component ``p``; passing ``cause=<earlier event>`` merges that event's
+   clock first, which is how control-message arrivals inherit causality
+   from their send.
+
+The module-level :data:`TRACER` singleton is the instrumentation target
+throughout the codebase.  It is configured in place (never replaced), so
+modules may safely hold a reference to it at import time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Tracer", "TRACER"]
+
+
+class TraceEvent:
+    """One recorded event.
+
+    Attributes
+    ----------
+    seq:
+        Monotonically increasing sequence number (stable total order).
+    name:
+        Dotted event type, e.g. ``"ctl.send"`` or ``"offline.arrow"``.
+    kind:
+        ``"instant"`` for point events, ``"span"`` for completed spans.
+    ts:
+        Wall-clock time (``time.perf_counter`` seconds) of the event; for
+        spans, the span's *start*.
+    dur:
+        Span duration in seconds (``0.0`` for instants).
+    proc:
+        Traced process index, or ``None`` for process-agnostic events.
+    clock:
+        The sparse vector clock ``{proc: count}`` at emission.
+    fields:
+        Free-form structured payload.
+    """
+
+    __slots__ = ("seq", "name", "kind", "ts", "dur", "proc", "clock", "fields")
+
+    def __init__(
+        self,
+        seq: int,
+        name: str,
+        kind: str,
+        ts: float,
+        dur: float,
+        proc: Optional[int],
+        clock: Dict[int, int],
+        fields: Dict[str, Any],
+    ):
+        self.seq = seq
+        self.name = name
+        self.kind = kind
+        self.ts = ts
+        self.dur = dur
+        self.proc = proc
+        self.clock = clock
+        self.fields = fields
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dictionary (clock keys become strings in JSON)."""
+        d: Dict[str, Any] = {
+            "seq": self.seq,
+            "name": self.name,
+            "kind": self.kind,
+            "ts": self.ts,
+        }
+        if self.dur:
+            d["dur"] = self.dur
+        if self.proc is not None:
+            d["proc"] = self.proc
+        if self.clock:
+            d["clock"] = {str(k): v for k, v in self.clock.items()}
+        if self.fields:
+            d["fields"] = self.fields
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TraceEvent":
+        return cls(
+            seq=d["seq"],
+            name=d["name"],
+            kind=d.get("kind", "instant"),
+            ts=d.get("ts", 0.0),
+            dur=d.get("dur", 0.0),
+            proc=d.get("proc"),
+            clock={int(k): v for k, v in d.get("clock", {}).items()},
+            fields=d.get("fields", {}),
+        )
+
+    def __repr__(self) -> str:
+        proc = "" if self.proc is None else f" proc={self.proc}"
+        return f"<TraceEvent #{self.seq} {self.name}{proc}>"
+
+
+class _Span:
+    """Context manager for one span; emits a single completed-span event."""
+
+    __slots__ = ("_tracer", "_name", "_proc", "_fields", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, proc: Optional[int], fields: Dict):
+        self._tracer = tracer
+        self._name = name
+        self._proc = proc
+        self._fields = fields
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer._now()
+        return self
+
+    def add(self, **fields: Any) -> None:
+        """Attach extra fields discovered while the span is open."""
+        self._fields.update(fields)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        end = tracer._now()
+        if exc_type is not None:
+            self._fields["error"] = exc_type.__name__
+        tracer._emit(
+            self._name, "span", self._proc, self._fields,
+            ts=self._start, dur=end - self._start,
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def add(self, **fields: Any) -> None:
+        pass
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+DEFAULT_CAPACITY = 100_000
+
+
+class Tracer:
+    """The flight recorder proper.
+
+    ``enabled`` is a plain attribute so the guard at instrumented call
+    sites compiles to one ``LOAD_ATTR``.  All emission methods are also
+    safe to call while disabled (they no-op), but hot paths should guard.
+    """
+
+    def __init__(self, enabled: bool = False, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.dropped = 0
+        self._buffer: deque = deque(maxlen=capacity)
+        self._seq = itertools.count()
+        self._clocks: Dict[int, int] = {}
+        self._now = time.perf_counter
+
+    # -- configuration -----------------------------------------------------
+
+    def configure(
+        self, enabled: Optional[bool] = None, capacity: Optional[int] = None
+    ) -> "Tracer":
+        """Reconfigure in place (the singleton is never replaced)."""
+        if capacity is not None:
+            if capacity <= 0:
+                raise ValueError(f"ring capacity must be positive, got {capacity}")
+            self.capacity = capacity
+            self._buffer = deque(self._buffer, maxlen=capacity)
+        if enabled is not None:
+            self.enabled = enabled
+        return self
+
+    def reset(self) -> None:
+        """Clear the buffer, clocks, and drop count (keeps enabled state)."""
+        self._buffer.clear()
+        self._clocks.clear()
+        self.dropped = 0
+
+    def recording(self, capacity: Optional[int] = None) -> "_Recording":
+        """``with TRACER.recording(): ...`` -- enable, then restore."""
+        return _Recording(self, capacity)
+
+    # -- emission ----------------------------------------------------------
+
+    def _stamp(self, proc: Optional[int], cause: Optional[TraceEvent]) -> Dict[int, int]:
+        if cause is not None and cause.clock:
+            for p, c in cause.clock.items():
+                if c > self._clocks.get(p, 0):
+                    self._clocks[p] = c
+        if proc is None:
+            return dict(self._clocks)
+        self._clocks[proc] = self._clocks.get(proc, 0) + 1
+        return dict(self._clocks)
+
+    def _emit(
+        self,
+        name: str,
+        kind: str,
+        proc: Optional[int],
+        fields: Dict[str, Any],
+        ts: Optional[float] = None,
+        dur: float = 0.0,
+        cause: Optional[TraceEvent] = None,
+    ) -> TraceEvent:
+        ev = TraceEvent(
+            seq=next(self._seq),
+            name=name,
+            kind=kind,
+            ts=self._now() if ts is None else ts,
+            dur=dur,
+            proc=proc,
+            clock=self._stamp(proc, cause),
+            fields=fields,
+        )
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(ev)
+        return ev
+
+    def event(
+        self,
+        name: str,
+        proc: Optional[int] = None,
+        cause: Optional[TraceEvent] = None,
+        **fields: Any,
+    ) -> Optional[TraceEvent]:
+        """Record an instant event; returns it (for use as a later ``cause``).
+
+        ``cause`` threads causality across asynchronous boundaries: the
+        arrival of a control message passes the send event, so the arrival's
+        clock dominates the send's.
+        """
+        if not self.enabled:
+            return None
+        return self._emit(name, "instant", proc, fields, cause=cause)
+
+    def span(self, name: str, proc: Optional[int] = None, **fields: Any):
+        """Context manager timing a region; emits one ``"span"`` event on exit."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, proc, fields)
+
+    # -- reading back ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def events(self) -> List[TraceEvent]:
+        """Snapshot of the buffered events (oldest first)."""
+        return list(self._buffer)
+
+    def drain(self) -> List[TraceEvent]:
+        """Return and clear the buffered events."""
+        out = list(self._buffer)
+        self._buffer.clear()
+        return out
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events())
+
+
+class _Recording:
+    """Enable a tracer for a ``with`` block, restoring the previous state."""
+
+    def __init__(self, tracer: Tracer, capacity: Optional[int]):
+        self._tracer = tracer
+        self._capacity = capacity
+        self._was_enabled = False
+
+    def __enter__(self) -> Tracer:
+        self._was_enabled = self._tracer.enabled
+        self._tracer.configure(enabled=True, capacity=self._capacity)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.enabled = self._was_enabled
+
+
+#: The process-wide flight recorder all instrumentation points write to.
+#: Configured in place via :meth:`Tracer.configure` / :meth:`Tracer.recording`;
+#: never rebound, so modules may hold a reference at import time.
+TRACER = Tracer(enabled=False)

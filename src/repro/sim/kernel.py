@@ -10,7 +10,15 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
+
 __all__ = ["EventQueue"]
+
+#: kernel callbacks executed, aggregated once per ``run()`` drain so the
+#: per-event loop stays untouched
+_KERNEL_EVENTS = METRICS.counter("kernel.events")
+_KERNEL_RUNS = METRICS.counter("kernel.runs")
 
 
 class EventQueue:
@@ -50,9 +58,21 @@ class EventQueue:
 
     def run(self, max_events: Optional[int] = None, until: Optional[float] = None) -> None:
         """Drain the queue, optionally bounded by event count or sim time."""
-        while self._heap:
-            if max_events is not None and self._popped >= max_events:
-                return
-            if until is not None and self._heap[0][0] > until:
-                return
-            self.step()
+        start = self._popped
+        span = TRACER.span("kernel.run") if TRACER.enabled else None
+        try:
+            if span is not None:
+                span.__enter__()
+            while self._heap:
+                if max_events is not None and self._popped >= max_events:
+                    return
+                if until is not None and self._heap[0][0] > until:
+                    return
+                self.step()
+        finally:
+            processed = self._popped - start
+            _KERNEL_EVENTS.inc(processed)
+            _KERNEL_RUNS.inc()
+            if span is not None:
+                span.add(events=processed, sim_now=self.now)
+                span.__exit__(None, None, None)

@@ -25,10 +25,17 @@ from typing import Any, Callable, Dict, Generator, List, Optional
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.sim.kernel import EventQueue
 from repro.sim.network import Delivery, Network
 from repro.sim.recorder import TraceRecorder
 from repro.trace.deposet import Deposet
+
+_SIM_RUNS = METRICS.counter("sim.runs")
+_SIM_APP_MSGS = METRICS.counter("sim.app_messages")
+_SIM_CTL_MSGS = METRICS.counter("sim.control_messages")
+_SIM_DEADLOCKS = METRICS.counter("sim.deadlocks")
 
 __all__ = ["System", "ProcessContext", "TransitionGuard", "Observer", "RunResult"]
 
@@ -291,6 +298,11 @@ class System:
     def _notify(self, proc: int, kind: str, msg_uid: Optional[int] = None) -> None:
         index = self.recorder.current_state(proc)
         vars = self.recorder.current_vars(proc)
+        if TRACER.enabled:
+            TRACER.event(
+                "sim.event", proc=proc, kind=kind, index=index,
+                sim_time=self.queue.now,
+            )
         for obs in self.observers:
             obs.on_event(proc, index, vars, kind, msg_uid)
 
@@ -399,8 +411,21 @@ class System:
     ) -> None:
         """Ship a control message and record its induced control arrow."""
         src_state = self.recorder.current_state(src)
+        sent_ev = None
+        if TRACER.enabled:
+            sent_ev = TRACER.event(
+                "ctl.send", proc=src, dst=dst, tag=tag,
+                src_state=src_state, sim_time=self.queue.now,
+                flow=f"ctl-{self.network.control_messages_sent}",
+            )
 
         def on_arrival(delivery: Delivery) -> None:
+            if TRACER.enabled and sent_ev is not None:
+                TRACER.event(
+                    "ctl.deliver", proc=dst, cause=sent_ev, src=src, tag=tag,
+                    src_state=src_state, sim_time=self.queue.now,
+                    flow=sent_ev.fields["flow"],
+                )
             self.recorder.control_delivered(
                 src, dst, src_state, mode=record_mode, tag=tag
             )
@@ -414,8 +439,9 @@ class System:
 
     def run(self, max_events: int = 5_000_000, until: Optional[float] = None) -> RunResult:
         """Execute to completion (or deadlock / bounds)."""
-        self._start()
-        self.queue.run(max_events=max_events, until=until)
+        with TRACER.span("system.run", n=self.n):
+            self._start()
+            self.queue.run(max_events=max_events, until=until)
         for obs in self.observers:
             obs.on_run_end()
         blocked: Dict[int, str] = {}
@@ -429,6 +455,11 @@ class System:
             else:
                 blocked[i] = "not scheduled"
         deadlocked = bool(blocked) and len(self.queue) == 0
+        _SIM_RUNS.inc()
+        _SIM_APP_MSGS.inc(self.network.app_messages_sent)
+        _SIM_CTL_MSGS.inc(self.network.control_messages_sent)
+        if deadlocked:
+            _SIM_DEADLOCKS.inc()
         return RunResult(
             deposet=self.recorder.build(self.proc_names),
             duration=self.queue.now,

@@ -21,7 +21,13 @@ from repro.trace.global_state import (
     final_cut,
     cut_states,
 )
-from repro.trace.io import deposet_to_dict, deposet_from_dict, dump_deposet, load_deposet
+from repro.trace.io import (
+    deposet_to_dict,
+    deposet_from_dict,
+    dump_deposet,
+    load_deposet,
+    load_deposet_meta,
+)
 from repro.trace.render import render_deposet
 from repro.trace.stats import DeposetStats, deposet_stats
 from repro.trace.slicing import prefix_at
@@ -40,6 +46,7 @@ __all__ = [
     "deposet_from_dict",
     "dump_deposet",
     "load_deposet",
+    "load_deposet_meta",
     "render_deposet",
     "DeposetStats",
     "deposet_stats",

@@ -11,26 +11,40 @@ tracers and inspected by hand:
       "states": [[{"x": 1}, {"x": 2}], [{}]],
       "messages": [{"src": [0, 0], "dst": [1, 1], "tag": null}],
       "control": [[[0, 1], [1, 2]]],
-      "timestamps": null
+      "timestamps": null,
+      "obs": {"metrics": {"counters": {"sim.runs": 1}}}
     }
 
 Payloads are serialised only when JSON-representable; otherwise they are
 dropped with a ``repr`` placeholder (payloads are never semantically
 meaningful to the algorithms).
+
+The optional ``"obs"`` block carries observability metadata from the run
+that produced the trace (a :mod:`repro.obs` metrics snapshot, recording
+paths, ...).  The format tag stays ``repro-deposet/1``: readers that
+predate the block ignore unknown keys, and this reader accepts traces
+with or without it (:func:`load_deposet_meta` returns it alongside the
+deposet; :func:`load_deposet` keeps the deposet-only signature).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.causality.relations import StateRef
 from repro.errors import MalformedTraceError
 from repro.trace.deposet import Deposet
 from repro.trace.states import MessageArrow
 
-__all__ = ["deposet_to_dict", "deposet_from_dict", "dump_deposet", "load_deposet"]
+__all__ = [
+    "deposet_to_dict",
+    "deposet_from_dict",
+    "dump_deposet",
+    "load_deposet",
+    "load_deposet_meta",
+]
 
 FORMAT = "repro-deposet/1"
 
@@ -43,9 +57,15 @@ def _jsonable(value: Any) -> Any:
         return {"__repr__": repr(value)}
 
 
-def deposet_to_dict(dep: Deposet) -> Dict[str, Any]:
-    """A JSON-ready dictionary describing ``dep``."""
-    return {
+def deposet_to_dict(
+    dep: Deposet, obs: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """A JSON-ready dictionary describing ``dep``.
+
+    ``obs``, when given, is attached verbatim as the trace's ``"obs"``
+    observability block (e.g. ``{"metrics": METRICS.snapshot()}``).
+    """
+    out = {
         "format": FORMAT,
         "proc_names": list(dep.proc_names),
         "states": [
@@ -68,6 +88,9 @@ def deposet_to_dict(dep: Deposet) -> Dict[str, Any]:
             [list(row) for row in dep.timestamps] if dep.timestamps else None
         ),
     }
+    if obs is not None:
+        out["obs"] = obs
+    return out
 
 
 def deposet_from_dict(data: Dict[str, Any]) -> Deposet:
@@ -97,11 +120,21 @@ def deposet_from_dict(data: Dict[str, Any]) -> Deposet:
     )
 
 
-def dump_deposet(dep: Deposet, path: Union[str, Path]) -> None:
-    """Write ``dep`` to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(deposet_to_dict(dep), indent=1))
+def dump_deposet(
+    dep: Deposet, path: Union[str, Path], obs: Optional[Dict[str, Any]] = None
+) -> None:
+    """Write ``dep`` to ``path`` as JSON (with an optional ``obs`` block)."""
+    Path(path).write_text(json.dumps(deposet_to_dict(dep, obs=obs), indent=1))
 
 
 def load_deposet(path: Union[str, Path]) -> Deposet:
     """Read a deposet written by :func:`dump_deposet`."""
     return deposet_from_dict(json.loads(Path(path).read_text()))
+
+
+def load_deposet_meta(
+    path: Union[str, Path],
+) -> Tuple[Deposet, Optional[Dict[str, Any]]]:
+    """Read a deposet plus its ``"obs"`` block (``None`` when absent)."""
+    data = json.loads(Path(path).read_text())
+    return deposet_from_dict(data), data.get("obs")

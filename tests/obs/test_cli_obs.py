@@ -1,0 +1,131 @@
+"""The ``repro obs`` CLI family: record, summary, export."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import read_jsonl
+
+
+@pytest.fixture()
+def recording(tmp_path):
+    path = str(tmp_path / "rec.jsonl")
+    assert main([
+        "obs", "record", "--workload", "philosophers",
+        "--predicate", "disjunctive", "--n", "3", "--rounds", "1",
+        "-o", path,
+    ]) == 0
+    return path
+
+
+def test_obs_record_philosophers(recording, capsys):
+    meta, events = read_jsonl(recording)
+    assert meta["workload"] == "philosophers"
+    assert meta["n"] == 3
+    assert meta["proc_names"] == ["phil0", "phil1", "phil2"]
+    assert meta["metrics"]["counters"]["offline.solves"] == 1
+    names = {ev.name for ev in events}
+    # the acceptance set: solver arrows, lattice expansions, control
+    # messages, and kernel/sim activity all observable as distinct types
+    assert "offline.arrow" in names or "offline.cross" in names
+    assert "lattice.expand" in names
+    assert "ctl.send" in names and "ctl.deliver" in names
+    assert "sim.event" in names
+
+
+def test_obs_record_mutex(tmp_path, capsys):
+    path = str(tmp_path / "mutex.jsonl")
+    assert main([
+        "obs", "record", "--workload", "mutex", "--n", "3",
+        "--rounds", "4", "-o", path,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "CS entries" in out
+    meta, events = read_jsonl(path)
+    names = {ev.name for ev in events}
+    assert "online.handoff" in names
+    assert "online.block" in names
+    assert meta["metrics"]["counters"]["online.handoffs"] >= 1
+
+
+def test_obs_summary(recording, capsys):
+    assert main(["obs", "summary", recording]) == 0
+    out = capsys.readouterr().out
+    assert "workload=philosophers" in out
+    assert "lattice.expand" in out
+    assert "metrics:" in out
+
+
+def test_obs_export_chrome(recording, tmp_path, capsys):
+    out_path = str(tmp_path / "out.json")
+    assert main([
+        "obs", "export", "--format", "chrome", "--input", recording, out_path,
+    ]) == 0
+    data = json.loads(open(out_path).read())
+    events = data["traceEvents"]
+    assert isinstance(events, list) and events
+    # per-process tracks with the workload's names
+    thread_names = {
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert {"phil0", "phil1", "phil2"} <= thread_names
+    # control arrows present as flow events
+    assert any(e["ph"] == "s" for e in events)
+    assert any(e["ph"] == "f" for e in events)
+
+
+def test_obs_export_jsonl(recording, tmp_path, capsys):
+    out_path = str(tmp_path / "copy.jsonl")
+    assert main([
+        "obs", "export", "--format", "jsonl", "--input", recording, out_path,
+    ]) == 0
+    meta_a, events_a = read_jsonl(recording)
+    meta_b, events_b = read_jsonl(out_path)
+    assert meta_a == meta_b
+    assert len(events_a) == len(events_b)
+
+
+def test_obs_record_default_paths(tmp_path, monkeypatch, capsys):
+    """The acceptance invocation: record then export with defaults."""
+    monkeypatch.chdir(tmp_path)
+    assert main([
+        "obs", "record", "--workload", "philosophers",
+        "--predicate", "disjunctive", "--rounds", "1",
+    ]) == 0
+    assert main(["obs", "export", "--format", "chrome", "out.json"]) == 0
+    data = json.loads((tmp_path / "out.json").read_text())
+    assert data["traceEvents"]
+
+
+def test_obs_record_trace_out(tmp_path, capsys):
+    from repro.trace.io import load_deposet_meta
+
+    rec = str(tmp_path / "r.jsonl")
+    trace = str(tmp_path / "controlled.json")
+    assert main([
+        "obs", "record", "--workload", "philosophers", "--rounds", "1",
+        "-o", rec, "--trace-out", trace,
+    ]) == 0
+    dep, obs = load_deposet_meta(trace)
+    assert obs is not None
+    assert obs["metrics"]["counters"]["offline.solves"] == 1
+    assert dep.control_arrows  # the controlled deposet carries its arrows
+
+
+def test_obs_record_spec_predicate(tmp_path, capsys):
+    path = str(tmp_path / "r.jsonl")
+    assert main([
+        "obs", "record", "--workload", "philosophers",
+        "--predicate", "at-least-one:thinking", "--rounds", "1",
+        "-o", path,
+    ]) == 0
+    meta, _ = read_jsonl(path)
+    assert meta["predicate"] == "at-least-one:thinking"
+
+
+def test_tracer_left_disabled_after_record(recording):
+    from repro.obs import TRACER
+
+    assert TRACER.enabled is False

@@ -1,0 +1,156 @@
+"""Export writers: JSONL round-trip and Chrome trace-event structure."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture()
+def recorded_events():
+    """A small deterministic recording with spans, instants, and a flow."""
+    t = Tracer(enabled=True)
+    t._now = iter(x * 0.001 for x in range(100)).__next__  # deterministic ts
+    with t.span("system.run", n=2):
+        t.event("sim.event", proc=0, kind="local", index=1)
+        send = t.event("ctl.send", proc=0, dst=1, flow="ctl-0")
+        t.event("sim.event", proc=1, kind="local", index=1)
+        t.event("ctl.deliver", proc=1, cause=send, src=0, flow="ctl-0")
+    return t.drain()
+
+
+def test_jsonl_round_trip(tmp_path, recorded_events):
+    path = tmp_path / "rec.jsonl"
+    meta = {"workload": "unit", "n": 2, "metrics": {"counters": {"x": 1}}}
+    write_jsonl(recorded_events, path, meta=meta)
+    got_meta, got_events = read_jsonl(path)
+    assert got_meta == meta
+    assert len(got_events) == len(recorded_events)
+    for orig, back in zip(recorded_events, got_events):
+        assert back.name == orig.name
+        assert back.kind == orig.kind
+        assert back.proc == orig.proc
+        assert back.clock == orig.clock
+        assert back.fields == orig.fields
+        assert back.ts == pytest.approx(orig.ts)
+        assert back.dur == pytest.approx(orig.dur)
+
+
+def test_jsonl_without_meta(tmp_path, recorded_events):
+    path = tmp_path / "rec.jsonl"
+    write_jsonl(recorded_events, path)
+    meta, events = read_jsonl(path)
+    assert meta == {}
+    assert len(events) == len(recorded_events)
+
+
+def test_jsonl_is_one_json_object_per_line(tmp_path, recorded_events):
+    path = tmp_path / "rec.jsonl"
+    write_jsonl(recorded_events, path, meta={"a": 1})
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == len(recorded_events) + 1
+    for line in lines:
+        json.loads(line)
+
+
+def test_chrome_trace_structure(recorded_events):
+    data = to_chrome_trace(recorded_events, proc_names=["alpha", "beta"])
+    events = data["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert {"M", "X", "i", "s", "f"} <= phases
+
+    # per-process tracks, named from proc_names
+    thread_names = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert thread_names[1] == "alpha"
+    assert thread_names[2] == "beta"
+    assert thread_names[0] == "global"
+
+    # timestamps rebased to zero microseconds
+    timed = [e for e in events if "ts" in e]
+    assert min(e["ts"] for e in timed) == 0.0
+
+
+def test_chrome_trace_flow_pair(recorded_events):
+    data = to_chrome_trace(recorded_events)
+    flows = [e for e in data["traceEvents"] if e["ph"] in ("s", "f")]
+    assert len(flows) == 2
+    start, finish = flows
+    assert start["ph"] == "s" and finish["ph"] == "f"
+    assert start["id"] == finish["id"] == "ctl-0"
+    assert start["tid"] != finish["tid"]  # arrow crosses tracks
+    assert finish["bp"] == "e"
+
+
+def test_chrome_trace_span_duration(recorded_events):
+    data = to_chrome_trace(recorded_events)
+    spans = [
+        e for e in data["traceEvents"]
+        if e["ph"] == "X" and e["name"] == "system.run"
+    ]
+    assert len(spans) == 1
+    assert spans[0]["dur"] > 0
+
+
+def test_chrome_trace_golden_shape(tmp_path):
+    """Golden-file shape check on a fixed two-event recording."""
+    t = Tracer(enabled=True)
+    t._now = iter([1.0, 1.5]).__next__
+    t.event("a.one", proc=0, k=1)
+    t.event("b.two", proc=1)
+    path = tmp_path / "out.json"
+    write_chrome_trace(t.drain(), path, meta={"workload": "golden"})
+    data = json.loads(path.read_text())
+    assert data["displayTimeUnit"] == "ms"
+    assert data["otherData"] == {"workload": "golden"}
+    instants = [e for e in data["traceEvents"] if e["ph"] == "i"]
+    assert [e["name"] for e in instants] == ["a.one", "b.two"]
+    assert instants[0]["ts"] == 0.0
+    assert instants[1]["ts"] == pytest.approx(500_000.0)
+    assert instants[0]["cat"] == "a"
+    assert instants[0]["args"]["clock"] == {"0": 1}
+
+
+def test_empty_recording_exports(tmp_path):
+    path = tmp_path / "empty.json"
+    write_chrome_trace([], path)
+    data = json.loads(path.read_text())
+    assert isinstance(data["traceEvents"], list)
+
+
+def test_instrumented_run_exports_valid_chrome_trace(tmp_path):
+    """End-to-end: a controlled replay renders with tracks and flows."""
+    from repro.core.offline import control_disjunctive
+    from repro.obs.tracer import TRACER
+    from repro.replay.engine import replay
+    from repro.workloads.philosophers import philosophers_trace, thinking_predicate
+
+    with TRACER.recording():
+        TRACER.reset()
+        dep = philosophers_trace(3, 2, seed=1)
+        result = control_disjunctive(dep, thinking_predicate(3), seed=1)
+        replay(dep, result.control, seed=1)
+        events = TRACER.drain()
+
+    names = {e.name for e in events}
+    assert "offline.arrow" in names or "offline.cross" in names
+    assert "sim.event" in names
+
+    path = tmp_path / "trace.json"
+    write_chrome_trace(events, path, proc_names=dep.proc_names)
+    data = json.loads(path.read_text())
+    # control messages appear as complete flow pairs
+    flow_ids = [e["id"] for e in data["traceEvents"] if e["ph"] in ("s", "f")]
+    assert flow_ids, "expected control-message flow arrows"
+    for fid in set(flow_ids):
+        assert flow_ids.count(fid) == 2

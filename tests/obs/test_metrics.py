@@ -1,0 +1,130 @@
+"""Metrics registry: instruments, snapshots, and snapshot diffing."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+def test_counter_inc(reg):
+    c = reg.counter("x")
+    c.inc()
+    c.inc(4)
+    assert reg.snapshot()["counters"]["x"] == 5
+
+
+def test_counter_identity(reg):
+    assert reg.counter("x") is reg.counter("x")
+
+
+def test_gauge_last_write_wins(reg):
+    g = reg.gauge("depth")
+    g.set(3)
+    g.set(7.5)
+    assert reg.snapshot()["gauges"]["depth"] == 7.5
+
+
+def test_histogram_summary(reg):
+    h = reg.histogram("resp")
+    for v in (1.0, 3.0, 2.0):
+        h.observe(v)
+    summ = reg.snapshot()["histograms"]["resp"]
+    assert summ["count"] == 3
+    assert summ["sum"] == 6.0
+    assert summ["min"] == 1.0
+    assert summ["max"] == 3.0
+    assert summ["mean"] == 2.0
+
+
+def test_empty_histogram_summary(reg):
+    reg.histogram("unused")
+    summ = reg.snapshot()["histograms"]["unused"]
+    assert summ == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+
+def test_kind_collision_rejected(reg):
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_snapshot_is_json_ready(reg):
+    reg.counter("c").inc()
+    reg.gauge("g").set(1.5)
+    reg.histogram("h").observe(2.0)
+    json.dumps(reg.snapshot())  # must not raise
+
+
+def test_diff_subtracts_counters(reg):
+    reg.counter("events").inc(10)
+    before = reg.snapshot()
+    reg.counter("events").inc(7)
+    reg.counter("fresh").inc(2)
+    diff = MetricsRegistry.diff(before, reg.snapshot())
+    assert diff["counters"]["events"] == 7
+    assert diff["counters"]["fresh"] == 2  # absent before -> counts from zero
+
+
+def test_diff_histograms(reg):
+    h = reg.histogram("resp")
+    h.observe(1.0)
+    before = reg.snapshot()
+    h.observe(5.0)
+    h.observe(3.0)
+    diff = MetricsRegistry.diff(before, reg.snapshot())
+    d = diff["histograms"]["resp"]
+    assert d["count"] == 2
+    assert d["sum"] == 8.0
+    assert d["mean"] == 4.0
+
+
+def test_diff_empty_interval_is_zero(reg):
+    reg.counter("c").inc(3)
+    reg.histogram("h").observe(1.0)
+    snap = reg.snapshot()
+    diff = MetricsRegistry.diff(snap, snap)
+    assert diff["counters"]["c"] == 0
+    assert diff["histograms"]["h"]["count"] == 0
+    assert diff["histograms"]["h"]["mean"] == 0.0
+
+
+def test_describe_skips_idle_instruments(reg):
+    reg.counter("idle")
+    reg.counter("busy").inc(2)
+    line = reg.describe()
+    assert "busy=2" in line
+    assert "idle" not in line
+
+
+def test_global_registry_has_instrumented_counters():
+    # importing the instrumented modules registers their instruments
+    import repro.sim.kernel  # noqa: F401
+    import repro.core.online  # noqa: F401
+    import repro.detection.lattice_walk  # noqa: F401
+
+    names = METRICS.snapshot()["counters"].keys()
+    assert "kernel.events" in names
+    assert "online.handoffs" in names
+    assert "detection.lattice_states" in names
+
+
+def test_instrumented_run_moves_global_metrics():
+    from repro.mutex.driver import run_mutex_workload
+
+    before = METRICS.snapshot()
+    report = run_mutex_workload("antitoken", n=3, cs_per_proc=4, seed=5)
+    diff = MetricsRegistry.diff(before, METRICS.snapshot())
+    assert diff["counters"]["mutex.workloads"] == 1
+    assert diff["counters"]["mutex.cs_entries"] == report.entries
+    assert diff["counters"]["sim.control_messages"] == report.control_messages
+    assert diff["counters"]["kernel.events"] > 0
+    # every completed handoff was first a block
+    assert diff["counters"]["online.blocks"] >= diff["counters"]["online.handoffs"]

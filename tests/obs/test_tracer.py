@@ -1,0 +1,146 @@
+"""Tracer: enable/disable fast path, ring bounding, vector-clock stamps."""
+
+import pytest
+
+from repro.obs.tracer import TRACER, Tracer
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer(enabled=True, capacity=100)
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    assert t.event("x", proc=0, foo=1) is None
+    with t.span("s", proc=0):
+        pass
+    assert len(t) == 0
+
+
+def test_disabled_span_is_shared_noop():
+    t = Tracer(enabled=False)
+    s1 = t.span("a")
+    s2 = t.span("b", proc=3)
+    assert s1 is s2  # no allocation on the disabled path
+    with s1:
+        s1.add(extra=1)  # tolerated, still a no-op
+    assert len(t) == 0
+
+
+def test_enabled_guard_is_one_attribute():
+    # the documented hot-path contract: callers guard on `.enabled`
+    t = Tracer(enabled=False)
+    assert t.enabled is False
+    t.configure(enabled=True)
+    assert t.enabled is True
+
+
+def test_instant_events_recorded_in_order(tracer):
+    a = tracer.event("first", proc=0)
+    b = tracer.event("second", proc=1, detail="x")
+    events = tracer.events()
+    assert [e.name for e in events] == ["first", "second"]
+    assert a.seq < b.seq
+    assert events[1].fields == {"detail": "x"}
+
+
+def test_span_records_duration_and_fields(tracer):
+    with tracer.span("work", proc=2, stage="setup") as sp:
+        sp.add(items=5)
+    (ev,) = tracer.events()
+    assert ev.kind == "span"
+    assert ev.dur >= 0.0
+    assert ev.fields == {"stage": "setup", "items": 5}
+    assert ev.proc == 2
+
+
+def test_span_records_error_on_exception(tracer):
+    with pytest.raises(RuntimeError):
+        with tracer.span("bad"):
+            raise RuntimeError("boom")
+    (ev,) = tracer.events()
+    assert ev.fields["error"] == "RuntimeError"
+
+
+def test_ring_buffer_bounds_memory():
+    t = Tracer(enabled=True, capacity=10)
+    for i in range(25):
+        t.event("e", proc=0, i=i)
+    assert len(t) == 10
+    assert t.dropped == 15
+    # the survivors are the most recent events
+    assert [e.fields["i"] for e in t.events()] == list(range(15, 25))
+
+
+def test_vector_clock_monotone_per_process(tracer):
+    for _ in range(5):
+        tracer.event("tick", proc=0)
+        tracer.event("tick", proc=1)
+    events = tracer.events()
+    for proc in (0, 1):
+        own = [e.clock[proc] for e in events if e.proc == proc]
+        assert own == sorted(own)
+        assert own == [1, 2, 3, 4, 5]
+
+
+def test_cause_merges_clocks(tracer):
+    send = tracer.event("ctl.send", proc=0)
+    tracer.event("other", proc=1)
+    recv = tracer.event("ctl.deliver", proc=1, cause=send)
+    # the arrival's clock dominates the send's clock componentwise
+    for p, c in send.clock.items():
+        assert recv.clock.get(p, 0) >= c
+    assert recv.clock[1] > send.clock.get(1, 0)
+
+
+def test_clock_stamps_are_copies(tracer):
+    a = tracer.event("a", proc=0)
+    tracer.event("b", proc=0)
+    assert a.clock == {0: 1}  # not mutated by later ticks
+
+
+def test_drain_clears_buffer(tracer):
+    tracer.event("x", proc=0)
+    assert len(tracer.drain()) == 1
+    assert len(tracer) == 0
+
+
+def test_recording_context_restores_disabled():
+    t = Tracer(enabled=False)
+    with t.recording():
+        assert t.enabled
+        t.event("inside", proc=0)
+    assert not t.enabled
+    assert len(t) == 1
+
+
+def test_configure_capacity_preserves_events():
+    t = Tracer(enabled=True, capacity=10)
+    for i in range(4):
+        t.event("e", proc=0, i=i)
+    t.configure(capacity=2)
+    assert [e.fields["i"] for e in t.events()] == [2, 3]
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+    with pytest.raises(ValueError):
+        Tracer().configure(capacity=-1)
+
+
+def test_global_tracer_disabled_by_default():
+    assert TRACER.enabled is False
+
+
+def test_event_round_trips_through_dict(tracer):
+    ev = tracer.event("x", proc=3, cause=None, payload=[1, 2])
+    from repro.obs.tracer import TraceEvent
+
+    back = TraceEvent.from_dict(ev.to_dict())
+    assert back.name == ev.name
+    assert back.proc == ev.proc
+    assert back.clock == ev.clock
+    assert back.fields == ev.fields
+    assert back.seq == ev.seq

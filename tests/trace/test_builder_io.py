@@ -1,5 +1,7 @@
 """Tests for the builder DSL and JSON trace round-tripping."""
 
+import json
+
 import pytest
 
 from repro.causality import StateRef
@@ -10,6 +12,7 @@ from repro.trace import (
     deposet_to_dict,
     dump_deposet,
     load_deposet,
+    load_deposet_meta,
 )
 
 
@@ -88,6 +91,44 @@ def test_json_roundtrip_file(tmp_path):
     path = tmp_path / "trace.json"
     dump_deposet(dep, path)
     assert load_deposet(path) == dep
+
+
+def test_obs_block_roundtrip(tmp_path):
+    """The ``obs`` observability block survives a dump/load cycle."""
+    dep = build_rich_trace()
+    obs = {
+        "metrics": {
+            "counters": {"kernel.events": 42, "offline.arrows": 1},
+            "gauges": {},
+            "histograms": {
+                "online.handoff_response": {
+                    "count": 2, "sum": 4.0, "min": 1.5, "max": 2.5, "mean": 2.0,
+                }
+            },
+        },
+        "recording": "run.jsonl",
+    }
+    path = tmp_path / "trace.json"
+    dump_deposet(dep, path, obs=obs)
+    again, obs_back = load_deposet_meta(path)
+    assert again == dep
+    assert obs_back == obs
+
+
+def test_obs_block_optional_and_backward_compatible(tmp_path):
+    dep = build_rich_trace()
+    # writer without obs: no block in the JSON, meta reader returns None
+    path = tmp_path / "plain.json"
+    dump_deposet(dep, path)
+    assert "obs" not in json.loads(path.read_text())
+    _, obs = load_deposet_meta(path)
+    assert obs is None
+    # the plain reader accepts a trace *with* the block (and ignores it)
+    data = deposet_to_dict(dep, obs={"metrics": {"counters": {}}})
+    assert deposet_from_dict(data) == dep
+    path2 = tmp_path / "with_obs.json"
+    dump_deposet(dep, path2, obs={"metrics": {"counters": {}}})
+    assert load_deposet(path2) == dep
 
 
 def test_unknown_format_rejected():
