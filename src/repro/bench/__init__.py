@@ -8,9 +8,16 @@ print identically-shaped tables.
 
 from repro.bench.harness import (
     Sweep,
+    fault_columns,
     format_metrics_snapshot,
     format_table,
     geometric_fit,
 )
 
-__all__ = ["format_table", "format_metrics_snapshot", "geometric_fit", "Sweep"]
+__all__ = [
+    "format_table",
+    "format_metrics_snapshot",
+    "fault_columns",
+    "geometric_fit",
+    "Sweep",
+]

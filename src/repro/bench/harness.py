@@ -7,7 +7,13 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "geometric_fit", "format_metrics_snapshot", "Sweep"]
+__all__ = [
+    "format_table",
+    "geometric_fit",
+    "format_metrics_snapshot",
+    "fault_columns",
+    "Sweep",
+]
 
 
 def format_table(
@@ -79,6 +85,26 @@ def format_metrics_snapshot(diff: Dict[str, Any]) -> str:
             parts.append(f"{name}.count={summ['count']}")
             parts.append(f"{name}.mean={summ['mean']:.4g}")
     return " ".join(parts)
+
+
+def fault_columns(
+    faults: Dict[str, int], channel: Optional[Dict[str, int]] = None
+) -> Dict[str, int]:
+    """The ``faults`` column group for bench tables.
+
+    Takes the per-run fault-injection counts (``RunResult.faults`` /
+    ``MutexReport.faults``) and the reliable-channel counters
+    (``MutexReport.channel``), and flattens them to the three columns the
+    fault-tolerance tables share: how many faults were injected, how many
+    retransmissions the control plane paid, and how many duplicate
+    deliveries it suppressed.
+    """
+    channel = channel or {}
+    return {
+        "injected": sum(faults.values()),
+        "retransmits": channel.get("retransmits", 0),
+        "dup_supp": channel.get("dup_suppressed", 0),
+    }
 
 
 @dataclass

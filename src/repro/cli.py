@@ -260,6 +260,87 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Hardened vs unhardened anti-token mutex under one fault plan."""
+    from repro.bench.harness import fault_columns, format_table
+    from repro.core.verify import possibly_bad as exact_possibly_bad
+    from repro.faults import FaultPlan
+
+    crashes = {}
+    horizon = args.entries * (args.think + args.cs)
+    for i in range(args.crash):
+        proc = 1 + (i % max(1, args.n - 1))
+        crashes[proc] = round((0.35 + 0.25 * i) * horizon, 3)
+    plan = FaultPlan.lossy(
+        args.loss, seed=args.seed, scope="control",
+        duplicate=args.duplicate, crashes=crashes or None,
+    )
+    print(f"fault plan: {plan.describe()}")
+    pred = mutual_exclusion(args.n, "cs")
+
+    def run(hardened: bool):
+        kwargs = {}
+        if hardened:
+            kwargs = dict(reliable=True, lease_timeout=args.lease_timeout)
+        return run_mutex_workload(
+            "antitoken", n=args.n, cs_per_proc=args.entries,
+            think_time=args.think, cs_time=args.cs, mean_delay=args.delay,
+            seed=args.seed, faults=plan, **kwargs,
+        )
+
+    unhardened = run(hardened=False)
+    if args.record:
+        from repro.obs import TRACER, write_jsonl
+        from repro.obs.metrics import MetricsRegistry
+
+        from repro.obs import METRICS
+        before = METRICS.snapshot()
+        with TRACER.recording(capacity=args.capacity):
+            TRACER.reset()
+            hardened = run(hardened=True)
+            events = TRACER.drain()
+        write_jsonl(
+            events, args.record,
+            meta={
+                "workload": "chaos", "n": args.n, "seed": args.seed,
+                "plan": plan.describe(),
+                "metrics": MetricsRegistry.diff(before, METRICS.snapshot()),
+            },
+        )
+        print(f"{len(events)} obs event(s) recorded to {args.record}")
+    else:
+        hardened = run(hardened=True)
+
+    rows = []
+    for label, rep in (("unhardened", unhardened), ("hardened", hardened)):
+        exact = exact_possibly_bad(rep.deposet, pred)
+        row = {
+            "config": label,
+            "outcome": "DEADLOCK" if rep.deadlocked else "completed",
+            "entries": rep.entries,
+            "msgs/entry": round(rep.messages_per_entry, 3),
+            "mean_resp": round(rep.mean_response, 3),
+            "crashed": len(rep.crashed),
+            "regens": rep.lease_regens,
+            "violations": len(rep.violations),
+            "exact_wcp": "VIOLATED" if exact is not None else "ok",
+        }
+        row.update(fault_columns(rep.faults, rep.channel))
+        rows.append(row)
+    print(format_table(rows, title="chaos: fault-tolerant control plane"))
+
+    hard = rows[1]
+    ok = (
+        hard["outcome"] == "completed"
+        and hard["violations"] == 0
+        and hard["exact_wcp"] == "ok"
+    )
+    if not ok:
+        print("SAFETY FAILURE: the hardened controller did not survive the "
+              "fault plan", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _cmd_mutex_bench(args: argparse.Namespace) -> int:
     report = run_mutex_workload(
         args.algorithm, n=args.n, cs_per_proc=args.entries,
@@ -345,6 +426,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome")
     p.add_argument("--input", default=DEFAULT_RECORDING)
     p.set_defaults(fn=_cmd_obs_export)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-inject the anti-token mutex, hardened vs unhardened",
+    )
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--entries", type=int, default=6, help="CS entries per process")
+    p.add_argument("--loss", type=float, default=0.2,
+                   help="control-message drop rate")
+    p.add_argument("--duplicate", type=float, default=0.0,
+                   help="control-message duplication rate")
+    p.add_argument("--crash", type=int, default=1,
+                   help="number of processes to fail-stop mid-run")
+    p.add_argument("--think", type=float, default=4.0)
+    p.add_argument("--cs", type=float, default=1.0)
+    p.add_argument("--delay", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--lease-timeout", type=float, default=20.0)
+    p.add_argument("--capacity", type=int, default=100_000,
+                   help="obs ring-buffer capacity (with --record)")
+    p.add_argument("--record", help="write the hardened run's obs JSONL here")
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("mutex-bench", help="run one (n-1)-mutex workload")
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="antitoken")

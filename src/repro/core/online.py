@@ -25,16 +25,32 @@ Two peer-selection strategies are provided:
   better chance of an immediate ack (lower response time), more messages,
   and every acker becomes a scapegoat (anti-tokens multiply), which
   experiment E11 quantifies.
+
+**Fault tolerance** (beyond the paper, which assumes reliable channels and
+non-crashing processes).  With ``reliable=True`` the req/ack protocol runs
+over a :class:`~repro.faults.reliable.ReliableControlChannel`
+(ack/retransmit, exponential backoff, duplicate suppression), a transport
+give-up marks the unresponsive peer *suspected* and re-routes the handoff,
+and a per-handoff watchdog re-requests when the protocol-level ack is
+overdue (the asked peer may have crashed *after* transport-acking the
+request).  With ``lease_timeout`` set, scapegoats additionally broadcast
+periodic lease renewals; a controller that sees no fresh lease and holds
+its local predicate regenerates the anti-token -- so a crashed scapegoat
+costs at most one lease timeout of exposure, after which the safety
+invariant (*some* ``l_i`` true) is actively maintained again.  Extra
+anti-tokens created by races are safe by construction (they only ever
+*add* constraints).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 import numpy as np
 
 from repro.errors import OnlineControlError
+from repro.faults.reliable import ReliableControlChannel, RetryPolicy
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
 from repro.sim.system import TransitionGuard
@@ -45,6 +61,14 @@ _BLOCKS = METRICS.counter("online.blocks")
 _HANDOFFS = METRICS.counter("online.handoffs")
 _TAKEOVERS = METRICS.counter("online.takeovers")
 _RESPONSE = METRICS.histogram("online.handoff_response")
+_HANDOFF_RETRIES = METRICS.counter("online.handoff_retries")
+_LEASE_RENEWALS = METRICS.counter("online.lease_renewals")
+_LEASE_REGENS = METRICS.counter("online.lease_regens")
+
+#: hard cap on periodic timer firings (lease renewals + watchdogs) per run,
+#: guaranteeing the simulation terminates even if quiescence detection is
+#: defeated; generous -- a healthy run stops its timers long before this
+MAX_PERIODIC_TICKS = 100_000
 
 LocalCondition = Callable[[Dict[str, Any]], bool]
 
@@ -76,7 +100,24 @@ class OnlineDisjunctiveControl(TransitionGuard):
         For unicast: ``"ring"`` (deterministic round-robin over the other
         processes) or ``"random"``.
     seed:
-        RNG seed for random peer selection.
+        RNG seed for random peer selection (and, in reliable mode, for the
+        retransmission jitter).
+    reliable:
+        Route req/ack over the ack/retransmit control channel and enable
+        handoff re-routing around suspected-dead peers.
+    retry:
+        :class:`~repro.faults.reliable.RetryPolicy` for reliable mode
+        (defaults to ``RetryPolicy()``).
+    handoff_timeout:
+        Reliable mode: re-issue an unanswered handoff request to another
+        peer after this long (default ``4 * retry.timeout``).
+    lease_timeout:
+        Enable the lease watchdog: a controller seeing no scapegoat lease
+        for this long regenerates the anti-token (requires its local
+        predicate to hold).  ``None`` disables leases.
+    lease_interval:
+        How often scapegoats broadcast lease renewals (default
+        ``lease_timeout / 4``).
     """
 
     def __init__(
@@ -85,14 +126,22 @@ class OnlineDisjunctiveControl(TransitionGuard):
         strategy: str = "unicast",
         peer_selection: str = "ring",
         seed: int = 0,
+        reliable: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        handoff_timeout: Optional[float] = None,
+        lease_timeout: Optional[float] = None,
+        lease_interval: Optional[float] = None,
     ):
         if strategy not in ("unicast", "broadcast"):
             raise ValueError(f"unknown strategy {strategy!r}")
         if peer_selection not in ("ring", "random"):
             raise ValueError(f"unknown peer selection {peer_selection!r}")
+        if lease_timeout is not None and lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
         self.conditions = list(conditions)
         self.strategy = strategy
         self.peer_selection = peer_selection
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.n = len(conditions)
         # controller state (Figure 3)
@@ -105,6 +154,29 @@ class OnlineDisjunctiveControl(TransitionGuard):
         self._blocked_since: List[float] = [0.0] * self.n
         self._buffered_reqs: List[List[tuple]] = [[] for _ in range(self.n)]
         self._ring_next = [0] * self.n
+        # fault tolerance
+        self.reliable = reliable
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.handoff_timeout = (
+            handoff_timeout if handoff_timeout is not None
+            else 4.0 * self.retry.timeout
+        )
+        self.lease_timeout = lease_timeout
+        self.lease_interval = (
+            lease_interval if lease_interval is not None
+            else (lease_timeout / 4.0 if lease_timeout else None)
+        )
+        self.channel: Optional[ReliableControlChannel] = None
+        self._done = [False] * self.n       # finished or crashed
+        self._crashed = [False] * self.n
+        self._suspected: List[Set[int]] = [set() for _ in range(self.n)]
+        self._handoff_retries = [0] * self.n
+        self._max_handoff_retries = 3 * max(1, self.n - 1)
+        self._handoff_timer = [None] * self.n
+        self._lease_last = [0.0] * self.n   # freshest lease controller i saw
+        self._leasing = [False] * self.n    # renewal loop running for i
+        self._periodic_ticks = 0
+        self.lease_regens = 0
         # metrics / verification
         self.handoffs: List[Handoff] = []
         self.violations: List[str] = []
@@ -127,6 +199,19 @@ class OnlineDisjunctiveControl(TransitionGuard):
                 "on-line strategy can fix the past"
             )
         self.scapegoat[initial[0]] = True
+        if self.reliable:
+            self.channel = ReliableControlChannel(
+                system, self.retry, seed=self.seed + 0x5EED,
+            )
+            self.channel.bind(self._on_control)
+        if self.lease_timeout is not None:
+            self._ensure_lease_loop(initial[0])
+            for i in range(self.n):
+                # staggered so concurrent expiry doesn't regenerate n tokens
+                first = self.lease_timeout * (1.0 + 0.05 * (i + 1))
+                self.system.queue.schedule(
+                    first, lambda i=i: self._lease_watchdog(i)
+                )
 
     # -- helpers ---------------------------------------------------------------
 
@@ -134,7 +219,18 @@ class OnlineDisjunctiveControl(TransitionGuard):
         return self.conditions[proc](self.system.recorder.current_vars(proc))
 
     def _select_peers(self, proc: int) -> List[int]:
-        others = [j for j in range(self.n) if j != proc]
+        others = [
+            j for j in range(self.n) if j != proc and not self._crashed[j]
+        ]
+        if self.reliable and others:
+            trusted = [j for j in others if j not in self._suspected[proc]]
+            if trusted:
+                others = trusted
+            else:
+                # everyone is suspected: wipe the slate and re-probe
+                self._suspected[proc].clear()
+        if not others:
+            return []
         if self.strategy == "broadcast":
             return others
         if self.peer_selection == "random":
@@ -143,11 +239,23 @@ class OnlineDisjunctiveControl(TransitionGuard):
         self._ring_next[proc] += 1
         return [peer]
 
-    def _send(self, src: int, dst: int, payload: Dict[str, Any]) -> None:
-        self.system.send_control(
-            src, dst, payload, self._on_control, tag=payload["type"],
-            record_mode="entered",
-        )
+    def _send(
+        self,
+        src: int,
+        dst: int,
+        payload: Dict[str, Any],
+        on_give_up: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        if self.channel is not None:
+            self.channel.send(
+                src, dst, payload, tag=payload["type"],
+                record_mode="entered", on_give_up=on_give_up,
+            )
+        else:
+            self.system.send_control(
+                src, dst, payload, self._on_control, tag=payload["type"],
+                record_mode="entered",
+            )
 
     # -- the guard hook -----------------------------------------------------------
 
@@ -167,17 +275,31 @@ class OnlineDisjunctiveControl(TransitionGuard):
                 "online.block", proc=proc, round=self._round[proc],
                 sim_time=self.system.queue.now, strategy=self.strategy,
             )
+        self._handoff_retries[proc] = 0
+        self._issue_reqs(proc)
+
+    def _issue_reqs(self, proc: int) -> None:
+        rnd = self._round[proc]
         for peer in self._select_peers(proc):
+            give_up = None
+            if self.reliable:
+                give_up = (
+                    lambda _pending, proc=proc, peer=peer, rnd=rnd:
+                    self._on_req_give_up(proc, peer, rnd)
+                )
             self._send(
-                proc, peer,
-                {"type": "req", "from": proc, "round": self._round[proc]},
+                proc, peer, {"type": "req", "from": proc, "round": rnd},
+                on_give_up=give_up,
             )
+        if self.reliable:
+            self._arm_handoff_watchdog(proc, rnd)
 
     def _after_commit(self, proc: int) -> None:
         # pending(i) and l_i(s): take the role, release the requesters
         if self.pending[proc] and self._holds(proc):
             requesters, self.pending[proc] = self.pending[proc], []
             self.scapegoat[proc] = True
+            self._ensure_lease_loop(proc)
             _TAKEOVERS.inc()
             if TRACER.enabled:
                 TRACER.event(
@@ -189,11 +311,214 @@ class OnlineDisjunctiveControl(TransitionGuard):
         self._check_invariant()
 
     def on_process_finished(self, proc: int) -> None:
+        self._done[proc] = True
         if not self._holds(proc):
             self.violations.append(
                 f"assumption A2 violated: process {proc} finished with its "
                 f"local predicate false"
             )
+        elif self.pending[proc]:
+            # Finish race: the commit that made us true normally releases
+            # the requesters we deferred, but a process can also *finish*
+            # true with requests still pending (the request arrived in the
+            # same instant as the final step).  A2 makes the frozen final
+            # state a safe anti-token, so take the role and ack.
+            requesters, self.pending[proc] = self.pending[proc], []
+            self.scapegoat[proc] = True
+            _TAKEOVERS.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "online.takeover", proc=proc, deferred=len(requesters),
+                    finished=True, sim_time=self.system.queue.now,
+                )
+            for j, rnd in requesters:
+                self._send(proc, j, {"type": "ack", "from": proc, "round": rnd})
+        self._check_invariant()
+
+    # -- surviving crashes ---------------------------------------------------
+
+    def on_process_crashed(self, proc: int) -> None:
+        """Fail-stop cleanup (called from the simulator's fault path).
+
+        The dead controller's obligations dissolve: acks it owed will never
+        be sent (requesters re-route via transport give-up or the handoff
+        watchdog) and its anti-token survives only as a frozen-true final
+        state -- the lease watchdog restores a *live* scapegoat within one
+        lease timeout.
+        """
+        was_scapegoat = self.scapegoat[proc]
+        self._crashed[proc] = True
+        self._done[proc] = True
+        self.scapegoat[proc] = False
+        self.awaiting[proc] = False
+        self._blocked_commit[proc] = None
+        self.pending[proc] = []
+        self._buffered_reqs[proc] = []
+        self._leasing[proc] = False
+        if self._handoff_timer[proc] is not None:
+            self._handoff_timer[proc].cancel()
+            self._handoff_timer[proc] = None
+        if TRACER.enabled:
+            TRACER.event(
+                "online.controller_crash", proc=proc,
+                scapegoat=was_scapegoat, sim_time=self.system.queue.now,
+            )
+
+    def _on_req_give_up(self, proc: int, peer: int, rnd: int) -> None:
+        """The transport exhausted its retries on a req: suspect the peer
+        and re-route the handoff."""
+        self._suspected[proc].add(peer)
+        if TRACER.enabled:
+            TRACER.event(
+                "online.suspect", proc=proc, peer=peer,
+                sim_time=self.system.queue.now,
+            )
+        self._retry_handoff(proc, rnd)
+
+    def _arm_handoff_watchdog(self, proc: int, rnd: int) -> None:
+        if self._handoff_timer[proc] is not None:
+            self._handoff_timer[proc].cancel()
+        self._handoff_timer[proc] = self.system.queue.schedule(
+            self.handoff_timeout, lambda: self._handoff_watchdog(proc, rnd)
+        )
+
+    def _handoff_watchdog(self, proc: int, rnd: int) -> None:
+        """Protocol-level overdue ack: the asked peer may have crashed
+        *after* transport-acking the req (so the channel never gives up)."""
+        self._handoff_timer[proc] = None
+        if self.system.is_crashed(proc):
+            return
+        self._retry_handoff(proc, rnd)
+
+    def _retry_handoff(self, proc: int, rnd: int) -> None:
+        if not self.awaiting[proc] or rnd != self._round[proc]:
+            return  # the handoff completed in the meantime
+        if self._handoff_retries[proc] >= self._max_handoff_retries:
+            return  # out of re-routes: stay blocked (safety over liveness)
+        self._handoff_retries[proc] += 1
+        _HANDOFF_RETRIES.inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "online.handoff_retry", proc=proc, round=rnd,
+                attempt=self._handoff_retries[proc],
+                sim_time=self.system.queue.now,
+            )
+        # same round on purpose: the first ack for this round wins and any
+        # later duplicate is rejected by the stale-ack check; every extra
+        # acker merely becomes one more (safe) anti-token
+        self._issue_reqs(proc)
+
+    # -- leases: surviving scapegoat crashes ---------------------------------
+
+    def _tick(self) -> bool:
+        """Spend one unit of the periodic-timer budget; False when spent."""
+        self._periodic_ticks += 1
+        return self._periodic_ticks <= MAX_PERIODIC_TICKS
+
+    def _quiescent(self) -> bool:
+        """True when periodic timers are the only thing keeping the run
+        alive.
+
+        The simulator runs until its queue drains, so an immortal timer
+        would spin every run to the tick cap.  Timers stand down once no
+        live process can take another step and no reliable-channel
+        retransmission is in flight.  A blocked handoff whose re-route
+        budget is spent counts as wedged: more timer firings cannot save
+        it, and standing down lets the run terminate and report the
+        deadlock.
+        """
+        if self.channel is not None and self.channel.outstanding > 0:
+            return False
+        for i in range(self.n):
+            if self.system.is_finished(i) or self.system.is_crashed(i):
+                continue
+            if self.awaiting[i]:
+                if (
+                    self.reliable
+                    and self._handoff_retries[i] < self._max_handoff_retries
+                ):
+                    return False
+                continue
+            return False
+        return True
+
+    def _ensure_lease_loop(self, proc: int) -> None:
+        """Start the renewal loop for a newly minted scapegoat (idempotent)."""
+        if self.lease_timeout is None or self._leasing[proc]:
+            return
+        if self._crashed[proc]:
+            return
+        self._leasing[proc] = True
+        self._lease_last[proc] = self.system.queue.now
+        self.system.queue.schedule(
+            self.lease_interval, lambda: self._lease_tick(proc)
+        )
+
+    def _lease_tick(self, proc: int) -> None:
+        if (
+            not self.scapegoat[proc]
+            or self.system.is_crashed(proc)
+            or not self._tick()
+        ):
+            self._leasing[proc] = False
+            return
+        now = self.system.queue.now
+        self._lease_last[proc] = now
+        _LEASE_RENEWALS.inc()
+        if TRACER.enabled:
+            TRACER.event("online.lease_renew", proc=proc, sim_time=now)
+        for j in range(self.n):
+            if j == proc or self._crashed[j]:
+                continue
+            # raw sends on purpose: lease heartbeats must NOT record
+            # control arrows -- the spurious causality would strengthen
+            # the recorded deposet and mask violations in the exact check
+            self.system.network.send(
+                proc, j, {"type": "lease", "from": proc}, self._on_lease,
+                tag="lease", control=True,
+            )
+        if self._quiescent():
+            self._leasing[proc] = False
+            return
+        self.system.queue.schedule(
+            self.lease_interval, lambda: self._lease_tick(proc)
+        )
+
+    def _on_lease(self, delivery) -> None:
+        if self._crashed[delivery.dst]:
+            return
+        self._lease_last[delivery.dst] = self.system.queue.now
+
+    def _lease_watchdog(self, proc: int) -> None:
+        if self._crashed[proc] or not self._tick():
+            return
+        now = self.system.queue.now
+        stale = now - self._lease_last[proc] > self.lease_timeout
+        if (
+            stale
+            and not self.scapegoat[proc]
+            and not self.awaiting[proc]
+            and self._holds(proc)
+        ):
+            # every scapegoat's lease is stale: its holder crashed (or all
+            # renewals were lost for a full timeout).  Regenerate the
+            # anti-token here; a race that mints several is safe, extra
+            # anti-tokens only ever *add* constraints.
+            self.scapegoat[proc] = True
+            self.lease_regens += 1
+            _LEASE_REGENS.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "online.lease_regen", proc=proc,
+                    stale_for=now - self._lease_last[proc], sim_time=now,
+                )
+            self._ensure_lease_loop(proc)
+            self._after_commit(proc)  # release anyone pending on us
+        if self._quiescent():
+            return
+        self.system.queue.schedule(
+            self.lease_timeout, lambda: self._lease_watchdog(proc)
+        )
 
     # -- control-message handling -----------------------------------------------------
 
@@ -214,6 +539,7 @@ class OnlineDisjunctiveControl(TransitionGuard):
     def _handle_req(self, proc: int, requester: int, rnd: int) -> None:
         if self._holds(proc):
             self.scapegoat[proc] = True
+            self._ensure_lease_loop(proc)
             _TAKEOVERS.inc()
             if TRACER.enabled:
                 TRACER.event(
@@ -237,6 +563,11 @@ class OnlineDisjunctiveControl(TransitionGuard):
             return
         self.awaiting[proc] = False
         self.scapegoat[proc] = False
+        if self._handoff_timer[proc] is not None:
+            self._handoff_timer[proc].cancel()
+            self._handoff_timer[proc] = None
+        self._handoff_retries[proc] = 0
+        self._suspected[proc].discard(acker)
         commit = self._blocked_commit[proc]
         self._blocked_commit[proc] = None
         msgs = 2 if self.strategy == "unicast" else self.n  # req fanout + this ack
@@ -265,7 +596,17 @@ class OnlineDisjunctiveControl(TransitionGuard):
     # -- run-time verification ------------------------------------------------------
 
     def _check_invariant(self) -> None:
-        """The controlled run must satisfy the disjunction at every instant."""
+        """The controlled run must satisfy the disjunction at every instant.
+
+        Finished and crashed (fail-stop) processes count with their frozen
+        final state -- exactly how the recorded deposet's consistent cuts
+        see them -- so this run-time check agrees with the off-line
+        ``possibly_bad`` verification.  (A2 makes a finished state true;
+        a scapegoat can only crash true, since it blocks *before* the
+        falsifying commit.)  Leases exist so safety does not keep *resting*
+        on a dead process: a live scapegoat is restored within one lease
+        timeout.
+        """
         if not any(self._holds(i) for i in range(self.n)):
             self.violations.append(
                 f"disjunction violated at t={self.system.queue.now}"

@@ -31,6 +31,8 @@ __all__ = [
     "SimulationError",
     "OnlineControlError",
     "AssumptionViolationError",
+    "FaultPlanError",
+    "ControlChannelError",
 ]
 
 
@@ -81,10 +83,23 @@ class InterferenceError(ReproError):
 class ReplayDeadlockError(ReproError):
     """A controlled replay deadlocked (no process can take its next step)."""
 
-    def __init__(self, message: str = "replay deadlocked", *, blocked=None):
+    def __init__(
+        self,
+        message: str = "replay deadlocked",
+        *,
+        blocked=None,
+        lost_tokens=None,
+        interference=None,
+    ):
         super().__init__(message)
         #: Optional mapping of process -> description of what it waits for.
         self.blocked = blocked
+        #: Stalled arrows whose token was sent but never arrived (channel
+        #: fault): list of (arrow id, src StateRef, dst StateRef).
+        self.lost_tokens = lost_tokens or []
+        #: Stalled arrows whose source state was never left (the control
+        #: relation fights the computation's causality).
+        self.interference = interference or []
 
 
 class SimulationError(ReproError):
@@ -101,3 +116,11 @@ class AssumptionViolationError(OnlineControlError):
     A1: a process never blocks in a state where its local predicate is false.
     A2: the local predicate holds in every final state.
     """
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed (bad rates, windows, or groups)."""
+
+
+class ControlChannelError(ReproError):
+    """The reliable control channel was misused or misconfigured."""

@@ -1,0 +1,35 @@
+"""Fault injection and fault tolerance.
+
+The paper's model assumes reliable channels and non-crashing processes;
+this package removes both assumptions so the rest of the repo can be
+tested against the failures a real distributed debugger meets:
+
+* :mod:`repro.faults.plan` -- declarative, seeded :class:`FaultPlan` data
+  (per-channel drop/duplicate/reorder/delay-spike, crash-at-time,
+  stall-for-duration, timed partitions);
+* :mod:`repro.faults.injector` -- the :class:`FaultInjector` runtime the
+  network and simulator consult, with every injected fault emitted as an
+  obs trace event and metrics counter;
+* :mod:`repro.faults.reliable` -- the :class:`ReliableControlChannel`
+  ack/retransmit wrapper (timeouts, exponential backoff with jitter,
+  bounded retries, duplicate suppression by sequence number) that lets
+  the on-line control plane survive its own fault plans.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import ChannelFaultSpec, FaultPlan, Partition
+from repro.faults.reliable import (
+    ControlDelivery,
+    ReliableControlChannel,
+    RetryPolicy,
+)
+
+__all__ = [
+    "ChannelFaultSpec",
+    "FaultPlan",
+    "Partition",
+    "FaultInjector",
+    "RetryPolicy",
+    "ControlDelivery",
+    "ReliableControlChannel",
+]

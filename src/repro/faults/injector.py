@@ -1,0 +1,177 @@
+"""The runtime half of fault injection.
+
+The :class:`FaultInjector` executes a :class:`~repro.faults.plan.FaultPlan`
+against one run:
+
+* the network consults :meth:`route` on every send -- the verdict is a
+  list of extra delays, one per copy to actually deliver (``[]`` means the
+  message is dropped, two entries mean it was duplicated);
+* the simulator calls :meth:`attach` once, which schedules the plan's
+  crash and stall callbacks on the kernel queue.
+
+Every injected fault is emitted as a distinct obs trace event
+(``fault.drop``, ``fault.duplicate``, ``fault.delay``, ``fault.reorder``,
+``fault.partition``, ``fault.crash``, ``fault.stall``) and counted in the
+always-on metrics registry (``faults.*``), so a recording explains a
+failed run without re-running it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
+
+__all__ = ["FaultInjector"]
+
+_DROPS = METRICS.counter("faults.drops")
+_DUPS = METRICS.counter("faults.duplicates")
+_SPIKES = METRICS.counter("faults.delay_spikes")
+_REORDERS = METRICS.counter("faults.reorders")
+_PARTITION_DROPS = METRICS.counter("faults.partition_drops")
+_CRASHES = METRICS.counter("faults.crashes")
+_STALLS = METRICS.counter("faults.stalls")
+_TO_CRASHED = METRICS.counter("faults.to_crashed")
+
+
+class FaultInjector:
+    """Executes one fault plan; one injector per run (it holds RNG state).
+
+    Message-level injection works standalone (a bare :class:`Network` may
+    carry an injector); crash/stall scheduling needs :meth:`attach` with
+    the owning system.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        #: flat counters for this run (the METRICS registry is process-wide)
+        self.counts: Dict[str, int] = {
+            "drops": 0, "duplicates": 0, "delay_spikes": 0, "reorders": 0,
+            "partition_drops": 0, "crashes": 0, "stalls": 0,
+        }
+        self._system = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, system) -> None:
+        """Schedule the plan's process faults on the system's kernel."""
+        self._system = system
+        queue = system.queue
+        for proc, t in sorted(self.plan.crashes.items()):
+            if not (0 <= proc < system.n):
+                continue
+            queue.schedule(t, lambda p=proc: self._fire_crash(p))
+        for proc, (start, duration) in sorted(self.plan.stalls.items()):
+            if not (0 <= proc < system.n):
+                continue
+            queue.schedule(
+                start, lambda p=proc, d=duration: self._fire_stall(p, d)
+            )
+
+    def _fire_crash(self, proc: int) -> None:
+        system = self._system
+        if system is None or system.is_crashed(proc):
+            return
+        self.counts["crashes"] += 1
+        _CRASHES.inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "fault.crash", proc=proc, sim_time=system.queue.now,
+            )
+        system.fault_crash(proc)
+
+    def _fire_stall(self, proc: int, duration: float) -> None:
+        system = self._system
+        if system is None or system.is_crashed(proc):
+            return
+        self.counts["stalls"] += 1
+        _STALLS.inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "fault.stall", proc=proc, duration=duration,
+                sim_time=system.queue.now,
+            )
+        system.fault_stall(proc, system.queue.now + duration)
+
+    # -- message faults ----------------------------------------------------
+
+    def route(
+        self, src: int, dst: int, control: bool, now: float,
+        tag: Optional[str] = None,
+    ) -> List[float]:
+        """Decide one message's fate: a list of extra delays per delivered
+        copy.  ``[0.0]`` is the undisturbed path."""
+        for part in self.plan.partitions:
+            if part.separates(src, dst, now):
+                self.counts["partition_drops"] += 1
+                _PARTITION_DROPS.inc()
+                if TRACER.enabled:
+                    TRACER.event(
+                        "fault.partition", proc=src, dst=dst, tag=tag,
+                        control=control, sim_time=now,
+                    )
+                return []
+        spec = self.plan.spec_for(src, dst)
+        if spec.quiet or not spec.applies_to(control):
+            return [0.0]
+        if spec.drop_rate and self.rng.random() < spec.drop_rate:
+            self.counts["drops"] += 1
+            _DROPS.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "fault.drop", proc=src, dst=dst, tag=tag,
+                    control=control, sim_time=now,
+                )
+            return []
+        extra = 0.0
+        if spec.delay_spike_rate and self.rng.random() < spec.delay_spike_rate:
+            extra += spec.delay_spike
+            self.counts["delay_spikes"] += 1
+            _SPIKES.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "fault.delay", proc=src, dst=dst, tag=tag,
+                    extra=spec.delay_spike, control=control, sim_time=now,
+                )
+        if spec.reorder_rate and self.rng.random() < spec.reorder_rate:
+            holdback = float(self.rng.uniform(0.0, spec.reorder_window))
+            extra += holdback
+            self.counts["reorders"] += 1
+            _REORDERS.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "fault.reorder", proc=src, dst=dst, tag=tag,
+                    holdback=holdback, control=control, sim_time=now,
+                )
+        copies = [extra]
+        if spec.duplicate_rate and self.rng.random() < spec.duplicate_rate:
+            copies.append(extra)
+            self.counts["duplicates"] += 1
+            _DUPS.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "fault.duplicate", proc=src, dst=dst, tag=tag,
+                    control=control, sim_time=now,
+                )
+        return copies
+
+    def note_delivery_to_crashed(
+        self, src: int, dst: int, control: bool, now: float
+    ) -> None:
+        """Book-keeping for a message arriving at a crashed process (the
+        system drops it; fail-stop processes receive nothing)."""
+        _TO_CRASHED.inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "fault.to_crashed", proc=dst, src=src, control=control,
+                sim_time=now,
+            )
+
+    def summary(self) -> Dict[str, int]:
+        """This run's injected-fault counts (a plain dict for reports)."""
+        return dict(self.counts)

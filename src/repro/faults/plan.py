@@ -1,0 +1,222 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is pure data: *what* can go wrong, with what
+probability, on which channels, and *when* processes crash, stall, or get
+partitioned from each other.  The runtime side (consulted by the network
+and the simulator) lives in :mod:`repro.faults.injector`; splitting the
+two keeps plans serialisable and trivially comparable across runs.
+
+Determinism: all probabilistic decisions are drawn from one generator
+seeded with :attr:`FaultPlan.seed`, in the (deterministic) order the
+kernel executes sends -- so the same plan against the same workload seed
+produces the identical fault schedule, obs event stream, and outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import FaultPlanError
+
+__all__ = ["ChannelFaultSpec", "Partition", "FaultPlan"]
+
+#: message-fault scopes a :class:`ChannelFaultSpec` may target
+SCOPES = ("all", "control", "app")
+
+
+@dataclass(frozen=True)
+class ChannelFaultSpec:
+    """Per-channel message-fault probabilities.
+
+    Parameters
+    ----------
+    drop_rate / duplicate_rate / delay_spike_rate / reorder_rate:
+        Independent per-message probabilities in ``[0, 1]``.
+    delay_spike:
+        Extra delay (simulated time) added when a spike fires.
+    reorder_window:
+        A reordered message is held back by a uniform draw from
+        ``(0, reorder_window]`` -- enough to overtake later traffic on a
+        non-FIFO channel.
+    scope:
+        ``"all"``, ``"control"`` (the controllers' own messages only), or
+        ``"app"`` (application messages only).  The acceptance scenarios
+        target the control plane, so ``"control"`` is common.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_spike_rate: float = 0.0
+    delay_spike: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_window: float = 0.0
+    scope: str = "all"
+
+    def __post_init__(self):
+        for name in ("drop_rate", "duplicate_rate", "delay_spike_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise FaultPlanError(f"{name} must be in [0, 1], got {rate}")
+        if self.delay_spike < 0 or self.reorder_window < 0:
+            raise FaultPlanError("delay_spike and reorder_window must be >= 0")
+        if self.scope not in SCOPES:
+            raise FaultPlanError(
+                f"scope must be one of {SCOPES}, got {self.scope!r}"
+            )
+
+    @property
+    def quiet(self) -> bool:
+        """True when this spec can never inject anything."""
+        return not (
+            self.drop_rate or self.duplicate_rate
+            or self.delay_spike_rate or self.reorder_rate
+        )
+
+    def applies_to(self, control: bool) -> bool:
+        if self.scope == "all":
+            return True
+        return control if self.scope == "control" else not control
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Messages crossing between ``group_a`` and ``group_b`` are dropped
+    while ``start <= now < end`` (either direction)."""
+
+    group_a: FrozenSet[int]
+    group_b: FrozenSet[int]
+    start: float = 0.0
+    end: float = float("inf")
+
+    def __init__(
+        self,
+        group_a: Iterable[int],
+        group_b: Iterable[int],
+        start: float = 0.0,
+        end: float = float("inf"),
+    ):
+        a, b = frozenset(group_a), frozenset(group_b)
+        if not a or not b:
+            raise FaultPlanError("partition groups must be non-empty")
+        if a & b:
+            raise FaultPlanError(f"partition groups overlap: {sorted(a & b)}")
+        if end <= start:
+            raise FaultPlanError(f"partition window [{start}, {end}) is empty")
+        object.__setattr__(self, "group_a", a)
+        object.__setattr__(self, "group_b", b)
+        object.__setattr__(self, "start", float(start))
+        object.__setattr__(self, "end", float(end))
+
+    def separates(self, src: int, dst: int, now: float) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        return (src in self.group_a and dst in self.group_b) or (
+            src in self.group_b and dst in self.group_a
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one run, as data.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the injector's fault-decision RNG (independent from the
+        workload seed, so the same faults can be replayed against
+        different schedules and vice versa).
+    default_channel:
+        Message-fault spec applied to every channel without an override.
+    channels:
+        ``(src, dst) -> ChannelFaultSpec`` overrides for specific directed
+        channels.
+    crashes:
+        ``proc -> sim time``: the process halts permanently at that time
+        (fail-stop; no further events, in-flight messages to it are lost).
+    stalls:
+        ``proc -> (start, duration)``: the process takes no steps during
+        the window; messages queue and it resumes afterwards.
+    partitions:
+        Timed two-group network partitions.
+    """
+
+    seed: int = 0
+    default_channel: ChannelFaultSpec = field(default_factory=ChannelFaultSpec)
+    channels: Dict[Tuple[int, int], ChannelFaultSpec] = field(default_factory=dict)
+    crashes: Dict[int, float] = field(default_factory=dict)
+    stalls: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    partitions: Tuple[Partition, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "channels", dict(self.channels))
+        object.__setattr__(self, "crashes", dict(self.crashes))
+        object.__setattr__(self, "stalls", dict(self.stalls))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        for proc, t in self.crashes.items():
+            if t < 0:
+                raise FaultPlanError(f"crash time for process {proc} is negative")
+        for proc, (start, dur) in self.stalls.items():
+            if start < 0 or dur <= 0:
+                raise FaultPlanError(
+                    f"stall for process {proc} needs start >= 0 and duration > 0"
+                )
+
+    def spec_for(self, src: int, dst: int) -> ChannelFaultSpec:
+        return self.channels.get((src, dst), self.default_channel)
+
+    @property
+    def quiet(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.default_channel.quiet
+            and all(s.quiet for s in self.channels.values())
+            and not self.crashes
+            and not self.stalls
+            and not self.partitions
+        )
+
+    @staticmethod
+    def lossy(
+        loss: float,
+        seed: int = 0,
+        scope: str = "control",
+        duplicate: float = 0.0,
+        crashes: Optional[Dict[int, float]] = None,
+    ) -> "FaultPlan":
+        """The common chaos shape: uniform loss (plus optional duplication)
+        on every channel, and optional crash times."""
+        return FaultPlan(
+            seed=seed,
+            default_channel=ChannelFaultSpec(
+                drop_rate=loss, duplicate_rate=duplicate, scope=scope
+            ),
+            crashes=dict(crashes or {}),
+        )
+
+    def describe(self) -> str:
+        parts: List[str] = [f"seed={self.seed}"]
+        if not self.default_channel.quiet:
+            d = self.default_channel
+            parts.append(
+                f"default(drop={d.drop_rate}, dup={d.duplicate_rate}, "
+                f"spike={d.delay_spike_rate}x{d.delay_spike}, "
+                f"reorder={d.reorder_rate}, scope={d.scope})"
+            )
+        if self.channels:
+            parts.append(f"{len(self.channels)} channel override(s)")
+        if self.crashes:
+            parts.append(
+                "crashes " + ", ".join(
+                    f"P{p}@{t:g}" for p, t in sorted(self.crashes.items())
+                )
+            )
+        if self.stalls:
+            parts.append(
+                "stalls " + ", ".join(
+                    f"P{p}@{s:g}+{d:g}" for p, (s, d) in sorted(self.stalls.items())
+                )
+            )
+        if self.partitions:
+            parts.append(f"{len(self.partitions)} partition window(s)")
+        return "FaultPlan(" + "; ".join(parts) + ")"

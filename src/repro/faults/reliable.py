@@ -1,0 +1,286 @@
+"""An ack/retransmit wrapper for control messages.
+
+The paper's control plane assumes reliable channels.  Under a fault plan
+that drops or duplicates messages, controllers instead send *logical*
+control messages through a :class:`ReliableControlChannel`:
+
+* every logical message gets a sequence number and is retransmitted on a
+  timeout with exponential backoff and jitter, up to a bounded number of
+  retries (then the registered give-up callback runs -- the hook the
+  scapegoat controller uses to re-route a handoff around a dead peer);
+* the receiver acknowledges every copy (acks are lossy too, so duplicates
+  of the data imply re-acks) and suppresses duplicate deliveries by
+  sequence number, so the wrapped protocol sees exactly-once semantics;
+* the induced control arrow is recorded once, on the first accepted copy,
+  keeping the recorded deposet's causality sound under retransmission.
+
+The channel deliberately does **not** wrap application messages: the
+paper's model leaves those to the application, and the controllers must
+survive on their own channels (cf. DDB's self-surviving debug plane).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set
+
+import numpy as np
+
+from repro.errors import ControlChannelError
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
+from repro.sim.kernel import Timer
+
+__all__ = ["RetryPolicy", "ControlDelivery", "ReliableControlChannel"]
+
+_SENT = METRICS.counter("ctl.reliable_sent")
+_RETRANSMITS = METRICS.counter("ctl.retransmits")
+_ACKS = METRICS.counter("ctl.acks")
+_DUP_SUPPRESSED = METRICS.counter("ctl.dup_suppressed")
+_GIVE_UPS = METRICS.counter("ctl.give_ups")
+_RTT = METRICS.histogram("ctl.rtt")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retransmission tuning knobs.
+
+    ``timeout`` should exceed one round trip (``2T`` in the paper's delay
+    model) or every message is retransmitted at least once; the default
+    suits ``T = 1``.  The ``k``-th retransmission fires after
+    ``timeout * backoff**k``, stretched by up to ``±jitter`` (a fraction),
+    so synchronised retry storms decorrelate.
+    """
+
+    timeout: float = 3.0
+    backoff: float = 2.0
+    jitter: float = 0.25
+    max_retries: int = 8
+
+    def __post_init__(self):
+        if self.timeout <= 0:
+            raise ControlChannelError(f"timeout must be > 0, got {self.timeout}")
+        if self.backoff < 1.0:
+            raise ControlChannelError(f"backoff must be >= 1, got {self.backoff}")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ControlChannelError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.max_retries < 0:
+            raise ControlChannelError(f"max_retries must be >= 0")
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        base = self.timeout * (self.backoff ** attempt)
+        if self.jitter:
+            base *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return base
+
+
+@dataclass(frozen=True)
+class ControlDelivery:
+    """What the wrapped protocol sees: one exactly-once logical delivery."""
+
+    src: int
+    dst: int
+    payload: Any
+    tag: Optional[str]
+    delivered_at: float
+    seq: int
+
+
+@dataclass
+class _Pending:
+    src: int
+    dst: int
+    frame: Dict[str, Any]
+    tag: Optional[str]
+    attempts: int = 0
+    first_sent: float = 0.0
+    timer: Optional[Timer] = None
+    sent_ev: Any = None
+    on_give_up: Optional[Callable[["_Pending"], None]] = None
+
+
+class ReliableControlChannel:
+    """Exactly-once logical control messaging over lossy channels.
+
+    One channel per run (it simulates every process's sender/receiver
+    state; the per-process views never mix: sequence numbers are global
+    but dedup sets are per destination).
+    """
+
+    def __init__(self, system, policy: Optional[RetryPolicy] = None, seed: int = 0):
+        self.system = system
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.rng = np.random.default_rng(seed)
+        self._next_seq = 0
+        self._pending: Dict[int, _Pending] = {}
+        self._seen: Dict[int, Set[int]] = {}
+        #: per-run stats for reports (the METRICS registry is process-wide)
+        self.counts: Dict[str, int] = {
+            "sent": 0, "retransmits": 0, "acks": 0,
+            "dup_suppressed": 0, "give_ups": 0,
+        }
+        self._deliver: Optional[Callable[[ControlDelivery], None]] = None
+
+    def bind(self, deliver: Callable[[ControlDelivery], None]) -> None:
+        """Set the protocol-level delivery callback (once, at attach)."""
+        self._deliver = deliver
+
+    @property
+    def outstanding(self) -> int:
+        """Logical messages awaiting an ack (each holds one live timer)."""
+        return len(self._pending)
+
+    # -- sending -----------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        tag: Optional[str] = None,
+        record_mode: str = "entered",
+        on_give_up: Optional[Callable[[_Pending], None]] = None,
+    ) -> int:
+        """Ship one logical control message; returns its sequence number."""
+        if self._deliver is None:
+            raise ControlChannelError("bind() a delivery callback before send()")
+        seq = self._next_seq
+        self._next_seq += 1
+        frame = {
+            "kind": "data",
+            "seq": seq,
+            "src": src,
+            "dst": dst,
+            "payload": payload,
+            "tag": tag,
+            "src_state": self.system.recorder.current_state(src),
+            "record_mode": record_mode,
+        }
+        pending = _Pending(
+            src=src, dst=dst, frame=frame, tag=tag,
+            first_sent=self.system.queue.now, on_give_up=on_give_up,
+        )
+        self._pending[seq] = pending
+        self.counts["sent"] += 1
+        _SENT.inc()
+        self._transmit(pending)
+        return seq
+
+    def _transmit(self, pending: _Pending) -> None:
+        seq = pending.frame["seq"]
+        if TRACER.enabled:
+            pending.sent_ev = TRACER.event(
+                "ctl.send", proc=pending.src, dst=pending.dst, tag=pending.tag,
+                src_state=pending.frame["src_state"], seq=seq,
+                attempt=pending.attempts, sim_time=self.system.queue.now,
+                flow=f"rctl-{seq}-{pending.attempts}",
+            )
+        self.system.network.send(
+            pending.src, pending.dst, dict(pending.frame), self._on_frame,
+            tag=pending.tag, control=True,
+        )
+        delay = self.policy.delay(pending.attempts, self.rng)
+        pending.timer = self.system.queue.schedule(
+            delay, lambda: self._on_timeout(seq)
+        )
+
+    def _on_timeout(self, seq: int) -> None:
+        pending = self._pending.get(seq)
+        if pending is None:
+            return  # acked in the meantime
+        if self.system.is_crashed(pending.src):
+            # the sender (and its co-located controller) died: stop
+            del self._pending[seq]
+            return
+        pending.attempts += 1
+        if pending.attempts > self.policy.max_retries:
+            del self._pending[seq]
+            self.counts["give_ups"] += 1
+            _GIVE_UPS.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "ctl.give_up", proc=pending.src, dst=pending.dst, seq=seq,
+                    attempts=pending.attempts, sim_time=self.system.queue.now,
+                )
+            if pending.on_give_up is not None:
+                pending.on_give_up(pending)
+            return
+        self.counts["retransmits"] += 1
+        _RETRANSMITS.inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "ctl.retransmit", proc=pending.src, dst=pending.dst, seq=seq,
+                attempt=pending.attempts, sim_time=self.system.queue.now,
+            )
+        self._transmit(pending)
+
+    # -- receiving ---------------------------------------------------------
+
+    def _on_frame(self, delivery) -> None:
+        frame = delivery.payload
+        if frame["kind"] == "ack":
+            self._on_ack(frame)
+            return
+        seq, src, dst = frame["seq"], frame["src"], frame["dst"]
+        if self.system.is_crashed(dst):
+            if self.system.faults is not None:
+                self.system.faults.note_delivery_to_crashed(
+                    src, dst, True, self.system.queue.now
+                )
+            return
+        # ack every copy: the previous ack may itself have been lost
+        self.system.network.send(
+            dst, src, {"kind": "ack", "seq": seq, "src": dst, "dst": src},
+            self._on_frame, tag="ctl-ack", control=True,
+        )
+        seen = self._seen.setdefault(dst, set())
+        if seq in seen:
+            self.counts["dup_suppressed"] += 1
+            _DUP_SUPPRESSED.inc()
+            if TRACER.enabled:
+                TRACER.event(
+                    "ctl.dup_suppressed", proc=dst, src=src, seq=seq,
+                    sim_time=self.system.queue.now,
+                )
+            return
+        seen.add(seq)
+        pending = self._pending.get(seq)
+        if TRACER.enabled:
+            TRACER.event(
+                "ctl.deliver", proc=dst, src=src, tag=frame["tag"], seq=seq,
+                cause=pending.sent_ev if pending is not None else None,
+                src_state=frame["src_state"], sim_time=self.system.queue.now,
+                flow=(
+                    pending.sent_ev.fields["flow"]
+                    if pending is not None and pending.sent_ev is not None
+                    else f"rctl-{seq}"
+                ),
+            )
+        self.system.control_arrow(
+            src, dst, frame["src_state"], mode=frame["record_mode"],
+            tag=frame["tag"],
+        )
+        self._deliver(
+            ControlDelivery(
+                src=src, dst=dst, payload=frame["payload"], tag=frame["tag"],
+                delivered_at=self.system.queue.now, seq=seq,
+            )
+        )
+
+    def _on_ack(self, frame: Dict[str, Any]) -> None:
+        pending = self._pending.pop(frame["seq"], None)
+        if pending is None:
+            return  # duplicate or late ack
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.counts["acks"] += 1
+        _ACKS.inc()
+        _RTT.observe(self.system.queue.now - pending.first_sent)
+        if TRACER.enabled:
+            TRACER.event(
+                "ctl.ack", proc=pending.src, dst=pending.dst,
+                seq=frame["seq"], sim_time=self.system.queue.now,
+            )
+
+    def summary(self) -> Dict[str, int]:
+        return dict(self.counts)

@@ -20,12 +20,20 @@ class AntiTokenMutex(OnlineDisjunctiveControl):
     messages and zero delay.
     """
 
-    def __init__(self, n: int, strategy: str = "unicast", peer_selection: str = "ring", seed: int = 0):
+    def __init__(
+        self,
+        n: int,
+        strategy: str = "unicast",
+        peer_selection: str = "ring",
+        seed: int = 0,
+        **fault_tolerance: Any,
+    ):
         conditions = [
             (lambda vars, _i=i: not vars.get(CS_VAR, False)) for i in range(n)
         ]
         super().__init__(
-            conditions, strategy=strategy, peer_selection=peer_selection, seed=seed
+            conditions, strategy=strategy, peer_selection=peer_selection,
+            seed=seed, **fault_tolerance,
         )
         self.k = n - 1
         self.entries = 0

@@ -9,8 +9,10 @@ check (never more than ``k`` inside).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.faults.plan import FaultPlan
+from repro.faults.reliable import RetryPolicy
 from repro.mutex.antitoken import AntiTokenMutex
 from repro.mutex.base import CSGuardBase
 from repro.mutex.central import CentralKMutex
@@ -40,13 +42,22 @@ def make_cs_program(cs_count: int, think_time: float, cs_time: float):
     return program
 
 
-def _make_guard(name: str, n: int, k: int, seed: int):
+def _make_guard(name: str, n: int, k: int, seed: int, ft: Dict[str, object]):
     if name == "antitoken":
-        return AntiTokenMutex(n, strategy="unicast", peer_selection="ring", seed=seed)
+        return AntiTokenMutex(
+            n, strategy="unicast", peer_selection="ring", seed=seed, **ft
+        )
     if name == "antitoken-random":
-        return AntiTokenMutex(n, strategy="unicast", peer_selection="random", seed=seed)
+        return AntiTokenMutex(
+            n, strategy="unicast", peer_selection="random", seed=seed, **ft
+        )
     if name == "antitoken-broadcast":
-        return AntiTokenMutex(n, strategy="broadcast", seed=seed)
+        return AntiTokenMutex(n, strategy="broadcast", seed=seed, **ft)
+    if ft.get("reliable") or ft.get("lease_timeout") is not None:
+        raise ValueError(
+            f"fault-tolerant control (reliable/lease) only applies to the "
+            f"anti-token family, not {name!r}"
+        )
     if name == "central":
         return CentralKMutex(k)
     if name == "raymond":
@@ -75,17 +86,39 @@ def run_mutex_workload(
     jitter: float = 0.0,
     k: int = -1,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    reliable: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    lease_timeout: Optional[float] = None,
+    lease_interval: Optional[float] = None,
+    handoff_timeout: Optional[float] = None,
 ) -> MutexReport:
     """Run one workload under one algorithm and collect the E7/E8 metrics.
 
     ``k`` defaults to ``n - 1`` (the paper's case); the anti-token family
     only supports that value.
+
+    ``faults`` injects a :class:`~repro.faults.plan.FaultPlan` into the
+    run; ``reliable``/``retry``/``lease_timeout``/``lease_interval``/
+    ``handoff_timeout`` harden the anti-token control plane against it
+    (experiment E13).
     """
     if k < 0:
         k = n - 1
     if algorithm.startswith("antitoken") and k != n - 1:
         raise ValueError("the anti-token strategy is inherently k = n-1")
-    guard = _make_guard(algorithm, n, k, seed)
+    ft: Dict[str, object] = {}
+    if reliable:
+        ft["reliable"] = True
+        if retry is not None:
+            ft["retry"] = retry
+        if handoff_timeout is not None:
+            ft["handoff_timeout"] = handoff_timeout
+    if lease_timeout is not None:
+        ft["lease_timeout"] = lease_timeout
+        if lease_interval is not None:
+            ft["lease_interval"] = lease_interval
+    guard = _make_guard(algorithm, n, k, seed, ft)
     system = System(
         [make_cs_program(cs_per_proc, think_time, cs_time) for _ in range(n)],
         start_vars=[{"cs": False} for _ in range(n)],
@@ -93,6 +126,7 @@ def run_mutex_workload(
         jitter=jitter,
         guard=guard,
         seed=seed,
+        faults=faults,
     )
     with TRACER.span("mutex.workload", algorithm=algorithm, n=n, k=k) as span:
         result = system.run()
@@ -111,6 +145,7 @@ def run_mutex_workload(
     else:  # pragma: no cover - all algorithms covered above
         entries, response_times, max_concurrent = 0, [], 0
     _ENTRIES.inc(entries)
+    channel = getattr(guard, "channel", None)
     return MutexReport(
         algorithm=algorithm,
         n=n,
@@ -122,4 +157,9 @@ def run_mutex_workload(
         max_concurrent_cs=max_concurrent,
         violations=violations,
         deadlocked=result.deadlocked,
+        crashed=dict(result.crashed),
+        faults=dict(result.faults),
+        channel=channel.summary() if channel is not None else {},
+        lease_regens=getattr(guard, "lease_regens", 0),
+        deposet=result.deposet,
     )

@@ -11,7 +11,10 @@ global states that preceded the failure.
 
 from repro.recovery.checkpoints import CheckpointPlan, periodic_checkpoints
 from repro.recovery.recovery_line import (
+    CrashRecovery,
     RecoveryAnalysis,
+    crash_failure_points,
+    crash_recovery,
     recovery_line,
     recover_and_replay,
 )
@@ -19,7 +22,10 @@ from repro.recovery.recovery_line import (
 __all__ = [
     "CheckpointPlan",
     "periodic_checkpoints",
+    "CrashRecovery",
     "RecoveryAnalysis",
+    "crash_failure_points",
+    "crash_recovery",
     "recovery_line",
     "recover_and_replay",
 ]

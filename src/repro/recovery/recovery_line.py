@@ -25,17 +25,25 @@ computation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.control_relation import ControlRelation
 from repro.core.offline import control_disjunctive
 from repro.predicates.disjunctive import DisjunctivePredicate
 from repro.recovery.checkpoints import CheckpointPlan
 from repro.replay.engine import ReplayResult, replay
+from repro.sim.system import RunResult
 from repro.trace.deposet import Deposet
 from repro.trace.states import MessageArrow
 
-__all__ = ["RecoveryAnalysis", "recovery_line", "recover_and_replay"]
+__all__ = [
+    "RecoveryAnalysis",
+    "recovery_line",
+    "recover_and_replay",
+    "crash_failure_points",
+    "crash_recovery",
+    "CrashRecovery",
+]
 
 
 @dataclass(frozen=True)
@@ -131,3 +139,82 @@ def recover_and_replay(
     result = control_disjunctive(dep, safety, seed=seed)
     replayed = replay(dep, result.control, seed=seed)
     return analysis, result.control, replayed
+
+
+@dataclass(frozen=True)
+class CrashRecovery:
+    """Outcome of a crash-triggered rollback and controlled re-execution."""
+
+    #: crash sim times by process, as reported by the failed run
+    crash_times: Dict[int, float]
+    #: failure points the coordinator snapshot maps the crash to
+    failure: Tuple[int, ...]
+    analysis: RecoveryAnalysis
+    control: ControlRelation
+    replayed: ReplayResult
+
+
+def crash_failure_points(
+    dep: Deposet, crashed: Dict[int, float]
+) -> Tuple[int, ...]:
+    """Map fail-stop crash times to per-process failure points.
+
+    The recovery coordinator acts when the *first* crash is detected, so
+    every process's failure point is the last state it had reached by that
+    instant (per the deposet's recorded timestamps).  A crashed process's
+    history already ends at its crash, which caps its own entry.  Without
+    timestamps (a hand-built deposet) the final states are used.
+    """
+    if not crashed:
+        raise ValueError("no crashed processes: nothing to map")
+    t_detect = min(crashed.values())
+    points: List[int] = []
+    for i in range(dep.n):
+        last = dep.state_counts[i] - 1
+        if dep.timestamps is None:
+            points.append(last)
+            continue
+        row = dep.timestamps[i]
+        idx = 0
+        for k, t in enumerate(row):
+            if t <= t_detect:
+                idx = k
+        points.append(min(idx, last))
+    return tuple(points)
+
+
+def crash_recovery(
+    result: RunResult,
+    plan: CheckpointPlan,
+    safety: DisjunctivePredicate,
+    seed: int = 0,
+    step: float = 0.1,
+) -> CrashRecovery:
+    """Roll a *crashed* run back to its maximal recovery line and re-execute
+    under predicate control.
+
+    The fault injector's fail-stop crashes are the failure model the
+    recovery literature assumes; this is the bridge: the failed run's
+    recorded deposet plus its crash times give the failure points, the
+    rollback-propagation fixpoint gives the recovery line, and off-line
+    predicate control makes the re-execution provably avoid the bad global
+    states -- the paper's "control is required when the computation is
+    known a priori" application, now triggered by an actual crash.
+    """
+    if not result.crashed:
+        raise ValueError(
+            "the run recorded no crashes; use recover_and_replay for "
+            "failure points chosen by hand"
+        )
+    dep = result.deposet
+    failure = crash_failure_points(dep, result.crashed)
+    analysis = recovery_line(dep, plan, failure)
+    controlled = control_disjunctive(dep, safety, seed=seed)
+    replayed = replay(dep, controlled.control, seed=seed, step=step)
+    return CrashRecovery(
+        crash_times=dict(result.crashed),
+        failure=failure,
+        analysis=analysis,
+        control=controlled.control,
+        replayed=replayed,
+    )

@@ -2,17 +2,27 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.causality.relations import StateRef
 from repro.core.control_relation import ControlRelation
 from repro.errors import ReplayDeadlockError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.sim.system import ProcessContext, RunResult, System, TransitionGuard
 from repro.trace.deposet import Deposet
 from repro.trace.states import EventKind
 
 __all__ = ["replay", "ReplayResult"]
+
+_RECOVERED = METRICS.counter("replay.tokens_recovered")
+
+#: resend attempts per lost token before the progress watchdog declares it
+#: unrecoverable and lets the run drain into a diagnosed deadlock
+MAX_TOKEN_RESENDS = 16
 
 
 @dataclass
@@ -25,13 +35,29 @@ class ReplayResult:
     run: RunResult
     #: control messages used (== arrows actually enforced)
     control_messages: int
+    #: control tokens the progress watchdog resent after loss
+    recovered_tokens: int = 0
 
 
 class _ReplayGuard(TransitionGuard):
     """Blocks each process before entering a state with pending incoming
-    control arrows; emits control tokens when source states are left."""
+    control arrows; emits control tokens when source states are left.
 
-    def __init__(self, arrows: List[Tuple[StateRef, StateRef]]):
+    With a ``progress_timeout``, a watchdog fires whenever a full window
+    passes with no committed step: a token that was *sent* (its source
+    state was left) but never arrived was lost in transit and is resent --
+    the recorded arrow keeps the source state captured at the original
+    send, so the recovered arrow equals the one the fault erased.  A
+    missing token that was never sent means the source process itself is
+    stuck: genuine interference, which no resend can fix.
+    """
+
+    def __init__(
+        self,
+        arrows: List[Tuple[StateRef, StateRef]],
+        progress_timeout: Optional[float] = None,
+    ):
+        self.arrows = arrows
         #: tokens required before entering (proc, state): set of arrow ids
         self.need: Dict[Tuple[int, int], Set[int]] = {}
         #: tokens to send when (proc, state) is left: list of (id, dst proc)
@@ -41,6 +67,18 @@ class _ReplayGuard(TransitionGuard):
         for aid, (src, dst) in enumerate(arrows):
             self.need.setdefault((dst.proc, dst.index), set()).add(aid)
             self.out.setdefault((src.proc, src.index), []).append((aid, dst.proc))
+        self.progress_timeout = progress_timeout
+        #: arrow id -> source state index captured at the original send
+        self.sent: Dict[int, int] = {}
+        self.commits = 0
+        self.recovered_tokens = 0
+        self._last_commits = -1
+        self._resends: Dict[int, int] = {}
+
+    def attach(self, system) -> None:
+        super().attach(system)
+        if self.progress_timeout is not None:
+            system.queue.schedule(self.progress_timeout, self._progress_check)
 
     def request_transition(self, proc, updates, next_vars, commit):
         target = (proc, self.system.recorder.current_state(proc) + 1)
@@ -55,10 +93,12 @@ class _ReplayGuard(TransitionGuard):
         left = (proc, self.system.recorder.current_state(proc))
         # Leaving `left` completes it: release its outgoing control arrows.
         for aid, dst in self.out.get(left, ()):
+            self.sent[aid] = left[1]
             self.system.send_control(
                 proc, dst, aid, self._on_token, tag="replay-ctl",
                 record_mode="exact",
             )
+        self.commits += 1
         commit()
 
     def _on_token(self, delivery) -> None:
@@ -71,6 +111,66 @@ class _ReplayGuard(TransitionGuard):
         if not missing:
             del self.pending[delivery.dst]
             run()
+
+    # -- the progress watchdog ---------------------------------------------
+
+    def _lost_tokens(self) -> Set[int]:
+        """Missing tokens whose source state *was* left: lost in transit."""
+        lost: Set[int] = set()
+        for missing, _resume in self.pending.values():
+            lost |= {aid for aid in missing if aid in self.sent}
+        return lost
+
+    def _progress_check(self) -> None:
+        if all(
+            self.system.is_finished(i) or self.system.is_crashed(i)
+            for i in range(self.system.n)
+        ):
+            return
+        if self.commits != self._last_commits:
+            # something moved this window: keep watching
+            self._last_commits = self.commits
+        else:
+            recoverable = {
+                aid for aid in self._lost_tokens()
+                if self._resends.get(aid, 0) < MAX_TOKEN_RESENDS
+            }
+            if not recoverable:
+                # nothing a resend can fix (genuine interference, or the
+                # resend budget is spent): stand down and let the run
+                # drain into the diagnosed deadlock
+                return
+            for aid in sorted(recoverable):
+                self._resend(aid)
+        self.system.queue.schedule(self.progress_timeout, self._progress_check)
+
+    def _resend(self, aid: int) -> None:
+        src, dst = self.arrows[aid]
+        src_state = self.sent[aid]
+        self._resends[aid] = self._resends.get(aid, 0) + 1
+        self.recovered_tokens += 1
+        _RECOVERED.inc()
+        if TRACER.enabled:
+            TRACER.event(
+                "replay.token_recovered", proc=src.proc, dst=dst.proc,
+                arrow=aid, attempt=self._resends[aid],
+                sim_time=self.system.queue.now,
+            )
+
+        def on_arrival(delivery) -> None:
+            if delivery.payload in self.got:
+                return  # an earlier copy got through after all
+            # record the arrow with the source state of the original send,
+            # not the resend instant -- the recovered arrow must equal the
+            # one the fault erased
+            self.system.control_arrow(
+                src.proc, dst.proc, src_state, mode="exact", tag="replay-ctl"
+            )
+            self._on_token(delivery)
+
+        self.system.network.send(
+            src.proc, dst.proc, aid, on_arrival, tag="replay-ctl", control=True
+        )
 
 
 def _make_program(dep: Deposet, proc: int, step: float):
@@ -105,6 +205,8 @@ def replay(
     jitter: float = 0.0,
     seed: int = 0,
     step: float = 0.1,
+    faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+    progress_timeout: Optional[float] = None,
 ) -> ReplayResult:
     """Re-execute ``dep`` under ``control``.
 
@@ -119,6 +221,15 @@ def replay(
     step:
         Simulated compute time before each replayed event (spreads events
         in time so the trace is readable; 0 for instantaneous replays).
+    faults:
+        Optional fault plan/injector the replay runs under -- replays of a
+        recorded computation can themselves meet lossy channels.
+    progress_timeout:
+        Arm the progress watchdog: whenever this much sim time passes with
+        no committed step, control tokens that were sent but lost in
+        transit are resent (up to ``MAX_TOKEN_RESENDS`` each).  Pick it
+        larger than the worst-case token flight time (one channel delay
+        plus any fault-plan delay spike).
 
     Returns
     -------
@@ -131,10 +242,13 @@ def replay(
     Raises
     ------
     ReplayDeadlockError
-        When the combined control relation interferes with the
-        computation's causality, which manifests operationally as a
-        deadlock.  The error's ``blocked`` attribute says which processes
-        were stuck and why.
+        When the replay cannot finish.  The error distinguishes the two
+        causes: ``interference`` lists stalled arrows whose source state
+        was never left (the control relation fights the computation's
+        causality -- no retransmission can help), ``lost_tokens`` lists
+        arrows whose token was sent but never arrived (a channel fault ate
+        it and the resend budget ran out).  ``blocked`` says which
+        processes were stuck and why.
     """
     arrows: List[Tuple[StateRef, StateRef]] = [
         (StateRef(*a), StateRef(*b)) for a, b in dep.control_arrows
@@ -142,7 +256,7 @@ def replay(
     if control is not None:
         arrows.extend(control.arrows)
 
-    guard = _ReplayGuard(arrows)
+    guard = _ReplayGuard(arrows, progress_timeout=progress_timeout)
     system = System(
         [_make_program(dep, i, step) for i in range(dep.n)],
         start_vars=[dict(dep.proc_states(i)[0]) for i in range(dep.n)],
@@ -151,16 +265,46 @@ def replay(
         guard=guard,
         seed=seed,
         proc_names=list(dep.proc_names),
+        faults=faults,
     )
     result = system.run()
     if result.deadlocked:
+        lost: List[Tuple[int, StateRef, StateRef]] = []
+        interference: List[Tuple[int, StateRef, StateRef]] = []
+        for proc in sorted(guard.pending):
+            missing, _resume = guard.pending[proc]
+            for aid in sorted(missing):
+                src, dst = arrows[aid]
+                (lost if aid in guard.sent else interference).append(
+                    (aid, src, dst)
+                )
+        if interference and not lost:
+            detail = "control relation interferes with the computation's causality"
+        elif lost and not interference:
+            detail = "control token(s) lost in transit and not recovered"
+        else:
+            detail = "lost control tokens and causal interference"
+        stalled = "; ".join(
+            [
+                f"arrow {aid}: ({s.proc},{s.index}) -> ({d.proc},{d.index})"
+                f" [never released]"
+                for aid, s, d in interference
+            ]
+            + [
+                f"arrow {aid}: ({s.proc},{s.index}) -> ({d.proc},{d.index})"
+                f" [sent, lost]"
+                for aid, s, d in lost
+            ]
+        )
         raise ReplayDeadlockError(
-            "controlled replay deadlocked (control relation interferes with "
-            "the computation's causality)",
+            f"controlled replay deadlocked ({detail}): {stalled}",
             blocked=result.blocked,
+            lost_tokens=lost,
+            interference=interference,
         )
     return ReplayResult(
         deposet=result.deposet,
         run=result,
         control_messages=result.control_messages,
+        recovered_tokens=guard.recovered_tokens,
     )

@@ -13,7 +13,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
 
-__all__ = ["EventQueue"]
+__all__ = ["EventQueue", "Timer"]
 
 #: kernel callbacks executed, aggregated once per ``run()`` drain so the
 #: per-event loop stays untouched
@@ -21,40 +21,91 @@ _KERNEL_EVENTS = METRICS.counter("kernel.events")
 _KERNEL_RUNS = METRICS.counter("kernel.runs")
 
 
-class EventQueue:
-    """A priority queue of ``(time, seq, callback)`` entries."""
+class Timer:
+    """Handle for a scheduled callback; supports lazy cancellation.
 
-    __slots__ = ("now", "_heap", "_seq", "_popped")
+    Cancelled entries stay in the heap (removal would be O(n)) and are
+    skipped when popped; the queue tracks how many are pending so
+    :attr:`EventQueue.active` stays exact.
+    """
+
+    __slots__ = ("_queue", "cancelled", "fired")
+
+    def __init__(self, queue: "EventQueue"):
+        self._queue = queue
+        self.cancelled = False
+        self.fired = False
+
+    @property
+    def alive(self) -> bool:
+        return not (self.cancelled or self.fired)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        if self.alive:
+            self.cancelled = True
+            self._queue._cancelled_pending += 1
+
+
+class EventQueue:
+    """A priority queue of ``(time, seq, timer, callback)`` entries."""
+
+    __slots__ = ("now", "_heap", "_seq", "_popped", "_cancelled_pending")
 
     def __init__(self):
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[float, int, Timer, Callable[[], None]]] = []
         self._seq = 0
         self._popped = 0
+        self._cancelled_pending = 0
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at ``now + delay`` (delay >= 0)."""
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` at ``now + delay`` (delay >= 0); returns a
+        cancellable :class:`Timer` handle."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` at absolute sim time ``time`` (>= now).
+
+        Callers that must order entries against an exact earlier timestamp
+        (the FIFO channel clamp) use this instead of :meth:`schedule`:
+        round-tripping through ``now + (time - now)`` can round below
+        ``time`` and break the ordering ties rely on.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        timer = Timer(self)
+        heapq.heappush(self._heap, (time, self._seq, timer, callback))
         self._seq += 1
+        return timer
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    @property
+    def active(self) -> int:
+        """Scheduled entries that will actually run (excludes cancelled)."""
+        return len(self._heap) - self._cancelled_pending
 
     @property
     def events_processed(self) -> int:
         return self._popped
 
     def step(self) -> bool:
-        """Pop and run the earliest callback; ``False`` when empty."""
-        if not self._heap:
-            return False
-        t, _, callback = heapq.heappop(self._heap)
-        self.now = t
-        self._popped += 1
-        callback()
-        return True
+        """Pop and run the earliest live callback; ``False`` when empty."""
+        while self._heap:
+            t, _, timer, callback = heapq.heappop(self._heap)
+            if timer.cancelled:
+                self._cancelled_pending -= 1
+                continue
+            timer.fired = True
+            self.now = t
+            self._popped += 1
+            callback()
+            return True
+        return False
 
     def run(self, max_events: Optional[int] = None, until: Optional[float] = None) -> None:
         """Drain the queue, optionally bounded by event count or sim time."""

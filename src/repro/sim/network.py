@@ -1,13 +1,20 @@
-"""Reliable asynchronous channels with configurable delay.
+"""Asynchronous channels with configurable delay and optional fault injection.
 
 Application messages and control messages travel on logically independent
 channels (the paper's control system uses its own channels), but share the
 same delay model so the on-line evaluation's ``T`` (average propagation
 delay) means the same thing for both.
+
+Channels are reliable by default.  With a
+:class:`~repro.faults.injector.FaultInjector` attached, each send is routed
+through the injector, which may drop, duplicate, delay-spike, hold back
+(reorder), or partition-drop it -- every such decision is seeded,
+deterministic, and emitted as an obs event.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -21,7 +28,13 @@ __all__ = ["Delivery", "Network"]
 
 @dataclass
 class Delivery:
-    """A message in flight / delivered."""
+    """A message in flight / delivered.
+
+    ``delivered_at`` is only meaningful once the message has arrived;
+    reading it earlier (or on a message the fault injector dropped) raises
+    :class:`~repro.errors.SimulationError` instead of silently yielding
+    ``nan``.
+    """
 
     src: int
     dst: int
@@ -29,11 +42,25 @@ class Delivery:
     tag: Optional[str]
     control: bool
     sent_at: float
-    delivered_at: float = field(default=float("nan"))
+    _delivered_at: float = field(default=float("nan"), repr=False)
+
+    @property
+    def delivered(self) -> bool:
+        """Has this message arrived?  (``False`` for in-flight or dropped.)"""
+        return not math.isnan(self._delivered_at)
+
+    @property
+    def delivered_at(self) -> float:
+        if math.isnan(self._delivered_at):
+            raise SimulationError(
+                f"message {self.src} -> {self.dst} (tag={self.tag!r}) has "
+                f"not been delivered; delivered_at is undefined"
+            )
+        return self._delivered_at
 
 
 class Network:
-    """Point-to-point reliable channels over the event queue.
+    """Point-to-point channels over the event queue.
 
     Parameters
     ----------
@@ -44,13 +71,18 @@ class Network:
         ``jitter == 0``, else uniform in ``mean_delay * [1-jitter, 1+jitter]``
         (keeping the mean at ``T``).
     rng:
-        Seeded generator; required when ``jitter > 0``.
+        Seeded generator; required when ``jitter > 0`` (randomised delays
+        without a seeded generator would silently break run determinism, so
+        the omission is rejected at construction time).
     fifo:
         When true, each directed channel delivers in send order (a later
         message never overtakes an earlier one on the same ``src -> dst``
         pair; it is delayed to the earlier one's delivery time if the drawn
         delays would reorder them).  The paper's model places no ordering
         constraint, which is the default.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector` consulted on
+        every send.
     """
 
     def __init__(
@@ -60,20 +92,28 @@ class Network:
         jitter: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         fifo: bool = False,
+        faults: Optional["FaultInjector"] = None,
     ):
         if mean_delay < 0:
             raise SimulationError(f"negative mean delay {mean_delay}")
         if not (0.0 <= jitter <= 1.0):
             raise SimulationError(f"jitter must be in [0, 1], got {jitter}")
+        if jitter > 0.0 and rng is None:
+            raise SimulationError(
+                f"jitter={jitter} requires a seeded rng; pass "
+                f"rng=np.random.default_rng(seed) so runs stay reproducible"
+            )
         self.queue = queue
         self.mean_delay = mean_delay
         self.jitter = jitter
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.fifo = fifo
+        self.faults = faults
         self._last_arrival: dict = {}
         #: statistics
         self.app_messages_sent = 0
         self.control_messages_sent = 0
+        self.messages_lost = 0
 
     def _delay(self) -> float:
         if self.jitter == 0.0:
@@ -91,7 +131,13 @@ class Network:
         tag: Optional[str] = None,
         control: bool = False,
     ) -> Delivery:
-        """Ship a message; ``deliver`` runs at arrival time."""
+        """Ship a message; ``deliver`` runs at arrival time.
+
+        With a fault injector attached the message may be dropped (the
+        returned :class:`Delivery` then never reports ``delivered``),
+        duplicated (``deliver`` runs once per surviving copy), or delayed
+        beyond the channel's base model.
+        """
         if src == dst:
             raise SimulationError(f"process {src} sending to itself")
         delivery = Delivery(
@@ -103,17 +149,30 @@ class Network:
         else:
             self.app_messages_sent += 1
 
+        if self.faults is not None:
+            copies = self.faults.route(src, dst, control, self.queue.now, tag=tag)
+        else:
+            copies = (0.0,)
+        if not copies:
+            self.messages_lost += 1
+            return delivery
+
         def arrive() -> None:
-            delivery.delivered_at = self.queue.now
+            delivery._delivered_at = self.queue.now
             deliver(delivery)
 
-        delay = self._delay()
-        if self.fifo:
-            channel = (src, dst, control)
-            arrival = max(
-                self.queue.now + delay, self._last_arrival.get(channel, 0.0)
-            )
-            self._last_arrival[channel] = arrival
-            delay = arrival - self.queue.now
-        self.queue.schedule(delay, arrive)
+        for extra in copies:
+            delay = self._delay() + extra
+            if self.fifo:
+                channel = (src, dst, control)
+                arrival = max(
+                    self.queue.now + delay, self._last_arrival.get(channel, 0.0)
+                )
+                self._last_arrival[channel] = arrival
+                # schedule at the exact clamped arrival: converting back to
+                # a delay and re-adding ``now`` can round below an earlier
+                # message's arrival and reorder the channel
+                self.queue.schedule_at(arrival, arrive)
+            else:
+                self.queue.schedule(delay, arrive)
         return delivery

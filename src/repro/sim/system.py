@@ -20,11 +20,13 @@ just appears slow.  This is the paper's transparent controller hook.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Union
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
 from repro.sim.kernel import EventQueue
@@ -36,6 +38,7 @@ _SIM_RUNS = METRICS.counter("sim.runs")
 _SIM_APP_MSGS = METRICS.counter("sim.app_messages")
 _SIM_CTL_MSGS = METRICS.counter("sim.control_messages")
 _SIM_DEADLOCKS = METRICS.counter("sim.deadlocks")
+_SIM_CRASHED_RUNS = METRICS.counter("sim.crashed_runs")
 
 __all__ = ["System", "ProcessContext", "TransitionGuard", "Observer", "RunResult"]
 
@@ -192,10 +195,16 @@ class RunResult:
     control_messages: int
     deadlocked: bool
     blocked: Dict[int, str] = field(default_factory=dict)
+    #: processes that crashed (fail-stop), with their crash sim times
+    crashed: Dict[int, float] = field(default_factory=dict)
+    #: injected-fault counts for this run (empty without a fault plan)
+    faults: Dict[str, int] = field(default_factory=dict)
 
 
 class _ProcState:
-    __slots__ = ("gen", "inbox", "waiting_recv", "blocked_guard", "finished")
+    __slots__ = (
+        "gen", "inbox", "waiting_recv", "blocked_guard", "finished", "crashed",
+    )
 
     def __init__(self, gen: Generator):
         self.gen = gen
@@ -203,6 +212,7 @@ class _ProcState:
         self.waiting_recv: Optional[_Receive] = None
         self.blocked_guard = False
         self.finished = False
+        self.crashed = False
 
 
 class System:
@@ -228,6 +238,11 @@ class System:
     fifo:
         Per-channel FIFO delivery (the paper's default model does not
         require it; the protocols here do not either).
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` (or a ready-made
+        :class:`~repro.faults.injector.FaultInjector`): lossy channels,
+        crashes, stalls, partitions.  ``None`` keeps the paper's fault-free
+        model.
     """
 
     def __init__(
@@ -241,6 +256,7 @@ class System:
         proc_names: Optional[List[str]] = None,
         observers: Optional[List[Observer]] = None,
         fifo: bool = False,
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
     ):
         self.n = len(programs)
         if self.n == 0:
@@ -252,13 +268,19 @@ class System:
                 f"{len(start_vars)} start assignments for {self.n} processes"
             )
         self.queue = EventQueue()
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.faults = faults
         root = np.random.default_rng(seed)
         self.network = Network(
             self.queue, mean_delay=mean_delay, jitter=jitter,
             rng=np.random.default_rng(root.integers(2**63)),
             fifo=fifo,
+            faults=faults,
         )
         self.recorder = TraceRecorder(self.n, [dict(v) for v in start_vars])
+        self.crashed: Dict[int, float] = {}
+        self._stalled_until: Dict[int, float] = {}
         self.guard = guard if guard is not None else TransitionGuard()
         self.guard.attach(self)
         self.observers: List[Observer] = list(observers or [])
@@ -272,6 +294,8 @@ class System:
             ctx = ProcessContext(self, i, np.random.default_rng(root.integers(2**63)))
             self._contexts.append(ctx)
             self._procs.append(_ProcState(program(ctx)))
+        if self.faults is not None:
+            self.faults.attach(self)
 
     # -- driving one process ---------------------------------------------------
 
@@ -282,6 +306,14 @@ class System:
     def _advance(self, proc: int, value: Any) -> None:
         """Resume the program with ``value`` and dispatch its next command."""
         ps = self._procs[proc]
+        if ps.crashed:
+            return
+        resume_at = self._stalled_until.get(proc)
+        if resume_at is not None and resume_at > self.queue.now:
+            self.queue.schedule(
+                resume_at - self.queue.now, lambda: self._advance(proc, value)
+            )
+            return
         try:
             command = ps.gen.send(value)
         except StopIteration:
@@ -294,6 +326,49 @@ class System:
         hook = getattr(self.guard, "on_process_finished", None)
         if hook is not None:
             hook(proc)
+
+    # -- injected process faults -------------------------------------------------
+
+    def is_crashed(self, proc: int) -> bool:
+        return self._procs[proc].crashed
+
+    def is_finished(self, proc: int) -> bool:
+        return self._procs[proc].finished
+
+    def is_stalled(self, proc: int) -> bool:
+        return self._stalled_until.get(proc, 0.0) > self.queue.now
+
+    def fault_crash(self, proc: int) -> None:
+        """Fail-stop ``proc`` now: no further events, its in-flight and
+        queued messages are lost, the controller is notified."""
+        ps = self._procs[proc]
+        if ps.crashed or ps.finished:
+            return
+        ps.crashed = True
+        self.crashed[proc] = self.queue.now
+        ps.gen.close()
+        ps.inbox.clear()
+        ps.waiting_recv = None
+        hook = getattr(self.guard, "on_process_crashed", None)
+        if hook is not None:
+            hook(proc)
+
+    def fault_stall(self, proc: int, until: float) -> None:
+        """Pause ``proc`` until sim time ``until``; messages queue up and
+        every deferred step resumes afterwards."""
+        if self._procs[proc].crashed:
+            return
+        current = self._stalled_until.get(proc, 0.0)
+        if until <= current:
+            return
+        self._stalled_until[proc] = until
+        self.queue.schedule(until - self.queue.now, lambda: self._wake(proc))
+
+    def _wake(self, proc: int) -> None:
+        ps = self._procs[proc]
+        if ps.crashed or self.is_stalled(proc):
+            return
+        self._try_deliver(proc)
 
     def _notify(self, proc: int, kind: str, msg_uid: Optional[int] = None) -> None:
         index = self.recorder.current_state(proc)
@@ -339,6 +414,12 @@ class System:
         def commit() -> None:
             if committed[0]:
                 raise SimulationError(f"transition of process {proc} committed twice")
+            if ps.crashed:
+                return  # released after the crash: the step never happens
+            resume_at = self._stalled_until.get(proc)
+            if resume_at is not None and resume_at > self.queue.now:
+                self.queue.schedule(resume_at - self.queue.now, commit)
+                return
             committed[0] = True
             ps.blocked_guard = False
             self.recorder.record_event(proc, updates, self.queue.now)
@@ -371,12 +452,20 @@ class System:
     # -- message plumbing --------------------------------------------------------
 
     def _on_app_delivery(self, delivery: Delivery) -> None:
+        if self._procs[delivery.dst].crashed:
+            if self.faults is not None:
+                self.faults.note_delivery_to_crashed(
+                    delivery.src, delivery.dst, False, self.queue.now
+                )
+            return
         msg: _AppMessage = delivery.payload
         self._procs[delivery.dst].inbox.append(msg)
         self._try_deliver(delivery.dst)
 
     def _try_deliver(self, proc: int) -> None:
         ps = self._procs[proc]
+        if ps.crashed or self.is_stalled(proc):
+            return
         recv = ps.waiting_recv
         if recv is None or ps.blocked_guard:
             return
@@ -400,6 +489,22 @@ class System:
 
     # -- control-plane helpers (used by controllers/guards) -------------------------
 
+    def control_arrow(
+        self,
+        src: int,
+        dst: int,
+        src_state: int,
+        mode: str = "entered",
+        tag: Optional[str] = None,
+    ) -> None:
+        """Record the control arrow a delivered control message induces and
+        notify observers (shared by :meth:`send_control` and the reliable
+        control channel, which must record each logical message once even
+        when the transport retransmits it)."""
+        self.recorder.control_delivered(src, dst, src_state, mode=mode, tag=tag)
+        for obs in self.observers:
+            obs.on_control(src, dst, src_state)
+
     def send_control(
         self,
         src: int,
@@ -409,7 +514,11 @@ class System:
         tag: Optional[str] = None,
         record_mode: str = "entered",
     ) -> None:
-        """Ship a control message and record its induced control arrow."""
+        """Ship a control message and record its induced control arrow.
+
+        Deliveries to a crashed process are dropped: the controller is
+        co-located with its process, so fail-stop takes both down.
+        """
         src_state = self.recorder.current_state(src)
         sent_ev = None
         if TRACER.enabled:
@@ -420,17 +529,19 @@ class System:
             )
 
         def on_arrival(delivery: Delivery) -> None:
+            if self._procs[dst].crashed:
+                if self.faults is not None:
+                    self.faults.note_delivery_to_crashed(
+                        src, dst, True, self.queue.now
+                    )
+                return
             if TRACER.enabled and sent_ev is not None:
                 TRACER.event(
                     "ctl.deliver", proc=dst, cause=sent_ev, src=src, tag=tag,
                     src_state=src_state, sim_time=self.queue.now,
                     flow=sent_ev.fields["flow"],
                 )
-            self.recorder.control_delivered(
-                src, dst, src_state, mode=record_mode, tag=tag
-            )
-            for obs in self.observers:
-                obs.on_control(src, dst, src_state)
+            self.control_arrow(src, dst, src_state, mode=record_mode, tag=tag)
             deliver(delivery)
 
         self.network.send(src, dst, payload, on_arrival, tag=tag, control=True)
@@ -446,7 +557,7 @@ class System:
             obs.on_run_end()
         blocked: Dict[int, str] = {}
         for i, ps in enumerate(self._procs):
-            if ps.finished:
+            if ps.finished or ps.crashed:
                 continue
             if ps.blocked_guard:
                 blocked[i] = "blocked by controller"
@@ -460,6 +571,8 @@ class System:
         _SIM_CTL_MSGS.inc(self.network.control_messages_sent)
         if deadlocked:
             _SIM_DEADLOCKS.inc()
+        if self.crashed:
+            _SIM_CRASHED_RUNS.inc()
         return RunResult(
             deposet=self.recorder.build(self.proc_names),
             duration=self.queue.now,
@@ -468,4 +581,6 @@ class System:
             control_messages=self.network.control_messages_sent,
             deadlocked=deadlocked,
             blocked=blocked,
+            crashed=dict(self.crashed),
+            faults=self.faults.summary() if self.faults is not None else {},
         )

@@ -1,0 +1,149 @@
+"""Finish races: processes terminating while the controller still owes work.
+
+Coverage for ``_check_invariant`` and ``on_process_finished`` around the
+edges: a process can finish while it is the scapegoat, finish with
+requests still pending against its anti-token, or finish with its local
+predicate false (violating assumption A2), and the controller must keep
+the invariant ledger honest in every case.
+"""
+
+from repro.core.online import OnlineDisjunctiveControl
+from repro.detection import possibly_bad
+from repro.sim import System
+from repro.workloads import availability_predicate
+
+
+def up_down_program(cycles, down_time=1.0, up_time=3.0):
+    def program(ctx):
+        for _ in range(cycles):
+            yield ctx.compute(float(ctx.rng.uniform(0.5 * up_time, up_time)))
+            yield ctx.set(up=False)
+            yield ctx.compute(float(ctx.rng.uniform(0.5 * down_time, down_time)))
+            yield ctx.set(up=True)
+
+    return program
+
+
+def steady_program(cycles=3, tick=1.0):
+    # never goes down: finishes early, frozen true
+    def program(ctx):
+        for _ in range(cycles):
+            yield ctx.compute(tick)
+            yield ctx.set(up=True)
+
+    return program
+
+
+def ends_down_program(up_time=2.0):
+    # one availability dip as the very last step: finishes frozen false
+    def program(ctx):
+        yield ctx.compute(up_time)
+        yield ctx.set(up=False)
+
+    return program
+
+
+def _guard(n, seed=0):
+    return OnlineDisjunctiveControl(
+        [lambda v: bool(v.get("up", False)) for _ in range(n)], seed=seed,
+    )
+
+
+def test_early_finisher_frozen_true_can_carry_the_disjunction():
+    """One process finishes long before the rest; its frozen-true final
+    state remains a valid anti-token for the survivors."""
+    pred = availability_predicate(3, var="up")
+    for seed in range(6):
+        guard = _guard(3, seed=seed)
+        system = System(
+            [steady_program(2)] + [up_down_program(6) for _ in range(2)],
+            start_vars=[{"up": True} for _ in range(3)],
+            guard=guard,
+            seed=seed,
+            jitter=0.3,
+        )
+        result = system.run()
+        assert not result.deadlocked, f"seed {seed}"
+        assert guard.violations == [], f"seed {seed}"
+        assert possibly_bad(result.deposet, pred) is None, f"seed {seed}"
+
+
+def test_all_but_one_finish_while_survivor_keeps_cycling():
+    pred = availability_predicate(4, var="up")
+    for seed in range(4):
+        guard = _guard(4, seed=seed)
+        system = System(
+            [up_down_program(8)] + [steady_program(1) for _ in range(3)],
+            start_vars=[{"up": True} for _ in range(4)],
+            guard=guard,
+            seed=seed,
+        )
+        result = system.run()
+        assert not result.deadlocked, f"seed {seed}"
+        assert guard.violations == [], f"seed {seed}"
+        assert possibly_bad(result.deposet, pred) is None, f"seed {seed}"
+
+
+def test_finishing_false_flags_assumption_a2():
+    guard = _guard(3)
+    system = System(
+        [steady_program(6), ends_down_program(2.0), ends_down_program(3.0)],
+        start_vars=[{"up": True} for _ in range(3)],
+        guard=guard,
+    )
+    result = system.run()
+    assert not result.deadlocked
+    a2 = [v for v in guard.violations if "A2" in v]
+    assert len(a2) == 2
+    assert any("process 1" in v for v in a2)
+    assert any("process 2" in v for v in a2)
+
+
+def test_finish_with_pending_requesters_takes_scapegoat_and_acks():
+    """The race branch itself: a process finishes true with deferred
+    requesters still queued -- it must assume the scapegoat role and ack
+    them from its frozen final state."""
+    guard = _guard(2)
+    system = System(
+        [steady_program(1), steady_program(1)],
+        start_vars=[{"up": True} for _ in range(2)],
+        guard=guard,
+    )
+    # simulate a request that arrived in the same instant as proc 0's
+    # final step: deferred, not yet acked
+    guard.pending[0] = [(1, 0)]
+    guard.awaiting[1] = True
+    before = system.network.control_messages_sent
+    guard.on_process_finished(0)
+    assert guard.scapegoat[0] is True
+    assert guard.pending[0] == []
+    assert system.network.control_messages_sent == before + 1  # the ack
+    assert guard.violations == []
+
+
+def test_invariant_violation_reported_when_every_predicate_false():
+    """If every process ends false (A2 broken everywhere), the invariant
+    check must report the all-false ledger, not mask it."""
+    guard = _guard(2)
+    System(
+        [steady_program(1), steady_program(1)],
+        start_vars=[{"up": True} for _ in range(2)],
+        guard=guard,
+    )
+    # force the ledger all-false, then run the check directly
+    guard.scapegoat = [False, False]
+    guard._check_invariant()
+    assert guard.violations == []  # predicates still hold (up=True)
+
+    guard2 = _guard(2)
+    system2 = System(
+        [steady_program(1), steady_program(1)],
+        start_vars=[{"up": True} for _ in range(2)],
+        guard=guard2,
+    )
+    # an all-false global state cannot arise at attach time (rejected),
+    # so drive the recorded states there by hand
+    for i in range(2):
+        system2.recorder.current_vars(i)["up"] = False
+    guard2._check_invariant()
+    assert guard2.violations  # all-false must be flagged

@@ -1,0 +1,106 @@
+"""Acceptance tests: the hardened scapegoat controller under faults.
+
+The headline claim of this robustness work: at 20% control-message loss
+plus one injected crash, the paper's controller (which assumes reliable
+channels) wedges, while the hardened controller (ack/retransmit channel +
+suspected-peer re-routing + lease-regenerated anti-tokens) completes with
+zero safety violations -- confirmed both by the on-line invariant monitor
+and by the exact off-line WCP check over the recorded deposet.
+"""
+
+from repro.core.verify import possibly_bad
+from repro.debug.properties import mutual_exclusion
+from repro.faults import FaultPlan
+from repro.mutex import run_mutex_workload
+from repro.obs.tracer import TRACER
+
+N = 5
+ENTRIES = 8
+
+
+def _run(loss, seed, crashes=None, hardened=False):
+    kwargs = dict(reliable=True, lease_timeout=20.0) if hardened else {}
+    return run_mutex_workload(
+        "antitoken", n=N, cs_per_proc=ENTRIES, think_time=2.0, cs_time=1.0,
+        mean_delay=1.0, seed=seed,
+        faults=FaultPlan.lossy(loss, seed=seed, scope="control",
+                               crashes=crashes),
+        **kwargs,
+    )
+
+
+def test_unhardened_controller_wedges_under_loss_and_crash():
+    rep = _run(0.2, seed=2, crashes={1: 20.0}, hardened=False)
+    assert rep.deadlocked or rep.violations
+
+
+def test_hardened_controller_survives_loss_and_crash_exactly_safe():
+    pred = mutual_exclusion(N, "cs")
+    rep = _run(0.2, seed=2, crashes={1: 20.0}, hardened=True)
+    assert not rep.deadlocked
+    assert rep.crashed == {1: 20.0}
+    # live processes all finish their programme; the crashed one cannot
+    assert rep.entries >= (N - 1) * ENTRIES
+    assert not rep.violations
+    # exact off-line check over the recorded (controlled) deposet
+    assert possibly_bad(rep.deposet, pred) is None
+    # the control plane visibly paid for survival
+    assert rep.faults["drops"] > 0
+    assert rep.channel["retransmits"] > 0
+
+
+def test_hardened_safe_across_seeds():
+    pred = mutual_exclusion(N, "cs")
+    for seed in (2, 3, 4):
+        rep = _run(0.2, seed=seed, crashes={1: 20.0}, hardened=True)
+        assert not rep.deadlocked, f"seed {seed} deadlocked"
+        assert not rep.violations, f"seed {seed} violated on-line"
+        assert possibly_bad(rep.deposet, pred) is None, f"seed {seed} WCP"
+
+
+def test_lease_regenerates_anti_token_after_holder_crash():
+    """Crashing the anti-token holder must not strand the disjunction:
+    the lease watchdog regenerates the token at a live process."""
+    pred = mutual_exclusion(4, "cs")
+    rep = run_mutex_workload(
+        "antitoken", n=4, cs_per_proc=4, think_time=3.0, cs_time=1.0,
+        mean_delay=1.0, seed=2,
+        faults=FaultPlan(seed=2, crashes={0: 10.0}),
+        reliable=True, lease_timeout=8.0,
+    )
+    assert not rep.deadlocked
+    assert rep.lease_regens > 0
+    assert not rep.violations
+    assert possibly_bad(rep.deposet, pred) is None
+
+
+def _event_keys(events):
+    # sim-deterministic identity: wall-clock ts varies run to run, the
+    # rest (names, procs, payload fields) must not
+    return [
+        (
+            e.name,
+            e.proc,
+            sorted(
+                (k, repr(v)) for k, v in e.fields.items() if k != "ts"
+            ),
+        )
+        for e in events
+    ]
+
+
+def test_fault_run_obs_stream_is_seed_deterministic():
+    def capture():
+        with TRACER.recording(capacity=200_000):
+            _run(0.25, seed=7, crashes={2: 15.0}, hardened=True)
+            return _event_keys(TRACER.drain())
+
+    first, second = capture(), capture()
+    assert len(first) > 0
+    assert first == second
+
+
+def test_different_seed_changes_the_fault_schedule():
+    a = _run(0.25, seed=7, crashes={2: 15.0}, hardened=True)
+    b = _run(0.25, seed=8, crashes={2: 15.0}, hardened=True)
+    assert a.faults != b.faults or a.response_times != b.response_times

@@ -1,0 +1,109 @@
+"""Validation and semantics of the declarative fault plans."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import ChannelFaultSpec, FaultPlan, Partition
+
+
+class TestChannelFaultSpec:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(FaultPlanError):
+            ChannelFaultSpec(drop_rate=1.5)
+        with pytest.raises(FaultPlanError):
+            ChannelFaultSpec(duplicate_rate=-0.1)
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(FaultPlanError):
+            ChannelFaultSpec(delay_spike=-1.0)
+        with pytest.raises(FaultPlanError):
+            ChannelFaultSpec(reorder_window=-0.5)
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(FaultPlanError):
+            ChannelFaultSpec(scope="controlish")
+
+    def test_quiet(self):
+        assert ChannelFaultSpec().quiet
+        assert not ChannelFaultSpec(drop_rate=0.1).quiet
+        # a spike magnitude without a rate still never fires
+        assert ChannelFaultSpec(delay_spike=5.0).quiet
+
+    @pytest.mark.parametrize(
+        "scope,control,expected",
+        [
+            ("all", True, True),
+            ("all", False, True),
+            ("control", True, True),
+            ("control", False, False),
+            ("app", True, False),
+            ("app", False, True),
+        ],
+    )
+    def test_applies_to(self, scope, control, expected):
+        assert ChannelFaultSpec(scope=scope).applies_to(control) is expected
+
+
+class TestPartition:
+    def test_groups_must_be_disjoint_and_non_empty(self):
+        with pytest.raises(FaultPlanError):
+            Partition([], [1])
+        with pytest.raises(FaultPlanError):
+            Partition([0, 1], [1, 2])
+
+    def test_window_must_be_non_empty(self):
+        with pytest.raises(FaultPlanError):
+            Partition([0], [1], start=5.0, end=5.0)
+
+    def test_separates_is_symmetric_and_windowed(self):
+        p = Partition([0, 1], [2], start=10.0, end=20.0)
+        assert p.separates(0, 2, 15.0)
+        assert p.separates(2, 1, 15.0)
+        assert not p.separates(0, 1, 15.0)  # same side
+        assert not p.separates(0, 2, 5.0)   # before the window
+        assert not p.separates(0, 2, 20.0)  # end is exclusive
+
+
+class TestFaultPlan:
+    def test_crash_and_stall_validation(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(crashes={0: -1.0})
+        with pytest.raises(FaultPlanError):
+            FaultPlan(stalls={0: (1.0, 0.0)})
+
+    def test_spec_for_falls_back_to_default(self):
+        override = ChannelFaultSpec(drop_rate=0.5)
+        plan = FaultPlan(
+            default_channel=ChannelFaultSpec(drop_rate=0.1),
+            channels={(0, 1): override},
+        )
+        assert plan.spec_for(0, 1) is override
+        assert plan.spec_for(1, 0).drop_rate == 0.1
+
+    def test_quiet(self):
+        assert FaultPlan().quiet
+        assert not FaultPlan.lossy(0.1).quiet
+        assert not FaultPlan(crashes={0: 1.0}).quiet
+        assert not FaultPlan(partitions=(Partition([0], [1]),)).quiet
+
+    def test_lossy_helper_shape(self):
+        plan = FaultPlan.lossy(0.2, seed=7, duplicate=0.05, crashes={1: 3.0})
+        assert plan.seed == 7
+        assert plan.default_channel.drop_rate == 0.2
+        assert plan.default_channel.duplicate_rate == 0.05
+        assert plan.default_channel.scope == "control"
+        assert plan.crashes == {1: 3.0}
+
+    def test_describe_mentions_everything(self):
+        plan = FaultPlan(
+            seed=3,
+            default_channel=ChannelFaultSpec(drop_rate=0.2),
+            crashes={1: 5.0},
+            stalls={2: (1.0, 4.0)},
+            partitions=(Partition([0], [1], 2.0, 9.0),),
+        )
+        text = plan.describe()
+        assert "drop=0.2" in text
+        assert "P1@5" in text
+        assert "P2@1+4" in text
+        assert "partition" in text

@@ -1,0 +1,162 @@
+"""The ack/retransmit control channel: exactly-once over lossy links."""
+
+import pytest
+
+from repro.errors import ControlChannelError
+from repro.faults import (
+    ChannelFaultSpec,
+    FaultPlan,
+    ReliableControlChannel,
+    RetryPolicy,
+)
+from repro.sim import System
+
+import numpy as np
+
+
+def _idle(total=60.0):
+    # commit a state every tick so "entered"-mode control arrows resolve
+    def prog(ctx):
+        t = 0.0
+        while t < total:
+            yield ctx.compute(1.0)
+            t += 1.0
+            yield ctx.set(t=t)
+
+    return prog
+
+
+def _channel_run(plan, policy=None, n=2, horizon=60.0, sends=None):
+    """Run a 2-proc system with one reliable channel; return (result,
+    deliveries, channel)."""
+    system = System([_idle(horizon) for _ in range(n)], faults=plan)
+    channel = ReliableControlChannel(system, policy, seed=42)
+    deliveries = []
+    channel.bind(deliveries.append)
+    for delay, src, dst, payload, kwargs in sends or []:
+        system.queue.schedule(
+            delay,
+            lambda s=src, d=dst, p=payload, k=kwargs: channel.send(
+                s, d, p, **k
+            ),
+        )
+    result = system.run()
+    return result, deliveries, channel
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ControlChannelError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ControlChannelError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ControlChannelError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ControlChannelError):
+            RetryPolicy(max_retries=-1)
+
+    def test_delay_backs_off_exponentially_within_jitter(self):
+        policy = RetryPolicy(timeout=2.0, backoff=2.0, jitter=0.25)
+        rng = np.random.default_rng(0)
+        for attempt in range(4):
+            base = 2.0 * 2.0 ** attempt
+            for _ in range(20):
+                d = policy.delay(attempt, rng)
+                assert base * 0.75 <= d <= base * 1.25
+
+    def test_zero_jitter_is_deterministic(self):
+        policy = RetryPolicy(timeout=1.5, backoff=3.0, jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert policy.delay(0, rng) == 1.5
+        assert policy.delay(2, rng) == 13.5
+
+
+class TestReliableControlChannel:
+    def test_send_requires_bind(self):
+        system = System([_idle(1.0), _idle(1.0)])
+        channel = ReliableControlChannel(system)
+        with pytest.raises(ControlChannelError):
+            channel.send(0, 1, "hello")
+
+    def test_lossless_path_is_single_shot(self):
+        result, deliveries, channel = _channel_run(
+            plan=None,
+            sends=[(0.0, 0, 1, {"msg": "hi"}, {"tag": "t"})],
+        )
+        assert [d.payload for d in deliveries] == [{"msg": "hi"}]
+        assert deliveries[0].tag == "t"
+        assert channel.summary() == {
+            "sent": 1, "retransmits": 0, "acks": 1,
+            "dup_suppressed": 0, "give_ups": 0,
+        }
+        assert channel.outstanding == 0
+
+    def test_retransmits_until_acked_under_heavy_loss(self):
+        plan = FaultPlan.lossy(0.7, seed=5, scope="control")
+        result, deliveries, channel = _channel_run(
+            plan,
+            policy=RetryPolicy(timeout=3.0, max_retries=12),
+            horizon=200.0,
+            sends=[(float(i), 0, 1, f"token-{i}", {}) for i in range(4)],
+        )
+        assert sorted(d.payload for d in deliveries) == [
+            f"token-{i}" for i in range(4)
+        ]
+        s = channel.summary()
+        assert s["retransmits"] > 0
+        # exactly-once delivery regardless of how many copies it took;
+        # a sender may still "give up" when every ack was lost, but that
+        # never duplicates the delivery
+        assert channel.outstanding == 0
+        assert result.faults["drops"] > 0
+
+    def test_duplicates_are_suppressed_exactly_once_delivery(self):
+        plan = FaultPlan(
+            seed=5,
+            default_channel=ChannelFaultSpec(
+                duplicate_rate=1.0, scope="control"
+            ),
+        )
+        result, deliveries, channel = _channel_run(
+            plan, sends=[(0.0, 0, 1, "once", {}), (1.0, 0, 1, "twice", {})],
+        )
+        assert [d.payload for d in deliveries] == ["once", "twice"]
+        assert channel.summary()["dup_suppressed"] >= 2
+        assert channel.outstanding == 0
+
+    def test_give_up_after_bounded_retries(self):
+        plan = FaultPlan.lossy(1.0, seed=0, scope="control")
+        gave_up = []
+        result, deliveries, channel = _channel_run(
+            plan,
+            policy=RetryPolicy(timeout=1.0, jitter=0.0, max_retries=3),
+            horizon=120.0,
+            sends=[(0.0, 0, 1, "doomed", {"on_give_up": gave_up.append})],
+        )
+        assert deliveries == []
+        assert len(gave_up) == 1
+        assert gave_up[0].dst == 1
+        assert gave_up[0].attempts == 4  # original + 3 retries, all lost
+        assert channel.summary()["retransmits"] == 3
+        assert channel.summary()["give_ups"] == 1
+        assert channel.outstanding == 0
+
+    def test_control_arrow_recorded_once_despite_retransmission(self):
+        # drop ~half the copies so the logical message needs several tries;
+        # send mid-run so the "entered"-mode arrow has causal content (the
+        # recorder drops arrows whose source is a start state)
+        plan = FaultPlan.lossy(0.5, seed=3, scope="control")
+        result, deliveries, channel = _channel_run(
+            plan, horizon=120.0, sends=[(5.5, 0, 1, "arrow", {})],
+        )
+        assert len(deliveries) == 1
+        arrows = result.deposet.control_arrows
+        arrows = arrows() if callable(arrows) else arrows
+        assert len(list(arrows)) == 1
+
+    def test_sequence_numbers_are_unique_and_returned(self):
+        system = System([_idle(10.0), _idle(10.0)])
+        channel = ReliableControlChannel(system)
+        channel.bind(lambda d: None)
+        seqs = [channel.send(0, 1, i) for i in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
