@@ -5,17 +5,19 @@ attached to the benchmark's ``extra_info`` so it lands in
 ``--benchmark-json`` output), and asserts the *shape* claims from the
 paper -- who wins, by roughly what factor, where the bounds hold.
 
-``run_once`` additionally snapshots the :mod:`repro.obs` metrics registry
-around each experiment and prints the per-experiment delta, so the tables
-captured into ``bench_tables.txt`` carry a metrics baseline (kernel
-events, control messages, handoffs, lattice expansions, ...) that future
-performance PRs can diff against.
+``run_once`` additionally wraps each experiment in a
+:meth:`~repro.obs.metrics.MetricsRegistry.scoped` metrics scope and prints
+the per-experiment delta, so the tables captured into ``bench_tables.txt``
+carry a metrics baseline (kernel events, control messages, handoffs,
+lattice expansions, ...) that future performance PRs can diff against.
+The scope freezes its delta on exit, so several experiments running in
+one pytest process each report only their own activity -- cumulative
+process-global counters never bleed between rows.
 """
 
 import pytest
 
 from repro.obs import METRICS
-from repro.obs.metrics import MetricsRegistry
 from repro.bench.harness import format_metrics_snapshot
 
 
@@ -23,12 +25,13 @@ def run_once(benchmark, fn):
     """Benchmark ``fn`` with a single warm round (experiments are heavy and
     deterministic; statistical repetition adds nothing).
 
-    Metrics activity during the round is diffed and attached to the
-    benchmark's ``extra_info["metrics"]`` and printed alongside the table.
+    Metrics activity during the round is isolated with ``METRICS.scoped()``
+    (per-run delta, frozen at scope exit), attached to the benchmark's
+    ``extra_info["metrics"]`` and printed alongside the table.
     """
-    before = METRICS.snapshot()
-    result = benchmark.pedantic(fn, rounds=1, iterations=1)
-    delta = MetricsRegistry.diff(before, METRICS.snapshot())
+    with METRICS.scoped() as scope:
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    delta = scope.delta()
     benchmark.extra_info["metrics"] = delta
     line = format_metrics_snapshot(delta)
     if line:

@@ -50,7 +50,9 @@ from repro.detection import (
     Violation,
     ViolationMonitor,
     decode_assignment,
+    definitely,
     definitely_exhaustive,
+    possibly,
     possibly_bad,
     possibly_exhaustive,
     sat_to_sgsd,
@@ -135,6 +137,7 @@ __all__ = [
     "And", "DisjunctivePredicate", "FalseInterval", "LocalPredicate",
     "Not", "Or", "as_disjunctive", "false_intervals",
     # detection
+    "possibly", "definitely",
     "possibly_bad", "possibly_exhaustive", "definitely_exhaustive",
     "violating_cuts", "sgsd", "sgsd_feasible", "sat_to_sgsd",
     "decode_assignment", "Violation", "ViolationMonitor",

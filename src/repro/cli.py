@@ -102,7 +102,31 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         if len(cuts) > args.limit:
             print(f"  ... ({len(cuts) - args.limit} more)")
         return 0 if not cuts else 1
-    witness = possibly_bad(dep, pred)
+    if args.engine is None:
+        witness = possibly_bad(dep, pred)
+    else:
+        from repro.detection import possibly
+        from repro.errors import NotRegularError
+        from repro.obs import METRICS
+
+        bad = pred.negated() if hasattr(pred, "negated") else ~pred
+        try:
+            with METRICS.scoped() as scope:
+                witness = possibly(dep, bad, engine=args.engine)
+        except NotRegularError as exc:
+            print(f"engine {args.engine!r} needs a regular predicate: {exc}")
+            return 2
+        counters = scope.delta()["counters"]
+        parts = [f"engine={args.engine}"]
+        for key, label in (
+            ("detection.slice.states", "slice states"),
+            ("detection.lattice_states", "lattice states"),
+            ("detection.slice.parallel_chunks", "chunks"),
+            ("detection.slice.fallbacks", "fallbacks"),
+        ):
+            if counters.get(key):
+                parts.append(f"{label}={counters[key]}")
+        print("[detect] " + " ".join(parts))
     if witness is None:
         print("predicate holds in every consistent global state")
         return 0
@@ -374,6 +398,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--predicate", required=True)
     p.add_argument("--all", action="store_true", help="enumerate all (exponential)")
     p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--engine", choices=["auto", "exhaustive", "slice", "parallel"],
+                   default=None,
+                   help="detection engine (default: conjunctive fast path; "
+                        "'slice' is the polynomial slicing engine, 'auto' "
+                        "falls back to 'exhaustive' for non-regular predicates)")
     p.set_defaults(fn=_cmd_detect)
 
     p = sub.add_parser("control", help="off-line predicate control")

@@ -7,6 +7,10 @@ where a safety predicate fails.  This package provides:
   (Garg-Waldecker style) used both for bug detection and for verifying
   controller output: for a disjunctive ``B = l_1 v ... v l_n`` it finds a
   consistent global state where *all* ``l_i`` are false, if one exists.
+* :func:`possibly` / :func:`definitely` -- the engine front door:
+  ``engine="auto"`` routes regular predicates to the polynomial slicing
+  engine (:mod:`repro.slicing`) and everything else to the exhaustive
+  walk; ``exhaustive``/``slice``/``parallel`` force a choice.
 * :func:`possibly_exhaustive` / :func:`definitely_exhaustive` -- lattice
   BFS ground truth for small traces.
 * :mod:`repro.detection.sgsd` -- satisfying-global-sequence detection, the
@@ -15,6 +19,7 @@ where a safety predicate fails.  This package provides:
 """
 
 from repro.detection.conjunctive import possibly_bad, find_conjunctive_cut
+from repro.detection.engine import ENGINES, definitely, possibly
 from repro.detection.lattice_walk import (
     possibly_exhaustive,
     definitely_exhaustive,
@@ -27,6 +32,9 @@ from repro.detection.online import Violation, ViolationMonitor
 __all__ = [
     "possibly_bad",
     "find_conjunctive_cut",
+    "ENGINES",
+    "possibly",
+    "definitely",
     "possibly_exhaustive",
     "definitely_exhaustive",
     "violating_cuts",

@@ -1,0 +1,93 @@
+"""Engine selection for possibly/definitely detection.
+
+One front door over the two detection implementations:
+
+* ``exhaustive`` -- the lattice walkers in
+  :mod:`repro.detection.lattice_walk`: ground truth, any predicate,
+  exponential in processes;
+* ``slice`` -- the polynomial slicing engine in
+  :mod:`repro.slicing.detect`: regular predicates only
+  (``pred.is_regular()``);
+* ``parallel`` -- the slicing engine with chunk-parallel truth tables
+  (:mod:`repro.slicing.parallel`);
+* ``auto`` (default) -- ``slice`` when the predicate is regular, else
+  ``exhaustive``.  The fallback increments ``detection.slice.fallbacks``
+  so workloads silently dropping off the fast path are visible in
+  metrics.
+
+Explicitly requesting ``slice``/``parallel`` for a non-regular predicate
+raises :class:`~repro.errors.NotRegularError` rather than silently
+changing complexity class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.obs.metrics import METRICS
+from repro.predicates.base import Predicate
+from repro.trace.deposet import Deposet
+from repro.trace.global_state import Cut
+
+__all__ = ["ENGINES", "possibly", "definitely"]
+
+ENGINES: Tuple[str, ...] = ("auto", "exhaustive", "slice", "parallel")
+
+_SLICE_FALLBACKS = METRICS.counter("detection.slice.fallbacks")
+
+
+def _resolve(pred: Predicate, engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if engine != "auto":
+        return engine
+    if pred.is_regular():
+        return "slice"
+    _SLICE_FALLBACKS.inc()
+    return "exhaustive"
+
+
+def possibly(
+    dep: Deposet, pred: Predicate, engine: str = "auto", **kwargs
+) -> Optional[Cut]:
+    """A consistent cut satisfying ``pred``, or ``None``.
+
+    All engines agree on ``None``-ness; the witness cut may differ (the
+    slice engine returns the lattice-least witness, the exhaustive engine
+    the first in enumeration order).  ``kwargs`` pass through to the
+    selected engine (e.g. ``max_workers``/``chunk_states`` for
+    ``parallel``).
+    """
+    which = _resolve(pred, engine)
+    if which == "exhaustive":
+        from repro.detection.lattice_walk import possibly_exhaustive
+
+        return possibly_exhaustive(dep, pred, **kwargs)
+    if which == "slice":
+        from repro.slicing.detect import possibly_slice
+
+        return possibly_slice(dep, pred, **kwargs)
+    from repro.slicing.parallel import possibly_parallel
+
+    return possibly_parallel(dep, pred, **kwargs)
+
+
+def definitely(
+    dep: Deposet, pred: Predicate, engine: str = "auto", **kwargs
+) -> bool:
+    """Does every global sequence pass through a cut satisfying ``pred``?
+
+    Subset-move semantics in every engine; verdicts are identical.
+    """
+    which = _resolve(pred, engine)
+    if which == "exhaustive":
+        from repro.detection.lattice_walk import definitely_exhaustive
+
+        return definitely_exhaustive(dep, pred, **kwargs)
+    if which == "slice":
+        from repro.slicing.detect import definitely_slice
+
+        return definitely_slice(dep, pred, **kwargs)
+    from repro.slicing.parallel import definitely_parallel
+
+    return definitely_parallel(dep, pred, **kwargs)

@@ -25,6 +25,7 @@ __all__ = [
     "MalformedTraceError",
     "PredicateError",
     "NotDisjunctiveError",
+    "NotRegularError",
     "NoControllerExistsError",
     "InterferenceError",
     "ReplayDeadlockError",
@@ -53,6 +54,16 @@ class NotDisjunctiveError(PredicateError):
 
     The efficient algorithms of Sections 5-6 of the paper require
     ``B = l_1 v l_2 v ... v l_n`` with ``l_i`` local to process ``i``.
+    """
+
+
+class NotRegularError(PredicateError):
+    """A predicate could not be normalised into the regular (conjunctive)
+    class required by the polynomial slicing engine.
+
+    Callers that can fall back should catch this and use the exhaustive
+    lattice walk instead; :func:`repro.detection.possibly` with
+    ``engine="auto"`` does exactly that.
     """
 
 

@@ -16,18 +16,24 @@ Typical use::
 
     from repro.obs import TRACER, METRICS
 
-    before = METRICS.snapshot()
-    with TRACER.recording():
+    with METRICS.scoped() as scope, TRACER.recording():
         ...  # any instrumented run: System.run, control_disjunctive, ...
         events = TRACER.drain()
-    delta = METRICS.diff(before, METRICS.snapshot())
+    delta = scope.delta()  # this run's activity only, frozen at scope exit
 
 The instrumentation points are threaded through the simulator kernel, the
 on-line and off-line controllers, lattice-walk detection, and the mutex
 driver; the ``repro obs`` CLI family records, summarises, and exports.
 """
 
-from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+)
 from repro.obs.tracer import TRACER, TraceEvent, Tracer
 from repro.obs.export import (
     read_jsonl,
@@ -42,6 +48,7 @@ __all__ = [
     "TraceEvent",
     "METRICS",
     "MetricsRegistry",
+    "MetricsScope",
     "Counter",
     "Gauge",
     "Histogram",

@@ -7,8 +7,14 @@ integrations aggregate (e.g. the kernel adds its event count once per
 measurable.
 
 ``snapshot()`` returns a plain JSON-ready dict; ``diff(before, after)``
-subtracts counter/histogram totals (gauges keep their ``after`` value),
-which is what the bench harness records per experiment.
+subtracts counter/histogram totals (gauges keep their ``after`` value).
+
+The registry is process-global and instruments are cumulative, so code
+that wants *per-run* numbers (the bench harness, the CLI, tests) must
+never read raw counter values -- successive runs in one process would
+over-report.  Use :meth:`MetricsRegistry.scoped` instead: it captures a
+snapshot on entry and freezes the delta on exit, so each run's numbers
+are isolated no matter how many runs share the process.
 """
 
 from __future__ import annotations
@@ -16,7 +22,14 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Optional
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "METRICS",
+]
 
 
 class Counter:
@@ -161,6 +174,18 @@ class MetricsRegistry:
             }
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
+    def scoped(self) -> "MetricsScope":
+        """Scoped per-run readings: ``with METRICS.scoped() as scope: ...``.
+
+        The scope captures a snapshot on entry; :meth:`MetricsScope.delta`
+        reports only what happened *inside* the scope, and the delta is
+        frozen when the ``with`` block exits, so later activity in the
+        same process can never leak into an earlier run's numbers.  This
+        is the supported way to attribute global-registry activity to one
+        experiment/run; raw ``snapshot()`` values are cumulative.
+        """
+        return MetricsScope(self)
+
     def reset(self) -> None:
         """Drop every instrument (tests; production code diffs snapshots)."""
         self._counters.clear()
@@ -182,6 +207,43 @@ class MetricsRegistry:
                 parts.append(f"{k}.count={summ['count']}")
                 parts.append(f"{k}.mean={summ['mean']:.4g}")
         return " ".join(parts) if parts else "(no metric activity)"
+
+
+class MetricsScope:
+    """One run's view of a cumulative registry (see ``MetricsRegistry.scoped``).
+
+    While the scope is open, :meth:`delta` is live (activity so far); after
+    the ``with`` block exits it is frozen at the exit-time value.  Scopes
+    nest freely -- each captures its own baseline -- and never mutate the
+    registry, so scoping one run cannot disturb another's accounting.
+    """
+
+    __slots__ = ("_registry", "_before", "_frozen")
+
+    def __init__(self, registry: MetricsRegistry):
+        self._registry = registry
+        self._before = registry.snapshot()
+        self._frozen: Optional[Dict[str, Any]] = None
+
+    def __enter__(self) -> "MetricsScope":
+        # Re-baseline on enter so a scope constructed early but entered
+        # late still measures only the with-block.
+        self._before = self._registry.snapshot()
+        self._frozen = None
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._frozen = self.delta()
+
+    def delta(self) -> Dict[str, Any]:
+        """The :meth:`MetricsRegistry.diff` since the scope was entered."""
+        if self._frozen is not None:
+            return self._frozen
+        return MetricsRegistry.diff(self._before, self._registry.snapshot())
+
+    def counter(self, name: str) -> int:
+        """This scope's increment of one counter (0 if it never moved)."""
+        return self.delta()["counters"].get(name, 0)
 
 
 #: The process-wide registry every instrumentation point writes to.

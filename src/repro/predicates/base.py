@@ -36,6 +36,25 @@ class Predicate(abc.ABC):
     def procs(self) -> FrozenSet[int]:
         """Processes whose local state can influence this predicate."""
 
+    # -- capability checks ---------------------------------------------------
+
+    def is_regular(self) -> bool:
+        """Can this predicate be detected by the polynomial slicing engine?
+
+        A predicate is *regular* when its satisfying consistent cuts are
+        closed under the lattice meet and join -- the class for which
+        Mittal & Garg's computation slicing yields polynomial detection.
+        This check recognises the syntactic core of that class: anything
+        normalisable into a conjunction of per-process local predicates
+        (``And`` of locals, negated disjunctions, one-process subtrees,
+        constants).  ``False`` means the detection engines fall back to
+        the exhaustive lattice walk, not that the predicate is
+        semantically irregular.
+        """
+        from repro.slicing.regular import regular_form  # cycle-free at call time
+
+        return regular_form(self) is not None
+
     # -- operator sugar ------------------------------------------------------
 
     def __or__(self, other: "Predicate") -> "Predicate":

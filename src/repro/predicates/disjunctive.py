@@ -19,7 +19,7 @@ from repro.predicates.local import LocalPredicate
 if TYPE_CHECKING:  # pragma: no cover
     from repro.trace.deposet import Deposet
 
-__all__ = ["DisjunctivePredicate", "as_disjunctive"]
+__all__ = ["DisjunctivePredicate", "as_disjunctive", "fold_local"]
 
 
 class DisjunctivePredicate(Predicate):
@@ -99,11 +99,14 @@ class DisjunctivePredicate(Predicate):
         return f"Disjunctive({parts})"
 
 
-def _fold_local(pred: Predicate) -> Optional[LocalPredicate]:
+def fold_local(pred: Predicate) -> Optional[LocalPredicate]:
     """Collapse a predicate touching at most one process into one local.
 
-    Returns ``None`` when the subtree touches zero processes *and* is the
-    constant true/false (the caller decides what that means).
+    Returns ``None`` when the subtree touches two or more processes, or
+    when it touches zero processes and is a constant true/false (the
+    caller decides what a constant means).  Used by disjunctive
+    normalisation here and by conjunctive normalisation in
+    :mod:`repro.slicing.regular`.
     """
     ps = pred.procs()
     if len(ps) > 1:
@@ -168,7 +171,7 @@ def as_disjunctive(pred: Predicate, n: int) -> DisjunctivePredicate:
     if isinstance(pred, LocalPredicate):
         return DisjunctivePredicate([pred], n=n)
     if not isinstance(pred, Or):
-        folded = _fold_local(pred)
+        folded = fold_local(pred)
         if folded is not None:
             return DisjunctivePredicate([folded], n=n)
         raise NotDisjunctiveError(
@@ -199,7 +202,7 @@ def as_disjunctive(pred: Predicate, n: int) -> DisjunctivePredicate:
     disjuncts: List[LocalPredicate] = []
     for proc, ops in per_proc.items():
         sub = ops[0] if len(ops) == 1 else Or(*ops)
-        folded = _fold_local(sub)
+        folded = fold_local(sub)
         if folded is None:  # pragma: no cover - len(procs)==1 guarantees fold
             raise NotDisjunctiveError(f"could not fold {sub!r}")
         disjuncts.append(folded)

@@ -1,0 +1,154 @@
+"""Work-splitting parallel driver for the slicing engine.
+
+The slicing engine's dominant cost on long traces is embarrassingly
+parallel: evaluating each process's local conjunct over its state sequence
+(the truth tables).  This driver splits that work into per-process
+*state-interval chunks* and fans them out over ``concurrent.futures``,
+then hands the assembled tables to the serial sweeps/search in
+:mod:`repro.slicing.detect` -- so parallel and serial verdicts agree by
+construction of everything past the tables.
+
+Executor choice: **threads**, not processes.  Local predicates are closures
+(``LocalPredicate.fn`` is typically a lambda over state vars) and do not
+pickle, so a process pool cannot ship them; a thread pool ships nothing.
+Under the GIL, pure-Python conjuncts gain little wall time -- the value
+here is the chunked work-splitting structure itself (chunks are the unit a
+free-threaded build or a native-code conjunct parallelises over) and the
+per-chunk accounting (``detection.slice.parallel_chunks``).
+
+Chunk size defaults to whole processes when traces are short, and splits a
+process's sequence into ``chunk_states``-sized intervals when long, so n=2
+with 10^5 states still fans out.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
+from repro.predicates.base import Predicate
+from repro.slicing.detect import (
+    _require_regular,
+    definitely_slice,
+    possibly_slice,
+    _SLICE_STATES,
+)
+from repro.trace.deposet import Deposet
+from repro.trace.global_state import Cut
+
+__all__ = ["parallel_truth_tables", "possibly_parallel", "definitely_parallel"]
+
+_PARALLEL_CHUNKS = METRICS.counter("detection.slice.parallel_chunks")
+
+DEFAULT_CHUNK_STATES = 256
+
+
+def _chunks(
+    dep: Deposet, chunk_states: int
+) -> List[Tuple[int, int, int]]:
+    """``(proc, start, stop)`` state intervals covering the whole deposet."""
+    out: List[Tuple[int, int, int]] = []
+    for i, m in enumerate(dep.state_counts):
+        for start in range(0, m, chunk_states):
+            out.append((i, start, min(start + chunk_states, m)))
+    return out
+
+
+def parallel_truth_tables(
+    dep: Deposet,
+    pred: Predicate,
+    *,
+    max_workers: Optional[int] = None,
+    chunk_states: int = DEFAULT_CHUNK_STATES,
+    executor: Optional[Executor] = None,
+) -> List[np.ndarray]:
+    """Truth tables for regular ``pred``, built chunk-parallel.
+
+    Bitwise identical to ``regular_form(pred).truth_tables(dep)``; raises
+    :class:`~repro.errors.NotRegularError` outside the regular class.  An
+    explicit ``executor`` overrides the default thread pool (e.g. an
+    interpreter- or process-pool for picklable conjuncts).
+    """
+    form = _require_regular(pred)
+    from repro.trace.global_state import initial_cut
+
+    if form.conjuncts and max(form.conjuncts) >= dep.n:
+        raise ValueError(
+            f"predicate constrains process {max(form.conjuncts)}, "
+            f"deposet has {dep.n}"
+        )
+    bottom = initial_cut(dep)
+    if any(not c.evaluate(dep, bottom) for c in form.constants):
+        _SLICE_STATES.inc(dep.num_states)
+        return [np.zeros(m, dtype=bool) for m in dep.state_counts]
+
+    tables = [np.ones(m, dtype=bool) for m in dep.state_counts]
+    jobs = [
+        (i, start, stop)
+        for (i, start, stop) in _chunks(dep, chunk_states)
+        if i in form.conjuncts
+    ]
+
+    def fill(job: Tuple[int, int, int]) -> None:
+        i, start, stop = job
+        local = form.conjuncts[i]
+        t = tables[i]
+        for a in range(start, stop):
+            t[a] = local.holds_at(dep, a)
+
+    with TRACER.span(
+        "slice.tables", chunks=len(jobs), chunk_states=chunk_states
+    ):
+        if jobs:
+            _PARALLEL_CHUNKS.inc(len(jobs))
+            if executor is not None:
+                list(executor.map(fill, jobs))
+            else:
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    list(pool.map(fill, jobs))
+    _SLICE_STATES.inc(dep.num_states)
+    return tables
+
+
+def possibly_parallel(
+    dep: Deposet,
+    pred: Predicate,
+    *,
+    max_workers: Optional[int] = None,
+    chunk_states: int = DEFAULT_CHUNK_STATES,
+    executor: Optional[Executor] = None,
+) -> Optional[Cut]:
+    """:func:`~repro.slicing.detect.possibly_slice` with chunk-parallel
+    truth tables.  Verdict and witness identical to the serial engine."""
+    tables = parallel_truth_tables(
+        dep,
+        pred,
+        max_workers=max_workers,
+        chunk_states=chunk_states,
+        executor=executor,
+    )
+    return possibly_slice(dep, pred, tables=tables)
+
+
+def definitely_parallel(
+    dep: Deposet,
+    pred: Predicate,
+    *,
+    max_workers: Optional[int] = None,
+    chunk_states: int = DEFAULT_CHUNK_STATES,
+    executor: Optional[Executor] = None,
+) -> bool:
+    """:func:`~repro.slicing.detect.definitely_slice` with chunk-parallel
+    truth tables.  Verdict identical to the serial engine."""
+    tables = parallel_truth_tables(
+        dep,
+        pred,
+        max_workers=max_workers,
+        chunk_states=chunk_states,
+        executor=executor,
+    )
+    return definitely_slice(dep, pred, tables=tables)

@@ -1,0 +1,62 @@
+"""Scoped metrics readings: per-run deltas that do not accumulate.
+
+The METRICS registry is process-global by design; the bug this guards
+against was bench code diffing against a stale snapshot so every repeated
+run in one process reported the *cumulative* counters of all runs before
+it.  ``METRICS.scoped()`` gives each run its own baseline and freezes the
+delta at scope exit.
+"""
+
+from repro.detection import possibly_exhaustive
+from repro.obs import METRICS
+from repro.workloads import availability_predicate, random_deposet
+
+
+def run_detection():
+    dep = random_deposet(n=3, events_per_proc=4, message_rate=0.4, seed=42)
+    possibly_exhaustive(dep, availability_predicate(3, "up").negated())
+
+
+def test_repeated_runs_report_identical_deltas():
+    # The same deterministic workload must read the same per-run counters
+    # no matter how many runs came before it in this process.
+    readings = []
+    for _ in range(3):
+        with METRICS.scoped() as scope:
+            run_detection()
+        readings.append(scope.delta()["counters"])
+    assert readings[0]["detection.lattice_walks"] == 1
+    assert readings[0] == readings[1] == readings[2]
+
+
+def test_scope_freezes_delta_at_exit():
+    with METRICS.scoped() as scope:
+        run_detection()
+    frozen = scope.delta()
+    run_detection()  # later activity must not leak into the frozen scope
+    assert scope.delta() == frozen
+
+
+def test_open_scope_reads_live():
+    with METRICS.scoped() as scope:
+        run_detection()
+        first = scope.counter("detection.lattice_walks")
+        run_detection()
+        second = scope.counter("detection.lattice_walks")
+    assert (first, second) == (1, 2)
+    assert scope.counter("detection.lattice_walks") == 2  # frozen total
+
+
+def test_counter_accessor_defaults_to_zero():
+    with METRICS.scoped() as scope:
+        pass
+    assert scope.counter("no.such.counter") == 0
+
+
+def test_nested_scopes_are_independent():
+    with METRICS.scoped() as outer:
+        run_detection()
+        with METRICS.scoped() as inner:
+            run_detection()
+    assert inner.counter("detection.lattice_walks") == 1
+    assert outer.counter("detection.lattice_walks") == 2

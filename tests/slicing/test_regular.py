@@ -1,0 +1,114 @@
+"""Regular-class recognition: normalisation into conjunctions of locals."""
+
+import numpy as np
+import pytest
+
+from repro.predicates import (
+    FALSE,
+    TRUE,
+    And,
+    DisjunctivePredicate,
+    LocalPredicate,
+    Not,
+    Or,
+)
+from repro.slicing import regular_form
+from repro.trace import ComputationBuilder
+from repro.workloads import availability_predicate
+
+
+def up(i):
+    return LocalPredicate.var_true(i, "up")
+
+
+def two_proc_dep():
+    b = ComputationBuilder(2, start_vars=[{"up": True}, {"up": True}])
+    b.local(0, up=False)
+    b.local(0, up=True)
+    b.local(1, up=False)
+    return b.build()
+
+
+def test_conjunction_of_locals_is_regular():
+    form = regular_form(And(up(0), up(1)))
+    assert form is not None
+    assert set(form.conjuncts) == {0, 1}
+
+
+def test_single_local_is_regular():
+    form = regular_form(up(1))
+    assert form is not None
+    assert set(form.conjuncts) == {1}
+
+
+def test_negated_disjunctive_is_regular():
+    # The paper's "bug" predicate: not(l_1 v ... v l_n).
+    bad = availability_predicate(3, "up").negated()
+    assert regular_form(bad) is not None
+    # Also via an explicit Not around the disjunction (De Morgan path).
+    assert regular_form(Not(availability_predicate(3, "up"))) is not None
+
+
+def test_not_or_de_morgan_is_regular():
+    form = regular_form(Not(Or(up(0), up(1))))
+    assert form is not None
+    assert set(form.conjuncts) == {0, 1}
+
+
+def test_double_negation_cancels():
+    assert regular_form(Not(Not(up(0)))) is not None
+
+
+def test_multi_disjunct_disjunction_is_not_regular():
+    assert regular_form(availability_predicate(2, "up")) is None
+    assert regular_form(Or(up(0), up(1))) is None
+
+
+def test_repeated_conjuncts_fold_per_process():
+    form = regular_form(And(up(0), Not(Not(up(0))), up(1)))
+    assert form is not None
+    assert set(form.conjuncts) == {0, 1}
+
+
+def test_constants():
+    assert regular_form(TRUE) is not None
+    form = regular_form(And(up(0), FALSE))
+    assert form is not None
+    assert form.constants  # carried symbolically
+
+
+def test_is_regular_capability_check():
+    assert And(up(0), up(1)).is_regular()
+    assert availability_predicate(2, "up").negated().is_regular()
+    assert not availability_predicate(2, "up").is_regular()
+    assert not Or(up(0), up(1)).is_regular()
+
+
+def test_truth_tables_match_direct_evaluation():
+    dep = two_proc_dep()
+    pred = And(up(0), Not(up(1)))
+    form = regular_form(pred)
+    tables = form.truth_tables(dep)
+    assert [list(t) for t in tables] == [
+        [True, False, True],
+        [False, True],  # conjunct is not(up)
+    ]
+
+
+def test_truth_tables_unconstrained_process_is_all_true():
+    dep = two_proc_dep()
+    tables = regular_form(up(0)).truth_tables(dep)
+    assert list(tables[1]) == [True, True]
+
+
+def test_truth_tables_false_constant_empties_everything():
+    dep = two_proc_dep()
+    tables = regular_form(And(up(0), FALSE)).truth_tables(dep)
+    assert not any(t.any() for t in tables)
+
+
+def test_truth_tables_reject_out_of_range_process():
+    dep = two_proc_dep()
+    form = regular_form(up(5))
+    with pytest.raises(ValueError):
+        form.truth_tables(dep)
