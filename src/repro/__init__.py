@@ -47,8 +47,10 @@ from repro.core.online import Handoff, OnlineDisjunctiveControl
 from repro.core.separated import clauses_mutually_separated, control_cnf
 from repro.debug import DebugSession, at_least_one, happens_before, mutual_exclusion
 from repro.detection import (
+    IncrementalDetector,
     Violation,
     ViolationMonitor,
+    WatchResult,
     decode_assignment,
     definitely,
     definitely_exhaustive,
@@ -104,6 +106,7 @@ from repro.recovery import (
 from repro.replay import ReplayResult, replay
 from repro.sat import CNF, dpll_solve, random_ksat
 from repro.sim import Observer, System, TransitionGuard
+from repro.store import CausalIndex, TraceStore
 from repro.trace import (
     ComputationBuilder,
     CutLattice,
@@ -114,10 +117,13 @@ from repro.trace import (
     deposet_stats,
     deposet_to_dict,
     dump_deposet,
+    ingest_event_stream,
     load_deposet,
     load_deposet_meta,
     prefix_at,
+    read_event_stream,
     render_deposet,
+    write_event_stream,
 )
 
 __version__ = "1.0.0"
@@ -125,10 +131,12 @@ __version__ = "1.0.0"
 __all__ = [
     # causality
     "CausalOrder", "StateRef", "VectorClock",
-    # trace model
+    # trace model & storage
     "ComputationBuilder", "CutLattice", "Deposet", "MessageArrow",
+    "TraceStore", "CausalIndex",
     "deposet_from_dict", "deposet_to_dict", "dump_deposet", "load_deposet",
-    "load_deposet_meta", "render_deposet", "DeposetStats", "deposet_stats",
+    "load_deposet_meta", "write_event_stream", "ingest_event_stream",
+    "read_event_stream", "render_deposet", "DeposetStats", "deposet_stats",
     "prefix_at",
     # observability (the flight recorder)
     "TRACER", "Tracer", "TraceEvent", "METRICS", "MetricsRegistry",
@@ -141,6 +149,7 @@ __all__ = [
     "possibly_bad", "possibly_exhaustive", "definitely_exhaustive",
     "violating_cuts", "sgsd", "sgsd_feasible", "sat_to_sgsd",
     "decode_assignment", "Violation", "ViolationMonitor",
+    "IncrementalDetector", "WatchResult",
     # control
     "ControlRelation", "OfflineResult", "control_disjunctive",
     "control_general", "control_from_sequence", "control_cnf",

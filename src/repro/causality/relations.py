@@ -287,11 +287,20 @@ class CausalOrder:
     def extended(self, extra_arrows: Iterable[Arrow]) -> "CausalOrder":
         """A new order with additional arrows (e.g. a control relation).
 
+        Arrows already present are skipped -- a duplicated arrow adds no
+        causality but would inflate the event graph and arrow counters.
         Raises :class:`CycleError` when the extra arrows interfere with the
         existing causality -- equivalently, when the extended computation
         cannot be replayed without deadlock.
         """
-        return CausalOrder(self.state_counts, list(self._arrows) + list(extra_arrows))
+        seen = set(self._arrows)
+        fresh: List[Arrow] = []
+        for a, b in extra_arrows:
+            arrow = (StateRef(*a), StateRef(*b))
+            if arrow not in seen:
+                seen.add(arrow)
+                fresh.append(arrow)
+        return CausalOrder(self.state_counts, self._arrows + fresh)
 
     @property
     def arrows(self) -> List[Arrow]:

@@ -16,6 +16,8 @@ Commands::
     python -m repro detect trace.json --predicate at-least-one:up [--all]
     python -m repro control trace.json --predicate mutex:cs -o fixed.json
     python -m repro replay fixed.json -o replayed.json
+    python -m repro ingest trace.json -o stream.jsonl   # batch <-> stream
+    python -m repro watch stream.jsonl --predicate at-least-one:up --verify
     python -m repro mutex-bench --algorithm antitoken --n 8
 
 The ``obs`` family drives the flight recorder (:mod:`repro.obs`)::
@@ -40,7 +42,16 @@ from repro.mutex.driver import ALGORITHMS, run_mutex_workload
 from repro.predicates.disjunctive import DisjunctivePredicate
 from repro.replay.engine import replay
 from repro.trace.deposet import Deposet
-from repro.trace.io import dump_deposet, load_deposet
+from repro.trace.io import (
+    FORMAT,
+    STREAM_FORMAT,
+    dump_deposet,
+    ingest_event_stream,
+    load_deposet,
+    load_deposet_meta,
+    sniff_trace_format,
+    write_event_stream,
+)
 from repro.trace.render import render_deposet
 
 __all__ = ["main", "parse_predicate"]
@@ -165,6 +176,78 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         dump_deposet(result.deposet, args.output)
         print(f"recorded trace written to {args.output}")
     return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Convert between the batch document and the streaming event log."""
+    fmt = sniff_trace_format(args.trace)
+    if fmt == FORMAT:
+        dep, obs = load_deposet_meta(args.trace)
+        write_event_stream(dep, args.output, obs=obs)
+        print(
+            f"{args.trace} ({FORMAT}) -> {args.output} ({STREAM_FORMAT}): "
+            f"{dep.num_states - dep.n} event record(s), "
+            f"{len(dep.control_arrows)} control arrow(s)"
+        )
+    else:
+        records = 0
+        store = None
+        for store, _rec in ingest_event_stream(args.trace):
+            records += 1
+        dep = store.snapshot()
+        dump_deposet(dep, args.output, obs=store.obs)
+        print(
+            f"{args.trace} ({STREAM_FORMAT}) -> {args.output} ({FORMAT}): "
+            f"{records - 1} record(s) ingested, states {dep.state_counts}"
+        )
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Stream a trace through the incremental detector, record by record."""
+    from repro.detection.incremental import IncrementalDetector
+    from repro.obs import METRICS
+
+    detector = None
+    first_line = None
+    with METRICS.scoped() as scope:
+        for lineno, (store, _rec) in enumerate(
+            ingest_event_stream(args.trace), start=1
+        ):
+            if detector is None:
+                pred = parse_predicate(args.predicate, store.n)
+                detector = IncrementalDetector(store, pred)
+                print(f"watching {args.trace}: {store.n} process(es), "
+                      f"predicate {args.predicate}")
+                continue
+            witness = detector.poll()
+            if witness is not None and first_line is None:
+                first_line = lineno
+                print(f"  record {lineno}: violation possible at "
+                      f"consistent global state {witness}")
+        result = detector.finalize(engine=args.engine)
+    counters = scope.delta()["counters"]
+    print(f"[watch] polls={counters.get('detection.incremental.polls', 0)} "
+          f"suffix_states={counters.get('detection.incremental.suffix_states', 0)} "
+          f"resets={counters.get('detection.incremental.resets', 0)}")
+    if result.witness is None:
+        print("predicate holds in every consistent global state")
+        if result.pending:
+            names = ", ".join(store.proc_names[i] for i in result.pending)
+            print(f"  (saved throughout by: {names})")
+    else:
+        print(f"final: violation possible at {result.witness}"
+              + (" and DEFINITELY occurs" if result.definitely else ""))
+    if args.verify:
+        from repro.detection.conjunctive import possibly_bad
+
+        batch = possibly_bad(store.snapshot(), detector.predicate)
+        if batch != result.witness:
+            print(f"VERIFY MISMATCH: batch detector found {batch}, "
+                  f"streaming found {result.witness}", file=sys.stderr)
+            return 2
+        print("[verify] batch detector agrees with the streamed verdict")
+    return 0 if result.witness is None else 1
 
 
 #: default recording path shared by ``obs record`` / ``summary`` / ``export``
@@ -420,6 +503,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jitter", type=float, default=0.0)
     p.add_argument("-o", "--output")
     p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser(
+        "ingest",
+        help="convert between the batch trace document and the "
+             "repro-events/1 stream (direction is sniffed from the input)",
+    )
+    p.add_argument("trace", help="input trace (either format)")
+    p.add_argument("-o", "--output", required=True, help="converted trace")
+    p.set_defaults(fn=_cmd_ingest)
+
+    p = sub.add_parser(
+        "watch",
+        help="stream a repro-events/1 trace through the incremental "
+             "detector, polling after every record",
+    )
+    p.add_argument("trace", help="a repro-events/1 stream")
+    p.add_argument("--predicate", required=True)
+    p.add_argument("--engine", choices=["auto", "exhaustive", "slice", "parallel"],
+                   default="auto", help="batch engine for the final "
+                                        "'definitely' upgrade")
+    p.add_argument("--verify", action="store_true",
+                   help="cross-check the streamed verdict against the batch "
+                        "conjunctive detector on the final prefix")
+    p.set_defaults(fn=_cmd_watch)
 
     p = sub.add_parser("obs", help="flight recorder: record/summarise/export")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)

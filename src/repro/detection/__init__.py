@@ -13,6 +13,10 @@ where a safety predicate fails.  This package provides:
   walk; ``exhaustive``/``slice``/``parallel`` force a choice.
 * :func:`possibly_exhaustive` / :func:`definitely_exhaustive` -- lattice
   BFS ground truth for small traces.
+* :class:`IncrementalDetector` -- the streaming variant of the
+  conjunctive detector: polls a growing
+  :class:`~repro.store.TraceStore` and answers over the current prefix
+  without per-poll rescans (``repro watch``).
 * :mod:`repro.detection.sgsd` -- satisfying-global-sequence detection, the
   NP-complete problem of Lemma 1 (exhaustive, subset-move semantics).
 * :mod:`repro.detection.reduction` -- the SAT -> SGSD mapping of Figure 1.
@@ -20,6 +24,7 @@ where a safety predicate fails.  This package provides:
 
 from repro.detection.conjunctive import possibly_bad, find_conjunctive_cut
 from repro.detection.engine import ENGINES, definitely, possibly
+from repro.detection.incremental import IncrementalDetector, WatchResult
 from repro.detection.lattice_walk import (
     possibly_exhaustive,
     definitely_exhaustive,
@@ -32,6 +37,8 @@ from repro.detection.online import Violation, ViolationMonitor
 __all__ = [
     "possibly_bad",
     "find_conjunctive_cut",
+    "IncrementalDetector",
+    "WatchResult",
     "ENGINES",
     "possibly",
     "definitely",

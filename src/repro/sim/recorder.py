@@ -4,6 +4,13 @@ Every state transition of every process is captured (variable snapshot +
 timestamp), application messages become *remotely precedes* arrows, and
 control messages become control arrows of the extended deposet.
 
+The recorder writes into an append-only :class:`~repro.store.TraceStore`
+(the storage layer), which maintains a live incremental causal index in
+lockstep -- so the run is queryable while it happens, and :meth:`build`
+is a cheap snapshot rather than a batch reconstruction.  Receives pass
+the message into :meth:`record_event` so the arrow joins during the O(n)
+append; control arrows land as downstream-cone index updates.
+
 Control-arrow strength: a recorded control arrow must never *overstate*
 causality, or verification on the recorded trace would be unsound.  Two
 modes are supported:
@@ -24,8 +31,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.causality.relations import StateRef
+from repro.store.trace_store import TraceStore
 from repro.trace.deposet import Deposet
-from repro.trace.states import MessageArrow
 
 __all__ = ["TraceRecorder"]
 
@@ -44,41 +51,78 @@ class TraceRecorder:
         if len(start_vars) != n:
             raise ValueError(f"{len(start_vars)} start assignments for {n} processes")
         self.n = n
-        self._states: List[List[Dict[str, Any]]] = [
-            [dict(start_vars[i])] for i in range(n)
-        ]
-        self._timestamps: List[List[float]] = [[start_time] for _ in range(n)]
-        self._messages: List[MessageArrow] = []
-        self._control: List[Tuple[StateRef, StateRef]] = []
+        self._store = TraceStore(n, start_vars=start_vars, start_times=start_time)
         # control messages delivered to proc j but whose target state (the
         # next state j enters) is not known yet
         self._awaiting_target: List[List[_PendingControl]] = [[] for _ in range(n)]
+        # resolved arrows whose *source* state has not completed yet (exact
+        # mode can record the arrow before the sender's next event lands);
+        # keyed by source process, flushed into the store on its next event
+        self._awaiting_source: List[List[Tuple[StateRef, StateRef]]] = [
+            [] for _ in range(n)
+        ]
+        #: all resolved control arrows in resolution order (the store may
+        #: hold deferred ones in flush order instead)
+        self._control: List[Tuple[StateRef, StateRef]] = []
 
     # -- underlying events ---------------------------------------------------
 
+    @property
+    def store(self) -> TraceStore:
+        """The append-only trace store this recorder writes into."""
+        return self._store
+
     def current_state(self, proc: int) -> int:
-        return len(self._states[proc]) - 1
+        return self._store.state_counts[proc] - 1
 
     def current_vars(self, proc: int) -> Dict[str, Any]:
-        return self._states[proc][-1]
+        return self._store.latest_vars(proc)
 
     def record_event(
-        self, proc: int, updates: Dict[str, Any], time: float
+        self,
+        proc: int,
+        updates: Dict[str, Any],
+        time: float,
+        received: Optional[Tuple[StateRef, Any, Optional[str]]] = None,
     ) -> StateRef:
-        """The process takes an event and enters a new state."""
-        new_vars = dict(self._states[proc][-1])
-        new_vars.update(updates)
-        self._states[proc].append(new_vars)
-        self._timestamps[proc].append(time)
-        entered = StateRef(proc, len(self._states[proc]) - 1)
+        """The process takes an event and enters a new state.
+
+        For a receive event, pass ``received=(src_state, payload, tag)``:
+        the message arrow is appended together with the state, keeping the
+        index update O(n).
+        """
+        if received is not None:
+            src_ref, payload, tag = received
+            entered = self._store.append_state(
+                proc, updates, time=time,
+                received_from=src_ref, payload=payload, tag=tag,
+            )
+        else:
+            entered = self._store.append_state(proc, updates, time=time)
+        # this event completed proc's previous state: flush arrows that
+        # were waiting for their source to complete
+        if self._awaiting_source[proc]:
+            for arrow in self._awaiting_source[proc]:
+                self._store.append_control(*arrow)
+            self._awaiting_source[proc].clear()
         # resolve control arrows waiting for this process's next state
         for pending in self._awaiting_target[proc]:
             if pending.src_state >= 0:
-                self._control.append(
-                    (StateRef(pending.src_proc, pending.src_state), entered)
+                self._add_control(
+                    StateRef(pending.src_proc, pending.src_state), entered
                 )
         self._awaiting_target[proc].clear()
         return entered
+
+    def _add_control(self, src: StateRef, dst: StateRef) -> None:
+        self._control.append((src, dst))
+        if src.index <= self._store.state_counts[src.proc] - 2:
+            self._store.append_control(src, dst)
+        else:
+            # exact-mode source not completed yet: the sender left the
+            # state, but its next event has not been recorded.  Defer the
+            # insert; it lands with the sender's next event.
+            self._awaiting_source[src.proc].append((src, dst))
 
     def record_message(
         self,
@@ -88,8 +132,13 @@ class TraceRecorder:
         tag: Optional[str] = None,
     ) -> None:
         """An application message: ``src`` is the sender's state before the
-        send event, ``dst`` the receiver's state after the receive event."""
-        self._messages.append(MessageArrow(src, dst, payload=payload, tag=tag))
+        send event, ``dst`` the receiver's state after the receive event.
+
+        Compatibility path for arrows attached after the receive state was
+        recorded; prefer ``record_event(received=...)``, which appends the
+        arrow in O(n) instead of a cone recompute.
+        """
+        self._store.append_message(src, dst, payload=payload, tag=tag)
 
     # -- control messages -------------------------------------------------------
 
@@ -127,11 +176,15 @@ class TraceRecorder:
         return list(self._control)
 
     def build(self, proc_names: Optional[List[str]] = None) -> Deposet:
-        """The recorded computation as a (possibly controlled) deposet."""
-        return Deposet(
-            self._states,
-            self._messages,
-            self._control,
-            proc_names=proc_names,
-            timestamps=self._timestamps,
-        )
+        """The recorded computation as a (possibly controlled) deposet.
+
+        A snapshot view over the store: shares columns and the frozen
+        causal index; no batch clock rebuild.  An arrow whose source never
+        completed (the run ended right after an exact-mode send) is
+        unsatisfiable, exactly as in the batch validation path: inserting
+        it raises :class:`~repro.errors.MalformedTraceError` (D2).
+        """
+        for arrows in self._awaiting_source:
+            for arrow in arrows:
+                self._store.append_control(*arrow)  # raises MalformedTraceError (D2)
+        return self._store.snapshot(proc_names=proc_names)

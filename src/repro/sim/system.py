@@ -20,7 +20,7 @@ just appears slow.  This is the paper's transparent controller hook.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Union
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -404,8 +404,14 @@ class System:
     def _guarded_event(
         self, proc: int, updates: Dict[str, Any], resume: Callable[[], None],
         after_commit: Optional[Callable[[], None]] = None,
+        received: Optional[Tuple[Tuple[int, int], Any, Optional[str]]] = None,
     ) -> None:
-        """Route a state transition through the guard."""
+        """Route a state transition through the guard.
+
+        ``received`` carries the incoming message of a receive event
+        ``(src_ref, payload, tag)`` so the recorder appends the message
+        arrow together with the state (O(n) index extension).
+        """
         ps = self._procs[proc]
         next_vars = dict(self.recorder.current_vars(proc))
         next_vars.update(updates)
@@ -422,7 +428,7 @@ class System:
                 return
             committed[0] = True
             ps.blocked_guard = False
-            self.recorder.record_event(proc, updates, self.queue.now)
+            self.recorder.record_event(proc, updates, self.queue.now, received=received)
             if after_commit is not None:
                 after_commit()
             self.queue.schedule(0.0, resume)
@@ -478,13 +484,12 @@ class System:
                     self._advance(proc, m.payload)
 
                 def after_commit(m=msg) -> None:
-                    dst_ref = (proc, self.recorder.current_state(proc))
-                    self.recorder.record_message(
-                        m.src_ref, dst_ref, payload=m.payload, tag=m.tag
-                    )
                     self._notify(proc, "receive", m.uid)
 
-                self._guarded_event(proc, recv.updates, resume, after_commit)
+                self._guarded_event(
+                    proc, recv.updates, resume, after_commit,
+                    received=(msg.src_ref, msg.payload, msg.tag),
+                )
                 return
 
     # -- control-plane helpers (used by controllers/guards) -------------------------

@@ -1,0 +1,357 @@
+"""Append-only columnar trace storage: the storage layer of the trace stack.
+
+A :class:`TraceStore` accumulates a distributed computation as it happens:
+per-process columns of variable assignments (and optional timestamps),
+plus message and control arrows that remain appendable after construction.
+It maintains a live :class:`~repro.store.index.CausalIndex` in lockstep,
+so causal queries are always available over the current prefix -- this is
+what streaming ingestion (``repro ingest`` / ``repro watch``) and the
+simulator's recorder write into.
+
+Append discipline
+-----------------
+* :meth:`append_state` -- one event in causal delivery order.  When the
+  event is a receive, pass ``received_from`` so the message arrow joins at
+  append time (O(n)); D3 (one message per event) is enforced here.
+* :meth:`append_control` -- a control arrow between existing states;
+  updates only the downstream cone of the target.  Bumps :attr:`epoch`
+  (arrows rewrite the causal past, so incremental detectors must
+  re-examine earlier conclusions).
+* :meth:`snapshot` -- an immutable :class:`~repro.trace.deposet.Deposet`
+  view over the current prefix, sharing columns and a frozen index with
+  the store (no copies of variable dicts, no clock rebuild).
+
+The view layer (``Deposet``) stays the universal currency of the library;
+the store is how one *grows*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.causality.relations import EventRef, StateRef
+from repro.errors import MalformedTraceError
+from repro.obs.metrics import METRICS
+from repro.store.index import CausalIndex
+from repro.trace.states import MessageArrow
+
+__all__ = ["TraceStore", "iter_delivery_events"]
+
+ControlArrow = Tuple[StateRef, StateRef]
+
+_STATES = METRICS.counter("store.states")
+_MESSAGES = METRICS.counter("store.messages")
+_CONTROL = METRICS.counter("store.control_arrows")
+_SNAPSHOTS = METRICS.counter("store.snapshots")
+
+
+class TraceStore:
+    """Columnar, append-only storage for one distributed computation.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    start_vars:
+        Initial variable assignment per process (defaults to empty).
+    proc_names:
+        Optional human-readable names (defaults to ``P0..P{n-1}``).
+    start_times:
+        Per-process start timestamps (or one scalar for all).  When given,
+        the store tracks a timestamp column and snapshots carry it.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        start_vars: Optional[Sequence[Dict[str, Any]]] = None,
+        proc_names: Optional[Sequence[str]] = None,
+        start_times: Optional[Sequence[float] | float] = None,
+    ):
+        if n <= 0:
+            raise MalformedTraceError(f"need at least one process, got n={n}")
+        if start_vars is not None and len(start_vars) != n:
+            raise MalformedTraceError(
+                f"{len(start_vars)} start assignments for {n} processes"
+            )
+        if proc_names is not None and len(proc_names) != n:
+            raise MalformedTraceError(f"{len(proc_names)} names for {n} processes")
+        self.n = n
+        self._vars: List[List[Dict[str, Any]]] = [
+            [dict(start_vars[i]) if start_vars is not None else {}] for i in range(n)
+        ]
+        self._names: Tuple[str, ...] = (
+            tuple(proc_names) if proc_names is not None
+            else tuple(f"P{i}" for i in range(n))
+        )
+        self._times: Optional[List[List[float]]] = None
+        if start_times is not None:
+            if isinstance(start_times, (int, float)):
+                start_times = [float(start_times)] * n
+            if len(start_times) != n:
+                raise MalformedTraceError(
+                    f"{len(start_times)} start times for {n} processes"
+                )
+            self._times = [[float(t)] for t in start_times]
+        self._messages: List[MessageArrow] = []
+        self._control: List[ControlArrow] = []
+        self._control_set: set = set()
+        self._index = CausalIndex([1] * n)
+        # D3 bookkeeping: which events already carry a message.
+        self._used_events: Dict[EventRef, MessageArrow] = {}
+        #: bumped whenever an arrow lands between *existing* states --
+        #: consumers holding incremental conclusions must re-derive them.
+        self.epoch = 0
+
+    # -- shape --------------------------------------------------------------
+
+    @property
+    def state_counts(self) -> Tuple[int, ...]:
+        return self._index.state_counts
+
+    @property
+    def num_states(self) -> int:
+        return sum(self._index.state_counts)
+
+    @property
+    def proc_names(self) -> Tuple[str, ...]:
+        return self._names
+
+    @property
+    def messages(self) -> Tuple[MessageArrow, ...]:
+        return tuple(self._messages)
+
+    @property
+    def control_arrows(self) -> Tuple[ControlArrow, ...]:
+        return tuple(self._control)
+
+    @property
+    def index(self) -> CausalIndex:
+        """The live causal index over the current prefix (do not mutate)."""
+        return self._index
+
+    def state_vars(self, ref: StateRef | Tuple[int, int]) -> Dict[str, Any]:
+        """The variable assignment of a local state (do not mutate)."""
+        proc, index = ref
+        return self._vars[proc][index]
+
+    def latest_vars(self, proc: int) -> Dict[str, Any]:
+        return self._vars[proc][-1]
+
+    def state_time(self, ref: StateRef | Tuple[int, int]) -> Optional[float]:
+        if self._times is None:
+            return None
+        proc, index = ref
+        return self._times[proc][index]
+
+    # -- appends ------------------------------------------------------------
+
+    def append_state(
+        self,
+        proc: int,
+        updates: Optional[Dict[str, Any]] = None,
+        *,
+        vars: Optional[Dict[str, Any]] = None,
+        time: Optional[float] = None,
+        received_from: Optional[StateRef | Tuple[int, int]] = None,
+        payload: Any = None,
+        tag: Optional[str] = None,
+    ) -> StateRef:
+        """One event of ``proc``; the process enters a new state.
+
+        ``updates`` overlay the previous state's variables; ``vars``
+        replaces the assignment wholesale (needed when a key disappears).
+        When the event is a message receive, pass ``received_from`` (the
+        sender's pre-send state): the message arrow joins the index during
+        the O(n) append instead of a later cone recompute, and D3 is
+        checked.  Returns the entered state.
+        """
+        if not (0 <= proc < self.n):
+            raise MalformedTraceError(f"no process {proc}")
+        if vars is not None:
+            new_vars = dict(vars)
+        else:
+            new_vars = dict(self._vars[proc][-1])
+            new_vars.update(updates or {})
+        sources: List[StateRef] = []
+        src: Optional[StateRef] = None
+        if received_from is not None:
+            src = StateRef(*received_from)
+            if src.proc == proc:
+                raise MalformedTraceError("a process cannot receive its own message")
+            send_ev: EventRef = (src.proc, src.index)
+            if send_ev in self._used_events:
+                raise MalformedTraceError(
+                    f"event {send_ev} used by both "
+                    f"{self._used_events[send_ev]!r} and the message from "
+                    f"{src!r} (D3 / one message per event)"
+                )
+            sources.append(src)
+        entered = self._index.append_event(proc, sources)  # validates endpoints
+        self._vars[proc].append(new_vars)
+        if self._times is not None:
+            self._times[proc].append(
+                float(time) if time is not None else self._times[proc][-1]
+            )
+        if src is not None:
+            msg = MessageArrow(src, entered, payload=payload, tag=tag)
+            self._messages.append(msg)
+            self._used_events[(src.proc, src.index)] = msg
+            self._used_events[(proc, entered.index - 1)] = msg
+            _MESSAGES.inc()
+        _STATES.inc()
+        return entered
+
+    def append_message(
+        self,
+        src: StateRef | Tuple[int, int],
+        dst: StateRef | Tuple[int, int],
+        payload: Any = None,
+        tag: Optional[str] = None,
+    ) -> MessageArrow:
+        """Attach a message arrow between two *existing* states.
+
+        Compatibility path for writers that only learn the receive state
+        after recording it; costs a cone recompute where
+        ``append_state(received_from=...)`` costs O(n).  Bumps
+        :attr:`epoch`.
+        """
+        src, dst = StateRef(*src), StateRef(*dst)
+        if src.proc == dst.proc:
+            raise MalformedTraceError("a process cannot receive its own message")
+        send_ev: EventRef = (src.proc, src.index)
+        recv_ev: EventRef = (dst.proc, dst.index - 1)
+        msg = MessageArrow(src, dst, payload=payload, tag=tag)
+        for ev in (send_ev, recv_ev):
+            if ev in self._used_events:
+                raise MalformedTraceError(
+                    f"event {ev} used by both {self._used_events[ev]!r} and "
+                    f"{msg!r} (D3 / one message per event)"
+                )
+        self._index.insert_arrows([(src, dst)])
+        self._messages.append(msg)
+        self._used_events[send_ev] = msg
+        self._used_events[recv_ev] = msg
+        self.epoch += 1
+        _MESSAGES.inc()
+        return msg
+
+    def append_control(
+        self, src: StateRef | Tuple[int, int], dst: StateRef | Tuple[int, int]
+    ) -> ControlArrow:
+        """Insert a control arrow between existing states (deduped).
+
+        Raises :class:`~repro.causality.relations.CycleError` when the
+        arrow interferes with the recorded causality.  Bumps :attr:`epoch`
+        when the arrow is new.
+        """
+        arrow = (StateRef(*src), StateRef(*dst))
+        if arrow in self._control_set:
+            return arrow  # duplicated control arrows add no causality
+        # The index also dedupes against message arrows with the same
+        # endpoints (the edge already exists; the *role* is still recorded).
+        self._index.insert_arrows([arrow])
+        self._control.append(arrow)
+        self._control_set.add(arrow)
+        self.epoch += 1
+        _CONTROL.inc()
+        return arrow
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self, proc_names: Optional[Sequence[str]] = None) -> "Deposet":
+        """An immutable :class:`Deposet` view of the current prefix.
+
+        Shares variable dicts and clock rows with the store (copy-on-write
+        protects them from later arrow inserts); later appends extend the
+        store without touching the snapshot.
+        """
+        from repro.trace.deposet import Deposet
+
+        _SNAPSHOTS.inc()
+        return Deposet._from_store(self, proc_names=proc_names)
+
+    # -- bulk construction ---------------------------------------------------
+
+    @classmethod
+    def from_deposet(cls, dep: "Deposet") -> "TraceStore":
+        """Replay an existing deposet through the incremental path.
+
+        Events are fed in a causal delivery order (see
+        :func:`iter_delivery_events`), so the resulting store -- columns,
+        arrows, and live index -- is equivalent to the batch-built ``dep``.
+        """
+        ts = dep.timestamps
+        store = cls(
+            dep.n,
+            start_vars=[dep.state_vars((i, 0)) for i in range(dep.n)],
+            proc_names=dep.proc_names,
+            start_times=[row[0] for row in ts] if ts is not None else None,
+        )
+        for proc, entered, msg, ctls in iter_delivery_events(dep):
+            time = ts[proc][entered] if ts is not None else None
+            if msg is not None:
+                store.append_state(
+                    proc,
+                    vars=dep.state_vars((proc, entered)),
+                    time=time,
+                    received_from=msg.src,
+                    payload=msg.payload,
+                    tag=msg.tag,
+                )
+            else:
+                store.append_state(
+                    proc, vars=dep.state_vars((proc, entered)), time=time
+                )
+            for a, b in ctls:
+                store.append_control(a, b)
+        return store
+
+    def __repr__(self) -> str:
+        ctrl = f", control={len(self._control)}" if self._control else ""
+        return (
+            f"TraceStore(n={self.n}, states={self.state_counts}, "
+            f"messages={len(self._messages)}{ctrl}, epoch={self.epoch})"
+        )
+
+
+def iter_delivery_events(
+    dep: "Deposet",
+) -> Iterator[Tuple[int, int, Optional[MessageArrow], Tuple[ControlArrow, ...]]]:
+    """Linearise ``dep``'s events into a causal delivery order.
+
+    Yields ``(proc, entered_state_index, message_or_None, control_arrows)``
+    such that every arrow source event (message *and* control) is emitted
+    before its target event, and control arrows are reported with the
+    event entering their target state.  This is the order in which a
+    streaming writer must emit records and a :class:`TraceStore` can
+    ingest them with O(n) appends.
+    """
+    counts = dep.state_counts
+    n = dep.n
+    recv: Dict[EventRef, MessageArrow] = {}
+    gates: Dict[EventRef, List[EventRef]] = {}
+    for msg in dep.messages:
+        recv_ev = (msg.dst.proc, msg.dst.index - 1)
+        recv[recv_ev] = msg
+        gates.setdefault(recv_ev, []).append((msg.src.proc, msg.src.index))
+    ctl_after: Dict[Tuple[int, int], List[ControlArrow]] = {}
+    for a, b in dep.control_arrows:
+        gates.setdefault((b.proc, b.index - 1), []).append((a.proc, a.index))
+        ctl_after.setdefault((b.proc, b.index), []).append((a, b))
+    emitted = [0] * n
+    remaining = sum(counts) - n
+    while remaining:
+        progressed = False
+        for i in range(n):
+            while emitted[i] < counts[i] - 1:
+                ev = (i, emitted[i])
+                if any(f >= emitted[q] for q, f in gates.get(ev, ())):
+                    break  # some arrow source has not completed yet
+                entered = emitted[i] + 1
+                yield i, entered, recv.get(ev), tuple(ctl_after.get((i, entered), ()))
+                emitted[i] = entered
+                remaining -= 1
+                progressed = True
+        if remaining and not progressed:  # pragma: no cover - dep.order is acyclic
+            raise MalformedTraceError("deposet admits no causal delivery order")

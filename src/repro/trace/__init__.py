@@ -3,7 +3,9 @@
 This package implements Section 3 of the paper: local states and events,
 message arrows (*remotely precedes*), the D1--D3 well-formedness
 constraints, consistent global states, the lattice of consistent cuts,
-global sequences, plus a builder DSL and a JSON trace format.
+global sequences, plus a builder DSL and two JSON trace formats (the
+batch ``repro-deposet/1`` document and the line-delimited
+``repro-events/1`` stream for incremental ingestion).
 
 A :class:`~repro.trace.deposet.Deposet` is the universal currency of the
 library: the simulator records one, detection algorithms analyse one, the
@@ -27,6 +29,11 @@ from repro.trace.io import (
     dump_deposet,
     load_deposet,
     load_deposet_meta,
+    StreamWriter,
+    write_event_stream,
+    ingest_event_stream,
+    read_event_stream,
+    sniff_trace_format,
 )
 from repro.trace.render import render_deposet
 from repro.trace.stats import DeposetStats, deposet_stats
@@ -47,6 +54,11 @@ __all__ = [
     "dump_deposet",
     "load_deposet",
     "load_deposet_meta",
+    "StreamWriter",
+    "write_event_stream",
+    "ingest_event_stream",
+    "read_event_stream",
+    "sniff_trace_format",
     "render_deposet",
     "DeposetStats",
     "deposet_stats",

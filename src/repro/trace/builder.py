@@ -15,6 +15,13 @@ s[0,1]
 Each ``local``/``send``/``receive`` call appends one event (and hence one
 new local state) to a process; keyword arguments update the process's
 variables in the new state (variables persist until overwritten).
+
+The builder writes into an append-only
+:class:`~repro.store.TraceStore` -- calls arrive in execution order,
+which is a causal delivery order (a message can only be received after
+:meth:`send` returned its handle), so the store's incremental index is
+maintained as the trace is typed in and :meth:`build` is a snapshot, not
+a batch reconstruction.
 """
 
 from __future__ import annotations
@@ -24,8 +31,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.causality.relations import StateRef
 from repro.errors import MalformedTraceError
+from repro.store.trace_store import TraceStore
 from repro.trace.deposet import Deposet
-from repro.trace.states import MessageArrow
 
 __all__ = ["ComputationBuilder", "PendingMessage"]
 
@@ -68,30 +75,29 @@ class ComputationBuilder:
             raise MalformedTraceError(
                 f"{len(start_vars)} start assignments for {n} processes"
             )
-        self._states: List[List[Dict[str, Any]]] = [
-            [dict(start_vars[i]) if start_vars is not None else {}]
-            for i in range(n)
-        ]
-        self._messages: List[MessageArrow] = []
+        self._store = TraceStore(
+            n,
+            start_vars=[dict(v) for v in start_vars] if start_vars is not None else None,
+            proc_names=names,
+        )
         self._labels: Dict[str, StateRef] = {}
         self._pending: List[PendingMessage] = []
 
     # -- events ------------------------------------------------------------
 
+    @property
+    def store(self) -> TraceStore:
+        """The underlying append-only trace store."""
+        return self._store
+
     def _check_proc(self, proc: int) -> None:
         if not (0 <= proc < self.n):
             raise MalformedTraceError(f"no process {proc}")
 
-    def _append_state(self, proc: int, updates: Mapping[str, Any]) -> StateRef:
-        new_vars = dict(self._states[proc][-1])
-        new_vars.update(updates)
-        self._states[proc].append(new_vars)
-        return StateRef(proc, len(self._states[proc]) - 1)
-
     def local(self, proc: int, **updates: Any) -> StateRef:
         """Append a local event to ``proc``; returns the new state."""
         self._check_proc(proc)
-        return self._append_state(proc, updates)
+        return self._store.append_state(proc, updates)
 
     def send(
         self,
@@ -102,8 +108,8 @@ class ComputationBuilder:
     ) -> PendingMessage:
         """Append a send event to ``proc``; deliver later with :meth:`receive`."""
         self._check_proc(proc)
-        src = StateRef(proc, len(self._states[proc]) - 1)
-        self._append_state(proc, updates)
+        src = StateRef(proc, self._store.state_counts[proc] - 1)
+        self._store.append_state(proc, updates)
         pending = PendingMessage(src=src, payload=payload, tag=tag)
         self._pending.append(pending)
         return pending
@@ -117,11 +123,11 @@ class ComputationBuilder:
             raise MalformedTraceError("message already delivered")
         if message.src.proc == proc:
             raise MalformedTraceError("a process cannot receive its own message")
-        dst = self._append_state(proc, updates)
-        message.delivered = True
-        self._messages.append(
-            MessageArrow(message.src, dst, payload=message.payload, tag=message.tag)
+        dst = self._store.append_state(
+            proc, updates,
+            received_from=message.src, payload=message.payload, tag=message.tag,
         )
+        message.delivered = True
         return dst
 
     def transfer(
@@ -143,7 +149,7 @@ class ComputationBuilder:
     def mark(self, proc: int, label: str) -> StateRef:
         """Attach ``label`` to the current (latest) state of ``proc``."""
         self._check_proc(proc)
-        ref = StateRef(proc, len(self._states[proc]) - 1)
+        ref = StateRef(proc, self._store.state_counts[proc] - 1)
         self._labels[label] = ref
         return ref
 
@@ -155,7 +161,7 @@ class ComputationBuilder:
     def at(self, proc: int) -> StateRef:
         """The current (latest) state of ``proc``."""
         self._check_proc(proc)
-        return StateRef(proc, len(self._states[proc]) - 1)
+        return StateRef(proc, self._store.state_counts[proc] - 1)
 
     # -- finalisation ----------------------------------------------------------
 
@@ -173,4 +179,4 @@ class ComputationBuilder:
                 f"(first from {undelivered[0].src!r}); pass "
                 f"allow_undelivered=True to model message loss"
             )
-        return Deposet(self._states, self._messages, proc_names=self._names)
+        return self._store.snapshot()

@@ -23,6 +23,7 @@ from typing import (
 
 from repro.causality.relations import CausalOrder, CycleError, StateRef
 from repro.errors import InterferenceError, MalformedTraceError
+from repro.store.index import CausalIndex
 from repro.trace.states import Event, EventKind, MessageArrow
 
 __all__ = ["Deposet"]
@@ -89,9 +90,16 @@ class Deposet:
         self._messages: Tuple[MessageArrow, ...] = tuple(
             m if isinstance(m, MessageArrow) else MessageArrow(*m) for m in messages
         )
-        self._control: Tuple[ControlArrow, ...] = tuple(
-            (StateRef(*a), StateRef(*b)) for a, b in control_arrows
-        )
+        # Control arrows are deduped: a repeated arrow adds no causality
+        # but would inflate the event graph and the obs arrow counters.
+        control: List[ControlArrow] = []
+        seen_control = set()
+        for a, b in control_arrows:
+            arrow = (StateRef(*a), StateRef(*b))
+            if arrow not in seen_control:
+                seen_control.add(arrow)
+                control.append(arrow)
+        self._control: Tuple[ControlArrow, ...] = tuple(control)
         if proc_names is not None and len(proc_names) != len(self._vars):
             raise MalformedTraceError(
                 f"{len(proc_names)} names for {len(self._vars)} processes"
@@ -208,8 +216,10 @@ class Deposet:
     @cached_property
     def base_order(self) -> CausalOrder:
         """Happened-before of the *underlying* computation (no control)."""
-        return CausalOrder(
-            self.state_counts, [(m.src, m.dst) for m in self._messages]
+        return CausalIndex(
+            self.state_counts,
+            [(m.src, m.dst) for m in self._messages],
+            appendable=False,
         )
 
     @cached_property
@@ -262,17 +272,78 @@ class Deposet:
     def with_control(self, arrows: Iterable[ControlArrow]) -> "Deposet":
         """The controlled deposet: this computation plus a control relation.
 
-        The new arrows are *appended* to any existing control relation.
+        The new arrows are *appended* to any existing control relation
+        (duplicates are dropped -- a repeated arrow adds no causality).
         Raises :class:`~repro.errors.InterferenceError` if the union
         interferes with the underlying causality.
+
+        The extended causality is derived **incrementally** from this
+        deposet's order (only the downstream cone of each new arrow is
+        recomputed), so a controller's build-verify loop does not pay a
+        full Kahn pass per arrow.
         """
-        return Deposet(
-            self._vars,
-            self._messages,
-            tuple(self._control) + tuple((StateRef(*a), StateRef(*b)) for a, b in arrows),
-            self._names,
-            self._timestamps,
+        seen = set(self._control)
+        fresh: List[ControlArrow] = []
+        for a, b in arrows:
+            arrow = (StateRef(*a), StateRef(*b))
+            if arrow not in seen:
+                seen.add(arrow)
+                fresh.append(arrow)
+        if not fresh:
+            return self
+        new = object.__new__(Deposet)
+        new._vars = self._vars
+        new._messages = self._messages
+        new._control = self._control + tuple(fresh)
+        new._names = self._names
+        new._timestamps = self._timestamps
+        # Seed the order cache incrementally; endpoint validation (D1/D2,
+        # existence) and interference checks happen here, eagerly, exactly
+        # as in the batch constructor path.
+        try:
+            new.__dict__["order"] = self.order.extended(fresh)
+        except CycleError as exc:
+            raise InterferenceError(
+                "control relation interferes with causality", cycle=exc.remaining
+            ) from exc
+        if "base_order" in self.__dict__:
+            new.__dict__["base_order"] = self.__dict__["base_order"]
+        if "state_counts" in self.__dict__:
+            new.__dict__["state_counts"] = self.__dict__["state_counts"]
+        return new
+
+    @classmethod
+    def _from_store(cls, store, proc_names: Optional[Sequence[str]] = None) -> "Deposet":
+        """A snapshot view over a :class:`~repro.store.TraceStore` prefix.
+
+        Shares the store's variable dicts and arrow objects (no deep copy)
+        and seeds the ``order`` cache with a frozen slice of the store's
+        live :class:`~repro.store.index.CausalIndex` -- the store already
+        enforced D1--D3 and acyclicity on every append, so the usual
+        eager validation pass is skipped.  Private: use
+        :meth:`TraceStore.snapshot`.
+        """
+        dep = object.__new__(cls)
+        dep._vars = tuple(tuple(states) for states in store._vars)
+        dep._messages = tuple(store._messages)
+        dep._control = tuple(store._control)
+        names = store.proc_names if proc_names is None else tuple(proc_names)
+        if len(names) != len(dep._vars):
+            raise MalformedTraceError(
+                f"{len(names)} names for {len(dep._vars)} processes"
+            )
+        dep._names = tuple(names)
+        dep._timestamps = (
+            tuple(tuple(row) for row in store._times)
+            if store._times is not None
+            else None
         )
+        frozen = store.index.freeze()
+        dep.__dict__["order"] = frozen
+        dep.__dict__["state_counts"] = frozen.state_counts
+        if not dep._control:
+            dep.__dict__["base_order"] = frozen
+        return dep
 
     def without_control(self) -> "Deposet":
         """The underlying computation, dropping any control relation."""

@@ -1,7 +1,10 @@
-"""JSON (de)serialisation of deposets.
+"""Trace (de)serialisation: batch JSON documents and streaming event logs.
 
-The schema is deliberately plain so traces can be produced by external
-tracers and inspected by hand:
+Two formats, one storage model:
+
+``repro-deposet/1`` -- a single JSON document describing a whole deposet.
+Deliberately plain so traces can be produced by external tracers and
+inspected by hand:
 
 .. code-block:: json
 
@@ -15,38 +18,78 @@ tracers and inspected by hand:
       "obs": {"metrics": {"counters": {"sim.runs": 1}}}
     }
 
+``repro-events/1`` -- a line-delimited event stream in **causal delivery
+order**, built for incremental ingestion into a
+:class:`~repro.store.TraceStore` (``repro ingest`` / ``repro watch``).
+The first line is a header; every further line is one record:
+
+.. code-block:: text
+
+    {"format": "repro-events/1", "proc_names": ["P0","P1"],
+     "start": [{"x": 0}, {}], "start_times": [0.0, 0.0]}
+    {"t": "ev",   "p": 0, "u": {"x": 1}, "time": 1.0}
+    {"t": "recv", "p": 1, "src": [0, 1], "u": {}, "payload": "m", "tag": null}
+    {"t": "ctl",  "src": [0, 1], "dst": [1, 2]}
+    {"t": "obs",  "obs": {"metrics": {}}}
+
+``"ev"``/``"recv"`` append one event to process ``p`` (``"u"`` overlays
+variable updates; ``"vars"`` replaces the assignment wholesale, used when
+a key disappears).  ``"recv"`` names the sender's pre-send state so the
+message arrow joins during the O(n) append; ``"ctl"`` inserts a control
+arrow between already-streamed states (cone update); a trailing ``"obs"``
+record carries the observability block.  Records must respect causal
+delivery order: an arrow source must have completed before its target
+event is streamed -- :func:`write_event_stream` linearises any deposet
+accordingly.
+
 Payloads are serialised only when JSON-representable; otherwise they are
 dropped with a ``repr`` placeholder (payloads are never semantically
 meaningful to the algorithms).
 
-The optional ``"obs"`` block carries observability metadata from the run
-that produced the trace (a :mod:`repro.obs` metrics snapshot, recording
-paths, ...).  The format tag stays ``repro-deposet/1``: readers that
-predate the block ignore unknown keys, and this reader accepts traces
-with or without it (:func:`load_deposet_meta` returns it alongside the
-deposet; :func:`load_deposet` keeps the deposet-only signature).
+Malformed inputs raise :class:`~repro.errors.MalformedTraceError` carrying
+the offending location -- the JSON path (``messages[3].src``) for batch
+documents, ``file:line`` for streams.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    IO,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.causality.relations import StateRef
 from repro.errors import MalformedTraceError
+from repro.store.trace_store import TraceStore, iter_delivery_events
 from repro.trace.deposet import Deposet
 from repro.trace.states import MessageArrow
 
 __all__ = [
+    "FORMAT",
     "deposet_to_dict",
     "deposet_from_dict",
     "dump_deposet",
     "load_deposet",
     "load_deposet_meta",
+    "STREAM_FORMAT",
+    "StreamWriter",
+    "write_event_stream",
+    "ingest_event_stream",
+    "read_event_stream",
+    "sniff_trace_format",
 ]
 
 FORMAT = "repro-deposet/1"
+STREAM_FORMAT = "repro-events/1"
 
 
 def _jsonable(value: Any) -> Any:
@@ -55,6 +98,9 @@ def _jsonable(value: Any) -> Any:
         return value
     except (TypeError, ValueError):
         return {"__repr__": repr(value)}
+
+
+# -- batch documents ---------------------------------------------------------
 
 
 def deposet_to_dict(
@@ -93,30 +139,96 @@ def deposet_to_dict(
     return out
 
 
+def _fail(path: str, msg: str) -> None:
+    raise MalformedTraceError(f"{path}: {msg}")
+
+
+def _check_ref(value: Any, path: str) -> Tuple[int, int]:
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or not all(isinstance(c, int) and not isinstance(c, bool) for c in value)
+    ):
+        _fail(path, f"expected a [process, state] pair, got {value!r}")
+    return value[0], value[1]
+
+
+def _check_vars(value: Any, path: str) -> Dict[str, Any]:
+    if not isinstance(value, dict):
+        _fail(path, f"expected an object of variables, got {value!r}")
+    return value
+
+
 def deposet_from_dict(data: Dict[str, Any]) -> Deposet:
-    """Rebuild a deposet from :func:`deposet_to_dict` output."""
+    """Rebuild a deposet from :func:`deposet_to_dict` output.
+
+    Structural problems raise :class:`MalformedTraceError` naming the
+    offending JSON path (``states[1][3]``, ``messages[2].src``,
+    ``control[0]``, ``timestamps[1]``); semantic problems (D1--D3,
+    interference) surface from the :class:`Deposet` constructor with the
+    offending state refs in the message.
+    """
+    if not isinstance(data, dict):
+        raise MalformedTraceError(f"expected a trace object, got {type(data).__name__}")
     if data.get("format") != FORMAT:
         raise MalformedTraceError(
             f"unknown trace format {data.get('format')!r}; expected {FORMAT!r}"
         )
-    messages = [
-        MessageArrow(
-            StateRef(*m["src"]),
-            StateRef(*m["dst"]),
-            payload=m.get("payload"),
-            tag=m.get("tag"),
+    states = data.get("states")
+    if not isinstance(states, list) or not states:
+        _fail("states", "expected a non-empty list of per-process state lists")
+    for i, proc_states in enumerate(states):
+        if not isinstance(proc_states, list) or not proc_states:
+            _fail(f"states[{i}]", "expected a non-empty list of variable objects")
+        for a, vars in enumerate(proc_states):
+            _check_vars(vars, f"states[{i}][{a}]")
+    messages = []
+    for k, m in enumerate(data.get("messages", ())):
+        if not isinstance(m, dict):
+            _fail(f"messages[{k}]", f"expected an object, got {m!r}")
+        if "src" not in m or "dst" not in m:
+            _fail(f"messages[{k}]", "missing 'src' or 'dst'")
+        messages.append(
+            MessageArrow(
+                StateRef(*_check_ref(m["src"], f"messages[{k}].src")),
+                StateRef(*_check_ref(m["dst"], f"messages[{k}].dst")),
+                payload=m.get("payload"),
+                tag=m.get("tag"),
+            )
         )
-        for m in data["messages"]
-    ]
-    control = [
-        (StateRef(*a), StateRef(*b)) for a, b in data.get("control", [])
-    ]
+    control = []
+    for k, arrow in enumerate(data.get("control") or ()):
+        if not isinstance(arrow, (list, tuple)) or len(arrow) != 2:
+            _fail(f"control[{k}]", f"expected a [src, dst] pair, got {arrow!r}")
+        control.append(
+            (
+                StateRef(*_check_ref(arrow[0], f"control[{k}][0]")),
+                StateRef(*_check_ref(arrow[1], f"control[{k}][1]")),
+            )
+        )
+    timestamps = data.get("timestamps")
+    if timestamps is not None:
+        if not isinstance(timestamps, list) or len(timestamps) != len(states):
+            _fail(
+                "timestamps",
+                f"expected {len(states)} per-process rows, got {timestamps!r}",
+            )
+        for i, row in enumerate(timestamps):
+            if not isinstance(row, list) or not all(
+                isinstance(t, (int, float)) and not isinstance(t, bool) for t in row
+            ):
+                _fail(f"timestamps[{i}]", f"expected a list of numbers, got {row!r}")
+            if len(row) != len(states[i]):
+                _fail(
+                    f"timestamps[{i}]",
+                    f"{len(row)} entries for {len(states[i])} states",
+                )
     return Deposet(
-        data["states"],
+        states,
         messages,
         control,
         proc_names=data.get("proc_names"),
-        timestamps=data.get("timestamps"),
+        timestamps=timestamps,
     )
 
 
@@ -127,14 +239,329 @@ def dump_deposet(
     Path(path).write_text(json.dumps(deposet_to_dict(dep, obs=obs), indent=1))
 
 
+def _load_dict(path: Union[str, Path]) -> Dict[str, Any]:
+    try:
+        return json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise MalformedTraceError(f"{path}: not valid JSON ({exc})") from exc
+
+
 def load_deposet(path: Union[str, Path]) -> Deposet:
-    """Read a deposet written by :func:`dump_deposet`."""
-    return deposet_from_dict(json.loads(Path(path).read_text()))
+    """Read a deposet written by :func:`dump_deposet`.
+
+    Malformed traces raise :class:`MalformedTraceError` prefixed with the
+    file path (and the offending JSON path for structural errors).
+    """
+    try:
+        return deposet_from_dict(_load_dict(path))
+    except MalformedTraceError as exc:
+        if str(exc).startswith(str(path)):
+            raise
+        raise MalformedTraceError(f"{path}: {exc}") from exc
 
 
 def load_deposet_meta(
     path: Union[str, Path],
 ) -> Tuple[Deposet, Optional[Dict[str, Any]]]:
-    """Read a deposet plus its ``"obs"`` block (``None`` when absent)."""
-    data = json.loads(Path(path).read_text())
-    return deposet_from_dict(data), data.get("obs")
+    """Read a deposet plus its ``"obs"`` block (``None`` when absent).
+
+    The embedded ``obs`` block is returned as inert data -- it is **not**
+    merged into the live :data:`~repro.obs.metrics.METRICS` registry
+    (re-loading a recorded run must not double-count its activity; pinned
+    by ``tests/obs/test_metrics_reload.py``).
+    """
+    data = _load_dict(path)
+    try:
+        dep = deposet_from_dict(data)
+    except MalformedTraceError as exc:
+        if str(exc).startswith(str(path)):
+            raise
+        raise MalformedTraceError(f"{path}: {exc}") from exc
+    return dep, data.get("obs")
+
+
+# -- streaming ---------------------------------------------------------------
+
+
+class StreamWriter:
+    """Incremental writer for the ``repro-events/1`` line format.
+
+    Emit records in causal delivery order (every arrow source completed
+    before its target event is written); :func:`write_event_stream` does
+    this for a finished deposet, live producers do it naturally by
+    writing events as they commit.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, Path, IO[str]],
+        n: int,
+        proc_names: Optional[Sequence[str]] = None,
+        start_vars: Optional[Sequence[Dict[str, Any]]] = None,
+        start_times: Optional[Sequence[float]] = None,
+    ):
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target
+            self._owns = False
+        else:
+            self._fh = open(target, "w")
+            self._owns = True
+        header: Dict[str, Any] = {
+            "format": STREAM_FORMAT,
+            "proc_names": (
+                list(proc_names) if proc_names is not None
+                else [f"P{i}" for i in range(n)]
+            ),
+            "start": [
+                {k: _jsonable(v) for k, v in (start_vars[i] if start_vars else {}).items()}
+                for i in range(n)
+            ],
+            "start_times": list(start_times) if start_times is not None else None,
+        }
+        self._write(header)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def event(
+        self,
+        proc: int,
+        updates: Optional[Dict[str, Any]] = None,
+        vars: Optional[Dict[str, Any]] = None,
+        time: Optional[float] = None,
+    ) -> None:
+        """A local or send event of ``proc``."""
+        rec: Dict[str, Any] = {"t": "ev", "p": proc}
+        self._payload_fields(rec, updates, vars, time)
+        self._write(rec)
+
+    def receive(
+        self,
+        proc: int,
+        src: StateRef | Tuple[int, int],
+        updates: Optional[Dict[str, Any]] = None,
+        vars: Optional[Dict[str, Any]] = None,
+        time: Optional[float] = None,
+        payload: Any = None,
+        tag: Optional[str] = None,
+    ) -> None:
+        """A receive event: ``src`` is the sender's pre-send state."""
+        rec: Dict[str, Any] = {"t": "recv", "p": proc, "src": [src[0], src[1]]}
+        self._payload_fields(rec, updates, vars, time)
+        if payload is not None:
+            rec["payload"] = _jsonable(payload)
+        if tag is not None:
+            rec["tag"] = tag
+        self._write(rec)
+
+    def control(
+        self, src: StateRef | Tuple[int, int], dst: StateRef | Tuple[int, int]
+    ) -> None:
+        """A control arrow between already-streamed states."""
+        self._write({"t": "ctl", "src": [src[0], src[1]], "dst": [dst[0], dst[1]]})
+
+    def obs(self, obs: Dict[str, Any]) -> None:
+        """The trailing observability block."""
+        self._write({"t": "obs", "obs": obs})
+
+    @staticmethod
+    def _payload_fields(
+        rec: Dict[str, Any],
+        updates: Optional[Dict[str, Any]],
+        vars: Optional[Dict[str, Any]],
+        time: Optional[float],
+    ) -> None:
+        if vars is not None:
+            rec["vars"] = {k: _jsonable(v) for k, v in vars.items()}
+        else:
+            rec["u"] = {k: _jsonable(v) for k, v in (updates or {}).items()}
+        if time is not None:
+            rec["time"] = time
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "StreamWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def _delta(
+    prev: Dict[str, Any], cur: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Variable updates from ``prev`` to ``cur``; ``None`` when a key
+    disappeared (updates cannot express deletion: emit full ``vars``)."""
+    if any(k not in cur for k in prev):
+        return None
+    return {k: v for k, v in cur.items() if k not in prev or prev[k] != v}
+
+
+def write_event_stream(
+    dep: Deposet,
+    path: Union[str, Path, IO[str]],
+    obs: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Linearise ``dep`` into a ``repro-events/1`` stream.
+
+    Events are emitted in a causal delivery order over the *extended*
+    causality (messages and control arrows both gate emission), so the
+    stream replays through :func:`ingest_event_stream` with O(n) appends.
+    """
+    ts = dep.timestamps
+    writer = StreamWriter(
+        path,
+        dep.n,
+        proc_names=dep.proc_names,
+        start_vars=[dep.state_vars((i, 0)) for i in range(dep.n)],
+        start_times=[row[0] for row in ts] if ts is not None else None,
+    )
+    try:
+        for proc, entered, msg, ctls in iter_delivery_events(dep):
+            prev = dep.state_vars((proc, entered - 1))
+            cur = dep.state_vars((proc, entered))
+            updates = _delta(prev, cur)
+            time = ts[proc][entered] if ts is not None else None
+            kwargs: Dict[str, Any] = (
+                {"vars": cur} if updates is None else {"updates": updates}
+            )
+            if msg is not None:
+                writer.receive(
+                    proc, msg.src, time=time,
+                    payload=msg.payload, tag=msg.tag, **kwargs,
+                )
+            else:
+                writer.event(proc, time=time, **kwargs)
+            for a, b in ctls:
+                writer.control(a, b)
+        if obs is not None:
+            writer.obs(obs)
+    finally:
+        writer.close()
+
+
+def _stream_fail(where: str, msg: str) -> None:
+    raise MalformedTraceError(f"{where}: {msg}")
+
+
+def ingest_event_stream(
+    path: Union[str, Path],
+) -> Iterator[Tuple[TraceStore, Dict[str, Any]]]:
+    """Incrementally ingest a ``repro-events/1`` stream.
+
+    Yields ``(store, record)`` after the header (record = the header) and
+    after each applied record, so a consumer can re-detect over the
+    appended suffix between records (``repro watch``).  The same store
+    object is yielded every time; the trailing ``"obs"`` block, when
+    present, is left on ``store`` as the attribute ``obs``.
+
+    Malformed records raise :class:`MalformedTraceError` carrying
+    ``file:line``.
+    """
+    path = Path(path)
+    with open(path) as fh:
+        store: Optional[TraceStore] = None
+        for lineno, line in enumerate(fh, start=1):
+            where = f"{path}:{lineno}"
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise MalformedTraceError(f"{where}: not valid JSON ({exc})") from exc
+            if not isinstance(rec, dict):
+                _stream_fail(where, f"expected an object, got {rec!r}")
+            if store is None:
+                if rec.get("format") != STREAM_FORMAT:
+                    _stream_fail(
+                        where,
+                        f"unknown stream format {rec.get('format')!r}; "
+                        f"expected {STREAM_FORMAT!r}",
+                    )
+                start = rec.get("start")
+                if not isinstance(start, list) or not start:
+                    _stream_fail(where, "header needs a non-empty 'start' list")
+                for i, vars in enumerate(start):
+                    _check_vars(vars, f"{where}: start[{i}]")
+                names = rec.get("proc_names")
+                times = rec.get("start_times")
+                try:
+                    store = TraceStore(
+                        len(start),
+                        start_vars=start,
+                        proc_names=names,
+                        start_times=times,
+                    )
+                except MalformedTraceError as exc:
+                    raise MalformedTraceError(f"{where}: {exc}") from exc
+                store.obs = None
+                yield store, rec
+                continue
+            kind = rec.get("t")
+            try:
+                if kind == "ev" or kind == "recv":
+                    proc = rec.get("p")
+                    if not isinstance(proc, int) or isinstance(proc, bool):
+                        _stream_fail(where, f"'p' must be a process index, got {proc!r}")
+                    kwargs: Dict[str, Any] = {"time": rec.get("time")}
+                    if "vars" in rec:
+                        kwargs["vars"] = _check_vars(rec["vars"], f"{where}: vars")
+                    else:
+                        kwargs["updates"] = _check_vars(
+                            rec.get("u", {}), f"{where}: u"
+                        )
+                    if kind == "recv":
+                        kwargs["received_from"] = _check_ref(
+                            rec.get("src"), f"{where}: src"
+                        )
+                        kwargs["payload"] = rec.get("payload")
+                        kwargs["tag"] = rec.get("tag")
+                    updates = kwargs.pop("updates", None)
+                    store.append_state(proc, updates, **kwargs)
+                elif kind == "ctl":
+                    store.append_control(
+                        _check_ref(rec.get("src"), f"{where}: src"),
+                        _check_ref(rec.get("dst"), f"{where}: dst"),
+                    )
+                elif kind == "obs":
+                    store.obs = rec.get("obs")
+                else:
+                    _stream_fail(where, f"unknown record type {kind!r}")
+            except MalformedTraceError as exc:
+                if str(exc).startswith(str(path)):
+                    raise
+                raise MalformedTraceError(f"{where}: {exc}") from exc
+            yield store, rec
+        if store is None:
+            raise MalformedTraceError(f"{path}: empty stream (no header)")
+
+
+def read_event_stream(
+    path: Union[str, Path],
+) -> Tuple[TraceStore, Optional[Dict[str, Any]]]:
+    """Read a whole ``repro-events/1`` stream into a :class:`TraceStore`.
+
+    Returns ``(store, obs)`` where ``obs`` is the trailing observability
+    block (``None`` when absent).
+    """
+    store: Optional[TraceStore] = None
+    for store, _rec in ingest_event_stream(path):
+        pass
+    return store, store.obs
+
+
+def sniff_trace_format(path: Union[str, Path]) -> str:
+    """``"repro-deposet/1"`` or ``"repro-events/1"``, from the file head."""
+    with open(path) as fh:
+        first = fh.readline().strip()
+    try:
+        head = json.loads(first)
+    except json.JSONDecodeError:
+        # A pretty-printed batch document spreads over many lines.
+        return FORMAT
+    if isinstance(head, dict) and head.get("format") == STREAM_FORMAT:
+        return STREAM_FORMAT
+    return FORMAT

@@ -1,0 +1,144 @@
+"""The streaming detector agrees with batch detection on every prefix.
+
+``IncrementalDetector.poll`` after each ingested record must return
+exactly what :func:`possibly_bad` returns on a snapshot of the same
+prefix -- same ``None``-ness *and* the same (unique least) witness cut --
+including across epoch resets caused by late-arriving arrows.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.causality.relations import StateRef
+from repro.detection import IncrementalDetector, possibly_bad
+from repro.detection.incremental import WatchResult
+from repro.obs import METRICS
+from repro.store import TraceStore
+from repro.trace.io import ingest_event_stream, write_event_stream
+from repro.workloads import availability_predicate, random_deposet
+
+SMALL = dict(n=3, events_per_proc=5, message_rate=0.4, flip_rate=0.4)
+
+
+def replay_and_check(dep, pred):
+    """Feed ``dep`` into a store event by event, asserting poll == batch
+    after every append and every control-arrow insert."""
+    from repro.store.trace_store import iter_delivery_events
+
+    ts = dep.timestamps
+    store = TraceStore(
+        dep.n, start_vars=[dep.state_vars((i, 0)) for i in range(dep.n)]
+    )
+    det = IncrementalDetector(store, pred)
+    assert det.poll() == possibly_bad(store.snapshot(), pred)
+    for proc, entered, msg, ctls in iter_delivery_events(dep):
+        kwargs = {}
+        if msg is not None:
+            kwargs = dict(received_from=msg.src, payload=msg.payload, tag=msg.tag)
+        store.append_state(
+            proc, vars=dep.state_vars((proc, entered)), **kwargs
+        )
+        assert det.poll() == possibly_bad(store.snapshot(), pred)
+        for a, b in ctls:
+            store.append_control(a, b)
+            assert det.poll() == possibly_bad(store.snapshot(), pred)
+    return det, store
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_poll_matches_batch_on_every_prefix(seed):
+    dep = random_deposet(seed=seed, **SMALL)
+    pred = availability_predicate(dep.n, "up")
+    det, store = replay_and_check(dep, pred)
+    result = det.finalize()
+    assert isinstance(result, WatchResult)
+    assert result.witness == possibly_bad(store.snapshot(), pred)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_poll_matches_batch_with_control_resets(seed):
+    """Control arrows arrive mid-stream (epoch bumps): the detector must
+    reset and still agree with batch on every prefix."""
+    from repro.errors import InterferenceError
+
+    dep = random_deposet(seed=seed, **SMALL)
+    rng = random.Random(seed)
+    arrows = []
+    for _ in range(3):
+        i, j = rng.sample(range(dep.n), 2)
+        if dep.state_counts[i] < 2 or dep.state_counts[j] < 2:
+            continue
+        a = rng.randrange(dep.state_counts[i] - 1)
+        b = rng.randrange(1, dep.state_counts[j])
+        if dep.order.concurrent((i, a), (j, b)):
+            arrows.append((StateRef(i, a), StateRef(j, b)))
+    if not arrows:
+        return
+    try:
+        controlled = dep.with_control(arrows)
+    except InterferenceError:
+        return
+    replay_and_check(controlled, availability_predicate(dep.n, "up"))
+
+
+def test_watch_over_ingested_stream_matches_batch(tmp_path):
+    """The full pipeline: write a stream, re-ingest it record by record,
+    poll after each -- every verdict equals batch detection."""
+    dep = random_deposet(seed=5, **SMALL)
+    pred = availability_predicate(dep.n, "up")
+    path = tmp_path / "t.jsonl"
+    write_event_stream(dep, path)
+    det = None
+    for store, _rec in ingest_event_stream(path):
+        if det is None:
+            det = IncrementalDetector(store, pred)
+        assert det.poll() == possibly_bad(store.snapshot(), pred)
+
+
+def test_epoch_reset_invalidates_witness(tmp_path):
+    """A found witness must be withdrawn when a control arrow orders the
+    cut's states after the fact."""
+    store = TraceStore(2, start_vars=[{"up": True}, {"up": True}])
+    pred = availability_predicate(2, "up")
+    det = IncrementalDetector(store, pred)
+    assert det.poll() is None  # both start states satisfy "up"
+    store.append_state(0, {"up": False})
+    assert det.poll() is None  # P1 still saves the disjunction
+    store.append_state(1, {"up": False})
+    assert det.poll() == (1, 1)  # concurrent all-down states: violation
+    resets_before = METRICS.counter("detection.incremental.resets").value
+    # order the two down-states: P0 recovers before P1 goes down
+    store.append_state(0, {"up": True})
+    store.append_control((0, 1), (1, 1))
+    assert det.poll() is None
+    assert METRICS.counter("detection.incremental.resets").value > resets_before
+    assert possibly_bad(store.snapshot(), pred) is None
+    # a later genuinely-concurrent violation is still found
+    store.append_state(0, {"up": False})
+    assert det.poll() == (3, 1)
+    assert possibly_bad(store.snapshot(), pred) == (3, 1)
+
+
+def test_pending_process_reported():
+    store = TraceStore(2, start_vars=[{"up": False}, {"up": True}])
+    det = IncrementalDetector(store, availability_predicate(2, "up"))
+    assert det.poll() is None
+    assert det.pending_procs == (1,)  # P1 has never been down
+    result = det.finalize()
+    assert result.witness is None and result.pending == (1,)
+
+
+def test_finalize_reports_definitely():
+    # both processes go down unconditionally: the violation is definite
+    store = TraceStore(2, start_vars=[{"up": True}, {"up": True}])
+    store.append_state(0, {"up": False})
+    store.append_state(1, {"up": False})
+    det = IncrementalDetector(store, availability_predicate(2, "up"))
+    result = det.finalize()
+    assert result.witness == (1, 1)
+    assert result.definitely is True

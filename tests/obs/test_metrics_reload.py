@@ -1,0 +1,52 @@
+"""Pin: re-loading a recorded trace must not double-count its metrics.
+
+A trace dumped with an embedded ``obs`` block describes activity that
+*already happened*.  ``load_deposet_meta`` must hand that block back as
+inert data -- merging it into the live :data:`METRICS` registry would
+double-count the original run every time anyone inspects the file.
+"""
+
+from repro.obs import METRICS
+from repro.trace import ComputationBuilder, dump_deposet, load_deposet_meta
+
+
+def sample():
+    b = ComputationBuilder(2, start_vars=[{"up": True}, {"up": True}])
+    b.local(0, up=False)
+    b.transfer(0, 1, payload="x")
+    return b.build()
+
+
+def test_load_deposet_meta_does_not_merge_obs_into_live_metrics(tmp_path):
+    path = tmp_path / "t.json"
+    embedded = {
+        "metrics": {
+            "counters": {"sim.runs": 1_000_000, "totally.fake.counter": 77},
+            "gauges": {},
+            "histograms": {},
+        }
+    }
+    dump_deposet(sample(), path, obs=embedded)
+
+    runs_before = METRICS.counter("sim.runs").value
+    dep, obs = load_deposet_meta(path)
+
+    # the block comes back verbatim ...
+    assert obs == embedded
+    assert dep.state_counts == (3, 2)
+    # ... and the live registry is untouched by it
+    assert METRICS.counter("sim.runs").value == runs_before
+    assert "totally.fake.counter" not in METRICS.snapshot()["counters"]
+
+
+def test_stream_obs_block_is_inert_too(tmp_path):
+    from repro.trace import read_event_stream, write_event_stream
+
+    path = tmp_path / "t.jsonl"
+    embedded = {"metrics": {"counters": {"another.fake.counter": 9}}}
+    write_event_stream(sample(), path, obs=embedded)
+    runs_before = METRICS.counter("sim.runs").value
+    _store, obs = read_event_stream(path)
+    assert obs == embedded
+    assert METRICS.counter("sim.runs").value == runs_before
+    assert "another.fake.counter" not in METRICS.snapshot()["counters"]

@@ -1,0 +1,225 @@
+"""Property suite: the incremental CausalIndex equals batch CausalOrder.
+
+The load-bearing guarantee of the index layer: after *any* valid
+interleaving of event appends and arrow inserts, the index's clocks and
+query answers are identical to a :class:`CausalOrder` built from scratch
+over the same states and arrows -- including error behaviour (D1/D2
+rejection messages and :class:`CycleError` payloads).
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.causality.relations import CausalOrder, CycleError, StateRef
+from repro.errors import InterferenceError, MalformedTraceError
+from repro.store import CausalIndex, TraceStore
+from repro.workloads import random_deposet
+
+SMALL = dict(n=3, events_per_proc=4, message_rate=0.4, flip_rate=0.3)
+
+
+def assert_orders_equal(inc, batch):
+    assert inc.state_counts == batch.state_counts
+    for i in range(len(inc.state_counts)):
+        assert np.array_equal(inc.clock_matrix(i), batch.clock_matrix(i)), i
+
+
+def all_states(counts):
+    return [(i, a) for i, m in enumerate(counts) for a in range(m)]
+
+
+def assert_queries_equal(inc, batch):
+    states = all_states(batch.state_counts)
+    for a in states:
+        for b in states:
+            assert inc.happened_before(a, b) == batch.happened_before(a, b)
+            assert inc.concurrent(a, b) == batch.concurrent(a, b)
+
+
+# -- replaying whole deposets ------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_replayed_deposet_matches_batch_order(seed):
+    """Feeding a deposet through the store's append path reproduces the
+    batch-computed causal order exactly."""
+    dep = random_deposet(seed=seed, **SMALL)
+    store = TraceStore.from_deposet(dep)
+    assert_orders_equal(store.index, dep.base_order)
+    assert_queries_equal(store.index, dep.base_order)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=50_000))
+def test_replayed_controlled_deposet_matches_extended_order(seed):
+    """Control arrows streamed as cone inserts yield the same clocks as a
+    full batch rebuild over messages + control."""
+    dep = random_deposet(seed=seed, **SMALL)
+    rng = random.Random(seed)
+    arrows = []
+    for _ in range(4):
+        i, j = rng.sample(range(dep.n), 2)
+        if dep.state_counts[i] < 2 or dep.state_counts[j] < 2:
+            continue
+        a = rng.randrange(dep.state_counts[i] - 1)
+        b = rng.randrange(1, dep.state_counts[j])
+        if dep.order.concurrent((i, a), (j, b)):
+            arrows.append((StateRef(i, a), StateRef(j, b)))
+    if not arrows:
+        return
+    try:
+        controlled = dep.with_control(arrows)
+    except InterferenceError:
+        return  # individually concurrent arrows may still be jointly cyclic
+    store = TraceStore.from_deposet(controlled)
+    assert_orders_equal(store.index, controlled.order)
+    assert_queries_equal(store.index, controlled.order)
+    assert set(store.control_arrows) == set(controlled.control_arrows)
+
+
+# -- arbitrary interleavings -------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_interleaved_appends_and_inserts_match_batch(seed):
+    """A random program of appends (with and without message sources) and
+    arrow inserts leaves the index identical to a from-scratch CausalOrder;
+    interfering inserts raise a CycleError with the exact batch payload."""
+    rng = random.Random(seed)
+    n = 3
+    idx = CausalIndex([1] * n)
+    counts = [1] * n
+    arrows = []  # mirror of everything inserted, for batch rebuilds
+
+    for _ in range(22):
+        if rng.random() < 0.65 or sum(counts) < 5:
+            proc = rng.randrange(n)
+            sources = []
+            if rng.random() < 0.4:
+                others = [p for p in range(n) if p != proc and counts[p] >= 2]
+                if others:
+                    p = rng.choice(others)
+                    a = rng.randrange(counts[p] - 1)
+                    sources.append((p, a))
+            entered = idx.append_event(proc, sources)
+            counts[proc] += 1
+            assert entered == StateRef(proc, counts[proc] - 1)
+            for src in sources:
+                arrows.append((StateRef(*src), entered))
+        else:
+            i, j = rng.sample(range(n), 2)
+            if counts[i] < 2 or counts[j] < 2:
+                continue
+            arrow = (
+                StateRef(i, rng.randrange(counts[i] - 1)),
+                StateRef(j, rng.randrange(1, counts[j])),
+            )
+            try:
+                CausalOrder(counts, arrows + [arrow])
+            except CycleError as batch_exc:
+                with pytest.raises(CycleError) as caught:
+                    idx.insert_arrows([arrow])
+                assert sorted(caught.value.remaining) == sorted(
+                    batch_exc.remaining
+                )
+                continue
+            idx.insert_arrows([arrow])
+            if arrow not in arrows:
+                arrows.append(arrow)
+
+    batch = CausalOrder(counts, arrows)
+    assert_orders_equal(idx, batch)
+    assert_queries_equal(idx, batch)
+    # consistency queries agree on random cuts
+    for _ in range(20):
+        cut = [rng.randrange(m) for m in counts]
+        assert idx.is_consistent_cut(cut) == batch.is_consistent_cut(cut)
+
+
+# -- validation parity -------------------------------------------------------
+
+
+def test_insert_rejects_d1_d2_like_batch():
+    idx = CausalIndex([3, 3])
+    cases = [
+        ((0, 2), (1, 1), "final state"),            # D2: source never completes
+        ((0, 0), (1, 0), "start state"),            # D1: target always entered
+        ((0, 5), (1, 1), "no such state"),
+        ((3, 0), (1, 1), "no such process"),
+        ((0, 1), (0, 1), "points backwards"),
+    ]
+    for src, dst, needle in cases:
+        arrow = (StateRef(*src), StateRef(*dst))
+        with pytest.raises(MalformedTraceError) as inc_err:
+            idx.insert_arrows([arrow])
+        with pytest.raises(MalformedTraceError) as batch_err:
+            CausalOrder([3, 3], [arrow])
+        assert needle in str(inc_err.value)
+        assert str(inc_err.value) == str(batch_err.value)
+
+
+def test_append_requires_completed_source():
+    """Streaming appends must arrive in causal delivery order: an arrow
+    from the sender's *current* (incomplete) state is rejected."""
+    idx = CausalIndex([1, 1])
+    idx.append_event(0)  # P0 now has states 0,1; only state 0 completed
+    with pytest.raises(MalformedTraceError, match="causal delivery order"):
+        idx.append_event(1, sources=[(0, 1)])
+    idx.append_event(1, sources=[(0, 0)])  # completed source is fine
+
+
+def test_failed_insert_leaves_index_usable():
+    """A rejected (cyclic) insert must not corrupt the index."""
+    idx = CausalIndex([1, 1])
+    for _ in range(3):
+        idx.append_event(0)
+        idx.append_event(1)
+    idx.insert_arrows([(StateRef(0, 1), StateRef(1, 2))])
+    before = [idx.clock_matrix(i).copy() for i in range(2)]
+    with pytest.raises(CycleError):
+        idx.insert_arrows([(StateRef(1, 1), StateRef(0, 1))])
+    for i in range(2):
+        assert np.array_equal(idx.clock_matrix(i), before[i])
+    # and the index still accepts further valid operations
+    idx.append_event(0)
+    idx.insert_arrows([(StateRef(1, 2), StateRef(0, 3))])
+    counts = idx.state_counts
+    batch = CausalOrder(counts, idx.arrows)
+    assert_orders_equal(idx, batch)
+
+
+# -- dedupe regression (satellite: repeated arrows must not accumulate) ------
+
+
+def test_extended_dedupes_repeated_arrows():
+    base = CausalOrder([3, 3], [(StateRef(0, 0), StateRef(1, 1))])
+    again = base.extended([(StateRef(0, 0), StateRef(1, 1))])
+    assert len(again.arrows) == len(base.arrows) == 1
+    idx = CausalIndex.from_order(base)
+    idx.insert_arrows([(StateRef(0, 0), StateRef(1, 1))])
+    assert len(idx.arrows) == 1
+
+
+def test_freeze_isolates_snapshot_from_later_growth():
+    idx = CausalIndex([1, 1])
+    idx.append_event(0)
+    idx.append_event(1, sources=[(0, 0)])
+    frozen = idx.freeze()
+    expect = [frozen.clock_matrix(i).copy() for i in range(2)]
+    # grow and rewrite the live index afterwards
+    idx.append_event(0)
+    idx.append_event(1)
+    idx.insert_arrows([(StateRef(1, 1), StateRef(0, 2))])
+    assert frozen.state_counts == (2, 2)
+    for i in range(2):
+        assert np.array_equal(frozen.clock_matrix(i), expect[i])
+    with pytest.raises(RuntimeError):
+        frozen.insert_arrows([(StateRef(0, 0), StateRef(1, 1))])
+    batch = CausalOrder(idx.state_counts, idx.arrows)
+    assert_orders_equal(idx, batch)

@@ -115,3 +115,52 @@ def test_cli_full_pipeline_mutex(tmp_path, capsys):
         "control", str(path), "--predicate", "mutex:cs", "-o", fixed,
     ]) == 0
     assert main(["replay", fixed]) == 0
+
+
+def test_cli_ingest_roundtrip_both_directions(trace_file, tmp_path, capsys):
+    stream = str(tmp_path / "s.jsonl")
+    back = str(tmp_path / "back.json")
+    assert main(["ingest", trace_file, "-o", stream]) == 0
+    assert "repro-events/1" in capsys.readouterr().out
+    assert main(["ingest", stream, "-o", back]) == 0
+    assert "repro-deposet/1" in capsys.readouterr().out
+    original, rebuilt = load_deposet(trace_file), load_deposet(back)
+    assert rebuilt.state_counts == original.state_counts
+    assert set(rebuilt.messages) == set(original.messages)
+
+
+def test_cli_watch_detects_violation(trace_file, tmp_path, capsys):
+    stream = str(tmp_path / "s.jsonl")
+    assert main(["ingest", trace_file, "-o", stream]) == 0
+    capsys.readouterr()
+    assert main([
+        "watch", stream, "--predicate", "at-least-one:avail", "--verify",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "violation possible" in out
+    assert "batch detector agrees" in out
+
+
+def test_cli_watch_controlled_trace_holds(trace_file, tmp_path, capsys):
+    fixed = str(tmp_path / "fixed.json")
+    stream = str(tmp_path / "s.jsonl")
+    assert main([
+        "control", trace_file, "--predicate", "at-least-one:avail",
+        "-o", fixed,
+    ]) == 0
+    assert main(["ingest", fixed, "-o", stream]) == 0
+    capsys.readouterr()
+    assert main([
+        "watch", stream, "--predicate", "at-least-one:avail", "--verify",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "predicate holds" in out
+    assert "batch detector agrees" in out
+
+
+def test_cli_watch_malformed_stream_errors(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"format": "repro-events/1", "start": [{}, {}]}\n{oops\n')
+    assert main(["watch", str(bad), "--predicate", "at-least-one:up"]) == 3
+    err = capsys.readouterr().err
+    assert "bad.jsonl:2" in err

@@ -1,0 +1,57 @@
+"""Regression: repeated control arrows must not accumulate.
+
+Controllers re-derive overlapping arrow sets across build-verify rounds;
+before deduplication, each round re-appended identical arrows, inflating
+the event graph, the serialised trace, and the obs arrow counters.
+"""
+
+from repro.causality.relations import StateRef
+from repro.trace import ComputationBuilder
+
+
+def sample():
+    b = ComputationBuilder(2, start_vars=[{"up": True}, {"up": True}])
+    b.local(0, up=False)
+    b.local(0, up=True)
+    b.local(1, up=False)
+    b.local(1, up=True)
+    return b.build()
+
+
+ARROW = (StateRef(0, 1), StateRef(1, 1))
+
+
+def test_with_control_drops_arrows_already_present():
+    dep = sample().with_control([ARROW])
+    again = dep.with_control([ARROW])
+    assert again is dep  # nothing fresh: no new object, no new order
+    assert dep.control_arrows == (ARROW,)
+    assert len(dep.order.arrows) == 1
+
+
+def test_with_control_dedupes_within_one_call():
+    dep = sample().with_control([ARROW, ARROW, ARROW])
+    assert dep.control_arrows == (ARROW,)
+    assert len(dep.order.arrows) == 1
+
+
+def test_with_control_mixed_fresh_and_duplicate():
+    dep = sample().with_control([ARROW])
+    other = (StateRef(0, 1), StateRef(1, 2))
+    both = dep.with_control([ARROW, other])
+    assert both.control_arrows == (ARROW, other)
+    assert len(both.order.arrows) == 2
+    # extension is incremental: base clocks were not recomputed
+    assert both.base_order is dep.base_order
+
+
+def test_constructor_dedupes_control_arrows():
+    from repro.trace.deposet import Deposet
+
+    dep = sample()
+    rebuilt = Deposet(
+        [list(dep.proc_states(i)) for i in range(dep.n)],
+        dep.messages,
+        [ARROW, ARROW],
+    )
+    assert rebuilt.control_arrows == (ARROW,)
