@@ -23,7 +23,7 @@ from repro import (
     sat_to_sgsd,
     sgsd,
 )
-from repro.bench import Sweep, geometric_fit
+from repro.bench import Sweep
 from repro.core import control_disjunctive
 from repro.errors import NoControllerExistsError
 from repro.trace import CutLattice

@@ -18,9 +18,7 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.bench import Sweep
-from repro.detection import possibly_bad
 from repro.mutex import run_mutex_workload
-from repro.workloads import mutex_predicate
 
 
 def test_e7_message_overhead_two_per_n_entries(benchmark):

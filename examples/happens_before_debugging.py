@@ -16,7 +16,6 @@ from repro import (
     happens_before,
     possibly_bad,
 )
-from repro.predicates import DisjunctivePredicate, LocalPredicate
 
 
 def main() -> None:

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""CI smoke test for ``repro lint``.
+
+Builds a small, genuinely race-free trace (a sequential message chain with
+per-process variable names, so not even the race *warnings* fire), checks
+that it passes ``repro lint --strict``, then corrupts copies of it three
+different ways and asserts that the linter reports **exactly** the planted
+rule id each time, with a concrete witness:
+
+* vector-clock skew            -> ``T008``
+* orphan receive endpoint      -> ``T005``
+* interfering control arrow    -> ``C101``
+
+Finally lints the committed workload generators (philosophers, mutex,
+figure 4) and requires zero errors on each -- warnings are allowed there
+(recorded workloads legitimately contain races).
+
+Run as ``PYTHONPATH=src python scripts/lint_smoke.py``; exits non-zero on
+the first deviation.  Uses only the public CLI for the fixture checks so
+the exit-code contract (0 clean / 1 findings / 3 usage) is covered too.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import Severity, lint_deposet  # noqa: E402
+from repro.causality.relations import StateRef  # noqa: E402
+from repro.trace.deposet import Deposet  # noqa: E402
+from repro.trace.states import MessageArrow  # noqa: E402
+from repro.trace.io import dump_deposet  # noqa: E402
+from repro.workloads import figure4_c1, mutex_trace, philosophers_trace  # noqa: E402
+
+FAILURES: list = []
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    mark = "ok" if ok else "FAIL"
+    print(f"[{mark}] {label}" + (f" -- {detail}" if detail and not ok else ""))
+    if not ok:
+        FAILURES.append(label)
+
+
+def clean_trace() -> Deposet:
+    """Three processes, a sequential message chain, disjoint variables.
+
+    P0 hands a token to P1, P1 to P2 -- every pair of sends is causally
+    ordered and every variable belongs to exactly one process, so no
+    T/C/R rule has anything to say even under ``--strict``.
+    """
+    states = (
+        ({"a": 0}, {"a": 1}, {"a": 2}),
+        ({"b": 0}, {"b": 1}, {"b": 2}),
+        ({"c": 0}, {"c": 1}, {"c": 2}),
+    )
+    messages = (
+        MessageArrow(src=StateRef(0, 0), dst=StateRef(1, 1), tag="token"),
+        MessageArrow(src=StateRef(1, 1), dst=StateRef(2, 2), tag="token"),
+    )
+    return Deposet(states, messages, (), proc_names=("P0", "P1", "P2"))
+
+
+def run_cli(path: Path, *extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(path), "--format", "json", *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+def rule_ids(proc: subprocess.CompletedProcess) -> list:
+    doc = json.loads(proc.stdout)
+    return sorted({f["rule"] for f in doc["findings"]})
+
+
+def main() -> int:
+    dep = clean_trace()
+    tmp = Path(tempfile.mkdtemp(prefix="lint-smoke-"))
+
+    clean_path = tmp / "clean.json"
+    dump_deposet(dep, clean_path, clocks=True)
+    base = json.loads(clean_path.read_text())
+
+    proc = run_cli(clean_path, "--strict")
+    check("clean trace passes --strict (exit 0)", proc.returncode == 0, proc.stdout)
+    check("clean trace has zero findings", rule_ids(proc) == [], proc.stdout)
+
+    # 1. vector-clock skew -> T008
+    skewed = copy.deepcopy(base)
+    skewed["clocks"][2][2][0] += 5
+    skew_path = tmp / "clock-skew.json"
+    skew_path.write_text(json.dumps(skewed))
+    proc = run_cli(skew_path)
+    check("clock skew exits 1", proc.returncode == 1, proc.stdout)
+    check("clock skew reports exactly T008", rule_ids(proc) == ["T008"], proc.stdout)
+    doc = json.loads(proc.stdout)
+    check(
+        "T008 witness carries recorded vs recomputed clocks",
+        all("recorded" in f["data"] and "recomputed" in f["data"] for f in doc["findings"]),
+    )
+
+    # 2. orphan receive endpoint -> T005
+    orphan = copy.deepcopy(base)
+    orphan["messages"][0]["dst"] = [7, 1]
+    orphan_path = tmp / "orphan.json"
+    orphan_path.write_text(json.dumps(orphan))
+    proc = run_cli(orphan_path)
+    check("orphan receive exits 1", proc.returncode == 1, proc.stdout)
+    check("orphan receive reports exactly T005", rule_ids(proc) == ["T005"], proc.stdout)
+    doc = json.loads(proc.stdout)
+    check(
+        "T005 witness names the bad endpoint",
+        any("messages[0]" in (f.get("location") or "") for f in doc["findings"]),
+    )
+
+    # 3. interfering control arrow -> C101.  The message P1:1 ~> P2:2
+    # orders event (1,1) before (2,1); the control arrow P2:1 -> P1:1
+    # demands the opposite, closing a cycle in the extended relation.
+    interf = copy.deepcopy(base)
+    interf.pop("clocks", None)  # recomputed order no longer matches; not the point here
+    interf["control"] = [[[2, 1], [1, 1]]]
+    interf_path = tmp / "interference.json"
+    interf_path.write_text(json.dumps(interf))
+    proc = run_cli(interf_path)
+    check("interference exits 1", proc.returncode == 1, proc.stdout)
+    check("interference reports exactly C101", rule_ids(proc) == ["C101"], proc.stdout)
+    doc = json.loads(proc.stdout)
+    check(
+        "C101 witness carries the event cycle",
+        any(f["data"].get("cycle_events") for f in doc["findings"]),
+    )
+
+    # 4. committed workload generators must lint with zero errors
+    for name, wdep in (
+        ("philosophers", philosophers_trace(3, 2, seed=7)),
+        ("mutex", mutex_trace(2, n=2, seed=7)),
+        ("figure4_c1", figure4_c1()[0]),
+    ):
+        report = lint_deposet(wdep, source=name)
+        errors = [f for f in report.findings if f.severity >= Severity.ERROR]
+        check(f"workload {name} lints with zero errors", not errors, report.summary())
+
+    print()
+    if FAILURES:
+        print(f"lint smoke FAILED: {len(FAILURES)} check(s): {FAILURES}")
+        return 1
+    print("lint smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Static analysis of traces, control relations, and predicates.
+
+The ``repro lint`` subsystem: proves or refutes the pipeline's standing
+assumptions over a recorded trace -- deposet axioms D1--D3, channel
+integrity, non-interference of the control relation, predicate class --
+without executing any detector, controller, or replay, and explains every
+violation with a concrete witness.
+
+Entry points: :func:`lint_trace` / :func:`lint_deposet` run all passes
+and return a :class:`Report`; :func:`classify` is the predicate
+classifier the detection engine's ``auto`` mode routes through; the rule
+catalogue lives in :data:`RULES` (documented in ``docs/ANALYSIS.md``).
+"""
+
+from repro.analysis.classifier import (
+    Classification,
+    PredicateClass,
+    classify,
+    raw_class,
+    semantically_regular,
+)
+from repro.analysis.findings import RULES, Finding, Report, Rule, Severity
+from repro.analysis.raw import RawTrace, load_raw, parse_batch, parse_stream
+from repro.analysis.reporters import REPORTERS, render_json, render_sarif, render_text
+from repro.analysis.runner import lint_deposet, lint_raw, lint_trace
+
+__all__ = [
+    "Classification",
+    "Finding",
+    "PredicateClass",
+    "RawTrace",
+    "Report",
+    "REPORTERS",
+    "RULES",
+    "Rule",
+    "Severity",
+    "classify",
+    "lint_deposet",
+    "lint_raw",
+    "lint_trace",
+    "load_raw",
+    "parse_batch",
+    "parse_stream",
+    "raw_class",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "semantically_regular",
+]

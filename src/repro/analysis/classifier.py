@@ -1,0 +1,313 @@
+"""Pass 3: the predicate classifier (rules P201--P203).
+
+Walks a :class:`~repro.predicates.base.Predicate` expression tree and
+derives the *tightest* class it provably belongs to:
+
+    constant  <  local  <  {disjunctive, conjunctive}  <  general
+
+``local`` predicates are both disjunctive and conjunctive (a one-factor
+disjunction/conjunction); conjunctive predicates are regular (Mittal &
+Garg), so the polynomial slicing engine applies; disjunctive predicates
+are *not* regular in general but admit the O(n^2 p) controller;
+``general`` is the NP-hard path (Theorem 1).
+
+The derivation reuses the library's own normalisers --
+:func:`repro.slicing.regular.regular_form`,
+:func:`repro.predicates.disjunctive.as_disjunctive`/:func:`fold_local` --
+so a classifier verdict *is* a routing decision: whatever it says is
+conjunctive, the slicing engine accepts, by construction.
+:func:`semantically_regular` provides the brute-force lattice ground
+truth (meet/join closure of the satisfying cuts) the hypothesis suite
+compares against.
+
+``repro.detection.engine`` consumes :func:`classify` to route ``auto``
+mode, and :func:`recommend` is the payload of the P203 info finding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import NotDisjunctiveError
+from repro.predicates.base import (
+    FalsePredicate,
+    Predicate,
+    TruePredicate,
+)
+from repro.predicates.disjunctive import (
+    DisjunctivePredicate,
+    as_disjunctive,
+    fold_local,
+)
+from repro.predicates.local import LocalPredicate
+from repro.slicing.regular import RegularForm, regular_form
+from repro.trace.deposet import Deposet
+
+__all__ = [
+    "PredicateClass",
+    "Classification",
+    "classify",
+    "raw_class",
+    "semantically_regular",
+    "lattice_estimate",
+    "recommend",
+    "analyze_predicate",
+]
+
+
+class PredicateClass(enum.Enum):
+    CONSTANT = "constant"
+    LOCAL = "local"
+    DISJUNCTIVE = "disjunctive"
+    CONJUNCTIVE = "conjunctive"
+    GENERAL = "general"
+
+    @property
+    def tightness(self) -> int:
+        """Partial order as a rank: lower = tighter (cheaper algorithms).
+
+        ``disjunctive`` and ``conjunctive`` are incomparable; both rank
+        between ``local`` and ``general``.
+        """
+        return {
+            PredicateClass.CONSTANT: 0,
+            PredicateClass.LOCAL: 1,
+            PredicateClass.DISJUNCTIVE: 2,
+            PredicateClass.CONJUNCTIVE: 2,
+            PredicateClass.GENERAL: 3,
+        }[self]
+
+
+@dataclass
+class Classification:
+    """What the classifier proved about one predicate."""
+
+    tightest: PredicateClass
+    #: Accepted by the polynomial slicing engine.  Equivalent to
+    #: ``regular_form is not None``, and (pinned by tests) to the
+    #: predicate's own ``is_regular()``.
+    regular: bool
+    regular_form: Optional[RegularForm] = None
+    disjunctive_form: Optional[DisjunctivePredicate] = None
+    folded_local: Optional[LocalPredicate] = None
+    reason: str = ""
+
+    @property
+    def engine(self) -> str:
+        """The soundness-safe detection engine for this class."""
+        return "slice" if self.regular else "exhaustive"
+
+
+def classify(pred: Predicate) -> Classification:
+    """Derive the tightest class of ``pred`` (purely syntactic, no trace).
+
+    The verdict is conservative: ``GENERAL`` means "no tighter structure
+    was *recognised*", not a proof of semantic generality -- exactly the
+    contract of :meth:`Predicate.is_regular`.
+    """
+    if isinstance(pred, (TruePredicate, FalsePredicate)):
+        return Classification(
+            PredicateClass.CONSTANT,
+            regular=True,
+            regular_form=regular_form(pred),
+            reason="constant predicate",
+        )
+    rform = regular_form(pred)
+    dform: Optional[DisjunctivePredicate] = None
+    n = max(pred.procs(), default=0) + 1
+    try:
+        dform = as_disjunctive(pred, n)
+    except NotDisjunctiveError:
+        dform = None
+    local = fold_local(pred)
+    if local is not None:
+        return Classification(
+            PredicateClass.LOCAL,
+            regular=rform is not None,
+            regular_form=rform,
+            disjunctive_form=dform,
+            folded_local=local,
+            reason=f"touches only process {local.proc}",
+        )
+    if not pred.procs():
+        # Zero-process but not a constant node (e.g. fold-resistant
+        # wrappers); regular_form keeps such factors symbolic.
+        return Classification(
+            PredicateClass.CONSTANT,
+            regular=rform is not None,
+            regular_form=rform,
+            reason="touches no process",
+        )
+    if rform is not None:
+        return Classification(
+            PredicateClass.CONJUNCTIVE,
+            regular=True,
+            regular_form=rform,
+            disjunctive_form=dform,
+            reason=(
+                f"conjunction of locals on processes "
+                f"{sorted(rform.conjuncts)}"
+            ),
+        )
+    if dform is not None:
+        return Classification(
+            PredicateClass.DISJUNCTIVE,
+            regular=False,
+            disjunctive_form=dform,
+            reason=(
+                f"disjunction of locals on processes "
+                f"{sorted(dform.locals_by_proc)}"
+            ),
+        )
+    return Classification(
+        PredicateClass.GENERAL,
+        regular=False,
+        reason="no local/disjunctive/conjunctive structure recognised",
+    )
+
+
+def raw_class(pred: Predicate) -> PredicateClass:
+    """The class claimed by the *node type alone* -- what a user who never
+    normalises would assume.  P202 compares this against :func:`classify`."""
+    if isinstance(pred, (TruePredicate, FalsePredicate)):
+        return PredicateClass.CONSTANT
+    if isinstance(pred, LocalPredicate):
+        return PredicateClass.LOCAL
+    if isinstance(pred, DisjunctivePredicate):
+        return PredicateClass.DISJUNCTIVE
+    return PredicateClass.GENERAL
+
+
+# -- semantic ground truth ---------------------------------------------------
+
+
+def semantically_regular(dep: Deposet, pred: Predicate) -> bool:
+    """Brute-force regularity: the satisfying consistent cuts are closed
+    under componentwise min (meet) and max (join).
+
+    Exponential in the trace -- ground truth for tests and small lint
+    runs, never for routing.
+    """
+    from repro.trace.global_state import CutLattice
+
+    lattice = CutLattice(dep)
+    satisfying = [
+        tuple(cut)
+        for cut in lattice.iter_consistent_cuts()
+        if pred.evaluate(dep, cut)
+    ]
+    members = set(satisfying)
+    for a, b in combinations(satisfying, 2):
+        meet = tuple(min(x, y) for x, y in zip(a, b))
+        join = tuple(max(x, y) for x, y in zip(a, b))
+        # Meet/join of consistent cuts are consistent (the cut lattice is
+        # a lattice), so membership failure is a predicate failure.
+        if meet not in members or join not in members:
+            return False
+    return True
+
+
+def lattice_estimate(
+    dep: Deposet, classification: Optional[Classification] = None
+) -> Tuple[int, Optional[int]]:
+    """``(full, sliced)`` upper bounds on the cuts a detector must visit.
+
+    ``full`` is the exhaustive lattice bound ``prod(m_i)``; ``sliced`` is
+    the bound after restricting each process to its conjunct-true states
+    (``None`` when no regular form is available).
+    """
+    full = 1
+    for m in dep.state_counts:
+        full *= m
+    sliced: Optional[int] = None
+    if classification is not None and classification.regular_form is not None:
+        sliced = 1
+        for table in classification.regular_form.truth_tables(dep):
+            sliced *= max(int(table.sum()), 0)
+    return full, sliced
+
+
+def recommend(
+    dep: Deposet, classification: Classification
+) -> Tuple[str, str]:
+    """``(engine, reason)`` -- the routing recommendation of P203."""
+    full, sliced = lattice_estimate(dep, classification)
+    if classification.regular:
+        return (
+            "slice",
+            f"predicate is {classification.tightest.value} (regular): "
+            f"polynomial slicing bounds the walk to <= {sliced} of "
+            f"{full} cuts",
+        )
+    if classification.tightest is PredicateClass.DISJUNCTIVE:
+        return (
+            "exhaustive",
+            f"predicate is disjunctive: not regular, but the O(n^2 p) "
+            f"controller applies; detection walks up to {full} cuts",
+        )
+    return (
+        "exhaustive",
+        f"predicate is {classification.tightest.value}: detection walks "
+        f"up to {full} cuts (NP-hard path, Theorem 1)",
+    )
+
+
+# -- the pass ----------------------------------------------------------------
+
+
+def analyze_predicate(dep: Deposet, pred: Predicate) -> List[Finding]:
+    """Run P201--P203 for ``pred`` against ``dep``."""
+    findings: List[Finding] = []
+    c = classify(pred)
+
+    # P201: the predicate's own is_regular() claim must match the
+    # classifier (both recognise the same syntactic core; a subclass
+    # overriding is_regular() inconsistently breaks engine routing).
+    claimed = pred.is_regular()
+    if claimed != c.regular:
+        findings.append(
+            Finding(
+                "P201",
+                f"{pred!r}.is_regular() returns {claimed}, but the "
+                f"classifier derives {c.regular} "
+                f"(tightest class: {c.tightest.value}); engine auto-routing "
+                f"would pick an unsound engine",
+                data={"claimed": claimed, "derived": c.regular,
+                      "class": c.tightest.value},
+            )
+        )
+
+    # P202: declared shape vs derived class.
+    declared = raw_class(pred)
+    if declared.tightness > c.tightest.tightness:
+        findings.append(
+            Finding(
+                "P202",
+                f"predicate {pred!r} is written as a "
+                f"{declared.value} expression but is semantically "
+                f"{c.tightest.value} ({c.reason}); a polynomial algorithm "
+                f"applies",
+                data={"declared": declared.value, "derived": c.tightest.value},
+            )
+        )
+
+    engine, reason = recommend(dep, c)
+    full, sliced = lattice_estimate(dep, c)
+    findings.append(
+        Finding(
+            "P203",
+            f"recommended engine: {engine} -- {reason}",
+            data={
+                "engine": engine,
+                "class": c.tightest.value,
+                "regular": c.regular,
+                "lattice_bound": full,
+                "slice_bound": sliced,
+            },
+        )
+    )
+    return findings

@@ -1,0 +1,248 @@
+"""The rule registry and the ``Finding`` model of ``repro lint``.
+
+Every check the static analyzer can perform is declared here as a
+:class:`Rule` -- a stable id, a default :class:`Severity`, a category, a
+one-line summary, and an optional autofix hint.  A concrete violation is a
+:class:`Finding`: the rule, a human message, a *location* (the JSON path
+inside a batch document, or ``file:lineno`` inside a stream), the witness
+states/arrows it anchors to, and any extra structured data.  Reporters
+(:mod:`repro.analysis.reporters`) and the renderer's lint annotations
+consume findings; the catalogue itself is documented in
+``docs/ANALYSIS.md`` (kept in sync by ``tests/analysis/test_findings.py``).
+
+Rule id scheme: ``T``\\ *nnn* trace sanitizer, ``C``\\ *nnn* control-relation
+analyzer, ``P``\\ *nnn* predicate classifier, ``R``\\ *nnn* message-race
+detector.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+__all__ = [
+    "Severity",
+    "Rule",
+    "RULES",
+    "rule",
+    "Finding",
+    "Report",
+]
+
+
+class Severity(enum.IntEnum):
+    """Finding severities, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One check of the static analyzer.
+
+    ``autofix`` is a hint for tooling (and humans): a short imperative
+    describing the mechanical fix, or ``None`` when the finding needs
+    human judgement.
+    """
+
+    id: str
+    severity: Severity
+    category: str
+    summary: str
+    autofix: Optional[str] = None
+
+
+def _catalogue(*rules: Rule) -> Dict[str, Rule]:
+    out: Dict[str, Rule] = {}
+    for r in rules:
+        if r.id in out:
+            raise ValueError(f"duplicate rule id {r.id}")
+        out[r.id] = r
+    return out
+
+
+#: The complete rule catalogue, keyed by id.
+RULES: Dict[str, Rule] = _catalogue(
+    # -- trace sanitizer (category "trace") ---------------------------------
+    Rule("T001", Severity.ERROR, "trace",
+         "malformed trace structure (shape, types, or unknown record)"),
+    Rule("T002", Severity.ERROR, "trace",
+         "receive before the initial state (axiom D1)",
+         autofix="retarget the arrow at a state with index >= 1"),
+    Rule("T003", Severity.ERROR, "trace",
+         "send after the final state (axiom D2)",
+         autofix="resource the arrow at a state that completes"),
+    Rule("T004", Severity.ERROR, "trace",
+         "event carries two messages / duplicate delivery (axiom D3)",
+         autofix="drop the duplicate message"),
+    Rule("T005", Severity.ERROR, "trace",
+         "orphan endpoint: arrow references a nonexistent process or state"),
+    Rule("T006", Severity.ERROR, "trace",
+         "message stays on one process or points backwards"),
+    Rule("T007", Severity.WARNING, "trace",
+         "FIFO inversion: deliveries cross on one channel",
+         autofix="swap the crossed receive states"),
+    Rule("T008", Severity.ERROR, "trace",
+         "recorded vector clock disagrees with the recomputed clock"),
+    Rule("T009", Severity.ERROR, "trace",
+         "stream record violates causal delivery order"),
+    Rule("T010", Severity.WARNING, "trace",
+         "timestamps run backwards (within a process or across a message)"),
+    Rule("T011", Severity.ERROR, "trace",
+         "message causality is cyclic"),
+    # -- control-relation analyzer (category "control") ---------------------
+    Rule("C101", Severity.ERROR, "control",
+         "control relation interferes with causality (cycle)",
+         autofix="drop one arrow of the witness cycle"),
+    Rule("C102", Severity.WARNING, "control",
+         "control arrow is transitively redundant",
+         autofix="drop the arrow; its ordering is already implied"),
+    Rule("C103", Severity.ERROR, "control",
+         "control arrow is unenforceable (source never completes or "
+         "target cannot be blocked)",
+         autofix="move the endpoint to an interior state"),
+    Rule("C104", Severity.ERROR, "control",
+         "No Controller Exists (Lemma 2): overlapping false-intervals"),
+    Rule("C105", Severity.WARNING, "control",
+         "duplicate control arrow",
+         autofix="drop the repeated arrow"),
+    Rule("C106", Severity.WARNING, "control",
+         "arrow blocks a process in a predicate-false state (assumption A1)"),
+    Rule("C107", Severity.WARNING, "control",
+         "local predicate is false in a final state (assumption A2)"),
+    # -- predicate classifier (category "predicate") ------------------------
+    Rule("P201", Severity.ERROR, "predicate",
+         "is_regular() claim disagrees with the derived predicate class"),
+    Rule("P202", Severity.WARNING, "predicate",
+         "predicate is syntactically general but semantically a tighter "
+         "class; a polynomial engine applies",
+         autofix="rewrite the predicate in its normalised form"),
+    Rule("P203", Severity.INFO, "predicate",
+         "engine routing recommendation and lattice-size estimate"),
+    # -- message-race detector (category "race") ----------------------------
+    Rule("R301", Severity.WARNING, "race",
+         "concurrent local states write the same variable"),
+    Rule("R302", Severity.WARNING, "race",
+         "racing receives: concurrent sends delivered to one process"),
+    Rule("R303", Severity.WARNING, "race",
+         "crossed sends: two processes message each other concurrently"),
+)
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule by id (raises ``KeyError`` on unknown ids)."""
+    return RULES[rule_id]
+
+
+StatePair = Tuple[int, int]
+
+
+@dataclass
+class Finding:
+    """One concrete violation, anchored to a witness.
+
+    Attributes
+    ----------
+    rule_id:
+        Id into :data:`RULES`.
+    message:
+        Human-readable description, including the witness inline.
+    location:
+        Where in the *input* the problem lives: a JSON path for batch
+        documents (``messages[3].src``), ``file:lineno`` for streams, or
+        ``None`` for derived/semantic findings.
+    states:
+        Witness local states as ``(proc, index)`` pairs -- what the
+        renderer's lint annotations mark.
+    arrows:
+        Witness arrows as ``((proc, index), (proc, index))`` pairs.
+    data:
+        Extra structured witness content (JSON-ready).
+    """
+
+    rule_id: str
+    message: str
+    location: Optional[str] = None
+    states: Tuple[StatePair, ...] = ()
+    arrows: Tuple[Tuple[StatePair, StatePair], ...] = ()
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.rule_id]
+
+    @property
+    def severity(self) -> Severity:
+        return self.rule.severity
+
+    @property
+    def category(self) -> str:
+        return self.rule.category
+
+    def describe(self) -> str:
+        loc = f" at {self.location}" if self.location else ""
+        return f"{self.rule_id} [{self.severity}]{loc}: {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "category": self.category,
+            "message": self.message,
+            "location": self.location,
+            "states": [list(s) for s in self.states],
+            "arrows": [[list(a), list(b)] for a, b in self.arrows],
+            "data": self.data,
+            "autofix": self.rule.autofix,
+        }
+
+
+@dataclass
+class Report:
+    """The outcome of one lint run."""
+
+    source: str
+    format: str
+    findings: List[Finding] = field(default_factory=list)
+    #: analysis passes that ran, in order
+    passes: List[str] = field(default_factory=list)
+    #: passes skipped (e.g. deep passes gated behind a clean sanitizer run)
+    skipped: List[str] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Sequence[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def by_rule(self, rule_id: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule_id == rule_id]
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    def ok(self, strict: bool = False) -> bool:
+        """Clean under the given gate?  ``strict`` promotes warnings."""
+        threshold = Severity.WARNING if strict else Severity.ERROR
+        return all(f.severity < threshold for f in self.findings)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.findings)} finding(s): {self.errors} error(s), "
+            f"{self.warnings} warning(s), {self.count(Severity.INFO)} info"
+        )

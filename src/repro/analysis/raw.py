@@ -1,0 +1,445 @@
+"""Lenient trace parsing for the static analyzer.
+
+The strict loaders (:func:`repro.trace.load_deposet`,
+:func:`repro.trace.ingest_event_stream`) raise on the first violation of
+D1--D3 or causal delivery order -- correct for consumers, useless for a
+linter that must *report* every violation with a witness.  This module
+parses both trace formats into a :class:`RawTrace` -- an unvalidated bag
+of states, message arrows, and control arrows, each remembering where in
+the input it came from (JSON path or ``file:lineno``) -- collecting
+structural problems as T001/T009 findings instead of raising.
+
+The analysis passes then check the deposet axioms over the raw trace; a
+real (validated) :class:`~repro.trace.deposet.Deposet` is constructed only
+once the sanitizer reports no errors, gating the deep passes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.analysis.findings import Finding
+from repro.causality.relations import StateRef
+from repro.errors import UnknownTraceFormatError
+from repro.trace.deposet import Deposet
+from repro.trace.io import FORMAT, STREAM_FORMAT
+from repro.trace.states import MessageArrow
+
+__all__ = ["RawArrow", "RawTrace", "parse_batch", "parse_stream", "load_raw"]
+
+Ref = Tuple[int, int]
+
+
+@dataclass
+class RawArrow:
+    """A message or control arrow, plus where the input declared it."""
+
+    src: Ref
+    dst: Ref
+    location: Optional[str] = None
+    tag: Optional[str] = None
+    payload: Any = None
+
+    @property
+    def pair(self) -> Tuple[Ref, Ref]:
+        return (self.src, self.dst)
+
+
+@dataclass
+class RawTrace:
+    """An unvalidated trace: shape only, no axiom enforcement."""
+
+    source: str
+    format: str
+    proc_names: List[str] = field(default_factory=list)
+    #: ``states[i][a]`` is the variable assignment of state ``(i, a)``.
+    states: List[List[Dict[str, Any]]] = field(default_factory=list)
+    messages: List[RawArrow] = field(default_factory=list)
+    control: List[RawArrow] = field(default_factory=list)
+    timestamps: Optional[List[List[float]]] = None
+    #: Recorded vector clocks (``clocks[i][a]`` for state ``(i, a)``),
+    #: when the producer emitted a ``"clocks"`` block.
+    clocks: Optional[List[List[List[int]]]] = None
+    obs: Optional[Dict[str, Any]] = None
+
+    @property
+    def n(self) -> int:
+        return len(self.states)
+
+    @property
+    def state_counts(self) -> Tuple[int, ...]:
+        return tuple(len(s) for s in self.states)
+
+    def has_state(self, ref: Ref) -> bool:
+        proc, index = ref
+        return 0 <= proc < self.n and 0 <= index < len(self.states[proc])
+
+    def to_deposet(self) -> Deposet:
+        """A validated deposet (raises on axiom violations -- call only
+        after the sanitizer reported no errors)."""
+        return Deposet(
+            self.states,
+            [
+                MessageArrow(
+                    StateRef(*m.src), StateRef(*m.dst),
+                    payload=m.payload, tag=m.tag,
+                )
+                for m in self.messages
+            ],
+            [(StateRef(*c.src), StateRef(*c.dst)) for c in self.control],
+            proc_names=self.proc_names or None,
+            timestamps=self.timestamps,
+        )
+
+
+def _t001(location: Optional[str], message: str) -> Finding:
+    return Finding("T001", message, location=location)
+
+
+def _ref(value: Any) -> Optional[Ref]:
+    if (
+        isinstance(value, (list, tuple))
+        and len(value) == 2
+        and all(isinstance(c, int) and not isinstance(c, bool) for c in value)
+    ):
+        return (value[0], value[1])
+    return None
+
+
+# -- batch documents ---------------------------------------------------------
+
+
+def parse_batch(
+    data: Any, source: str = "<trace>"
+) -> Tuple[Optional[RawTrace], List[Finding]]:
+    """Leniently parse a ``repro-deposet/1`` document.
+
+    Returns ``(raw, findings)``; ``raw`` is ``None`` only when the
+    document is too broken to analyse at all (not an object, or no usable
+    ``states`` list).  Broken messages/arrows are reported and skipped,
+    the rest of the trace is still analysed.
+    """
+    findings: List[Finding] = []
+    if not isinstance(data, dict):
+        return None, [_t001(None, f"expected a trace object, got {type(data).__name__}")]
+    fmt = data.get("format")
+    if fmt != FORMAT:
+        findings.append(
+            _t001("format", f"unknown trace format {fmt!r}; expected {FORMAT!r}")
+        )
+    states_in = data.get("states")
+    if not isinstance(states_in, list) or not states_in:
+        findings.append(
+            _t001("states", "expected a non-empty list of per-process state lists")
+        )
+        return None, findings
+    states: List[List[Dict[str, Any]]] = []
+    for i, proc_states in enumerate(states_in):
+        if not isinstance(proc_states, list) or not proc_states:
+            findings.append(
+                _t001(f"states[{i}]", "expected a non-empty list of variable objects")
+            )
+            states.append([{}])
+            continue
+        row: List[Dict[str, Any]] = []
+        for a, vars in enumerate(proc_states):
+            if not isinstance(vars, dict):
+                findings.append(
+                    _t001(
+                        f"states[{i}][{a}]",
+                        f"expected an object of variables, got {vars!r}",
+                    )
+                )
+                vars = {}
+            row.append(vars)
+        states.append(row)
+    raw = RawTrace(source=source, format=FORMAT, states=states)
+
+    names = data.get("proc_names")
+    if names is not None:
+        if isinstance(names, list) and len(names) == len(states):
+            raw.proc_names = [str(x) for x in names]
+        else:
+            findings.append(
+                _t001("proc_names", f"expected {len(states)} names, got {names!r}")
+            )
+    for k, m in enumerate(data.get("messages") or ()):
+        path = f"messages[{k}]"
+        if not isinstance(m, dict):
+            findings.append(_t001(path, f"expected an object, got {m!r}"))
+            continue
+        src, dst = _ref(m.get("src")), _ref(m.get("dst"))
+        if src is None or dst is None:
+            findings.append(
+                _t001(path, "needs 'src' and 'dst' [process, state] pairs")
+            )
+            continue
+        raw.messages.append(
+            RawArrow(src, dst, location=path, tag=m.get("tag"), payload=m.get("payload"))
+        )
+    for k, arrow in enumerate(data.get("control") or ()):
+        path = f"control[{k}]"
+        pair = (
+            arrow if isinstance(arrow, (list, tuple)) and len(arrow) == 2 else (None, None)
+        )
+        src, dst = _ref(pair[0]), _ref(pair[1])
+        if src is None or dst is None:
+            findings.append(_t001(path, f"expected a [src, dst] pair, got {arrow!r}"))
+            continue
+        raw.control.append(RawArrow(src, dst, location=path))
+
+    ts = data.get("timestamps")
+    if ts is not None:
+        ok = isinstance(ts, list) and len(ts) == len(states)
+        if ok:
+            for i, row in enumerate(ts):
+                if (
+                    not isinstance(row, list)
+                    or len(row) != len(states[i])
+                    or not all(
+                        isinstance(t, (int, float)) and not isinstance(t, bool)
+                        for t in row
+                    )
+                ):
+                    findings.append(
+                        _t001(f"timestamps[{i}]", f"bad timestamp row {row!r}")
+                    )
+                    ok = False
+        else:
+            findings.append(
+                _t001("timestamps", f"expected {len(states)} per-process rows")
+            )
+        if ok:
+            raw.timestamps = [[float(t) for t in row] for row in ts]
+
+    clocks = data.get("clocks")
+    if clocks is not None:
+        ok = isinstance(clocks, list) and len(clocks) == len(states)
+        if ok:
+            for i, row in enumerate(clocks):
+                if (
+                    not isinstance(row, list)
+                    or len(row) != len(states[i])
+                    or not all(
+                        isinstance(v, list)
+                        and len(v) == len(states)
+                        and all(isinstance(c, int) and not isinstance(c, bool) for c in v)
+                        for v in row
+                    )
+                ):
+                    findings.append(
+                        _t001(
+                            f"clocks[{i}]",
+                            f"expected {len(states[i])} vectors of {len(states)} ints",
+                        )
+                    )
+                    ok = False
+        else:
+            findings.append(_t001("clocks", f"expected {len(states)} per-process rows"))
+        if ok:
+            raw.clocks = clocks
+    raw.obs = data.get("obs")
+    return raw, findings
+
+
+# -- event streams -----------------------------------------------------------
+
+
+def parse_stream(
+    path: Union[str, Path]
+) -> Tuple[Optional[RawTrace], List[Finding]]:
+    """Leniently parse a ``repro-events/1`` stream.
+
+    Mirrors :func:`repro.trace.ingest_event_stream` but collects findings
+    instead of raising: structural problems are T001, records that break
+    causal delivery order (an arrow whose source event has not completed
+    at the time its target record arrives -- the contract
+    :class:`~repro.store.index.CausalIndex` enforces on append) are T009.
+    Every witness carries ``file:lineno``.
+    """
+    path = Path(path)
+    findings: List[Finding] = []
+    raw: Optional[RawTrace] = None
+    vars_now: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            where = f"{path}:{lineno}"
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                findings.append(_t001(where, f"not valid JSON ({exc})"))
+                continue
+            if not isinstance(rec, dict):
+                findings.append(_t001(where, f"expected an object, got {rec!r}"))
+                continue
+            if raw is None:
+                if rec.get("format") != STREAM_FORMAT:
+                    findings.append(
+                        _t001(
+                            where,
+                            f"unknown stream format {rec.get('format')!r}; "
+                            f"expected {STREAM_FORMAT!r}",
+                        )
+                    )
+                start = rec.get("start")
+                if not isinstance(start, list) or not start:
+                    findings.append(_t001(where, "header needs a non-empty 'start' list"))
+                    return None, findings
+                vars_now = [
+                    dict(v) if isinstance(v, dict) else {} for v in start
+                ]
+                for i, v in enumerate(start):
+                    if not isinstance(v, dict):
+                        findings.append(
+                            _t001(where, f"start[{i}]: expected an object, got {v!r}")
+                        )
+                raw = RawTrace(
+                    source=str(path),
+                    format=STREAM_FORMAT,
+                    states=[[dict(v)] for v in vars_now],
+                )
+                names = rec.get("proc_names")
+                if isinstance(names, list) and len(names) == len(vars_now):
+                    raw.proc_names = [str(x) for x in names]
+                times = rec.get("start_times")
+                if isinstance(times, list) and len(times) == len(vars_now):
+                    raw.timestamps = [[float(t)] for t in times]
+                continue
+            kind = rec.get("t")
+            if kind in ("ev", "recv"):
+                proc = rec.get("p")
+                if (
+                    not isinstance(proc, int)
+                    or isinstance(proc, bool)
+                    or not (0 <= proc < raw.n)
+                ):
+                    findings.append(
+                        _t001(where, f"'p' must be a process index, got {proc!r}")
+                    )
+                    continue
+                if "vars" in rec:
+                    new = rec["vars"] if isinstance(rec["vars"], dict) else {}
+                    if not isinstance(rec["vars"], dict):
+                        findings.append(_t001(where, "vars: expected an object"))
+                    vars_now[proc] = dict(new)
+                else:
+                    u = rec.get("u", {})
+                    if not isinstance(u, dict):
+                        findings.append(_t001(where, f"u: expected an object, got {u!r}"))
+                        u = {}
+                    vars_now[proc] = {**vars_now[proc], **u}
+                raw.states[proc].append(dict(vars_now[proc]))
+                new_index = len(raw.states[proc]) - 1
+                if raw.timestamps is not None:
+                    t = rec.get("time")
+                    if isinstance(t, (int, float)) and not isinstance(t, bool):
+                        raw.timestamps[proc].append(float(t))
+                    else:
+                        raw.timestamps = None  # incomplete -- drop the channel
+                if kind == "recv":
+                    src = _ref(rec.get("src"))
+                    if src is None:
+                        findings.append(
+                            _t001(where, "src: expected a [process, state] pair")
+                        )
+                        continue
+                    arrow = RawArrow(
+                        src, (proc, new_index), location=where,
+                        tag=rec.get("tag"), payload=rec.get("payload"),
+                    )
+                    raw.messages.append(arrow)
+                    _check_delivery_order(raw, arrow, "message", where, findings)
+            elif kind == "ctl":
+                src, dst = _ref(rec.get("src")), _ref(rec.get("dst"))
+                if src is None or dst is None:
+                    findings.append(
+                        _t001(where, "needs 'src' and 'dst' [process, state] pairs")
+                    )
+                    continue
+                arrow = RawArrow(src, dst, location=where)
+                raw.control.append(arrow)
+                _check_delivery_order(raw, arrow, "control arrow", where, findings)
+            elif kind == "obs":
+                raw.obs = rec.get("obs")
+            else:
+                findings.append(_t001(where, f"unknown record type {kind!r}"))
+    if raw is None:
+        findings.append(_t001(str(path), "empty stream (no header)"))
+    return raw, findings
+
+
+def _check_delivery_order(
+    raw: RawTrace,
+    arrow: RawArrow,
+    what: str,
+    where: str,
+    findings: List[Finding],
+) -> None:
+    """T009 when ``arrow`` references a state that has not been streamed
+    yet at this point (the :meth:`CausalIndex.append_event` contract: a
+    cross-process arrow source must have *completed* -- index at most
+    ``counts[src.proc] - 2`` -- before its target record arrives).
+
+    Out-of-range process indices and same-process arrows are left to the
+    sanitizer (T005/T006); negative indices can never become valid and are
+    likewise T005 territory.
+    """
+    (sp, si), (dp, di) = arrow.src, arrow.dst
+    if sp == dp or not (0 <= sp < raw.n) or not (0 <= dp < raw.n):
+        return
+    if si < 0 or di < 0:
+        return
+    counts = raw.state_counts
+    problems = []
+    if si > counts[sp] - 2:
+        problems.append(f"source event at ({sp},{si}) has not completed")
+    if di > counts[dp] - 1:
+        problems.append(f"target state ({dp},{di}) has not been streamed")
+    if problems:
+        findings.append(
+            Finding(
+                "T009",
+                f"{what} ({sp},{si}) -> ({dp},{di}): "
+                + "; ".join(problems)
+                + " (causal delivery order)",
+                location=where,
+                states=((sp, si), (dp, di)),
+                arrows=(((sp, si), (dp, di)),),
+            )
+        )
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def load_raw(
+    path: Union[str, Path]
+) -> Tuple[Optional[RawTrace], str, List[Finding]]:
+    """Sniff, then leniently parse ``path``.
+
+    Returns ``(raw, format, findings)``.  Unreadable/unrecognisable files
+    produce a ``None`` raw trace with a T001 finding rather than raising
+    (except for OS-level errors, which propagate).
+    """
+    from repro.trace.io import sniff_trace_format
+
+    path = Path(path)
+    try:
+        fmt = sniff_trace_format(path)
+    except UnknownTraceFormatError as exc:
+        return None, "unknown", [_t001(str(path), str(exc))]
+    if fmt == STREAM_FORMAT:
+        raw, findings = parse_stream(path)
+        return raw, fmt, findings
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return None, fmt, [_t001(str(path), f"not valid JSON ({exc})")]
+    raw, findings = parse_batch(data, source=str(path))
+    return raw, fmt, findings

@@ -1,0 +1,148 @@
+"""Reporters: render a lint :class:`Report` as text, JSON, or SARIF.
+
+The text form is for terminals (one block per finding, witnesses
+inline); the JSON form (``repro-lint/1``) is the stable machine surface
+pinned by tests; SARIF 2.1.0 is the minimal subset code-review tooling
+ingests (rule metadata on the driver, one result per finding, physical
+locations for ``file:lineno`` witnesses and logical locations for JSON
+paths).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List
+
+from repro.analysis.findings import RULES, Finding, Report, Severity
+
+__all__ = ["render_text", "render_json", "render_sarif", "REPORTERS"]
+
+LINT_FORMAT = "repro-lint/1"
+
+
+def render_text(report: Report) -> str:
+    lines: List[str] = [f"{report.source} ({report.format})"]
+    if not report.findings:
+        lines.append("  clean: no findings")
+    for f in sorted(
+        report.findings, key=lambda f: (-int(f.severity), f.rule_id)
+    ):
+        loc = f" at {f.location}" if f.location else ""
+        lines.append(f"  {f.rule_id} [{f.severity}]{loc}")
+        lines.append(f"      {f.message}")
+        if f.states:
+            refs = ", ".join(f"({p},{a})" for p, a in f.states)
+            lines.append(f"      witness states: {refs}")
+        if f.rule.autofix:
+            lines.append(f"      fix: {f.rule.autofix}")
+    lines.append(report.summary())
+    if report.skipped:
+        lines.append(
+            "skipped passes: " + ", ".join(report.skipped)
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    doc: Dict[str, Any] = {
+        "format": LINT_FORMAT,
+        "source": report.source,
+        "trace_format": report.format,
+        "passes": report.passes,
+        "skipped": report.skipped,
+        "findings": [f.to_dict() for f in report.findings],
+        "summary": {
+            "errors": report.errors,
+            "warnings": report.warnings,
+            "info": report.count(Severity.INFO),
+        },
+    }
+    return json.dumps(doc, indent=1)
+
+
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+_FILE_LINE = re.compile(r"^(?P<file>.*):(?P<line>\d+)$")
+
+
+def _sarif_location(finding: Finding) -> List[Dict[str, Any]]:
+    if not finding.location:
+        return []
+    m = _FILE_LINE.match(finding.location)
+    if m:
+        return [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": m.group("file")},
+                    "region": {"startLine": int(m.group("line"))},
+                }
+            }
+        ]
+    return [
+        {
+            "logicalLocations": [
+                {"fullyQualifiedName": finding.location, "kind": "member"}
+            ]
+        }
+    ]
+
+
+def render_sarif(report: Report) -> str:
+    used = sorted({f.rule_id for f in report.findings})
+    rules = [
+        {
+            "id": rid,
+            "shortDescription": {"text": RULES[rid].summary},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVEL[RULES[rid].severity]
+            },
+            "properties": {"category": RULES[rid].category},
+        }
+        for rid in used
+    ]
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "level": _SARIF_LEVEL[f.severity],
+            "message": {"text": f.message},
+            "locations": _sarif_location(f),
+            "properties": {
+                "states": [list(s) for s in f.states],
+                "arrows": [[list(a), list(b)] for a, b in f.arrows],
+            },
+        }
+        for f in report.findings
+    ]
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "artifacts": [{"location": {"uri": report.source}}],
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=1)
+
+
+REPORTERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

@@ -1,0 +1,377 @@
+"""Pass 1: the trace sanitizer (rules T002--T011).
+
+Statically re-checks everything the strict loaders enforce dynamically --
+the deposet axioms D1--D3, channel integrity, acyclicity of the message
+causality -- plus properties no loader checks at all: FIFO inversions,
+recorded-vs-recomputed vector clocks, and timestamp regressions.  Works
+over a :class:`~repro.analysis.raw.RawTrace`, so a single run reports
+*every* violation, each with a concrete witness (states, arrows, and the
+input location remembered by the lenient parser).
+
+The cycle witness machinery (:func:`find_event_cycle`) is shared with the
+control-relation analyzer: both passes search the same event graph, the
+sanitizer over message arrows only (T011), the control pass over the
+extended relation (C101).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.raw import RawArrow, RawTrace
+
+__all__ = ["sanitize", "find_event_cycle", "valid_arrows"]
+
+Ref = Tuple[int, int]
+EventRef = Tuple[int, int]
+
+
+# -- event-graph cycle witnesses ---------------------------------------------
+
+
+def _event_edges(
+    counts: Sequence[int], arrows: Sequence[Tuple[Ref, Ref]]
+) -> Tuple[Dict[EventRef, List[EventRef]], List[Tuple[EventRef, EventRef]]]:
+    """Successor map of the event graph plus the arrow-induced edges.
+
+    Each arrow ``src -> dst`` contributes the edge ``leave(src) ->
+    enter(dst)``, i.e. event ``(src.proc, src.index)`` to event
+    ``(dst.proc, dst.index - 1)``; arrows collapsing to a single event
+    (``complete(s) == enter(s+1)``) are trivially satisfied and skipped,
+    mirroring :class:`~repro.causality.relations.CausalOrder`.
+    """
+    succ: Dict[EventRef, List[EventRef]] = {}
+    event_counts = [m - 1 for m in counts]
+    for i, ec in enumerate(event_counts):
+        for e in range(ec - 1):
+            succ.setdefault((i, e), []).append((i, e + 1))
+    arrow_edges: List[Tuple[EventRef, EventRef]] = []
+    for src, dst in arrows:
+        u: EventRef = (src[0], src[1])
+        v: EventRef = (dst[0], dst[1] - 1)
+        if u == v:
+            arrow_edges.append((u, v))
+            continue
+        succ.setdefault(u, []).append(v)
+        arrow_edges.append((u, v))
+    return succ, arrow_edges
+
+
+def find_event_cycle(
+    counts: Sequence[int],
+    arrows: Sequence[Tuple[Ref, Ref]],
+    candidates: Optional[Sequence[int]] = None,
+) -> Optional[Tuple[List[EventRef], int]]:
+    """A minimal cycle of the event graph, or ``None`` when acyclic.
+
+    Tries to close a cycle through each arrow in ``candidates`` (indices
+    into ``arrows``; all of them by default): BFS from the arrow's target
+    event back to its source event over the full graph yields the
+    shortest path, so the returned cycle is minimal among cycles through
+    any candidate.  Returns ``(events, arrow_index)`` -- the cycle as an
+    event sequence (closing arrow implied from last back to first) and
+    the index of the arrow that closes it.
+    """
+    succ, arrow_edges = _event_edges(counts, arrows)
+    best: Optional[Tuple[List[EventRef], int]] = None
+    for k in candidates if candidates is not None else range(len(arrows)):
+        u, v = arrow_edges[k]
+        if u == v:
+            continue
+        # Shortest path v ->* u; appending the closing edge u -> v (arrow
+        # k) turns it into a cycle.
+        parents: Dict[EventRef, Optional[EventRef]] = {v: None}
+        queue: deque[EventRef] = deque([v])
+        found = False
+        while queue and not found:
+            node = queue.popleft()
+            for nxt in succ.get(node, ()):
+                if nxt in parents:
+                    continue
+                parents[nxt] = node
+                if nxt == u:
+                    found = True
+                    break
+                queue.append(nxt)
+        if not found:
+            continue
+        path: List[EventRef] = []
+        node: Optional[EventRef] = u
+        while node is not None:
+            path.append(node)
+            node = parents[node]
+        path.reverse()  # v .. u
+        if best is None or len(path) < len(best[0]):
+            best = (path, k)
+    return best
+
+
+def valid_arrows(raw: RawTrace, arrows: Sequence[RawArrow]) -> List[int]:
+    """Indices of arrows satisfying the structural preconditions of
+    :class:`CausalOrder` (endpoints exist, D1/D2 hold, not a backwards or
+    degenerate same-process arrow) -- the subset deeper passes may use."""
+    counts = raw.state_counts
+    out = []
+    for k, a in enumerate(arrows):
+        (sp, si), (dp, di) = a.src, a.dst
+        if not (raw.has_state(a.src) and raw.has_state(a.dst)):
+            continue
+        if di < 1 or si > counts[sp] - 2:
+            continue
+        if sp == dp and si >= di:
+            continue
+        out.append(k)
+    return out
+
+
+# -- the pass ----------------------------------------------------------------
+
+
+def sanitize(raw: RawTrace) -> List[Finding]:
+    """Run every trace-sanitizer rule over ``raw``."""
+    findings: List[Finding] = []
+    counts = raw.state_counts
+    n = raw.n
+
+    # T005 / T006 / T002 / T003: per-arrow structural axioms.
+    for what, arrows in (("message", raw.messages), ("control arrow", raw.control)):
+        for a in arrows:
+            (sp, si), (dp, di) = a.src, a.dst
+            bad_endpoint = False
+            for ref, role in ((a.src, "src"), (a.dst, "dst")):
+                p, x = ref
+                if not (0 <= p < n):
+                    findings.append(
+                        Finding(
+                            "T005",
+                            f"{what} {role} ({p},{x}): no process {p} "
+                            f"(trace has {n})",
+                            location=a.location,
+                            arrows=(a.pair,),
+                        )
+                    )
+                    bad_endpoint = True
+                elif not (0 <= x < counts[p]):
+                    findings.append(
+                        Finding(
+                            "T005",
+                            f"{what} {role} ({p},{x}): process {p} has no "
+                            f"state {x} (it has {counts[p]})",
+                            location=a.location,
+                            states=((p, min(max(x, 0), counts[p] - 1)),),
+                            arrows=(a.pair,),
+                        )
+                    )
+                    bad_endpoint = True
+            if bad_endpoint:
+                continue
+            if what != "message":
+                # Control-arrow semantics (D1/D2 generalised, direction,
+                # enforceability) belong to the control pass's C103.
+                continue
+            if sp == dp:
+                direction = (
+                    "points backwards on" if si >= di else "stays on"
+                )
+                findings.append(
+                    Finding(
+                        "T006",
+                        f"message ({sp},{si}) -> ({dp},{di}) {direction} "
+                        f"process {sp}",
+                        location=a.location,
+                        states=(a.src, a.dst),
+                        arrows=(a.pair,),
+                    )
+                )
+                continue
+            if di < 1:
+                findings.append(
+                    Finding(
+                        "T002",
+                        f"{what} ({sp},{si}) -> ({dp},{di}): target is the "
+                        f"initial state of process {dp}, which is entered "
+                        f"before any receive can happen (D1)",
+                        location=a.location,
+                        states=(a.dst,),
+                        arrows=(a.pair,),
+                    )
+                )
+            if si > counts[sp] - 2:
+                findings.append(
+                    Finding(
+                        "T003",
+                        f"{what} ({sp},{si}) -> ({dp},{di}): source is the "
+                        f"final state of process {sp}, which never completes "
+                        f"(D2)",
+                        location=a.location,
+                        states=(a.src,),
+                        arrows=(a.pair,),
+                    )
+                )
+
+    # T004: one message per event (D3).  Judged over messages with
+    # existing endpoints so T005 problems don't cascade.
+    roles: Dict[EventRef, Tuple[str, RawArrow]] = {}
+    for a in raw.messages:
+        if not (raw.has_state(a.src) and raw.has_state(a.dst)):
+            continue
+        if a.src[0] == a.dst[0]:
+            # already condemned by T006; its send and receive collapse
+            # onto one process and would fake a D3 violation here
+            continue
+        for ev, role in (
+            ((a.src[0], a.src[1]), "send"),
+            ((a.dst[0], a.dst[1] - 1), "receive"),
+        ):
+            if ev in roles:
+                prev_role, prev = roles[ev]
+                dup = (
+                    "duplicate delivery"
+                    if role == "receive" and prev_role == "receive"
+                    else "event carries two messages"
+                )
+                findings.append(
+                    Finding(
+                        "T004",
+                        f"event ({ev[0]},{ev[1]}) is the {prev_role} of "
+                        f"{_arrow_str(prev)} and the {role} of "
+                        f"{_arrow_str(a)} ({dup}; D3)",
+                        location=a.location,
+                        states=((ev[0], ev[1]),),
+                        arrows=(prev.pair, a.pair),
+                        data={"other_location": prev.location},
+                    )
+                )
+            else:
+                roles[ev] = (role, a)
+
+    # T011: cyclic message causality, with a minimal cycle witness.
+    ok_msgs = valid_arrows(raw, raw.messages)
+    cycle = find_event_cycle(
+        counts,
+        [raw.messages[k].pair for k in ok_msgs],
+    )
+    if cycle is not None:
+        events, k = cycle
+        closing = raw.messages[ok_msgs[k]]
+        findings.append(
+            Finding(
+                "T011",
+                f"message causality is cyclic: a chain of "
+                f"{len(events)} event(s) leads from the receive of "
+                f"{_arrow_str(closing)} back to its send",
+                location=closing.location,
+                states=tuple((p, e + 1) for p, e in events),
+                arrows=(closing.pair,),
+                data={"cycle_events": [list(ev) for ev in events]},
+            )
+        )
+
+    # T007: FIFO inversions, per directed channel.
+    by_channel: Dict[Tuple[int, int], List[RawArrow]] = {}
+    for k in ok_msgs:
+        a = raw.messages[k]
+        by_channel.setdefault((a.src[0], a.dst[0]), []).append(a)
+    for (sp, dp), msgs in by_channel.items():
+        msgs.sort(key=lambda a: a.src[1])
+        for i in range(len(msgs)):
+            for j in range(i + 1, len(msgs)):
+                first, second = msgs[i], msgs[j]
+                if (
+                    first.src[1] < second.src[1]
+                    and first.dst[1] > second.dst[1]
+                ):
+                    findings.append(
+                        Finding(
+                            "T007",
+                            f"channel {sp} -> {dp} is not FIFO: "
+                            f"{_arrow_str(first)} was sent before "
+                            f"{_arrow_str(second)} but delivered after it",
+                            location=second.location,
+                            states=(first.dst, second.dst),
+                            arrows=(first.pair, second.pair),
+                            data={"other_location": first.location},
+                        )
+                    )
+
+    # T010: timestamp regressions (warnings; wall clocks are advisory).
+    if raw.timestamps is not None:
+        ts = raw.timestamps
+        for i, row in enumerate(ts):
+            for a in range(1, len(row)):
+                if row[a] < row[a - 1]:
+                    findings.append(
+                        Finding(
+                            "T010",
+                            f"process {i} time runs backwards: state "
+                            f"({i},{a}) at {row[a]} after ({i},{a - 1}) "
+                            f"at {row[a - 1]}",
+                            states=((i, a - 1), (i, a)),
+                        )
+                    )
+        for k in ok_msgs:
+            a = raw.messages[k]
+            (sp, si), (dp, di) = a.src, a.dst
+            if ts[dp][di] < ts[sp][si]:
+                findings.append(
+                    Finding(
+                        "T010",
+                        f"message {_arrow_str(a)} is received at "
+                        f"{ts[dp][di]}, before it was sent at {ts[sp][si]}",
+                        location=a.location,
+                        states=(a.src, a.dst),
+                        arrows=(a.pair,),
+                    )
+                )
+
+    # T008: recorded vector clocks vs clocks recomputed from the arrows.
+    # Only when every arrow is structurally sound: a dropped arrow changes
+    # the recomputed order, and flagging every downstream clock would bury
+    # the one T005/T006 finding that actually explains the trace.
+    ok_ctl = valid_arrows(raw, raw.control)
+    all_arrows_ok = (
+        len(ok_msgs) == len(raw.messages) and len(ok_ctl) == len(raw.control)
+    )
+    if raw.clocks is not None and cycle is None and all_arrows_ok:
+        findings.extend(_check_clocks(raw, ok_msgs))
+
+    return findings
+
+
+def _check_clocks(raw: RawTrace, ok_msgs: List[int]) -> List[Finding]:
+    from repro.causality.relations import CausalOrder
+
+    arrows = [raw.messages[k].pair for k in ok_msgs]
+    arrows += [raw.control[k].pair for k in valid_arrows(raw, raw.control)]
+    try:
+        order = CausalOrder(raw.state_counts, arrows)
+    except Exception:
+        # Structural problems already reported elsewhere; without a valid
+        # order there is nothing to compare against.
+        return []
+    out: List[Finding] = []
+    recorded = raw.clocks
+    assert recorded is not None
+    for i in range(raw.n):
+        for a in range(len(raw.states[i])):
+            want = [int(c) for c in order.clock((i, a))]
+            got = recorded[i][a]
+            if got != want:
+                out.append(
+                    Finding(
+                        "T008",
+                        f"state ({i},{a}): recorded clock {got} differs "
+                        f"from the clock recomputed from the arrows {want}",
+                        location=f"clocks[{i}][{a}]",
+                        states=((i, a),),
+                        data={"recorded": got, "recomputed": want},
+                    )
+                )
+    return out
+
+
+def _arrow_str(a: RawArrow) -> str:
+    tag = f" [{a.tag}]" if a.tag else ""
+    return f"({a.src[0]},{a.src[1]}) -> ({a.dst[0]},{a.dst[1]}){tag}"

@@ -18,6 +18,7 @@ Commands::
     python -m repro replay fixed.json -o replayed.json
     python -m repro ingest trace.json -o stream.jsonl   # batch <-> stream
     python -m repro watch stream.jsonl --predicate at-least-one:up --verify
+    python -m repro lint trace.json --predicate at-least-one:up --strict
     python -m repro mutex-bench --algorithm antitoken --n 8
 
 The ``obs`` family drives the flight recorder (:mod:`repro.obs`)::
@@ -201,6 +202,35 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             f"{records - 1} record(s) ingested, states {dep.state_counts}"
         )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import RULES, Report, lint_raw, load_raw
+    from repro.analysis.reporters import REPORTERS
+
+    if args.rules:
+        for r in RULES.values():
+            print(f"{r.id}  {str(r.severity):<7}  {r.category:<9}  {r.summary}")
+        return 0
+    if not args.trace:
+        print("error: lint needs a trace (or --rules)", file=sys.stderr)
+        return 3
+    raw, fmt, findings = load_raw(args.trace)
+    report = Report(source=args.trace, format=fmt)
+    report.passes.append("parse")
+    report.extend(findings)
+    pred = None
+    if args.predicate and raw is not None:
+        pred = parse_predicate(args.predicate, raw.n)
+    lint_raw(raw, report, predicate=pred)
+    rendered = REPORTERS[args.format](report)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"{report.summary()} -> {args.output}")
+    else:
+        print(rendered)
+    return 0 if report.ok(strict=args.strict) else 1
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
@@ -512,6 +542,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace", help="input trace (either format)")
     p.add_argument("-o", "--output", required=True, help="converted trace")
     p.set_defaults(fn=_cmd_ingest)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: trace axioms, control relation, predicate "
+             "class, and message races -- no detector or replay is run",
+    )
+    p.add_argument("trace", nargs="?",
+                   help="trace to lint (either format; sniffed)")
+    p.add_argument("--predicate",
+                   help="enable the predicate rules (Lemma 2, A1/A2, "
+                        "classifier) for this spec")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="report format")
+    p.add_argument("--strict", action="store_true",
+                   help="fail (exit 1) on warnings too, not just errors")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.add_argument("-o", "--output", help="write the report here instead "
+                                          "of stdout")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
         "watch",

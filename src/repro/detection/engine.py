@@ -10,10 +10,15 @@ One front door over the two detection implementations:
   (``pred.is_regular()``);
 * ``parallel`` -- the slicing engine with chunk-parallel truth tables
   (:mod:`repro.slicing.parallel`);
-* ``auto`` (default) -- ``slice`` when the predicate is regular, else
-  ``exhaustive``.  The fallback increments ``detection.slice.fallbacks``
-  so workloads silently dropping off the fast path are visible in
-  metrics.
+* ``auto`` (default) -- routed through the static predicate classifier
+  (:func:`repro.analysis.classifier.classify`): ``slice`` when the
+  derived class is regular, else ``exhaustive``.  The classifier reuses
+  the same normaliser the slicing engine accepts
+  (:func:`repro.slicing.regular.regular_form`), so auto can never hand a
+  non-regular predicate to ``slice`` -- soundness is pinned by
+  ``tests/analysis/test_engine_routing.py``.  The fallback increments
+  ``detection.slice.fallbacks`` so workloads silently dropping off the
+  fast path are visible in metrics.
 
 Explicitly requesting ``slice``/``parallel`` for a non-regular predicate
 raises :class:`~repro.errors.NotRegularError` rather than silently
@@ -41,10 +46,14 @@ def _resolve(pred: Predicate, engine: str) -> str:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     if engine != "auto":
         return engine
-    if pred.is_regular():
-        return "slice"
-    _SLICE_FALLBACKS.inc()
-    return "exhaustive"
+    # Route via the classifier; lazy import keeps detection importable
+    # without dragging the whole analysis subsystem in at module load.
+    from repro.analysis.classifier import classify
+
+    which = classify(pred).engine
+    if which != "slice":
+        _SLICE_FALLBACKS.inc()
+    return which
 
 
 def possibly(

@@ -23,6 +23,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "MalformedTraceError",
+    "UnknownTraceFormatError",
     "PredicateError",
     "NotDisjunctiveError",
     "NotRegularError",
@@ -43,6 +44,15 @@ class ReproError(Exception):
 
 class MalformedTraceError(ReproError):
     """A trace/deposet violates the model constraints (D1, D2, D3, acyclicity)."""
+
+
+class UnknownTraceFormatError(MalformedTraceError):
+    """A trace file matches neither supported format.
+
+    Raised by :func:`repro.trace.sniff_trace_format` on empty or ambiguous
+    input instead of guessing; the message names both candidate formats
+    (``repro-deposet/1`` and ``repro-events/1``) and what was seen.
+    """
 
 
 class PredicateError(ReproError):

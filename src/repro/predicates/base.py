@@ -50,6 +50,13 @@ class Predicate(abc.ABC):
         constants).  ``False`` means the detection engines fall back to
         the exhaustive lattice walk, not that the predicate is
         semantically irregular.
+
+        Contract: subclasses must NOT override this with a cheaper or
+        looser answer -- engine auto-routing and the static classifier
+        (:func:`repro.analysis.classifier.classify`) both assume
+        ``is_regular()`` and ``regular_form(self) is not None`` are the
+        same statement, for every subclass.  The equivalence is pinned by
+        ``tests/predicates/test_is_regular_contract.py``.
         """
         from repro.slicing.regular import regular_form  # cycle-free at call time
 

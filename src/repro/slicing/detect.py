@@ -35,7 +35,7 @@ Metrics (all under ``detection.slice.*``):
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -24,7 +24,7 @@ with 10^5 states still fans out.
 from __future__ import annotations
 
 from concurrent.futures import Executor, ThreadPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

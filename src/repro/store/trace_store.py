@@ -27,7 +27,7 @@ the store is how one *grows*.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.causality.relations import EventRef, StateRef
 from repro.errors import MalformedTraceError

@@ -60,7 +60,6 @@ from typing import (
     Dict,
     IO,
     Iterator,
-    List,
     Optional,
     Sequence,
     Tuple,
@@ -68,7 +67,7 @@ from typing import (
 )
 
 from repro.causality.relations import StateRef
-from repro.errors import MalformedTraceError
+from repro.errors import MalformedTraceError, UnknownTraceFormatError
 from repro.store.trace_store import TraceStore, iter_delivery_events
 from repro.trace.deposet import Deposet
 from repro.trace.states import MessageArrow
@@ -104,12 +103,21 @@ def _jsonable(value: Any) -> Any:
 
 
 def deposet_to_dict(
-    dep: Deposet, obs: Optional[Dict[str, Any]] = None
+    dep: Deposet,
+    obs: Optional[Dict[str, Any]] = None,
+    clocks: bool = False,
 ) -> Dict[str, Any]:
     """A JSON-ready dictionary describing ``dep``.
 
     ``obs``, when given, is attached verbatim as the trace's ``"obs"``
     observability block (e.g. ``{"metrics": METRICS.snapshot()}``).
+
+    ``clocks=True`` additionally records the per-state vector clocks of
+    the (extended) causality as a ``"clocks"`` block --
+    ``clocks[i][a][k]`` is ``V(s_{i,a})[k]``.  The block is redundant
+    (recomputable from the arrows) and ignored by the loader; it exists
+    so external tooling can cross-check, and so ``repro lint`` can
+    compare recorded against recomputed clocks (rule T008).
     """
     out = {
         "format": FORMAT,
@@ -134,6 +142,14 @@ def deposet_to_dict(
             [list(row) for row in dep.timestamps] if dep.timestamps else None
         ),
     }
+    if clocks:
+        out["clocks"] = [
+            [
+                [int(c) for c in dep.order.clock((i, a))]
+                for a in range(dep.state_counts[i])
+            ]
+            for i in range(dep.n)
+        ]
     if obs is not None:
         out["obs"] = obs
     return out
@@ -233,10 +249,16 @@ def deposet_from_dict(data: Dict[str, Any]) -> Deposet:
 
 
 def dump_deposet(
-    dep: Deposet, path: Union[str, Path], obs: Optional[Dict[str, Any]] = None
+    dep: Deposet,
+    path: Union[str, Path],
+    obs: Optional[Dict[str, Any]] = None,
+    clocks: bool = False,
 ) -> None:
-    """Write ``dep`` to ``path`` as JSON (with an optional ``obs`` block)."""
-    Path(path).write_text(json.dumps(deposet_to_dict(dep, obs=obs), indent=1))
+    """Write ``dep`` to ``path`` as JSON (with an optional ``obs`` block
+    and, when ``clocks=True``, recorded vector clocks for T008 checks)."""
+    Path(path).write_text(
+        json.dumps(deposet_to_dict(dep, obs=obs, clocks=clocks), indent=1)
+    )
 
 
 def _load_dict(path: Union[str, Path]) -> Dict[str, Any]:
@@ -554,14 +576,48 @@ def read_event_stream(
 
 
 def sniff_trace_format(path: Union[str, Path]) -> str:
-    """``"repro-deposet/1"`` or ``"repro-events/1"``, from the file head."""
+    """``"repro-deposet/1"`` or ``"repro-events/1"``, from the file head.
+
+    Ambiguous input raises :class:`~repro.errors.UnknownTraceFormatError`
+    naming both candidate formats rather than guessing: an empty file, a
+    non-JSON head that cannot be the opening of a pretty-printed batch
+    document, or a JSON head whose ``"format"`` matches neither.
+    """
+    path = Path(path)
     with open(path) as fh:
         first = fh.readline().strip()
+        while not first:
+            line = fh.readline()
+            if not line:
+                raise UnknownTraceFormatError(
+                    f"{path}: empty file; expected a {FORMAT!r} JSON document "
+                    f"or a {STREAM_FORMAT!r} event stream"
+                )
+            first = line.strip()
     try:
         head = json.loads(first)
     except json.JSONDecodeError:
-        # A pretty-printed batch document spreads over many lines.
-        return FORMAT
-    if isinstance(head, dict) and head.get("format") == STREAM_FORMAT:
-        return STREAM_FORMAT
-    return FORMAT
+        # A pretty-printed batch document spreads its object over many
+        # lines, so the head parses only once it looks like an opening
+        # brace; anything else is neither format.
+        if first.startswith("{"):
+            return FORMAT
+        raise UnknownTraceFormatError(
+            f"{path}: file head {first[:40]!r} is neither a {FORMAT!r} JSON "
+            f"document nor a {STREAM_FORMAT!r} event stream header"
+        ) from None
+    if isinstance(head, dict):
+        fmt = head.get("format")
+        if fmt == STREAM_FORMAT:
+            return STREAM_FORMAT
+        if fmt == FORMAT:
+            return FORMAT
+        raise UnknownTraceFormatError(
+            f"{path}: unknown trace format {fmt!r}; expected {FORMAT!r} "
+            f"(batch JSON) or {STREAM_FORMAT!r} (event stream)"
+        )
+    raise UnknownTraceFormatError(
+        f"{path}: file head is {type(head).__name__}, not an object; "
+        f"expected a {FORMAT!r} JSON document or a {STREAM_FORMAT!r} "
+        f"event stream header"
+    )

@@ -14,12 +14,15 @@ column of its causal predecessors), so arrows always point rightwards.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.causality.relations import StateRef
 from repro.predicates.disjunctive import DisjunctivePredicate
 from repro.predicates.intervals import local_truth_table
 from repro.trace.deposet import Deposet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.findings import Finding
 
 __all__ = ["render_deposet"]
 
@@ -56,6 +59,7 @@ def render_deposet(
     dep: Deposet,
     predicate: Optional[DisjunctivePredicate] = None,
     show_vars: Optional[str] = None,
+    findings: Optional[Sequence["Finding"]] = None,
 ) -> str:
     """Render ``dep`` as an ASCII space-time diagram.
 
@@ -67,6 +71,10 @@ def render_deposet(
     show_vars:
         Name of a boolean variable to annotate instead of a predicate
         (``#`` where falsy).
+    findings:
+        Lint findings (:mod:`repro.analysis`) to overlay: every witness
+        state is marked ``!`` under its column, and each finding is
+        listed below the arrows as ``rule_id: message``.
 
     Returns a multi-line string; one row per process, ``o``/``#`` for
     states, ``s``/``r`` marking send/receive columns underneath, and one
@@ -79,6 +87,13 @@ def render_deposet(
     truth = None
     if predicate is not None:
         truth = local_truth_table(dep, predicate)
+
+    flagged: Dict[int, List[int]] = {}
+    if findings:
+        for f in findings:
+            for p, a in f.states:
+                if 0 <= p < dep.n and 0 <= a < dep.state_counts[p]:
+                    flagged.setdefault(p, []).append(a)
 
     name_w = max(len(name) for name in dep.proc_names)
     lines: List[str] = []
@@ -101,6 +116,11 @@ def render_deposet(
                     row[p] = fill
             prev_col = col
         lines.append(f"{dep.proc_names[i]:>{name_w}} {''.join(row).rstrip()}")
+        if i in flagged:
+            marks = [" "] * (width * _CELL)
+            for a in flagged[i]:
+                marks[cols[i][a] * _CELL] = "!"
+            lines.append(f"{'':>{name_w}} {''.join(marks).rstrip()}")
 
     arrow_lines = []
     for msg in dep.messages:
@@ -115,5 +135,12 @@ def render_deposet(
             f" C> {dep.proc_names[dst.proc]}:{dst.index}"
         )
     legend = "  (o true/state, # false state"
-    legend += ", = inside a false interval)" if (truth is not None or show_vars) else ")"
-    return "\n".join(lines + [legend] + arrow_lines) + "\n"
+    legend += ", = inside a false interval" if (truth is not None or show_vars) else ""
+    legend += ", ! lint witness" if flagged else ""
+    legend += ")"
+    finding_lines = []
+    if findings:
+        for f in findings:
+            loc = f" at {f.location}" if f.location else ""
+            finding_lines.append(f"  {f.rule_id}{loc}: {f.message}")
+    return "\n".join(lines + [legend] + arrow_lines + finding_lines) + "\n"

@@ -1,0 +1,42 @@
+"""Shared fixtures for the lint subsystem tests.
+
+``chain_dict`` is the canonical *clean* batch document: three processes,
+a sequential token chain P0 -> P1 -> P2, disjoint variable names.  Every
+corruption test mutates a fresh copy of it, so each test states exactly
+one delta from a trace the linter accepts under ``--strict``.
+"""
+
+import copy
+
+import pytest
+
+
+def _chain() -> dict:
+    return {
+        "format": "repro-deposet/1",
+        "proc_names": ["P0", "P1", "P2"],
+        "states": [
+            [{"a": 0}, {"a": 1}, {"a": 2}],
+            [{"b": 0}, {"b": 1}, {"b": 2}],
+            [{"c": 0}, {"c": 1}, {"c": 2}],
+        ],
+        "messages": [
+            {"src": [0, 0], "dst": [1, 1], "tag": "token"},
+            {"src": [1, 1], "dst": [2, 2], "tag": "token"},
+        ],
+        "control": [],
+    }
+
+
+@pytest.fixture()
+def chain_dict():
+    return copy.deepcopy(_chain())
+
+
+def parse_clean(data: dict):
+    """Parse ``data`` asserting the lenient parser itself is happy."""
+    from repro.analysis.raw import parse_batch
+
+    raw, findings = parse_batch(data, source="<test>")
+    assert raw is not None and not findings, [f.describe() for f in findings]
+    return raw

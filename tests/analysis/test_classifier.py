@@ -1,0 +1,181 @@
+"""The static predicate classifier, cross-checked against brute force."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.classifier import (
+    PredicateClass,
+    analyze_predicate,
+    classify,
+    lattice_estimate,
+    raw_class,
+    recommend,
+    semantically_regular,
+)
+from repro.predicates.base import FALSE, TRUE
+from repro.predicates.disjunctive import DisjunctivePredicate, as_disjunctive
+from repro.predicates.local import LocalPredicate
+from repro.slicing.regular import regular_form
+from repro.workloads import random_deposet
+
+
+def up(p):
+    return LocalPredicate.var_true(p, "up")
+
+
+class Opaque(LocalPredicate.__mro__[1]):  # Predicate
+    """A deliberately structureless predicate over two processes."""
+
+    def evaluate(self, dep, cut):
+        return (cut[0] + cut[1]) % 2 == 0
+
+    def procs(self):
+        return frozenset({0, 1})
+
+
+def test_constants_are_constant_and_regular():
+    for p in (TRUE, FALSE):
+        c = classify(p)
+        assert c.tightest is PredicateClass.CONSTANT
+        assert c.regular and c.engine == "slice"
+
+
+def test_local_is_local_and_regular():
+    c = classify(up(0))
+    assert c.tightest is PredicateClass.LOCAL
+    assert c.regular
+    assert c.folded_local is not None
+
+
+def test_conjunction_of_locals_is_conjunctive():
+    c = classify(up(0) & up(1) & up(2))
+    assert c.tightest is PredicateClass.CONJUNCTIVE
+    assert c.regular and c.regular_form is not None
+    assert c.engine == "slice"
+
+
+def test_disjunctive_is_not_regular():
+    pred = DisjunctivePredicate([up(0), up(1), up(2)])
+    c = classify(pred)
+    assert c.tightest is PredicateClass.DISJUNCTIVE
+    assert not c.regular and c.engine == "exhaustive"
+    assert c.disjunctive_form is not None
+
+
+def test_or_of_locals_normalises_to_disjunctive():
+    c = classify(up(0) | up(1))
+    assert c.tightest is PredicateClass.DISJUNCTIVE
+    assert not c.regular
+
+
+def test_opaque_multiproc_is_general():
+    c = classify(Opaque())
+    assert c.tightest is PredicateClass.GENERAL
+    assert not c.regular and c.engine == "exhaustive"
+
+
+def test_tightness_order():
+    ranks = {
+        PredicateClass.CONSTANT: classify(TRUE),
+        PredicateClass.LOCAL: classify(up(0)),
+        PredicateClass.CONJUNCTIVE: classify(up(0) & up(1)),
+        PredicateClass.GENERAL: classify(Opaque()),
+    }
+    assert (
+        PredicateClass.CONSTANT.tightness
+        < PredicateClass.LOCAL.tightness
+        < PredicateClass.CONJUNCTIVE.tightness
+        < PredicateClass.GENERAL.tightness
+    )
+    assert PredicateClass.DISJUNCTIVE.tightness == PredicateClass.CONJUNCTIVE.tightness
+    for cls, c in ranks.items():
+        assert c.tightest is cls
+
+
+def test_raw_class_vs_classify():
+    # raw_class reads the node type only; classify may tighten it
+    p = DisjunctivePredicate([up(0), None], n=2)  # single effective disjunct
+    assert raw_class(p) is PredicateClass.DISJUNCTIVE
+    assert classify(p).tightest.tightness <= PredicateClass.DISJUNCTIVE.tightness
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 3), ev=st.integers(1, 3))
+def test_syntactic_regular_implies_semantic_regular(seed, n, ev):
+    """If the classifier routes to the slicing engine, the satisfying cuts
+    really are meet/join closed (brute force over the whole lattice)."""
+    dep = random_deposet(n, ev, seed=seed)
+    preds = [
+        TRUE,
+        up(0),
+        up(0) & up(1),
+        ~(up(0) | up(1)),
+    ]
+    for pred in preds:
+        c = classify(pred)
+        assert c.regular == (regular_form(pred) is not None)
+        if c.regular:
+            assert semantically_regular(dep, pred)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_classified_forms_agree_with_original(seed):
+    """Normalised forms evaluate identically to the original predicate."""
+    from repro.trace.global_state import CutLattice
+
+    dep = random_deposet(2, 2, seed=seed)
+    pred = up(0) | up(1)
+    c = classify(pred)
+    assert c.disjunctive_form is not None
+    for cut in CutLattice(dep).iter_consistent_cuts():
+        assert c.disjunctive_form.evaluate(dep, cut) == pred.evaluate(dep, cut)
+
+
+def test_lattice_estimate_and_recommend():
+    dep = random_deposet(3, 3, seed=1)
+    c = classify(up(0) & up(1) & up(2))
+    full, sliced = lattice_estimate(dep, c)
+    want = 1
+    for m in dep.state_counts:
+        want *= m  # full bound is the product of the state counts
+    assert full == want
+    assert sliced is not None and sliced <= full
+    engine, reason = recommend(dep, c)
+    assert engine == "slice" and reason
+
+
+def test_analyze_predicate_always_recommends():
+    dep = random_deposet(2, 2, seed=3)
+    found = analyze_predicate(dep, up(0) & up(1))
+    p203 = [f for f in found if f.rule_id == "P203"]
+    assert len(p203) == 1
+    assert p203[0].data["engine"] == "slice"
+    assert not [f for f in found if f.rule_id == "P201"]
+
+
+def test_p201_on_is_regular_mismatch():
+    class Liar(DisjunctivePredicate):
+        def is_regular(self):  # violates the base-class contract
+            return True
+
+    dep = random_deposet(3, 2, seed=5)
+    pred = Liar([up(0), up(1), up(2)])
+    found = analyze_predicate(dep, pred)
+    assert "P201" in {f.rule_id for f in found}
+
+
+def test_p202_on_reducible_declaration():
+    # declared disjunctive but only one effective disjunct -> reducible
+    pred = DisjunctivePredicate([up(0), None, None], n=3)
+    dep = random_deposet(3, 2, seed=6)
+    found = analyze_predicate(dep, pred)
+    if classify(pred).tightest.tightness < PredicateClass.DISJUNCTIVE.tightness:
+        assert "P202" in {f.rule_id for f in found}
+
+
+def test_as_disjunctive_roundtrip_matches_classifier():
+    pred = up(0) | up(1)
+    c = classify(pred)
+    d = as_disjunctive(pred, 2)
+    assert (c.disjunctive_form is None) == (d is None)

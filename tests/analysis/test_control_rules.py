@@ -1,0 +1,121 @@
+"""The control-relation analyzer: C101--C107."""
+
+from repro.analysis.control import analyze_control
+from repro.analysis.findings import Report
+from repro.analysis.runner import _underlying_deposet
+from repro.cli import parse_predicate
+
+from .conftest import parse_clean
+
+
+def run(data, predicate=None):
+    raw = parse_clean(data)
+    # the runner hands the control pass the deposet of the *underlying*
+    # computation (messages only): a bad control arrow must become a
+    # finding, not a constructor crash
+    dep = _underlying_deposet(raw, Report(source="<test>", format="repro-deposet/1"))
+    assert dep is not None
+    return analyze_control(raw, dep, predicate=predicate)
+
+
+def ids(findings):
+    return sorted(f.rule_id for f in findings)
+
+
+def test_clean_chain_no_control_findings(chain_dict):
+    assert run(chain_dict) == []
+
+
+def test_c101_interfering_arrow(chain_dict):
+    # message orders event (1,1) before (2,1); the arrow demands the opposite
+    chain_dict["control"] = [[[2, 1], [1, 1]]]
+    (f,) = run(chain_dict)
+    assert f.rule_id == "C101"
+    assert "deadlock" in f.message
+    assert f.data["cycle_events"]
+    assert f.arrows  # names the closing control arrow
+
+
+def test_c102_redundant_arrow(chain_dict):
+    # (0,0) already happens before (1,2) through the token message
+    chain_dict["control"] = [[[0, 0], [1, 2]]]
+    (f,) = run(chain_dict)
+    assert f.rule_id == "C102"
+
+
+def test_c103_source_final(chain_dict):
+    chain_dict["control"] = [[[0, 2], [1, 1]]]
+    (f,) = run(chain_dict)
+    assert f.rule_id == "C103"
+
+
+def test_c103_target_initial(chain_dict):
+    chain_dict["control"] = [[[2, 0], [1, 0]]]
+    (f,) = run(chain_dict)
+    assert f.rule_id == "C103"
+
+
+def test_c103_backwards_on_one_process(chain_dict):
+    chain_dict["control"] = [[[0, 1], [0, 1]]]
+    (f,) = run(chain_dict)
+    assert f.rule_id == "C103"
+
+
+def test_c105_duplicate_arrow(chain_dict):
+    chain_dict["control"] = [[[2, 1], [0, 2]], [[2, 1], [0, 2]]]
+    (f,) = run(chain_dict)
+    assert f.rule_id == "C105"
+    assert f.data["other_location"] == "control[0]"
+
+
+def test_c104_no_controller_for_overlapping_false_intervals():
+    # two isolated processes, the predicate false everywhere: both false
+    # intervals run to the final state, neither can be crossed (Lemma 2)
+    data = {
+        "format": "repro-deposet/1",
+        "states": [
+            [{"up": False}, {"up": False}],
+            [{"up": False}, {"up": False}],
+        ],
+        "messages": [],
+        "control": [],
+    }
+    pred = parse_predicate("at-least-one:up", 2)
+    found = run(data, predicate=pred)
+    c104 = [f for f in found if f.rule_id == "C104"]
+    assert len(c104) == 1
+    assert c104[0].data["intervals"]
+    assert c104[0].states  # witness states from both intervals
+
+
+def test_c104_absent_when_controllable(chain_dict):
+    # "some process holds a token-ish var" with staggered truth: figure-4
+    # style, controllable
+    for i, row in enumerate(chain_dict["states"]):
+        for a, st in enumerate(row):
+            st["up"] = (a + i) % 2 == 0
+    pred = parse_predicate("at-least-one:up", 3)
+    assert "C104" not in ids(run(chain_dict, predicate=pred))
+
+
+def test_c106_blocks_where_local_predicate_false(chain_dict):
+    for row in chain_dict["states"]:
+        for st in row:
+            st["up"] = True
+    chain_dict["states"][1][0]["up"] = False  # blocked state of the arrow
+    chain_dict["control"] = [[[2, 1], [1, 1]]]
+    # interference would mask this; use a non-interfering arrow instead
+    chain_dict["messages"] = []
+    pred = parse_predicate("at-least-one:up", 3)
+    found = run(chain_dict, predicate=pred)
+    assert "C106" in ids(found)
+
+
+def test_c107_local_predicate_false_at_final_state(chain_dict):
+    for row in chain_dict["states"]:
+        for st in row:
+            st["up"] = True
+    chain_dict["states"][2][2]["up"] = False
+    pred = parse_predicate("at-least-one:up", 3)
+    found = run(chain_dict, predicate=pred)
+    assert "C107" in ids(found)

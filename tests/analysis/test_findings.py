@@ -1,0 +1,75 @@
+"""The rule catalogue, Finding model, and Report aggregation."""
+
+import pytest
+
+from repro.analysis import RULES, Finding, Report, Severity
+from repro.analysis.findings import rule
+
+
+def test_severity_ordering_and_str():
+    assert Severity.INFO < Severity.WARNING < Severity.ERROR
+    assert str(Severity.ERROR) == "error"
+    assert str(Severity.WARNING) == "warning"
+    assert str(Severity.INFO) == "info"
+
+
+def test_catalogue_integrity():
+    assert len(RULES) >= 20
+    for rid, r in RULES.items():
+        assert r.id == rid
+        assert r.category in ("trace", "control", "predicate", "race")
+        assert r.summary
+        # category is encoded in the id prefix
+        prefix = {"T": "trace", "C": "control", "P": "predicate", "R": "race"}
+        assert r.category == prefix[rid[0]]
+
+
+def test_catalogue_has_the_documented_rules():
+    for rid in ("T002", "T003", "T004", "T005", "T008", "T009", "T011",
+                "C101", "C103", "C104", "P201", "P203", "R301", "R302", "R303"):
+        assert rid in RULES
+
+
+def test_rule_lookup_unknown():
+    with pytest.raises(KeyError):
+        rule("X999")
+
+
+def test_finding_properties_and_dict():
+    f = Finding(
+        "C101",
+        "cycle!",
+        location="control[0]",
+        states=((0, 1), (1, 2)),
+        arrows=(((0, 1), (1, 2)),),
+        data={"cycle_events": [[0, 1]]},
+    )
+    assert f.rule is RULES["C101"]
+    assert f.severity == Severity.ERROR
+    assert f.category == "control"
+    assert "C101" in f.describe() and "cycle!" in f.describe()
+    d = f.to_dict()
+    assert d["rule"] == "C101"
+    assert d["severity"] == "error"
+    assert d["states"] == [[0, 1], [1, 2]]
+    assert "autofix" in d
+
+
+def test_finding_rejects_unknown_rule():
+    with pytest.raises(KeyError):
+        Finding("Z000", "nope").rule
+
+
+def test_report_counts_and_gates():
+    rep = Report(source="x", format="repro-deposet/1")
+    assert rep.ok() and rep.ok(strict=True)
+    rep.add(Finding("P203", "engine: slice"))  # info
+    assert rep.ok() and rep.ok(strict=True)
+    rep.add(Finding("T007", "fifo"))  # warning
+    assert rep.ok() and not rep.ok(strict=True)
+    rep.add(Finding("T002", "d1"))  # error
+    assert not rep.ok()
+    assert rep.errors == 1 and rep.warnings == 1
+    assert rep.count(Severity.INFO) == 1
+    assert rep.by_rule("T007")[0].message == "fifo"
+    assert "3 finding(s)" in rep.summary()

@@ -1,0 +1,131 @@
+"""The ``repro lint`` verb: exit codes, formats, both input kinds."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.trace import dump_deposet
+from repro.workloads.servers import figure4_c1
+
+from .conftest import _chain
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "chain.json"
+    path.write_text(json.dumps(_chain()))
+    return str(path)
+
+
+@pytest.fixture()
+def racy_file(tmp_path):
+    # clean structure but a cross-process write race (warnings only)
+    d = _chain()
+    for row in d["states"]:
+        for a, st in enumerate(row):
+            st["shared"] = a
+    path = tmp_path / "racy.json"
+    path.write_text(json.dumps(d))
+    return str(path)
+
+
+def test_lint_clean_exits_zero(clean_file, capsys):
+    assert main(["lint", clean_file]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_lint_error_exits_one(clean_file, tmp_path, capsys):
+    d = _chain()
+    d["messages"][0]["dst"] = [7, 1]
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(d))
+    assert main(["lint", str(bad)]) == 1
+    assert "T005" in capsys.readouterr().out
+
+
+def test_lint_strict_promotes_warnings(racy_file, capsys):
+    assert main(["lint", racy_file]) == 0
+    capsys.readouterr()
+    assert main(["lint", racy_file, "--strict"]) == 1
+    assert "R30" in capsys.readouterr().out
+
+
+def test_lint_json_format(clean_file, capsys):
+    assert main(["lint", clean_file, "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["format"] == "repro-lint/1"
+    assert doc["trace_format"] == "repro-deposet/1"
+
+
+def test_lint_sarif_format(clean_file, capsys):
+    assert main(["lint", clean_file, "--format", "sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+
+
+def test_lint_output_file(clean_file, tmp_path, capsys):
+    out = tmp_path / "report.json"
+    assert main(["lint", clean_file, "--format", "json", "-o", str(out)]) == 0
+    assert json.loads(out.read_text())["source"] == clean_file
+    assert "finding(s)" in capsys.readouterr().out  # summary still printed
+
+
+def test_lint_with_predicate_classifies(tmp_path, capsys):
+    dep, _ = figure4_c1()
+    path = tmp_path / "c1.json"
+    dump_deposet(dep, path)
+    assert main(["lint", str(path), "--predicate", "at-least-one:avail"]) == 0
+    out = capsys.readouterr().out
+    assert "P203" in out
+
+
+def test_lint_missing_file_exits_three(capsys):
+    assert main(["lint", "/nonexistent/nope.json"]) == 3
+
+
+def test_lint_no_trace_exits_three(capsys):
+    assert main(["lint"]) == 3
+
+
+def test_lint_garbage_exits_one_with_t001(tmp_path, capsys):
+    path = tmp_path / "garbage.json"
+    path.write_text("not json at all")
+    assert main(["lint", str(path)]) == 1
+    assert "T001" in capsys.readouterr().out
+
+
+def test_lint_rules_catalogue(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rid in ("T002", "C101", "P203", "R301"):
+        assert rid in out
+
+
+def test_lint_stream_input(tmp_path, capsys):
+    lines = [
+        {"format": "repro-events/1", "proc_names": ["A", "B"], "start": [{}, {}]},
+        {"t": "ev", "p": 0},
+        {"t": "recv", "p": 1, "src": [0, 0]},
+    ]
+    path = tmp_path / "ok.jsonl"
+    path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+    assert main(["lint", str(path)]) == 0
+    assert "repro-events/1" in capsys.readouterr().out
+
+
+def test_lint_stream_delivery_violation(tmp_path, capsys):
+    # the receive is streamed before its send event exists -> T009 with
+    # the offending line number
+    lines = [
+        {"format": "repro-events/1", "proc_names": ["A", "B"], "start": [{}, {}]},
+        {"t": "recv", "p": 1, "src": [0, 0]},
+        {"t": "ev", "p": 0},
+    ]
+    path = tmp_path / "early.jsonl"
+    path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "T009" in out
+    assert f"{path}:2" in out

@@ -1,0 +1,89 @@
+"""Text, JSON, and SARIF rendering of lint reports."""
+
+import json
+
+from repro.analysis import Finding, Report, render_json, render_sarif, render_text
+
+
+def sample_report():
+    rep = Report(source="trace.json", format="repro-deposet/1")
+    rep.passes = ["parse", "sanitizer"]
+    rep.skipped = ["classifier"]
+    rep.add(
+        Finding(
+            "T005",
+            "message dst (7,1): no process 7",
+            location="messages[0]",
+            arrows=(((0, 0), (7, 1)),),
+        )
+    )
+    rep.add(
+        Finding(
+            "T009",
+            "delivered before its send completed",
+            location="stream.jsonl:5",
+            states=((1, 2),),
+        )
+    )
+    rep.add(Finding("T007", "channel 0 -> 1 is not FIFO"))
+    rep.add(Finding("P203", "recommended engine: slice", data={"engine": "slice"}))
+    return rep
+
+
+def test_text_output():
+    out = render_text(sample_report())
+    assert "trace.json" in out and "repro-deposet/1" in out
+    # errors first, then warnings, then info
+    assert out.index("T005") < out.index("T007") < out.index("P203")
+    assert "messages[0]" in out
+    assert "skipped" in out and "classifier" in out
+    assert "2 error(s)" in out
+
+
+def test_json_roundtrip():
+    doc = json.loads(render_json(sample_report()))
+    assert doc["format"] == "repro-lint/1"
+    assert doc["trace_format"] == "repro-deposet/1"
+    assert doc["source"] == "trace.json"
+    assert doc["skipped"] == ["classifier"]
+    rules = [f["rule"] for f in doc["findings"]]
+    assert set(rules) == {"T005", "T007", "T009", "P203"}
+    assert doc["summary"] == {"errors": 2, "warnings": 1, "info": 1}
+    by_rule = {f["rule"]: f for f in doc["findings"]}
+    assert by_rule["T005"]["severity"] == "error"
+    assert by_rule["T009"]["states"] == [[1, 2]]
+
+
+def test_sarif_structure():
+    doc = json.loads(render_sarif(sample_report()))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    # only the rules actually used are declared
+    declared = {r["id"] for r in driver["rules"]}
+    assert declared == {"T005", "T007", "T009", "P203"}
+    results = run["results"]
+    assert len(results) == 4
+    levels = {r["ruleId"]: r["level"] for r in results}
+    assert levels["T005"] == "error"
+    assert levels["T007"] == "warning"
+    assert levels["P203"] == "note"
+
+
+def test_sarif_physical_vs_logical_locations():
+    doc = json.loads(render_sarif(sample_report()))
+    results = {r["ruleId"]: r for r in doc["runs"][0]["results"]}
+    # file:lineno -> physicalLocation
+    loc = results["T009"]["locations"][0]
+    phys = loc["physicalLocation"]
+    assert phys["artifactLocation"]["uri"] == "stream.jsonl"
+    assert phys["region"]["startLine"] == 5
+    # JSON path -> logicalLocation
+    loc = results["T005"]["locations"][0]
+    assert loc["logicalLocations"][0]["fullyQualifiedName"] == "messages[0]"
+
+
+def test_sarif_empty_report_is_valid():
+    doc = json.loads(render_sarif(Report(source="x", format="repro-deposet/1")))
+    assert doc["runs"][0]["results"] == []

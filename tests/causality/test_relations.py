@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.causality import CausalOrder, StateRef
+from repro.causality import CausalOrder
 from repro.causality.relations import CycleError
 from repro.errors import MalformedTraceError
 

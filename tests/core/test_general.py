@@ -14,7 +14,7 @@ from repro.core import control_from_sequence, control_general
 from repro.detection import sat_to_sgsd, sgsd
 from repro.errors import NoControllerExistsError
 from repro.predicates import LocalPredicate, Or
-from repro.sat import CNF, dpll_solve, random_ksat
+from repro.sat import dpll_solve, random_ksat
 from repro.trace import ComputationBuilder, CutLattice
 from repro.trace.global_state import final_cut, initial_cut
 

@@ -5,7 +5,6 @@ import pytest
 from repro.core.online import OnlineDisjunctiveControl
 from repro.detection import possibly_bad
 from repro.errors import OnlineControlError
-from repro.predicates import DisjunctivePredicate, LocalPredicate
 from repro.sim import System
 from repro.workloads import availability_predicate
 

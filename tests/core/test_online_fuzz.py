@@ -10,8 +10,6 @@ Under those assumptions Theorem 4 promises: never a violated disjunction,
 never a deadlock -- across strategies, fan-ins, jitter, and FIFO-ness.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

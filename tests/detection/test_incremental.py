@@ -8,7 +8,6 @@ including across epoch resets caused by late-arriving arrows.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

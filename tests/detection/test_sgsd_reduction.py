@@ -1,6 +1,5 @@
 """Tests for SGSD and the SAT reduction (Lemma 1 / Figure 1)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

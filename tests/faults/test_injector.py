@@ -1,6 +1,5 @@
 """Runtime fault injection: routing decisions, crash/stall scheduling."""
 
-import pytest
 
 from repro.faults import ChannelFaultSpec, FaultInjector, FaultPlan, Partition
 from repro.sim import System

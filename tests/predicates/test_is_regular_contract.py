@@ -1,0 +1,79 @@
+"""The ``Predicate.is_regular`` contract, pinned for every subclass.
+
+Engine auto-routing (:mod:`repro.detection.engine`) and the static
+classifier (:mod:`repro.analysis.classifier`) both treat ``is_regular()``
+and ``regular_form(p) is not None`` as the same statement.  A subclass
+overriding ``is_regular`` with a cheaper or looser answer would silently
+desynchronise routing from the slicing engine's actual acceptance -- so
+no subclass may override it, and the equivalence must hold on an
+exemplar of every concrete subclass.
+"""
+
+import pytest
+
+import repro.analysis  # noqa: F401  -- import all Predicate subclasses
+import repro.predicates.boolean  # noqa: F401
+import repro.predicates.disjunctive  # noqa: F401
+from repro.analysis.classifier import classify
+from repro.predicates.base import FALSE, TRUE, Predicate
+from repro.predicates.local import LocalPredicate
+from repro.slicing.regular import regular_form
+
+
+def all_subclasses(cls):
+    out = set()
+    for sub in cls.__subclasses__():
+        out.add(sub)
+        out |= all_subclasses(sub)
+    return out
+
+
+def up(p):
+    return LocalPredicate.var_true(p, "up")
+
+
+def exemplars():
+    """At least one instance of every public concrete subclass."""
+    return [
+        TRUE,
+        FALSE,
+        up(0),
+        up(0) & up(1),  # And
+        up(0) | up(1),  # Or
+        ~up(0),  # Not
+        repro.predicates.disjunctive.DisjunctivePredicate([up(0), up(1)]),
+    ]
+
+
+def test_no_subclass_overrides_is_regular():
+    offenders = [
+        cls.__name__
+        for cls in all_subclasses(Predicate)
+        if "is_regular" in cls.__dict__
+    ]
+    assert offenders == [], (
+        f"{offenders} override is_regular(); the base-class definition is "
+        f"the contract (see Predicate.is_regular docstring)"
+    )
+
+
+def test_every_public_subclass_has_an_exemplar():
+    public = {
+        cls
+        for cls in all_subclasses(Predicate)
+        if not cls.__name__.startswith("_") and not getattr(cls, "__abstractmethods__", None)
+        and cls.__module__.startswith("repro.")
+    }
+    covered = {type(p) for p in exemplars()}
+    missing = {c.__name__ for c in public} - {c.__name__ for c in covered}
+    assert missing == set(), f"add exemplars for {missing}"
+
+
+@pytest.mark.parametrize("pred", exemplars(), ids=lambda p: type(p).__name__)
+def test_is_regular_matches_slicing_acceptance(pred):
+    assert pred.is_regular() == (regular_form(pred) is not None)
+
+
+@pytest.mark.parametrize("pred", exemplars(), ids=lambda p: type(p).__name__)
+def test_is_regular_matches_classifier(pred):
+    assert pred.is_regular() == classify(pred).regular

@@ -1,6 +1,5 @@
 """Tests for FIFO channels and the observer hook."""
 
-import pytest
 
 from repro.sim import Network, Observer, System
 from repro.sim.kernel import EventQueue

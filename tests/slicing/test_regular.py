@@ -1,13 +1,11 @@
 """Regular-class recognition: normalisation into conjunctions of locals."""
 
-import numpy as np
 import pytest
 
 from repro.predicates import (
     FALSE,
     TRUE,
     And,
-    DisjunctivePredicate,
     LocalPredicate,
     Not,
     Or,

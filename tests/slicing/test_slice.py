@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.causality.relations import StateRef
 from repro.predicates import local_truth_table
-from repro.slicing import compute_slice, greatest_satisfying_cut, slice_of
+from repro.slicing import compute_slice, greatest_satisfying_cut
 from repro.trace import CutLattice
 from repro.workloads import availability_predicate, random_deposet
 

@@ -1,6 +1,5 @@
 """Tests for consistent-cut enumeration and global sequences."""
 
-import pytest
 
 from repro.trace import ComputationBuilder, CutLattice, final_cut, initial_cut
 from repro.trace.global_state import cut_states

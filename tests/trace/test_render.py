@@ -72,3 +72,50 @@ def test_render_figure4():
     assert out.count("\n") >= 4
     for name in ("S1", "S2", "S3"):
         assert name in out
+
+
+def test_render_findings_overlay():
+    from repro.analysis.findings import Finding
+
+    dep = sample()
+    f = Finding(
+        "T007",
+        "channel A -> B is not FIFO",
+        location="messages[1]",
+        states=((1, 1), (1, 2)),
+    )
+    out = render_deposet(dep, findings=[f])
+    lines = out.splitlines()
+    # a marker row under B carrying one '!' per witness state
+    b_row = next(i for i, line in enumerate(lines) if line.startswith("B "))
+    assert lines[b_row + 1].count("!") == 2
+    assert "! lint witness" in out
+    # the finding itself is listed with id, location, and message
+    assert "T007 at messages[1]: channel A -> B is not FIFO" in out
+
+
+def test_render_findings_combine_with_predicate():
+    from repro.analysis.findings import Finding
+    from repro.workloads import availability_predicate
+
+    dep = sample()
+    f = Finding("R301", "races", states=((0, 1),))
+    out = render_deposet(
+        dep, predicate=availability_predicate(2, var="up"), findings=[f]
+    )
+    assert "#" in out and "!" in out
+
+
+def test_render_findings_skip_out_of_range_witnesses():
+    from repro.analysis.findings import Finding
+
+    dep = sample()
+    f = Finding("T005", "no process 7", states=((7, 1), (0, 99)))
+    out = render_deposet(dep, findings=[f])
+    assert "!" not in out.splitlines()[0]
+    assert "T005" in out  # still listed even without drawable witnesses
+
+
+def test_render_no_findings_no_overlay():
+    out = render_deposet(sample(), findings=[])
+    assert "lint witness" not in out

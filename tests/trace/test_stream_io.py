@@ -5,7 +5,6 @@ import json
 import numpy as np
 import pytest
 
-from repro.causality.relations import StateRef
 from repro.errors import MalformedTraceError
 from repro.trace import ComputationBuilder
 from repro.trace.io import (
@@ -217,3 +216,65 @@ def test_load_deposet_prefixes_file_path(tmp_path):
     with pytest.raises(MalformedTraceError,
                        match=r"bad\.json: messages\[0\]\.src"):
         load_deposet(path)
+
+
+# -- format sniffing errors ---------------------------------------------------
+
+
+def test_sniff_empty_file(tmp_path):
+    from repro.errors import UnknownTraceFormatError
+
+    path = tmp_path / "empty.json"
+    path.write_text("")
+    with pytest.raises(UnknownTraceFormatError, match="empty file"):
+        sniff_trace_format(path)
+    path.write_text("\n\n  \n")  # whitespace-only is just as empty
+    with pytest.raises(UnknownTraceFormatError, match="empty file"):
+        sniff_trace_format(path)
+
+
+def test_sniff_garbage(tmp_path):
+    from repro.errors import UnknownTraceFormatError
+
+    path = tmp_path / "garbage.txt"
+    path.write_text("this is not a trace\n")
+    with pytest.raises(UnknownTraceFormatError) as exc:
+        sniff_trace_format(path)
+    # the error names both accepted formats so the fix is actionable
+    assert FORMAT in str(exc.value) and STREAM_FORMAT in str(exc.value)
+
+
+def test_sniff_unknown_format_field(tmp_path):
+    from repro.errors import UnknownTraceFormatError
+
+    path = tmp_path / "alien.json"
+    path.write_text(json.dumps({"format": "alien/9"}))
+    with pytest.raises(UnknownTraceFormatError, match="alien/9"):
+        sniff_trace_format(path)
+
+
+def test_sniff_non_dict_head(tmp_path):
+    from repro.errors import UnknownTraceFormatError
+
+    path = tmp_path / "list.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(UnknownTraceFormatError):
+        sniff_trace_format(path)
+
+
+def test_sniff_pretty_printed_batch(tmp_path):
+    # a pretty-printed batch document's first line is just "{": the
+    # sniffer must still recognise it as the batch format
+    dep = sample_dep()
+    path = tmp_path / "pretty.json"
+    from repro.trace.io import deposet_to_dict
+
+    path.write_text(json.dumps(deposet_to_dict(dep), indent=2))
+    assert sniff_trace_format(path) == FORMAT
+
+
+def test_unknown_format_error_is_malformed_trace_error(tmp_path):
+    # callers catching the old MalformedTraceError keep working
+    from repro.errors import MalformedTraceError, UnknownTraceFormatError
+
+    assert issubclass(UnknownTraceFormatError, MalformedTraceError)
