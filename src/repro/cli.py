@@ -20,6 +20,9 @@ Commands::
     python -m repro watch stream.jsonl --predicate at-least-one:up --verify
     python -m repro lint trace.json --predicate at-least-one:up --strict
     python -m repro mutex-bench --algorithm antitoken --n 8
+    python -m repro serve --listen 127.0.0.1:7777 --workers 4
+    python -m repro tail stream.jsonl --predicate at-least-one:up --follow
+    python -m repro tail --connect 127.0.0.1:7777 --tenant acme
 
 The ``obs`` family drives the flight recorder (:mod:`repro.obs`)::
 
@@ -234,40 +237,83 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
-    """Stream a trace through the incremental detector, record by record."""
-    from repro.detection.incremental import IncrementalDetector
-    from repro.obs import METRICS
+    """Stream a trace through the incremental detector, record by record.
 
+    ``--format json`` emits the exact ``repro-verdicts/1`` events that
+    ``repro serve`` would push for the same stream (tenant ``local``,
+    session = the trace path) -- same schema module, same serializer, so
+    the two surfaces cannot drift (pinned by tests/serve).
+    """
+    from repro.detection.incremental import IncrementalDetector
+    from repro.errors import TruncatedStreamError
+    from repro.obs import METRICS
+    from repro.serve.protocol import (
+        VerdictTracker,
+        dumps_event,
+        event_closed,
+        event_error,
+        event_open,
+    )
+
+    as_json = getattr(args, "format", "text") == "json"
+    tenant, session = "local", str(args.trace)
+    tracker = VerdictTracker(tenant, session)
     detector = None
     first_line = None
+    seq = 0
     with METRICS.scoped() as scope:
-        for lineno, (store, _rec) in enumerate(
-            ingest_event_stream(args.trace), start=1
-        ):
-            if detector is None:
-                pred = parse_predicate(args.predicate, store.n)
-                detector = IncrementalDetector(store, pred)
-                print(f"watching {args.trace}: {store.n} process(es), "
-                      f"predicate {args.predicate}")
-                continue
-            witness = detector.poll()
-            if witness is not None and first_line is None:
-                first_line = lineno
-                print(f"  record {lineno}: violation possible at "
-                      f"consistent global state {witness}")
+        try:
+            for lineno, (store, rec) in enumerate(
+                ingest_event_stream(args.trace), start=1
+            ):
+                if detector is None:
+                    pred = parse_predicate(args.predicate, store.n)
+                    detector = IncrementalDetector(store, pred)
+                    if as_json:
+                        print(dumps_event(event_open(
+                            tenant, session, store.n, args.predicate
+                        )))
+                    else:
+                        print(f"watching {args.trace}: {store.n} process(es), "
+                              f"predicate {args.predicate}")
+                    continue
+                if rec.get("t") == "obs":
+                    continue
+                seq += 1
+                witness = detector.poll()
+                if as_json:
+                    for ev in tracker.observe(seq, witness):
+                        print(dumps_event(ev))
+                elif witness is not None and first_line is None:
+                    first_line = lineno
+                    print(f"  record {lineno}: violation possible at "
+                          f"consistent global state {witness}")
+        except TruncatedStreamError as exc:
+            if not as_json:
+                raise  # main() prints the typed file:lineno message
+            print(dumps_event(event_error(
+                tenant, session, seq, "malformed", str(exc),
+                where=f"{args.trace}:{exc.lineno}",
+            )))
+            return 3
         result = detector.finalize(engine=args.engine)
     counters = scope.delta()["counters"]
-    print(f"[watch] polls={counters.get('detection.incremental.polls', 0)} "
-          f"suffix_states={counters.get('detection.incremental.suffix_states', 0)} "
-          f"resets={counters.get('detection.incremental.resets', 0)}")
-    if result.witness is None:
-        print("predicate holds in every consistent global state")
-        if result.pending:
-            names = ", ".join(store.proc_names[i] for i in result.pending)
-            print(f"  (saved throughout by: {names})")
+    if as_json:
+        print(dumps_event(tracker.finalized(seq, result)))
+        print(dumps_event(event_closed(tenant, session, seq)))
     else:
-        print(f"final: violation possible at {result.witness}"
-              + (" and DEFINITELY occurs" if result.definitely else ""))
+        print(f"[watch] polls={counters.get('detection.incremental.polls', 0)} "
+              f"suffix_states="
+              f"{counters.get('detection.incremental.suffix_states', 0)} "
+              f"resets={counters.get('detection.incremental.resets', 0)}")
+        if result.witness is None:
+            print("predicate holds in every consistent global state")
+            if result.pending:
+                names = ", ".join(store.proc_names[i] for i in result.pending)
+                print(f"  (saved throughout by: {names})")
+        else:
+            print(f"final: violation possible at {result.witness}"
+                  + (" and DEFINITELY occurs" if result.definitely else ""))
     if args.verify:
         from repro.detection.conjunctive import possibly_bad
 
@@ -276,8 +322,146 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             print(f"VERIFY MISMATCH: batch detector found {batch}, "
                   f"streaming found {result.witness}", file=sys.stderr)
             return 2
-        print("[verify] batch detector agrees with the streamed verdict")
+        if not as_json:
+            print("[verify] batch detector agrees with the streamed verdict")
     return 0 if result.witness is None else 1
+
+
+def _parse_quota(spec: str):
+    """``streams,buffered,store`` or ``tenant=streams,buffered,store``."""
+    from repro.serve.registry import TenantQuota
+
+    tenant = None
+    if "=" in spec:
+        tenant, spec = spec.split("=", 1)
+    parts = [p.strip() for p in spec.split(",")]
+    if len(parts) != 3:
+        raise ValueError(
+            f"quota spec {spec!r}: expected STREAMS,BUFFERED,STORE_STATES"
+        )
+    quota = TenantQuota(
+        max_streams=int(parts[0]),
+        max_buffered_events=int(parts[1]),
+        max_store_states=int(parts[2]),
+    )
+    return tenant, quota
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant online detection server until interrupted."""
+    import asyncio
+    import signal
+
+    from repro.serve.client import parse_connect
+    from repro.serve.registry import TenantQuota
+    from repro.serve.server import ReproServer, ServeConfig
+
+    tcp = None
+    unix = None
+    if args.listen:
+        kind, target = parse_connect(args.listen)
+        if kind == "tcp":
+            tcp = target
+        else:
+            unix = target
+    default_quota = TenantQuota()
+    tenant_quotas = {}
+    for spec in args.quota or ():
+        tenant, quota = _parse_quota(spec)
+        if tenant is None:
+            default_quota = quota
+        else:
+            tenant_quotas[tenant] = quota
+    config = ServeConfig(
+        tcp=tcp, unix=unix, workers=args.workers, policy=args.policy,
+        quota=default_quota, tenant_quotas=tenant_quotas,
+        batch=args.batch, engine=args.engine,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def run() -> int:
+        server = ReproServer(config)
+        await server.start()
+        print(f"repro serve: listening on "
+              f"{', '.join(server.endpoints) or '(nothing)'} "
+              f"[workers={config.workers} policy={config.policy}]",
+              file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        print("repro serve: draining...", file=sys.stderr)
+        stats = await server.drain()
+        print(f"repro serve: drained {stats}", file=sys.stderr)
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    """Print live verdict events -- from a server or from a stream file."""
+    import asyncio
+
+    from repro.serve.protocol import describe_event, dumps_event, is_internal
+
+    def emit(event) -> None:
+        if is_internal(event):
+            return
+        if args.format == "json":
+            print(dumps_event(event), flush=True)
+        else:
+            print(describe_event(event), flush=True)
+
+    if args.connect:
+        from repro.serve.client import subscribe
+
+        async def run_sub() -> int:
+            count = await subscribe(args.connect, args.tenant, emit)
+            print(f"[tail] server closed after {count} event(s)",
+                  file=sys.stderr)
+            return 0
+
+        return asyncio.run(run_sub())
+
+    if not args.trace:
+        print("error: tail needs a TRACE file or --connect", file=sys.stderr)
+        return 2
+    if not args.predicate:
+        print("error: tailing a file needs --predicate", file=sys.stderr)
+        return 2
+
+    import signal
+
+    from repro.serve.server import ReproServer, ServeConfig
+
+    async def run_file() -> int:
+        server = ReproServer(ServeConfig(workers=0))
+        await server.start()
+        # In follow mode SIGINT/SIGTERM means "stop waiting for growth and
+        # finalize on what we have", not "die mid-verdict".
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            final = await server.tail_file(
+                args.trace, args.tenant, str(args.trace), args.predicate,
+                follow=args.follow, push=emit, stop=stop,
+            )
+        finally:
+            await server.drain()
+        if final is None:
+            return 3
+        return 0 if final.get("witness") is None else 1
+
+    return asyncio.run(run_file())
 
 
 #: default recording path shared by ``obs record`` / ``summary`` / ``export``
@@ -576,7 +760,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="cross-check the streamed verdict against the batch "
                         "conjunctive detector on the final prefix")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="json: emit repro-verdicts/1 events, one per line "
+                        "(the same schema `repro serve` pushes)")
     p.set_defaults(fn=_cmd_watch)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant online detection server "
+             "(many concurrent repro-events/1 streams, live verdict push)",
+    )
+    p.add_argument("--listen", required=True,
+                   help="'host:port' for TCP or 'unix:PATH' for a unix socket")
+    p.add_argument("--workers", type=int, default=2,
+                   help="detection worker processes (0 = inline, no IPC)")
+    p.add_argument("--policy", choices=["pause", "shed", "disconnect"],
+                   default="pause",
+                   help="slow-consumer policy once a session's credit "
+                        "budget is spent")
+    p.add_argument("--quota", action="append", metavar="[TENANT=]S,B,ST",
+                   help="quota STREAMS,BUFFERED_EVENTS,STORE_STATES; "
+                        "prefix TENANT= to override one tenant "
+                        "(repeatable; 0 store states = unlimited)")
+    p.add_argument("--batch", type=int, default=64,
+                   help="stream lines per worker batch")
+    p.add_argument("--engine", choices=["auto", "exhaustive", "slice",
+                                        "parallel"],
+                   default="auto", help="batch engine for final 'definitely'")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds to wait for final verdicts at shutdown")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "tail",
+        help="follow live verdicts: subscribe to a server's tenant "
+             "(--connect) or tail a repro-events/1 file on disk",
+    )
+    p.add_argument("trace", nargs="?",
+                   help="a repro-events/1 stream file to tail locally")
+    p.add_argument("--connect",
+                   help="subscribe to a running server instead "
+                        "('host:port' or 'unix:PATH')")
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--predicate",
+                   help="predicate spec (required when tailing a file)")
+    p.add_argument("--follow", action="store_true",
+                   help="keep waiting for the file to grow (like tail -f); "
+                        "a truncated final line is retried, not fatal")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(fn=_cmd_tail)
 
     p = sub.add_parser("obs", help="flight recorder: record/summarise/export")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)

@@ -211,19 +211,27 @@ class IncrementalDetector:
 
     # -- finalisation --------------------------------------------------------
 
-    def finalize(self, engine: str = "auto") -> WatchResult:
+    def finalize(
+        self, engine: str = "auto", *, with_definitely: bool = True
+    ) -> WatchResult:
         """The end-of-stream verdict, upgraded with batch *definitely*.
 
         Takes a snapshot of the store and runs the batch engine for the
         *definitely* modality (the incremental loop answers *possibly*
         only); the ``witness`` field is this detector's own final poll.
+        ``with_definitely=False`` skips the batch snapshot pass entirely
+        (``definitely`` comes back ``None``) -- the serving layer uses
+        this for sessions whose stores grew past the cheap-finalize size.
         """
         from repro.detection.engine import definitely
 
         witness = self.poll()
         pending = self.pending_procs
-        df = False
+        df: Optional[bool] = False
         if witness is not None:
-            dep = self._store.snapshot()
-            df = definitely(dep, self._pred.negated(), engine=engine)
+            if with_definitely:
+                dep = self._store.snapshot()
+                df = definitely(dep, self._pred.negated(), engine=engine)
+            else:
+                df = None
         return WatchResult(witness=witness, definitely=df, pending=pending)

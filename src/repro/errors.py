@@ -23,6 +23,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "MalformedTraceError",
+    "TruncatedStreamError",
     "UnknownTraceFormatError",
     "PredicateError",
     "NotDisjunctiveError",
@@ -44,6 +45,24 @@ class ReproError(Exception):
 
 class MalformedTraceError(ReproError):
     """A trace/deposet violates the model constraints (D1, D2, D3, acyclicity)."""
+
+
+class TruncatedStreamError(MalformedTraceError):
+    """A ``repro-events/1`` stream ends mid-record (partial JSON at EOF).
+
+    Raised by :func:`repro.trace.io.ingest_event_stream` when the *final*
+    line of the file fails to parse **and** carries no trailing newline --
+    the signature of a writer that crashed (or is still appending) mid
+    record.  The message carries ``file:lineno`` like every other stream
+    error; tail-mode consumers (``repro serve --tail``, ``repro tail
+    --follow``) catch this specifically and wait for more bytes instead
+    of aborting.
+    """
+
+    def __init__(self, message: str, *, lineno: int = 0):
+        super().__init__(message)
+        #: 1-based line number of the truncated record.
+        self.lineno = lineno
 
 
 class UnknownTraceFormatError(MalformedTraceError):

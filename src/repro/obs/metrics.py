@@ -9,6 +9,15 @@ measurable.
 ``snapshot()`` returns a plain JSON-ready dict; ``diff(before, after)``
 subtracts counter/histogram totals (gauges keep their ``after`` value).
 
+The registry is **thread-safe**: instrument creation and ``snapshot()``
+hold a registry lock, and every instrument update holds a per-instrument
+lock, so concurrent workers (the serving layer's shard drain threads, the
+asyncio loop) can hammer shared instruments without losing increments.
+Worker *processes* keep their own registry and ship a snapshot home;
+:meth:`MetricsRegistry.merge` folds such a snapshot into the live
+registry (counters add, gauges last-write-wins, histograms merge their
+count/sum/min/max moments).
+
 The registry is process-global and instruments are cumulative, so code
 that wants *per-run* numbers (the bench harness, the CLI, tests) must
 never read raw counter values -- successive runs in one process would
@@ -20,6 +29,7 @@ are isolated no matter how many runs share the process.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Dict, Optional
 
 __all__ = [
@@ -33,19 +43,23 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self):
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        # ``value += amount`` is load/add/store over several bytecodes, so
+        # two threads can lose increments without the lock.
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A last-write-wins measurement."""
+    """A last-write-wins measurement (thread-safe: a single store)."""
 
     __slots__ = ("value",)
 
@@ -57,24 +71,39 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming count/sum/min/max (no buckets; cheap and diffable)."""
+    """Streaming count/sum/min/max (no buckets; cheap, diffable, thread-safe)."""
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_lock")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def merge_summary(self, summary: Dict[str, float]) -> None:
+        """Fold another histogram's :meth:`summary` into this one."""
+        count = int(summary.get("count", 0))
+        if count <= 0:
+            return
+        with self._lock:
+            self.count += count
+            self.total += float(summary.get("sum", 0.0))
+            if summary.get("min", math.inf) < self.min:
+                self.min = float(summary["min"])
+            if summary.get("max", -math.inf) > self.max:
+                self.max = float(summary["max"])
 
     def summary(self) -> Dict[str, float]:
         if self.count == 0:
@@ -99,6 +128,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
     def _claim(self, name: str, table: Dict[str, Any], kind: str) -> None:
         for other_kind, other in (
@@ -115,35 +145,62 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
         if c is None:
-            self._claim(name, self._counters, "counter")
-            c = self._counters[name] = Counter()
+            with self._lock:
+                c = self._counters.get(name)
+                if c is None:
+                    self._claim(name, self._counters, "counter")
+                    c = self._counters[name] = Counter()
         return c
 
     def gauge(self, name: str) -> Gauge:
         g = self._gauges.get(name)
         if g is None:
-            self._claim(name, self._gauges, "gauge")
-            g = self._gauges[name] = Gauge()
+            with self._lock:
+                g = self._gauges.get(name)
+                if g is None:
+                    self._claim(name, self._gauges, "gauge")
+                    g = self._gauges[name] = Gauge()
         return g
 
     def histogram(self, name: str) -> Histogram:
         h = self._histograms.get(name)
         if h is None:
-            self._claim(name, self._histograms, "histogram")
-            h = self._histograms[name] = Histogram()
+            with self._lock:
+                h = self._histograms.get(name)
+                if h is None:
+                    self._claim(name, self._histograms, "histogram")
+                    h = self._histograms[name] = Histogram()
         return h
 
     # -- snapshots ---------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready state of every instrument."""
-        return {
-            "counters": {k: c.value for k, c in sorted(self._counters.items())},
-            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
-            "histograms": {
-                k: h.summary() for k, h in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: h.summary() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The serving layer's detection workers run in separate processes,
+        each with its own registry; on shutdown every worker ships its
+        snapshot home and the server merges them here so one registry
+        describes the whole fleet.  Counters add, gauges last-write-win,
+        histograms merge their count/sum/min/max moments.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_summary(summary)
 
     @staticmethod
     def diff(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
@@ -188,9 +245,10 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every instrument (tests; production code diffs snapshots)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     def describe(self, diff: Optional[Dict[str, Any]] = None) -> str:
         """One compact ``k=v`` line, suitable for bench tables."""

@@ -1,0 +1,149 @@
+"""Client side of ``repro-serve/1``: dial, stream, subscribe.
+
+Three thin async helpers over the wire protocol documented in
+:mod:`repro.serve.server`, plus the ``host:port`` / ``unix:PATH``
+connect-string parser shared by ``repro serve`` and ``repro tail``.
+Tests, the E16 benchmark, and the CI smoke script all drive servers
+through these helpers so the protocol has exactly one client
+implementation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.protocol import dumps_event
+from repro.serve.server import SERVE_FORMAT, _LINE_LIMIT
+
+__all__ = [
+    "parse_connect",
+    "open_connection",
+    "stream_events",
+    "subscribe",
+]
+
+
+def parse_connect(connect: str) -> Tuple[str, Any]:
+    """``"host:port"`` -> ``("tcp", (host, port))``;
+    ``"unix:/path"`` -> ``("unix", "/path")``."""
+    if connect.startswith("unix:"):
+        path = connect[len("unix:"):]
+        if not path:
+            raise ValueError("unix: connect string needs a socket path")
+        return ("unix", path)
+    host, sep, port = connect.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"connect string {connect!r} is neither 'host:port' nor 'unix:PATH'"
+        )
+    return ("tcp", (host or "127.0.0.1", int(port)))
+
+
+async def open_connection(
+    connect: str,
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    kind, target = parse_connect(connect)
+    if kind == "unix":
+        return await asyncio.open_unix_connection(target, limit=_LINE_LIMIT)
+    host, port = target
+    return await asyncio.open_connection(host, port, limit=_LINE_LIMIT)
+
+
+def _hello(t: str, **fields: Any) -> bytes:
+    hello = {"format": SERVE_FORMAT, "t": t}
+    hello.update(fields)
+    return (dumps_event(hello) + "\n").encode()
+
+
+async def stream_events(
+    connect: str,
+    tenant: str,
+    session: str,
+    predicate: str,
+    lines: Sequence[str],
+    *,
+    timeout: float = 60.0,
+    chunk: int = 256,
+) -> List[Dict[str, Any]]:
+    """Stream a whole ``repro-events/1`` document (header line first) to a
+    server and collect every verdict event until ``closed`` / EOF.
+
+    The stream side half-closes after the last record, which is the
+    protocol's end-of-stream signal; verdicts keep flowing back on the
+    same socket.  Writes pause on the transport's own flow control
+    (``drain``), so a paused server session propagates backpressure all
+    the way into this coroutine.
+    """
+    reader, writer = await open_connection(connect)
+    events: List[Dict[str, Any]] = []
+
+    async def pump() -> None:
+        writer.write(_hello("hello", tenant=tenant, session=session,
+                            predicate=predicate))
+        for start in range(0, len(lines), chunk):
+            payload = "".join(
+                line.rstrip("\n") + "\n"
+                for line in lines[start:start + chunk]
+            )
+            writer.write(payload.encode())
+            await writer.drain()
+        writer.write_eof()
+
+    pump_task = asyncio.ensure_future(pump())
+    try:
+        while True:
+            raw = await asyncio.wait_for(reader.readline(), timeout)
+            if raw == b"":
+                break
+            events.append(json.loads(raw.decode()))
+            # read until the server's last word (after an error the server
+            # still closes the socket, so EOF ends the loop either way)
+            if events[-1].get("e") == "closed":
+                break
+    finally:
+        pump_task.cancel()
+        await asyncio.gather(pump_task, return_exceptions=True)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass
+    return events
+
+
+async def subscribe(
+    connect: str,
+    tenant: str,
+    on_event: Callable[[Dict[str, Any]], Any],
+    *,
+    stop: Optional[asyncio.Event] = None,
+    timeout: float = 0.5,
+) -> int:
+    """Attach as a read-only subscriber and feed every pushed verdict
+    event to ``on_event`` until ``stop`` is set or the server goes away.
+    Returns the number of events received.  ``on_event`` may return a
+    truthy value to stop early."""
+    reader, writer = await open_connection(connect)
+    count = 0
+    try:
+        writer.write(_hello("subscribe", tenant=tenant))
+        await writer.drain()
+        while stop is None or not stop.is_set():
+            try:
+                raw = await asyncio.wait_for(reader.readline(), timeout)
+            except asyncio.TimeoutError:
+                continue
+            if raw == b"":
+                break
+            count += 1
+            if on_event(json.loads(raw.decode())):
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass
+    return count

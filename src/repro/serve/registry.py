@@ -1,0 +1,209 @@
+"""Multi-tenant bookkeeping: quotas, live sessions, subscribers.
+
+The registry is the server's control plane.  It owns no detection state
+(that lives in worker-pinned :class:`~repro.serve.session.DetectionSession`
+objects); what it tracks per tenant is *admission* -- how many concurrent
+streams a tenant may hold open, how many records per session may sit
+unacknowledged in a worker queue (the credit budget backpressure spends),
+and how large a session's store may grow -- plus the set of subscriber
+callbacks that want the tenant's verdict events pushed to them.
+
+Everything here runs on the asyncio loop thread; worker threads hand
+events over via ``loop.call_soon_threadsafe`` before they reach the
+registry, so no locking is needed at this layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.obs.metrics import METRICS
+
+__all__ = [
+    "TenantQuota",
+    "QuotaExceededError",
+    "SessionState",
+    "SessionRegistry",
+]
+
+_OPENED = METRICS.counter("serve.sessions_opened")
+_CLOSED = METRICS.counter("serve.sessions_closed")
+_REFUSED = METRICS.counter("serve.sessions_refused")
+_OPEN_NOW = METRICS.gauge("serve.open_sessions")
+
+
+class QuotaExceededError(ReproError):
+    """A tenant asked for more than its quota allows (admission refusal)."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant resource limits (see ``docs/SERVING.md``).
+
+    ``max_streams``
+        Concurrent open sessions; further opens are refused outright.
+    ``max_buffered_events``
+        The per-session credit budget: how many forwarded records may be
+        awaiting a worker acknowledgement before the slow-consumer policy
+        engages (pause / shed / disconnect).
+    ``max_store_states``
+        Per-session store-size ceiling, enforced inside the session
+        (``0`` disables the check).
+    """
+
+    max_streams: int = 16
+    max_buffered_events: int = 4096
+    max_store_states: int = 0
+
+    def __post_init__(self):
+        if self.max_streams <= 0:
+            raise ValueError("max_streams must be positive")
+        if self.max_buffered_events <= 0:
+            raise ValueError("max_buffered_events must be positive")
+        if self.max_store_states < 0:
+            raise ValueError("max_store_states cannot be negative")
+
+
+@dataclass
+class SessionState:
+    """The server-side (control-plane) view of one open session."""
+
+    tenant: str
+    session: str
+    key: str
+    quota: TenantQuota
+    shard: int
+    #: unacknowledged records allowed before backpressure engages
+    credits: int = 0
+    #: records forwarded to the worker so far
+    submitted: int = 0
+    #: records the worker acknowledged applying
+    acked: int = 0
+    #: records dropped by the shed policy (tail-shedding)
+    shed: int = 0
+    #: set once the slow-consumer policy fired (shed/disconnect)
+    tripped: bool = False
+    draining: bool = False
+    final_event: Optional[Dict[str, Any]] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def outstanding(self) -> int:
+        return self.submitted - self.acked
+
+
+class SessionRegistry:
+    """Admission control + routing for every live session and subscriber."""
+
+    def __init__(
+        self,
+        default_quota: Optional[TenantQuota] = None,
+        overrides: Optional[Dict[str, TenantQuota]] = None,
+    ):
+        self.default_quota = default_quota or TenantQuota()
+        self.overrides = dict(overrides or {})
+        self._sessions: Dict[str, SessionState] = {}
+        self._per_tenant: Dict[str, int] = {}
+        self._subscribers: Dict[str, List[Callable[[Dict[str, Any]], None]]] = {}
+
+    # -- admission -----------------------------------------------------------
+
+    def quota(self, tenant: str) -> TenantQuota:
+        return self.overrides.get(tenant, self.default_quota)
+
+    def open(self, tenant: str, session: str, shard: int) -> SessionState:
+        from repro.serve.session import session_key
+
+        key = session_key(tenant, session)
+        if key in self._sessions:
+            _REFUSED.inc()
+            raise QuotaExceededError(
+                f"session {key!r} is already open (one stream per session id)"
+            )
+        quota = self.quota(tenant)
+        if self._per_tenant.get(tenant, 0) >= quota.max_streams:
+            _REFUSED.inc()
+            raise QuotaExceededError(
+                f"tenant {tenant!r} is at max_streams={quota.max_streams} "
+                f"concurrent stream(s)"
+            )
+        state = SessionState(
+            tenant=tenant, session=session, key=key, quota=quota,
+            shard=shard, credits=quota.max_buffered_events,
+        )
+        self._sessions[key] = state
+        self._per_tenant[tenant] = self._per_tenant.get(tenant, 0) + 1
+        _OPENED.inc()
+        _OPEN_NOW.set(len(self._sessions))
+        METRICS.gauge(f"serve.tenant.{tenant}.sessions").set(
+            self._per_tenant[tenant]
+        )
+        return state
+
+    def close(self, key: str) -> Optional[SessionState]:
+        state = self._sessions.pop(key, None)
+        if state is None:
+            return None
+        left = self._per_tenant.get(state.tenant, 1) - 1
+        if left:
+            self._per_tenant[state.tenant] = left
+        else:
+            self._per_tenant.pop(state.tenant, None)
+        _CLOSED.inc()
+        _OPEN_NOW.set(len(self._sessions))
+        METRICS.gauge(f"serve.tenant.{state.tenant}.sessions").set(max(left, 0))
+        return state
+
+    def get(self, key: str) -> Optional[SessionState]:
+        return self._sessions.get(key)
+
+    def sessions(self) -> List[SessionState]:
+        return list(self._sessions.values())
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    # -- subscribers ---------------------------------------------------------
+
+    def subscribe(self, tenant: str,
+                  push: Callable[[Dict[str, Any]], None]) -> None:
+        self._subscribers.setdefault(tenant, []).append(push)
+
+    def unsubscribe(self, tenant: str,
+                    push: Callable[[Dict[str, Any]], None]) -> None:
+        pushes = self._subscribers.get(tenant)
+        if pushes and push in pushes:
+            pushes.remove(push)
+            if not pushes:
+                self._subscribers.pop(tenant, None)
+
+    def publish(self, tenant: str, event: Dict[str, Any]) -> int:
+        """Push one event to every subscriber of ``tenant``; returns count."""
+        pushes = self._subscribers.get(tenant, ())
+        for push in list(pushes):
+            push(event)
+        return len(pushes)
+
+    def subscriber_count(self, tenant: str) -> int:
+        return len(self._subscribers.get(tenant, ()))
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-ready control-plane summary (drain logs, tests)."""
+        return {
+            "open_sessions": len(self._sessions),
+            "tenants": {
+                tenant: count for tenant, count in sorted(self._per_tenant.items())
+            },
+            "outstanding": {
+                key: s.outstanding
+                for key, s in sorted(self._sessions.items()) if s.outstanding
+            },
+            "shed": {
+                key: s.shed
+                for key, s in sorted(self._sessions.items()) if s.shed
+            },
+        }

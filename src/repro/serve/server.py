@@ -1,0 +1,622 @@
+"""`repro serve`: the asyncio control plane of the online detection service.
+
+One process runs the **I/O plane** (this module): asyncio listeners on
+TCP and/or a unix socket accept many concurrent ``repro-serve/1``
+connections, a file-tail mode follows a growing stream on disk, and a
+:class:`~repro.serve.registry.SessionRegistry` admits sessions against
+per-tenant quotas.  The **CPU plane** is the sharded
+:mod:`~repro.serve.workers` pool: the server forwards raw stream lines in
+batches to the shard owning each session and receives verdict events plus
+flow-control acks back on the loop thread.
+
+Wire protocol (line-delimited JSON both ways):
+
+.. code-block:: text
+
+    C: {"format": "repro-serve/1", "t": "hello", "tenant": "acme",
+        "session": "run-7", "predicate": "at-least-one:up"}
+    C: {"format": "repro-events/1", "proc_names": [...], "start": [...]}
+    C: {"t": "ev", "p": 0, "u": {"up": false}}          # ... the stream
+    C: <EOF>
+    S: {"e": "open",    ...}                            # pushed as they fire
+    S: {"e": "witness", "status": "found", "cut": [1,2], ...}
+    S: {"e": "final",   "witness": [1,2], "definitely": true, ...}
+    S: {"e": "closed",  ...}
+
+A ``{"t": "subscribe", "tenant": "acme"}`` hello instead attaches the
+connection as a read-only subscriber to every verdict event of that
+tenant.
+
+**Backpressure.**  Each session holds ``max_buffered_events`` credits;
+forwarding a line spends one, a worker ack refunds what it applied.  When
+a stream outruns its detector the configured slow-consumer policy
+engages: ``pause`` stops reading the socket until credits return (TCP
+pushback propagates to the producer), ``shed`` tail-drops everything
+after the budget and marks the final verdict degraded, ``disconnect``
+cuts the connection after an error event.  Policies are per-server,
+quotas per-tenant; one tenant tripping its policy never touches another
+tenant's session (pinned by tests/serve/test_backpressure.py).
+
+**Drain.**  ``drain()`` stops the listeners, cancels readers, flushes
+every admitted session's buffered lines, finalizes all sessions (final
+verdicts still reach their connections and subscribers), stops the
+worker pool, and merges worker metrics into the live registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import TruncatedStreamError
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
+from repro.serve.protocol import dumps_event, event_closed, event_error
+from repro.serve.registry import (
+    QuotaExceededError,
+    SessionRegistry,
+    SessionState,
+    TenantQuota,
+)
+from repro.serve.session import session_key
+from repro.serve.workers import make_pool
+
+__all__ = ["ServeConfig", "ReproServer", "SERVE_FORMAT"]
+
+SERVE_FORMAT = "repro-serve/1"
+#: readline() limit: one stream record per line, generously capped
+_LINE_LIMIT = 1 << 20
+
+_CONNS = METRICS.counter("serve.connections")
+_LINES = METRICS.counter("serve.lines_read")
+_SHED = METRICS.counter("serve.shed_records")
+_DISCONNECTS = METRICS.counter("serve.disconnects")
+_PAUSES = METRICS.counter("serve.pauses")
+_ACK_LAT = METRICS.histogram("serve.ack_latency")
+_VERDICT_LAT = METRICS.histogram("serve.verdict_latency")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``repro serve`` needs to run (see ``docs/SERVING.md``)."""
+
+    tcp: Optional[Tuple[str, int]] = None
+    unix: Optional[str] = None
+    #: detection worker processes; 0 = inline (detection on the loop thread)
+    workers: int = 2
+    #: slow-consumer policy: ``pause`` | ``shed`` | ``disconnect``
+    policy: str = "pause"
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    tenant_quotas: Dict[str, TenantQuota] = field(default_factory=dict)
+    #: per-tenant session opts (e.g. ``{"slow": {"delay_per_record": 0.01}}``)
+    tenant_opts: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: lines per worker batch (flush threshold)
+    batch: int = 64
+    #: batch engine for the final *definitely* upgrade
+    engine: str = "auto"
+    #: skip the batch *definitely* pass for stores above this many states
+    definitely_limit: int = 50_000
+    #: seconds to wait for final verdicts during drain
+    drain_timeout: float = 30.0
+
+    def __post_init__(self):
+        if self.policy not in ("pause", "shed", "disconnect"):
+            raise ValueError(f"unknown slow-consumer policy {self.policy!r}")
+        if self.batch <= 0:
+            raise ValueError("batch must be positive")
+
+
+class _Entry:
+    """Loop-thread state for one admitted session."""
+
+    __slots__ = (
+        "state", "writer", "push", "credit", "final", "error",
+        "buffer", "lineno", "last_flush", "finalizing",
+    )
+
+    def __init__(self, state: SessionState, loop: asyncio.AbstractEventLoop,
+                 writer: Optional[asyncio.StreamWriter] = None, push=None):
+        self.state = state
+        self.writer = writer
+        self.push = push  # optional callable(event) for tail sessions
+        self.credit = asyncio.Event()
+        self.credit.set()
+        self.final: asyncio.Future = loop.create_future()
+        self.error: Optional[Dict[str, Any]] = None
+        self.buffer: List[str] = []
+        self.lineno = 1  # header consumed the first line
+        self.last_flush = time.perf_counter()
+        self.finalizing = False
+
+
+class ReproServer:
+    """The long-running multi-tenant online detection service."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.registry = SessionRegistry(config.quota, config.tenant_quotas)
+        self.pool = make_pool(config.workers)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._servers: List[asyncio.base_events.Server] = []
+        self._entries: Dict[str, _Entry] = {}
+        self._conn_tasks: set = set()
+        self._draining = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.pool.set_sink(self._sink)
+        self.pool.start()
+        if self.config.tcp is not None:
+            host, port = self.config.tcp
+            self._servers.append(await asyncio.start_server(
+                self._handle_conn, host=host, port=port, limit=_LINE_LIMIT
+            ))
+        if self.config.unix is not None:
+            self._servers.append(await asyncio.start_unix_server(
+                self._handle_conn, path=self.config.unix, limit=_LINE_LIMIT
+            ))
+
+    @property
+    def endpoints(self) -> List[str]:
+        out = []
+        for srv in self._servers:
+            for sock in srv.sockets:
+                out.append(str(sock.getsockname()))
+        return out
+
+    async def drain(self) -> Dict[str, Any]:
+        """Graceful shutdown; returns the registry's final stats."""
+        self._draining = True
+        for srv in self._servers:
+            srv.close()
+        for srv in self._servers:
+            await srv.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        # finalize whatever is still admitted (readers are gone; buffers
+        # may still hold un-forwarded lines)
+        finals = []
+        for key, entry in list(self._entries.items()):
+            if not entry.finalizing and entry.error is None:
+                self._flush(key, entry, force=True)
+                if entry.buffer:  # credits spent: drop + mark degraded
+                    _SHED.inc(len(entry.buffer))
+                    entry.state.shed += len(entry.buffer)
+                    entry.buffer.clear()
+                self._finalize(key, entry)
+            if not entry.final.done() and entry.error is None:
+                finals.append(entry.final)
+        if finals:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(*finals, return_exceptions=True),
+                    timeout=self.config.drain_timeout,
+                )
+        stats = self.registry.stats()
+        for key, entry in list(self._entries.items()):
+            self._publish(entry, event_closed(entry.state.tenant,
+                                              entry.state.session,
+                                              entry.state.acked))
+            self._close_entry(key, entry)
+        loop = self._loop or asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.pool.stop)
+        return stats
+
+    # -- worker events (loop thread) -----------------------------------------
+
+    def _sink(self, key: str, events: List[Dict[str, Any]]) -> None:
+        """Pool sink; may fire on a drain thread -> hop to the loop."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            self._dispatch(key, events)
+        else:
+            loop.call_soon_threadsafe(self._dispatch, key, events)
+
+    def _dispatch(self, key: str, events: List[Dict[str, Any]]) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        now = time.perf_counter()
+        for ev in events:
+            kind = ev.get("e")
+            if kind == "_ack":
+                applied = int(ev.get("applied", 0))
+                entry.state.acked += applied
+                entry.state.credits += applied
+                _ACK_LAT.observe(now - entry.last_flush)
+                METRICS.gauge(
+                    f"serve.tenant.{entry.state.tenant}.queue_depth"
+                ).set(entry.state.outstanding)
+                entry.credit.set()
+                continue
+            if kind in ("witness", "final"):
+                _VERDICT_LAT.observe(now - entry.last_flush)
+            if kind == "error":
+                entry.error = ev
+                entry.credit.set()  # wake a paused reader so it can bail
+            self._publish(entry, ev)
+            if kind == "final" and not entry.final.done():
+                entry.final.set_result(ev)
+
+    def _publish(self, entry: _Entry, event: Dict[str, Any]) -> None:
+        line = (dumps_event(event) + "\n").encode()
+        if entry.writer is not None:
+            with contextlib.suppress(Exception):
+                entry.writer.write(line)
+        if entry.push is not None:
+            entry.push(event)
+        self.registry.publish(entry.state.tenant, event)
+
+    # -- feeding helpers (loop thread) ---------------------------------------
+
+    def _admit(self, tenant: str, session: str,
+               writer: Optional[asyncio.StreamWriter], push=None) -> _Entry:
+        key = session_key(tenant, session)
+        shard = self.pool.shard_of(key)
+        state = self.registry.open(tenant, session, shard)  # may raise
+        entry = _Entry(state, self._loop, writer=writer, push=push)
+        self._entries[key] = entry
+        return entry
+
+    def _session_opts(self, tenant: str) -> Dict[str, Any]:
+        opts = dict(self.config.tenant_opts.get(tenant, ()))
+        opts.setdefault("engine", self.config.engine)
+        opts.setdefault("max_store_states",
+                        self.registry.quota(tenant).max_store_states)
+        return opts
+
+    def _flush(self, key: str, entry: _Entry, *, force: bool = False) -> None:
+        """Forward buffered lines within the credit budget (shed/disconnect
+        overflow handling); ``force`` ignores the batch threshold."""
+        state = entry.state
+        if not entry.buffer:
+            return
+        if not force and len(entry.buffer) < self.config.batch:
+            return
+        if state.tripped and self.config.policy in ("shed", "disconnect"):
+            _SHED.inc(len(entry.buffer))
+            state.shed += len(entry.buffer)
+            entry.buffer.clear()
+            return
+        sendable = min(len(entry.buffer), state.credits)
+        if sendable:
+            chunk, entry.buffer = entry.buffer[:sendable], entry.buffer[sendable:]
+            state.credits -= len(chunk)
+            state.submitted += len(chunk)
+            entry.last_flush = time.perf_counter()
+            if state.credits <= 0:
+                entry.credit.clear()
+            self.pool.feed(key, chunk, entry.lineno - len(entry.buffer)
+                           - len(chunk) + 1)
+        if entry.buffer and self.config.policy == "shed":
+            # over budget: tail-shed from here on
+            if not state.tripped:
+                state.tripped = True
+            _SHED.inc(len(entry.buffer))
+            state.shed += len(entry.buffer)
+            entry.buffer.clear()
+
+    def _finalize(self, key: str, entry: _Entry) -> None:
+        entry.finalizing = True
+        state = entry.state
+        quota_states = state.quota.max_store_states
+        with_definitely = (
+            quota_states == 0 or quota_states <= self.config.definitely_limit
+        )
+        self.pool.finalize(key, shed=state.shed,
+                           with_definitely=with_definitely)
+
+    def _close_entry(self, key: str, entry: _Entry) -> None:
+        self._entries.pop(key, None)
+        self.registry.close(key)
+        self.pool.close_session(key)
+        if entry.writer is not None:
+            with contextlib.suppress(Exception):
+                entry.writer.close()
+
+    # -- connections ---------------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        _CONNS.inc()
+        try:
+            await self._serve_conn(reader, writer)
+        except asyncio.CancelledError:
+            pass  # drain() owns session finalisation now
+        except Exception:
+            with contextlib.suppress(Exception):
+                writer.close()
+            raise
+        finally:
+            self._conn_tasks.discard(task)
+
+    async def _serve_conn(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        def refuse(code: str, message: str) -> None:
+            ev = event_error("?", "?", 0, code, message)
+            writer.write((dumps_event(ev) + "\n").encode())
+
+        raw = await reader.readline()
+        try:
+            hello = json.loads(raw.decode() or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            hello = None
+        if not isinstance(hello, dict) or hello.get("format") != SERVE_FORMAT:
+            refuse("protocol", f"expected a {SERVE_FORMAT!r} hello line")
+            await _drain_close(writer)
+            return
+        kind = hello.get("t", "hello")
+        tenant = str(hello.get("tenant") or "default")
+        if kind == "subscribe":
+            await self._serve_subscriber(reader, writer, tenant)
+            return
+        if kind != "hello":
+            refuse("protocol", f"unknown hello type {kind!r}")
+            await _drain_close(writer)
+            return
+        session = str(hello.get("session") or f"conn-{id(writer):x}")
+        predicate = hello.get("predicate")
+        if not predicate:
+            refuse("protocol", "hello needs a 'predicate' spec")
+            await _drain_close(writer)
+            return
+        try:
+            entry = self._admit(tenant, session, writer)
+        except QuotaExceededError as exc:
+            ev = event_error(tenant, session, 0, "quota", str(exc))
+            writer.write((dumps_event(ev) + "\n").encode())
+            await _drain_close(writer)
+            return
+        key = entry.state.key
+        with TRACER.span("serve.session", tenant=tenant, session=session):
+            try:
+                await self._serve_stream(reader, entry, predicate)
+            except _Disconnect:
+                # slow-consumer disconnect: the error event is out; still
+                # deliver the degraded final covering the applied prefix
+                self._finalize(key, entry)
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        asyncio.shield(entry.final),
+                        timeout=self.config.drain_timeout,
+                    )
+            finally:
+                if not self._draining:
+                    self._publish(entry, event_closed(tenant, session,
+                                                      entry.state.acked))
+                    with contextlib.suppress(Exception):
+                        await writer.drain()
+                    self._close_entry(key, entry)
+
+    async def _serve_stream(self, reader: asyncio.StreamReader,
+                            entry: _Entry, predicate: str) -> None:
+        key = entry.state.key
+        header_raw = await reader.readline()
+        try:
+            header = json.loads(header_raw.decode())
+            if not isinstance(header, dict):
+                raise ValueError("header is not an object")
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            self._publish(entry, event_error(
+                entry.state.tenant, entry.state.session, 0, "protocol",
+                f"expected a repro-events/1 header line ({exc})",
+            ))
+            return
+        self.pool.open_session(key, entry.state.tenant, entry.state.session,
+                               header, predicate,
+                               self._session_opts(entry.state.tenant))
+        while True:
+            if entry.error is not None:
+                return
+            raw = await reader.readline()
+            if raw == b"":
+                break
+            _LINES.inc()
+            entry.lineno += 1
+            line = raw.decode().strip()
+            if not line:
+                continue
+            entry.buffer.append(line)
+            await self._apply_policy(key, entry)
+        await self._drain_buffer(key, entry)
+        if entry.error is not None:
+            return
+        self._finalize(key, entry)
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(
+                asyncio.shield(entry.final), timeout=self.config.drain_timeout
+            )
+
+    async def _drain_buffer(self, key: str, entry: _Entry) -> None:
+        """End of stream: push every remaining buffered line to the worker,
+        waiting for credits when the budget is spent (the shed policy
+        instead clears the buffer inside the forced flush)."""
+        while entry.error is None:
+            self._flush(key, entry, force=True)
+            if not entry.buffer:
+                return
+            entry.credit.clear()
+            await entry.credit.wait()
+
+    async def _apply_policy(self, key: str, entry: _Entry) -> None:
+        """Flush the buffer; when credits run dry, do what the policy says."""
+        state = entry.state
+        self._flush(key, entry)
+        if not entry.buffer or len(entry.buffer) < self.config.batch:
+            return
+        # buffer is at the batch threshold and credits are exhausted
+        if self.config.policy == "pause":
+            _PAUSES.inc()
+            while state.credits <= 0 and entry.error is None:
+                entry.credit.clear()
+                await entry.credit.wait()
+            self._flush(key, entry, force=True)
+        elif self.config.policy == "shed":
+            self._flush(key, entry, force=True)  # trips + sheds the tail
+        else:  # disconnect
+            state.tripped = True
+            _DISCONNECTS.inc()
+            dropped = len(entry.buffer)
+            state.shed += dropped
+            entry.buffer.clear()
+            _SHED.inc(dropped)
+            self._publish(entry, event_error(
+                state.tenant, state.session, state.acked, "slow-consumer",
+                f"stream outran detection by more than "
+                f"{state.quota.max_buffered_events} buffered event(s); "
+                f"disconnecting (verdict will cover the applied prefix)",
+            ))
+            raise _Disconnect()
+
+    async def _serve_subscriber(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter,
+                                tenant: str) -> None:
+        def push(event: Dict[str, Any]) -> None:
+            with contextlib.suppress(Exception):
+                writer.write((dumps_event(event) + "\n").encode())
+
+        self.registry.subscribe(tenant, push)
+        try:
+            while True:  # subscribers only ever half-close
+                raw = await reader.readline()
+                if raw == b"":
+                    break
+        finally:
+            self.registry.unsubscribe(tenant, push)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    # -- file-tail mode ------------------------------------------------------
+
+    async def tail_file(self, path: str, tenant: str, session: str,
+                        predicate: str, *, follow: bool = False,
+                        poll_interval: float = 0.2, push=None,
+                        stop: Optional[asyncio.Event] = None
+                        ) -> Optional[Dict[str, Any]]:
+        """Follow a ``repro-events/1`` file on disk as a server-side session.
+
+        Reads complete lines only; a truncated final line (the writer is
+        mid-record) is retried in ``follow`` mode and reported as a
+        ``malformed`` error otherwise.  Returns the final verdict event,
+        or ``None`` when the session failed.  Verdict events reach
+        ``push`` and any subscribers of ``tenant``.
+        """
+        entry = self._admit(tenant, session, writer=None, push=push)
+        key = entry.state.key
+        opened = False
+        lineno = 0
+
+        def stopped() -> bool:
+            return stop is not None and stop.is_set()
+
+        with open(path) as fh:
+            while True:
+                pos = fh.tell()
+                raw = fh.readline()
+                if raw == "":
+                    if follow and not stopped():
+                        await asyncio.sleep(poll_interval)
+                        continue
+                    break
+                if not raw.endswith("\n"):
+                    if follow and not stopped():
+                        # the writer is mid-append; re-read the line later
+                        fh.seek(pos)
+                        await asyncio.sleep(poll_interval)
+                        continue
+                    # end of input without a newline: accept valid JSON,
+                    # surface genuine truncation as the typed error
+                    try:
+                        json.loads(raw)
+                    except json.JSONDecodeError as exc:
+                        err = TruncatedStreamError(
+                            f"{path}:{lineno + 1}: truncated record at end "
+                            f"of stream ({exc})", lineno=lineno + 1,
+                        )
+                        self._publish(entry, event_error(
+                            tenant, session, entry.state.acked, "malformed",
+                            str(err), where=f"{path}:{lineno + 1}",
+                        ))
+                        self._close_entry(key, entry)
+                        return None
+                lineno += 1
+                line = raw.strip()
+                if not line:
+                    continue
+                if not opened:
+                    try:
+                        header = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        self._publish(entry, event_error(
+                            tenant, session, 0, "malformed",
+                            f"bad stream header ({exc})",
+                            where=f"{path}:{lineno}",
+                        ))
+                        self._close_entry(key, entry)
+                        return None
+                    self.pool.open_session(key, tenant, session, header,
+                                           predicate,
+                                           self._session_opts(tenant))
+                    opened = True
+                    continue
+                entry.lineno = lineno
+                entry.buffer.append(line)
+                self._flush(key, entry)
+                while entry.state.credits <= 0 and entry.error is None:
+                    entry.credit.clear()  # tail mode always pauses
+                    await entry.credit.wait()
+                if entry.error is not None:
+                    break
+        await self._drain_buffer(key, entry)
+        final = None
+        if entry.error is None and opened:
+            self._finalize(key, entry)
+            with contextlib.suppress(asyncio.TimeoutError):
+                final = await asyncio.wait_for(
+                    asyncio.shield(entry.final),
+                    timeout=self.config.drain_timeout,
+                )
+        self._publish(entry, event_closed(tenant, session, entry.state.acked))
+        self._close_entry(key, entry)
+        return final
+
+
+class _Disconnect(Exception):
+    """Internal: the disconnect policy cut a stream connection."""
+
+
+async def _drain_close(writer: asyncio.StreamWriter) -> None:
+    with contextlib.suppress(Exception):
+        await writer.drain()
+        writer.close()
+
+
+async def run_server(config: ServeConfig,
+                     stop: Optional[asyncio.Event] = None
+                     ) -> Dict[str, Any]:
+    """Start a server, run until ``stop`` is set (or forever), then drain."""
+    server = ReproServer(config)
+    await server.start()
+    try:
+        if stop is None:
+            stop = asyncio.Event()
+        await stop.wait()
+    finally:
+        stats = await server.drain()
+    return stats

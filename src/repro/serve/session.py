@@ -1,0 +1,166 @@
+"""One tenant stream = one :class:`DetectionSession`.
+
+A session owns the full PR 4 substrate for a single ``repro-events/1``
+stream: a private :class:`~repro.store.TraceStore`, the streaming
+:class:`~repro.detection.IncrementalDetector` over it, and a
+:class:`~repro.serve.protocol.VerdictTracker` converting per-record polls
+into witness found/withdrawn events.  Sessions are deliberately
+single-threaded objects -- the sharded worker pool pins each session to
+exactly one worker (Chauhan-Garg distributed abstraction: independent
+slicers, no shared checker), so no session ever needs a lock.
+
+Feeding is line-oriented: the server forwards raw stream lines without
+parsing them, and the session pays the JSON + append + poll cost where
+the CPU budget lives (a worker process).  Malformed lines and quota
+overruns do not raise out of :meth:`feed_line`; they convert the session
+to the *failed* state and surface as ``error`` events so one tenant's
+garbage can never unwind a worker serving other tenants.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.detection.incremental import IncrementalDetector, WatchResult
+from repro.errors import MalformedTraceError
+from repro.serve.protocol import VerdictTracker, event_error, event_open
+from repro.trace.io import apply_stream_record, stream_store_from_header
+
+__all__ = ["DetectionSession", "session_key"]
+
+
+def session_key(tenant: str, session: str) -> str:
+    """The routing key ``tenant/session`` used across server and workers."""
+    return f"{tenant}/{session}"
+
+
+class DetectionSession:
+    """Streaming detection state for one tenant stream.
+
+    Parameters
+    ----------
+    tenant, session:
+        Naming for every emitted verdict event.
+    header:
+        The parsed ``repro-events/1`` header record.
+    predicate:
+        A predicate spec (``at-least-one:up``, ``mutex:cs``, ...) parsed
+        against the stream's process count.
+    max_store_states:
+        Per-session quota: once the store holds more states the session
+        fails with a ``quota`` error event covering the applied prefix.
+    delay_per_record:
+        Debug/bench knob: sleep this long per applied record to emulate
+        an expensive predicate (how the backpressure tests and E16 make a
+        deliberately slow detector without a heavyweight workload).
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        session: str,
+        header: Dict[str, Any],
+        predicate: str,
+        *,
+        max_store_states: int = 0,
+        delay_per_record: float = 0.0,
+        engine: str = "auto",
+    ):
+        from repro.cli import parse_predicate  # lazy: cli imports are heavy
+
+        self.tenant = tenant
+        self.session = session
+        self.key = session_key(tenant, session)
+        where = f"{self.key}:header"
+        self.store = stream_store_from_header(header, where)
+        self.predicate_spec = predicate
+        self.pred = parse_predicate(predicate, self.store.n)
+        self.detector = IncrementalDetector(self.store, self.pred)
+        self.tracker = VerdictTracker(tenant, session)
+        self.engine = engine
+        self.max_store_states = int(max_store_states)
+        self.delay_per_record = float(delay_per_record)
+        #: stream records applied so far (header excluded)
+        self.seq = 0
+        #: failed sessions apply nothing further (error already emitted)
+        self.failed = False
+        self.result: Optional[WatchResult] = None
+
+    def open_event(self) -> Dict[str, Any]:
+        return event_open(self.tenant, self.session, self.store.n,
+                          self.predicate_spec)
+
+    # -- feeding -------------------------------------------------------------
+
+    def _fail(self, code: str, message: str,
+              where: Optional[str] = None) -> Dict[str, Any]:
+        self.failed = True
+        return event_error(self.tenant, self.session, self.seq, code,
+                           message, where=where)
+
+    def feed_line(self, line: str, lineno: Optional[int] = None
+                  ) -> List[Dict[str, Any]]:
+        """Apply one raw stream line; returns the verdict events it caused."""
+        if self.failed:
+            return []
+        line = line.strip()
+        if not line:
+            return []
+        where = f"{self.key}:{lineno if lineno is not None else self.seq + 1}"
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return [self._fail("malformed", f"not valid JSON ({exc})", where)]
+        try:
+            kind = apply_stream_record(self.store, rec, where)
+        except MalformedTraceError as exc:
+            return [self._fail("malformed", str(exc), where)]
+        if kind == "obs":
+            return []
+        self.seq += 1
+        if self.delay_per_record:
+            time.sleep(self.delay_per_record)
+        if self.max_store_states and self.store.num_states > self.max_store_states:
+            return [self._fail(
+                "quota",
+                f"store grew past max_store_states={self.max_store_states} "
+                f"({self.store.num_states} states); verdict covers the "
+                f"applied prefix only",
+                where,
+            )]
+        return self.tracker.observe(self.seq, self.detector.poll())
+
+    def feed(self, lines: List[str], base_lineno: Optional[int] = None
+             ) -> List[Dict[str, Any]]:
+        events: List[Dict[str, Any]] = []
+        for i, line in enumerate(lines):
+            lineno = base_lineno + i if base_lineno is not None else None
+            events.extend(self.feed_line(line, lineno))
+        return events
+
+    # -- finalisation --------------------------------------------------------
+
+    def finalize(self, *, shed: int = 0,
+                 with_definitely: bool = True) -> List[Dict[str, Any]]:
+        """End of stream: the final verdict event (plus a shed marker).
+
+        ``shed`` is how many records backpressure dropped before the end
+        (tail-shedding); a non-zero value marks the verdict degraded.
+        Failed sessions already emitted their error and produce nothing.
+        """
+        from repro.serve.protocol import event_shed
+
+        if self.failed:
+            return []
+        events: List[Dict[str, Any]] = []
+        if shed:
+            events.append(event_shed(self.tenant, self.session, self.seq, shed))
+        self.result = self.detector.finalize(
+            engine=self.engine, with_definitely=with_definitely
+        )
+        events.append(
+            self.tracker.finalized(self.seq, self.result, degraded=bool(shed))
+        )
+        return events

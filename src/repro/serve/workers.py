@@ -1,0 +1,309 @@
+"""Sharded detection workers: the CPU plane of ``repro serve``.
+
+Structure (after the Chauhan-Garg-Natarajan-Mittal distributed
+abstraction for online detection): instead of funneling every tenant's
+events through one checker, sessions are **pinned to shards** by a stable
+hash of their key, and each shard advances its own sessions completely
+independently -- separate :class:`~repro.store.TraceStore`, separate
+incremental detector, separate Python process.  Nothing is shared between
+shards but the output queue, so per-stream detection work parallelizes
+across cores and one tenant's pathological stream cannot stall another
+shard.
+
+Two pool flavours behind one synchronous, thread-safe interface:
+
+* :class:`InlinePool` (``workers=0``) runs sessions in the calling
+  process -- zero IPC, the single-stream ``repro watch`` cost model;
+  used by tests, small deployments, and as the E16 baseline.
+* :class:`ProcessPool` (``workers>=1``) runs each shard in a
+  ``multiprocessing`` worker.  Records travel as raw line batches (the
+  parent never JSON-parses them); verdict events and flow-control acks
+  travel back over a shared queue drained by one thread that hands them
+  to the pool's *sink* callback.
+
+The sink contract: ``sink(key, events)`` may be called from a drain
+thread (process pool) or synchronously inside ``feed`` (inline pool);
+the server normalises both through ``loop.call_soon_threadsafe``.
+Workers acknowledge every *line* they were fed (``_ack`` events), which
+is what the server's credit-based backpressure spends and replenishes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import signal
+import threading
+import zlib
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import METRICS
+from repro.serve.protocol import ack_event, event_error
+from repro.serve.session import DetectionSession
+
+__all__ = ["DetectorPool", "InlinePool", "ProcessPool", "make_pool"]
+
+Sink = Callable[[str, List[Dict[str, Any]]], None]
+
+_RECORDS = METRICS.counter("serve.records_in")
+_VERDICTS = METRICS.counter("serve.verdicts_out")
+_BATCHES = METRICS.counter("serve.worker_batches")
+
+
+def shard_of(key: str, shards: int) -> int:
+    """Stable session-to-shard pinning (order- and process-independent)."""
+    if shards <= 1:
+        return 0
+    return zlib.crc32(key.encode("utf-8")) % shards
+
+
+def _open_session(sessions: Dict[str, DetectionSession], key: str,
+                  tenant: str, session: str, header: Dict[str, Any],
+                  predicate: str, opts: Dict[str, Any]
+                  ) -> List[Dict[str, Any]]:
+    try:
+        sess = DetectionSession(
+            tenant, session, header, predicate,
+            max_store_states=opts.get("max_store_states", 0),
+            delay_per_record=opts.get("delay_per_record", 0.0),
+            engine=opts.get("engine", "auto"),
+        )
+    except Exception as exc:
+        return [event_error(tenant, session, 0, "protocol", str(exc))]
+    sessions[key] = sess
+    return [sess.open_event()]
+
+
+def _feed_session(sessions: Dict[str, DetectionSession], key: str,
+                  lines: List[str], base_lineno: Optional[int]
+                  ) -> List[Dict[str, Any]]:
+    sess = sessions.get(key)
+    events: List[Dict[str, Any]] = []
+    if sess is not None:
+        try:
+            events = sess.feed(lines, base_lineno)
+        except Exception as exc:  # a session bug must not sink the shard
+            sess.failed = True
+            events = [event_error(sess.tenant, sess.session, sess.seq,
+                                  "internal", repr(exc))]
+        _RECORDS.inc(len(lines))
+        _VERDICTS.inc(sum(ev.get("e") == "witness" for ev in events))
+    _BATCHES.inc()
+    # Every line is acknowledged even for failed/unknown sessions: acks
+    # are flow-control credits, and stuck credits would wedge the stream.
+    events.append(ack_event(key, len(lines), sess.seq if sess else 0))
+    return events
+
+
+def _finalize_session(sessions: Dict[str, DetectionSession], key: str,
+                      shed: int, with_definitely: bool
+                      ) -> List[Dict[str, Any]]:
+    sess = sessions.pop(key, None)
+    if sess is None:
+        return []
+    try:
+        return sess.finalize(shed=shed, with_definitely=with_definitely)
+    except Exception as exc:
+        return [event_error(sess.tenant, sess.session, sess.seq,
+                            "internal", repr(exc))]
+
+
+class DetectorPool:
+    """Interface shared by :class:`InlinePool` and :class:`ProcessPool`."""
+
+    workers: int = 0
+
+    def set_sink(self, sink: Sink) -> None:
+        self._sink = sink
+
+    def shard_of(self, key: str) -> int:
+        return shard_of(key, max(self.workers, 1))
+
+    # lifecycle ---------------------------------------------------------------
+    def start(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def stop(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    # session ops -------------------------------------------------------------
+    def open_session(self, key: str, tenant: str, session: str,
+                     header: Dict[str, Any], predicate: str,
+                     opts: Optional[Dict[str, Any]] = None) -> None:
+        raise NotImplementedError
+
+    def feed(self, key: str, lines: List[str],
+             base_lineno: Optional[int] = None) -> None:
+        raise NotImplementedError
+
+    def finalize(self, key: str, *, shed: int = 0,
+                 with_definitely: bool = True) -> None:
+        raise NotImplementedError
+
+    def close_session(self, key: str) -> None:
+        raise NotImplementedError
+
+
+class InlinePool(DetectorPool):
+    """``workers=0``: detection runs in the caller (no IPC, no threads)."""
+
+    workers = 0
+
+    def __init__(self, **_ignored: Any):
+        self._sessions: Dict[str, DetectionSession] = {}
+        self._sink: Sink = lambda key, events: None
+
+    def start(self) -> None:
+        pass
+
+    def stop(self) -> None:
+        self._sessions.clear()
+
+    def open_session(self, key, tenant, session, header, predicate,
+                     opts=None) -> None:
+        self._sink(key, _open_session(self._sessions, key, tenant, session,
+                                      header, predicate, opts or {}))
+
+    def feed(self, key, lines, base_lineno=None) -> None:
+        self._sink(key, _feed_session(self._sessions, key, lines, base_lineno))
+
+    def finalize(self, key, *, shed=0, with_definitely=True) -> None:
+        self._sink(key, _finalize_session(self._sessions, key, shed,
+                                          with_definitely))
+
+    def close_session(self, key) -> None:
+        self._sessions.pop(key, None)
+
+
+def _worker_main(idx: int, in_q: "multiprocessing.Queue",
+                 out_q: "multiprocessing.Queue") -> None:
+    """One shard: drain commands, advance pinned sessions, emit events."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns shutdown
+    sessions: Dict[str, DetectionSession] = {}
+    while True:
+        msg = in_q.get()
+        op = msg[0]
+        if op == "stop":
+            out_q.put(("__stop__", idx, METRICS.snapshot()))
+            break
+        try:
+            if op == "open":
+                _, key, tenant, session, header, predicate, opts = msg
+                out_q.put((key, _open_session(sessions, key, tenant, session,
+                                              header, predicate, opts)))
+            elif op == "feed":
+                _, key, lines, base_lineno = msg
+                out_q.put((key, _feed_session(sessions, key, lines,
+                                              base_lineno)))
+            elif op == "finalize":
+                _, key, shed, with_definitely = msg
+                out_q.put((key, _finalize_session(sessions, key, shed,
+                                                  with_definitely)))
+            elif op == "close":
+                sessions.pop(msg[1], None)
+        except Exception as exc:  # pragma: no cover - shard must survive
+            out_q.put((msg[1] if len(msg) > 1 else "?",
+                       [event_error("?", "?", 0, "internal", repr(exc))]))
+
+
+class ProcessPool(DetectorPool):
+    """``workers>=1`` shards, one ``multiprocessing.Process`` each.
+
+    ``start()`` forks the workers *before* spawning the drain thread so
+    the fork start method never clones a running thread.  ``stop()``
+    shuts every worker down, merges their metrics snapshots into the
+    parent's :data:`METRICS` registry (per-process registries merged on
+    snapshot -- the cross-process half of the thread-safety story), and
+    joins the drain thread.
+    """
+
+    def __init__(self, workers: int = 2, *, mp_context: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("ProcessPool needs at least one worker")
+        self.workers = workers
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._in_qs: List[multiprocessing.Queue] = []
+        self._out_q: Optional[multiprocessing.Queue] = None
+        self._procs: List[multiprocessing.Process] = []
+        self._drain: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        self._sink: Sink = lambda key, events: None
+        self._worker_metrics: List[Dict[str, Any]] = []
+
+    def start(self) -> None:
+        self._out_q = self._ctx.Queue()
+        for idx in range(self.workers):
+            in_q = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=_worker_main, args=(idx, in_q, self._out_q),
+                daemon=True, name=f"repro-serve-shard-{idx}",
+            )
+            self._in_qs.append(in_q)
+            self._procs.append(proc)
+        for proc in self._procs:
+            proc.start()
+        self._drain = threading.Thread(
+            target=self._drain_main, name="repro-serve-drain", daemon=True
+        )
+        self._drain.start()
+
+    def _drain_main(self) -> None:
+        stopped = 0
+        while stopped < self.workers:
+            try:
+                item = self._out_q.get(timeout=0.5)
+            except queue.Empty:
+                if self._stopped.is_set() and not any(
+                    p.is_alive() for p in self._procs
+                ):
+                    break  # a worker died without its __stop__ message
+                continue
+            if item[0] == "__stop__":
+                stopped += 1
+                self._worker_metrics.append(item[2])
+                continue
+            key, events = item
+            self._sink(key, events)
+
+    def stop(self) -> None:
+        self._stopped.set()
+        for in_q in self._in_qs:
+            in_q.put(("stop",))
+        if self._drain is not None:
+            self._drain.join(timeout=10)
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for snap in self._worker_metrics:
+            METRICS.merge(snap)
+        self._worker_metrics.clear()
+        for q in self._in_qs + ([self._out_q] if self._out_q else []):
+            q.close()
+            q.join_thread()
+        self._in_qs, self._procs, self._out_q = [], [], None
+
+    def open_session(self, key, tenant, session, header, predicate,
+                     opts=None) -> None:
+        self._in_qs[self.shard_of(key)].put(
+            ("open", key, tenant, session, header, predicate, opts or {})
+        )
+
+    def feed(self, key, lines, base_lineno=None) -> None:
+        self._in_qs[self.shard_of(key)].put(("feed", key, lines, base_lineno))
+
+    def finalize(self, key, *, shed=0, with_definitely=True) -> None:
+        self._in_qs[self.shard_of(key)].put(
+            ("finalize", key, shed, with_definitely)
+        )
+
+    def close_session(self, key) -> None:
+        self._in_qs[self.shard_of(key)].put(("close", key))
+
+
+def make_pool(workers: int, **kwargs: Any) -> DetectorPool:
+    """``workers=0`` -> :class:`InlinePool`, else :class:`ProcessPool`."""
+    if workers <= 0:
+        return InlinePool(**kwargs)
+    return ProcessPool(workers, **kwargs)

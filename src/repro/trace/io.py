@@ -67,7 +67,11 @@ from typing import (
 )
 
 from repro.causality.relations import StateRef
-from repro.errors import MalformedTraceError, UnknownTraceFormatError
+from repro.errors import (
+    MalformedTraceError,
+    TruncatedStreamError,
+    UnknownTraceFormatError,
+)
 from repro.store.trace_store import TraceStore, iter_delivery_events
 from repro.trace.deposet import Deposet
 from repro.trace.states import MessageArrow
@@ -85,6 +89,8 @@ __all__ = [
     "ingest_event_stream",
     "read_event_stream",
     "sniff_trace_format",
+    "stream_store_from_header",
+    "apply_stream_record",
 ]
 
 FORMAT = "repro-deposet/1"
@@ -468,6 +474,87 @@ def _stream_fail(where: str, msg: str) -> None:
     raise MalformedTraceError(f"{where}: {msg}")
 
 
+def stream_store_from_header(rec: Dict[str, Any], where: str) -> TraceStore:
+    """A fresh :class:`TraceStore` from a parsed ``repro-events/1`` header.
+
+    ``where`` (``file:line`` or a session label) prefixes every error.
+    Shared by file ingestion and the serving layer's per-tenant sessions.
+    """
+    if not isinstance(rec, dict):
+        _stream_fail(where, f"expected an object, got {rec!r}")
+    if rec.get("format") != STREAM_FORMAT:
+        _stream_fail(
+            where,
+            f"unknown stream format {rec.get('format')!r}; "
+            f"expected {STREAM_FORMAT!r}",
+        )
+    start = rec.get("start")
+    if not isinstance(start, list) or not start:
+        _stream_fail(where, "header needs a non-empty 'start' list")
+    for i, vars in enumerate(start):
+        _check_vars(vars, f"{where}: start[{i}]")
+    try:
+        store = TraceStore(
+            len(start),
+            start_vars=start,
+            proc_names=rec.get("proc_names"),
+            start_times=rec.get("start_times"),
+        )
+    except MalformedTraceError as exc:
+        raise MalformedTraceError(f"{where}: {exc}") from exc
+    store.obs = None
+    return store
+
+
+def apply_stream_record(
+    store: TraceStore, rec: Dict[str, Any], where: str
+) -> str:
+    """Apply one parsed non-header record to ``store``; returns its kind.
+
+    ``"ev"``/``"recv"`` append a state, ``"ctl"`` inserts a control arrow,
+    ``"obs"`` lands on ``store.obs``.  Malformed records raise
+    :class:`MalformedTraceError` prefixed with ``where``.  This is the
+    single application path shared by :func:`ingest_event_stream` and the
+    serving layer (one session = one store fed through here).
+    """
+    if not isinstance(rec, dict):
+        _stream_fail(where, f"expected an object, got {rec!r}")
+    kind = rec.get("t")
+    try:
+        if kind == "ev" or kind == "recv":
+            proc = rec.get("p")
+            if not isinstance(proc, int) or isinstance(proc, bool):
+                _stream_fail(where, f"'p' must be a process index, got {proc!r}")
+            kwargs: Dict[str, Any] = {"time": rec.get("time")}
+            if "vars" in rec:
+                kwargs["vars"] = _check_vars(rec["vars"], f"{where}: vars")
+            else:
+                kwargs["updates"] = _check_vars(rec.get("u", {}), f"{where}: u")
+            if kind == "recv":
+                kwargs["received_from"] = _check_ref(
+                    rec.get("src"), f"{where}: src"
+                )
+                kwargs["payload"] = rec.get("payload")
+                kwargs["tag"] = rec.get("tag")
+            updates = kwargs.pop("updates", None)
+            store.append_state(proc, updates, **kwargs)
+        elif kind == "ctl":
+            store.append_control(
+                _check_ref(rec.get("src"), f"{where}: src"),
+                _check_ref(rec.get("dst"), f"{where}: dst"),
+            )
+        elif kind == "obs":
+            store.obs = rec.get("obs")
+        else:
+            _stream_fail(where, f"unknown record type {kind!r}")
+    except MalformedTraceError as exc:
+        prefix = where.split(":", 1)[0]
+        if prefix and str(exc).startswith(prefix):
+            raise
+        raise MalformedTraceError(f"{where}: {exc}") from exc
+    return kind
+
+
 def ingest_event_stream(
     path: Union[str, Path],
 ) -> Iterator[Tuple[TraceStore, Dict[str, Any]]]:
@@ -480,82 +567,40 @@ def ingest_event_stream(
     present, is left on ``store`` as the attribute ``obs``.
 
     Malformed records raise :class:`MalformedTraceError` carrying
-    ``file:line``.
+    ``file:line``; a partial record on the *final* line (no trailing
+    newline -- the writer crashed or is still appending) raises the
+    narrower :class:`~repro.errors.TruncatedStreamError` so tailing
+    consumers can wait for the rest instead of aborting.
     """
     path = Path(path)
     with open(path) as fh:
         store: Optional[TraceStore] = None
-        for lineno, line in enumerate(fh, start=1):
+        lineno = 0
+        while True:
+            raw = fh.readline()
+            if raw == "":
+                break
+            lineno += 1
             where = f"{path}:{lineno}"
-            line = line.strip()
+            line = raw.strip()
             if not line:
                 continue
             try:
                 rec = json.loads(line)
             except json.JSONDecodeError as exc:
+                if not raw.endswith("\n"):
+                    raise TruncatedStreamError(
+                        f"{where}: truncated record at end of stream "
+                        f"({exc}); the writer may still be appending",
+                        lineno=lineno,
+                    ) from exc
                 raise MalformedTraceError(f"{where}: not valid JSON ({exc})") from exc
             if not isinstance(rec, dict):
                 _stream_fail(where, f"expected an object, got {rec!r}")
             if store is None:
-                if rec.get("format") != STREAM_FORMAT:
-                    _stream_fail(
-                        where,
-                        f"unknown stream format {rec.get('format')!r}; "
-                        f"expected {STREAM_FORMAT!r}",
-                    )
-                start = rec.get("start")
-                if not isinstance(start, list) or not start:
-                    _stream_fail(where, "header needs a non-empty 'start' list")
-                for i, vars in enumerate(start):
-                    _check_vars(vars, f"{where}: start[{i}]")
-                names = rec.get("proc_names")
-                times = rec.get("start_times")
-                try:
-                    store = TraceStore(
-                        len(start),
-                        start_vars=start,
-                        proc_names=names,
-                        start_times=times,
-                    )
-                except MalformedTraceError as exc:
-                    raise MalformedTraceError(f"{where}: {exc}") from exc
-                store.obs = None
-                yield store, rec
-                continue
-            kind = rec.get("t")
-            try:
-                if kind == "ev" or kind == "recv":
-                    proc = rec.get("p")
-                    if not isinstance(proc, int) or isinstance(proc, bool):
-                        _stream_fail(where, f"'p' must be a process index, got {proc!r}")
-                    kwargs: Dict[str, Any] = {"time": rec.get("time")}
-                    if "vars" in rec:
-                        kwargs["vars"] = _check_vars(rec["vars"], f"{where}: vars")
-                    else:
-                        kwargs["updates"] = _check_vars(
-                            rec.get("u", {}), f"{where}: u"
-                        )
-                    if kind == "recv":
-                        kwargs["received_from"] = _check_ref(
-                            rec.get("src"), f"{where}: src"
-                        )
-                        kwargs["payload"] = rec.get("payload")
-                        kwargs["tag"] = rec.get("tag")
-                    updates = kwargs.pop("updates", None)
-                    store.append_state(proc, updates, **kwargs)
-                elif kind == "ctl":
-                    store.append_control(
-                        _check_ref(rec.get("src"), f"{where}: src"),
-                        _check_ref(rec.get("dst"), f"{where}: dst"),
-                    )
-                elif kind == "obs":
-                    store.obs = rec.get("obs")
-                else:
-                    _stream_fail(where, f"unknown record type {kind!r}")
-            except MalformedTraceError as exc:
-                if str(exc).startswith(str(path)):
-                    raise
-                raise MalformedTraceError(f"{where}: {exc}") from exc
+                store = stream_store_from_header(rec, where)
+            else:
+                apply_stream_record(store, rec, where)
             yield store, rec
         if store is None:
             raise MalformedTraceError(f"{path}: empty stream (no header)")

@@ -1,0 +1,55 @@
+"""Shared helpers for the serving tests.
+
+Every test here compares the serving path against the same oracle the
+incremental-detection suite uses: batch ``possibly_bad`` / ``definitely``
+on the full deposet (tests/detection/test_incremental.py).  Streams are
+generated from :func:`repro.workloads.random_deposet` and linearised with
+:func:`write_event_stream`, so the serving stack sees exactly what
+``repro watch`` would.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.detection import possibly_bad
+from repro.detection.engine import definitely
+from repro.trace.io import write_event_stream
+from repro.workloads import availability_predicate, random_deposet
+
+PREDICATE = "at-least-one:up"
+
+
+def make_stream(seed, n=3, events_per_proc=6, message_rate=0.4, flip_rate=0.4):
+    """Returns ``(dep, header_dict, record_lines)`` for one random stream."""
+    dep = random_deposet(
+        seed=seed, n=n, events_per_proc=events_per_proc,
+        message_rate=message_rate, flip_rate=flip_rate,
+    )
+    buf = io.StringIO()
+    write_event_stream(dep, buf)
+    lines = buf.getvalue().splitlines()
+    return dep, json.loads(lines[0]), lines[1:]
+
+
+def batch_verdict(dep):
+    """The oracle: ``(witness, definitely)`` from the batch engines."""
+    pred = availability_predicate(dep.n, "up")
+    witness = possibly_bad(dep, pred)
+    df = definitely(dep, pred.negated()) if witness is not None else False
+    return witness, df
+
+
+def assert_final_matches_batch(final, dep):
+    """One session's ``final`` verdict event == the batch oracle."""
+    witness, df = batch_verdict(dep)
+    got = tuple(final["witness"]) if final["witness"] is not None else None
+    assert got == witness, (final, witness)
+    assert final["definitely"] == df
+    assert final["degraded"] is False
+
+
+@pytest.fixture
+def unix_sock(tmp_path):
+    return str(tmp_path / "serve.sock")

@@ -1,0 +1,90 @@
+"""The three slow-consumer policies, and tenant isolation under pressure.
+
+A deliberately slow tenant (``delay_per_record`` emulates an expensive
+predicate) with a tiny credit budget forces the policy to engage; a fast
+tenant streaming concurrently through the same server must still get the
+exact batch verdict, un-degraded -- backpressure is per-session, never
+collateral.  These tests need worker processes: with the inline pool the
+sink runs synchronously inside the flush, so credits replenish instantly
+and no policy can ever engage.
+"""
+
+import asyncio
+
+from repro.obs import METRICS
+from repro.serve import ReproServer, ServeConfig, TenantQuota, dumps_event
+from repro.serve.client import stream_events
+
+from .conftest import PREDICATE, assert_final_matches_batch, make_stream
+
+SLOW_QUOTA = TenantQuota(max_streams=4, max_buffered_events=4)
+SLOW_OPTS = {"slow": {"delay_per_record": 0.01}}
+
+
+def run_policy(policy, unix_sock, seed=31):
+    """One slow + one fast stream through a ``policy`` server; returns
+    ``(slow_events, fast_events, fast_dep, n_records, scope_delta)``."""
+    slow_dep, header, lines = make_stream(seed, events_per_proc=10)
+    fast_dep, fheader, flines = make_stream(seed + 1, events_per_proc=5)
+    config = ServeConfig(
+        unix=unix_sock, workers=2, batch=2, policy=policy,
+        tenant_quotas={"slow": SLOW_QUOTA}, tenant_opts=SLOW_OPTS,
+    )
+
+    async def scenario():
+        server = ReproServer(config)
+        await server.start()
+        try:
+            return await asyncio.gather(
+                stream_events(f"unix:{unix_sock}", "slow", "s", PREDICATE,
+                              [dumps_event(header)] + lines, timeout=60),
+                stream_events(f"unix:{unix_sock}", "fast", "f", PREDICATE,
+                              [dumps_event(fheader)] + flines, timeout=60),
+            )
+        finally:
+            await server.drain()
+
+    with METRICS.scoped() as scope:
+        slow_events, fast_events = asyncio.run(scenario())
+        delta = scope.delta()
+    return slow_events, fast_events, fast_dep, len(lines), delta
+
+
+def final_of(events):
+    finals = [e for e in events if e.get("e") == "final"]
+    assert len(finals) == 1, events
+    return finals[0]
+
+
+def test_pause_policy_is_lossless(unix_sock):
+    slow, fast, fast_dep, n, delta = run_policy("pause", unix_sock)
+    final = final_of(slow)
+    assert final["seq"] == n  # every record applied despite the stalls
+    assert final["degraded"] is False
+    assert not [e for e in slow if e.get("e") == "shed"]
+    assert delta["counters"].get("serve.pauses", 0) >= 1
+    assert_final_matches_batch(final_of(fast), fast_dep)
+
+
+def test_shed_policy_drops_tail_and_degrades(unix_sock):
+    slow, fast, fast_dep, n, delta = run_policy("shed", unix_sock)
+    final = final_of(slow)
+    sheds = [e for e in slow if e.get("e") == "shed"]
+    assert len(sheds) == 1 and sheds[0]["dropped"] >= 1
+    # tail-shedding: applied prefix + dropped tail account for every record
+    assert final["seq"] + sheds[0]["dropped"] == n
+    assert final["degraded"] is True
+    assert delta["counters"].get("serve.shed_records", 0) == sheds[0]["dropped"]
+    # the neighbour is untouched: exact batch verdict, not degraded
+    assert_final_matches_batch(final_of(fast), fast_dep)
+
+
+def test_disconnect_policy_errors_then_covers_prefix(unix_sock):
+    slow, fast, fast_dep, n, delta = run_policy("disconnect", unix_sock)
+    errors = [e for e in slow if e.get("e") == "error"]
+    assert len(errors) == 1 and errors[0]["code"] == "slow-consumer"
+    final = final_of(slow)
+    assert final["degraded"] is True
+    assert final["seq"] < n
+    assert delta["counters"].get("serve.disconnects", 0) == 1
+    assert_final_matches_batch(final_of(fast), fast_dep)

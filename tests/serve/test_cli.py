@@ -1,0 +1,132 @@
+"""CLI surfaces: ``watch --format json``, ``repro tail``, quota specs.
+
+The schema-sharing pin: ``repro watch --format json`` on a stream file
+must emit the same event sequence ``repro serve`` pushes for that stream
+(modulo the tenant/session naming), because both go through
+:mod:`repro.serve.protocol` and nothing else.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cli import _parse_quota, main
+from repro.serve import ReproServer, ServeConfig, dumps_event, stream_events
+from repro.trace.io import write_event_stream
+from repro.workloads import random_deposet
+
+from .conftest import PREDICATE, make_stream
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    dep = random_deposet(seed=7, n=3, events_per_proc=6,
+                         message_rate=0.4, flip_rate=0.4)
+    path = tmp_path / "stream.jsonl"
+    write_event_stream(dep, path)
+    return path
+
+
+def anonymize(event):
+    return {k: v for k, v in event.items() if k not in ("tenant", "session")}
+
+
+def test_watch_json_equals_serve_events(stream_file, unix_sock, capsys):
+    rc = main(["watch", str(stream_file), "--predicate", PREDICATE,
+               "--format", "json"])
+    watch_events = [
+        json.loads(ln) for ln in capsys.readouterr().out.splitlines()
+    ]
+
+    async def scenario():
+        server = ReproServer(ServeConfig(unix=unix_sock, workers=0))
+        await server.start()
+        try:
+            lines = stream_file.read_text().splitlines()
+            return await stream_events(f"unix:{unix_sock}", "t", "s",
+                                       PREDICATE, lines, timeout=30)
+        finally:
+            await server.drain()
+
+    serve_events = asyncio.run(scenario())
+    assert [anonymize(e) for e in watch_events] == \
+        [anonymize(e) for e in serve_events]
+    assert rc in (0, 1)
+
+
+def test_watch_json_verify_agrees_with_batch(stream_file, capsys):
+    rc = main(["watch", str(stream_file), "--predicate", PREDICATE,
+               "--format", "json", "--verify"])
+    assert rc in (0, 1)  # 2 would be a streamed-vs-batch mismatch
+
+
+def test_tail_file_prints_verdict_events(stream_file, capsys):
+    rc = main(["tail", str(stream_file), "--predicate", PREDICATE,
+               "--format", "json"])
+    events = [json.loads(ln) for ln in capsys.readouterr().out.splitlines()]
+    kinds = [e["e"] for e in events]
+    assert kinds[0] == "open" and kinds[-1] == "closed"
+    final = [e for e in events if e["e"] == "final"]
+    assert len(final) == 1
+    assert rc == (1 if final[0]["witness"] is not None else 0)
+    assert all(e["session"] == str(stream_file) for e in events)
+
+
+def test_tail_text_format_is_human(stream_file, capsys):
+    main(["tail", str(stream_file), "--predicate", PREDICATE])
+    out = capsys.readouterr().out
+    assert "open:" in out and "final after" in out
+
+
+def test_tail_needs_a_source(capsys):
+    assert main(["tail"]) == 2
+    assert "--connect" in capsys.readouterr().err
+
+
+def test_tail_file_needs_a_predicate(stream_file, capsys):
+    assert main(["tail", str(stream_file)]) == 2
+    assert "--predicate" in capsys.readouterr().err
+
+
+def test_tail_follow_completes_on_truncated_then_finished_file(tmp_path):
+    """Follow mode waits through a torn final line instead of dying."""
+    dep, header, lines = make_stream(seed=7)
+    path = tmp_path / "grow.jsonl"
+    doc = [dumps_event(header)] + lines
+    # first half, last line torn in the middle of a record
+    torn = "\n".join(doc[: len(doc) // 2]) + "\n" + doc[len(doc) // 2][:5]
+    path.write_text(torn)
+
+    async def scenario():
+        server = ReproServer(ServeConfig(workers=0))
+        await server.start()
+        got = []
+        stop = asyncio.Event()
+        task = asyncio.ensure_future(server.tail_file(
+            str(path), "t", "g", PREDICATE, follow=True,
+            poll_interval=0.02, push=got.append, stop=stop,
+        ))
+        await asyncio.sleep(0.1)  # the tail is now waiting on the torn line
+        path.write_text("\n".join(doc) + "\n")  # writer finishes the file
+        await asyncio.sleep(0.1)
+        stop.set()
+        final = await asyncio.wait_for(task, 10)
+        await server.drain()
+        return final, got
+
+    final, got = asyncio.run(scenario())
+    assert final is not None and final["e"] == "final"
+    assert final["seq"] == len(lines)
+    assert final["degraded"] is False
+
+
+def test_parse_quota_specs():
+    tenant, quota = _parse_quota("8,512,10000")
+    assert tenant is None
+    assert (quota.max_streams, quota.max_buffered_events,
+            quota.max_store_states) == (8, 512, 10000)
+    tenant, quota = _parse_quota("acme=1,16,0")
+    assert tenant == "acme" and quota.max_streams == 1
+    with pytest.raises(ValueError, match="STREAMS,BUFFERED"):
+        _parse_quota("1,2")

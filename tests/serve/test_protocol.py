@@ -1,0 +1,96 @@
+"""The repro-verdicts/1 schema: one serializer, deterministic transitions."""
+
+import json
+
+from repro.detection.incremental import WatchResult
+from repro.serve.protocol import (
+    VERDICT_FORMAT,
+    VerdictTracker,
+    ack_event,
+    describe_event,
+    dumps_event,
+    event_closed,
+    event_error,
+    event_final,
+    event_open,
+    event_shed,
+    event_witness,
+    events_to_lines,
+    is_internal,
+)
+
+
+def test_dumps_is_canonical():
+    """Sorted keys, no whitespace: the byte-identity the E16 bench pins."""
+    ev = event_open("t", "s", 3, "at-least-one:up")
+    line = dumps_event(ev)
+    assert line == dumps_event(dict(reversed(list(ev.items()))))
+    assert " " not in line
+    assert json.loads(line) == ev
+
+
+def test_events_carry_base_fields_and_no_timestamps():
+    result = WatchResult(witness=(1, 2), definitely=True, pending=())
+    events = [
+        event_open("t", "s", 2, "mutex:cs"),
+        event_witness("t", "s", 4, "found", (1, 2)),
+        event_final("t", "s", 9, result),
+        event_shed("t", "s", 9, 17),
+        event_error("t", "s", 3, "malformed", "boom", where="x:3"),
+        event_closed("t", "s", 9),
+    ]
+    for ev in events:
+        assert ev["tenant"] == "t" and ev["session"] == "s"
+        assert isinstance(ev["seq"], int)
+        assert "time" not in ev and "ts" not in ev
+    assert events[0]["format"] == VERDICT_FORMAT
+    assert events[2]["witness"] == [1, 2]
+    assert events[2]["definitely"] is True
+
+
+def test_internal_events_are_filtered_from_wire_output():
+    ack = ack_event("t/s", 5, 12)
+    assert is_internal(ack)
+    assert not is_internal(event_closed("t", "s", 1))
+    out = events_to_lines([event_open("t", "s", 1, "p"), ack])
+    lines = out.splitlines()
+    assert len(lines) == 1 and '"open"' in lines[0]
+
+
+def test_tracker_emits_only_transitions():
+    tr = VerdictTracker("t", "s")
+    assert tr.observe(1, None) == []
+    assert tr.observe(2, None) == []
+    found = tr.observe(3, (0, 1))
+    assert [e["status"] for e in found] == ["found"]
+    assert tr.observe(4, (0, 1)) == []  # unchanged: silent
+    moved = tr.observe(5, (2, 2))
+    assert [e["status"] for e in moved] == ["withdrawn", "found"]
+    assert moved[0]["cut"] == [0, 1] and moved[1]["cut"] == [2, 2]
+    gone = tr.observe(6, None)
+    assert [e["status"] for e in gone] == ["withdrawn"]
+    assert tr.witness is None
+
+
+def test_tracker_finalized_marks_degraded():
+    tr = VerdictTracker("t", "s")
+    result = WatchResult(witness=None, definitely=False, pending=(1,))
+    ev = tr.finalized(7, result, degraded=True)
+    assert ev["e"] == "final" and ev["degraded"] is True
+    assert ev["witness"] is None and ev["pending"] == [1]
+
+
+def test_describe_event_covers_every_kind():
+    result = WatchResult(witness=(1, 2), definitely=True)
+    for ev, needle in [
+        (event_open("t", "s", 2, "p"), "open"),
+        (event_witness("t", "s", 1, "found", (1, 2)), "violation possible"),
+        (event_witness("t", "s", 2, "withdrawn", (1, 2)), "withdrawn"),
+        (event_final("t", "s", 3, result), "DEFINITELY"),
+        (event_final("t", "s", 3, result, degraded=True), "DEGRADED"),
+        (event_shed("t", "s", 3, 4), "shed"),
+        (event_error("t", "s", 3, "quota", "too big"), "quota"),
+        (event_closed("t", "s", 3), "closed"),
+    ]:
+        text = describe_event(ev)
+        assert needle in text and "[t/s]" in text

@@ -1,0 +1,78 @@
+"""Admission control: quotas refuse, close releases, subscribers fan out."""
+
+import pytest
+
+from repro.serve.registry import (
+    QuotaExceededError,
+    SessionRegistry,
+    TenantQuota,
+)
+
+
+def test_quota_validation():
+    with pytest.raises(ValueError):
+        TenantQuota(max_streams=0)
+    with pytest.raises(ValueError):
+        TenantQuota(max_buffered_events=0)
+    with pytest.raises(ValueError):
+        TenantQuota(max_store_states=-1)
+
+
+def test_open_grants_credit_budget_and_close_releases():
+    reg = SessionRegistry(TenantQuota(max_streams=2, max_buffered_events=7))
+    state = reg.open("acme", "a", shard=0)
+    assert state.credits == 7
+    assert state.key == "acme/a"
+    assert len(reg) == 1
+    reg.open("acme", "b", shard=1)
+    with pytest.raises(QuotaExceededError, match="max_streams=2"):
+        reg.open("acme", "c", shard=0)
+    reg.close("acme/a")
+    reg.open("acme", "c", shard=0)  # slot freed
+
+
+def test_duplicate_session_key_refused():
+    reg = SessionRegistry()
+    reg.open("acme", "a", shard=0)
+    with pytest.raises(QuotaExceededError, match="already open"):
+        reg.open("acme", "a", shard=0)
+
+
+def test_per_tenant_overrides_do_not_leak():
+    reg = SessionRegistry(
+        TenantQuota(max_streams=8),
+        {"small": TenantQuota(max_streams=1, max_buffered_events=2)},
+    )
+    reg.open("small", "only", shard=0)
+    with pytest.raises(QuotaExceededError):
+        reg.open("small", "more", shard=0)
+    for i in range(8):  # the default quota is untouched by the override
+        reg.open("big", f"s{i}", shard=0)
+    assert reg.quota("small").max_buffered_events == 2
+    assert reg.quota("big").max_buffered_events == 4096
+
+
+def test_subscribers_fan_out_per_tenant():
+    reg = SessionRegistry()
+    got_a, got_b = [], []
+    reg.subscribe("a", got_a.append)
+    reg.subscribe("b", got_b.append)
+    assert reg.publish("a", {"e": "open"}) == 1
+    assert reg.publish("c", {"e": "open"}) == 0
+    assert got_a == [{"e": "open"}] and got_b == []
+    reg.unsubscribe("a", got_a.append)
+    reg.publish("a", {"e": "closed"})
+    assert len(got_a) == 1
+
+
+def test_stats_reports_outstanding_and_shed():
+    reg = SessionRegistry()
+    s1 = reg.open("t", "a", shard=0)
+    s2 = reg.open("u", "b", shard=0)
+    s1.submitted, s1.acked = 10, 4
+    s2.shed = 3
+    stats = reg.stats()
+    assert stats["open_sessions"] == 2
+    assert stats["tenants"] == {"t": 1, "u": 1}
+    assert stats["outstanding"] == {"t/a": 6}
+    assert stats["shed"] == {"u/b": 3}
