@@ -1,0 +1,259 @@
+"""E17 -- crash-safe serving: WAL overhead and recovery time.
+
+Two costs of durability, measured honestly:
+
+* **WAL overhead** -- the same stream served with no durability, then
+  with the per-session WAL at each fsync policy (``never``, ``batch``,
+  ``always``).  Verdict events are asserted byte-identical across all
+  four runs before any number is recorded, so the overhead columns are
+  prices for the *same* answer.  ``always`` pays one fsync per flushed
+  batch and is expected to be dramatically slower on real disks -- that
+  is the point of recording it.
+
+* **recovery time vs checkpoint interval** -- a session crashes at the
+  end of its stream; recovery restores the last checkpoint and replays
+  the WAL tail.  Small intervals leave short tails (fast recovery, more
+  checkpoint writes during normal operation); ``interval=inf`` means no
+  checkpoint was ever taken and recovery replays the whole stream
+  through the detector.  Both the tail length and the wall time are
+  recorded per interval, and every recovered final verdict is asserted
+  equal to the uninterrupted one.
+
+Timing-honesty note: the absolute milliseconds here come from whatever
+box ran the suite (CI containers included) and the streams are small
+enough that constant costs dominate; the *shape* -- recovery cost grows
+with the replayed tail, fsync=always >= fsync=batch >= no-WAL -- is the
+claim, and only the monotone tail-length relation is asserted.
+"""
+
+import asyncio
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.bench import Sweep
+from repro.serve import (
+    Backoff,
+    ReproServer,
+    ServeConfig,
+    dumps_event,
+    stream_events,
+    stream_events_durable,
+)
+from repro.serve.session import DetectionSession
+from repro.trace.io import write_event_stream
+from repro.workloads import random_deposet
+
+TINY = bool(os.environ.get("E17_TINY"))
+PREDICATE = "at-least-one:up"
+#: per-process events in the overhead stream
+EVENTS_PER_PROC = 8 if TINY else 40
+#: checkpoint intervals for the recovery sweep (None = never checkpoint)
+INTERVALS = [4, None] if TINY else [8, 32, 128, None]
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_E17_DURABILITY.json"
+
+
+def make_doc(seed, events_per_proc=EVENTS_PER_PROC, n=3):
+    dep = random_deposet(seed=seed, n=n, events_per_proc=events_per_proc,
+                         message_rate=0.3, flip_rate=0.3)
+    buf = io.StringIO()
+    write_event_stream(dep, buf)
+    return buf.getvalue().splitlines()
+
+
+def canon(events):
+    return [dumps_event(e) for e in events
+            if e.get("e") not in ("closed",)]
+
+
+async def _serve_once(doc, tmp, *, durable, fsync="batch"):
+    cfg = ServeConfig(
+        tcp=("127.0.0.1", 0), workers=0, supervise=False, batch=32,
+        durable_dir=(str(tmp) if durable else None), fsync=fsync,
+        checkpoint_every=64,
+    )
+    srv = ReproServer(cfg)
+    await srv.start()
+    port = srv._servers[0].sockets[0].getsockname()[1]
+    connect = f"127.0.0.1:{port}"
+    t0 = time.perf_counter()
+    if durable:
+        evs = await stream_events_durable(
+            connect, "t", "s", PREDICATE, doc,
+            backoff=Backoff(base=0.01, seed=1), timeout=60.0)
+    else:
+        evs = await stream_events(connect, "t", "s", PREDICATE, doc)
+    wall = time.perf_counter() - t0
+    await srv.drain()
+    return wall, evs
+
+
+def wal_overhead_rows(sweep):
+    import tempfile
+
+    doc = make_doc(1700)
+    records = len(doc) - 1
+    modes = [("memory", False, None), ("wal-never", True, "never"),
+             ("wal-batch", True, "batch"), ("wal-always", True, "always")]
+    # warm up imports / event-loop / socket setup so the first timed mode
+    # does not pay one-time costs the later modes skip
+    asyncio.run(_serve_once(doc, None, durable=False))
+    reference = None
+    base_wall = None
+    rows = []
+    for name, durable, fsync in modes:
+        walls = []
+        for _rep in range(3):  # best-of-3: scheduler noise dominates once
+            with tempfile.TemporaryDirectory() as tmp:
+                wall, evs = asyncio.run(_serve_once(
+                    doc, tmp, durable=durable, fsync=fsync or "batch"))
+            walls.append(wall)
+            lines = canon(evs)
+            if reference is None:
+                reference = lines
+            assert lines == reference, f"{name}: verdicts diverged"
+        wall = min(walls)
+        if base_wall is None:
+            base_wall = wall
+        row = dict(
+            mode=name, records=records, wall_ms=round(wall * 1e3, 2),
+            events_per_sec=round(records / max(wall, 1e-9)),
+            overhead_x=round(wall / max(base_wall, 1e-9), 2),
+            identical=True,
+        )
+        rows.append(row)
+        sweep.add(**row)
+    return rows
+
+
+def _prepare_crashed_session(root, doc, interval):
+    """Write the durable state a server would hold after crashing at the
+    very end of ``doc``: last checkpoint at the largest multiple of
+    ``interval``, WAL tail covering the rest, end marker logged."""
+    from repro.serve.durability import Checkpoint, DurabilityManager
+
+    header = json.loads(doc[0])
+    records = [l for l in doc[1:] if l.strip()]
+    mgr = DurabilityManager(root)
+    dur = mgr.open_session("t", "s")
+    dur.log_header(header, {"predicate": PREDICATE})
+    ckpt_at = 0 if interval is None else (len(records) // interval) * interval
+    if ckpt_at:
+        sess = DetectionSession("t", "s", header, PREDICATE)
+        sess.open_event()
+        sess.feed(records[:ckpt_at], base_lineno=2)
+        for seq, line in enumerate(records[:ckpt_at], start=1):
+            dur.log_record(seq, line)
+        dur.commit_checkpoint(Checkpoint(
+            tenant="t", session="s", seq=ckpt_at, gen=dur.wal.gen,
+            header=header, snapshot=sess.snapshot(),
+            opts={"predicate": PREDICATE},
+        ))
+    for seq, line in enumerate(records[ckpt_at:], start=ckpt_at + 1):
+        dur.log_record(seq, line)
+    dur.log_end()
+    dur.flush()
+    dur.close()
+    return len(records) - ckpt_at
+
+
+async def _recover_once(root):
+    """Start a server over the crashed state and wait for the recovered
+    final verdict; returns (wall_s, final_event)."""
+    cfg = ServeConfig(tcp=("127.0.0.1", 0), workers=0, supervise=False,
+                      durable_dir=root)
+    t0 = time.perf_counter()
+    srv = ReproServer(cfg)
+    await srv.start()
+    [entry] = srv._entries.values()
+    final = await asyncio.wait_for(entry.final, 60.0)
+    wall = time.perf_counter() - t0
+    await srv.drain()
+    return wall, final
+
+
+def recovery_rows(sweep):
+    import tempfile
+
+    doc = make_doc(1701, events_per_proc=(10 if TINY else 75), n=4)
+    records = len(doc) - 1
+
+    # the uninterrupted answer the recovered sessions must reproduce
+    header = json.loads(doc[0])
+    sess = DetectionSession("t", "s", header, PREDICATE)
+    sess.open_event()
+    sess.feed(doc[1:], base_lineno=2)
+    expected_final = dumps_event(sess.finalize()[-1])
+
+    rows = []
+    for interval in INTERVALS:
+        with tempfile.TemporaryDirectory() as root:
+            tail = _prepare_crashed_session(root, doc, interval)
+            wall, final = asyncio.run(_recover_once(root))
+        assert dumps_event(final) == expected_final, (
+            f"interval={interval}: recovered final diverged")
+        row = dict(
+            checkpoint_every=(interval if interval is not None else "inf"),
+            records=records, replayed_tail=tail,
+            recovery_ms=round(wall * 1e3, 2), identical=True,
+        )
+        rows.append(row)
+        sweep.add(**row)
+    # shape claim: no checkpoint replays everything; checkpoints shrink
+    # the tail monotonically as the interval shrinks
+    tails = [r["replayed_tail"] for r in rows]
+    assert tails[-1] == records  # interval=inf -> full replay
+    assert all(a <= b for a, b in zip(tails, tails[1:])), tails
+    return rows
+
+
+def test_e17_durability_overhead_and_recovery(benchmark):
+    def run():
+        s1 = Sweep("E17a: WAL overhead vs in-memory serving")
+        s2 = Sweep("E17b: recovery time vs checkpoint interval")
+        overhead = wal_overhead_rows(s1)
+        recovery = recovery_rows(s2)
+        return s1, s2, overhead, recovery
+
+    s1, s2, overhead, recovery = run_once(benchmark, run)
+    print("\n" + s1.render())
+    print("\n" + s2.render())
+    benchmark.extra_info["table"] = s1.rows + s2.rows
+    _write_json(overhead, recovery)
+
+
+def _write_json(overhead, recovery):
+    JSON_PATH.write_text(json.dumps(
+        {
+            "experiment": "E17",
+            "title": "crash-safe serving: WAL overhead and recovery time",
+            "tiny": TINY,
+            "unit": {
+                "wall_ms": "stream-start to last verdict, one session, "
+                           "inline worker",
+                "overhead_x": "wall time relative to the no-durability run "
+                              "of the identical stream; durable runs pay "
+                              "for the resumable wire protocol (per-record "
+                              "frames, acks) plus the WAL itself, so "
+                              "wal-never isolates the protocol cost and "
+                              "the fsync column on top of it is the disk "
+                              "cost",
+                "recovery_ms": "server start to recovered final verdict "
+                               "(checkpoint restore + WAL tail replay)",
+                "replayed_tail": "stream records re-applied through the "
+                                 "detector during recovery",
+            },
+            "note": "verdict events are asserted byte-identical across "
+                    "all fsync modes and all checkpoint intervals before "
+                    "any number is recorded; absolute times are "
+                    "box-dependent -- the asserted claim is the shape "
+                    "(tail length grows as the checkpoint interval "
+                    "grows, interval=inf replays the full stream)",
+            "wal_overhead": overhead,
+            "recovery": recovery,
+        },
+        indent=1,
+    ) + "\n")

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""CI chaos smoke for crash-safe ``repro serve``.
+
+Boots the real server CLI as a subprocess with ``--durable``, then does
+everything the robustness layer exists for, at once, to one session:
+
+* streams a long ``repro-events/1`` document through the durable client
+  while a ``FaultyTransport`` severs the client connection mid-stream
+  (the client must reconnect and resume at the server's durable
+  watermark);
+* SIGKILLs **every** worker subprocess mid-stream, so whichever shard
+  owns the session dies with state in flight (the supervisor must
+  restart the workers and replay checkpoint + WAL tail);
+* asserts the final verdict equals the batch oracle computed locally,
+  and that the event stream the client hands back is exactly what an
+  undisturbed in-process session produces -- byte-identical framing, no
+  gaps, no duplicates;
+* SIGINTs the server and requires a clean bounded drain (exit 0,
+  "drained" on stderr) with no WAL/checkpoint residue left on disk.
+
+Run as ``PYTHONPATH=src python scripts/chaos_serve_smoke.py``; exits
+non-zero on the first deviation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.detection import possibly_bad  # noqa: E402
+from repro.detection.engine import definitely  # noqa: E402
+from repro.serve import (  # noqa: E402
+    Backoff,
+    FaultyTransport,
+    dumps_event,
+    stream_events_durable,
+)
+from repro.serve.session import DetectionSession  # noqa: E402
+from repro.trace.io import write_event_stream  # noqa: E402
+from repro.workloads import availability_predicate, random_deposet  # noqa: E402
+
+PREDICATE = "at-least-one:up"
+TIMEOUT = 120
+
+
+def check(cond, message):
+    if not cond:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def make_doc(seed):
+    dep = random_deposet(seed=seed, n=4, events_per_proc=40,
+                         message_rate=0.3, flip_rate=0.3)
+    buf = io.StringIO()
+    write_event_stream(dep, buf)
+    return dep, buf.getvalue().splitlines()
+
+
+def expected_events(doc):
+    """What an undisturbed in-process session emits for this doc."""
+    sess = DetectionSession("t", "s", json.loads(doc[0]), PREDICATE)
+    sess.open_event()
+    sess.feed(doc[1:], base_lineno=2)
+    sess.finalize()
+    return [dumps_event(e) for e in sess.events_log]
+
+
+def worker_pids(server_pid):
+    """Direct children of the server process (the worker shards)."""
+    path = f"/proc/{server_pid}/task/{server_pid}/children"
+    try:
+        with open(path) as fh:
+            return [int(p) for p in fh.read().split()]
+    except OSError:
+        return []
+
+
+def wait_for_socket(path, proc, deadline=30):
+    t0 = time.time()
+    while time.time() - t0 < deadline:
+        if os.path.exists(path):
+            return
+        if proc.poll() is not None:
+            print(proc.stderr.read(), file=sys.stderr)
+            sys.exit("server died before listening")
+        time.sleep(0.1)
+    sys.exit("server never created its socket")
+
+
+def main():
+    tmp = tempfile.mkdtemp(prefix="repro-chaos-serve-")
+    sock = os.path.join(tmp, "serve.sock")
+    durable = os.path.join(tmp, "durable")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--listen", f"unix:{sock}", "--workers", "2", "--batch", "2",
+         "--durable", durable, "--fsync", "batch",
+         "--checkpoint-every", "8",
+         "--heartbeat-interval", "0.05", "--heartbeat-timeout", "2.0",
+         "--restart-budget", "3"],
+        env={**os.environ, "PYTHONPATH": "src"},
+        stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        wait_for_socket(sock, server)
+        dep, doc = make_doc(1777)
+        expected = expected_events(doc)
+
+        # severs the client connection once, 12 frames in
+        transport = FaultyTransport(seed=7, cut_after=(12,))
+        killed = {"pids": [], "respawned": False}
+
+        async def killer():
+            # let the stream get going, then SIGKILL every worker: the
+            # session's shard dies with state in flight, guaranteed
+            await asyncio.sleep(0.4)
+            pids = worker_pids(server.pid)
+            for pid in pids:
+                os.kill(pid, signal.SIGKILL)
+            killed["pids"] = pids
+            # the supervisor must bring fresh workers up
+            for _ in range(200):
+                await asyncio.sleep(0.05)
+                fresh = worker_pids(server.pid)
+                if fresh and not set(fresh) & set(pids):
+                    killed["respawned"] = True
+                    return
+
+        async def drive():
+            kill_task = asyncio.ensure_future(killer())
+            events = await stream_events_durable(
+                f"unix:{sock}", "t", "s", PREDICATE, doc,
+                backoff=Backoff(base=0.05, max_retries=100, seed=11),
+                transport=transport, timeout=TIMEOUT)
+            await kill_task
+            return events
+
+        events = asyncio.run(asyncio.wait_for(drive(), TIMEOUT))
+
+        check(len(killed["pids"]) == 2,
+              f"SIGKILLed both worker shards {killed['pids']}")
+        check(killed["respawned"],
+              "supervisor respawned fresh worker processes")
+        check(transport.cuts >= 1 and transport.connections >= 2,
+              f"client was severed and reconnected ({transport.describe()})")
+
+        got = [dumps_event(e) for e in events if e.get("e") != "closed"]
+        check(got == expected,
+              f"{len(got)} recovered events byte-identical to the "
+              f"undisturbed session")
+
+        final = next(e for e in events if e.get("e") == "final")
+        pred = availability_predicate(dep.n, "up")
+        witness = possibly_bad(dep, pred)
+        df = definitely(dep, pred.negated()) if witness is not None else False
+        got_w = tuple(final["witness"]) if final["witness"] is not None \
+            else None
+        check(got_w == witness and final["definitely"] == df,
+              f"final == batch oracle {witness}")
+
+        # bounded drain: SIGINT, exit 0, "drained", nothing left on disk
+        server.send_signal(signal.SIGINT)
+        try:
+            rc = server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            sys.exit("server did not drain within 30s of SIGINT")
+        err = server.stderr.read()
+        check(rc == 0, f"server exited 0 after SIGINT (rc={rc})\n{err}")
+        check("drained" in err, "server reported a clean drain")
+        leftovers = [os.path.join(dp, f)
+                     for dp, _, files in os.walk(durable) for f in files]
+        check(leftovers == [],
+              "completed session left no WAL/checkpoint residue")
+        print("chaos serve smoke OK")
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+if __name__ == "__main__":
+    main()

@@ -377,6 +377,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         quota=default_quota, tenant_quotas=tenant_quotas,
         batch=args.batch, engine=args.engine,
         drain_timeout=args.drain_timeout,
+        durable_dir=args.durable, fsync=args.fsync,
+        checkpoint_every=args.checkpoint_every,
+        supervise=not args.no_supervise,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        restart_budget=args.restart_budget,
     )
 
     async def run() -> int:
@@ -384,7 +390,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await server.start()
         print(f"repro serve: listening on "
               f"{', '.join(server.endpoints) or '(nothing)'} "
-              f"[workers={config.workers} policy={config.policy}]",
+              f"[workers={config.workers} policy={config.policy}"
+              + (f" durable={config.durable_dir} fsync={config.fsync}"
+                 if config.durable_dir else "")
+              + "]",
               file=sys.stderr)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -417,13 +426,25 @@ def _cmd_tail(args: argparse.Namespace) -> int:
             print(describe_event(event), flush=True)
 
     if args.connect:
-        from repro.serve.client import subscribe
+        from repro.serve.client import Backoff, subscribe
 
         async def run_sub() -> int:
-            count = await subscribe(args.connect, args.tenant, emit)
-            print(f"[tail] server closed after {count} event(s)",
-                  file=sys.stderr)
-            return 0
+            backoff = Backoff(max_retries=args.retries)
+            while True:
+                try:
+                    count = await subscribe(args.connect, args.tenant, emit)
+                except (ConnectionError, OSError) as exc:
+                    delay = backoff.next_delay()
+                    if delay is None:
+                        print(f"error: server at {args.connect} unreachable "
+                              f"after {backoff.attempts} attempt(s): {exc}",
+                              file=sys.stderr)
+                        return 3
+                    await asyncio.sleep(delay)
+                    continue
+                print(f"[tail] server closed after {count} event(s)",
+                      file=sys.stderr)
+                return 0
 
         return asyncio.run(run_sub())
 
@@ -450,10 +471,13 @@ def _cmd_tail(args: argparse.Namespace) -> int:
                 loop.add_signal_handler(sig, stop.set)
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
+        from repro.serve.client import Backoff
+
         try:
             final = await server.tail_file(
                 args.trace, args.tenant, str(args.trace), args.predicate,
                 follow=args.follow, push=emit, stop=stop,
+                retry=Backoff(max_retries=args.retries),
             )
         finally:
             await server.drain()
@@ -789,6 +813,27 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto", help="batch engine for final 'definitely'")
     p.add_argument("--drain-timeout", type=float, default=30.0,
                    help="seconds to wait for final verdicts at shutdown")
+    p.add_argument("--durable", metavar="DIR",
+                   help="directory for per-session WALs + checkpoints; "
+                        "enables crash-safe sessions and client resume "
+                        "(omit for in-memory serving)")
+    p.add_argument("--fsync", choices=["always", "batch", "never"],
+                   default="batch",
+                   help="WAL fsync policy: every record / on checkpoints "
+                        "and flushes / leave it to the OS")
+    p.add_argument("--checkpoint-every", type=int, default=256,
+                   metavar="LINES",
+                   help="checkpoint a durable session every N logged lines")
+    p.add_argument("--no-supervise", action="store_true",
+                   help="do not restart dead/hung worker shards")
+    p.add_argument("--heartbeat-interval", type=float, default=0.5,
+                   metavar="SECS", help="supervisor heartbeat period")
+    p.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   metavar="SECS",
+                   help="a live worker silent this long is declared hung")
+    p.add_argument("--restart-budget", type=int, default=3,
+                   help="worker restarts per shard per minute before its "
+                        "sessions move to a surviving shard")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -807,6 +852,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--follow", action="store_true",
                    help="keep waiting for the file to grow (like tail -f); "
                         "a truncated final line is retried, not fatal")
+    p.add_argument("--retries", type=int, default=10, metavar="N",
+                   help="transient-error budget: reconnects (--connect) or "
+                        "waits for a missing/vanished file (--follow) back "
+                        "off exponentially up to N consecutive attempts, "
+                        "then exit 3")
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.set_defaults(fn=_cmd_tail)
 

@@ -209,6 +209,51 @@ class IncrementalDetector:
         self._witness = self._eliminate()
         return self._witness
 
+    # -- durable state capture -----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The detector's elimination state as a JSON-serializable dict.
+
+        Captures everything :meth:`poll` has derived from the store so far
+        (candidate positions, elimination pointers, the dirty queue, the
+        current witness) so a :meth:`restore` over an equivalently-restored
+        store resumes mid-stream without rescanning the prefix.  The store
+        itself is *not* captured -- pair this with
+        :meth:`TraceStore.freeze` (the serving checkpoint does).
+        """
+        return {
+            "positions": [list(p) for p in self._positions],
+            "scanned": list(self._scanned),
+            "ptr": list(self._ptr),
+            "dirty": list(self._dirty),
+            "epoch": self._epoch,
+            "witness": list(self._witness) if self._witness is not None else None,
+        }
+
+    @classmethod
+    def restore(cls, store: TraceStore, pred: Predicate,
+                state: dict) -> "IncrementalDetector":
+        """Rebuild a detector over ``store`` from a :meth:`snapshot`.
+
+        ``store`` must hold (at least) the prefix the snapshot was taken
+        over and ``pred`` must be the same predicate; subsequent
+        :meth:`poll` calls then behave exactly as the original's would
+        have (pinned by tests/serve/test_durability.py).
+        """
+        det = cls(store, pred)
+        det._positions = [list(p) for p in state["positions"]]
+        det._scanned = list(state["scanned"])
+        det._ptr = list(state["ptr"])
+        det._dirty = deque(state["dirty"])
+        det._in_dirty = [False] * det.n
+        for i in det._dirty:
+            det._in_dirty[i] = True
+        det._epoch = int(state["epoch"])
+        det._witness = (
+            tuple(state["witness"]) if state["witness"] is not None else None
+        )
+        return det
+
     # -- finalisation --------------------------------------------------------
 
     def finalize(

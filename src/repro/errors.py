@@ -36,6 +36,7 @@ __all__ = [
     "AssumptionViolationError",
     "FaultPlanError",
     "ControlChannelError",
+    "ControlChannelLostError",
 ]
 
 
@@ -164,3 +165,22 @@ class FaultPlanError(ReproError):
 
 class ControlChannelError(ReproError):
     """The reliable control channel was misused or misconfigured."""
+
+
+class ControlChannelLostError(ControlChannelError):
+    """A logical control message exhausted its retransmit budget.
+
+    Raised (only) by :class:`~repro.faults.reliable.ReliableControlChannel`
+    when ``raise_on_lost`` is set and a message gives up after
+    ``max_retries`` retransmissions -- the typed alternative to silently
+    dropping a logical message or requiring a per-send callback.
+    Carries the message's ``seq``, endpoints, and attempt count.
+    """
+
+    def __init__(self, message: str, *, seq: int = -1, src: int = -1,
+                 dst: int = -1, attempts: int = 0):
+        super().__init__(message)
+        self.seq = seq
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts

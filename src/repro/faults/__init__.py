@@ -16,6 +16,7 @@ tested against the failures a real distributed debugger meets:
   the on-line control plane survive its own fault plans.
 """
 
+from repro.errors import ControlChannelLostError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import ChannelFaultSpec, FaultPlan, Partition
 from repro.faults.reliable import (
@@ -32,4 +33,5 @@ __all__ = [
     "RetryPolicy",
     "ControlDelivery",
     "ReliableControlChannel",
+    "ControlChannelLostError",
 ]

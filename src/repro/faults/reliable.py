@@ -6,8 +6,11 @@ control messages through a :class:`ReliableControlChannel`:
 
 * every logical message gets a sequence number and is retransmitted on a
   timeout with exponential backoff and jitter, up to a bounded number of
-  retries (then the registered give-up callback runs -- the hook the
-  scapegoat controller uses to re-route a handoff around a dead peer);
+  retries; when the budget is spent, the registered give-up callback runs
+  (the hook the scapegoat controller uses to re-route a handoff around a
+  dead peer), or -- with ``raise_on_lost`` -- a typed
+  :class:`~repro.errors.ControlChannelLostError` surfaces instead of the
+  loss passing silently;
 * the receiver acknowledges every copy (acks are lossy too, so duplicates
   of the data imply re-acks) and suppresses duplicate deliveries by
   sequence number, so the wrapped protocol sees exactly-once semantics;
@@ -26,7 +29,7 @@ from typing import Any, Callable, Dict, Optional, Set
 
 import numpy as np
 
-from repro.errors import ControlChannelError
+from repro.errors import ControlChannelError, ControlChannelLostError
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
 from repro.sim.kernel import Timer
@@ -107,9 +110,14 @@ class ReliableControlChannel:
     but dedup sets are per destination).
     """
 
-    def __init__(self, system, policy: Optional[RetryPolicy] = None, seed: int = 0):
+    def __init__(self, system, policy: Optional[RetryPolicy] = None,
+                 seed: int = 0, *, raise_on_lost: bool = False):
         self.system = system
         self.policy = policy if policy is not None else RetryPolicy()
+        #: surface exhausted retransmit budgets as
+        #: :class:`ControlChannelLostError` instead of dropping silently
+        #: (sends with their own ``on_give_up`` recovery hook still use it)
+        self.raise_on_lost = raise_on_lost
         self.rng = np.random.default_rng(seed)
         self._next_seq = 0
         self._pending: Dict[int, _Pending] = {}
@@ -204,6 +212,15 @@ class ReliableControlChannel:
                 )
             if pending.on_give_up is not None:
                 pending.on_give_up(pending)
+            elif self.raise_on_lost:
+                raise ControlChannelLostError(
+                    f"control message seq={seq} "
+                    f"{pending.src}->{pending.dst} (tag={pending.tag!r}) "
+                    f"lost after {pending.attempts} attempt(s): "
+                    f"retransmit budget ({self.policy.max_retries}) spent",
+                    seq=seq, src=pending.src, dst=pending.dst,
+                    attempts=pending.attempts,
+                )
             return
         self.counts["retransmits"] += 1
         _RETRANSMITS.inc()

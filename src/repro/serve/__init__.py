@@ -23,13 +23,31 @@ Layers (each its own module, importable without starting a server):
     The asyncio I/O plane: listeners, backpressure policies, drain.
 :mod:`~repro.serve.client`
     Dial/stream/subscribe helpers (the only client implementation).
+:mod:`~repro.serve.durability`
+    Per-session write-ahead log + checkpoints (crash-safe sessions).
+:mod:`~repro.serve.supervisor`
+    Worker heartbeats, restart-with-backoff, checkpoint replay.
+:mod:`~repro.serve.faulty`
+    Deterministic transport-level fault injection for chaos tests.
 """
 
 from repro.serve.client import (
+    Backoff,
+    StreamLostError,
     open_connection,
     parse_connect,
     stream_events,
+    stream_events_durable,
     subscribe,
+)
+from repro.serve.faulty import FaultyTransport
+from repro.serve.durability import (
+    Checkpoint,
+    DurabilityManager,
+    FsyncPolicy,
+    SessionDurability,
+    SessionWal,
+    WalCorruptError,
 )
 from repro.serve.protocol import (
     VERDICT_FORMAT,
@@ -47,6 +65,7 @@ from repro.serve.registry import (
 )
 from repro.serve.server import SERVE_FORMAT, ReproServer, ServeConfig, run_server
 from repro.serve.session import DetectionSession, session_key
+from repro.serve.supervisor import WorkerSupervisor
 from repro.serve.workers import DetectorPool, InlinePool, ProcessPool, make_pool
 
 __all__ = [
@@ -73,5 +92,16 @@ __all__ = [
     "parse_connect",
     "open_connection",
     "stream_events",
+    "stream_events_durable",
     "subscribe",
+    "Backoff",
+    "StreamLostError",
+    "FsyncPolicy",
+    "WalCorruptError",
+    "SessionWal",
+    "Checkpoint",
+    "SessionDurability",
+    "DurabilityManager",
+    "WorkerSupervisor",
+    "FaultyTransport",
 ]

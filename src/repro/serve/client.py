@@ -1,19 +1,30 @@
-"""Client side of ``repro-serve/1``: dial, stream, subscribe.
+"""Client side of ``repro-serve/1``: dial, stream, subscribe, resume.
 
-Three thin async helpers over the wire protocol documented in
+Thin async helpers over the wire protocol documented in
 :mod:`repro.serve.server`, plus the ``host:port`` / ``unix:PATH``
 connect-string parser shared by ``repro serve`` and ``repro tail``.
-Tests, the E16 benchmark, and the CI smoke script all drive servers
-through these helpers so the protocol has exactly one client
+Tests, the E16/E17 benchmarks, and the CI smoke scripts all drive
+servers through these helpers so the protocol has exactly one client
 implementation.
+
+:func:`stream_events_durable` is the crash-safe producer: it speaks the
+framed durable protocol (hello ``durable: true``, per-record sequence
+numbers, an explicit end-of-stream marker) and survives any number of
+connection losses by reconnecting with bounded exponential backoff and
+retransmitting only the suffix the server has not yet made durable.
+The verdict events it returns are byte-identical to what an
+uninterrupted :func:`stream_events` run would have collected -- the
+server replays missed events from its log and never duplicates one.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ReproError
 from repro.serve.protocol import dumps_event
 from repro.serve.server import SERVE_FORMAT, _LINE_LIMIT
 
@@ -21,8 +32,54 @@ __all__ = [
     "parse_connect",
     "open_connection",
     "stream_events",
+    "stream_events_durable",
     "subscribe",
+    "Backoff",
+    "StreamLostError",
 ]
+
+
+class StreamLostError(ReproError):
+    """A durable stream ran out of reconnect budget."""
+
+
+class Backoff:
+    """Bounded exponential backoff with jitter for retry loops.
+
+    ``next_delay()`` returns the next sleep (``base * factor**attempt``,
+    capped at ``max_delay``, stretched ±``jitter``), or ``None`` once
+    ``max_retries`` attempts are spent.  ``reset()`` on success so a
+    long-lived loop only pays for *consecutive* failures.  Shared by the
+    durable stream client, ``repro tail --follow``, and the subscriber
+    reconnect path.
+    """
+
+    def __init__(self, base: float = 0.05, factor: float = 2.0,
+                 max_delay: float = 2.0, jitter: float = 0.25,
+                 max_retries: Optional[int] = 10, seed: Optional[int] = None):
+        if base <= 0 or factor < 1.0 or not (0.0 <= jitter < 1.0):
+            raise ValueError("backoff needs base > 0, factor >= 1, "
+                             "jitter in [0, 1)")
+        self.base = base
+        self.factor = factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.max_retries = max_retries
+        self.attempts = 0
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self.attempts = 0
+
+    def next_delay(self) -> Optional[float]:
+        if self.max_retries is not None and self.attempts >= self.max_retries:
+            return None
+        delay = min(self.base * (self.factor ** self.attempts),
+                    self.max_delay)
+        self.attempts += 1
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
 
 
 def parse_connect(connect: str) -> Tuple[str, Any]:
@@ -111,6 +168,159 @@ async def stream_events(
         except (ConnectionError, BrokenPipeError, OSError):
             pass
     return events
+
+
+async def stream_events_durable(
+    connect: str,
+    tenant: str,
+    session: str,
+    predicate: str,
+    lines: Sequence[str],
+    *,
+    timeout: float = 60.0,
+    backoff: Optional[Backoff] = None,
+    transport=None,
+) -> List[Dict[str, Any]]:
+    """Stream a ``repro-events/1`` document over the durable protocol,
+    surviving connection loss by resuming from the server's watermark.
+
+    ``lines[0]`` must be the stream header.  ``transport``, if given, is
+    a :class:`~repro.serve.faulty.FaultyTransport`-style object whose
+    ``send(writer, line)`` coroutine forwards (or mangles) each outgoing
+    wire line -- the chaos harness's injection point.  Raises
+    :class:`StreamLostError` when the reconnect budget is spent.
+    """
+    bo = backoff or Backoff()
+    events: List[Dict[str, Any]] = []
+    records = [l.rstrip("\n") for l in lines[1:] if l.strip()]
+    header_line = lines[0].rstrip("\n")
+
+    async def send(writer: asyncio.StreamWriter, line: str) -> None:
+        if transport is not None:
+            await transport.send(writer, line)
+        else:
+            writer.write((line + "\n").encode())
+
+    while True:
+        try:
+            reader, writer = await open_connection(connect)
+        except (ConnectionError, OSError) as exc:
+            delay = bo.next_delay()
+            if delay is None:
+                raise StreamLostError(
+                    f"durable stream {tenant}/{session}: server unreachable "
+                    f"after {bo.attempts} attempt(s): {exc}"
+                )
+            await asyncio.sleep(delay)
+            continue
+        if transport is not None:
+            transport.new_connection()
+        done = await _durable_attempt(
+            reader, writer, tenant, session, predicate,
+            header_line, records, events, send, timeout,
+        )
+        if done:
+            return events
+        delay = bo.next_delay()
+        if delay is None:
+            raise StreamLostError(
+                f"durable stream {tenant}/{session}: gave up after "
+                f"{bo.attempts} reconnect(s) ({len(events)} event(s) so far)"
+            )
+        await asyncio.sleep(delay)
+
+
+async def _durable_attempt(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    tenant: str,
+    session: str,
+    predicate: str,
+    header_line: str,
+    records: Sequence[str],
+    events: List[Dict[str, Any]],
+    send,
+    timeout: float,
+) -> bool:
+    """One connection's worth of the durable protocol; ``True`` = final
+    verdict landed (the stream is complete), ``False`` = retry."""
+    pump_task: Optional[asyncio.Future] = None
+    try:
+        writer.write(_hello("hello", tenant=tenant, session=session,
+                            predicate=predicate, durable=True,
+                            have_events=len(events)))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.readline(), timeout)
+        first = json.loads(raw.decode()) if raw else None
+        if not isinstance(first, dict) or first.get("e") != "_resume":
+            if isinstance(first, dict) and first.get("e") == "error":
+                events.append(first)
+                return True  # refused outright (quota, protocol): final
+            return False
+        start = int(first.get("seq", 0))
+        # If the server finished and closed the session but the closing
+        # events never reached us, a reconnect lands on a *fresh* session
+        # that deterministically regenerates the whole event stream; the
+        # server's log length tells us how many incoming events are ones
+        # we already collected and must skip to stay duplicate-free.
+        skip = max(0, len(events) - int(first.get("events", 0)))
+
+        async def pump() -> None:
+            if start == 0:
+                await send(writer, json.dumps(
+                    {"t": "hdr", "line": header_line},
+                    separators=(",", ":"),
+                ))
+            for i in range(start, len(records)):
+                await send(writer, json.dumps(
+                    {"t": "rec", "q": i + 1, "line": records[i]},
+                    separators=(",", ":"),
+                ))
+                if (i - start) % 64 == 63:
+                    await writer.drain()
+            await send(writer, json.dumps({"t": "end"},
+                                          separators=(",", ":")))
+            await writer.drain()
+
+        pump_task = asyncio.ensure_future(pump())
+        while True:
+            raw = await asyncio.wait_for(reader.readline(), timeout)
+            if raw == b"":
+                return False  # server went away mid-stream: resume
+            ev = json.loads(raw.decode())
+            kind = ev.get("e", "")
+            if kind.startswith("_"):
+                continue  # _durable watermark acks and friends
+            if kind == "closed":
+                return True
+            if skip > 0:
+                skip -= 1
+                continue
+            events.append(ev)
+            if kind in ("final", "error"):
+                return True  # terminal event: don't risk losing 'closed'
+    except (ConnectionError, OSError, asyncio.TimeoutError,
+            json.JSONDecodeError, UnicodeDecodeError):
+        return False
+    finally:
+        if pump_task is not None:
+            pump_task.cancel()
+            await asyncio.gather(pump_task, return_exceptions=True)
+        with _suppress_conn_errors():
+            writer.close()
+            await writer.wait_closed()
+
+
+class _suppress_conn_errors:
+    """``async with``-free helper: swallow teardown socket errors."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return exc_type is not None and issubclass(
+            exc_type, (ConnectionError, BrokenPipeError, OSError)
+        )
 
 
 async def subscribe(

@@ -1,0 +1,129 @@
+"""Transport-level fault injection for the durable serve protocol.
+
+:class:`FaultyTransport` sits between :func:`stream_events_durable` and
+the socket: every outgoing wire line passes through :meth:`send`, which
+-- driven by a seeded RNG and a :class:`~repro.faults.plan.ChannelFaultSpec`
+(the same declarative shape the simulator's fault plans use) -- may drop
+the line, duplicate it, swap it with its neighbour, or cut the whole
+connection.  The durable protocol is designed so none of this can corrupt
+a session: duplicates are deduplicated by sequence number, gaps (from
+drops and reorders) park the session and heal on the next resume, and
+cuts exercise the reconnect path end to end.
+
+The chaos tests assert the strongest property this enables: the verdict
+events collected through an arbitrarily faulty transport are
+**byte-identical** to an uninterrupted run's.
+
+Determinism: all decisions come from one ``random.Random(seed)`` drawn in
+send order, so a failing chaos schedule replays exactly from its seed.
+``max_faults`` bounds the total number of injected faults (after which
+the transport behaves perfectly) so every test run terminates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from random import Random
+from typing import Iterable, Optional
+
+from repro.faults.plan import ChannelFaultSpec
+from repro.obs.metrics import METRICS
+
+__all__ = ["FaultyTransport"]
+
+_INJECTED = METRICS.counter("serve.faulty.injected")
+
+
+class FaultyTransport:
+    """Chaos wrapper around a durable stream's outgoing wire lines.
+
+    Parameters
+    ----------
+    spec:
+        Per-line fault probabilities.  ``drop_rate``, ``duplicate_rate``
+        and ``reorder_rate`` apply (a reordered line swaps places with
+        the next one); delay spikes are meaningless on a local stream
+        writer and are ignored.
+    seed:
+        Seed for the fault-decision RNG.
+    cut_after:
+        Absolute send counts (1-based, across all connections) at which
+        to sever the connection -- a deterministic cut schedule.
+    cut_rate:
+        Additional per-line probability of severing the connection.
+    max_faults:
+        Total fault budget; once spent the transport is transparent,
+        guaranteeing the stream eventually completes.  ``None`` = no cap.
+    """
+
+    def __init__(self, spec: Optional[ChannelFaultSpec] = None, *,
+                 seed: int = 0, cut_after: Iterable[int] = (),
+                 cut_rate: float = 0.0,
+                 max_faults: Optional[int] = None):
+        self.spec = spec or ChannelFaultSpec()
+        self.cut_schedule = frozenset(int(n) for n in cut_after)
+        self.cut_rate = float(cut_rate)
+        self.max_faults = max_faults
+        self._rng = Random(seed)
+        self._held: Optional[str] = None  # line delayed by a reorder
+        # observability for assertions ("the test actually injected")
+        self.sends = 0
+        self.connections = 0
+        self.drops = 0
+        self.dups = 0
+        self.reorders = 0
+        self.cuts = 0
+
+    @property
+    def faults(self) -> int:
+        return self.drops + self.dups + self.reorders + self.cuts
+
+    def _armed(self) -> bool:
+        return self.max_faults is None or self.faults < self.max_faults
+
+    def new_connection(self) -> None:
+        """The client opened a fresh connection: held lines died with the
+        old socket."""
+        self.connections += 1
+        self._held = None
+
+    async def send(self, writer: asyncio.StreamWriter, line: str) -> None:
+        """Forward ``line`` (or mangle it).  Raises ``ConnectionResetError``
+        when a scheduled or random cut fires, after aborting the socket."""
+        self.sends += 1
+        cut = self.cut_schedule and self.sends in self.cut_schedule
+        if self._armed():
+            if not cut and self.cut_rate:
+                cut = self._rng.random() < self.cut_rate
+            if cut:
+                self.cuts += 1
+                _INJECTED.inc()
+                self._held = None
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+                raise ConnectionResetError("faulty transport: connection cut")
+            if self._rng.random() < self.spec.drop_rate:
+                self.drops += 1
+                _INJECTED.inc()
+                return
+            if self._held is None and (
+                    self._rng.random() < self.spec.reorder_rate):
+                self.reorders += 1
+                _INJECTED.inc()
+                self._held = line  # goes out *after* the next line
+                return
+            if self._rng.random() < self.spec.duplicate_rate:
+                self.dups += 1
+                _INJECTED.inc()
+                writer.write((line + "\n").encode())
+        writer.write((line + "\n").encode())
+        if self._held is not None:
+            held, self._held = self._held, None
+            writer.write((held + "\n").encode())
+
+    def describe(self) -> str:
+        return (f"FaultyTransport(sends={self.sends}, "
+                f"connections={self.connections}, drops={self.drops}, "
+                f"dups={self.dups}, reorders={self.reorders}, "
+                f"cuts={self.cuts})")

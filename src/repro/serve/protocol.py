@@ -36,9 +36,15 @@ where ``seq`` is the number of stream records applied when it fired):
 ``closed``
     The server finished with the session (always the last event).
 
-Internal events (never pushed to clients) start with ``_``: ``_ack``
-carries flow-control credit grants from detection workers back to the
-server, ``_metrics`` ships a worker registry snapshot home at shutdown.
+Internal events start with ``_`` and are never published to
+subscribers: ``_ack`` carries flow-control credit grants from detection
+workers back to the server, ``_ckpt`` ships a session snapshot home for
+the durability layer, ``_restored`` reports a session rebuilt from
+checkpoint + WAL tail, ``_metrics`` ships a worker registry snapshot at
+shutdown.  Two internal events *do* cross the wire, but only on durable
+``repro-serve/1`` stream connections (never to subscribers):
+``_resume`` (the server's durable watermark at [re]connect) and
+``_durable`` (watermark advance acks; see ``docs/SERVING.md``).
 """
 
 from __future__ import annotations
@@ -58,6 +64,10 @@ __all__ = [
     "event_error",
     "event_closed",
     "ack_event",
+    "ckpt_event",
+    "restored_event",
+    "resume_event",
+    "durable_event",
     "is_internal",
     "describe_event",
     "events_to_lines",
@@ -144,6 +154,33 @@ def event_closed(tenant: str, session: str, seq: int) -> Dict[str, Any]:
 def ack_event(session_key: str, applied: int, seq: int) -> Dict[str, Any]:
     """Internal: a worker granting ``applied`` flow-control credits back."""
     return {"e": "_ack", "key": session_key, "applied": applied, "seq": seq}
+
+
+def ckpt_event(session_key: str, seq: int,
+               snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Internal: a worker shipping a session snapshot covering the first
+    ``seq`` forwarded lines back to the server's durability layer."""
+    return {"e": "_ckpt", "key": session_key, "seq": seq,
+            "snapshot": snapshot}
+
+
+def restored_event(session_key: str, seq: int, events: int) -> Dict[str, Any]:
+    """Internal: a worker finished rebuilding a session from checkpoint +
+    WAL tail; ``seq`` lines applied, ``events`` public events in its log."""
+    return {"e": "_restored", "key": session_key, "seq": seq,
+            "events": events}
+
+
+def resume_event(seq: int, events: int) -> Dict[str, Any]:
+    """Wire (durable streams only): the server's watermark at [re]connect.
+    The client must send record ``seq + 1`` next and already holds the
+    first ``events`` events of the session's verdict log."""
+    return {"e": "_resume", "seq": seq, "events": events}
+
+
+def durable_event(seq: int) -> Dict[str, Any]:
+    """Wire (durable streams only): records up to ``seq`` hit the WAL."""
+    return {"e": "_durable", "seq": seq}
 
 
 def is_internal(event: Dict[str, Any]) -> bool:

@@ -48,6 +48,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -55,7 +56,19 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import TruncatedStreamError
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
-from repro.serve.protocol import dumps_event, event_closed, event_error
+from repro.serve.durability import (
+    Checkpoint,
+    DurabilityManager,
+    FsyncPolicy,
+    SessionDurability,
+)
+from repro.serve.protocol import (
+    dumps_event,
+    durable_event,
+    event_closed,
+    event_error,
+    resume_event,
+)
 from repro.serve.registry import (
     QuotaExceededError,
     SessionRegistry,
@@ -102,12 +115,32 @@ class ServeConfig:
     definitely_limit: int = 50_000
     #: seconds to wait for final verdicts during drain
     drain_timeout: float = 30.0
+    #: durability root directory; ``None`` = in-memory serving (PR 6 shape)
+    durable_dir: Optional[str] = None
+    #: WAL fsync policy: ``always`` | ``batch`` | ``never``
+    fsync: str = FsyncPolicy.BATCH
+    #: checkpoint a durable session every this many forwarded lines
+    checkpoint_every: int = 256
+    #: supervise worker processes (restart dead shards); ProcessPool only
+    supervise: bool = True
+    #: seconds between supervisor heartbeats
+    heartbeat_interval: float = 0.5
+    #: a worker this stale on pongs (with a live process) is hung
+    heartbeat_timeout: float = 10.0
+    #: worker restarts per shard before its sessions move to another shard
+    restart_budget: int = 3
+    #: base / cap for the supervisor's exponential restart backoff
+    restart_backoff: float = 0.05
+    restart_backoff_max: float = 2.0
 
     def __post_init__(self):
         if self.policy not in ("pause", "shed", "disconnect"):
             raise ValueError(f"unknown slow-consumer policy {self.policy!r}")
         if self.batch <= 0:
             raise ValueError("batch must be positive")
+        FsyncPolicy.validate(self.fsync)
+        if self.checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
 
 
 class _Entry:
@@ -116,6 +149,10 @@ class _Entry:
     __slots__ = (
         "state", "writer", "push", "credit", "final", "error",
         "buffer", "lineno", "last_flush", "finalizing",
+        # durable-session state
+        "durable", "dur", "accepted", "wal_seq", "last_ckpt", "events_log",
+        "header", "opts", "predicate", "parked", "ended", "opened",
+        "restoring",
     )
 
     def __init__(self, state: SessionState, loop: asyncio.AbstractEventLoop,
@@ -131,6 +168,19 @@ class _Entry:
         self.lineno = 1  # header consumed the first line
         self.last_flush = time.perf_counter()
         self.finalizing = False
+        self.durable = False
+        self.dur: Optional[SessionDurability] = None
+        self.accepted = 0   # non-empty stream lines accepted (dedup seq)
+        self.wal_seq = 0    # lines appended to the WAL (durable watermark)
+        self.last_ckpt = 0  # wal_seq when the last checkpoint was requested
+        self.events_log: List[Dict[str, Any]] = []  # published public events
+        self.header: Optional[Dict[str, Any]] = None
+        self.opts: Dict[str, Any] = {}
+        self.predicate: Optional[str] = None
+        self.parked = False     # disconnected mid-stream, awaiting resume
+        self.ended = False      # clean end-of-stream marker seen
+        self.opened = False     # header reached the worker
+        self.restoring = False  # a restore op is in flight for this session
 
 
 class ReproServer:
@@ -140,10 +190,16 @@ class ReproServer:
         self.config = config
         self.registry = SessionRegistry(config.quota, config.tenant_quotas)
         self.pool = make_pool(config.workers)
+        self.durability: Optional[DurabilityManager] = (
+            DurabilityManager(config.durable_dir, fsync=config.fsync)
+            if config.durable_dir else None
+        )
+        self.supervisor = None  # set in start() for supervised pools
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._servers: List[asyncio.base_events.Server] = []
         self._entries: Dict[str, _Entry] = {}
         self._conn_tasks: set = set()
+        self._supervisor_task: Optional[asyncio.Task] = None
         self._draining = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -152,6 +208,15 @@ class ReproServer:
         self._loop = asyncio.get_running_loop()
         self.pool.set_sink(self._sink)
         self.pool.start()
+        if self.durability is not None:
+            self._recover_from_disk()
+        if self.config.supervise and self.config.workers > 0:
+            from repro.serve.supervisor import WorkerSupervisor
+
+            self.supervisor = WorkerSupervisor(self)
+            self._supervisor_task = asyncio.ensure_future(
+                self.supervisor.run()
+            )
         if self.config.tcp is not None:
             host, port = self.config.tcp
             self._servers.append(await asyncio.start_server(
@@ -162,6 +227,51 @@ class ReproServer:
                 self._handle_conn, path=self.config.unix, limit=_LINE_LIMIT
             ))
 
+    def _recover_from_disk(self) -> None:
+        """Resurrect every session the durability root holds: park it,
+        rebuild its worker state from checkpoint + WAL tail, and (for
+        cleanly-ended streams) finalize.  Clients resume against the
+        parked entries with their ``have_events`` watermarks."""
+        for rec in self.durability.recover_all():
+            predicate = rec.opts.get("predicate")
+            if predicate is None:
+                self.durability.discard(rec.tenant, rec.session)
+                continue
+            try:
+                entry = self._admit(rec.tenant, rec.session, writer=None)
+            except QuotaExceededError:  # smaller quotas after restart
+                continue
+            key = entry.state.key
+            entry.durable = True
+            entry.parked = True
+            entry.opened = True
+            entry.ended = rec.ended
+            entry.header = rec.header
+            entry.predicate = predicate
+            entry.opts = {k: v for k, v in rec.opts.items()
+                          if k != "predicate"}
+            entry.accepted = entry.wal_seq = rec.seq
+            entry.last_ckpt = rec.checkpoint.seq if rec.checkpoint else 0
+            entry.events_log = (list(rec.checkpoint.events)
+                                if rec.checkpoint else [])
+            entry.restoring = True
+            entry.dur = self.durability.open_session(
+                rec.tenant, rec.session, gen=rec.gen
+            )
+            self.pool.restore(
+                key, rec.tenant, rec.session, rec.header, predicate,
+                entry.opts,
+                rec.checkpoint.snapshot if rec.checkpoint else None,
+                [line for _, line in rec.records],
+                len(entry.events_log),
+            )
+            final = next((ev for ev in entry.events_log
+                          if ev.get("e") == "final"), None)
+            if final is not None:
+                entry.final.set_result(final)
+            elif rec.ended:
+                self._finalize(key, entry)
+
     @property
     def endpoints(self) -> List[str]:
         out = []
@@ -171,8 +281,19 @@ class ReproServer:
         return out
 
     async def drain(self) -> Dict[str, Any]:
-        """Graceful shutdown; returns the registry's final stats."""
+        """Graceful shutdown; returns the registry's final stats.
+
+        Parked durable sessions (disconnected mid-stream, awaiting a
+        resume) are *not* finalized: their WAL + checkpoint stay on disk
+        and the next server start recovers them, so a restart in the
+        middle of a client outage loses nothing.
+        """
         self._draining = True
+        if self._supervisor_task is not None:
+            self._supervisor_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._supervisor_task
+            self._supervisor_task = None
         for srv in self._servers:
             srv.close()
         for srv in self._servers:
@@ -185,6 +306,9 @@ class ReproServer:
         # may still hold un-forwarded lines)
         finals = []
         for key, entry in list(self._entries.items()):
+            if (entry.durable and entry.opened and not entry.ended
+                    and entry.error is None):
+                continue  # preserved on disk for the next start
             if not entry.finalizing and entry.error is None:
                 self._flush(key, entry, force=True)
                 if entry.buffer:  # credits spent: drop + mark degraded
@@ -202,6 +326,11 @@ class ReproServer:
                 )
         stats = self.registry.stats()
         for key, entry in list(self._entries.items()):
+            if (entry.durable and entry.opened and not entry.ended
+                    and entry.error is None):
+                self._flush_wal_tail(entry)
+                self._close_entry(key, entry, destroy_durable=False)
+                continue
             self._publish(entry, event_closed(entry.state.tenant,
                                               entry.state.session,
                                               entry.state.acked))
@@ -243,14 +372,42 @@ class ReproServer:
                 ).set(entry.state.outstanding)
                 entry.credit.set()
                 continue
+            if kind == "_ckpt":
+                self._commit_checkpoint(entry, ev)
+                continue
+            if kind == "_restored":
+                # the worker rebuilt this session: reset flow control to
+                # a clean slate (outstanding feeds were replayed from WAL)
+                entry.state.submitted = entry.state.acked = int(ev["seq"])
+                entry.state.credits = entry.state.quota.max_buffered_events
+                entry.restoring = False
+                entry.credit.set()
+                continue
             if kind in ("witness", "final"):
                 _VERDICT_LAT.observe(now - entry.last_flush)
             if kind == "error":
                 entry.error = ev
                 entry.credit.set()  # wake a paused reader so it can bail
+            if entry.durable:
+                entry.events_log.append(ev)
             self._publish(entry, ev)
             if kind == "final" and not entry.final.done():
                 entry.final.set_result(ev)
+
+    def _commit_checkpoint(self, entry: _Entry, ev: Dict[str, Any]) -> None:
+        """A worker shipped a ``_ckpt`` snapshot: publish it atomically
+        and truncate the WAL behind it (loop thread; the file work is a
+        bounded, checkpoint-interval-amortised pause)."""
+        if entry.dur is None:
+            return
+        state = entry.state
+        opts = dict(entry.opts)
+        opts["predicate"] = entry.predicate
+        entry.dur.commit_checkpoint(Checkpoint(
+            tenant=state.tenant, session=state.session,
+            seq=int(ev["seq"]), gen=0,  # commit_checkpoint stamps the gen
+            header=entry.header or {}, snapshot=ev["snapshot"], opts=opts,
+        ))
 
     def _publish(self, entry: _Entry, event: Dict[str, Any]) -> None:
         line = (dumps_event(event) + "\n").encode()
@@ -300,8 +457,25 @@ class ReproServer:
             entry.last_flush = time.perf_counter()
             if state.credits <= 0:
                 entry.credit.clear()
+            if entry.dur is not None:
+                # log-before-feed: the WAL must cover everything a worker
+                # may have applied, or recovery could lose acked effects
+                for line in chunk:
+                    entry.wal_seq += 1
+                    entry.dur.log_record(entry.wal_seq, line)
+                if entry.writer is not None:
+                    with contextlib.suppress(Exception):
+                        entry.writer.write(
+                            (dumps_event(durable_event(entry.wal_seq))
+                             + "\n").encode()
+                        )
             self.pool.feed(key, chunk, entry.lineno - len(entry.buffer)
                            - len(chunk) + 1)
+            if (entry.dur is not None
+                    and entry.wal_seq - entry.last_ckpt
+                    >= self.config.checkpoint_every):
+                entry.last_ckpt = entry.wal_seq
+                self.pool.checkpoint(key, entry.wal_seq)
         if entry.buffer and self.config.policy == "shed":
             # over budget: tail-shed from here on
             if not state.tripped:
@@ -320,10 +494,17 @@ class ReproServer:
         self.pool.finalize(key, shed=state.shed,
                            with_definitely=with_definitely)
 
-    def _close_entry(self, key: str, entry: _Entry) -> None:
+    def _close_entry(self, key: str, entry: _Entry, *,
+                     destroy_durable: bool = True) -> None:
         self._entries.pop(key, None)
         self.registry.close(key)
         self.pool.close_session(key)
+        self.pool.unpin(key)
+        if entry.dur is not None:
+            if destroy_durable:
+                entry.dur.destroy()
+            else:
+                entry.dur.close()
         if entry.writer is not None:
             with contextlib.suppress(Exception):
                 entry.writer.close()
@@ -375,6 +556,18 @@ class ReproServer:
         if not predicate:
             refuse("protocol", "hello needs a 'predicate' spec")
             await _drain_close(writer)
+            return
+        if hello.get("durable"):
+            if self.durability is None:
+                refuse("protocol",
+                       "this server has no durability root (start it with "
+                       "--durable to accept durable streams)")
+                await _drain_close(writer)
+                return
+            await self._serve_durable_conn(
+                reader, writer, tenant, session, str(predicate),
+                int(hello.get("have_events", 0) or 0),
+            )
             return
         try:
             entry = self._admit(tenant, session, writer)
@@ -443,6 +636,193 @@ class ReproServer:
                 asyncio.shield(entry.final), timeout=self.config.drain_timeout
             )
 
+    # -- durable connections -------------------------------------------------
+
+    def _write_event(self, writer: asyncio.StreamWriter,
+                     event: Dict[str, Any]) -> None:
+        with contextlib.suppress(Exception):
+            writer.write((dumps_event(event) + "\n").encode())
+
+    def _flush_wal_tail(self, entry: _Entry) -> None:
+        """Preserve buffered-but-unforwarded lines in the WAL (drain is
+        parking this session on disk; the client may never resend them)."""
+        if entry.dur is None:
+            return
+        for line in entry.buffer:
+            entry.wal_seq += 1
+            entry.dur.log_record(entry.wal_seq, line)
+        entry.buffer.clear()
+        entry.dur.flush()
+
+    def _park(self, entry: _Entry) -> None:
+        """The connection died mid-stream: keep everything (registry
+        session, worker state, WAL) and wait for a resume."""
+        entry.parked = True
+        if entry.writer is not None:
+            with contextlib.suppress(Exception):
+                entry.writer.close()
+            entry.writer = None
+        if entry.dur is not None:
+            entry.dur.flush()
+
+    async def _serve_durable_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+        tenant: str, session: str, predicate: str, have_events: int,
+    ) -> None:
+        """A ``durable: true`` hello: fresh open or resume of a parked
+        session.  The wire protocol differs from plain streams: records
+        arrive framed (``{"t":"rec","q":N,"line":...}``) so loss, dup-
+        lication and reordering are *detected* -- duplicates are dropped
+        idempotently, gaps park the session and the client re-syncs from
+        the server's watermark on the next connect."""
+        from repro.serve.session import session_key
+
+        key = session_key(tenant, session)
+        entry = self._entries.get(key)
+        if entry is not None:
+            if not entry.parked or not entry.durable:
+                self._write_event(writer, event_error(
+                    tenant, session, 0, "quota",
+                    f"session {key!r} is already open (one live stream "
+                    f"per session id)",
+                ))
+                await _drain_close(writer)
+                return
+            entry.parked = False
+            entry.writer = writer
+        else:
+            try:
+                entry = self._admit(tenant, session, writer)
+            except QuotaExceededError as exc:
+                self._write_event(writer, event_error(
+                    tenant, session, 0, "quota", str(exc)))
+                await _drain_close(writer)
+                return
+            entry.durable = True
+            entry.predicate = predicate
+            entry.opts = self._session_opts(tenant)
+            entry.dur = self.durability.open_session(tenant, session)
+        # handshake: our watermark, then every event the client has missed
+        self._write_event(writer, resume_event(entry.accepted,
+                                               len(entry.events_log)))
+        for ev in entry.events_log[max(0, have_events):]:
+            self._write_event(writer, ev)
+        with TRACER.span("serve.session.durable", tenant=tenant,
+                         session=session):
+            try:
+                status = await self._serve_durable_stream(reader, entry)
+            except _Disconnect:
+                self._finalize(key, entry)
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        asyncio.shield(entry.final),
+                        timeout=self.config.drain_timeout,
+                    )
+                status = "done"
+        if self._draining:
+            return
+        if status == "parked":
+            self._park(entry)
+            return
+        # done or error: the session is over for good
+        self._publish(entry, event_closed(tenant, session,
+                                          entry.state.acked))
+        with contextlib.suppress(Exception):
+            await writer.drain()
+        self._close_entry(key, entry)
+
+    async def _serve_durable_stream(self, reader: asyncio.StreamReader,
+                                    entry: _Entry) -> str:
+        """Read framed records until end-of-stream; returns ``"done"``
+        (final delivered), ``"error"`` (session failed) or ``"parked"``
+        (connection lost / protocol violation -- resume expected)."""
+        key = entry.state.key
+        if not entry.ended:
+            try:
+                parked = await self._read_durable_frames(reader, entry)
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                return "parked"
+            if parked:
+                return "parked"
+        if entry.error is not None:
+            return "error"
+        await self._drain_buffer(key, entry)
+        if entry.error is not None:
+            return "error"
+        if entry.dur is not None and not entry.final.done():
+            entry.dur.log_end()
+        if not entry.finalizing and not entry.final.done():
+            self._finalize(key, entry)
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(
+                asyncio.shield(entry.final),
+                timeout=self.config.drain_timeout,
+            )
+        return "error" if entry.error is not None else "done"
+
+    async def _read_durable_frames(self, reader: asyncio.StreamReader,
+                                   entry: _Entry) -> bool:
+        """The framed read loop; ``True`` means park (re-sync needed)."""
+        key = entry.state.key
+        state = entry.state
+        while True:
+            if entry.error is not None:
+                return False
+            raw = await reader.readline()
+            if raw == b"":
+                return True  # no end marker: abnormal EOF
+            _LINES.inc()
+            try:
+                obj = json.loads(raw.decode())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                return True  # torn frame
+            if not isinstance(obj, dict):
+                return True
+            t = obj.get("t")
+            if t == "hdr":
+                if entry.opened:
+                    continue  # duplicate header after a re-sync race
+                try:
+                    header = json.loads(obj.get("line", ""))
+                    if not isinstance(header, dict):
+                        raise ValueError("header is not an object")
+                except (json.JSONDecodeError, ValueError) as exc:
+                    ev = event_error(
+                        state.tenant, state.session, 0, "protocol",
+                        f"bad durable stream header ({exc})",
+                    )
+                    entry.error = ev
+                    self._publish(entry, ev)
+                    return False
+                entry.header = header
+                entry.dur.log_header(
+                    header, {**entry.opts, "predicate": entry.predicate}
+                )
+                self.pool.open_session(key, state.tenant, state.session,
+                                       header, entry.predicate, entry.opts)
+                entry.opened = True
+            elif t == "rec":
+                q, line = obj.get("q"), obj.get("line")
+                if (not isinstance(q, int) or not isinstance(line, str)
+                        or not entry.opened):
+                    return True
+                if q <= entry.accepted:
+                    continue  # idempotent dedup of a retransmitted record
+                if q != entry.accepted + 1:
+                    return True  # gap: loss/reorder upstream; re-sync
+                line = line.strip()
+                if not line:
+                    return True  # framed empty line: protocol violation
+                entry.accepted += 1
+                entry.lineno += 1
+                entry.buffer.append(line)
+                await self._apply_policy(key, entry)
+            elif t == "end":
+                entry.ended = True
+                return False
+            else:
+                return True
+
     async def _drain_buffer(self, key: str, entry: _Entry) -> None:
         """End of stream: push every remaining buffered line to the worker,
         waiting for credits when the budget is spent (the shed policy
@@ -507,8 +887,8 @@ class ReproServer:
     async def tail_file(self, path: str, tenant: str, session: str,
                         predicate: str, *, follow: bool = False,
                         poll_interval: float = 0.2, push=None,
-                        stop: Optional[asyncio.Event] = None
-                        ) -> Optional[Dict[str, Any]]:
+                        stop: Optional[asyncio.Event] = None,
+                        retry=None) -> Optional[Dict[str, Any]]:
         """Follow a ``repro-events/1`` file on disk as a server-side session.
 
         Reads complete lines only; a truncated final line (the writer is
@@ -516,22 +896,72 @@ class ReproServer:
         ``malformed`` error otherwise.  Returns the final verdict event,
         or ``None`` when the session failed.  Verdict events reach
         ``push`` and any subscribers of ``tenant``.
+
+        Transient source trouble -- the file not existing yet, vanishing
+        mid-tail, or a read error -- is retried with ``retry`` (a
+        :class:`~repro.serve.client.Backoff`; bounded exponential with
+        jitter, default budget 10 attempts) rather than a fixed sleep.
+        A source that stays gone past the budget fails the session with
+        a typed ``source-lost`` error event (so ``repro tail`` exits 3
+        instead of dumping a traceback); any successful read resets the
+        budget.
         """
+        from repro.serve.client import Backoff
+
         entry = self._admit(tenant, session, writer=None, push=push)
         key = entry.state.key
         opened = False
         lineno = 0
+        retry = retry or Backoff(base=poll_interval, max_retries=10)
 
         def stopped() -> bool:
             return stop is not None and stop.is_set()
 
-        with open(path) as fh:
+        def source_lost(exc: Optional[BaseException]) -> None:
+            self._publish(entry, event_error(
+                tenant, session, entry.state.acked, "source-lost",
+                f"stream source {path!r} is gone and stayed gone for "
+                f"{retry.attempts} retries"
+                + (f" ({exc})" if exc is not None else ""),
+            ))
+            self._close_entry(key, entry)
+
+        fh = None
+        while fh is None:
+            try:
+                fh = open(path)
+            except OSError as exc:
+                delay = retry.next_delay() if follow and not stopped() else None
+                if delay is None:
+                    source_lost(exc)
+                    return None
+                await asyncio.sleep(delay)
+        with fh:
             while True:
                 pos = fh.tell()
-                raw = fh.readline()
+                try:
+                    raw = fh.readline()
+                except OSError as exc:
+                    delay = retry.next_delay()
+                    if delay is None:
+                        source_lost(exc)
+                        return None
+                    await asyncio.sleep(delay)
+                    fh.seek(pos)
+                    continue
                 if raw == "":
                     if follow and not stopped():
-                        await asyncio.sleep(poll_interval)
+                        if os.path.exists(path):
+                            retry.reset()
+                            await asyncio.sleep(poll_interval)
+                        else:
+                            # the source vanished beneath us; give it a
+                            # backoff window to reappear (e.g. a rotate)
+                            delay = retry.next_delay()
+                            if delay is None:
+                                source_lost(None)
+                                return None
+                            await asyncio.sleep(delay)
                         continue
                     break
                 if not raw.endswith("\n"):

@@ -84,13 +84,24 @@ class DetectionSession:
         self.delay_per_record = float(delay_per_record)
         #: stream records applied so far (header excluded)
         self.seq = 0
+        #: raw stream lines accepted so far (incl. obs; the durable seq)
+        self.lines = 0
         #: failed sessions apply nothing further (error already emitted)
         self.failed = False
         self.result: Optional[WatchResult] = None
+        #: every public event this session ever produced, in order --
+        #: the replay source for durable resume (byte-identity depends on
+        #: this log being a pure function of the input stream)
+        self.events_log: List[Dict[str, Any]] = []
+
+    def _record(self, events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        self.events_log.extend(events)
+        return events
 
     def open_event(self) -> Dict[str, Any]:
-        return event_open(self.tenant, self.session, self.store.n,
-                          self.predicate_spec)
+        return self._record([event_open(self.tenant, self.session,
+                                        self.store.n,
+                                        self.predicate_spec)])[0]
 
     # -- feeding -------------------------------------------------------------
 
@@ -108,29 +119,34 @@ class DetectionSession:
         line = line.strip()
         if not line:
             return []
+        self.lines += 1
         where = f"{self.key}:{lineno if lineno is not None else self.seq + 1}"
         try:
             rec = json.loads(line)
         except json.JSONDecodeError as exc:
-            return [self._fail("malformed", f"not valid JSON ({exc})", where)]
+            return self._record(
+                [self._fail("malformed", f"not valid JSON ({exc})", where)]
+            )
         try:
             kind = apply_stream_record(self.store, rec, where)
         except MalformedTraceError as exc:
-            return [self._fail("malformed", str(exc), where)]
+            return self._record([self._fail("malformed", str(exc), where)])
         if kind == "obs":
             return []
         self.seq += 1
         if self.delay_per_record:
             time.sleep(self.delay_per_record)
         if self.max_store_states and self.store.num_states > self.max_store_states:
-            return [self._fail(
+            return self._record([self._fail(
                 "quota",
                 f"store grew past max_store_states={self.max_store_states} "
                 f"({self.store.num_states} states); verdict covers the "
                 f"applied prefix only",
                 where,
-            )]
-        return self.tracker.observe(self.seq, self.detector.poll())
+            )])
+        return self._record(
+            self.tracker.observe(self.seq, self.detector.poll())
+        )
 
     def feed(self, lines: List[str], base_lineno: Optional[int] = None
              ) -> List[Dict[str, Any]]:
@@ -163,4 +179,56 @@ class DetectionSession:
         events.append(
             self.tracker.finalized(self.seq, self.result, degraded=bool(shed))
         )
-        return events
+        return self._record(events)
+
+    # -- durable state capture -----------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything a checkpoint needs to resurrect this session.
+
+        JSON-serializable; pairs :meth:`TraceStore.freeze` with
+        :meth:`IncrementalDetector.snapshot` and adds the session-level
+        counters plus the full public event log (events are sparse --
+        witness *transitions* only -- so the log stays small even for
+        long streams).
+        """
+        return {
+            "store": self.store.freeze(),
+            "detector": self.detector.snapshot(),
+            "seq": self.seq,
+            "lines": self.lines,
+            "failed": self.failed,
+            "events": [dict(ev) for ev in self.events_log],
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        tenant: str,
+        session: str,
+        header: Dict[str, Any],
+        predicate: str,
+        snap: Dict[str, Any],
+        *,
+        max_store_states: int = 0,
+        delay_per_record: float = 0.0,
+        engine: str = "auto",
+    ) -> "DetectionSession":
+        """Rebuild a session from a :meth:`snapshot`; feeding the stream
+        suffix afterwards produces exactly the events an uninterrupted
+        run would have produced (pinned by tests/serve/test_durability.py)."""
+        from repro.store.trace_store import TraceStore
+
+        sess = cls(tenant, session, header, predicate,
+                   max_store_states=max_store_states,
+                   delay_per_record=delay_per_record, engine=engine)
+        sess.store = TraceStore.restore(snap["store"])
+        sess.detector = IncrementalDetector.restore(
+            sess.store, sess.pred, snap["detector"]
+        )
+        sess.tracker._witness = sess.detector.witness
+        sess.seq = int(snap["seq"])
+        sess.lines = int(snap.get("lines", 0))
+        sess.failed = bool(snap.get("failed", False))
+        sess.events_log = [dict(ev) for ev in snap.get("events", ())]
+        return sess

@@ -34,11 +34,17 @@ import multiprocessing
 import queue
 import signal
 import threading
+import time
 import zlib
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.metrics import METRICS
-from repro.serve.protocol import ack_event, event_error
+from repro.serve.protocol import (
+    ack_event,
+    ckpt_event,
+    event_error,
+    restored_event,
+)
 from repro.serve.session import DetectionSession
 
 __all__ = ["DetectorPool", "InlinePool", "ProcessPool", "make_pool"]
@@ -48,6 +54,8 @@ Sink = Callable[[str, List[Dict[str, Any]]], None]
 _RECORDS = METRICS.counter("serve.records_in")
 _VERDICTS = METRICS.counter("serve.verdicts_out")
 _BATCHES = METRICS.counter("serve.worker_batches")
+_RESTARTS = METRICS.counter("serve.worker_restarts")
+_RESTORES = METRICS.counter("serve.session_restores")
 
 
 def shard_of(key: str, shards: int) -> int:
@@ -108,16 +116,87 @@ def _finalize_session(sessions: Dict[str, DetectionSession], key: str,
                             "internal", repr(exc))]
 
 
+def _checkpoint_session(sessions: Dict[str, DetectionSession], key: str,
+                        upto: int) -> List[Dict[str, Any]]:
+    """Snapshot ``key`` for the durability layer.
+
+    ``upto`` is the server's forwarded-line count when it enqueued the
+    op; the shard queue is FIFO, so by the time this runs the session
+    has applied exactly those lines and the snapshot covers them.
+    """
+    sess = sessions.get(key)
+    if sess is None or sess.failed:
+        return []
+    try:
+        return [ckpt_event(key, upto, sess.snapshot())]
+    except Exception as exc:  # never let a snapshot bug kill the stream
+        return [event_error(sess.tenant, sess.session, sess.seq,
+                            "internal", f"checkpoint failed: {exc!r}")]
+
+
+def _restore_session(sessions: Dict[str, DetectionSession], key: str,
+                     tenant: str, session: str, header: Dict[str, Any],
+                     predicate: str, opts: Dict[str, Any],
+                     snapshot: Optional[Dict[str, Any]],
+                     tail: List[str], published: int
+                     ) -> List[Dict[str, Any]]:
+    """Rebuild ``key`` from ``snapshot`` (may be ``None``: no checkpoint
+    survived) and replay the WAL ``tail`` lines.
+
+    Replay regenerates the session's public events deterministically;
+    only events past index ``published`` (what the server already pushed
+    to clients before the crash) are returned for publication, so a
+    worker crash never duplicates an event on a surviving connection.
+    """
+    kwargs = dict(
+        max_store_states=opts.get("max_store_states", 0),
+        delay_per_record=opts.get("delay_per_record", 0.0),
+        engine=opts.get("engine", "auto"),
+    )
+    try:
+        if snapshot is not None:
+            sess = DetectionSession.restore(tenant, session, header,
+                                            predicate, snapshot, **kwargs)
+        else:
+            sess = DetectionSession(tenant, session, header, predicate,
+                                    **kwargs)
+            sess.open_event()
+        sess.feed(tail)
+    except Exception as exc:
+        return [event_error(tenant, session, 0, "internal",
+                            f"restore failed: {exc!r}")]
+    sessions[key] = sess
+    _RESTORES.inc()
+    events = list(sess.events_log[published:])
+    events.append(restored_event(key, sess.lines, len(sess.events_log)))
+    return events
+
+
 class DetectorPool:
     """Interface shared by :class:`InlinePool` and :class:`ProcessPool`."""
 
     workers: int = 0
 
+    def __init__(self):
+        #: supervisor overrides: session key -> shard (set when a shard
+        #: exhausts its restart budget and its sessions move elsewhere)
+        self._pins: Dict[str, int] = {}
+
     def set_sink(self, sink: Sink) -> None:
         self._sink = sink
 
     def shard_of(self, key: str) -> int:
+        pinned = self._pins.get(key)
+        if pinned is not None:
+            return pinned
         return shard_of(key, max(self.workers, 1))
+
+    def pin(self, key: str, shard: int) -> None:
+        """Route ``key`` to ``shard`` from now on (supervisor re-pinning)."""
+        self._pins[key] = shard
+
+    def unpin(self, key: str) -> None:
+        self._pins.pop(key, None)
 
     # lifecycle ---------------------------------------------------------------
     def start(self) -> None:  # pragma: no cover - overridden
@@ -143,6 +222,32 @@ class DetectorPool:
     def close_session(self, key: str) -> None:
         raise NotImplementedError
 
+    # durability ops ----------------------------------------------------------
+    def checkpoint(self, key: str, upto: int) -> None:
+        """Ask the owning shard for a ``_ckpt`` snapshot covering the
+        first ``upto`` forwarded lines (FIFO-ordered behind the feeds)."""
+        raise NotImplementedError
+
+    def restore(self, key: str, tenant: str, session: str,
+                header: Dict[str, Any], predicate: str,
+                opts: Dict[str, Any], snapshot: Optional[Dict[str, Any]],
+                tail: List[str], published: int) -> None:
+        """Rebuild a session on its shard from checkpoint + WAL tail."""
+        raise NotImplementedError
+
+    # supervision -------------------------------------------------------------
+    def worker_alive(self, idx: int) -> bool:
+        return True
+
+    def ping(self, idx: int) -> None:
+        pass
+
+    def last_pong(self, idx: int) -> float:
+        return float("inf")
+
+    def restart_worker(self, idx: int) -> None:
+        raise NotImplementedError
+
 
 class InlinePool(DetectorPool):
     """``workers=0``: detection runs in the caller (no IPC, no threads)."""
@@ -150,6 +255,7 @@ class InlinePool(DetectorPool):
     workers = 0
 
     def __init__(self, **_ignored: Any):
+        super().__init__()
         self._sessions: Dict[str, DetectionSession] = {}
         self._sink: Sink = lambda key, events: None
 
@@ -174,6 +280,15 @@ class InlinePool(DetectorPool):
     def close_session(self, key) -> None:
         self._sessions.pop(key, None)
 
+    def checkpoint(self, key, upto) -> None:
+        self._sink(key, _checkpoint_session(self._sessions, key, upto))
+
+    def restore(self, key, tenant, session, header, predicate, opts,
+                snapshot, tail, published) -> None:
+        self._sink(key, _restore_session(self._sessions, key, tenant,
+                                         session, header, predicate, opts,
+                                         snapshot, tail, published))
+
 
 def _worker_main(idx: int, in_q: "multiprocessing.Queue",
                  out_q: "multiprocessing.Queue") -> None:
@@ -186,6 +301,9 @@ def _worker_main(idx: int, in_q: "multiprocessing.Queue",
         if op == "stop":
             out_q.put(("__stop__", idx, METRICS.snapshot()))
             break
+        if op == "ping":
+            out_q.put(("__pong__", idx, msg[1]))
+            continue
         try:
             if op == "open":
                 _, key, tenant, session, header, predicate, opts = msg
@@ -199,6 +317,16 @@ def _worker_main(idx: int, in_q: "multiprocessing.Queue",
                 _, key, shed, with_definitely = msg
                 out_q.put((key, _finalize_session(sessions, key, shed,
                                                   with_definitely)))
+            elif op == "checkpoint":
+                _, key, upto = msg
+                out_q.put((key, _checkpoint_session(sessions, key, upto)))
+            elif op == "restore":
+                (_, key, tenant, session, header, predicate, opts,
+                 snapshot, tail, published) = msg
+                out_q.put((key, _restore_session(sessions, key, tenant,
+                                                 session, header, predicate,
+                                                 opts, snapshot, tail,
+                                                 published)))
             elif op == "close":
                 sessions.pop(msg[1], None)
         except Exception as exc:  # pragma: no cover - shard must survive
@@ -218,6 +346,7 @@ class ProcessPool(DetectorPool):
     """
 
     def __init__(self, workers: int = 2, *, mp_context: Optional[str] = None):
+        super().__init__()
         if workers < 1:
             raise ValueError("ProcessPool needs at least one worker")
         self.workers = workers
@@ -229,6 +358,7 @@ class ProcessPool(DetectorPool):
         self._stopped = threading.Event()
         self._sink: Sink = lambda key, events: None
         self._worker_metrics: List[Dict[str, Any]] = []
+        self._pongs: Dict[int, float] = {}
 
     def start(self) -> None:
         self._out_q = self._ctx.Queue()
@@ -242,6 +372,9 @@ class ProcessPool(DetectorPool):
             self._procs.append(proc)
         for proc in self._procs:
             proc.start()
+        now = time.monotonic()
+        for idx in range(self.workers):
+            self._pongs[idx] = now  # grace: freshly started counts as heard
         self._drain = threading.Thread(
             target=self._drain_main, name="repro-serve-drain", daemon=True
         )
@@ -261,6 +394,10 @@ class ProcessPool(DetectorPool):
             if item[0] == "__stop__":
                 stopped += 1
                 self._worker_metrics.append(item[2])
+                continue
+            if item[0] == "__pong__":
+                self._pongs[item[1]] = max(self._pongs.get(item[1], 0.0),
+                                           item[2])
                 continue
             key, events = item
             self._sink(key, events)
@@ -300,6 +437,56 @@ class ProcessPool(DetectorPool):
 
     def close_session(self, key) -> None:
         self._in_qs[self.shard_of(key)].put(("close", key))
+
+    def checkpoint(self, key, upto) -> None:
+        self._in_qs[self.shard_of(key)].put(("checkpoint", key, upto))
+
+    def restore(self, key, tenant, session, header, predicate, opts,
+                snapshot, tail, published) -> None:
+        self._in_qs[self.shard_of(key)].put(
+            ("restore", key, tenant, session, header, predicate, opts,
+             snapshot, tail, published)
+        )
+
+    # -- supervision ----------------------------------------------------------
+
+    def worker_alive(self, idx: int) -> bool:
+        return (idx < len(self._procs) and self._procs[idx] is not None
+                and self._procs[idx].is_alive())
+
+    def ping(self, idx: int) -> None:
+        if idx < len(self._in_qs):
+            try:
+                self._in_qs[idx].put_nowait(("ping", time.monotonic()))
+            except Exception:  # full / broken queue: the liveness check
+                pass           # will catch the dead worker instead
+
+    def last_pong(self, idx: int) -> float:
+        return self._pongs.get(idx, 0.0)
+
+    def restart_worker(self, idx: int) -> None:
+        """Replace a dead shard process with a fresh one.
+
+        The old input queue may hold half-pickled garbage from the
+        moment of death, so the shard gets a brand-new queue; whatever
+        ops it held are gone -- the supervisor replays every owned
+        session from checkpoint + WAL tail afterwards, which re-covers
+        the lost feeds.
+        """
+        old = self._procs[idx]
+        if old is not None and old.is_alive():  # unresponsive, not dead
+            old.terminate()
+            old.join(timeout=5)
+        in_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(idx, in_q, self._out_q),
+            daemon=True, name=f"repro-serve-shard-{idx}",
+        )
+        self._in_qs[idx] = in_q
+        self._procs[idx] = proc
+        self._pongs[idx] = time.monotonic()  # fresh grace period
+        proc.start()
+        _RESTARTS.inc()
 
 
 def make_pool(workers: int, **kwargs: Any) -> DetectorPool:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.causality.relations import EventRef, StateRef
+from repro.causality.relations import Arrow, EventRef, StateRef
 from repro.errors import MalformedTraceError
 from repro.obs.metrics import METRICS
 from repro.store.index import CausalIndex
@@ -270,6 +270,89 @@ class TraceStore:
 
         _SNAPSHOTS.inc()
         return Deposet._from_store(self, proc_names=proc_names)
+
+    # -- durable state capture ----------------------------------------------
+
+    def freeze(self) -> Dict[str, Any]:
+        """The store's full state as one JSON-serializable dict.
+
+        Everything :meth:`restore` needs to rebuild an equivalent store --
+        columns, arrows, epoch -- with no live index internals (the index
+        is re-derived on restore, so the wire format stays stable across
+        index implementations).  This is the checkpoint payload of the
+        serving layer's durability machinery (``docs/ROBUSTNESS.md``);
+        payloads/tags must be JSON-serializable, which holds for every
+        store fed from a ``repro-events/1`` stream.
+        """
+        return {
+            "n": self.n,
+            "proc_names": list(self._names),
+            "vars": [[dict(v) for v in col] for col in self._vars],
+            "times": (
+                [list(col) for col in self._times]
+                if self._times is not None else None
+            ),
+            "messages": [
+                {
+                    "src": [m.src.proc, m.src.index],
+                    "dst": [m.dst.proc, m.dst.index],
+                    "payload": m.payload,
+                    "tag": m.tag,
+                }
+                for m in self._messages
+            ],
+            "control": [
+                [[a.proc, a.index], [b.proc, b.index]]
+                for a, b in self._control
+            ],
+            "epoch": self.epoch,
+            "obs": getattr(self, "obs", None),
+        }
+
+    @classmethod
+    def restore(cls, state: Dict[str, Any]) -> "TraceStore":
+        """Rebuild a store from a :meth:`freeze` payload.
+
+        The causal index is rebuilt batch-style over the restored counts
+        and arrows, so the result answers every causal query identically
+        to the frozen original (same clocks, same epoch, same D3
+        bookkeeping) and remains appendable.
+        """
+        n = int(state["n"])
+        vars_cols = state["vars"]
+        store = cls(
+            n,
+            start_vars=[col[0] for col in vars_cols],
+            proc_names=state.get("proc_names"),
+            start_times=(
+                [col[0] for col in state["times"]]
+                if state.get("times") is not None else None
+            ),
+        )
+        store._vars = [[dict(v) for v in col] for col in vars_cols]
+        if state.get("times") is not None:
+            store._times = [list(map(float, col)) for col in state["times"]]
+        arrows: List[Arrow] = []
+        for m in state.get("messages", ()):
+            src = StateRef(*m["src"])
+            dst = StateRef(*m["dst"])
+            msg = MessageArrow(src, dst, payload=m.get("payload"),
+                               tag=m.get("tag"))
+            store._messages.append(msg)
+            store._used_events[(src.proc, src.index)] = msg
+            store._used_events[(dst.proc, dst.index - 1)] = msg
+            arrows.append((src, dst))
+        for a, b in state.get("control", ()):
+            arrow = (StateRef(*a), StateRef(*b))
+            store._control.append(arrow)
+            store._control_set.add(arrow)
+            arrows.append(arrow)
+        store._index = CausalIndex(
+            [len(col) for col in vars_cols], arrows
+        )
+        store.epoch = int(state.get("epoch", 0))
+        store.obs = state.get("obs")
+        return store
 
     # -- bulk construction ---------------------------------------------------
 

@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ControlChannelError
 from repro.faults import (
     ChannelFaultSpec,
+    ControlChannelLostError,
     FaultPlan,
     ReliableControlChannel,
     RetryPolicy,
@@ -140,6 +141,52 @@ class TestReliableControlChannel:
         assert channel.summary()["retransmits"] == 3
         assert channel.summary()["give_ups"] == 1
         assert channel.outstanding == 0
+
+    def test_raise_on_lost_surfaces_typed_error(self):
+        """With ``raise_on_lost`` and no per-send callback, a spent
+        retransmit budget raises ControlChannelLostError instead of
+        dropping the message silently."""
+        plan = FaultPlan.lossy(1.0, seed=0, scope="control")
+        system = System([_idle(120.0) for _ in range(2)], faults=plan)
+        channel = ReliableControlChannel(
+            system,
+            RetryPolicy(timeout=1.0, jitter=0.0, max_retries=3),
+            seed=42,
+            raise_on_lost=True,
+        )
+        deliveries = []
+        channel.bind(deliveries.append)
+        system.queue.schedule(0.0, lambda: channel.send(0, 1, "doomed"))
+        with pytest.raises(ControlChannelLostError) as exc:
+            system.run()
+        assert deliveries == []
+        assert exc.value.src == 0 and exc.value.dst == 1
+        assert exc.value.attempts == 4  # original + 3 retries
+        assert "retransmit budget" in str(exc.value)
+        # a typed lost-error is still a ControlChannelError for callers
+        # that catch the broad class
+        assert isinstance(exc.value, ControlChannelError)
+
+    def test_raise_on_lost_defers_to_per_send_callback(self):
+        """An explicit on_give_up callback wins over raise_on_lost: the
+        caller asked to handle the loss, so nothing is raised."""
+        plan = FaultPlan.lossy(1.0, seed=0, scope="control")
+        system = System([_idle(120.0) for _ in range(2)], faults=plan)
+        channel = ReliableControlChannel(
+            system,
+            RetryPolicy(timeout=1.0, jitter=0.0, max_retries=2),
+            seed=42,
+            raise_on_lost=True,
+        )
+        channel.bind(lambda d: None)
+        gave_up = []
+        system.queue.schedule(
+            0.0,
+            lambda: channel.send(0, 1, "doomed", on_give_up=gave_up.append),
+        )
+        system.run()  # must not raise
+        assert len(gave_up) == 1
+        assert channel.summary()["give_ups"] == 1
 
     def test_control_arrow_recorded_once_despite_retransmission(self):
         # drop ~half the copies so the logical message needs several tries;

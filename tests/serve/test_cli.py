@@ -121,6 +121,51 @@ def test_tail_follow_completes_on_truncated_then_finished_file(tmp_path):
     assert final["degraded"] is False
 
 
+def test_tail_missing_file_exits_3_with_typed_event(tmp_path, capsys):
+    """A source that never appears is a typed ``source-lost`` error and
+    exit code 3 -- not a traceback."""
+    rc = main(["tail", str(tmp_path / "nope.jsonl"),
+               "--predicate", PREDICATE, "--format", "json"])
+    assert rc == 3
+    events = [json.loads(ln) for ln in capsys.readouterr().out.splitlines()]
+    errors = [e for e in events if e["e"] == "error"]
+    assert errors and errors[-1]["code"] == "source-lost"
+
+
+def test_tail_follow_source_vanishing_spends_backoff_then_exits_3(tmp_path):
+    """In follow mode the file disappearing permanently must exhaust the
+    bounded retry budget (not loop forever) and fail with source-lost."""
+    import os
+
+    dep, header, lines = make_stream(seed=8)
+    path = tmp_path / "vanish.jsonl"
+    doc = [dumps_event(header)] + lines
+    path.write_text("\n".join(doc[: len(doc) // 2]) + "\n")
+
+    async def scenario():
+        from repro.serve.client import Backoff
+
+        server = ReproServer(ServeConfig(workers=0))
+        await server.start()
+        got = []
+        task = asyncio.ensure_future(server.tail_file(
+            str(path), "t", "v", PREDICATE, follow=True,
+            poll_interval=0.01, push=got.append,
+            retry=Backoff(base=0.01, max_retries=3, seed=1),
+        ))
+        await asyncio.sleep(0.05)  # mid-tail, waiting for more lines
+        os.unlink(path)
+        final = await asyncio.wait_for(task, 10)
+        await server.drain()
+        return final, got
+
+    final, got = asyncio.run(scenario())
+    assert final is None
+    errors = [e for e in got if e.get("e") == "error"]
+    assert errors and errors[-1]["code"] == "source-lost"
+    assert "retries" in errors[-1]["message"]
+
+
 def test_parse_quota_specs():
     tenant, quota = _parse_quota("8,512,10000")
     assert tenant is None

@@ -1,0 +1,270 @@
+"""Unit tests for the per-session WAL + checkpoint layer.
+
+The regression that matters most: the WAL runs *ahead* of checkpoints
+(the server logs before it feeds, workers apply asynchronously), so a
+checkpoint's roll must never unlink a segment still holding records
+above the checkpoint watermark -- that was a data-loss bug caught by the
+kill -9 chaos harness.
+"""
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.serve.durability import (
+    Checkpoint,
+    DurabilityManager,
+    FsyncPolicy,
+    SessionDurability,
+    SessionWal,
+    WalCorruptError,
+    session_dir,
+)
+
+
+def wal_dir(tmp_path):
+    d = str(tmp_path / "wal")
+    os.makedirs(d, exist_ok=True)
+    return d
+
+
+def payloads(directory):
+    return list(SessionWal.replay(directory))
+
+
+def make_ckpt(seq, events=()):
+    return Checkpoint(
+        tenant="t", session="s", seq=seq, gen=0,
+        header={"proc_names": ["a"]},
+        snapshot={"events": list(events), "seq": seq, "lines": seq},
+        opts={"predicate": "p"},
+    )
+
+
+class TestWal:
+    def test_header_records_end_roundtrip(self, tmp_path):
+        d = wal_dir(tmp_path)
+        wal = SessionWal(d)
+        wal.append_header({"proc_names": ["a", "b"]}, {"predicate": "p"})
+        wal.append_record(1, '{"t":"ev"}')
+        wal.append_record(2, '{"t":"ev2"}')
+        wal.append_end()
+        wal.close()
+        got = payloads(d)
+        assert [p["t"] for p in got] == ["hdr", "rec", "rec", "end"]
+        assert got[0]["header"] == {"proc_names": ["a", "b"]}
+        assert got[0]["opts"] == {"predicate": "p"}
+        assert got[1] == {"t": "rec", "seq": 1, "line": '{"t":"ev"}'}
+
+    def test_torn_tail_is_dropped_silently(self, tmp_path):
+        d = wal_dir(tmp_path)
+        wal = SessionWal(d)
+        wal.append_record(1, "a")
+        wal.append_record(2, "b")
+        wal.flush()
+        wal.close()
+        path = SessionWal.segments(d)[0]
+        with open(path, "a") as fh:  # a crash mid-append
+            fh.write("deadbeef {\"t\":\"rec\",\"seq\":3,")
+        got = payloads(d)
+        assert [p["seq"] for p in got] == [1, 2]
+
+    def test_corruption_before_tail_raises(self, tmp_path):
+        d = wal_dir(tmp_path)
+        wal = SessionWal(d)
+        wal.append_record(1, "a")
+        wal.append_record(2, "b")
+        wal.flush()
+        wal.close()
+        path = SessionWal.segments(d)[0]
+        lines = open(path).read().splitlines()
+        lines[0] = "0" * 8 + " " + lines[0][9:]  # break line 1's CRC
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(WalCorruptError):
+            payloads(d)
+
+    def test_crc_actually_guards_payload(self):
+        from repro.serve.durability import _frame, _unframe
+
+        line = _frame({"t": "rec", "seq": 7, "line": "x"})
+        assert _unframe(line) == {"t": "rec", "seq": 7, "line": "x"}
+        flipped = line[:-2] + ("y" if line[-2] != "y" else "z") + line[-1]
+        assert _unframe(flipped) is None
+        body = line[9:]
+        assert zlib.crc32(body.encode()) & 0xFFFFFFFF == int(line[:8], 16)
+
+    def test_roll_drops_fully_covered_segments(self, tmp_path):
+        d = wal_dir(tmp_path)
+        wal = SessionWal(d)
+        for seq in range(1, 5):
+            wal.append_record(seq, f"l{seq}")
+        wal.roll(4)  # checkpoint covered everything logged so far
+        assert len(SessionWal.segments(d)) == 1
+        assert wal.gen == 1
+        assert payloads(d) == []
+        wal.close()
+
+    def test_roll_retains_segments_above_watermark(self, tmp_path):
+        """The data-loss regression: WAL at seq 10, checkpoint at 4."""
+        d = wal_dir(tmp_path)
+        wal = SessionWal(d)
+        for seq in range(1, 11):
+            wal.append_record(seq, f"l{seq}")
+        wal.roll(4)
+        # the old segment still holds records 5..10: it must survive
+        assert len(SessionWal.segments(d)) == 2
+        assert [p["seq"] for p in payloads(d)] == list(range(1, 11))
+        for seq in range(11, 13):
+            wal.append_record(seq, f"l{seq}")
+        wal.roll(10)  # now the old segment is fully covered
+        segs = SessionWal.segments(d)
+        assert len(segs) == 2  # gen 1 (recs 11-12) + fresh gen 2
+        assert [p["seq"] for p in payloads(d)] == [11, 12]
+        wal.close()
+
+    def test_end_marker_survives_roll(self, tmp_path):
+        d = wal_dir(tmp_path)
+        wal = SessionWal(d)
+        wal.append_record(1, "a")
+        wal.append_end()
+        wal.roll(1)
+        assert any(p["t"] == "end" for p in payloads(d))
+        wal.close()
+
+    def test_reopen_learns_retained_segment_seqs(self, tmp_path):
+        """After a process restart the new WAL instance must still know
+        when surviving old segments become garbage."""
+        d = wal_dir(tmp_path)
+        wal = SessionWal(d)
+        for seq in range(1, 7):
+            wal.append_record(seq, f"l{seq}")
+        wal.roll(2)  # gen 0 retained (max seq 6 > 2)
+        wal.close()
+        wal2 = SessionWal(d, gen=1)
+        wal2.append_record(7, "l7")
+        wal2.roll(7)  # covers everything: both old segments must go
+        assert len(SessionWal.segments(d)) == 1
+        assert payloads(d) == []
+        wal2.close()
+
+    def test_fsync_validation(self):
+        with pytest.raises(ValueError):
+            FsyncPolicy.validate("sometimes")
+        for ok in FsyncPolicy.CHOICES:
+            assert FsyncPolicy.validate(ok) == ok
+
+
+class TestSessionDurability:
+    def test_checkpoint_commit_is_atomic_and_truncates(self, tmp_path):
+        mgr = DurabilityManager(str(tmp_path))
+        dur = mgr.open_session("t", "s")
+        dur.log_header({"h": 1}, {"predicate": "p"})
+        for seq in range(1, 6):
+            dur.log_record(seq, f"l{seq}")
+        dur.commit_checkpoint(make_ckpt(5, events=[{"e": "open"}]))
+        assert not os.path.exists(
+            os.path.join(dur.directory, "ckpt.json.tmp"))
+        rec = mgr.recover_session(dur.directory)
+        assert rec is not None
+        assert rec.checkpoint.seq == 5
+        assert rec.records == []  # WAL truncated behind the checkpoint
+        assert rec.checkpoint.events == [{"e": "open"}]
+        dur.destroy()
+
+    def test_recovery_ckpt_plus_wal_tail(self, tmp_path):
+        mgr = DurabilityManager(str(tmp_path))
+        dur = mgr.open_session("t", "s")
+        dur.log_header({"h": 1}, {"predicate": "p", "engine": "auto"})
+        for seq in range(1, 4):
+            dur.log_record(seq, f"l{seq}")
+        dur.commit_checkpoint(make_ckpt(3))
+        for seq in range(4, 7):
+            dur.log_record(seq, f"l{seq}")
+        dur.flush()
+        rec = mgr.recover_session(dur.directory)
+        assert rec.seq == 6
+        assert rec.records == [(4, "l4"), (5, "l5"), (6, "l6")]
+        assert rec.opts["predicate"] == "p"
+        assert not rec.ended
+        dur.log_end()
+        rec2 = mgr.recover_session(dur.directory)
+        assert rec2.ended
+        dur.close()
+
+    def test_recovery_without_checkpoint_uses_wal_header(self, tmp_path):
+        mgr = DurabilityManager(str(tmp_path))
+        dur = mgr.open_session("acme", "run-1")
+        dur.log_header({"proc_names": ["x"]}, {"predicate": "q"})
+        dur.log_record(1, "r1")
+        dur.flush()
+        rec = mgr.recover_session(dur.directory)
+        assert rec.tenant == "acme" and rec.session == "run-1"
+        assert rec.header == {"proc_names": ["x"]}
+        assert rec.checkpoint is None and rec.seq == 1
+        dur.destroy()
+
+    def test_crash_mid_checkpoint_keeps_previous(self, tmp_path):
+        mgr = DurabilityManager(str(tmp_path))
+        dur = mgr.open_session("t", "s")
+        dur.log_header({"h": 1}, {"predicate": "p"})
+        dur.log_record(1, "l1")
+        dur.commit_checkpoint(make_ckpt(1))
+        # a crash mid-write leaves a partial tmp file; it must be ignored
+        with open(os.path.join(dur.directory, "ckpt.json.tmp"), "w") as fh:
+            fh.write('{"v": 1, "tenant": "t", "ses')
+        rec = mgr.recover_session(dur.directory)
+        assert rec.checkpoint.seq == 1
+        dur.destroy()
+
+    def test_damaged_checkpoint_falls_back_to_wal(self, tmp_path):
+        mgr = DurabilityManager(str(tmp_path))
+        dur = mgr.open_session("t", "s")
+        dur.log_header({"h": 1}, {"predicate": "p"})
+        dur.log_record(1, "l1")
+        dur.flush()
+        with open(os.path.join(dur.directory, "ckpt.json"), "w") as fh:
+            fh.write("not json at all")
+        rec = mgr.recover_session(dur.directory)
+        assert rec.checkpoint is None
+        assert rec.records == [(1, "l1")]
+        dur.destroy()
+
+    def test_destroy_removes_session_dir(self, tmp_path):
+        mgr = DurabilityManager(str(tmp_path))
+        dur = mgr.open_session("t", "s")
+        dur.log_header({"h": 1})
+        dur.log_record(1, "x")
+        dur.commit_checkpoint(make_ckpt(1))
+        assert os.path.isdir(dur.directory)
+        dur.destroy()
+        assert not os.path.exists(dur.directory)
+        assert mgr.recover_all() == []
+
+    def test_recover_all_scans_every_tenant(self, tmp_path):
+        mgr = DurabilityManager(str(tmp_path))
+        for tenant, session in [("a", "s1"), ("a", "s2"), ("b", "s1")]:
+            dur = mgr.open_session(tenant, session)
+            dur.log_header({"h": tenant}, {"predicate": "p"})
+            dur.log_record(1, "x")
+            dur.flush()
+            dur.close()
+        recs = mgr.recover_all()
+        assert sorted((r.tenant, r.session) for r in recs) == [
+            ("a", "s1"), ("a", "s2"), ("b", "s1")]
+
+    def test_session_dir_sanitises_names(self, tmp_path):
+        d = session_dir(str(tmp_path), "a/b", "c:d e")
+        assert "/b" not in os.path.basename(os.path.dirname(d))
+        assert os.path.basename(d) == "c_d_e"
+
+    def test_fsync_always_counts_syncs(self, tmp_path):
+        mgr = DurabilityManager(str(tmp_path), fsync=FsyncPolicy.ALWAYS)
+        dur = mgr.open_session("t", "s")
+        dur.log_record(1, "x")  # must not raise; fsync per append
+        rec_before = mgr.recover_session(dur.directory)
+        assert rec_before is None  # no header yet -> nothing usable
+        dur.log_header({"h": 1})
+        assert mgr.recover_session(dur.directory) is not None
+        dur.destroy()
