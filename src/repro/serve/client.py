@@ -188,12 +188,20 @@ async def stream_events_durable(
     a :class:`~repro.serve.faulty.FaultyTransport`-style object whose
     ``send(writer, line)`` coroutine forwards (or mangles) each outgoing
     wire line -- the chaos harness's injection point.  Raises
-    :class:`StreamLostError` when the reconnect budget is spent.
+    :class:`StreamLostError` when the reconnect budget is spent; the
+    budget counts *consecutive no-progress* failures only (an attempt
+    that advanced the server's durable watermark or collected new events
+    resets it), so a stream that keeps moving survives any number of
+    connection losses.
     """
     bo = backoff or Backoff()
     events: List[Dict[str, Any]] = []
     records = [l.rstrip("\n") for l in lines[1:] if l.strip()]
     header_line = lines[0].rstrip("\n")
+    #: (durable watermark, events collected) high-water mark across
+    #: attempts -- an attempt that beats it earns a backoff reset, so the
+    #: budget only counts *consecutive* failures that made no progress
+    progress = (-1, -1)
 
     async def send(writer: asyncio.StreamWriter, line: str) -> None:
         if transport is not None:
@@ -215,12 +223,16 @@ async def stream_events_durable(
             continue
         if transport is not None:
             transport.new_connection()
-        done = await _durable_attempt(
+        done, watermark = await _durable_attempt(
             reader, writer, tenant, session, predicate,
             header_line, records, events, send, timeout,
         )
         if done:
             return events
+        marker = (watermark, len(events))
+        if marker > progress:
+            progress = marker
+            bo.reset()
         delay = bo.next_delay()
         if delay is None:
             raise StreamLostError(
@@ -241,10 +253,14 @@ async def _durable_attempt(
     events: List[Dict[str, Any]],
     send,
     timeout: float,
-) -> bool:
-    """One connection's worth of the durable protocol; ``True`` = final
-    verdict landed (the stream is complete), ``False`` = retry."""
+) -> Tuple[bool, int]:
+    """One connection's worth of the durable protocol; returns
+    ``(done, watermark)`` where ``done`` means the final verdict landed
+    (the stream is complete) and ``watermark`` is the highest durable
+    seq the server reported this attempt (``-1`` before the handshake)
+    -- the caller's progress signal for resetting its backoff."""
     pump_task: Optional[asyncio.Future] = None
+    watermark = -1
     try:
         writer.write(_hello("hello", tenant=tenant, session=session,
                             predicate=predicate, durable=True,
@@ -255,9 +271,10 @@ async def _durable_attempt(
         if not isinstance(first, dict) or first.get("e") != "_resume":
             if isinstance(first, dict) and first.get("e") == "error":
                 events.append(first)
-                return True  # refused outright (quota, protocol): final
-            return False
+                return True, watermark  # refused outright: final
+            return False, watermark
         start = int(first.get("seq", 0))
+        watermark = start
         # If the server finished and closed the session but the closing
         # events never reached us, a reconnect lands on a *fresh* session
         # that deterministically regenerates the whole event stream; the
@@ -286,22 +303,24 @@ async def _durable_attempt(
         while True:
             raw = await asyncio.wait_for(reader.readline(), timeout)
             if raw == b"":
-                return False  # server went away mid-stream: resume
+                return False, watermark  # server went away: resume
             ev = json.loads(raw.decode())
             kind = ev.get("e", "")
             if kind.startswith("_"):
-                continue  # _durable watermark acks and friends
+                if kind == "_durable":
+                    watermark = max(watermark, int(ev.get("seq", 0)))
+                continue  # in-band acks and friends
             if kind == "closed":
-                return True
+                return True, watermark
             if skip > 0:
                 skip -= 1
                 continue
             events.append(ev)
             if kind in ("final", "error"):
-                return True  # terminal event: don't risk losing 'closed'
+                return True, watermark  # terminal: don't risk 'closed'
     except (ConnectionError, OSError, asyncio.TimeoutError,
             json.JSONDecodeError, UnicodeDecodeError):
-        return False
+        return False, watermark
     finally:
         if pump_task is not None:
             pump_task.cancel()

@@ -14,7 +14,10 @@ session a crash-safe on-disk shape:
         stream header), ``rec`` (one accepted record with its durable
         ``seq``), or ``end`` (clean end-of-stream).  A torn tail (a
         partially-written last line after a crash) fails its CRC and is
-        ignored on recovery; anything *before* a corrupt line survives.
+        ignored on recovery, then truncated away when the segment is
+        re-opened for append -- so the restarted server's next append
+        starts on a fresh line instead of merging with the partial one.
+        Anything *before* a corrupt line survives.
     ``ckpt.json``
         The latest checkpoint: ``TraceStore.freeze()`` +
         ``IncrementalDetector.snapshot()`` + the session's public
@@ -66,6 +69,7 @@ _WAL_TORN = METRICS.counter("serve.wal.torn_tails")
 _CKPTS = METRICS.counter("serve.ckpt.written")
 _CKPT_BYTES = METRICS.counter("serve.ckpt.bytes")
 _RECOVERED = METRICS.counter("serve.recovered_sessions")
+_CORRUPT = METRICS.counter("serve.wal.corrupt_sessions")
 
 
 class WalCorruptError(ReproError):
@@ -151,28 +155,70 @@ class SessionWal:
         self._fh = open(self._segment_path(gen), "a", encoding="utf-8")
 
     def _scan_existing(self, current_gen: int) -> None:
-        """After a recovery re-open, learn the max seq of every surviving
-        older segment so later rolls know when each becomes garbage."""
+        """After a recovery re-open, repair each surviving segment's torn
+        tail and learn its max seq so later rolls know when it becomes
+        garbage."""
         for path in SessionWal.segments(self.directory):
             name = os.path.basename(path)
             try:
                 g = int(name[4:-4])
             except ValueError:
                 continue
-            top = 0
-            with open(path, "r", encoding="utf-8") as fh:
-                for line in fh:
-                    payload = _unframe(line.rstrip("\n"))
-                    if payload is None:
-                        continue  # torn tail; replay() polices real damage
-                    if payload.get("t") == "rec":
-                        top = max(top, int(payload.get("seq", 0)))
-                    elif payload.get("t") == "end":
-                        self._ended = True
+            top = self._repair_segment(path)
             if g == current_gen:
                 self.max_seq = top
             else:
                 self._retained[g] = top
+
+    def _repair_segment(self, path: str) -> int:
+        """Truncate ``path``'s torn tail so the next append starts on a
+        fresh line, and return the max record seq among its valid lines.
+
+        A crash mid-append leaves a partial final line; appending onto it
+        after a re-open would merge the two into a CRC-failing line
+        *mid-file*, which a later recovery must refuse
+        (:class:`WalCorruptError`) -- so the partial line is chopped here,
+        before the segment is opened for append.  A final line that is
+        CRC-valid but lost its newline is already durable, so it keeps
+        its bytes and gets the newline back.  A CRC failure anywhere
+        *else* is damage at rest and is left untouched for
+        :meth:`replay` to refuse loudly."""
+        top = 0
+        with open(path, "r+b") as fh:
+            data = fh.read()
+            chunks: List[Tuple[int, Optional[Dict[str, Any]], bool]] = []
+            pos = 0
+            while pos < len(data):
+                nl = data.find(b"\n", pos)
+                end = len(data) if nl < 0 else nl
+                if end > pos:
+                    payload = _unframe(
+                        data[pos:end].decode("utf-8", "replace"))
+                    chunks.append((pos, payload, nl >= 0))
+                pos = end if nl < 0 else end + 1
+            for _, payload, _ in chunks:
+                if payload is None:
+                    continue
+                if payload.get("t") == "rec":
+                    top = max(top, int(payload.get("seq", 0)))
+                elif payload.get("t") == "end":
+                    self._ended = True
+            if chunks:
+                start, payload, complete = chunks[-1]
+                intact_prefix = all(p is not None for _, p, _ in chunks[:-1])
+                repaired = False
+                if payload is None and intact_prefix:
+                    _WAL_TORN.inc()
+                    fh.truncate(start)
+                    repaired = True
+                elif payload is not None and not complete:
+                    fh.write(b"\n")  # position is at EOF after the read
+                    repaired = True
+                if repaired:
+                    fh.flush()
+                    if self.fsync != FsyncPolicy.NEVER:
+                        os.fsync(fh.fileno())
+        return top
 
     def _segment_path(self, gen: int) -> str:
         return os.path.join(self.directory, "wal.%06d.log" % gen)
@@ -503,7 +549,13 @@ class DurabilityManager:
         )
 
     def recover_all(self) -> List[RecoveredSession]:
-        """Scan the root for crashed sessions, oldest-path order."""
+        """Scan the root for crashed sessions, oldest-path order.
+
+        One session's WAL being damaged at rest must not keep every
+        *other* session (or the server itself) from coming back: the
+        damaged session is skipped, its files left in place for
+        forensics, and a later durable hello for its key discards them.
+        """
         out: List[RecoveredSession] = []
         try:
             tenants = sorted(os.listdir(self.root))
@@ -517,7 +569,11 @@ class DurabilityManager:
                 sdir = os.path.join(tdir, s)
                 if not os.path.isdir(sdir):
                     continue
-                rec = self.recover_session(sdir)
+                try:
+                    rec = self.recover_session(sdir)
+                except WalCorruptError:
+                    _CORRUPT.inc()
+                    continue
                 if rec is not None:
                     out.append(rec)
         return out

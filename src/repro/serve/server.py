@@ -60,7 +60,10 @@ from repro.serve.durability import (
     Checkpoint,
     DurabilityManager,
     FsyncPolicy,
+    RecoveredSession,
     SessionDurability,
+    WalCorruptError,
+    session_dir,
 )
 from repro.serve.protocol import (
     dumps_event,
@@ -231,46 +234,83 @@ class ReproServer:
         """Resurrect every session the durability root holds: park it,
         rebuild its worker state from checkpoint + WAL tail, and (for
         cleanly-ended streams) finalize.  Clients resume against the
-        parked entries with their ``have_events`` watermarks."""
+        parked entries with their ``have_events`` watermarks.  Sessions
+        that cannot be admitted (smaller quotas after a restart) stay on
+        disk untouched; a later durable hello for the same key recovers
+        or discards them (:meth:`_resurrect_leftover`) rather than
+        opening a fresh session next to the stale state."""
         for rec in self.durability.recover_all():
-            predicate = rec.opts.get("predicate")
-            if predicate is None:
+            if rec.opts.get("predicate") is None:
                 self.durability.discard(rec.tenant, rec.session)
                 continue
             try:
-                entry = self._admit(rec.tenant, rec.session, writer=None)
+                self._resurrect(rec)
             except QuotaExceededError:  # smaller quotas after restart
                 continue
-            key = entry.state.key
-            entry.durable = True
-            entry.parked = True
-            entry.opened = True
-            entry.ended = rec.ended
-            entry.header = rec.header
-            entry.predicate = predicate
-            entry.opts = {k: v for k, v in rec.opts.items()
-                          if k != "predicate"}
-            entry.accepted = entry.wal_seq = rec.seq
-            entry.last_ckpt = rec.checkpoint.seq if rec.checkpoint else 0
-            entry.events_log = (list(rec.checkpoint.events)
-                                if rec.checkpoint else [])
-            entry.restoring = True
-            entry.dur = self.durability.open_session(
-                rec.tenant, rec.session, gen=rec.gen
-            )
-            self.pool.restore(
-                key, rec.tenant, rec.session, rec.header, predicate,
-                entry.opts,
-                rec.checkpoint.snapshot if rec.checkpoint else None,
-                [line for _, line in rec.records],
-                len(entry.events_log),
-            )
-            final = next((ev for ev in entry.events_log
-                          if ev.get("e") == "final"), None)
-            if final is not None:
-                entry.final.set_result(final)
-            elif rec.ended:
-                self._finalize(key, entry)
+
+    def _resurrect(self, rec: RecoveredSession) -> _Entry:
+        """Re-admit one recovered session as a parked entry and queue the
+        worker-side rebuild.  The caller has checked ``rec`` carries a
+        predicate; raises :class:`QuotaExceededError` when the tenant
+        has no room for the session."""
+        predicate = rec.opts["predicate"]
+        entry = self._admit(rec.tenant, rec.session, writer=None)
+        key = entry.state.key
+        entry.durable = True
+        entry.parked = True
+        entry.opened = True
+        entry.ended = rec.ended
+        entry.header = rec.header
+        entry.predicate = predicate
+        entry.opts = {k: v for k, v in rec.opts.items()
+                      if k != "predicate"}
+        entry.accepted = entry.wal_seq = rec.seq
+        entry.last_ckpt = rec.checkpoint.seq if rec.checkpoint else 0
+        entry.events_log = (list(rec.checkpoint.events)
+                            if rec.checkpoint else [])
+        entry.restoring = True
+        entry.dur = self.durability.open_session(
+            rec.tenant, rec.session, gen=rec.gen
+        )
+        self.pool.restore(
+            key, rec.tenant, rec.session, rec.header, predicate,
+            entry.opts,
+            rec.checkpoint.snapshot if rec.checkpoint else None,
+            [line for _, line in rec.records],
+            len(entry.events_log),
+        )
+        final = next((ev for ev in entry.events_log
+                      if ev.get("e") == "final"), None)
+        if final is not None:
+            entry.final.set_result(final)
+        elif rec.ended:
+            self._finalize(key, entry)
+        return entry
+
+    def _resurrect_leftover(self, tenant: str, session: str
+                            ) -> Optional[_Entry]:
+        """A fresh durable hello may target a session whose on-disk
+        state survived a restart without being resurrected at start()
+        (admission failed under a tighter quota).  Recover it now --
+        resuming is what the durable client expects -- or, when the
+        leftovers are unusable (damaged at rest, no predicate), discard
+        them, so the fresh open never appends gen-0 records next to a
+        stale checkpoint.  Raises :class:`QuotaExceededError` when the
+        state is recoverable but the tenant still has no room."""
+        sdir = session_dir(self.durability.root, tenant, session)
+        if not os.path.isdir(sdir):
+            return None
+        try:
+            rec = self.durability.recover_session(sdir)
+        except WalCorruptError:
+            rec = None
+        if rec is None or rec.opts.get("predicate") is None:
+            self.durability.discard(tenant, session)
+            return None
+        # recover_session falls back to sanitised directory names when no
+        # checkpoint survived; the hello's names are authoritative here
+        rec.tenant, rec.session = tenant, session
+        return self._resurrect(rec)
 
     @property
     def endpoints(self) -> List[str]:
@@ -440,6 +480,12 @@ class ReproServer:
         """Forward buffered lines within the credit budget (shed/disconnect
         overflow handling); ``force`` ignores the batch threshold."""
         state = entry.state
+        if entry.restoring:
+            # the worker is rebuilding this session from checkpoint + WAL:
+            # hold feeds until ``_restored`` re-establishes flow control,
+            # or their later acks would refund credits into a window the
+            # restore already reset to full (blowing past the quota)
+            return
         if not entry.buffer:
             return
         if not force and len(entry.buffer) < self.config.batch:
@@ -692,16 +738,21 @@ class ReproServer:
             entry.writer = writer
         else:
             try:
-                entry = self._admit(tenant, session, writer)
+                entry = self._resurrect_leftover(tenant, session)
+                if entry is None:
+                    entry = self._admit(tenant, session, writer)
+                    entry.durable = True
+                    entry.predicate = predicate
+                    entry.opts = self._session_opts(tenant)
+                    entry.dur = self.durability.open_session(tenant, session)
+                else:
+                    entry.parked = False
+                    entry.writer = writer
             except QuotaExceededError as exc:
                 self._write_event(writer, event_error(
                     tenant, session, 0, "quota", str(exc)))
                 await _drain_close(writer)
                 return
-            entry.durable = True
-            entry.predicate = predicate
-            entry.opts = self._session_opts(tenant)
-            entry.dur = self.durability.open_session(tenant, session)
         # handshake: our watermark, then every event the client has missed
         self._write_event(writer, resume_event(entry.accepted,
                                                len(entry.events_log)))
@@ -837,6 +888,12 @@ class ReproServer:
     async def _apply_policy(self, key: str, entry: _Entry) -> None:
         """Flush the buffer; when credits run dry, do what the policy says."""
         state = entry.state
+        while entry.restoring and entry.error is None:
+            # feeding is gated during a worker-side rebuild (see _flush);
+            # park the reader here so the buffer stays bounded until the
+            # worker's ``_restored`` (or a failure) wakes it
+            entry.credit.clear()
+            await entry.credit.wait()
         self._flush(key, entry)
         if not entry.buffer or len(entry.buffer) < self.config.batch:
             return

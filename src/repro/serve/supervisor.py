@@ -41,6 +41,7 @@ import time
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.obs.metrics import METRICS
+from repro.serve.durability import WalCorruptError
 from repro.serve.protocol import event_error
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -178,8 +179,14 @@ class WorkerSupervisor:
         # replay from disk: flush the WAL's userspace buffer first so the
         # read-back below sees every line the server ever forwarded
         entry.dur.wal.flush()
-        rec = server.durability.recover_session(entry.dur.directory)
-        if rec is None:  # pragma: no cover - WAL vanished underneath us
+        try:
+            rec = server.durability.recover_session(entry.dur.directory)
+        except WalCorruptError:
+            # damage at rest mid-file: fail the one session with a typed
+            # error below instead of killing the supervisor task (which
+            # would leave every OTHER shard unwatched)
+            rec = None
+        if rec is None:
             _LOST.inc()
             ev = event_error(
                 state.tenant, state.session, state.acked, "worker-crash",

@@ -139,6 +139,32 @@ def test_reorders_only_trigger_resync_not_corruption(tmp_path):
     assert canon(got) == canon(base)
 
 
+def test_progress_resets_the_reconnect_budget(tmp_path):
+    """A link that cuts the connection every few frames, forever: the
+    stream must survive far more total losses than ``max_retries``
+    because every attempt that advances the durable watermark resets the
+    budget -- only *consecutive no-progress* failures spend it."""
+    dep, header, lines = make_stream(15, events_per_proc=10)
+    doc = stream_doc(header, lines)
+    nrec = len([l for l in doc[1:] if l.strip()])
+    ft = FaultyTransport(seed=9, cut_after=range(6, 100 * nrec, 6))
+
+    async def body():
+        base = await baseline(doc)
+        srv, connect = await start_server(str(tmp_path / "dur"),
+                                          batch=2, checkpoint_every=4)
+        got = await stream_events_durable(
+            connect, "t", "s", PREDICATE, doc,
+            backoff=Backoff(base=0.001, max_retries=3, seed=10),
+            transport=ft, timeout=15.0)
+        await srv.drain()
+        return base, got
+
+    base, got = run(body())
+    assert canon(got) == canon(base)
+    assert ft.cuts > 3  # more total losses than the whole budget
+
+
 def test_backoff_budget_exhaustion_raises_stream_lost(tmp_path):
     """A transport that cuts every connection immediately must exhaust
     the reconnect budget and surface a typed StreamLostError -- not spin

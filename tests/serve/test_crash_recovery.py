@@ -19,6 +19,7 @@ from repro.serve import (
     ReproServer,
     ServeConfig,
     SessionWal,
+    TenantQuota,
     dumps_event,
     stream_events,
     stream_events_durable,
@@ -84,11 +85,11 @@ async def start_server(tmp, **kw):
     return srv, f"127.0.0.1:{port}"
 
 
-async def send_partial(connect, doc, upto, batch=2):
+async def send_partial(connect, doc, upto, batch=2, session="s"):
     """Speak the durable protocol by hand: hdr + ``upto`` records, then
     vanish without an end marker (abnormal EOF -> the session parks)."""
     reader, writer = await open_connection(connect)
-    writer.write(_hello("hello", tenant="t", session="s",
+    writer.write(_hello("hello", tenant="t", session=session,
                         predicate=PREDICATE, durable=True, have_events=0))
     first = json.loads(await asyncio.wait_for(reader.readline(), 10))
     assert first["e"] == "_resume"
@@ -102,10 +103,10 @@ async def send_partial(connect, doc, upto, batch=2):
                                   "line": records[i]}) + "\n").encode())
     await writer.drain()
     # read until the durable watermark covers what we sent (acks are
-    # in-band, but only advance at batch boundaries -- a sub-batch tail
-    # may still sit in the server's buffer when we vanish, and resume
-    # retransmits it)
-    target = (upto // batch) * batch
+    # in-band, but only advance at batch boundaries counted from the
+    # resume offset -- a sub-batch tail may still sit in the server's
+    # buffer when we vanish, and resume retransmits it)
+    target = start + ((upto - start) // batch) * batch
     deadline = 200
     while target and deadline:
         raw = await asyncio.wait_for(reader.readline(), 10)
@@ -194,6 +195,104 @@ def test_torn_wal_tail_recovers_the_intact_prefix(tmp_path):
 
     base, evs = run(baseline_and_resume())
     assert canon(evs) == canon(base)
+
+
+def test_second_crash_after_torn_tail_still_recovers(tmp_path):
+    """The reviewer repro for the reopen bug: crash #1 tears the WAL
+    tail, the server restarts and the client resumes -- the reopened WAL
+    must truncate the partial line before appending, or the merged line
+    fails its CRC *mid-file* and crash #2's recovery either raises
+    WalCorruptError out of server.start() or silently drops a record."""
+    dep, header, lines = make_stream(5, events_per_proc=8)
+    doc = stream_doc(header, lines)
+    durable_root = str(tmp_path / "dur")
+    nrec = len([l for l in doc[1:] if l.strip()])
+
+    async def park(upto):
+        srv, connect = await start_server(durable_root, batch=2,
+                                          checkpoint_every=100)
+        await send_partial(connect, doc, upto)
+        await asyncio.sleep(0.1)
+        await srv.drain()
+
+    run(park(nrec // 3))
+    # crash #1 tore the last WAL line mid-append
+    [sdir] = [dp for dp, _, fn in os.walk(durable_root)
+              if any(f.startswith("wal.") for f in fn)]
+    seg = SessionWal.segments(sdir)[-1]
+    raw = open(seg).read()
+    assert raw.endswith("\n")
+    open(seg, "w").write(raw[: len(raw) - len(raw.splitlines()[-1]) // 2 - 1])
+
+    run(park(2 * nrec // 3))  # resume, append more, crash #2
+
+    async def baseline_and_finish():
+        srv, connect = await start_server(None)
+        base = await stream_events(connect, "t", "s", PREDICATE, doc)
+        await srv.drain()
+        srv2, connect2 = await start_server(durable_root, batch=2)
+        evs = await stream_events_durable(
+            connect2, "t", "s", PREDICATE, doc,
+            backoff=Backoff(base=0.01, max_retries=50, seed=5), timeout=15.0)
+        await srv2.drain()
+        return base, evs
+
+    base, evs = run(baseline_and_finish())
+    assert canon(evs) == canon(base)
+
+
+def test_quota_skipped_leftover_resumes_on_later_hello(tmp_path):
+    """Recovery may skip an on-disk session when quotas shrank across a
+    restart.  A later durable hello for that key must resume from the
+    on-disk watermark -- not admit a fresh session whose gen-0 appends
+    land next to the stale checkpoint and duplicate every seq."""
+    dep, header, lines = make_stream(16, events_per_proc=8)
+    doc = stream_doc(header, lines)
+    durable_root = str(tmp_path / "dur")
+    nrec = len([l for l in doc[1:] if l.strip()])
+
+    async def body():
+        # park two sessions mid-stream, then "crash" the server
+        srv, connect = await start_server(durable_root, batch=2,
+                                          checkpoint_every=3)
+        await send_partial(connect, doc, nrec // 2, session="s1")
+        await send_partial(connect, doc, nrec // 2, session="s2")
+        await asyncio.sleep(0.1)
+        await srv.drain()
+
+        # restart with room for one stream: recovery admits s1 only
+        srv2, connect2 = await start_server(
+            durable_root, batch=2, checkpoint_every=3,
+            quota=TenantQuota(max_streams=1))
+        assert sorted(srv2._entries) == ["t/s1"]
+        # finishing s1 frees its quota slot and destroys its state
+        await stream_events_durable(
+            connect2, "t", "s1", PREDICATE, doc,
+            backoff=Backoff(base=0.01, max_retries=50, seed=6), timeout=15.0)
+        # a durable hello for s2 must resurrect the leftover: the resume
+        # watermark is the on-disk seq, not a fresh session's 0
+        reader, writer = await open_connection(connect2)
+        writer.write(_hello("hello", tenant="t", session="s2",
+                            predicate=PREDICATE, durable=True,
+                            have_events=0))
+        first = json.loads(await asyncio.wait_for(reader.readline(), 10))
+        assert first["e"] == "_resume"
+        assert first["seq"] > 0, "leftover state was not resumed"
+        writer.transport.abort()  # parks s2 again
+        await asyncio.sleep(0.05)
+        evs = await stream_events_durable(
+            connect2, "t", "s2", PREDICATE, doc,
+            backoff=Backoff(base=0.01, max_retries=50, seed=7), timeout=15.0)
+        await srv2.drain()
+        return evs
+
+    evs = run(body())
+    assert_final_matches_batch(
+        [e for e in evs if e.get("e") == "final"][-1], dep)
+    # both sessions completed cleanly: no on-disk residue anywhere
+    leftovers = [os.path.join(dp, f)
+                 for dp, _, files in os.walk(durable_root) for f in files]
+    assert leftovers == []
 
 
 def test_completed_durable_session_is_deterministic_across_restart(tmp_path):

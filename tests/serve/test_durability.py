@@ -149,6 +149,86 @@ class TestWal:
         assert payloads(d) == []
         wal2.close()
 
+    def test_reopen_truncates_torn_tail_before_appending(self, tmp_path):
+        """The second-crash regression: re-opening a WAL whose last line
+        was torn by a crash must not concatenate the next append onto
+        the partial line -- the merged line would fail its CRC mid-file
+        and turn the *next* recovery into a WalCorruptError (or silently
+        drop the record the merge swallowed)."""
+        d = wal_dir(tmp_path)
+        wal = SessionWal(d)
+        wal.append_record(1, "a")
+        wal.append_record(2, "b")
+        wal.flush()
+        wal.close()
+        path = SessionWal.segments(d)[0]
+        with open(path, "a") as fh:  # kill -9 mid-append of record 3
+            fh.write("deadbeef {\"t\":\"rec\",\"seq\":3,")
+        wal2 = SessionWal(d)  # the restarted server re-opens gen 0
+        assert wal2.max_seq == 2  # the torn record was never durable
+        wal2.append_record(3, "c")
+        wal2.flush()
+        wal2.close()
+        got = payloads(d)  # the second recovery: no corruption, no loss
+        assert [(p["seq"], p["line"]) for p in got] == [
+            (1, "a"), (2, "b"), (3, "c")]
+
+    def test_reopen_completes_missing_final_newline(self, tmp_path):
+        """A crash can land a whole final line but not its newline; the
+        record is durable (its CRC passes) so the re-open must keep it
+        and still start the next append on a fresh line."""
+        d = wal_dir(tmp_path)
+        wal = SessionWal(d)
+        wal.append_record(1, "a")
+        wal.flush()
+        wal.close()
+        path = SessionWal.segments(d)[0]
+        raw = open(path).read()
+        assert raw.endswith("\n")
+        open(path, "w").write(raw[:-1])
+        wal2 = SessionWal(d)
+        assert wal2.max_seq == 1
+        wal2.append_record(2, "b")
+        wal2.flush()
+        wal2.close()
+        assert [p["seq"] for p in payloads(d)] == [1, 2]
+
+    def test_reopen_leaves_mid_file_damage_for_replay(self, tmp_path):
+        """Damage at rest (a bad line with valid lines after it) is not
+        a torn tail: the re-open must not destroy the evidence, and
+        replay must still refuse to guess."""
+        d = wal_dir(tmp_path)
+        wal = SessionWal(d)
+        wal.append_record(1, "a")
+        wal.append_record(2, "b")
+        wal.flush()
+        wal.close()
+        path = SessionWal.segments(d)[0]
+        lines = open(path).read().splitlines()
+        lines[0] = "0" * 8 + " " + lines[0][9:]  # break line 1's CRC
+        open(path, "w").write("\n".join(lines) + "\n")
+        SessionWal(d).close()
+        with pytest.raises(WalCorruptError):
+            payloads(d)
+
+    def test_recover_all_skips_damaged_sessions(self, tmp_path):
+        """One session's at-rest damage must not keep the others (or the
+        server) from coming back."""
+        mgr = DurabilityManager(str(tmp_path))
+        for session in ("bad", "good"):
+            dur = mgr.open_session("t", session)
+            dur.log_header({"h": 1}, {"predicate": "p"})
+            dur.log_record(1, "x")
+            dur.log_record(2, "y")
+            dur.flush()
+            dur.close()
+        seg = SessionWal.segments(session_dir(str(tmp_path), "t", "bad"))[0]
+        lines = open(seg).read().splitlines()
+        lines[1] = "0" * 8 + " " + lines[1][9:]  # damage before the tail
+        open(seg, "w").write("\n".join(lines) + "\n")
+        recs = mgr.recover_all()
+        assert [(r.tenant, r.session) for r in recs] == [("t", "good")]
+
     def test_fsync_validation(self):
         with pytest.raises(ValueError):
             FsyncPolicy.validate("sometimes")

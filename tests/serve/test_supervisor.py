@@ -17,6 +17,7 @@ from repro.serve import (
     Backoff,
     ReproServer,
     ServeConfig,
+    TenantQuota,
     dumps_event,
     stream_events,
     stream_events_durable,
@@ -152,6 +153,45 @@ def test_budget_exhausted_shard_is_abandoned_and_repinned(tmp_path):
     if new_shard is not None:  # session may already have finished
         assert new_shard != shard
     assert canon(evs) == canon(base)
+
+
+def test_restore_never_inflates_the_credit_window(tmp_path):
+    """Feeds pushed while a worker rebuild is in flight must be held:
+    if they reach the pool before ``_restored`` resets the window to
+    full, their acks refund credits *past* ``max_buffered_events`` and
+    the flow-control quota silently widens."""
+    dep, header, lines = make_stream(23, events_per_proc=14)
+    doc = stream_doc(header, lines)
+    quota = TenantQuota(max_streams=4, max_buffered_events=8)
+
+    async def body():
+        srv, connect = await start_server(
+            workers=2, supervise=True, durable_dir=str(tmp_path / "dur"),
+            checkpoint_every=4, batch=2, quota=quota,
+            heartbeat_interval=0.05, restart_backoff=0.01,
+            tenant_opts={"t": {"delay_per_record": 0.01}})
+        over = []
+        orig = srv._dispatch
+
+        def spy(key, events):
+            orig(key, events)
+            for e in srv._entries.values():
+                if e.state.credits > e.state.quota.max_buffered_events:
+                    over.append((key, e.state.credits))
+
+        srv._dispatch = spy
+        kill = asyncio.ensure_future(kill_session_shard(srv))
+        evs = await stream_events_durable(
+            connect, "t", "s", PREDICATE, doc,
+            backoff=Backoff(base=0.01, max_retries=50, seed=6), timeout=30.0)
+        await kill
+        await srv.drain()
+        return evs, over
+
+    evs, over = run(body())
+    assert over == []
+    assert_final_matches_batch(
+        [e for e in evs if e.get("e") == "final"][-1], dep)
 
 
 # -- Backoff schedule ------------------------------------------------------
