@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""CI smoke test for ``repro detect --engine parallel``.
+
+Drives the real CLI end to end: generates a trace with known false
+states, runs ``repro detect --engine parallel --workers 2`` in a real
+process-backed pool and compares every output line that carries a verdict
+against ``--engine slice`` -- the exact regression surface of PR 8,
+where a process pool used to hand back all-ones tables and the CLI would
+happily print "predicate holds" on a violated trace.
+
+Checks:
+
+* verdict lines and exit codes are byte-identical between the parallel
+  and serial slicing engines, on a violated trace and on a clean one;
+* the ``slice states`` work counter printed by ``[detect]`` matches
+  between engines (the accounting contract of
+  ``tests/detection/test_walk_counters.py``);
+* ``--workers`` / ``--chunk-states`` are accepted and change nothing
+  about the verdict.
+
+On a single-CPU runner the parallel engine still runs (chunks just
+serialise); the script prints a notice and keeps the byte-identity
+checks, which hold regardless of core count.
+
+Run as ``PYTHONPATH=src python scripts/parallel_smoke.py``; exits
+non-zero on the first deviation.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.trace.io import dump_deposet  # noqa: E402
+from repro.workloads import random_deposet  # noqa: E402
+
+FAILURES: list = []
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    mark = "ok" if ok else "FAIL"
+    print(f"[{mark}] {label}" + (f" -- {detail}" if not ok and detail else ""))
+    if not ok:
+        FAILURES.append(label)
+
+
+def run_detect(trace: Path, *extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "detect", str(trace),
+         "--predicate", "at-least-one:up", *extra],
+        capture_output=True, text=True,
+        env={**os.environ,
+             "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")},
+    )
+
+
+def verdict_lines(proc: subprocess.CompletedProcess) -> list:
+    # everything except the engine-tagged counter line, which is allowed
+    # to differ in the `chunks=` field only
+    return [ln for ln in proc.stdout.splitlines()
+            if not ln.startswith("[detect]")]
+
+
+def slice_states(proc: subprocess.CompletedProcess) -> str:
+    for ln in proc.stdout.splitlines():
+        if ln.startswith("[detect]"):
+            for part in ln.split():
+                if part.startswith("states="):
+                    return part
+    return "<missing>"
+
+
+def main() -> int:
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        print(f"[notice] single-CPU runner (cpus={cpus}): parallel chunks "
+              "serialise; byte-identity checks still apply")
+
+    with tempfile.TemporaryDirectory() as td:
+        violated = Path(td) / "violated.json"
+        clean = Path(td) / "clean.json"
+        dump_deposet(random_deposet(
+            n=3, events_per_proc=25, message_rate=0.3, flip_rate=0.3, seed=5,
+        ), violated)
+        dump_deposet(random_deposet(
+            n=3, events_per_proc=10, message_rate=0.3, flip_rate=0.0,
+            start_true_prob=1.0, seed=7,
+        ), clean)
+
+        for name, trace, want_rc in (("violated", violated, 1),
+                                     ("clean", clean, 0)):
+            serial = run_detect(trace, "--engine", "slice")
+            par = run_detect(trace, "--engine", "parallel",
+                             "--workers", "2", "--chunk-states", "8")
+            check(f"{name}: serial exit code {want_rc}",
+                  serial.returncode == want_rc, serial.stdout + serial.stderr)
+            check(f"{name}: parallel exit code matches serial",
+                  par.returncode == serial.returncode,
+                  par.stdout + par.stderr)
+            check(f"{name}: verdict lines byte-identical",
+                  verdict_lines(par) == verdict_lines(serial),
+                  f"{verdict_lines(par)} vs {verdict_lines(serial)}")
+            check(f"{name}: slice-states accounting matches",
+                  slice_states(par) == slice_states(serial),
+                  f"{slice_states(par)} vs {slice_states(serial)}")
+
+        # worker count must not change the verdict
+        base = verdict_lines(run_detect(violated, "--engine", "parallel",
+                                        "--workers", "1"))
+        for w in ("2", "4"):
+            got = verdict_lines(run_detect(violated, "--engine", "parallel",
+                                           "--workers", w))
+            check(f"workers={w} verdict identical to workers=1",
+                  got == base, f"{got} vs {base}")
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} check(s) failed: {FAILURES}")
+        return 1
+    print("\nparallel smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,8 @@ Commands::
     python -m repro info trace.json
     python -m repro render trace.json --predicate at-least-one:up
     python -m repro detect trace.json --predicate at-least-one:up [--all]
+    python -m repro detect trace.json --predicate at-least-one:up \
+        --engine parallel --workers 4 --chunk-states 512
     python -m repro control trace.json --predicate mutex:cs -o fixed.json
     python -m repro replay fixed.json -o replayed.json
     python -m repro ingest trace.json -o stream.jsonl   # batch <-> stream
@@ -125,9 +127,15 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         from repro.obs import METRICS
 
         bad = pred.negated() if hasattr(pred, "negated") else ~pred
+        kwargs = {}
+        if args.engine == "parallel":
+            if args.workers is not None:
+                kwargs["max_workers"] = args.workers
+            if args.chunk_states is not None:
+                kwargs["chunk_states"] = args.chunk_states
         try:
             with METRICS.scoped() as scope:
-                witness = possibly(dep, bad, engine=args.engine)
+                witness = possibly(dep, bad, engine=args.engine, **kwargs)
         except NotRegularError as exc:
             print(f"engine {args.engine!r} needs a regular predicate: {exc}")
             return 2
@@ -724,6 +732,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="detection engine (default: conjunctive fast path; "
                         "'slice' is the polynomial slicing engine, 'auto' "
                         "falls back to 'exhaustive' for non-regular predicates)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process/thread count for --engine parallel "
+                        "(default: cpu count)")
+    p.add_argument("--chunk-states", type=int, default=None, dest="chunk_states",
+                   help="states per parallel work chunk (default: 256)")
     p.set_defaults(fn=_cmd_detect)
 
     p = sub.add_parser("control", help="off-line predicate control")

@@ -8,8 +8,11 @@ One front door over the two detection implementations:
 * ``slice`` -- the polynomial slicing engine in
   :mod:`repro.slicing.detect`: regular predicates only
   (``pred.is_regular()``);
-* ``parallel`` -- the slicing engine with chunk-parallel truth tables
-  (:mod:`repro.slicing.parallel`);
+* ``parallel`` -- the slicing engine with multi-core chunk-parallel truth
+  tables (:mod:`repro.slicing.parallel`): compiled-IR conjuncts are
+  evaluated by worker processes over shared-memory columns, opaque
+  closures fall back to fork-inherited or thread workers.  Tune with
+  ``max_workers``/``chunk_states``/``backend`` kwargs;
 * ``auto`` (default) -- routed through the static predicate classifier
   (:func:`repro.analysis.classifier.classify`): ``slice`` when the
   derived class is regular, else ``exhaustive``.  The classifier reuses
@@ -64,8 +67,8 @@ def possibly(
     All engines agree on ``None``-ness; the witness cut may differ (the
     slice engine returns the lattice-least witness, the exhaustive engine
     the first in enumeration order).  ``kwargs`` pass through to the
-    selected engine (e.g. ``max_workers``/``chunk_states`` for
-    ``parallel``).
+    selected engine (e.g. ``max_workers``/``chunk_states``/``backend``
+    for ``parallel``).
     """
     which = _resolve(pred, engine)
     if which == "exhaustive":

@@ -14,12 +14,24 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, TYPE_CHECKING
 from repro.errors import NotDisjunctiveError
 from repro.predicates.base import Predicate, StateInfo, TruePredicate, FalsePredicate
 from repro.predicates.boolean import And, Not, Or
+from repro.predicates.expr import (
+    AllExpr,
+    AnyExpr,
+    ConstExpr,
+    Expr,
+    NotExpr,
+)
 from repro.predicates.local import LocalPredicate
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.trace.deposet import Deposet
 
-__all__ = ["DisjunctivePredicate", "as_disjunctive", "fold_local"]
+__all__ = [
+    "DisjunctivePredicate",
+    "as_disjunctive",
+    "fold_local",
+    "lower_one_proc",
+]
 
 
 class DisjunctivePredicate(Predicate):
@@ -120,7 +132,41 @@ def fold_local(pred: Predicate) -> Optional[LocalPredicate]:
     def fn(info: StateInfo, _pred=pred) -> bool:
         return _EvalOneProc(proc, info).run(_pred)
 
-    return LocalPredicate(proc, fn, name=f"fold({pred!r})")
+    return LocalPredicate(
+        proc, fn, name=f"fold({pred!r})", expr=lower_one_proc(pred)
+    )
+
+
+def lower_one_proc(pred: Predicate) -> Optional[Expr]:
+    """Lower a one-process predicate subtree into the picklable IR.
+
+    Mirrors :class:`_EvalOneProc` node for node; returns ``None`` when any
+    leaf is an opaque callable (a :class:`LocalPredicate` built without an
+    ``expr``), in which case callers fall back to closure evaluation.
+    """
+    if isinstance(pred, LocalPredicate):
+        return pred.expr
+    if isinstance(pred, TruePredicate):
+        return ConstExpr(True)
+    if isinstance(pred, FalsePredicate):
+        return ConstExpr(False)
+    if isinstance(pred, Not):
+        sub = lower_one_proc(pred.operand)
+        return NotExpr(sub) if sub is not None else None
+    if isinstance(pred, (And, Or)):
+        subs = [lower_one_proc(op) for op in pred.operands]
+        if any(s is None for s in subs):
+            return None
+        if not subs:  # pragma: no cover - _NaryOp requires operands
+            return ConstExpr(isinstance(pred, And))
+        node = AllExpr if isinstance(pred, And) else AnyExpr
+        return node(tuple(subs))
+    if isinstance(pred, DisjunctivePredicate):
+        subs = [lower_one_proc(d) for d in pred.locals_by_proc.values()]
+        if any(s is None for s in subs):
+            return None
+        return AnyExpr(tuple(subs))
+    return None
 
 
 class _EvalOneProc:

@@ -68,6 +68,11 @@ def local_truth_table(dep: "Deposet", pred: DisjunctivePredicate) -> List[np.nda
         m = dep.state_counts[i]
         if local is None:
             table.append(np.zeros(m, dtype=bool))
+        elif local.expr is not None:
+            # Structured disjunct: one vectorised pass over the packed
+            # columns instead of m StateInfo round trips.
+            block = dep.column_block(i, sorted(local.expr.var_names()))
+            table.append(local.expr.eval_block(block, 0, m))
         else:
             table.append(
                 np.fromiter(

@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, FrozenSet, Sequence, TYPE_CHECKING
+from typing import Any, Callable, FrozenSet, Optional, Sequence, TYPE_CHECKING
 
 from repro.predicates.base import Predicate, StateInfo
+from repro.predicates.expr import (
+    Expr,
+    IndexAtLeast,
+    IndexLess,
+    NotExpr,
+    VarEquals,
+    VarTruthy,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.trace.deposet import Deposet
@@ -22,14 +30,27 @@ class LocalPredicate(Predicate):
     * :meth:`var_true` / :meth:`var_equals` -- single-variable tests;
     * :meth:`after` / :meth:`at_or_after` / :meth:`before` -- index tests,
       which express the paper's "x must happen before y" controls.
+
+    The structured constructors additionally carry ``expr``, a picklable
+    :class:`~repro.predicates.expr.Expr` with the same semantics as ``fn``.
+    The slicing engines use it for vectorised and multi-process evaluation;
+    ``expr is None`` (raw callables, :meth:`from_vars`) means the predicate
+    can only be evaluated in-process via ``fn``.
     """
 
-    def __init__(self, proc: int, fn: Callable[[StateInfo], bool], name: str = ""):
+    def __init__(
+        self,
+        proc: int,
+        fn: Callable[[StateInfo], bool],
+        name: str = "",
+        expr: Optional[Expr] = None,
+    ):
         if proc < 0:
             raise ValueError(f"invalid process {proc}")
         self.proc = proc
         self.fn = fn
         self.name = name or f"l_{proc}"
+        self.expr = expr
 
     # -- constructors --------------------------------------------------------
 
@@ -44,14 +65,20 @@ class LocalPredicate(Predicate):
     def var_true(cls, proc: int, var: str) -> "LocalPredicate":
         """``vars[var]`` is truthy (missing variables read as false)."""
         return cls(
-            proc, lambda s: bool(s.vars.get(var, False)), f"{var}@{proc}"
+            proc,
+            lambda s: bool(s.vars.get(var, False)),
+            f"{var}@{proc}",
+            expr=VarTruthy(var),
         )
 
     @classmethod
     def var_false(cls, proc: int, var: str) -> "LocalPredicate":
         """``vars[var]`` is falsy or missing."""
         return cls(
-            proc, lambda s: not s.vars.get(var, False), f"!{var}@{proc}"
+            proc,
+            lambda s: not s.vars.get(var, False),
+            f"!{var}@{proc}",
+            expr=NotExpr(VarTruthy(var)),
         )
 
     @classmethod
@@ -60,6 +87,7 @@ class LocalPredicate(Predicate):
             proc,
             lambda s: s.vars.get(var) == value,
             f"{var}=={value!r}@{proc}",
+            expr=VarEquals(var, value),
         )
 
     @classmethod
@@ -69,7 +97,12 @@ class LocalPredicate(Predicate):
         The paper's "after x": the event producing state ``index`` has
         happened.
         """
-        return cls(proc, lambda s: s.index >= index, f"after[{proc},{index}]")
+        return cls(
+            proc,
+            lambda s: s.index >= index,
+            f"after[{proc},{index}]",
+            expr=IndexAtLeast(index),
+        )
 
     @classmethod
     def before(cls, proc: int, index: int) -> "LocalPredicate":
@@ -77,7 +110,12 @@ class LocalPredicate(Predicate):
 
         The paper's "before y".
         """
-        return cls(proc, lambda s: s.index < index, f"before[{proc},{index}]")
+        return cls(
+            proc,
+            lambda s: s.index < index,
+            f"before[{proc},{index}]",
+            expr=IndexLess(index),
+        )
 
     # -- Predicate protocol ----------------------------------------------------
 

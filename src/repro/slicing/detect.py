@@ -27,9 +27,13 @@ Metrics (all under ``detection.slice.*``):
 
 * ``walks``      -- +1 per public call, mirroring ``detection.lattice_walks``;
 * ``states``     -- work units: one per *local* state whose conjunct was
-  evaluated (truth-table build) plus one per *global* cut the search
-  materialised.  Comparable against ``detection.lattice_states`` -- both
-  count predicate-evaluation work -- which is the E14 ratio;
+  **actually evaluated** (truth-table build: unconstrained processes and
+  the constant-false short-circuit contribute nothing) plus one per
+  *global* cut the search materialised.  The serial and parallel engines
+  charge identically (see :func:`_table_states`; contract pinned in
+  ``tests/detection/test_walk_counters.py``).  Comparable against
+  ``detection.lattice_states`` -- both count predicate-evaluation work --
+  which is the E14 ratio;
 * ``fallbacks``  -- +1 per :class:`NotRegularError` raised.
 """
 
@@ -66,6 +70,21 @@ def _require_regular(pred: Predicate) -> RegularForm:
     return form
 
 
+def _table_states(form: RegularForm, dep: Deposet) -> int:
+    """Work units of one truth-table build over ``dep``.
+
+    One per local state whose conjunct is actually evaluated: only the
+    processes named in ``form.conjuncts`` count (unconstrained rows are a
+    single ``np.ones``), and a constant-false short-circuit builds no
+    tables at all, so it counts zero.  Both the serial and the parallel
+    driver charge exactly this.
+    """
+    if form.constants_false(dep):
+        return 0
+    counts = dep.state_counts
+    return sum(counts[i] for i in form.conjuncts)
+
+
 def slice_of(
     dep: Deposet,
     pred: Predicate,
@@ -76,12 +95,16 @@ def slice_of(
 
     ``tables`` short-circuits the truth-table build (the parallel driver
     precomputes them); counted work then covers only the sweeps.
-    Raises :class:`NotRegularError` outside the regular class.
+    Raises :class:`NotRegularError` outside the regular class, and
+    ``ValueError`` when the predicate constrains a process ``dep`` lacks
+    -- also when precomputed ``tables`` are passed, so the serial and
+    parallel engines reject malformed input identically.
     """
     form = _require_regular(pred)
+    form.validate_for(dep)
     if tables is None:
         tables = form.truth_tables(dep)
-        _SLICE_STATES.inc(dep.num_states)
+        _SLICE_STATES.inc(_table_states(form, dep))
     return compute_slice(dep, tables)
 
 
@@ -158,11 +181,13 @@ def _definitely_from_slice(sl: ComputationSlice) -> bool:
         if cut == top or any(c > M[i] for i, c in enumerate(cut)):
             verdict = False
             break
-        for nxt in lat.subset_successors(cut):
-            if nxt in visited:
-                continue
-            visited.add(nxt)
-            if not sl.in_tables(nxt):
+        fresh = [nxt for nxt in lat.subset_successors(cut) if nxt not in visited]
+        if not fresh:
+            continue
+        visited.update(fresh)
+        satisfied = sl.in_tables_many(fresh)
+        for nxt, sat in zip(fresh, satisfied):
+            if not sat:
                 stack.append(nxt)
             elif trace_on:
                 TRACER.event("slice.blocked", cut=list(nxt))

@@ -1,20 +1,49 @@
-"""Work-splitting parallel driver for the slicing engine.
+"""Multi-core parallel driver for the slicing engine.
 
 The slicing engine's dominant cost on long traces is embarrassingly
 parallel: evaluating each process's local conjunct over its state sequence
 (the truth tables).  This driver splits that work into per-process
-*state-interval chunks* and fans them out over ``concurrent.futures``,
-then hands the assembled tables to the serial sweeps/search in
+*state-interval chunks*, fans the chunks out over worker processes (or
+threads), and hands the assembled tables to the serial sweeps/search in
 :mod:`repro.slicing.detect` -- so parallel and serial verdicts agree by
 construction of everything past the tables.
 
-Executor choice: **threads**, not processes.  Local predicates are closures
-(``LocalPredicate.fn`` is typically a lambda over state vars) and do not
-pickle, so a process pool cannot ship them; a thread pool ships nothing.
-Under the GIL, pure-Python conjuncts gain little wall time -- the value
-here is the chunked work-splitting structure itself (chunks are the unit a
-free-threaded build or a native-code conjunct parallelises over) and the
-per-chunk accounting (``detection.slice.parallel_chunks``).
+Chunk protocol
+--------------
+Workers **return** ``(proc, start, stop, packed_bits)`` results -- a
+``np.packbits`` of the chunk's truth row -- and the parent assembles the
+tables from what comes back.  Nothing is communicated through shared
+closure state: an earlier revision filled the tables by in-place mutation
+inside a closure, which a process pool silently cannot propagate (children
+mutate their own copies; the parent kept its ``np.ones`` initialisation).
+The regression for that bug lives in ``tests/slicing/test_parallel_process.py``.
+
+Backends
+--------
+Which worker backend runs is decided per call (``backend="auto"``):
+
+* **serial** -- ``workers <= 1`` or a single chunk: evaluate inline, using
+  the same vectorised kernels as the serial engine.
+* **shm** -- the conjuncts compile to the picklable expression IR
+  (:meth:`RegularForm.compiled`) and every referenced variable packs into
+  a native-dtype column: the columnar ``TraceStore``/``Deposet`` arrays
+  are copied once into one ``multiprocessing.shared_memory`` segment,
+  workers attach zero-copy, and each task ships only
+  ``(expr, proc, start, stop)``.
+* **tasks** -- compiled IR but some column is object-dtype (strings,
+  ``None``\\ s, mixed types): each task pickles its narrowed column chunk.
+  Correct for any executor, including a caller-supplied process pool.
+* **fork** -- opaque conjuncts (closures, which do not pickle) on a
+  platform with ``fork``: the deposet and form are published in a module
+  global just before the pool starts, so children inherit them through
+  copy-on-write pages and tasks are bare ``(proc, start, stop)`` triples.
+* **threads** -- opaque conjuncts and no ``fork``: the pre-existing
+  thread-pool path (correct always; little wall-time gain under the GIL).
+
+A caller-supplied ``executor`` is used as-is with returned-result tasks:
+compiled predicates work on thread *and* process pools; opaque closures
+work on thread pools and raise the executor's pickle error -- loudly, not
+silently -- on process pools.
 
 Chunk size defaults to whole processes when traces are short, and splits a
 process's sequence into ``chunk_states``-sized intervals when long, so n=2
@@ -23,39 +52,216 @@ with 10^5 states still fans out.
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ThreadPoolExecutor
-from typing import List, Optional, Tuple
+import os
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
 from repro.predicates.base import Predicate
+from repro.predicates.expr import Expr
 from repro.slicing.detect import (
     _require_regular,
+    _table_states,
     definitely_slice,
     possibly_slice,
     _SLICE_STATES,
 )
+from repro.slicing.regular import RegularForm
+from repro.store.columns import ColumnBlock
 from repro.trace.deposet import Deposet
 from repro.trace.global_state import Cut
 
-__all__ = ["parallel_truth_tables", "possibly_parallel", "definitely_parallel"]
+__all__ = [
+    "parallel_truth_tables",
+    "possibly_parallel",
+    "definitely_parallel",
+    "BACKENDS",
+]
 
 _PARALLEL_CHUNKS = METRICS.counter("detection.slice.parallel_chunks")
 
 DEFAULT_CHUNK_STATES = 256
 
+BACKENDS = ("auto", "serial", "threads", "shm", "tasks", "fork")
 
-def _chunks(
-    dep: Deposet, chunk_states: int
-) -> List[Tuple[int, int, int]]:
+ChunkJob = Tuple[int, int, int]
+ChunkResult = Tuple[int, int, int, np.ndarray]
+
+
+def _chunks(dep: Deposet, chunk_states: int) -> List[ChunkJob]:
     """``(proc, start, stop)`` state intervals covering the whole deposet."""
-    out: List[Tuple[int, int, int]] = []
+    out: List[ChunkJob] = []
     for i, m in enumerate(dep.state_counts):
         for start in range(0, m, chunk_states):
             out.append((i, start, min(start + chunk_states, m)))
     return out
+
+
+# -- chunk kernels (every backend funnels through these) ---------------------
+
+
+def _chunk_bits(
+    dep: Deposet, form: RegularForm, proc: int, start: int, stop: int
+) -> np.ndarray:
+    """One chunk's truth row, in-process: IR kernel when available."""
+    local = form.conjuncts[proc]
+    if local.expr is not None:
+        block = dep.column_block(proc, sorted(local.expr.var_names()))
+        return local.expr.eval_block(block, start, stop)
+    return np.fromiter(
+        (local.holds_at(dep, a) for a in range(start, stop)),
+        dtype=bool,
+        count=stop - start,
+    )
+
+
+def _pack(proc: int, start: int, stop: int, bits: np.ndarray) -> ChunkResult:
+    return proc, start, stop, np.packbits(bits)
+
+
+def _eval_expr_chunk(
+    expr: Expr, block: ColumnBlock, proc: int, start: int, stop: int
+) -> ChunkResult:
+    """Task for the ``tasks`` backend / caller-supplied executors.
+
+    ``block`` is the chunk's narrowed column block (row 0 = state
+    ``start``); everything in the argument tuple pickles, so this runs on
+    thread and process pools alike.
+    """
+    return _pack(proc, start, stop, expr.eval_block(block, 0, stop - start))
+
+
+def _eval_closure_chunk(
+    dep: Deposet, form: RegularForm, job: ChunkJob
+) -> ChunkResult:
+    """Task for thread pools (and the loud-failure path of process pools
+    handed opaque closures -- the lambda inside ``form`` does not pickle)."""
+    proc, start, stop = job
+    return _pack(proc, start, stop, _chunk_bits(dep, form, proc, start, stop))
+
+
+# -- fork backend: children inherit the context through copy-on-write --------
+
+_FORK_CTX: Optional[Tuple[Deposet, RegularForm]] = None
+_FORK_LOCK = threading.Lock()
+
+
+def _eval_fork_chunk(job: ChunkJob) -> ChunkResult:
+    ctx = _FORK_CTX
+    assert ctx is not None, "fork worker started without a published context"
+    dep, form = ctx
+    proc, start, stop = job
+    return _pack(proc, start, stop, _chunk_bits(dep, form, proc, start, stop))
+
+
+# -- shm backend: workers attach to one shared column segment ----------------
+
+ShmLayout = List[Tuple[int, str, str, int, int]]  # (proc, var, dtype, offset, m)
+
+_WORKER_BLOCKS: Optional[Dict[int, ColumnBlock]] = None
+_WORKER_SHM = None
+
+
+def _attach_shm(name: str, layout: ShmLayout, counts: Dict[int, int]) -> None:
+    """Pool initializer: map the parent's column segment into this worker."""
+    global _WORKER_BLOCKS, _WORKER_SHM
+    from multiprocessing import shared_memory
+
+    # Attaching registers the segment with the resource tracker again
+    # (Python < 3.13 has no track=False), but the tracker is shared across
+    # the process tree and its cache is a set, so the duplicate collapses;
+    # the parent's unlink() balances the single entry.  Unregistering here
+    # would over-remove and make the tracker log spurious KeyErrors.
+    shm = shared_memory.SharedMemory(name=name)
+    _WORKER_SHM = shm
+    columns: Dict[int, Dict[str, np.ndarray]] = {}
+    for proc, var, dtype, offset, m in layout:
+        columns.setdefault(proc, {})[var] = np.ndarray(
+            (m,), dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+        )
+    _WORKER_BLOCKS = {
+        proc: ColumnBlock(m=counts[proc], columns=columns.get(proc, {}))
+        for proc in counts
+    }
+
+
+def _eval_shm_chunk(expr: Expr, proc: int, start: int, stop: int) -> ChunkResult:
+    assert _WORKER_BLOCKS is not None, "shm worker started without attaching"
+    return _pack(proc, start, stop, expr.eval_block(_WORKER_BLOCKS[proc], start, stop))
+
+
+def _shm_segment(
+    blocks: Dict[int, ColumnBlock]
+) -> Tuple[Any, ShmLayout]:
+    """Copy every native column into one fresh shared-memory segment."""
+    from multiprocessing import shared_memory
+
+    layout: ShmLayout = []
+    offset = 0
+    specs: List[Tuple[int, str, np.ndarray, int]] = []
+    for proc in sorted(blocks):
+        for var, col in sorted(blocks[proc].columns.items()):
+            offset = -(-offset // 16) * 16  # keep every array 16-byte aligned
+            specs.append((proc, var, col, offset))
+            layout.append((proc, var, col.dtype.str, offset, len(col)))
+            offset += col.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for proc, var, col, off in specs:
+        dst = np.ndarray((len(col),), dtype=col.dtype, buffer=shm.buf, offset=off)
+        dst[:] = col
+    return shm, layout
+
+
+# -- driver ------------------------------------------------------------------
+
+
+def _assemble(
+    tables: List[np.ndarray], results: Iterable[ChunkResult]
+) -> List[np.ndarray]:
+    for proc, start, stop, packed in results:
+        tables[proc][start:stop] = np.unpackbits(
+            packed, count=stop - start
+        ).astype(bool)
+    return tables
+
+
+def _pick_backend(
+    backend: str, form: RegularForm, blocks: Optional[Dict[int, ColumnBlock]]
+) -> str:
+    compiled = form.compiled() is not None
+    if backend != "auto":
+        if backend in ("shm", "tasks") and not compiled:
+            raise ValueError(
+                f"backend={backend!r} needs conjuncts that compile to the "
+                f"expression IR; these are opaque closures"
+            )
+        if backend == "shm" and (
+            blocks is None or not all(b.all_native for b in blocks.values())
+        ):
+            raise ValueError(
+                "backend='shm' needs native-dtype columns; some referenced "
+                "variable only packs as an object column"
+            )
+        if backend == "fork" and not _fork_available():
+            raise ValueError("backend='fork' is unavailable on this platform")
+        return backend
+    if compiled:
+        if blocks is not None and all(b.all_native for b in blocks.values()):
+            return "shm"
+        return "tasks"
+    if _fork_available():
+        return "fork"
+    return "threads"
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
 
 
 def parallel_truth_tables(
@@ -65,25 +271,24 @@ def parallel_truth_tables(
     max_workers: Optional[int] = None,
     chunk_states: int = DEFAULT_CHUNK_STATES,
     executor: Optional[Executor] = None,
+    backend: str = "auto",
 ) -> List[np.ndarray]:
     """Truth tables for regular ``pred``, built chunk-parallel.
 
     Bitwise identical to ``regular_form(pred).truth_tables(dep)``; raises
-    :class:`~repro.errors.NotRegularError` outside the regular class.  An
-    explicit ``executor`` overrides the default thread pool (e.g. an
-    interpreter- or process-pool for picklable conjuncts).
+    :class:`~repro.errors.NotRegularError` outside the regular class and
+    the same ``ValueError`` as the serial path on malformed predicates.
+    ``backend`` picks the worker strategy (see module docstring); an
+    explicit ``executor`` overrides it and receives self-contained
+    result-returning tasks.
     """
     form = _require_regular(pred)
-    from repro.trace.global_state import initial_cut
-
-    if form.conjuncts and max(form.conjuncts) >= dep.n:
-        raise ValueError(
-            f"predicate constrains process {max(form.conjuncts)}, "
-            f"deposet has {dep.n}"
-        )
-    bottom = initial_cut(dep)
-    if any(not c.evaluate(dep, bottom) for c in form.constants):
-        _SLICE_STATES.inc(dep.num_states)
+    form.validate_for(dep)
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if form.constants_false(dep):
+        # Zero table work: the accounting contract charges nothing here,
+        # exactly like the serial engine.
         return [np.zeros(m, dtype=bool) for m in dep.state_counts]
 
     tables = [np.ones(m, dtype=bool) for m in dep.state_counts]
@@ -92,26 +297,128 @@ def parallel_truth_tables(
         for (i, start, stop) in _chunks(dep, chunk_states)
         if i in form.conjuncts
     ]
+    _SLICE_STATES.inc(_table_states(form, dep))
+    if not jobs:
+        return tables
+    _PARALLEL_CHUNKS.inc(len(jobs))
 
-    def fill(job: Tuple[int, int, int]) -> None:
-        i, start, stop = job
-        local = form.conjuncts[i]
-        t = tables[i]
-        for a in range(start, stop):
-            t[a] = local.holds_at(dep, a)
+    compiled = form.compiled()
+    blocks: Optional[Dict[int, ColumnBlock]] = None
+    if compiled is not None:
+        blocks = {
+            i: dep.column_block(i, sorted(compiled[i].var_names()))
+            for i in form.conjuncts
+        }
+
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
 
     with TRACER.span(
         "slice.tables", chunks=len(jobs), chunk_states=chunk_states
     ):
-        if jobs:
-            _PARALLEL_CHUNKS.inc(len(jobs))
-            if executor is not None:
-                list(executor.map(fill, jobs))
-            else:
-                with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                    list(pool.map(fill, jobs))
-    _SLICE_STATES.inc(dep.num_states)
-    return tables
+        if executor is not None:
+            return _assemble(tables, _run_on_executor(
+                executor, dep, form, compiled, blocks, jobs
+            ))
+        chosen = _pick_backend(backend, form, blocks)
+        if chosen != "serial" and (workers <= 1 or len(jobs) <= 1):
+            chosen = "serial"
+        if chosen == "serial":
+            results = (
+                _pack(i, s, t, _chunk_bits(dep, form, i, s, t))
+                for i, s, t in jobs
+            )
+            return _assemble(tables, list(results))
+        if chosen == "threads":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return _assemble(
+                    tables,
+                    list(pool.map(
+                        lambda job: _eval_closure_chunk(dep, form, job), jobs
+                    )),
+                )
+        if chosen == "fork":
+            import multiprocessing
+
+            global _FORK_CTX
+            ctx = multiprocessing.get_context("fork")
+            with _FORK_LOCK:
+                _FORK_CTX = (dep, form)
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=workers, mp_context=ctx
+                    ) as pool:
+                        results = list(pool.map(_eval_fork_chunk, jobs))
+                finally:
+                    _FORK_CTX = None
+            return _assemble(tables, results)
+        assert compiled is not None and blocks is not None
+        if chosen == "tasks":
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _eval_expr_chunk,
+                        compiled[i],
+                        blocks[i].narrow(start, stop),
+                        i,
+                        start,
+                        stop,
+                    )
+                    for i, start, stop in jobs
+                ]
+                return _assemble(tables, [f.result() for f in futures])
+        # chosen == "shm"
+        shm, layout = _shm_segment(blocks)
+        try:
+            counts = {i: dep.state_counts[i] for i in blocks}
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_attach_shm,
+                initargs=(shm.name, layout, counts),
+            ) as pool:
+                futures = [
+                    pool.submit(_eval_shm_chunk, compiled[i], i, start, stop)
+                    for i, start, stop in jobs
+                ]
+                results = [f.result() for f in futures]
+        finally:
+            shm.close()
+            shm.unlink()
+        return _assemble(tables, results)
+
+
+def _run_on_executor(
+    executor: Executor,
+    dep: Deposet,
+    form: RegularForm,
+    compiled: Optional[Dict[int, Expr]],
+    blocks: Optional[Dict[int, ColumnBlock]],
+    jobs: List[ChunkJob],
+) -> List[ChunkResult]:
+    """Run the chunk tasks on a caller-supplied executor.
+
+    Compiled conjuncts ship as (expr, column chunk) tasks -- picklable, so
+    thread and process pools both work.  Opaque closures ship as closure
+    tasks: fine on thread pools; a process pool raises its pickle error
+    instead of silently returning wrong tables.
+    """
+    if compiled is not None:
+        assert blocks is not None
+        futures = [
+            executor.submit(
+                _eval_expr_chunk,
+                compiled[i],
+                blocks[i].narrow(start, stop),
+                i,
+                start,
+                stop,
+            )
+            for i, start, stop in jobs
+        ]
+        return [f.result() for f in futures]
+    futures = [
+        executor.submit(_eval_closure_chunk, dep, form, job) for job in jobs
+    ]
+    return [f.result() for f in futures]
 
 
 def possibly_parallel(
@@ -121,6 +428,7 @@ def possibly_parallel(
     max_workers: Optional[int] = None,
     chunk_states: int = DEFAULT_CHUNK_STATES,
     executor: Optional[Executor] = None,
+    backend: str = "auto",
 ) -> Optional[Cut]:
     """:func:`~repro.slicing.detect.possibly_slice` with chunk-parallel
     truth tables.  Verdict and witness identical to the serial engine."""
@@ -130,6 +438,7 @@ def possibly_parallel(
         max_workers=max_workers,
         chunk_states=chunk_states,
         executor=executor,
+        backend=backend,
     )
     return possibly_slice(dep, pred, tables=tables)
 
@@ -141,6 +450,7 @@ def definitely_parallel(
     max_workers: Optional[int] = None,
     chunk_states: int = DEFAULT_CHUNK_STATES,
     executor: Optional[Executor] = None,
+    backend: str = "auto",
 ) -> bool:
     """:func:`~repro.slicing.detect.definitely_slice` with chunk-parallel
     truth tables.  Verdict identical to the serial engine."""
@@ -150,5 +460,6 @@ def definitely_parallel(
         max_workers=max_workers,
         chunk_states=chunk_states,
         executor=executor,
+        backend=backend,
     )
     return definitely_slice(dep, pred, tables=tables)

@@ -30,6 +30,7 @@ import numpy as np
 from repro.predicates.base import Predicate, TruePredicate
 from repro.predicates.boolean import And, Not, Or
 from repro.predicates.disjunctive import DisjunctivePredicate, fold_local
+from repro.predicates.expr import Expr
 from repro.predicates.local import LocalPredicate
 from repro.trace.deposet import Deposet
 from repro.trace.global_state import initial_cut
@@ -51,6 +52,51 @@ class RegularForm:
     conjuncts: Dict[int, LocalPredicate]
     constants: Tuple[Predicate, ...] = ()
 
+    def validate_for(self, dep: Deposet) -> None:
+        """Raise ``ValueError`` when a conjunct names a process ``dep`` lacks.
+
+        Called by every truth-table producer *and* by ``slice_of`` itself,
+        so the serial and parallel engines reject a malformed predicate
+        identically (including when precomputed tables are passed in).
+        """
+        if self.conjuncts and max(self.conjuncts) >= dep.n:
+            raise ValueError(
+                f"predicate constrains process {max(self.conjuncts)}, "
+                f"deposet has {dep.n}"
+            )
+
+    def compiled(self) -> Optional[Dict[int, Expr]]:
+        """The conjuncts as picklable IR, or ``None`` if any is opaque.
+
+        A non-``None`` result is what the parallel driver ships to worker
+        processes; ``None`` routes evaluation through the in-process
+        closure path.
+        """
+        out: Dict[int, Expr] = {}
+        for proc, local in self.conjuncts.items():
+            if local.expr is None:
+                return None
+            out[proc] = local.expr
+        return out
+
+    def constants_false(self, dep: Deposet) -> bool:
+        """True when a constant factor is false (the slice is empty)."""
+        bottom = initial_cut(dep)
+        return any(not c.evaluate(dep, bottom) for c in self.constants)
+
+    def conjunct_table(self, dep: Deposet, proc: int) -> np.ndarray:
+        """One process's truth row: vectorised when the conjunct has IR."""
+        m = dep.state_counts[proc]
+        local = self.conjuncts.get(proc)
+        if local is None:
+            return np.ones(m, dtype=bool)
+        if local.expr is not None:
+            block = dep.column_block(proc, sorted(local.expr.var_names()))
+            return local.expr.eval_block(block, 0, m)
+        return np.fromiter(
+            (local.holds_at(dep, a) for a in range(m)), dtype=bool, count=m
+        )
+
     def truth_tables(self, dep: Deposet) -> List[np.ndarray]:
         """Per-process boolean arrays: ``table[i][a]`` = conjunct_i at state a.
 
@@ -58,30 +104,11 @@ class RegularForm:
         exactly a consistent cut with every component in a true row --
         this is the slice's membership oracle.
         """
-        if self.conjuncts and max(self.conjuncts) >= dep.n:
-            raise ValueError(
-                f"predicate constrains process {max(self.conjuncts)}, "
-                f"deposet has {dep.n}"
-            )
-        bottom = initial_cut(dep)
-        if any(not c.evaluate(dep, bottom) for c in self.constants):
+        self.validate_for(dep)
+        if self.constants_false(dep):
             # A constant-false factor: no cut satisfies the conjunction.
             return [np.zeros(m, dtype=bool) for m in dep.state_counts]
-        tables: List[np.ndarray] = []
-        for i in range(dep.n):
-            m = dep.state_counts[i]
-            local = self.conjuncts.get(i)
-            if local is None:
-                tables.append(np.ones(m, dtype=bool))
-            else:
-                tables.append(
-                    np.fromiter(
-                        (local.holds_at(dep, a) for a in range(m)),
-                        dtype=bool,
-                        count=m,
-                    )
-                )
-        return tables
+        return [self.conjunct_table(dep, i) for i in range(dep.n)]
 
     def __repr__(self) -> str:
         parts = [f"P{i}:{c.name}" for i, c in sorted(self.conjuncts.items())]

@@ -34,7 +34,6 @@ therefore exposes them as data for inspection and export, not as a deposet.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -64,6 +63,15 @@ def greatest_satisfying_cut(
     is ordered, i.e. ``V(cand_j)[i] < cand_i`` for all ``i != j`` -- the
     candidates form a consistent, all-true cut that upper-bounds every
     satisfying cut: the lattice join.
+
+    Like the least-cut sweep this runs in *batched* elimination rounds: the
+    candidate row of each process is checked against every other process's
+    candidate clock with one matrix comparison, and a losing process
+    retreats in one jump to its last candidate position that no current
+    candidate happens-before (``V(pos)[i] < cand_i`` is a prefix property
+    of each clock column, so the jump target is a row count).  The fixpoint
+    is the same unique greatest satisfying cut as the pairwise deque walk;
+    agreement is pinned in ``tests/slicing/test_kernels.py``.
     """
     n = dep.n
     if len(conjunct_truth) != n:
@@ -75,40 +83,36 @@ def greatest_satisfying_cut(
     ]
     if any(len(p) == 0 for p in positions):
         return None
-    ptr = [len(p) - 1 for p in positions]  # ptr[i]: index into positions[i]
+    # Candidate clocks restricted to true states: cp[j][k] = V(positions[j][k]);
+    # each column is nondecreasing in k (clock monotonicity along a process).
+    cp: List[np.ndarray] = [
+        order.clock_matrix(j)[positions[j]] for j in range(n)
+    ]
+    ptr = [len(p) - 1 for p in positions]  # ptr[j]: index into positions[j]
+    cand = np.fromiter((p[-1] for p in positions), dtype=np.int64, count=n)
 
-    def cand(i: int) -> int:
-        return int(positions[i][ptr[i]])
-
-    dirty: deque[int] = deque(range(n))
-    in_dirty = [True] * n
-    while dirty:
-        i = dirty.popleft()
-        in_dirty[i] = False
-        retreated_any = False
+    while True:
+        changed = False
         for j in range(n):
-            if j == i:
-                continue
-            while True:
-                ci, cj = cand(i), cand(j)
-                if order.happened_before((i, ci), (j, cj)):
-                    loser = j
-                elif order.happened_before((j, cj), (i, ci)):
-                    loser = i
-                else:
-                    break
-                ptr[loser] -= 1
-                if ptr[loser] < 0:
-                    return None
-                if not in_dirty[loser]:
-                    dirty.append(loser)
-                    in_dirty[loser] = True
-                retreated_any = True
-        if retreated_any and not in_dirty[i]:
-            dirty.append(i)
-            in_dirty[i] = True
-
-    return tuple(cand(i) for i in range(n))
+            # (j, b) survives iff no (i, cand_i) -> (j, b), i.e.
+            # V(b)[i] < cand_i for every i != j.  Each column test is
+            # prefix-true over the candidate rows, so the surviving rows
+            # of process j are exactly a prefix; keep its last row.
+            sub = cp[j][: ptr[j] + 1]
+            ok = sub < cand
+            ok[:, j] = True  # V(b)[j] == b: a state never eliminates itself
+            keep = int(ok.all(axis=1).sum())
+            if keep == 0:
+                return None
+            if keep - 1 < ptr[j]:
+                ptr[j] = keep - 1
+                cand[j] = positions[j][ptr[j]]
+                changed = True
+        if not changed:
+            # Quiescent: V(cand_j)[i] < cand_i for all i != j -- a
+            # consistent all-true cut that upper-bounds every satisfying
+            # cut (only excluded states were ever dropped): the join.
+            return tuple(int(c) for c in cand)
 
 
 @dataclass(frozen=True)
@@ -133,6 +137,24 @@ class ComputationSlice:
     def in_tables(self, cut: Sequence[int]) -> bool:
         """Componentwise truth-table membership (consistency NOT checked)."""
         return all(bool(t[c]) for t, c in zip(self.tables, cut))
+
+    def in_tables_many(self, cuts: Sequence[Sequence[int]]) -> np.ndarray:
+        """Vectorised :meth:`in_tables` over a batch of cuts.
+
+        ``cuts`` is an ``(k, n)`` array-like of state indices; returns a
+        length-``k`` boolean array.  One fancy-indexing pass per process
+        instead of ``k * n`` scalar lookups -- this is the membership
+        kernel the definitely-detection frontier walk batches through.
+        """
+        arr = np.asarray(cuts, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != len(self.tables):
+            raise ValueError(
+                f"cuts must have shape (k, {len(self.tables)}), got {arr.shape}"
+            )
+        out = np.ones(arr.shape[0], dtype=bool)
+        for i, t in enumerate(self.tables):
+            out &= t[arr[:, i]]
+        return out
 
     # -- added-edge representation -----------------------------------------
 

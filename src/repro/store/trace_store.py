@@ -32,6 +32,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.causality.relations import Arrow, EventRef, StateRef
 from repro.errors import MalformedTraceError
 from repro.obs.metrics import METRICS
+from repro.store.columns import ColumnBlock, pack_block
 from repro.store.index import CausalIndex
 from repro.trace.states import MessageArrow
 
@@ -97,6 +98,10 @@ class TraceStore:
         self._control: List[ControlArrow] = []
         self._control_set: set = set()
         self._index = CausalIndex([1] * n)
+        # Packed variable columns, keyed (proc, names, prefix length).
+        # Shared with every snapshot (state dicts are append-only, so a
+        # block packed for one prefix stays valid forever).
+        self._column_cache: Dict[Tuple[int, Tuple[str, ...], int], ColumnBlock] = {}
         # D3 bookkeeping: which events already carry a message.
         self._used_events: Dict[EventRef, MessageArrow] = {}
         #: bumped whenever an arrow lands between *existing* states --
@@ -137,6 +142,21 @@ class TraceStore:
 
     def latest_vars(self, proc: int) -> Dict[str, Any]:
         return self._vars[proc][-1]
+
+    def column_block(self, proc: int, names: Sequence[str]) -> ColumnBlock:
+        """Packed columns of ``proc``'s current state prefix (cached).
+
+        Detection over snapshots hits the same cache (snapshots share the
+        store's cache dict), so repeated detect calls over a growing trace
+        pay one pack per (variable set, prefix length).
+        """
+        states = self._vars[proc]
+        key = (proc, tuple(names), len(states))
+        block = self._column_cache.get(key)
+        if block is None:
+            block = pack_block(states[: key[2]], key[1])
+            self._column_cache[key] = block
+        return block
 
     def state_time(self, ref: StateRef | Tuple[int, int]) -> Optional[float]:
         if self._times is None:

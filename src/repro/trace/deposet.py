@@ -23,6 +23,7 @@ from typing import (
 
 from repro.causality.relations import CausalOrder, CycleError, StateRef
 from repro.errors import InterferenceError, MalformedTraceError
+from repro.store.columns import ColumnBlock, pack_block
 from repro.store.index import CausalIndex
 from repro.trace.states import Event, EventKind, MessageArrow
 
@@ -188,6 +189,26 @@ class Deposet:
         """All variable assignments of one process, in execution order."""
         return self._vars[proc]
 
+    def column_block(self, proc: int, names: Sequence[str]) -> ColumnBlock:
+        """Packed numpy columns of the named variables of ``proc`` (cached).
+
+        The vectorised truth-table kernels read these instead of walking
+        state dicts.  Snapshots share the owning store's cache, so a
+        detect loop over a growing trace packs each (variables, prefix)
+        combination once; ``with_control`` derivatives share too (the
+        state columns are causality-independent).
+        """
+        states = self._vars[proc]
+        key = (proc, tuple(names), len(states))
+        cache = self.__dict__.get("_column_cache")
+        if cache is None:
+            cache = self.__dict__["_column_cache"] = {}
+        block = cache.get(key)
+        if block is None:
+            block = pack_block(states[: key[2]], key[1])
+            cache[key] = block
+        return block
+
     # -- derived structure ---------------------------------------------------
 
     @cached_property
@@ -310,6 +331,9 @@ class Deposet:
             new.__dict__["base_order"] = self.__dict__["base_order"]
         if "state_counts" in self.__dict__:
             new.__dict__["state_counts"] = self.__dict__["state_counts"]
+        if "_column_cache" in self.__dict__:
+            # Same states, same columns: control arrows do not change them.
+            new.__dict__["_column_cache"] = self.__dict__["_column_cache"]
         return new
 
     @classmethod
@@ -343,6 +367,10 @@ class Deposet:
         dep.__dict__["state_counts"] = frozen.state_counts
         if not dep._control:
             dep.__dict__["base_order"] = frozen
+        # Share the store's packed-column cache: the key includes the
+        # prefix length, so blocks stay per-snapshot-correct as the store
+        # keeps growing.
+        dep.__dict__["_column_cache"] = store._column_cache
         return dep
 
     def without_control(self) -> "Deposet":

@@ -129,3 +129,46 @@ def test_enabled_tracing_emits_expand_events():
         possibly_exhaustive(dep, center_only())
         events = [e for e in TRACER.drain() if e.name == "lattice.expand"]
     assert len(events) == 5  # matches the states counter
+
+
+# -- detection.slice.states work accounting (PR 8 contract) ------------------
+#
+# One unit per *local* state whose conjunct was actually evaluated, plus one
+# per *global* cut the search materialised.  Unconstrained processes charge
+# nothing (their row is a single np.ones), a constant-false short-circuit
+# charges nothing (no tables are built), and the parallel driver charges
+# exactly what the serial engine does.
+
+
+def test_slice_states_counts_only_constrained_processes():
+    # at_state(0, 1) constrains process 0 only: 3 table states, +1 witness.
+    dep = grid_2x3()
+    with METRICS.scoped() as scope:
+        assert possibly_slice(dep, at_state(0, 1)) is not None
+    assert scope.counter("detection.slice.states") == 3 + 1
+    # both processes constrained: 6 table states, +1 witness.
+    with METRICS.scoped() as scope:
+        assert possibly_slice(dep, center_only()) is not None
+    assert scope.counter("detection.slice.states") == 6 + 1
+
+
+def test_slice_states_zero_on_constant_false_short_circuit():
+    # A constant-false factor empties the slice before any table work.
+    dep = grid_2x3()
+    with METRICS.scoped() as scope:
+        assert possibly_slice(dep, And(FALSE, at_state(0, 1))) is None
+    assert scope.counter("detection.slice.states") == 0
+
+
+def test_parallel_charges_identically_to_serial():
+    from repro.slicing import possibly_parallel
+
+    dep = grid_2x3()
+    for pred in (at_state(0, 1), center_only(), And(FALSE, at_state(0, 1))):
+        with METRICS.scoped() as scope:
+            serial = possibly_slice(dep, pred)
+        serial_states = scope.counter("detection.slice.states")
+        with METRICS.scoped() as scope:
+            par = possibly_parallel(dep, pred, chunk_states=2)
+        assert par == serial
+        assert scope.counter("detection.slice.states") == serial_states

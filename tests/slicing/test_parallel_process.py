@@ -1,0 +1,213 @@
+"""Regression + contract tests for the multi-core parallel driver.
+
+The headline regression (PR 8): ``parallel_truth_tables`` used to fill its
+tables by in-place mutation inside a closure, so a caller-supplied
+``ProcessPoolExecutor`` mutated child-side copies and the parent silently
+kept the all-ones initialisation -- wrong tables, wrong witnesses, no
+error.  The chunk protocol now *returns* ``(proc, start, stop, bits)``
+results; these tests run real process pools and assert bitwise equality
+with the serial ``regular_form(pred).truth_tables(dep)``.
+
+Also pinned here:
+
+* every backend (shm / tasks / fork / threads / serial) is bitwise
+  identical to the serial engine, as are end-to-end verdicts at
+  ``max_workers=2``;
+* opaque closures on a caller-supplied process pool fail loudly (pickle
+  error) instead of silently returning wrong tables;
+* the serial and parallel engines raise the same ``ValueError`` on a
+  predicate that constrains a process the deposet lacks -- including the
+  precomputed-``tables`` path of ``slice_of``.
+"""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.predicates import And, LocalPredicate, Not
+from repro.slicing import (
+    definitely_parallel,
+    definitely_slice,
+    possibly_parallel,
+    possibly_slice,
+    slice_of,
+)
+from repro.slicing.parallel import parallel_truth_tables
+from repro.slicing.regular import regular_form
+from repro.workloads import availability_predicate, random_deposet
+
+N = 3
+
+
+def make_dep(seed=11, events=30):
+    return random_deposet(
+        n=N, events_per_proc=events, message_rate=0.3, flip_rate=0.3, seed=seed
+    )
+
+
+def compiled_pred():
+    """All-servers-down; lowers to the picklable expression IR."""
+    pred = availability_predicate(N, "up").negated()
+    assert regular_form(pred).compiled() is not None
+    return pred
+
+
+def opaque_pred():
+    """Same semantics via raw callables -- no IR, closure evaluation only."""
+    pred = And(
+        *(
+            Not(LocalPredicate.from_vars(i, lambda v: bool(v.get("up", False))))
+            for i in range(N)
+        )
+    )
+    assert regular_form(pred).compiled() is None
+    return pred
+
+
+def assert_tables_equal(expected, got):
+    assert len(expected) == len(got)
+    for a, b in zip(expected, got):
+        assert a.dtype == np.bool_ and b.dtype == np.bool_
+        assert np.array_equal(a, b)
+
+
+def test_process_pool_executor_regression():
+    # THE bug: a real process pool used to return all-True tables.
+    dep = make_dep()
+    pred = compiled_pred()
+    expected = regular_form(pred).truth_tables(dep)
+    assert not all(t.all() for t in expected), "workload must have false states"
+    with ProcessPoolExecutor(max_workers=2) as ex:
+        got = parallel_truth_tables(dep, pred, chunk_states=8, executor=ex)
+    assert_tables_equal(expected, got)
+
+
+def test_thread_pool_executor_still_correct():
+    dep = make_dep()
+    for pred in (compiled_pred(), opaque_pred()):
+        expected = regular_form(pred).truth_tables(dep)
+        with ThreadPoolExecutor(max_workers=2) as ex:
+            got = parallel_truth_tables(dep, pred, chunk_states=8, executor=ex)
+        assert_tables_equal(expected, got)
+
+
+def test_opaque_closures_on_process_pool_fail_loudly():
+    # Closures cannot cross a process boundary; the driver must surface
+    # the pickle failure, never silently hand back wrong tables.
+    dep = make_dep()
+    with ProcessPoolExecutor(max_workers=2) as ex:
+        with pytest.raises(Exception) as exc_info:
+            parallel_truth_tables(dep, opaque_pred(), chunk_states=8, executor=ex)
+    assert "pickle" in str(exc_info.value).lower() or isinstance(
+        exc_info.value, (AttributeError, TypeError)
+    )
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads", "shm", "tasks"])
+def test_compiled_backends_bitwise_identical(backend):
+    dep = make_dep()
+    pred = compiled_pred()
+    expected = regular_form(pred).truth_tables(dep)
+    got = parallel_truth_tables(
+        dep, pred, max_workers=2, chunk_states=8, backend=backend
+    )
+    assert_tables_equal(expected, got)
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads", "fork"])
+def test_opaque_backends_bitwise_identical(backend):
+    import multiprocessing
+
+    if backend == "fork" and "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("no fork on this platform")
+    dep = make_dep()
+    pred = opaque_pred()
+    expected = regular_form(pred).truth_tables(dep)
+    got = parallel_truth_tables(
+        dep, pred, max_workers=2, chunk_states=8, backend=backend
+    )
+    assert_tables_equal(expected, got)
+
+
+def test_verdicts_identical_at_two_workers():
+    for seed in (1, 2, 3):
+        dep = make_dep(seed=seed, events=12)
+        for pred in (compiled_pred(), opaque_pred()):
+            assert possibly_parallel(
+                dep, pred, max_workers=2, chunk_states=4
+            ) == possibly_slice(dep, pred)
+            assert definitely_parallel(
+                dep, pred, max_workers=2, chunk_states=4
+            ) == definitely_slice(dep, pred)
+
+
+def test_auto_backend_routes_and_agrees():
+    dep = make_dep()
+    for pred in (compiled_pred(), opaque_pred()):
+        expected = regular_form(pred).truth_tables(dep)
+        got = parallel_truth_tables(
+            dep, pred, max_workers=2, chunk_states=8, backend="auto"
+        )
+        assert_tables_equal(expected, got)
+
+
+def test_backend_validation():
+    dep = make_dep()
+    with pytest.raises(ValueError, match="unknown backend"):
+        parallel_truth_tables(dep, compiled_pred(), backend="warp")
+    # shm/tasks need the IR; opaque closures must be rejected up front.
+    for backend in ("shm", "tasks"):
+        with pytest.raises(ValueError, match="expression IR"):
+            parallel_truth_tables(dep, opaque_pred(), backend=backend)
+
+
+def test_shm_backend_rejects_object_columns():
+    # A string-valued variable only packs as an object column; forcing
+    # backend='shm' must refuse rather than mis-ship it.
+    dep = random_deposet(
+        n=2, events_per_proc=6, message_rate=0.2, var="mode", flip_rate=0.5,
+        seed=4,
+    )
+    # rebuild with string values so the column is object-dtype
+    from repro.trace import ComputationBuilder
+
+    b = ComputationBuilder(2, start_vars=[{"mode": "up"}, {"mode": "up"}])
+    b.local(0, mode="down")
+    b.local(1, mode="down")
+    sdep = b.build()
+    pred = And(
+        Not(LocalPredicate.var_equals(0, "mode", "up")),
+        Not(LocalPredicate.var_equals(1, "mode", "up")),
+    )
+    with pytest.raises(ValueError, match="native-dtype"):
+        parallel_truth_tables(sdep, pred, backend="shm")
+    # but tasks/auto handle object columns fine
+    expected = regular_form(pred).truth_tables(sdep)
+    for backend in ("tasks", "auto"):
+        got = parallel_truth_tables(
+            sdep, pred, max_workers=2, chunk_states=1, backend=backend
+        )
+        assert_tables_equal(expected, got)
+
+
+def test_malformed_predicate_raises_same_valueerror_everywhere():
+    # Satellite 3: the serial path used to skip the bounds check.
+    dep = random_deposet(n=2, events_per_proc=4, message_rate=0.3, seed=9)
+    pred = availability_predicate(4, "up").negated()  # constrains P3; dep has 2
+    msgs = []
+    for call in (
+        lambda: slice_of(dep, pred),
+        lambda: slice_of(
+            dep, pred, tables=[np.ones(m, dtype=bool) for m in dep.state_counts]
+        ),
+        lambda: possibly_slice(dep, pred),
+        lambda: definitely_slice(dep, pred),
+        lambda: parallel_truth_tables(dep, pred),
+        lambda: possibly_parallel(dep, pred),
+    ):
+        with pytest.raises(ValueError) as exc_info:
+            call()
+        msgs.append(str(exc_info.value))
+    assert len(set(msgs)) == 1, f"engines disagree on the error: {msgs}"
+    assert "constrains process 3" in msgs[0]
