@@ -36,6 +36,7 @@ The ``obs`` family drives the flight recorder (:mod:`repro.obs`)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -175,44 +176,192 @@ def _cmd_control(args: argparse.Namespace) -> int:
     if args.output:
         dump_deposet(control.apply(dep), args.output)
         print(f"controlled trace written to {args.output}")
+    if args.store:
+        from repro.storage import record_control_branch
+
+        name, cid = record_control_branch(
+            args.store, dep, control, name=args.branch, kind="control",
+            meta={"predicate": args.predicate, "verdict": "synthesized"},
+        )
+        print(f"candidate recorded: {args.store} branch {name!r} "
+              f"commit #{cid}")
     return 0
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     dep = _load(args.trace)
-    result = replay(dep, seed=args.seed, jitter=args.jitter)
+
+    def record(verdict: str, extra=None) -> None:
+        from repro.storage import record_control_branch
+
+        meta = {"verdict": verdict, "seed": args.seed}
+        meta.update(extra or {})
+        name, cid = record_control_branch(
+            args.store, dep, dep.control_arrows, name=args.branch,
+            kind="replay", meta=meta,
+        )
+        print(f"replay recorded: {args.store} branch {name!r} commit #{cid}")
+
+    try:
+        result = replay(dep, seed=args.seed, jitter=args.jitter)
+    except ReproError:
+        # The verdict is as much a result as success: a deadlocked or
+        # interfering candidate is recorded on its branch before failing.
+        if args.store:
+            record("deadlock")
+        raise
     print(f"replayed: {result.run.events} events, "
           f"{result.control_messages} control message(s), "
           f"duration {result.run.duration:.3f}")
     if args.output:
         dump_deposet(result.deposet, args.output)
         print(f"recorded trace written to {args.output}")
+    if args.store:
+        record("replayed", {
+            "events": result.run.events,
+            "control_messages": result.control_messages,
+        })
     return 0
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
-    """Convert between the batch document and the streaming event log."""
+    """Convert between the batch document and the streaming event log,
+    and/or ingest into a durable ``--store`` commit chain."""
+    if not args.output and not args.store:
+        print("error: ingest needs -o OUTPUT and/or --store TARGET",
+              file=sys.stderr)
+        return 2
     fmt = sniff_trace_format(args.trace)
     if fmt == FORMAT:
         dep, obs = load_deposet_meta(args.trace)
-        write_event_stream(dep, args.output, obs=obs)
-        print(
-            f"{args.trace} ({FORMAT}) -> {args.output} ({STREAM_FORMAT}): "
-            f"{dep.num_states - dep.n} event record(s), "
-            f"{len(dep.control_arrows)} control arrow(s)"
-        )
+        if args.output:
+            write_event_stream(dep, args.output, obs=obs)
+            print(
+                f"{args.trace} ({FORMAT}) -> {args.output} ({STREAM_FORMAT}): "
+                f"{dep.num_states - dep.n} event record(s), "
+                f"{len(dep.control_arrows)} control arrow(s)"
+            )
+        if args.store:
+            from repro.storage import open_backend
+            from repro.store.trace_store import TraceStore
+
+            from repro.errors import StorageError
+
+            ts = dep.timestamps
+            backend = open_backend(
+                args.store, n=dep.n,
+                start_vars=[dep.state_vars((i, 0)) for i in range(dep.n)],
+                proc_names=dep.proc_names,
+                start_times=[row[0] for row in ts] if ts is not None else None,
+            )
+            if backend.num_states != backend.n:
+                backend.close()
+                raise StorageError(
+                    f"{args.store} already holds a trace body; ingest into "
+                    f"a fresh database or fork a branch"
+                )
+            store = TraceStore.from_deposet(dep, backend=backend)
+            store.obs = obs
+            cid = store.commit(message=f"ingested from {args.trace}")
+            print(f"{args.trace} -> {args.store} "
+                  f"branch {store.branch_name!r} commit #{cid}, "
+                  f"states {store.state_counts}")
+            store.close()
     else:
         records = 0
         store = None
-        for store, _rec in ingest_event_stream(args.trace):
+        for store, _rec in ingest_event_stream(args.trace, args.store):
             records += 1
         dep = store.snapshot()
-        dump_deposet(dep, args.output, obs=store.obs)
-        print(
-            f"{args.trace} ({STREAM_FORMAT}) -> {args.output} ({FORMAT}): "
-            f"{records - 1} record(s) ingested, states {dep.state_counts}"
-        )
+        if args.output:
+            dump_deposet(dep, args.output, obs=store.obs)
+            print(
+                f"{args.trace} ({STREAM_FORMAT}) -> {args.output} ({FORMAT}): "
+                f"{records - 1} record(s) ingested, states {dep.state_counts}"
+            )
+        if args.store:
+            cid = store.commit(message=f"ingested from {args.trace}")
+            print(f"{args.trace} -> {args.store} "
+                  f"branch {store.branch_name!r} commit #{cid}, "
+                  f"states {store.state_counts}")
+            store.close()
     return 0
+
+
+def _db_path(target: str) -> str:
+    """Accept ``sqlite:PATH`` or a bare ``PATH`` for ``repro db``."""
+    if target.startswith("sqlite:"):
+        return target[len("sqlite:"):]
+    return target
+
+
+def _cmd_db(args: argparse.Namespace) -> int:
+    """Inspect and maintain a durable (SQLite commit-chain) trace store."""
+    from repro.storage import (
+        chain_log,
+        create_branch,
+        delete_branch,
+        gc_store,
+        init_db,
+        list_branches,
+    )
+
+    path = _db_path(args.db)
+    if args.db_command == "init":
+        init_db(path)
+        print(f"initialised empty trace store at {path}")
+        return 0
+    if args.db_command == "log":
+        branches = {b["name"]: b for b in list_branches(path)}
+        entries = chain_log(path, args.branch)
+        if getattr(args, "format", "text") == "json":
+            for e in entries:
+                print(json.dumps(e, separators=(",", ":")))
+            return 0
+        tips = {}
+        for b in branches.values():
+            tips.setdefault(b["head"], []).append(b["name"])
+        for e in entries:
+            parent = f" <- #{e['parent']}" if e["parent"] is not None else ""
+            marks = "".join(
+                f"  [{name}]" for name in tips.get(e["id"], ())
+            )
+            line = (f"#{e['id']}{parent}  {e['kind']:<7} "
+                    f"states={list(e['counts'])} msgs={e['messages']} "
+                    f"ctl={e['control']} epoch={e['epoch']} "
+                    f"ops={e['ops']}{marks}")
+            if e["message"]:
+                line += f"  {e['message']!r}"
+            if e["meta"]:
+                line += "  " + " ".join(
+                    f"{k}={v}" for k, v in sorted(e["meta"].items())
+                )
+            print(line)
+        return 0
+    if args.db_command == "branch":
+        if args.delete:
+            delete_branch(path, args.delete)
+            print(f"deleted branch {args.delete!r} "
+                  f"(run 'repro db gc' to fold its commits)")
+            return 0
+        if not args.name:
+            for b in list_branches(path):
+                fork = (f" (from {b['forked_from']!r})"
+                        if b["forked_from"] else "")
+                print(f"{b['name']:<20} head #{b['head']}{fork}")
+            return 0
+        head = create_branch(path, args.name, from_branch=args.from_branch,
+                             at_commit=args.at)
+        print(f"branch {args.name!r} created at commit #{head} "
+              f"(from {args.from_branch!r})")
+        return 0
+    if args.db_command == "gc":
+        stats = gc_store(path)
+        print(f"gc: removed {stats['commits_removed']} commit(s) and "
+              f"{stats['pages_removed']} page(s); "
+              f"{stats['commits_kept']} commit(s) kept")
+        return 0
+    raise ValueError(f"unknown db command {args.db_command!r}")
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -272,7 +421,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     with METRICS.scoped() as scope:
         try:
             for lineno, (store, rec) in enumerate(
-                ingest_event_stream(args.trace), start=1
+                ingest_event_stream(args.trace, getattr(args, "store", None)),
+                start=1,
             ):
                 if detector is None:
                     pred = parse_predicate(args.predicate, store.n)
@@ -332,6 +482,12 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             return 2
         if not as_json:
             print("[verify] batch detector agrees with the streamed verdict")
+    if getattr(args, "store", None):
+        cid = store.commit(message=f"watched from {args.trace}")
+        if not as_json:
+            print(f"[store] {args.store} branch {store.branch_name!r} "
+                  f"commit #{cid}")
+        store.close()
     return 0 if result.witness is None else 1
 
 
@@ -380,12 +536,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_quota = quota
         else:
             tenant_quotas[tenant] = quota
+    store_dir = None
+    if args.store:
+        from repro.storage import parse_store_target
+
+        scheme, store_dir = parse_store_target(args.store)
+        if scheme != "sqlite":
+            print("error: serve --store needs sqlite:DIR", file=sys.stderr)
+            return 2
     config = ServeConfig(
         tcp=tcp, unix=unix, workers=args.workers, policy=args.policy,
         quota=default_quota, tenant_quotas=tenant_quotas,
         batch=args.batch, engine=args.engine,
         drain_timeout=args.drain_timeout,
-        durable_dir=args.durable, fsync=args.fsync,
+        durable_dir=args.durable, fsync=args.fsync, store_dir=store_dir,
         checkpoint_every=args.checkpoint_every,
         supervise=not args.no_supervise,
         heartbeat_interval=args.heartbeat_interval,
@@ -401,6 +565,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"[workers={config.workers} policy={config.policy}"
               + (f" durable={config.durable_dir} fsync={config.fsync}"
                  if config.durable_dir else "")
+              + (f" store=sqlite:{config.store_dir}"
+                 if config.store_dir else "")
               + "]",
               file=sys.stderr)
         stop = asyncio.Event()
@@ -746,6 +912,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--minimize", action="store_true",
                    help="drop arrows implied transitively")
     p.add_argument("-o", "--output", help="write the controlled trace here")
+    p.add_argument("--store", metavar="sqlite:PATH",
+                   help="record the candidate control relation as a branch "
+                        "of this durable trace store")
+    p.add_argument("--branch", metavar="NAME",
+                   help="branch name for --store (default: candidate-K)")
     p.set_defaults(fn=_cmd_control)
 
     p = sub.add_parser("replay", help="re-execute a (controlled) trace")
@@ -753,15 +924,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jitter", type=float, default=0.0)
     p.add_argument("-o", "--output")
+    p.add_argument("--store", metavar="sqlite:PATH",
+                   help="record the control relation and its replay verdict "
+                        "as a branch of this durable trace store")
+    p.add_argument("--branch", metavar="NAME",
+                   help="branch name for --store (default: candidate-K)")
     p.set_defaults(fn=_cmd_replay)
 
     p = sub.add_parser(
         "ingest",
         help="convert between the batch trace document and the "
-             "repro-events/1 stream (direction is sniffed from the input)",
+             "repro-events/1 stream (direction is sniffed from the input), "
+             "and/or ingest into a durable --store commit chain",
     )
     p.add_argument("trace", help="input trace (either format)")
-    p.add_argument("-o", "--output", required=True, help="converted trace")
+    p.add_argument("-o", "--output", help="converted trace")
+    p.add_argument("--store", metavar="sqlite:PATH",
+                   help="also persist the trace into this durable store "
+                        "and report the commit id")
     p.set_defaults(fn=_cmd_ingest)
 
     p = sub.add_parser(
@@ -800,6 +980,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="json: emit repro-verdicts/1 events, one per line "
                         "(the same schema `repro serve` pushes)")
+    p.add_argument("--store", metavar="sqlite:PATH",
+                   help="ingest the watched stream into this durable store "
+                        "and report the final commit id")
     p.set_defaults(fn=_cmd_watch)
 
     p = sub.add_parser(
@@ -830,6 +1013,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for per-session WALs + checkpoints; "
                         "enables crash-safe sessions and client resume "
                         "(omit for in-memory serving)")
+    p.add_argument("--store", metavar="sqlite:DIR",
+                   help="keep each session's trace in a per-session SQLite "
+                        "commit chain under DIR; durable checkpoints then "
+                        "record a commit id instead of re-freezing the "
+                        "full store as JSON")
     p.add_argument("--fsync", choices=["always", "batch", "never"],
                    default="batch",
                    help="WAL fsync policy: every record / on checkpoints "
@@ -848,6 +1036,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker restarts per shard per minute before its "
                         "sessions move to a surviving shard")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "db",
+        help="inspect/maintain a durable trace store "
+             "(SQLite commit chain: log, branches, gc)",
+    )
+    db_sub = p.add_subparsers(dest="db_command", required=True)
+    q = db_sub.add_parser("init", help="create an empty trace store")
+    q.add_argument("db", help="store path (PATH or sqlite:PATH)")
+    q.set_defaults(fn=_cmd_db)
+    q = db_sub.add_parser("log", help="render a branch's commit chain")
+    q.add_argument("db", help="store path (PATH or sqlite:PATH)")
+    q.add_argument("--branch", default="main")
+    q.add_argument("--format", choices=["text", "json"], default="text",
+                   help="json: one chain entry per line, machine-readable")
+    q.set_defaults(fn=_cmd_db)
+    q = db_sub.add_parser(
+        "branch", help="list branches, or fork one at a commit"
+    )
+    q.add_argument("db", help="store path (PATH or sqlite:PATH)")
+    q.add_argument("name", nargs="?", help="new branch name (omit to list)")
+    q.add_argument("--from", dest="from_branch", default="main",
+                   metavar="BRANCH", help="branch to fork from")
+    q.add_argument("--at", type=int, metavar="COMMIT",
+                   help="fork at this commit instead of the branch head")
+    q.add_argument("--delete", metavar="NAME",
+                   help="drop a branch pointer instead (gc folds its "
+                        "commits)")
+    q.set_defaults(fn=_cmd_db)
+    q = db_sub.add_parser(
+        "gc", help="fold commits unreachable from any branch"
+    )
+    q.add_argument("db", help="store path (PATH or sqlite:PATH)")
+    q.set_defaults(fn=_cmd_db)
 
     p = sub.add_parser(
         "tail",

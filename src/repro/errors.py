@@ -25,6 +25,10 @@ __all__ = [
     "MalformedTraceError",
     "TruncatedStreamError",
     "UnknownTraceFormatError",
+    "UnknownFreezeFormatError",
+    "StorageError",
+    "StorageCorruptError",
+    "UnknownBranchError",
     "PredicateError",
     "NotDisjunctiveError",
     "NotRegularError",
@@ -73,6 +77,44 @@ class UnknownTraceFormatError(MalformedTraceError):
     input instead of guessing; the message names both candidate formats
     (``repro-deposet/1`` and ``repro-events/1``) and what was seen.
     """
+
+
+class UnknownFreezeFormatError(MalformedTraceError):
+    """A ``TraceStore.freeze()`` payload declares a format this build
+    cannot restore.
+
+    Raised by :meth:`repro.store.TraceStore.restore` instead of letting an
+    incompatible checkpoint fail with an opaque ``KeyError`` deep inside
+    the rebuild; the message names the payload's format and the formats
+    this build understands (the typed-error style of
+    :func:`repro.trace.io.sniff_trace_format`).  Payloads with no
+    ``format`` field are accepted as the legacy (pre-versioned) layout.
+    """
+
+
+class StorageError(ReproError):
+    """A trace storage backend was misused or misconfigured.
+
+    Covers backend-level protocol violations -- an unknown ``--store``
+    target scheme, branching an unnamed fork point, opening a database
+    created by an incompatible schema version -- as opposed to damage at
+    rest (:class:`StorageCorruptError`) or model violations
+    (:class:`MalformedTraceError`).
+    """
+
+
+class StorageCorruptError(StorageError):
+    """A durable trace store failed an integrity check.
+
+    Raised when a commit's CRC does not match its recorded operation
+    batch, a page body fails its CRC, or the commit chain is broken
+    (a parent id that does not exist).  Recovery refuses to guess: the
+    message names the offending commit/page so forensics can start there.
+    """
+
+
+class UnknownBranchError(StorageError):
+    """A named branch does not exist in the trace store."""
 
 
 class PredicateError(ReproError):

@@ -120,6 +120,9 @@ class ServeConfig:
     drain_timeout: float = 30.0
     #: durability root directory; ``None`` = in-memory serving (PR 6 shape)
     durable_dir: Optional[str] = None
+    #: commit-chain trace storage directory (``--store sqlite:DIR``);
+    #: ``None`` = per-session stores stay in memory
+    store_dir: Optional[str] = None
     #: WAL fsync policy: ``always`` | ``batch`` | ``never``
     fsync: str = FsyncPolicy.BATCH
     #: checkpoint a durable session every this many forwarded lines
@@ -474,6 +477,8 @@ class ReproServer:
         opts.setdefault("engine", self.config.engine)
         opts.setdefault("max_store_states",
                         self.registry.quota(tenant).max_store_states)
+        if self.config.store_dir is not None:
+            opts.setdefault("store_dir", self.config.store_dir)
         return opts
 
     def _flush(self, key: str, entry: _Entry, *, force: bool = False) -> None:

@@ -20,6 +20,8 @@ garbage can never unwind a worker serving other tenants.
 from __future__ import annotations
 
 import json
+import os
+import re
 import time
 from typing import Any, Dict, List, Optional
 
@@ -28,12 +30,23 @@ from repro.errors import MalformedTraceError
 from repro.serve.protocol import VerdictTracker, event_error, event_open
 from repro.trace.io import apply_stream_record, stream_store_from_header
 
-__all__ = ["DetectionSession", "session_key"]
+__all__ = ["DetectionSession", "session_key", "session_store_target"]
 
 
 def session_key(tenant: str, session: str) -> str:
     """The routing key ``tenant/session`` used across server and workers."""
     return f"{tenant}/{session}"
+
+
+def session_store_target(store_dir: str, key: str) -> str:
+    """The per-session SQLite store target under ``store_dir``.
+
+    One database per session (sessions are pinned to one worker, so each
+    file has a single writer); the filename survives restarts so durable
+    restore can reopen the same chain.
+    """
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", key)
+    return "sqlite:" + os.path.join(store_dir, f"{safe}.db")
 
 
 class DetectionSession:
@@ -67,6 +80,7 @@ class DetectionSession:
         max_store_states: int = 0,
         delay_per_record: float = 0.0,
         engine: str = "auto",
+        store_dir: Optional[str] = None,
     ):
         from repro.cli import parse_predicate  # lazy: cli imports are heavy
 
@@ -74,7 +88,18 @@ class DetectionSession:
         self.session = session
         self.key = session_key(tenant, session)
         where = f"{self.key}:header"
-        self.store = stream_store_from_header(header, where)
+        self.store_target: Optional[str] = None
+        if store_dir:
+            os.makedirs(store_dir, exist_ok=True)
+            self.store_target = session_store_target(store_dir, self.key)
+            # A fresh open replaces any stale chain from an earlier run of
+            # the same session name (durable *restore* reopens it instead
+            # of coming through here).
+            stale = self.store_target[len("sqlite:"):]
+            if os.path.exists(stale):
+                os.unlink(stale)
+        self.store = stream_store_from_header(header, where,
+                                              self.store_target)
         self.predicate_spec = predicate
         self.pred = parse_predicate(predicate, self.store.n)
         self.detector = IncrementalDetector(self.store, self.pred)
@@ -186,20 +211,41 @@ class DetectionSession:
     def snapshot(self) -> Dict[str, Any]:
         """Everything a checkpoint needs to resurrect this session.
 
-        JSON-serializable; pairs :meth:`TraceStore.freeze` with
+        JSON-serializable; pairs the trace-store capture with
         :meth:`IncrementalDetector.snapshot` and adds the session-level
         counters plus the full public event log (events are sparse --
         witness *transitions* only -- so the log stays small even for
         long streams).
+
+        On a commit-chain store (``--store sqlite:DIR``) the capture is a
+        tiny ``store_ref`` -- the chain commits the appended suffix and
+        the checkpoint records ``target/branch/commit id`` -- instead of
+        re-freezing the whole store as JSON, so checkpoint cost stays
+        O(suffix) as the trace grows.
         """
+        if self.store_target is not None and self.store.branch_name is not None:
+            cid = self.store.commit(
+                kind="checkpoint", message=f"serve checkpoint seq={self.seq}"
+            )
+            store_blob: Dict[str, Any] = {"store_ref": {
+                "target": self.store_target,
+                "branch": self.store.branch_name,
+                "commit": cid,
+            }}
+        else:
+            store_blob = self.store.freeze()
         return {
-            "store": self.store.freeze(),
+            "store": store_blob,
             "detector": self.detector.snapshot(),
             "seq": self.seq,
             "lines": self.lines,
             "failed": self.failed,
             "events": [dict(ev) for ev in self.events_log],
         }
+
+    def close(self) -> None:
+        """Release the session's storage (a no-op for in-memory stores)."""
+        self.store.close()
 
     @classmethod
     def restore(
@@ -219,10 +265,25 @@ class DetectionSession:
         run would have produced (pinned by tests/serve/test_durability.py)."""
         from repro.store.trace_store import TraceStore
 
+        # store_dir stays None here on purpose: a durable restore must
+        # reopen the existing chain, not wipe-and-recreate it.
         sess = cls(tenant, session, header, predicate,
                    max_store_states=max_store_states,
                    delay_per_record=delay_per_record, engine=engine)
-        sess.store = TraceStore.restore(snap["store"])
+        blob = snap["store"]
+        if isinstance(blob, dict) and "store_ref" in blob:
+            from repro.storage import open_backend
+
+            ref = blob["store_ref"]
+            sess.store.close()
+            sess.store = TraceStore(backend=open_backend(
+                ref["target"], branch=ref["branch"],
+                at_commit=int(ref["commit"]), reset_head=True,
+                create=False,
+            ))
+            sess.store_target = ref["target"]
+        else:
+            sess.store = TraceStore.restore(blob)
         sess.detector = IncrementalDetector.restore(
             sess.store, sess.pred, snap["detector"]
         )

@@ -75,6 +75,7 @@ def _open_session(sessions: Dict[str, DetectionSession], key: str,
             max_store_states=opts.get("max_store_states", 0),
             delay_per_record=opts.get("delay_per_record", 0.0),
             engine=opts.get("engine", "auto"),
+            store_dir=opts.get("store_dir"),
         )
     except Exception as exc:
         return [event_error(tenant, session, 0, "protocol", str(exc))]
@@ -114,6 +115,11 @@ def _finalize_session(sessions: Dict[str, DetectionSession], key: str,
     except Exception as exc:
         return [event_error(sess.tenant, sess.session, sess.seq,
                             "internal", repr(exc))]
+    finally:
+        try:
+            sess.close()
+        except Exception:  # closing storage must never mask the verdict
+            pass
 
 
 def _checkpoint_session(sessions: Dict[str, DetectionSession], key: str,
@@ -155,10 +161,16 @@ def _restore_session(sessions: Dict[str, DetectionSession], key: str,
     )
     try:
         if snapshot is not None:
+            # restore() reopens a durable chain via the checkpoint's
+            # store_ref itself; store_dir must not be passed or the
+            # constructor would wipe the database being restored.
             sess = DetectionSession.restore(tenant, session, header,
                                             predicate, snapshot, **kwargs)
         else:
+            # No checkpoint survived: full rebuild from the WAL tail, so
+            # recreating the session's database from scratch is correct.
             sess = DetectionSession(tenant, session, header, predicate,
+                                    store_dir=opts.get("store_dir"),
                                     **kwargs)
             sess.open_event()
         sess.feed(tail)
@@ -278,7 +290,9 @@ class InlinePool(DetectorPool):
                                           with_definitely))
 
     def close_session(self, key) -> None:
-        self._sessions.pop(key, None)
+        sess = self._sessions.pop(key, None)
+        if sess is not None:
+            sess.close()
 
     def checkpoint(self, key, upto) -> None:
         self._sink(key, _checkpoint_session(self._sessions, key, upto))
@@ -328,7 +342,9 @@ def _worker_main(idx: int, in_q: "multiprocessing.Queue",
                                                  opts, snapshot, tail,
                                                  published)))
             elif op == "close":
-                sessions.pop(msg[1], None)
+                dropped = sessions.pop(msg[1], None)
+                if dropped is not None:
+                    dropped.close()
         except Exception as exc:  # pragma: no cover - shard must survive
             out_q.put((msg[1] if len(msg) > 1 else "?",
                        [event_error("?", "?", 0, "internal", repr(exc))]))

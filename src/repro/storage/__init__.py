@@ -1,0 +1,45 @@
+"""Trace storage backends (the seam under :class:`~repro.store.TraceStore`).
+
+``storage`` holds the *engines*; ``store`` holds the user-facing façade
+and the causal index.  See :mod:`repro.storage.base` for the protocol and
+the behavioral-equivalence contract every backend must meet.
+"""
+
+from repro.storage.base import (
+    IndexedBackend,
+    StorageBackend,
+    open_backend,
+    parse_store_target,
+)
+from repro.storage.branches import ensure_base_trace, record_control_branch
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite import (
+    DEFAULT_PAGE_SIZE,
+    STORE_FORMAT,
+    SqliteBackend,
+    chain_log,
+    create_branch,
+    delete_branch,
+    gc_store,
+    init_db,
+    list_branches,
+)
+
+__all__ = [
+    "StorageBackend",
+    "IndexedBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "open_backend",
+    "parse_store_target",
+    "STORE_FORMAT",
+    "DEFAULT_PAGE_SIZE",
+    "init_db",
+    "chain_log",
+    "list_branches",
+    "create_branch",
+    "delete_branch",
+    "gc_store",
+    "ensure_base_trace",
+    "record_control_branch",
+]

@@ -1,0 +1,382 @@
+"""The storage seam of the trace stack: :class:`StorageBackend`.
+
+:class:`~repro.store.TraceStore` used to *be* the columnar in-memory
+implementation; it is now a thin façade over this protocol, so the same
+append/query/snapshot contract can be served by different storage engines:
+
+* :class:`~repro.storage.memory.MemoryBackend` -- the original columnar
+  in-memory layout (per-process lists of variable dicts, live
+  :class:`~repro.store.index.CausalIndex`, shared packed-column cache).
+* :class:`~repro.storage.sqlite.SqliteBackend` -- an immutable,
+  CRC-checked commit chain in SQLite with branch/copy-on-write semantics
+  and segmented variable pages behind an LRU cache, so traces larger than
+  the cache (or RAM) stream in and out.
+
+Contract
+--------
+Every backend must be *behaviorally identical* to ``MemoryBackend``: the
+same appends produce the same ``state_counts``/``epoch``, the same causal
+index (clock-for-clock), the same D3 rejections, and snapshots that
+compare equal as :class:`~repro.trace.deposet.Deposet` values.  The
+hypothesis suite in ``tests/storage/test_backend_equivalence.py`` drives
+random append/branch/reopen interleavings against both and asserts
+exactly that, plus verdict identity across every detection engine.
+
+:class:`IndexedBackend` implements the full *semantics* (D1--D3
+validation, message/control bookkeeping, epoch discipline, the live
+causal index) once, on top of five storage primitives subclasses
+provide: pushing one state, random-access reads, prefix materialisation,
+and packed-column access.  A backend therefore cannot accidentally
+diverge on the model rules -- only on how bytes are kept.
+
+Commit-chain verbs (``commit`` / ``branch`` / ``head``) are part of the
+protocol so callers can be written backend-agnostically;
+``MemoryBackend`` implements ``commit`` as a no-op returning ``None``
+and ``branch`` as an O(states) pointer-sharing fork.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.causality.relations import EventRef, StateRef
+from repro.errors import MalformedTraceError, StorageError
+from repro.obs.metrics import METRICS
+from repro.store.columns import ColumnBlock
+from repro.store.index import CausalIndex
+from repro.trace.states import MessageArrow
+
+__all__ = [
+    "StorageBackend",
+    "IndexedBackend",
+    "ControlArrow",
+    "parse_store_target",
+    "open_backend",
+]
+
+ControlArrow = Tuple[StateRef, StateRef]
+
+_STATES = METRICS.counter("store.states")
+_MESSAGES = METRICS.counter("store.messages")
+_CONTROL = METRICS.counter("store.control_arrows")
+
+
+def parse_store_target(target: str) -> Tuple[str, Optional[str]]:
+    """Split a ``--store`` target into ``(scheme, path)``.
+
+    ``"memory"`` (or ``"mem"``) selects the in-memory backend;
+    ``"sqlite:PATH"`` selects the durable backend at ``PATH``.  A bare
+    path with no scheme is rejected rather than guessed -- the CLI wants
+    the user to say which engine they mean.
+    """
+    if target in ("memory", "mem"):
+        return "memory", None
+    scheme, sep, path = target.partition(":")
+    if sep and scheme == "sqlite":
+        if not path:
+            raise StorageError("sqlite store target needs a path: sqlite:PATH")
+        return "sqlite", path
+    raise StorageError(
+        f"unknown store target {target!r}; use 'memory' or 'sqlite:PATH'"
+    )
+
+
+def open_backend(
+    target: str,
+    *,
+    n: Optional[int] = None,
+    start_vars: Optional[Sequence[Dict[str, Any]]] = None,
+    proc_names: Optional[Sequence[str]] = None,
+    start_times: Optional[Sequence[float]] = None,
+    branch: str = "main",
+    create: bool = True,
+    **kwargs: Any,
+) -> "StorageBackend":
+    """Open (or create) the backend a ``--store`` target names.
+
+    For ``sqlite:PATH`` an existing database is reopened at ``branch``
+    (``n``/``start_vars`` must then be omitted or match); a fresh one
+    needs the header shape.  ``memory`` always needs the shape.
+    """
+    scheme, path = parse_store_target(target)
+    if scheme == "memory":
+        from repro.storage.memory import MemoryBackend
+
+        if n is None:
+            raise StorageError("a fresh memory backend needs the process count")
+        return MemoryBackend(
+            n, start_vars=start_vars, proc_names=proc_names,
+            start_times=start_times,
+        )
+    from repro.storage.sqlite import SqliteBackend
+
+    return SqliteBackend.open(
+        path, n=n, start_vars=start_vars, proc_names=proc_names,
+        start_times=start_times, branch=branch, create=create, **kwargs,
+    )
+
+
+class StorageBackend(ABC):
+    """What a trace storage engine must provide (see module docstring)."""
+
+    #: backend family name (``"memory"`` / ``"sqlite"``), for messages
+    kind: str = "abstract"
+
+    # -- shape ---------------------------------------------------------------
+
+    n: int
+    epoch: int
+    obs: Any
+
+    @property
+    @abstractmethod
+    def state_counts(self) -> Tuple[int, ...]: ...
+
+    @property
+    @abstractmethod
+    def proc_names(self) -> Tuple[str, ...]: ...
+
+    @property
+    @abstractmethod
+    def index(self) -> CausalIndex: ...
+
+    @property
+    @abstractmethod
+    def messages(self) -> Tuple[MessageArrow, ...]: ...
+
+    @property
+    @abstractmethod
+    def control_arrows(self) -> Tuple[ControlArrow, ...]: ...
+
+    @property
+    def num_states(self) -> int:
+        return sum(self.state_counts)
+
+    # -- reads ---------------------------------------------------------------
+
+    @abstractmethod
+    def state_vars(self, ref: StateRef | Tuple[int, int]) -> Dict[str, Any]: ...
+
+    @abstractmethod
+    def latest_vars(self, proc: int) -> Dict[str, Any]: ...
+
+    @abstractmethod
+    def state_time(self, ref: StateRef | Tuple[int, int]) -> Optional[float]: ...
+
+    @abstractmethod
+    def vars_prefix(self, proc: int) -> Tuple[Dict[str, Any], ...]:
+        """All variable assignments of one process, materialised."""
+
+    @abstractmethod
+    def times_prefix(self, proc: int) -> Optional[Tuple[float, ...]]:
+        """All timestamps of one process (``None``: untimed trace)."""
+
+    @abstractmethod
+    def column_block(self, proc: int, names: Sequence[str]) -> ColumnBlock: ...
+
+    @abstractmethod
+    def snapshot_cache(self) -> Dict[Any, Any]:
+        """The packed-column cache dict a snapshot should share."""
+
+    @abstractmethod
+    def used_message(self, ev: EventRef) -> Optional[MessageArrow]:
+        """The message already occupying event ``ev`` (D3), if any."""
+
+    # -- writes --------------------------------------------------------------
+
+    @abstractmethod
+    def append_state(
+        self,
+        proc: int,
+        new_vars: Dict[str, Any],
+        *,
+        time: Optional[float] = None,
+        received_from: Optional[StateRef] = None,
+        payload: Any = None,
+        tag: Optional[str] = None,
+    ) -> StateRef: ...
+
+    @abstractmethod
+    def append_message(
+        self, src: StateRef, dst: StateRef, payload: Any = None,
+        tag: Optional[str] = None,
+    ) -> MessageArrow: ...
+
+    @abstractmethod
+    def append_control(self, src: StateRef, dst: StateRef) -> ControlArrow: ...
+
+    # -- commit chain ---------------------------------------------------------
+
+    def commit(self, kind: str = "append", message: Optional[str] = None,
+               meta: Optional[Dict[str, Any]] = None) -> Optional[int]:
+        """Persist everything appended since the last commit.
+
+        Durable backends return the new commit id (or the current head
+        when nothing changed); the in-memory backend has no chain and
+        returns ``None``.
+        """
+        return None
+
+    @property
+    def head(self) -> Optional[int]:
+        """The current branch's head commit id (``None``: no chain)."""
+        return None
+
+    @property
+    def branch_name(self) -> Optional[str]:
+        """The branch this backend is writing to (``None``: no chain)."""
+        return None
+
+    @abstractmethod
+    def branch(self, name: str) -> "StorageBackend":
+        """A copy-on-write fork of the current state under ``name``."""
+
+    def close(self) -> None:
+        """Release any resources (no-op for in-memory backends)."""
+
+
+class IndexedBackend(StorageBackend):
+    """Shared semantics: the live causal index plus model bookkeeping.
+
+    Subclasses keep the *variable columns* however they like and plug in
+    via :meth:`_push_state`; everything observable through the protocol
+    -- D3 enforcement, epoch bumps, arrow dedup, index maintenance -- is
+    implemented here exactly once, which is what makes backends
+    behaviorally identical by construction.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        proc_names: Optional[Sequence[str]] = None,
+        timed: bool = False,
+    ):
+        if n <= 0:
+            raise MalformedTraceError(f"need at least one process, got n={n}")
+        if proc_names is not None and len(proc_names) != n:
+            raise MalformedTraceError(f"{len(proc_names)} names for {n} processes")
+        self.n = n
+        self._names: Tuple[str, ...] = (
+            tuple(proc_names) if proc_names is not None
+            else tuple(f"P{i}" for i in range(n))
+        )
+        self._timed = timed
+        self._messages: List[MessageArrow] = []
+        self._control: List[ControlArrow] = []
+        self._control_set: set = set()
+        self._index = CausalIndex([1] * n)
+        # D3 bookkeeping: which events already carry a message.
+        self._used_events: Dict[EventRef, MessageArrow] = {}
+        #: bumped whenever an arrow lands between *existing* states --
+        #: consumers holding incremental conclusions must re-derive them.
+        self.epoch = 0
+        self.obs: Any = None
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def state_counts(self) -> Tuple[int, ...]:
+        return self._index.state_counts
+
+    @property
+    def proc_names(self) -> Tuple[str, ...]:
+        return self._names
+
+    @property
+    def index(self) -> CausalIndex:
+        return self._index
+
+    @property
+    def messages(self) -> Tuple[MessageArrow, ...]:
+        return tuple(self._messages)
+
+    @property
+    def control_arrows(self) -> Tuple[ControlArrow, ...]:
+        return tuple(self._control)
+
+    def used_message(self, ev: EventRef) -> Optional[MessageArrow]:
+        return self._used_events.get(ev)
+
+    # -- storage primitive subclasses provide --------------------------------
+
+    @abstractmethod
+    def _push_state(self, proc: int, vars: Dict[str, Any],
+                    time: Optional[float]) -> None:
+        """Persist one appended state (index/bookkeeping already done)."""
+
+    # -- writes --------------------------------------------------------------
+
+    def append_state(
+        self,
+        proc: int,
+        new_vars: Dict[str, Any],
+        *,
+        time: Optional[float] = None,
+        received_from: Optional[StateRef] = None,
+        payload: Any = None,
+        tag: Optional[str] = None,
+    ) -> StateRef:
+        if not (0 <= proc < self.n):
+            raise MalformedTraceError(f"no process {proc}")
+        sources: List[StateRef] = []
+        src = received_from
+        if src is not None:
+            src = StateRef(*src)
+            if src.proc == proc:
+                raise MalformedTraceError("a process cannot receive its own message")
+            send_ev: EventRef = (src.proc, src.index)
+            if send_ev in self._used_events:
+                raise MalformedTraceError(
+                    f"event {send_ev} used by both "
+                    f"{self._used_events[send_ev]!r} and the message from "
+                    f"{src!r} (D3 / one message per event)"
+                )
+            sources.append(src)
+        entered = self._index.append_event(proc, sources)  # validates endpoints
+        self._push_state(proc, new_vars, time)
+        if src is not None:
+            msg = MessageArrow(src, entered, payload=payload, tag=tag)
+            self._messages.append(msg)
+            self._used_events[(src.proc, src.index)] = msg
+            self._used_events[(proc, entered.index - 1)] = msg
+            _MESSAGES.inc()
+        _STATES.inc()
+        return entered
+
+    def append_message(
+        self, src: StateRef, dst: StateRef, payload: Any = None,
+        tag: Optional[str] = None,
+    ) -> MessageArrow:
+        src, dst = StateRef(*src), StateRef(*dst)
+        if src.proc == dst.proc:
+            raise MalformedTraceError("a process cannot receive its own message")
+        send_ev: EventRef = (src.proc, src.index)
+        recv_ev: EventRef = (dst.proc, dst.index - 1)
+        msg = MessageArrow(src, dst, payload=payload, tag=tag)
+        for ev in (send_ev, recv_ev):
+            if ev in self._used_events:
+                raise MalformedTraceError(
+                    f"event {ev} used by both {self._used_events[ev]!r} and "
+                    f"{msg!r} (D3 / one message per event)"
+                )
+        self._index.insert_arrows([(src, dst)])
+        self._messages.append(msg)
+        self._used_events[send_ev] = msg
+        self._used_events[recv_ev] = msg
+        self.epoch += 1
+        _MESSAGES.inc()
+        return msg
+
+    def append_control(self, src: StateRef, dst: StateRef) -> ControlArrow:
+        arrow = (StateRef(*src), StateRef(*dst))
+        if arrow in self._control_set:
+            return arrow  # duplicated control arrows add no causality
+        # The index also dedupes against message arrows with the same
+        # endpoints (the edge already exists; the *role* is still recorded).
+        self._index.insert_arrows([arrow])
+        self._control.append(arrow)
+        self._control_set.add(arrow)
+        self.epoch += 1
+        _CONTROL.inc()
+        return arrow

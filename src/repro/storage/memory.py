@@ -1,0 +1,147 @@
+"""The columnar in-memory backend (the original ``TraceStore`` layout).
+
+Per-process lists of variable dicts plus an optional timestamp column;
+packed :class:`~repro.store.columns.ColumnBlock` views are cached keyed
+by ``(proc, names, prefix length)`` and shared with every snapshot
+(state dicts are append-only, so a block packed for one prefix stays
+valid forever).
+
+``branch(name)`` is the in-memory analogue of the SQLite backend's
+copy-on-write fork: the new backend gets its own column *lists* (O(states)
+pointer copies) while sharing every variable dict, message arrow, and a
+clock-sharing :class:`~repro.store.index.CausalIndex` twin -- appends on
+either side never touch the other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.causality.relations import StateRef
+from repro.errors import MalformedTraceError
+from repro.store.columns import ColumnBlock, pack_block
+from repro.store.index import CausalIndex
+from repro.storage.base import IndexedBackend
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(IndexedBackend):
+    """Columnar, append-only, in-memory storage for one computation."""
+
+    kind = "memory"
+
+    def __init__(
+        self,
+        n: int,
+        start_vars: Optional[Sequence[Dict[str, Any]]] = None,
+        proc_names: Optional[Sequence[str]] = None,
+        start_times: Optional[Sequence[float] | float] = None,
+    ):
+        if start_vars is not None and len(start_vars) != n:
+            raise MalformedTraceError(
+                f"{len(start_vars)} start assignments for {n} processes"
+            )
+        if start_times is not None and isinstance(start_times, (int, float)):
+            start_times = [float(start_times)] * n
+        if start_times is not None and len(start_times) != n:
+            raise MalformedTraceError(
+                f"{len(start_times)} start times for {n} processes"
+            )
+        super().__init__(n, proc_names=proc_names, timed=start_times is not None)
+        self._vars: List[List[Dict[str, Any]]] = [
+            [dict(start_vars[i]) if start_vars is not None else {}]
+            for i in range(n)
+        ]
+        self._times: Optional[List[List[float]]] = (
+            [[float(t)] for t in start_times] if start_times is not None
+            else None
+        )
+        # Packed variable columns, keyed (proc, names, prefix length);
+        # shared with every snapshot.
+        self._column_cache: Dict[Tuple[int, Tuple[str, ...], int], ColumnBlock] = {}
+        #: fork counter so auto-named branches stay unique
+        self._branches = 0
+
+    # -- storage primitives ---------------------------------------------------
+
+    def _push_state(self, proc: int, vars: Dict[str, Any],
+                    time: Optional[float]) -> None:
+        self._vars[proc].append(vars)
+        if self._times is not None:
+            self._times[proc].append(
+                float(time) if time is not None else self._times[proc][-1]
+            )
+
+    # -- reads ---------------------------------------------------------------
+
+    def state_vars(self, ref: StateRef | Tuple[int, int]) -> Dict[str, Any]:
+        proc, index = ref
+        return self._vars[proc][index]
+
+    def latest_vars(self, proc: int) -> Dict[str, Any]:
+        return self._vars[proc][-1]
+
+    def state_time(self, ref: StateRef | Tuple[int, int]) -> Optional[float]:
+        if self._times is None:
+            return None
+        proc, index = ref
+        return self._times[proc][index]
+
+    def vars_prefix(self, proc: int) -> Tuple[Dict[str, Any], ...]:
+        return tuple(self._vars[proc])
+
+    def times_prefix(self, proc: int) -> Optional[Tuple[float, ...]]:
+        if self._times is None:
+            return None
+        return tuple(self._times[proc])
+
+    def column_block(self, proc: int, names: Sequence[str]) -> ColumnBlock:
+        states = self._vars[proc]
+        key = (proc, tuple(names), len(states))
+        block = self._column_cache.get(key)
+        if block is None:
+            block = pack_block(states[: key[2]], key[1])
+            self._column_cache[key] = block
+        return block
+
+    def snapshot_cache(self) -> Dict[Any, Any]:
+        return self._column_cache
+
+    # -- branching ------------------------------------------------------------
+
+    def branch(self, name: str) -> "MemoryBackend":
+        """A copy-on-write fork: shared dicts/arrows, private columns.
+
+        The fork shares a clock matrix with this backend through
+        :meth:`CausalIndex.extended`-style twinning, so neither side pays
+        a rebuild; both sides copy rows only when a later arrow insert
+        would touch shared ones.
+        """
+        self._branches += 1
+        fork = MemoryBackend.__new__(MemoryBackend)
+        IndexedBackend.__init__(fork, self.n, proc_names=self._names,
+                                timed=self._timed)
+        fork._vars = [list(col) for col in self._vars]
+        fork._times = (
+            [list(col) for col in self._times] if self._times is not None
+            else None
+        )
+        fork._column_cache = dict(self._column_cache)
+        fork._branches = 0
+        fork._messages = list(self._messages)
+        fork._control = list(self._control)
+        fork._control_set = set(self._control_set)
+        fork._used_events = dict(self._used_events)
+        fork.epoch = self.epoch
+        fork.obs = self.obs
+        # A fresh appendable index over the same counts/arrows: built from
+        # the live index's arrows so clocks come out identical.
+        fork._index = CausalIndex(self.state_counts, self._index.arrows)
+        return fork
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryBackend(n={self.n}, states={self.state_counts}, "
+            f"messages={len(self._messages)}, epoch={self.epoch})"
+        )

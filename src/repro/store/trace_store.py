@@ -1,4 +1,4 @@
-"""Append-only columnar trace storage: the storage layer of the trace stack.
+"""Append-only trace storage: the user-facing façade of the trace stack.
 
 A :class:`TraceStore` accumulates a distributed computation as it happens:
 per-process columns of variable assignments (and optional timestamps),
@@ -7,6 +7,24 @@ It maintains a live :class:`~repro.store.index.CausalIndex` in lockstep,
 so causal queries are always available over the current prefix -- this is
 what streaming ingestion (``repro ingest`` / ``repro watch``) and the
 simulator's recorder write into.
+
+Storage engines
+---------------
+The store is a thin façade over a :class:`~repro.storage.base.StorageBackend`:
+
+* the default :class:`~repro.storage.memory.MemoryBackend` keeps the
+  original columnar in-memory layout;
+* :class:`~repro.storage.sqlite.SqliteBackend` (``TraceStore.open
+  ("sqlite:trace.db")``) persists the computation as an immutable,
+  CRC-checked commit chain with branch/copy-on-write semantics, paging
+  variable columns through a bounded LRU cache so traces larger than RAM
+  stream in and out.
+
+Every backend is behaviorally identical (the hypothesis suite in
+``tests/storage/`` enforces it), so nothing downstream -- snapshots,
+detection, replay, serving -- cares which engine is underneath.  The
+commit-chain verbs (:meth:`commit`, :meth:`branch`, :attr:`head`) are
+no-ops/`None` on the in-memory engine.
 
 Append discipline
 -----------------
@@ -30,24 +48,26 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.causality.relations import Arrow, EventRef, StateRef
-from repro.errors import MalformedTraceError
+from repro.errors import MalformedTraceError, UnknownFreezeFormatError
 from repro.obs.metrics import METRICS
-from repro.store.columns import ColumnBlock, pack_block
+from repro.store.columns import ColumnBlock
 from repro.store.index import CausalIndex
+from repro.storage.base import StorageBackend, open_backend
+from repro.storage.memory import MemoryBackend
 from repro.trace.states import MessageArrow
 
-__all__ = ["TraceStore", "iter_delivery_events"]
+__all__ = ["TraceStore", "iter_delivery_events", "FREEZE_FORMAT"]
 
 ControlArrow = Tuple[StateRef, StateRef]
 
-_STATES = METRICS.counter("store.states")
-_MESSAGES = METRICS.counter("store.messages")
-_CONTROL = METRICS.counter("store.control_arrows")
+#: version tag of :meth:`TraceStore.freeze` payloads
+FREEZE_FORMAT = "repro-freeze/1"
+
 _SNAPSHOTS = METRICS.counter("store.snapshots")
 
 
 class TraceStore:
-    """Columnar, append-only storage for one distributed computation.
+    """Append-only storage for one distributed computation.
 
     Parameters
     ----------
@@ -60,88 +80,98 @@ class TraceStore:
     start_times:
         Per-process start timestamps (or one scalar for all).  When given,
         the store tracks a timestamp column and snapshots carry it.
+    backend:
+        An already-open :class:`StorageBackend` to wrap instead of
+        creating a fresh in-memory one (the other parameters are then
+        ignored -- the backend carries the shape).  See also
+        :meth:`open`.
     """
 
     def __init__(
         self,
-        n: int,
+        n: int = 0,
         start_vars: Optional[Sequence[Dict[str, Any]]] = None,
         proc_names: Optional[Sequence[str]] = None,
         start_times: Optional[Sequence[float] | float] = None,
+        *,
+        backend: Optional[StorageBackend] = None,
     ):
-        if n <= 0:
-            raise MalformedTraceError(f"need at least one process, got n={n}")
-        if start_vars is not None and len(start_vars) != n:
-            raise MalformedTraceError(
-                f"{len(start_vars)} start assignments for {n} processes"
+        if backend is None:
+            backend = MemoryBackend(
+                n, start_vars=start_vars, proc_names=proc_names,
+                start_times=start_times,
             )
-        if proc_names is not None and len(proc_names) != n:
-            raise MalformedTraceError(f"{len(proc_names)} names for {n} processes")
-        self.n = n
-        self._vars: List[List[Dict[str, Any]]] = [
-            [dict(start_vars[i]) if start_vars is not None else {}] for i in range(n)
-        ]
-        self._names: Tuple[str, ...] = (
-            tuple(proc_names) if proc_names is not None
-            else tuple(f"P{i}" for i in range(n))
-        )
-        self._times: Optional[List[List[float]]] = None
-        if start_times is not None:
-            if isinstance(start_times, (int, float)):
-                start_times = [float(start_times)] * n
-            if len(start_times) != n:
-                raise MalformedTraceError(
-                    f"{len(start_times)} start times for {n} processes"
-                )
-            self._times = [[float(t)] for t in start_times]
-        self._messages: List[MessageArrow] = []
-        self._control: List[ControlArrow] = []
-        self._control_set: set = set()
-        self._index = CausalIndex([1] * n)
-        # Packed variable columns, keyed (proc, names, prefix length).
-        # Shared with every snapshot (state dicts are append-only, so a
-        # block packed for one prefix stays valid forever).
-        self._column_cache: Dict[Tuple[int, Tuple[str, ...], int], ColumnBlock] = {}
-        # D3 bookkeeping: which events already carry a message.
-        self._used_events: Dict[EventRef, MessageArrow] = {}
-        #: bumped whenever an arrow lands between *existing* states --
-        #: consumers holding incremental conclusions must re-derive them.
-        self.epoch = 0
+        self._backend = backend
+
+    @classmethod
+    def open(cls, target: str, **kwargs: Any) -> "TraceStore":
+        """Open (or create) a store by ``--store`` target string.
+
+        ``"memory"`` needs the shape (``n=...``); ``"sqlite:PATH"``
+        reopens an existing commit chain at ``branch`` (default
+        ``main``) or creates one when the shape is given.
+        """
+        return cls(backend=open_backend(target, **kwargs))
+
+    # -- the engine underneath ----------------------------------------------
+
+    @property
+    def backend(self) -> StorageBackend:
+        return self._backend
+
+    @property
+    def n(self) -> int:
+        return self._backend.n
+
+    @property
+    def epoch(self) -> int:
+        return self._backend.epoch
+
+    @epoch.setter
+    def epoch(self, value: int) -> None:
+        self._backend.epoch = value
+
+    @property
+    def obs(self) -> Any:
+        return self._backend.obs
+
+    @obs.setter
+    def obs(self, value: Any) -> None:
+        self._backend.obs = value
 
     # -- shape --------------------------------------------------------------
 
     @property
     def state_counts(self) -> Tuple[int, ...]:
-        return self._index.state_counts
+        return self._backend.state_counts
 
     @property
     def num_states(self) -> int:
-        return sum(self._index.state_counts)
+        return self._backend.num_states
 
     @property
     def proc_names(self) -> Tuple[str, ...]:
-        return self._names
+        return self._backend.proc_names
 
     @property
     def messages(self) -> Tuple[MessageArrow, ...]:
-        return tuple(self._messages)
+        return self._backend.messages
 
     @property
     def control_arrows(self) -> Tuple[ControlArrow, ...]:
-        return tuple(self._control)
+        return self._backend.control_arrows
 
     @property
     def index(self) -> CausalIndex:
         """The live causal index over the current prefix (do not mutate)."""
-        return self._index
+        return self._backend.index
 
     def state_vars(self, ref: StateRef | Tuple[int, int]) -> Dict[str, Any]:
         """The variable assignment of a local state (do not mutate)."""
-        proc, index = ref
-        return self._vars[proc][index]
+        return self._backend.state_vars(ref)
 
     def latest_vars(self, proc: int) -> Dict[str, Any]:
-        return self._vars[proc][-1]
+        return self._backend.latest_vars(proc)
 
     def column_block(self, proc: int, names: Sequence[str]) -> ColumnBlock:
         """Packed columns of ``proc``'s current state prefix (cached).
@@ -150,19 +180,23 @@ class TraceStore:
         store's cache dict), so repeated detect calls over a growing trace
         pay one pack per (variable set, prefix length).
         """
-        states = self._vars[proc]
-        key = (proc, tuple(names), len(states))
-        block = self._column_cache.get(key)
-        if block is None:
-            block = pack_block(states[: key[2]], key[1])
-            self._column_cache[key] = block
-        return block
+        return self._backend.column_block(proc, names)
 
     def state_time(self, ref: StateRef | Tuple[int, int]) -> Optional[float]:
-        if self._times is None:
-            return None
-        proc, index = ref
-        return self._times[proc][index]
+        return self._backend.state_time(ref)
+
+    def vars_prefix(self, proc: int) -> Tuple[Dict[str, Any], ...]:
+        """All of ``proc``'s variable assignments, materialised."""
+        return self._backend.vars_prefix(proc)
+
+    def times_prefix(self, proc: int) -> Optional[Tuple[float, ...]]:
+        return self._backend.times_prefix(proc)
+
+    def used_message(self, ev: EventRef) -> Optional[MessageArrow]:
+        return self._backend.used_message(ev)
+
+    def snapshot_cache(self) -> Dict[Any, Any]:
+        return self._backend.snapshot_cache()
 
     # -- appends ------------------------------------------------------------
 
@@ -191,36 +225,12 @@ class TraceStore:
         if vars is not None:
             new_vars = dict(vars)
         else:
-            new_vars = dict(self._vars[proc][-1])
+            new_vars = dict(self._backend.latest_vars(proc))
             new_vars.update(updates or {})
-        sources: List[StateRef] = []
-        src: Optional[StateRef] = None
-        if received_from is not None:
-            src = StateRef(*received_from)
-            if src.proc == proc:
-                raise MalformedTraceError("a process cannot receive its own message")
-            send_ev: EventRef = (src.proc, src.index)
-            if send_ev in self._used_events:
-                raise MalformedTraceError(
-                    f"event {send_ev} used by both "
-                    f"{self._used_events[send_ev]!r} and the message from "
-                    f"{src!r} (D3 / one message per event)"
-                )
-            sources.append(src)
-        entered = self._index.append_event(proc, sources)  # validates endpoints
-        self._vars[proc].append(new_vars)
-        if self._times is not None:
-            self._times[proc].append(
-                float(time) if time is not None else self._times[proc][-1]
-            )
-        if src is not None:
-            msg = MessageArrow(src, entered, payload=payload, tag=tag)
-            self._messages.append(msg)
-            self._used_events[(src.proc, src.index)] = msg
-            self._used_events[(proc, entered.index - 1)] = msg
-            _MESSAGES.inc()
-        _STATES.inc()
-        return entered
+        return self._backend.append_state(
+            proc, new_vars, time=time, received_from=received_from,
+            payload=payload, tag=tag,
+        )
 
     def append_message(
         self,
@@ -236,25 +246,7 @@ class TraceStore:
         ``append_state(received_from=...)`` costs O(n).  Bumps
         :attr:`epoch`.
         """
-        src, dst = StateRef(*src), StateRef(*dst)
-        if src.proc == dst.proc:
-            raise MalformedTraceError("a process cannot receive its own message")
-        send_ev: EventRef = (src.proc, src.index)
-        recv_ev: EventRef = (dst.proc, dst.index - 1)
-        msg = MessageArrow(src, dst, payload=payload, tag=tag)
-        for ev in (send_ev, recv_ev):
-            if ev in self._used_events:
-                raise MalformedTraceError(
-                    f"event {ev} used by both {self._used_events[ev]!r} and "
-                    f"{msg!r} (D3 / one message per event)"
-                )
-        self._index.insert_arrows([(src, dst)])
-        self._messages.append(msg)
-        self._used_events[send_ev] = msg
-        self._used_events[recv_ev] = msg
-        self.epoch += 1
-        _MESSAGES.inc()
-        return msg
+        return self._backend.append_message(src, dst, payload=payload, tag=tag)
 
     def append_control(
         self, src: StateRef | Tuple[int, int], dst: StateRef | Tuple[int, int]
@@ -265,17 +257,40 @@ class TraceStore:
         arrow interferes with the recorded causality.  Bumps :attr:`epoch`
         when the arrow is new.
         """
-        arrow = (StateRef(*src), StateRef(*dst))
-        if arrow in self._control_set:
-            return arrow  # duplicated control arrows add no causality
-        # The index also dedupes against message arrows with the same
-        # endpoints (the edge already exists; the *role* is still recorded).
-        self._index.insert_arrows([arrow])
-        self._control.append(arrow)
-        self._control_set.add(arrow)
-        self.epoch += 1
-        _CONTROL.inc()
-        return arrow
+        return self._backend.append_control(src, dst)
+
+    # -- the commit chain ----------------------------------------------------
+
+    def commit(self, kind: str = "append", message: Optional[str] = None,
+               meta: Optional[Dict[str, Any]] = None) -> Optional[int]:
+        """Persist appends since the last commit (durable backends only).
+
+        Returns the new head commit id, or ``None`` on the in-memory
+        engine (which has no chain and nothing to persist).
+        """
+        return self._backend.commit(kind=kind, message=message, meta=meta)
+
+    @property
+    def head(self) -> Optional[int]:
+        """Head commit id of the open branch (``None``: no chain)."""
+        return self._backend.head
+
+    @property
+    def branch_name(self) -> Optional[str]:
+        return self._backend.branch_name
+
+    def branch(self, name: str) -> "TraceStore":
+        """A copy-on-write fork of the current state under ``name``.
+
+        On the SQLite engine this commits pending appends and adds one
+        branch row -- the fork shares every ancestor commit and page; on
+        the in-memory engine it is an O(states) pointer-sharing copy.
+        Either way, appends to the fork never touch this store.
+        """
+        return TraceStore(backend=self._backend.branch(name))
+
+    def close(self) -> None:
+        self._backend.close()
 
     # -- snapshots ----------------------------------------------------------
 
@@ -299,18 +314,23 @@ class TraceStore:
         Everything :meth:`restore` needs to rebuild an equivalent store --
         columns, arrows, epoch -- with no live index internals (the index
         is re-derived on restore, so the wire format stays stable across
-        index implementations).  This is the checkpoint payload of the
+        index implementations).  Payloads carry ``format``
+        (:data:`FREEZE_FORMAT`) so an incompatible build fails with a
+        typed :class:`~repro.errors.UnknownFreezeFormatError` instead of
+        an opaque ``KeyError``.  This is the checkpoint payload of the
         serving layer's durability machinery (``docs/ROBUSTNESS.md``);
         payloads/tags must be JSON-serializable, which holds for every
         store fed from a ``repro-events/1`` stream.
         """
+        b = self._backend
         return {
+            "format": FREEZE_FORMAT,
             "n": self.n,
-            "proc_names": list(self._names),
-            "vars": [[dict(v) for v in col] for col in self._vars],
+            "proc_names": list(self.proc_names),
+            "vars": [[dict(v) for v in b.vars_prefix(i)] for i in range(self.n)],
             "times": (
-                [list(col) for col in self._times]
-                if self._times is not None else None
+                [list(b.times_prefix(i)) for i in range(self.n)]
+                if b.times_prefix(0) is not None else None
             ),
             "messages": [
                 {
@@ -319,25 +339,35 @@ class TraceStore:
                     "payload": m.payload,
                     "tag": m.tag,
                 }
-                for m in self._messages
+                for m in b.messages
             ],
             "control": [
-                [[a.proc, a.index], [b.proc, b.index]]
-                for a, b in self._control
+                [[a.proc, a.index], [b_.proc, b_.index]]
+                for a, b_ in b.control_arrows
             ],
             "epoch": self.epoch,
-            "obs": getattr(self, "obs", None),
+            "obs": self.obs,
         }
 
     @classmethod
     def restore(cls, state: Dict[str, Any]) -> "TraceStore":
-        """Rebuild a store from a :meth:`freeze` payload.
+        """Rebuild an in-memory store from a :meth:`freeze` payload.
 
         The causal index is rebuilt batch-style over the restored counts
         and arrows, so the result answers every causal query identically
         to the frozen original (same clocks, same epoch, same D3
-        bookkeeping) and remains appendable.
+        bookkeeping) and remains appendable.  Payloads without a
+        ``format`` field are accepted as the legacy (pre-versioned)
+        layout; an unknown format raises
+        :class:`~repro.errors.UnknownFreezeFormatError`.
         """
+        fmt = state.get("format")
+        if fmt is not None and fmt != FREEZE_FORMAT:
+            raise UnknownFreezeFormatError(
+                f"cannot restore freeze payload of format {fmt!r}; this "
+                f"build understands {FREEZE_FORMAT!r} (and legacy payloads "
+                f"with no format field)"
+            )
         n = int(state["n"])
         vars_cols = state["vars"]
         store = cls(
@@ -349,48 +379,59 @@ class TraceStore:
                 if state.get("times") is not None else None
             ),
         )
-        store._vars = [[dict(v) for v in col] for col in vars_cols]
+        b = store._backend
+        b._vars = [[dict(v) for v in col] for col in vars_cols]
         if state.get("times") is not None:
-            store._times = [list(map(float, col)) for col in state["times"]]
+            b._times = [list(map(float, col)) for col in state["times"]]
         arrows: List[Arrow] = []
         for m in state.get("messages", ()):
             src = StateRef(*m["src"])
             dst = StateRef(*m["dst"])
             msg = MessageArrow(src, dst, payload=m.get("payload"),
                                tag=m.get("tag"))
-            store._messages.append(msg)
-            store._used_events[(src.proc, src.index)] = msg
-            store._used_events[(dst.proc, dst.index - 1)] = msg
+            b._messages.append(msg)
+            b._used_events[(src.proc, src.index)] = msg
+            b._used_events[(dst.proc, dst.index - 1)] = msg
             arrows.append((src, dst))
-        for a, b in state.get("control", ()):
-            arrow = (StateRef(*a), StateRef(*b))
-            store._control.append(arrow)
-            store._control_set.add(arrow)
+        for a, c in state.get("control", ()):
+            arrow = (StateRef(*a), StateRef(*c))
+            b._control.append(arrow)
+            b._control_set.add(arrow)
             arrows.append(arrow)
-        store._index = CausalIndex(
-            [len(col) for col in vars_cols], arrows
-        )
-        store.epoch = int(state.get("epoch", 0))
-        store.obs = state.get("obs")
+        b._index = CausalIndex([len(col) for col in vars_cols], arrows)
+        b.epoch = int(state.get("epoch", 0))
+        b.obs = state.get("obs")
         return store
 
     # -- bulk construction ---------------------------------------------------
 
     @classmethod
-    def from_deposet(cls, dep: "Deposet") -> "TraceStore":
+    def from_deposet(
+        cls, dep: "Deposet", *, backend: Optional[StorageBackend] = None,
+    ) -> "TraceStore":
         """Replay an existing deposet through the incremental path.
 
         Events are fed in a causal delivery order (see
         :func:`iter_delivery_events`), so the resulting store -- columns,
         arrows, and live index -- is equivalent to the batch-built ``dep``.
+        Pass ``backend`` (a freshly-created engine whose start states
+        match ``dep``'s, e.g. a new SQLite branch store) to materialise
+        the deposet into it instead of a new in-memory store.
         """
         ts = dep.timestamps
-        store = cls(
-            dep.n,
-            start_vars=[dep.state_vars((i, 0)) for i in range(dep.n)],
-            proc_names=dep.proc_names,
-            start_times=[row[0] for row in ts] if ts is not None else None,
-        )
+        if backend is None:
+            store = cls(
+                dep.n,
+                start_vars=[dep.state_vars((i, 0)) for i in range(dep.n)],
+                proc_names=dep.proc_names,
+                start_times=[row[0] for row in ts] if ts is not None else None,
+            )
+        else:
+            if backend.num_states != backend.n:
+                raise MalformedTraceError(
+                    "from_deposet needs an empty backend (start states only)"
+                )
+            store = cls(backend=backend)
         for proc, entered, msg, ctls in iter_delivery_events(dep):
             time = ts[proc][entered] if ts is not None else None
             if msg is not None:
@@ -411,10 +452,18 @@ class TraceStore:
         return store
 
     def __repr__(self) -> str:
-        ctrl = f", control={len(self._control)}" if self._control else ""
+        ctrl = (
+            f", control={len(self.control_arrows)}" if self.control_arrows
+            else ""
+        )
+        chain = (
+            f", branch={self.branch_name!r}@{self.head}"
+            if self.branch_name is not None else ""
+        )
         return (
-            f"TraceStore(n={self.n}, states={self.state_counts}, "
-            f"messages={len(self._messages)}{ctrl}, epoch={self.epoch})"
+            f"TraceStore[{self._backend.kind}](n={self.n}, "
+            f"states={self.state_counts}, messages={len(self.messages)}"
+            f"{ctrl}{chain}, epoch={self.epoch})"
         )
 
 

@@ -348,9 +348,9 @@ class Deposet:
         :meth:`TraceStore.snapshot`.
         """
         dep = object.__new__(cls)
-        dep._vars = tuple(tuple(states) for states in store._vars)
-        dep._messages = tuple(store._messages)
-        dep._control = tuple(store._control)
+        dep._vars = tuple(store.vars_prefix(i) for i in range(store.n))
+        dep._messages = tuple(store.messages)
+        dep._control = tuple(store.control_arrows)
         names = store.proc_names if proc_names is None else tuple(proc_names)
         if len(names) != len(dep._vars):
             raise MalformedTraceError(
@@ -358,8 +358,8 @@ class Deposet:
             )
         dep._names = tuple(names)
         dep._timestamps = (
-            tuple(tuple(row) for row in store._times)
-            if store._times is not None
+            tuple(store.times_prefix(i) for i in range(store.n))
+            if store.times_prefix(0) is not None
             else None
         )
         frozen = store.index.freeze()
@@ -370,7 +370,7 @@ class Deposet:
         # Share the store's packed-column cache: the key includes the
         # prefix length, so blocks stay per-snapshot-correct as the store
         # keeps growing.
-        dep.__dict__["_column_cache"] = store._column_cache
+        dep.__dict__["_column_cache"] = store.snapshot_cache()
         return dep
 
     def without_control(self) -> "Deposet":

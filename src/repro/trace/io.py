@@ -69,9 +69,11 @@ from typing import (
 from repro.causality.relations import StateRef
 from repro.errors import (
     MalformedTraceError,
+    StorageError,
     TruncatedStreamError,
     UnknownTraceFormatError,
 )
+from repro.storage.base import open_backend
 from repro.store.trace_store import TraceStore, iter_delivery_events
 from repro.trace.deposet import Deposet
 from repro.trace.states import MessageArrow
@@ -474,10 +476,15 @@ def _stream_fail(where: str, msg: str) -> None:
     raise MalformedTraceError(f"{where}: {msg}")
 
 
-def stream_store_from_header(rec: Dict[str, Any], where: str) -> TraceStore:
+def stream_store_from_header(
+    rec: Dict[str, Any], where: str, store_target: Optional[str] = None,
+) -> TraceStore:
     """A fresh :class:`TraceStore` from a parsed ``repro-events/1`` header.
 
     ``where`` (``file:line`` or a session label) prefixes every error.
+    ``store_target`` selects the storage engine (``"memory"`` default, or
+    ``"sqlite:PATH"`` for a durable commit chain -- the target must not
+    already hold a trace body; fork a branch instead of re-ingesting).
     Shared by file ingestion and the serving layer's per-tenant sessions.
     """
     if not isinstance(rec, dict):
@@ -494,12 +501,28 @@ def stream_store_from_header(rec: Dict[str, Any], where: str) -> TraceStore:
     for i, vars in enumerate(start):
         _check_vars(vars, f"{where}: start[{i}]")
     try:
-        store = TraceStore(
-            len(start),
-            start_vars=start,
-            proc_names=rec.get("proc_names"),
-            start_times=rec.get("start_times"),
-        )
+        if store_target is None or store_target in ("memory", "mem"):
+            store = TraceStore(
+                len(start),
+                start_vars=start,
+                proc_names=rec.get("proc_names"),
+                start_times=rec.get("start_times"),
+            )
+        else:
+            backend = open_backend(
+                store_target,
+                n=len(start),
+                start_vars=start,
+                proc_names=rec.get("proc_names"),
+                start_times=rec.get("start_times"),
+            )
+            if backend.num_states != backend.n:
+                backend.close()
+                raise StorageError(
+                    f"{store_target} already holds a trace body; ingest "
+                    f"into a fresh database or fork a branch"
+                )
+            store = TraceStore(backend=backend)
     except MalformedTraceError as exc:
         raise MalformedTraceError(f"{where}: {exc}") from exc
     store.obs = None
@@ -557,6 +580,7 @@ def apply_stream_record(
 
 def ingest_event_stream(
     path: Union[str, Path],
+    store_target: Optional[str] = None,
 ) -> Iterator[Tuple[TraceStore, Dict[str, Any]]]:
     """Incrementally ingest a ``repro-events/1`` stream.
 
@@ -565,6 +589,9 @@ def ingest_event_stream(
     appended suffix between records (``repro watch``).  The same store
     object is yielded every time; the trailing ``"obs"`` block, when
     present, is left on ``store`` as the attribute ``obs``.
+    ``store_target`` selects the storage engine (see
+    :func:`stream_store_from_header`); commit the store when done to
+    persist the chain.
 
     Malformed records raise :class:`MalformedTraceError` carrying
     ``file:line``; a partial record on the *final* line (no trailing
@@ -598,7 +625,7 @@ def ingest_event_stream(
             if not isinstance(rec, dict):
                 _stream_fail(where, f"expected an object, got {rec!r}")
             if store is None:
-                store = stream_store_from_header(rec, where)
+                store = stream_store_from_header(rec, where, store_target)
             else:
                 apply_stream_record(store, rec, where)
             yield store, rec
@@ -608,14 +635,16 @@ def ingest_event_stream(
 
 def read_event_stream(
     path: Union[str, Path],
+    store_target: Optional[str] = None,
 ) -> Tuple[TraceStore, Optional[Dict[str, Any]]]:
     """Read a whole ``repro-events/1`` stream into a :class:`TraceStore`.
 
     Returns ``(store, obs)`` where ``obs`` is the trailing observability
-    block (``None`` when absent).
+    block (``None`` when absent).  ``store_target`` selects the storage
+    engine (see :func:`stream_store_from_header`).
     """
     store: Optional[TraceStore] = None
-    for store, _rec in ingest_event_stream(path):
+    for store, _rec in ingest_event_stream(path, store_target):
         pass
     return store, store.obs
 
