@@ -189,6 +189,67 @@ def main():
             sys.exit("server did not drain within 30s of SIGINT")
         check(server.returncode == 0, "server exited 0 after SIGINT")
         check("drained" in err, "server reported a clean drain")
+
+        # --lint: the per-session streaming linter pushes
+        # repro-findings/1 events interleaved with the verdict stream
+        lint_sock = os.path.join(tmp, "lint.sock")
+        lint_server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--listen",
+             f"unix:{lint_sock}", "--workers", "1", "--lint"],
+            env={**os.environ, "PYTHONPATH": "src"},
+            stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            wait_for_socket(lint_sock, lint_server)
+            # a crossed delivery: the T007 finding fires mid-stream
+            crossed = [
+                json.dumps({"format": "repro-events/1", "n": 2,
+                            "start": [{"up": True}, {"up": True}]}),
+                json.dumps({"t": "ev", "p": 0, "u": {}}),
+                json.dumps({"t": "ev", "p": 0, "u": {}}),
+                json.dumps({"t": "recv", "p": 1, "src": [0, 1], "u": {}}),
+                json.dumps({"t": "recv", "p": 1, "src": [0, 0], "u": {}}),
+            ]
+            lint_seen = []
+
+            async def drive_lint():
+                stop = asyncio.Event()
+                sub = asyncio.ensure_future(subscribe(
+                    f"unix:{lint_sock}", "t0", lint_seen.append, stop=stop))
+                await asyncio.sleep(0.2)
+                out = await stream_events(
+                    f"unix:{lint_sock}", "t0", "lint-run", PREDICATE,
+                    crossed, timeout=TIMEOUT,
+                )
+                stop.set()
+                await sub
+                return out
+
+            lint_events = asyncio.run(
+                asyncio.wait_for(drive_lint(), TIMEOUT))
+            findings = [e for e in lint_events if e["e"] == "finding"]
+            summaries = [e for e in lint_events if e["e"] == "lint"]
+            check(findings and findings[0]["rule"] == "T007"
+                  and findings[0]["format"] == "repro-findings/1"
+                  and findings[0]["fp"],
+                  "served stream pushed the T007 repro-findings/1 event")
+            check(len(summaries) == 1
+                  and summaries[0]["findings"] >= 1
+                  and summaries[0]["format"] == "repro-findings/1",
+                  "served stream closed with one lint summary")
+            kinds = [e["e"] for e in lint_events]
+            check(kinds.index("lint") < kinds.index("final"),
+                  "lint summary precedes the final verdict")
+            check(any(e["e"] == "finding" for e in lint_seen),
+                  "subscriber received a repro-findings/1 event")
+        finally:
+            if lint_server.poll() is None:
+                lint_server.send_signal(signal.SIGINT)
+                try:
+                    lint_server.communicate(timeout=30)
+                except subprocess.TimeoutExpired:
+                    lint_server.kill()
+
         print("serve smoke: all checks passed")
     finally:
         if server.poll() is None:

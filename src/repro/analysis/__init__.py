@@ -20,30 +20,74 @@ from repro.analysis.classifier import (
     semantically_regular,
 )
 from repro.analysis.findings import RULES, Finding, Report, Rule, Severity
-from repro.analysis.raw import RawTrace, load_raw, parse_batch, parse_stream
+from repro.analysis.fingerprint import (
+    apply_baseline,
+    apply_suppressions,
+    fingerprint,
+    load_baseline,
+    suppressions_from_obs,
+    write_baseline,
+)
+from repro.analysis.incremental import (
+    RULE_MODES,
+    IncrementalRule,
+    RuleMode,
+    StreamingLinter,
+)
+from repro.analysis.raw import (
+    RawTrace,
+    StreamParser,
+    load_raw,
+    parse_batch,
+    parse_stream,
+    parse_stream_lines,
+)
 from repro.analysis.reporters import REPORTERS, render_json, render_sarif, render_text
-from repro.analysis.runner import lint_deposet, lint_raw, lint_trace
+from repro.analysis.runner import (
+    lint_deposet,
+    lint_raw,
+    lint_trace,
+    run_deep_passes,
+    run_rules,
+)
+from repro.analysis.storelint import gate_findings, lint_store
 
 __all__ = [
     "Classification",
     "Finding",
+    "IncrementalRule",
     "PredicateClass",
     "RawTrace",
     "Report",
     "REPORTERS",
     "RULES",
+    "RULE_MODES",
     "Rule",
+    "RuleMode",
     "Severity",
+    "StreamParser",
+    "StreamingLinter",
+    "apply_baseline",
+    "apply_suppressions",
     "classify",
+    "fingerprint",
+    "gate_findings",
     "lint_deposet",
     "lint_raw",
+    "lint_store",
     "lint_trace",
+    "load_baseline",
     "load_raw",
     "parse_batch",
     "parse_stream",
+    "parse_stream_lines",
     "raw_class",
     "render_json",
     "render_sarif",
     "render_text",
+    "run_deep_passes",
+    "run_rules",
     "semantically_regular",
+    "suppressions_from_obs",
+    "write_baseline",
 ]

@@ -203,6 +203,21 @@ class Finding:
             "autofix": self.rule.autofix,
         }
 
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (derived fields are recomputed)."""
+        return cls(
+            rule_id=str(d["rule"]),
+            message=str(d.get("message", "")),
+            location=d.get("location"),
+            states=tuple((int(s[0]), int(s[1])) for s in d.get("states", ())),
+            arrows=tuple(
+                ((int(a[0]), int(a[1])), (int(b[0]), int(b[1])))
+                for a, b in d.get("arrows", ())
+            ),
+            data=dict(d.get("data", {})),
+        )
+
 
 @dataclass
 class Report:

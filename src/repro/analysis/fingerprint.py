@@ -1,0 +1,166 @@
+"""Content-addressed finding fingerprints, baselines, and suppressions.
+
+A *fingerprint* is a short stable hash of what a finding **is** -- its
+rule and its witness (states, arrows, structured data, message) -- and
+deliberately not where it was **seen** (``location`` and location-valued
+witness data are excluded).  Two consequences the test suite pins:
+
+* re-ordering the input events in any way that preserves causal order
+  (so per-process state indices are unchanged) leaves every fingerprint
+  intact, even though every ``file:lineno`` location moved;
+* the same corruption linted from a file and from a SQLite branch
+  (``repro lint --store``) produces the same fingerprint, so one
+  baseline covers both.
+
+Baselines (``repro lint --baseline FILE`` / ``--update-baseline``) are
+JSON documents mapping fingerprints to a human-readable digest; a lint
+run against a baseline reports only findings whose fingerprint is new.
+Inline suppressions ride in a trace's ``obs`` block::
+
+    {"lint": {"suppress": ["T010", "fp:3f9ab0c2d1e45a67"]}}
+
+-- a bare rule id mutes the whole rule, a ``fp:`` token mutes one
+specific finding.  Both are applied at the reporting layer, never inside
+the rule engine, so streaming/batch identity is unaffected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Set, Union
+
+from repro.analysis.findings import Finding, Report
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "baseline_from_findings",
+    "apply_baseline",
+    "suppressions_from_obs",
+    "apply_suppressions",
+]
+
+#: Version tag hashed into every fingerprint; bump on any payload change.
+FP_FORMAT = "repro-fp/1"
+#: Baseline file format marker.
+BASELINE_FORMAT = "repro-lint-baseline/1"
+
+
+def _stable_data(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Witness data minus location-valued keys (they shift when the
+    input is re-serialized even though the finding did not change)."""
+    return {
+        k: v for k, v in data.items() if not k.endswith("location")
+    }
+
+
+def fingerprint(finding: Finding) -> str:
+    """16-hex-char content address of ``finding`` (location-independent)."""
+    payload = {
+        "rule": finding.rule_id,
+        "message": finding.message,
+        "states": [list(s) for s in finding.states],
+        "arrows": [[list(a), list(b)] for a, b in finding.arrows],
+        "data": _stable_data(finding.data),
+    }
+    blob = FP_FORMAT + "\n" + json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# -- baselines ---------------------------------------------------------------
+
+
+def baseline_from_findings(
+    findings: Sequence[Finding],
+) -> Dict[str, Any]:
+    """A baseline document accepting exactly these findings."""
+    fps: Dict[str, str] = {}
+    for f in findings:
+        fps.setdefault(fingerprint(f), f"{f.rule_id}: {f.message}")
+    return {"format": BASELINE_FORMAT, "fingerprints": fps}
+
+
+def write_baseline(
+    path: Union[str, Path], findings: Sequence[Finding]
+) -> int:
+    """Write a baseline accepting ``findings``; returns how many
+    distinct fingerprints it records."""
+    doc = baseline_from_findings(findings)
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return len(doc["fingerprints"])
+
+
+def load_baseline(path: Union[str, Path]) -> Set[str]:
+    """The set of accepted fingerprints in a baseline file.
+
+    Raises ``ValueError`` on a wrong format marker so a stale or foreign
+    file fails loudly instead of silently accepting nothing.
+    """
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or doc.get("format") != BASELINE_FORMAT:
+        raise ValueError(
+            f"{path}: not a {BASELINE_FORMAT!r} baseline file"
+        )
+    fps = doc.get("fingerprints", {})
+    if not isinstance(fps, dict):
+        raise ValueError(f"{path}: 'fingerprints' must be an object")
+    return set(fps)
+
+
+def apply_baseline(
+    report: Report, accepted: Set[str]
+) -> List[Finding]:
+    """Drop findings whose fingerprint is in ``accepted`` from the
+    report (in place); returns the dropped findings."""
+    kept: List[Finding] = []
+    dropped: List[Finding] = []
+    for f in report.findings:
+        (dropped if fingerprint(f) in accepted else kept).append(f)
+    report.findings[:] = kept
+    return dropped
+
+
+# -- inline suppressions -----------------------------------------------------
+
+
+def suppressions_from_obs(obs: Any) -> Set[str]:
+    """Suppression tokens carried in a trace's ``obs`` block.
+
+    Tokens are either rule ids (``"T010"``) or fingerprint references
+    (``"fp:<hex>"``); anything that is not a string is ignored -- the
+    obs block is user data and must never crash the linter.
+    """
+    if not isinstance(obs, dict):
+        return set()
+    lint = obs.get("lint")
+    if not isinstance(lint, dict):
+        return set()
+    tokens = lint.get("suppress")
+    if not isinstance(tokens, (list, tuple)):
+        return set()
+    return {t for t in tokens if isinstance(t, str)}
+
+
+def apply_suppressions(
+    report: Report, tokens: Iterable[str]
+) -> List[Finding]:
+    """Drop findings muted by ``tokens`` (rule ids or ``fp:`` refs) from
+    the report (in place); returns the dropped findings."""
+    tokens = set(tokens)
+    if not tokens:
+        return []
+    rules = {t for t in tokens if not t.startswith("fp:")}
+    fps = {t[3:] for t in tokens if t.startswith("fp:")}
+    kept: List[Finding] = []
+    dropped: List[Finding] = []
+    for f in report.findings:
+        muted = f.rule_id in rules or (fps and fingerprint(f) in fps)
+        (dropped if muted else kept).append(f)
+    report.findings[:] = kept
+    return dropped

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.findings import Finding
 from repro.causality.relations import StateRef
@@ -28,7 +28,15 @@ from repro.trace.deposet import Deposet
 from repro.trace.io import FORMAT, STREAM_FORMAT
 from repro.trace.states import MessageArrow
 
-__all__ = ["RawArrow", "RawTrace", "parse_batch", "parse_stream", "load_raw"]
+__all__ = [
+    "RawArrow",
+    "RawTrace",
+    "StreamParser",
+    "parse_batch",
+    "parse_stream",
+    "parse_stream_lines",
+    "load_raw",
+]
 
 Ref = Tuple[int, int]
 
@@ -248,130 +256,287 @@ def parse_batch(
 # -- event streams -----------------------------------------------------------
 
 
+class StreamParser:
+    """Incremental lenient parser for ``repro-events/1`` streams.
+
+    The single source of truth for the stream-side lenient-parse
+    semantics: :func:`parse_stream` drains a file through one instance,
+    and the online linter (:mod:`repro.analysis.incremental`) keeps one
+    as its *mirror* -- feeding the same records produces, by
+    construction, exactly the :class:`RawTrace` and parse findings a
+    batch re-parse of the prefix would.
+
+    Mirrors :func:`repro.trace.ingest_event_stream` but collects
+    findings instead of raising: structural problems are T001, records
+    that break causal delivery order (an arrow whose source event has
+    not completed at the time its target record arrives -- the contract
+    :class:`~repro.store.index.CausalIndex` enforces on append) are
+    T009.  Every witness carries ``source:lineno``.
+
+    After each :meth:`feed_line`/:meth:`feed_record` call the
+    ``delta_*`` attributes name the states and arrows that call
+    appended, so an incremental consumer can react in O(delta).
+    """
+
+    def __init__(self, source: str = "<stream>") -> None:
+        self.source = source
+        self.raw: Optional[RawTrace] = None
+        self.findings: List[Finding] = []
+        self.vars_now: List[Dict[str, Any]] = []
+        #: a header was seen but unusable; the batch parser stops there
+        self.dead = False
+        self.lineno = 0
+        #: ``(proc, index)`` states appended by the last feed call
+        self.delta_states: List[Ref] = []
+        #: message arrows appended by the last feed call
+        self.delta_messages: List[RawArrow] = []
+        #: control arrows appended by the last feed call
+        self.delta_control: List[RawArrow] = []
+
+    def feed_line(
+        self, line: str, where: Optional[str] = None
+    ) -> List[Finding]:
+        """Parse one raw stream line; returns the findings it produced."""
+        self.lineno += 1
+        if where is None:
+            where = f"{self.source}:{self.lineno}"
+        self.delta_states = []
+        self.delta_messages = []
+        self.delta_control = []
+        if self.dead:
+            return []
+        line = line.strip()
+        if not line:
+            return []
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return self._emit(_t001(where, f"not valid JSON ({exc})"))
+        return self._feed(rec, where)
+
+    def feed_record(
+        self, rec: Any, where: Optional[str] = None
+    ) -> List[Finding]:
+        """Parse one already-decoded record (``dict``); same contract as
+        :meth:`feed_line` minus the JSON decode."""
+        self.lineno += 1
+        if where is None:
+            where = f"{self.source}:{self.lineno}"
+        self.delta_states = []
+        self.delta_messages = []
+        self.delta_control = []
+        if self.dead:
+            return []
+        return self._feed(rec, where)
+
+    def _emit(self, *found: Finding) -> List[Finding]:
+        self.findings.extend(found)
+        return list(found)
+
+    def _feed(self, rec: Any, where: str) -> List[Finding]:
+        out: List[Finding] = []
+        if not isinstance(rec, dict):
+            return self._emit(_t001(where, f"expected an object, got {rec!r}"))
+        if self.raw is None:
+            return self._feed_header(rec, where)
+        raw = self.raw
+        kind = rec.get("t")
+        if kind in ("ev", "recv"):
+            proc = rec.get("p")
+            if (
+                not isinstance(proc, int)
+                or isinstance(proc, bool)
+                or not (0 <= proc < raw.n)
+            ):
+                return self._emit(
+                    _t001(where, f"'p' must be a process index, got {proc!r}")
+                )
+            if "vars" in rec:
+                new = rec["vars"] if isinstance(rec["vars"], dict) else {}
+                if not isinstance(rec["vars"], dict):
+                    out.append(_t001(where, "vars: expected an object"))
+                self.vars_now[proc] = dict(new)
+            else:
+                u = rec.get("u", {})
+                if not isinstance(u, dict):
+                    out.append(_t001(where, f"u: expected an object, got {u!r}"))
+                    u = {}
+                self.vars_now[proc] = {**self.vars_now[proc], **u}
+            raw.states[proc].append(dict(self.vars_now[proc]))
+            new_index = len(raw.states[proc]) - 1
+            self.delta_states.append((proc, new_index))
+            if raw.timestamps is not None:
+                t = rec.get("time")
+                if isinstance(t, (int, float)) and not isinstance(t, bool):
+                    raw.timestamps[proc].append(float(t))
+                else:
+                    raw.timestamps = None  # incomplete -- drop the channel
+            if kind == "recv":
+                src = _ref(rec.get("src"))
+                if src is None:
+                    out.append(
+                        _t001(where, "src: expected a [process, state] pair")
+                    )
+                    return self._emit(*out)
+                arrow = RawArrow(
+                    src, (proc, new_index), location=where,
+                    tag=rec.get("tag"), payload=rec.get("payload"),
+                )
+                raw.messages.append(arrow)
+                self.delta_messages.append(arrow)
+                _check_delivery_order(raw, arrow, "message", where, out)
+        elif kind == "ctl":
+            src, dst = _ref(rec.get("src")), _ref(rec.get("dst"))
+            if src is None or dst is None:
+                return self._emit(
+                    _t001(where, "needs 'src' and 'dst' [process, state] pairs")
+                )
+            arrow = RawArrow(src, dst, location=where)
+            raw.control.append(arrow)
+            self.delta_control.append(arrow)
+            _check_delivery_order(raw, arrow, "control arrow", where, out)
+        elif kind == "obs":
+            raw.obs = rec.get("obs")
+        else:
+            out.append(_t001(where, f"unknown record type {kind!r}"))
+        return self._emit(*out)
+
+    def _feed_header(self, rec: Dict[str, Any], where: str) -> List[Finding]:
+        out: List[Finding] = []
+        if rec.get("format") != STREAM_FORMAT:
+            out.append(
+                _t001(
+                    where,
+                    f"unknown stream format {rec.get('format')!r}; "
+                    f"expected {STREAM_FORMAT!r}",
+                )
+            )
+        start = rec.get("start")
+        if not isinstance(start, list) or not start:
+            out.append(_t001(where, "header needs a non-empty 'start' list"))
+            self.dead = True
+            return self._emit(*out)
+        self.vars_now = [dict(v) if isinstance(v, dict) else {} for v in start]
+        for i, v in enumerate(start):
+            if not isinstance(v, dict):
+                out.append(
+                    _t001(where, f"start[{i}]: expected an object, got {v!r}")
+                )
+        raw = RawTrace(
+            source=self.source,
+            format=STREAM_FORMAT,
+            states=[[dict(v)] for v in self.vars_now],
+        )
+        names = rec.get("proc_names")
+        if isinstance(names, list) and len(names) == len(self.vars_now):
+            raw.proc_names = [str(x) for x in names]
+        times = rec.get("start_times")
+        if isinstance(times, list) and len(times) == len(self.vars_now):
+            raw.timestamps = [[float(t)] for t in times]
+        self.raw = raw
+        self.delta_states = [(i, 0) for i in range(raw.n)]
+        return self._emit(*out)
+
+    def finish(self) -> Tuple[Optional[RawTrace], List[Finding]]:
+        """End of input: the raw trace plus *all* accumulated findings
+        (identical to a one-shot :func:`parse_stream` of the same lines)."""
+        if self.raw is None and not self.dead:
+            self.findings.append(_t001(self.source, "empty stream (no header)"))
+            self.dead = True  # idempotent finish
+        return self.raw, self.findings
+
+    # -- state capture (the serve layer checkpoints its mirror) --------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable parser state (findings are *not* included --
+        they are owned by whoever accumulated them)."""
+        raw_blob: Optional[Dict[str, Any]] = None
+        if self.raw is not None:
+            raw = self.raw
+            raw_blob = {
+                "source": raw.source,
+                "format": raw.format,
+                "proc_names": list(raw.proc_names),
+                "states": raw.states,
+                "messages": [
+                    {"src": list(m.src), "dst": list(m.dst),
+                     "location": m.location, "tag": m.tag,
+                     "payload": m.payload}
+                    for m in raw.messages
+                ],
+                "control": [
+                    {"src": list(c.src), "dst": list(c.dst),
+                     "location": c.location}
+                    for c in raw.control
+                ],
+                "timestamps": raw.timestamps,
+                "obs": raw.obs,
+            }
+        return {
+            "source": self.source,
+            "raw": raw_blob,
+            "vars_now": self.vars_now,
+            "dead": self.dead,
+            "lineno": self.lineno,
+        }
+
+    @classmethod
+    def restore(cls, snap: Dict[str, Any]) -> "StreamParser":
+        parser = cls(source=str(snap.get("source", "<stream>")))
+        parser.dead = bool(snap.get("dead", False))
+        parser.lineno = int(snap.get("lineno", 0))
+        parser.vars_now = [dict(v) for v in snap.get("vars_now", ())]
+        blob = snap.get("raw")
+        if blob is not None:
+            raw = RawTrace(
+                source=str(blob["source"]),
+                format=str(blob["format"]),
+                proc_names=[str(x) for x in blob.get("proc_names", ())],
+                states=[[dict(v) for v in row] for row in blob["states"]],
+                timestamps=blob.get("timestamps"),
+                obs=blob.get("obs"),
+            )
+            for m in blob.get("messages", ()):
+                raw.messages.append(RawArrow(
+                    (m["src"][0], m["src"][1]), (m["dst"][0], m["dst"][1]),
+                    location=m.get("location"), tag=m.get("tag"),
+                    payload=m.get("payload"),
+                ))
+            for c in blob.get("control", ()):
+                raw.control.append(RawArrow(
+                    (c["src"][0], c["src"][1]), (c["dst"][0], c["dst"][1]),
+                    location=c.get("location"),
+                ))
+            parser.raw = raw
+        return parser
+
+
 def parse_stream(
     path: Union[str, Path]
 ) -> Tuple[Optional[RawTrace], List[Finding]]:
-    """Leniently parse a ``repro-events/1`` stream.
+    """Leniently parse a ``repro-events/1`` stream file.
 
-    Mirrors :func:`repro.trace.ingest_event_stream` but collects findings
-    instead of raising: structural problems are T001, records that break
-    causal delivery order (an arrow whose source event has not completed
-    at the time its target record arrives -- the contract
-    :class:`~repro.store.index.CausalIndex` enforces on append) are T009.
-    Every witness carries ``file:lineno``.
+    One-shot wrapper over :class:`StreamParser`; see there for the
+    semantics (T001 for structural problems, T009 for causal
+    delivery-order violations, every witness carrying ``file:lineno``).
     """
     path = Path(path)
-    findings: List[Finding] = []
-    raw: Optional[RawTrace] = None
-    vars_now: List[Dict[str, Any]] = []
+    parser = StreamParser(source=str(path))
     with open(path) as fh:
-        for lineno, line in enumerate(fh, start=1):
-            where = f"{path}:{lineno}"
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                rec = json.loads(line)
-            except json.JSONDecodeError as exc:
-                findings.append(_t001(where, f"not valid JSON ({exc})"))
-                continue
-            if not isinstance(rec, dict):
-                findings.append(_t001(where, f"expected an object, got {rec!r}"))
-                continue
-            if raw is None:
-                if rec.get("format") != STREAM_FORMAT:
-                    findings.append(
-                        _t001(
-                            where,
-                            f"unknown stream format {rec.get('format')!r}; "
-                            f"expected {STREAM_FORMAT!r}",
-                        )
-                    )
-                start = rec.get("start")
-                if not isinstance(start, list) or not start:
-                    findings.append(_t001(where, "header needs a non-empty 'start' list"))
-                    return None, findings
-                vars_now = [
-                    dict(v) if isinstance(v, dict) else {} for v in start
-                ]
-                for i, v in enumerate(start):
-                    if not isinstance(v, dict):
-                        findings.append(
-                            _t001(where, f"start[{i}]: expected an object, got {v!r}")
-                        )
-                raw = RawTrace(
-                    source=str(path),
-                    format=STREAM_FORMAT,
-                    states=[[dict(v)] for v in vars_now],
-                )
-                names = rec.get("proc_names")
-                if isinstance(names, list) and len(names) == len(vars_now):
-                    raw.proc_names = [str(x) for x in names]
-                times = rec.get("start_times")
-                if isinstance(times, list) and len(times) == len(vars_now):
-                    raw.timestamps = [[float(t)] for t in times]
-                continue
-            kind = rec.get("t")
-            if kind in ("ev", "recv"):
-                proc = rec.get("p")
-                if (
-                    not isinstance(proc, int)
-                    or isinstance(proc, bool)
-                    or not (0 <= proc < raw.n)
-                ):
-                    findings.append(
-                        _t001(where, f"'p' must be a process index, got {proc!r}")
-                    )
-                    continue
-                if "vars" in rec:
-                    new = rec["vars"] if isinstance(rec["vars"], dict) else {}
-                    if not isinstance(rec["vars"], dict):
-                        findings.append(_t001(where, "vars: expected an object"))
-                    vars_now[proc] = dict(new)
-                else:
-                    u = rec.get("u", {})
-                    if not isinstance(u, dict):
-                        findings.append(_t001(where, f"u: expected an object, got {u!r}"))
-                        u = {}
-                    vars_now[proc] = {**vars_now[proc], **u}
-                raw.states[proc].append(dict(vars_now[proc]))
-                new_index = len(raw.states[proc]) - 1
-                if raw.timestamps is not None:
-                    t = rec.get("time")
-                    if isinstance(t, (int, float)) and not isinstance(t, bool):
-                        raw.timestamps[proc].append(float(t))
-                    else:
-                        raw.timestamps = None  # incomplete -- drop the channel
-                if kind == "recv":
-                    src = _ref(rec.get("src"))
-                    if src is None:
-                        findings.append(
-                            _t001(where, "src: expected a [process, state] pair")
-                        )
-                        continue
-                    arrow = RawArrow(
-                        src, (proc, new_index), location=where,
-                        tag=rec.get("tag"), payload=rec.get("payload"),
-                    )
-                    raw.messages.append(arrow)
-                    _check_delivery_order(raw, arrow, "message", where, findings)
-            elif kind == "ctl":
-                src, dst = _ref(rec.get("src")), _ref(rec.get("dst"))
-                if src is None or dst is None:
-                    findings.append(
-                        _t001(where, "needs 'src' and 'dst' [process, state] pairs")
-                    )
-                    continue
-                arrow = RawArrow(src, dst, location=where)
-                raw.control.append(arrow)
-                _check_delivery_order(raw, arrow, "control arrow", where, findings)
-            elif kind == "obs":
-                raw.obs = rec.get("obs")
-            else:
-                findings.append(_t001(where, f"unknown record type {kind!r}"))
-    if raw is None:
-        findings.append(_t001(str(path), "empty stream (no header)"))
-    return raw, findings
+        for line in fh:
+            parser.feed_line(line)
+    return parser.finish()
+
+
+def parse_stream_lines(
+    lines: Sequence[str], source: str = "<stream>"
+) -> Tuple[Optional[RawTrace], List[Finding]]:
+    """Leniently parse an in-memory sequence of stream lines (the
+    prefix-identity tests re-parse every prefix through this)."""
+    parser = StreamParser(source=source)
+    for line in lines:
+        parser.feed_line(line)
+    return parser.finish()
 
 
 def _check_delivery_order(

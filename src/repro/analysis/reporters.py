@@ -92,12 +92,20 @@ def _sarif_location(finding: Finding) -> List[Dict[str, Any]]:
     ]
 
 
+#: Rule documentation anchors emitted as SARIF ``helpUri`` (stable per
+#: rule id; viewers link findings to the catalogue section).
+_HELP_URI = "https://example.invalid/repro/docs/ANALYSIS.md#{rid}"
+
+
 def render_sarif(report: Report) -> str:
+    from repro.analysis.fingerprint import FP_FORMAT, fingerprint
+
     used = sorted({f.rule_id for f in report.findings})
     rules = [
         {
             "id": rid,
             "shortDescription": {"text": RULES[rid].summary},
+            "helpUri": _HELP_URI.format(rid=rid.lower()),
             "defaultConfiguration": {
                 "level": _SARIF_LEVEL[RULES[rid].severity]
             },
@@ -105,12 +113,17 @@ def render_sarif(report: Report) -> str:
         }
         for rid in used
     ]
+    # partialFingerprints reuse the baseline system's content addresses
+    # (location-independent), so SARIF diffing across runs matches what
+    # `repro lint --baseline` would report as new.
+    fp_key = FP_FORMAT.replace("/", "-v")
     results = [
         {
             "ruleId": f.rule_id,
             "level": _SARIF_LEVEL[f.severity],
             "message": {"text": f.message},
             "locations": _sarif_location(f),
+            "partialFingerprints": {fp_key: fingerprint(f)},
             "properties": {
                 "states": [list(s) for s in f.states],
                 "arrows": [[list(a), list(b)] for a, b in f.arrows],

@@ -20,7 +20,7 @@ Pass order and gating:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.analysis.findings import Finding, Report
 from repro.analysis.raw import RawTrace, load_raw, parse_batch
@@ -29,7 +29,13 @@ from repro.errors import ReproError
 from repro.predicates.base import Predicate
 from repro.trace.deposet import Deposet
 
-__all__ = ["lint_raw", "lint_trace", "lint_deposet"]
+__all__ = [
+    "lint_raw",
+    "lint_trace",
+    "lint_deposet",
+    "run_rules",
+    "run_deep_passes",
+]
 
 DEEP_PASSES = ("control", "classifier", "races")
 
@@ -47,6 +53,19 @@ def lint_raw(
     report.passes.append("sanitizer")
     report.extend(sanitize(raw))
 
+    return run_deep_passes(raw, report, predicate=predicate)
+
+
+def run_deep_passes(
+    raw: RawTrace,
+    report: Report,
+    predicate: Optional[Predicate] = None,
+) -> Report:
+    """The deep passes (control / classifier / races) over ``raw``, into
+    ``report`` -- including the validated-deposet gate.  Shared between
+    the batch pipeline above and the streaming linter's finalize
+    (:mod:`repro.analysis.incremental`): these passes are whole-trace by
+    nature, so both pipelines run the identical code."""
     dep = _underlying_deposet(raw, report)
     if dep is None:
         report.skipped.extend(DEEP_PASSES)
@@ -70,6 +89,26 @@ def lint_raw(
     report.passes.append("races")
     report.extend(detect_races(dep))
     return report
+
+
+def run_rules(
+    raw: Optional[RawTrace],
+    *,
+    predicate: Optional[Predicate] = None,
+    parse_findings: Sequence[Finding] = (),
+    source: str = "<raw>",
+    fmt: str = "",
+) -> Report:
+    """The canonical batch entry point over a parsed raw trace: a full
+    report (parse + sanitizer + deep passes) from ``raw`` and the parse
+    findings that produced it.  The streaming linter's prefix-identity
+    contract is stated against this function."""
+    report = Report(
+        source=source, format=fmt or (raw.format if raw is not None else "")
+    )
+    report.passes.append("parse")
+    report.extend(list(parse_findings))
+    return lint_raw(raw, report, predicate=predicate)
 
 
 def _underlying_deposet(raw: RawTrace, report: Report) -> Optional[Deposet]:
@@ -98,7 +137,10 @@ def _underlying_deposet(raw: RawTrace, report: Report) -> Optional[Deposet]:
             proc_names=raw.proc_names or None,
             timestamps=raw.timestamps,
         )
-    except ReproError as exc:
+    except (ReproError, ValueError) as exc:
+        # ValueError covers constructor-level guards that predate the
+        # typed hierarchy (e.g. MessageArrow refusing same-process
+        # arrows) -- the sanitizer already reported those as T006.
         if not any(f.severity.name == "ERROR" for f in report.findings):
             report.add(
                 Finding(

@@ -22,7 +22,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.findings import Finding
 from repro.analysis.raw import RawArrow, RawTrace
 
-__all__ = ["sanitize", "find_event_cycle", "valid_arrows"]
+__all__ = [
+    "sanitize",
+    "find_event_cycle",
+    "valid_arrows",
+    "t002_finding",
+    "t003_finding",
+    "t004_finding",
+    "t005_findings",
+    "t006_finding",
+    "t007_finding",
+]
 
 Ref = Tuple[int, int]
 EventRef = Tuple[int, int]
@@ -98,10 +108,10 @@ def find_event_cycle(
         if not found:
             continue
         path: List[EventRef] = []
-        node: Optional[EventRef] = u
-        while node is not None:
-            path.append(node)
-            node = parents[node]
+        cur: Optional[EventRef] = u
+        while cur is not None:
+            path.append(cur)
+            cur = parents[cur]
         path.reverse()  # v .. u
         if best is None or len(path) < len(best[0]):
             best = (path, k)
@@ -126,6 +136,117 @@ def valid_arrows(raw: RawTrace, arrows: Sequence[RawArrow]) -> List[int]:
     return out
 
 
+# -- shared finding constructors ---------------------------------------------
+#
+# Both the batch pass below and the streaming engine
+# (:mod:`repro.analysis.incremental`) build their findings through these,
+# so streaming/batch identity holds by construction for the shared rules.
+
+
+def t005_findings(
+    what: str, a: RawArrow, counts: Sequence[int], n: int
+) -> List[Finding]:
+    """T005 findings for ``a``'s out-of-range endpoints (possibly none)."""
+    out: List[Finding] = []
+    for ref, role in ((a.src, "src"), (a.dst, "dst")):
+        p, x = ref
+        if not (0 <= p < n):
+            out.append(
+                Finding(
+                    "T005",
+                    f"{what} {role} ({p},{x}): no process {p} "
+                    f"(trace has {n})",
+                    location=a.location,
+                    arrows=(a.pair,),
+                )
+            )
+        elif not (0 <= x < counts[p]):
+            out.append(
+                Finding(
+                    "T005",
+                    f"{what} {role} ({p},{x}): process {p} has no "
+                    f"state {x} (it has {counts[p]})",
+                    location=a.location,
+                    states=((p, min(max(x, 0), counts[p] - 1)),),
+                    arrows=(a.pair,),
+                )
+            )
+    return out
+
+
+def t006_finding(a: RawArrow) -> Finding:
+    (sp, si), (dp, di) = a.src, a.dst
+    direction = "points backwards on" if si >= di else "stays on"
+    return Finding(
+        "T006",
+        f"message ({sp},{si}) -> ({dp},{di}) {direction} process {sp}",
+        location=a.location,
+        states=(a.src, a.dst),
+        arrows=(a.pair,),
+    )
+
+
+def t002_finding(what: str, a: RawArrow) -> Finding:
+    (sp, si), (dp, di) = a.src, a.dst
+    return Finding(
+        "T002",
+        f"{what} ({sp},{si}) -> ({dp},{di}): target is the "
+        f"initial state of process {dp}, which is entered "
+        f"before any receive can happen (D1)",
+        location=a.location,
+        states=(a.dst,),
+        arrows=(a.pair,),
+    )
+
+
+def t003_finding(what: str, a: RawArrow) -> Finding:
+    (sp, si), (dp, di) = a.src, a.dst
+    return Finding(
+        "T003",
+        f"{what} ({sp},{si}) -> ({dp},{di}): source is the "
+        f"final state of process {sp}, which never completes "
+        f"(D2)",
+        location=a.location,
+        states=(a.src,),
+        arrows=(a.pair,),
+    )
+
+
+def t004_finding(
+    ev: EventRef, prev_role: str, prev: RawArrow, role: str, a: RawArrow
+) -> Finding:
+    dup = (
+        "duplicate delivery"
+        if role == "receive" and prev_role == "receive"
+        else "event carries two messages"
+    )
+    return Finding(
+        "T004",
+        f"event ({ev[0]},{ev[1]}) is the {prev_role} of "
+        f"{_arrow_str(prev)} and the {role} of "
+        f"{_arrow_str(a)} ({dup}; D3)",
+        location=a.location,
+        states=((ev[0], ev[1]),),
+        arrows=(prev.pair, a.pair),
+        data={"other_location": prev.location},
+    )
+
+
+def t007_finding(
+    sp: int, dp: int, first: RawArrow, second: RawArrow
+) -> Finding:
+    return Finding(
+        "T007",
+        f"channel {sp} -> {dp} is not FIFO: "
+        f"{_arrow_str(first)} was sent before "
+        f"{_arrow_str(second)} but delivered after it",
+        location=second.location,
+        states=(first.dst, second.dst),
+        arrows=(first.pair, second.pair),
+        data={"other_location": first.location},
+    )
+
+
 # -- the pass ----------------------------------------------------------------
 
 
@@ -139,77 +260,21 @@ def sanitize(raw: RawTrace) -> List[Finding]:
     for what, arrows in (("message", raw.messages), ("control arrow", raw.control)):
         for a in arrows:
             (sp, si), (dp, di) = a.src, a.dst
-            bad_endpoint = False
-            for ref, role in ((a.src, "src"), (a.dst, "dst")):
-                p, x = ref
-                if not (0 <= p < n):
-                    findings.append(
-                        Finding(
-                            "T005",
-                            f"{what} {role} ({p},{x}): no process {p} "
-                            f"(trace has {n})",
-                            location=a.location,
-                            arrows=(a.pair,),
-                        )
-                    )
-                    bad_endpoint = True
-                elif not (0 <= x < counts[p]):
-                    findings.append(
-                        Finding(
-                            "T005",
-                            f"{what} {role} ({p},{x}): process {p} has no "
-                            f"state {x} (it has {counts[p]})",
-                            location=a.location,
-                            states=((p, min(max(x, 0), counts[p] - 1)),),
-                            arrows=(a.pair,),
-                        )
-                    )
-                    bad_endpoint = True
-            if bad_endpoint:
+            bad = t005_findings(what, a, counts, n)
+            if bad:
+                findings.extend(bad)
                 continue
             if what != "message":
                 # Control-arrow semantics (D1/D2 generalised, direction,
                 # enforceability) belong to the control pass's C103.
                 continue
             if sp == dp:
-                direction = (
-                    "points backwards on" if si >= di else "stays on"
-                )
-                findings.append(
-                    Finding(
-                        "T006",
-                        f"message ({sp},{si}) -> ({dp},{di}) {direction} "
-                        f"process {sp}",
-                        location=a.location,
-                        states=(a.src, a.dst),
-                        arrows=(a.pair,),
-                    )
-                )
+                findings.append(t006_finding(a))
                 continue
             if di < 1:
-                findings.append(
-                    Finding(
-                        "T002",
-                        f"{what} ({sp},{si}) -> ({dp},{di}): target is the "
-                        f"initial state of process {dp}, which is entered "
-                        f"before any receive can happen (D1)",
-                        location=a.location,
-                        states=(a.dst,),
-                        arrows=(a.pair,),
-                    )
-                )
+                findings.append(t002_finding(what, a))
             if si > counts[sp] - 2:
-                findings.append(
-                    Finding(
-                        "T003",
-                        f"{what} ({sp},{si}) -> ({dp},{di}): source is the "
-                        f"final state of process {sp}, which never completes "
-                        f"(D2)",
-                        location=a.location,
-                        states=(a.src,),
-                        arrows=(a.pair,),
-                    )
-                )
+                findings.append(t003_finding(what, a))
 
     # T004: one message per event (D3).  Judged over messages with
     # existing endpoints so T005 problems don't cascade.
@@ -227,23 +292,7 @@ def sanitize(raw: RawTrace) -> List[Finding]:
         ):
             if ev in roles:
                 prev_role, prev = roles[ev]
-                dup = (
-                    "duplicate delivery"
-                    if role == "receive" and prev_role == "receive"
-                    else "event carries two messages"
-                )
-                findings.append(
-                    Finding(
-                        "T004",
-                        f"event ({ev[0]},{ev[1]}) is the {prev_role} of "
-                        f"{_arrow_str(prev)} and the {role} of "
-                        f"{_arrow_str(a)} ({dup}; D3)",
-                        location=a.location,
-                        states=((ev[0], ev[1]),),
-                        arrows=(prev.pair, a.pair),
-                        data={"other_location": prev.location},
-                    )
-                )
+                findings.append(t004_finding(ev, prev_role, prev, role, a))
             else:
                 roles[ev] = (role, a)
 
@@ -283,18 +332,7 @@ def sanitize(raw: RawTrace) -> List[Finding]:
                     first.src[1] < second.src[1]
                     and first.dst[1] > second.dst[1]
                 ):
-                    findings.append(
-                        Finding(
-                            "T007",
-                            f"channel {sp} -> {dp} is not FIFO: "
-                            f"{_arrow_str(first)} was sent before "
-                            f"{_arrow_str(second)} but delivered after it",
-                            location=second.location,
-                            states=(first.dst, second.dst),
-                            arrows=(first.pair, second.pair),
-                            data={"other_location": first.location},
-                        )
-                    )
+                    findings.append(t007_finding(sp, dp, first, second))
 
     # T010: timestamp regressions (warnings; wall clocks are advisory).
     if raw.timestamps is not None:

@@ -189,7 +189,20 @@ def _cmd_control(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    dep = _load(args.trace)
+    if args.trace.startswith("sqlite:"):
+        # Replay straight off a trace-store branch (the candidate-K
+        # branches `repro control --store` records).
+        from repro.storage import split_store_branch
+        from repro.store.trace_store import TraceStore
+
+        target, branch = split_store_branch(args.trace)
+        st = TraceStore.open(target, branch=branch or "main", create=False)
+        try:
+            dep = st.snapshot()
+        finally:
+            st.close()
+    else:
+        dep = _load(args.trace)
 
     def record(verdict: str, extra=None) -> None:
         from repro.storage import record_control_branch
@@ -201,6 +214,31 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             kind="replay", meta=meta,
         )
         print(f"replay recorded: {args.store} branch {name!r} commit #{cid}")
+
+    if not args.force:
+        # Admission gate: an interfering control relation (C101) or a
+        # Lemma-2 obstruction (C104) makes the controlled re-execution
+        # pointless -- refuse before spending it (docs/ANALYSIS.md).
+        from repro.analysis import gate_findings, lint_deposet
+        from repro.errors import LintGateError
+
+        pred = (parse_predicate(args.predicate, dep.n)
+                if getattr(args, "predicate", None) else None)
+        gate = gate_findings(
+            lint_deposet(dep, predicate=pred, source=args.trace)
+        )
+        if gate:
+            if args.store:
+                record("rejected", {
+                    "gate": ",".join(sorted({f.rule_id for f in gate})),
+                })
+            rules = ", ".join(sorted({f.rule_id for f in gate}))
+            raise LintGateError(
+                f"replay refused: lint found {rules} on {args.trace} "
+                f"(run `repro lint` for witnesses, or --force to replay "
+                f"anyway)",
+                findings=[f.to_dict() for f in gate],
+            )
 
     try:
         result = replay(dep, seed=args.seed, jitter=args.jitter)
@@ -361,28 +399,78 @@ def _cmd_db(args: argparse.Namespace) -> int:
               f"{stats['pages_removed']} page(s); "
               f"{stats['commits_kept']} commit(s) kept")
         return 0
+    if args.db_command == "lint":
+        # Alias for `repro lint --store sqlite:PATH[@branch]`.
+        target = f"sqlite:{path}"
+        if args.branch:
+            target += f"@{args.branch}"
+        return _cmd_lint(argparse.Namespace(
+            rules=False, trace=None, store=target,
+            predicate=args.predicate, format=args.format,
+            strict=args.strict, output=args.output,
+            baseline=args.baseline,
+            update_baseline=args.update_baseline,
+        ))
     raise ValueError(f"unknown db command {args.db_command!r}")
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import RULES, Report, lint_raw, load_raw
+    from repro.analysis.fingerprint import (
+        apply_baseline,
+        apply_suppressions,
+        load_baseline,
+        suppressions_from_obs,
+        write_baseline,
+    )
     from repro.analysis.reporters import REPORTERS
 
     if args.rules:
         for r in RULES.values():
             print(f"{r.id}  {str(r.severity):<7}  {r.category:<9}  {r.summary}")
         return 0
-    if not args.trace:
-        print("error: lint needs a trace (or --rules)", file=sys.stderr)
-        return 3
-    raw, fmt, findings = load_raw(args.trace)
-    report = Report(source=args.trace, format=fmt)
-    report.passes.append("parse")
-    report.extend(findings)
-    pred = None
-    if args.predicate and raw is not None:
-        pred = parse_predicate(args.predicate, raw.n)
-    lint_raw(raw, report, predicate=pred)
+    if getattr(args, "store", None):
+        from repro.analysis.storelint import lint_store
+        from repro.storage import split_store_branch
+
+        target, branch = split_store_branch(args.store)
+        report, _branch, _commit = lint_store(
+            target, branch=branch, predicate=args.predicate
+        )
+    else:
+        if not args.trace:
+            print("error: lint needs a trace, --store, or --rules",
+                  file=sys.stderr)
+            return 3
+        raw, fmt, findings = load_raw(args.trace)
+        report = Report(source=args.trace, format=fmt)
+        report.passes.append("parse")
+        report.extend(findings)
+        pred = None
+        if args.predicate and raw is not None:
+            pred = parse_predicate(args.predicate, raw.n)
+        lint_raw(raw, report, predicate=pred)
+        suppressed = apply_suppressions(
+            report,
+            suppressions_from_obs(raw.obs if raw is not None else None),
+        )
+        if suppressed:
+            print(f"lint: {len(suppressed)} finding(s) suppressed inline",
+                  file=sys.stderr)
+    baseline_path = getattr(args, "baseline", None)
+    if getattr(args, "update_baseline", False):
+        if not baseline_path:
+            print("error: --update-baseline needs --baseline FILE",
+                  file=sys.stderr)
+            return 3
+        count = write_baseline(baseline_path, report.findings)
+        print(f"baseline updated: {count} fingerprint(s) -> {baseline_path}")
+        return 0
+    if baseline_path:
+        dropped = apply_baseline(report, load_baseline(baseline_path))
+        if dropped:
+            print(f"lint: {len(dropped)} baselined finding(s) hidden "
+                  f"({baseline_path})", file=sys.stderr)
     rendered = REPORTERS[args.format](report)
     if args.output:
         with open(args.output, "w") as fh:
@@ -409,6 +497,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         dumps_event,
         event_closed,
         event_error,
+        event_finding,
         event_open,
     )
 
@@ -416,8 +505,25 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     tenant, session = "local", str(args.trace)
     tracker = VerdictTracker(tenant, session)
     detector = None
+    linter = None
+    if getattr(args, "lint", False):
+        from repro.analysis.incremental import StreamingLinter
+
+        linter = StreamingLinter(source=str(args.trace))
     first_line = None
     seq = 0
+
+    def emit_findings(found) -> None:
+        for f in found:
+            if as_json:
+                print(dumps_event(event_finding(
+                    tenant, session, seq, f.to_dict()
+                )))
+            else:
+                loc = f" at {f.location}" if f.location else ""
+                print(f"  [lint] {f.rule_id} [{f.severity}]{loc}: "
+                      f"{f.message}")
+
     with METRICS.scoped() as scope:
         try:
             for lineno, (store, rec) in enumerate(
@@ -427,6 +533,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 if detector is None:
                     pred = parse_predicate(args.predicate, store.n)
                     detector = IncrementalDetector(store, pred)
+                    if linter is not None:
+                        linter.predicate = pred
                     if as_json:
                         print(dumps_event(event_open(
                             tenant, session, store.n, args.predicate
@@ -434,10 +542,18 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                     else:
                         print(f"watching {args.trace}: {store.n} process(es), "
                               f"predicate {args.predicate}")
+                    if linter is not None:
+                        emit_findings(linter.feed_record(
+                            rec, where=f"{args.trace}:{lineno}"
+                        ))
                     continue
+                found = (linter.feed_record(rec, where=f"{args.trace}:{lineno}")
+                         if linter is not None else [])
                 if rec.get("t") == "obs":
+                    emit_findings(found)
                     continue
                 seq += 1
+                emit_findings(found)
                 witness = detector.poll()
                 if as_json:
                     for ev in tracker.observe(seq, witness):
@@ -456,6 +572,40 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             return 3
         result = detector.finalize(engine=args.engine)
     counters = scope.delta()["counters"]
+    if linter is not None:
+        from collections import Counter
+
+        from repro.serve.protocol import event_lint_summary
+
+        lint_report = linter.report()
+        emitted = Counter(
+            json.dumps(f.to_dict(), sort_keys=True)
+            for f in linter.findings()
+        )
+        fresh = []
+        for f in lint_report.findings:
+            key = json.dumps(f.to_dict(), sort_keys=True)
+            if emitted[key] > 0:
+                emitted[key] -= 1
+            else:
+                fresh.append(f)
+        emit_findings(fresh)
+        if as_json:
+            print(dumps_event(event_lint_summary(
+                tenant, session, seq,
+                findings=len(lint_report.findings),
+                errors=lint_report.errors,
+                warnings=lint_report.warnings,
+                dirty=linter.dirty,
+                dirty_reason=linter.dirty_reason,
+            )))
+        else:
+            line = (f"[lint] {len(lint_report.findings)} finding(s), "
+                    f"{lint_report.errors} error(s), "
+                    f"{lint_report.warnings} warning(s)")
+            if linter.dirty:
+                line += f" (recomputed at EOF: {linter.dirty_reason})"
+            print(line)
     if as_json:
         print(dumps_event(tracker.finalized(seq, result)))
         print(dumps_event(event_closed(tenant, session, seq)))
@@ -550,6 +700,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch=args.batch, engine=args.engine,
         drain_timeout=args.drain_timeout,
         durable_dir=args.durable, fsync=args.fsync, store_dir=store_dir,
+        lint=args.lint,
         checkpoint_every=args.checkpoint_every,
         supervise=not args.no_supervise,
         heartbeat_interval=args.heartbeat_interval,
@@ -920,10 +1071,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_control)
 
     p = sub.add_parser("replay", help="re-execute a (controlled) trace")
-    p.add_argument("trace")
+    p.add_argument("trace",
+                   help="a trace file, or sqlite:PATH[@branch] to replay a "
+                        "recorded candidate branch")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jitter", type=float, default=0.0)
     p.add_argument("-o", "--output")
+    p.add_argument("--predicate",
+                   help="lint the input against this predicate too before "
+                        "replaying (enables the Lemma-2 C104 gate)")
+    p.add_argument("--force", action="store_true",
+                   help="replay even if lint finds an interfering (C101) or "
+                        "obstructed (C104) control relation")
     p.add_argument("--store", metavar="sqlite:PATH",
                    help="record the control relation and its replay verdict "
                         "as a branch of this durable trace store")
@@ -951,6 +1110,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("trace", nargs="?",
                    help="trace to lint (either format; sniffed)")
+    p.add_argument("--store", metavar="sqlite:PATH[@branch]",
+                   help="lint a branch of a durable trace store instead of "
+                        "a file (witnesses carry branch@commit locations)")
     p.add_argument("--predicate",
                    help="enable the predicate rules (Lemma 2, A1/A2, "
                         "classifier) for this spec")
@@ -958,6 +1120,12 @@ def build_parser() -> argparse.ArgumentParser:
                    default="text", help="report format")
     p.add_argument("--strict", action="store_true",
                    help="fail (exit 1) on warnings too, not just errors")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="suppress findings fingerprinted in this baseline "
+                        "file; only new findings are reported")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline FILE to accept every current "
+                        "finding, then exit 0")
     p.add_argument("--rules", action="store_true",
                    help="print the rule catalogue and exit")
     p.add_argument("-o", "--output", help="write the report here instead "
@@ -983,6 +1151,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", metavar="sqlite:PATH",
                    help="ingest the watched stream into this durable store "
                         "and report the final commit id")
+    p.add_argument("--lint", action="store_true",
+                   help="run the streaming linter alongside detection and "
+                        "emit findings inline as records arrive")
     p.set_defaults(fn=_cmd_watch)
 
     p = sub.add_parser(
@@ -1018,6 +1189,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "commit chain under DIR; durable checkpoints then "
                         "record a commit id instead of re-freezing the "
                         "full store as JSON")
+    p.add_argument("--lint", action="store_true",
+                   help="attach a streaming linter to every session and "
+                        "push repro-findings/1 events with the verdicts")
     p.add_argument("--fsync", choices=["always", "batch", "never"],
                    default="batch",
                    help="WAL fsync policy: every record / on checkpoints "
@@ -1069,6 +1243,25 @@ def build_parser() -> argparse.ArgumentParser:
         "gc", help="fold commits unreachable from any branch"
     )
     q.add_argument("db", help="store path (PATH or sqlite:PATH)")
+    q.set_defaults(fn=_cmd_db)
+    q = db_sub.add_parser(
+        "lint", help="lint a branch (alias for repro lint --store)"
+    )
+    q.add_argument("db", help="store path (PATH or sqlite:PATH)")
+    q.add_argument("--branch", default=None,
+                   help="branch to lint (default: main)")
+    q.add_argument("--predicate",
+                   help="enable the predicate rules for this spec")
+    q.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="report format")
+    q.add_argument("--strict", action="store_true",
+                   help="fail (exit 1) on warnings too")
+    q.add_argument("--baseline", metavar="FILE",
+                   help="suppress findings fingerprinted in this baseline")
+    q.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline FILE from current findings")
+    q.add_argument("-o", "--output",
+                   help="write the report here instead of stdout")
     q.set_defaults(fn=_cmd_db)
 
     p = sub.add_parser(

@@ -35,6 +35,7 @@ __all__ = [
     "NoControllerExistsError",
     "InterferenceError",
     "ReplayDeadlockError",
+    "LintGateError",
     "SimulationError",
     "OnlineControlError",
     "AssumptionViolationError",
@@ -183,6 +184,22 @@ class ReplayDeadlockError(ReproError):
         #: Stalled arrows whose source state was never left (the control
         #: relation fights the computation's causality).
         self.interference = interference or []
+
+
+class LintGateError(ReproError):
+    """A replay was refused because lint found a disqualifying finding.
+
+    Raised by ``repro replay`` when the input trace's control relation
+    carries a C101 (interference cycle) or C104 (Lemma-2 obstruction)
+    finding: the controlled re-execution would deadlock or chase a
+    controller that provably does not exist.  ``--force`` overrides the
+    gate.  Carries the offending findings (as dicts) for reporting.
+    """
+
+    def __init__(self, message: str, *, findings=None):
+        super().__init__(message)
+        #: The gate findings, as ``Finding.to_dict()`` payloads.
+        self.findings = findings or []
 
 
 class SimulationError(ReproError):

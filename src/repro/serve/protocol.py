@@ -56,6 +56,7 @@ from repro.detection.incremental import WatchResult
 
 __all__ = [
     "VERDICT_FORMAT",
+    "FINDINGS_FORMAT",
     "dumps_event",
     "event_open",
     "event_witness",
@@ -63,6 +64,8 @@ __all__ = [
     "event_shed",
     "event_error",
     "event_closed",
+    "event_finding",
+    "event_lint_summary",
     "ack_event",
     "ckpt_event",
     "restored_event",
@@ -75,6 +78,9 @@ __all__ = [
 ]
 
 VERDICT_FORMAT = "repro-verdicts/1"
+#: Schema name of the online-lint finding events a ``--lint`` session
+#: interleaves with its verdicts (documented in docs/ANALYSIS.md).
+FINDINGS_FORMAT = "repro-findings/1"
 
 Cut = Tuple[int, ...]
 
@@ -151,6 +157,48 @@ def event_closed(tenant: str, session: str, seq: int) -> Dict[str, Any]:
     return _base("closed", tenant, session, seq)
 
 
+def event_finding(
+    tenant: str, session: str, seq: int, finding: Dict[str, Any]
+) -> Dict[str, Any]:
+    """A ``repro-findings/1`` event: one lint finding, the moment its
+    record arrived.  ``finding`` is a ``Finding.to_dict()`` payload; the
+    headline fields (``rule``/``severity``/``fp``) are lifted so
+    subscribers can filter without parsing the body."""
+    from repro.analysis.findings import Finding
+    from repro.analysis.fingerprint import fingerprint
+
+    ev = _base("finding", tenant, session, seq)
+    ev["format"] = FINDINGS_FORMAT
+    ev["rule"] = finding.get("rule")
+    ev["severity"] = finding.get("severity")
+    ev["fp"] = fingerprint(Finding.from_dict(finding))
+    ev["finding"] = finding
+    return ev
+
+
+def event_lint_summary(
+    tenant: str,
+    session: str,
+    seq: int,
+    *,
+    findings: int,
+    errors: int,
+    warnings: int,
+    dirty: bool,
+    dirty_reason: Optional[str] = None,
+) -> Dict[str, Any]:
+    """End-of-stream lint roll-up for a ``--lint`` session."""
+    ev = _base("lint", tenant, session, seq)
+    ev["format"] = FINDINGS_FORMAT
+    ev["findings"] = findings
+    ev["errors"] = errors
+    ev["warnings"] = warnings
+    ev["dirty"] = dirty
+    if dirty_reason is not None:
+        ev["dirty_reason"] = dirty_reason
+    return ev
+
+
 def ack_event(session_key: str, applied: int, seq: int) -> Dict[str, Any]:
     """Internal: a worker granting ``applied`` flow-control credits back."""
     return {"e": "_ack", "key": session_key, "applied": applied, "seq": seq}
@@ -216,6 +264,19 @@ def describe_event(event: Dict[str, Any]) -> str:
     if kind == "error":
         where = f" at {event['where']}" if event.get("where") else ""
         return f"[{who}] error ({event.get('code')}){where}: {event.get('message')}"
+    if kind == "finding":
+        f = event.get("finding", {})
+        where = f" at {f['location']}" if f.get("location") else ""
+        return (f"[{who}] record {seq}: lint {event.get('rule')} "
+                f"[{event.get('severity')}]{where}: {f.get('message')}")
+    if kind == "lint":
+        base = (f"[{who}] lint after {seq} record(s): "
+                f"{event.get('findings')} finding(s), "
+                f"{event.get('errors')} error(s), "
+                f"{event.get('warnings')} warning(s)")
+        if event.get("dirty"):
+            base += f" (DEGRADED: {event.get('dirty_reason')})"
+        return base
     if kind == "closed":
         return f"[{who}] closed"
     return f"[{who}] {kind}: {dumps_event(event)}"

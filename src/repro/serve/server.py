@@ -123,6 +123,9 @@ class ServeConfig:
     #: commit-chain trace storage directory (``--store sqlite:DIR``);
     #: ``None`` = per-session stores stay in memory
     store_dir: Optional[str] = None
+    #: run a per-session :class:`StreamingLinter` and interleave
+    #: ``repro-findings/1`` events with the verdict stream
+    lint: bool = False
     #: WAL fsync policy: ``always`` | ``batch`` | ``never``
     fsync: str = FsyncPolicy.BATCH
     #: checkpoint a durable session every this many forwarded lines
@@ -477,6 +480,7 @@ class ReproServer:
         opts.setdefault("engine", self.config.engine)
         opts.setdefault("max_store_states",
                         self.registry.quota(tenant).max_store_states)
+        opts.setdefault("lint", self.config.lint)
         if self.config.store_dir is not None:
             opts.setdefault("store_dir", self.config.store_dir)
         return opts

@@ -27,7 +27,13 @@ from typing import Any, Dict, List, Optional
 
 from repro.detection.incremental import IncrementalDetector, WatchResult
 from repro.errors import MalformedTraceError
-from repro.serve.protocol import VerdictTracker, event_error, event_open
+from repro.serve.protocol import (
+    VerdictTracker,
+    event_error,
+    event_finding,
+    event_lint_summary,
+    event_open,
+)
 from repro.trace.io import apply_stream_record, stream_store_from_header
 
 __all__ = ["DetectionSession", "session_key", "session_store_target"]
@@ -68,6 +74,14 @@ class DetectionSession:
         Debug/bench knob: sleep this long per applied record to emulate
         an expensive predicate (how the backpressure tests and E16 make a
         deliberately slow detector without a heavyweight workload).
+    lint:
+        Attach a :class:`~repro.analysis.incremental.StreamingLinter` to
+        the stream: every record is linted as it arrives and findings
+        are pushed as ``repro-findings/1`` events interleaved with the
+        verdicts (plus a ``lint`` summary at finalize).  Like verdicts,
+        finding events are a pure function of the input stream, so they
+        stay byte-identical across worker counts and survive durable
+        snapshot/restore.
     """
 
     def __init__(
@@ -81,6 +95,7 @@ class DetectionSession:
         delay_per_record: float = 0.0,
         engine: str = "auto",
         store_dir: Optional[str] = None,
+        lint: bool = False,
     ):
         from repro.cli import parse_predicate  # lazy: cli imports are heavy
 
@@ -118,15 +133,34 @@ class DetectionSession:
         #: the replay source for durable resume (byte-identity depends on
         #: this log being a pure function of the input stream)
         self.events_log: List[Dict[str, Any]] = []
+        self.linter = None
+        self._header_findings: List[Dict[str, Any]] = []
+        if lint:
+            from repro.analysis.incremental import StreamingLinter
+
+            self.linter = StreamingLinter(source=self.key,
+                                          predicate=self.pred)
+            self._header_findings = [
+                f.to_dict()
+                for f in self.linter.feed_record(header, where)
+            ]
 
     def _record(self, events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
         self.events_log.extend(events)
         return events
 
     def open_event(self) -> Dict[str, Any]:
-        return self._record([event_open(self.tenant, self.session,
-                                        self.store.n,
-                                        self.predicate_spec)])[0]
+        return self.open_events()[0]
+
+    def open_events(self) -> List[Dict[str, Any]]:
+        """The session-accepted event, plus any findings the online
+        linter raised against the header itself."""
+        events = [event_open(self.tenant, self.session, self.store.n,
+                             self.predicate_spec)]
+        for payload in self._header_findings:
+            events.append(event_finding(self.tenant, self.session, 0,
+                                        payload))
+        return self._record(events)
 
     # -- feeding -------------------------------------------------------------
 
@@ -157,7 +191,9 @@ class DetectionSession:
         except MalformedTraceError as exc:
             return self._record([self._fail("malformed", str(exc), where)])
         if kind == "obs":
-            return []
+            # obs records do not advance seq, but the linter must see
+            # them (inline suppressions ride in obs blocks).
+            return self._record(self._lint_feed(rec, where))
         self.seq += 1
         if self.delay_per_record:
             time.sleep(self.delay_per_record)
@@ -169,9 +205,19 @@ class DetectionSession:
                 f"applied prefix only",
                 where,
             )])
-        return self._record(
-            self.tracker.observe(self.seq, self.detector.poll())
-        )
+        events = self._lint_feed(rec, where)
+        events.extend(self.tracker.observe(self.seq, self.detector.poll()))
+        return self._record(events)
+
+    def _lint_feed(self, rec: Dict[str, Any],
+                   where: str) -> List[Dict[str, Any]]:
+        """Feed one record to the online linter; finding events out."""
+        if self.linter is None:
+            return []
+        return [
+            event_finding(self.tenant, self.session, self.seq, f.to_dict())
+            for f in self.linter.feed_record(rec, where)
+        ]
 
     def feed(self, lines: List[str], base_lineno: Optional[int] = None
              ) -> List[Dict[str, Any]]:
@@ -198,6 +244,7 @@ class DetectionSession:
         events: List[Dict[str, Any]] = []
         if shed:
             events.append(event_shed(self.tenant, self.session, self.seq, shed))
+        events.extend(self._lint_finalize())
         self.result = self.detector.finalize(
             engine=self.engine, with_definitely=with_definitely
         )
@@ -205,6 +252,49 @@ class DetectionSession:
             self.tracker.finalized(self.seq, self.result, degraded=bool(shed))
         )
         return self._record(events)
+
+    def _lint_finalize(self) -> List[Dict[str, Any]]:
+        """Findings only decidable at end of stream, plus the roll-up.
+
+        The finalize-mode rules (and, after an arrival-order violation,
+        the recomputed incremental ones) first appear here; findings
+        already pushed while streaming are not repeated."""
+        if self.linter is None:
+            return []
+        from collections import Counter
+
+        from repro.analysis.fingerprint import (
+            apply_suppressions,
+            suppressions_from_obs,
+        )
+
+        report = self.linter.report()
+        raw = self.linter.parser.raw
+        if raw is not None:
+            # inline suppressions mute the roll-up, same as `repro lint`
+            # (findings already on the wire are not retracted)
+            apply_suppressions(report, suppressions_from_obs(raw.obs))
+        emitted = Counter(
+            json.dumps(f.to_dict(), sort_keys=True)
+            for f in self.linter.findings()
+        )
+        events: List[Dict[str, Any]] = []
+        for f in report.findings:
+            key = json.dumps(f.to_dict(), sort_keys=True)
+            if emitted[key] > 0:
+                emitted[key] -= 1
+                continue
+            events.append(event_finding(self.tenant, self.session,
+                                        self.seq, f.to_dict()))
+        events.append(event_lint_summary(
+            self.tenant, self.session, self.seq,
+            findings=len(report.findings),
+            errors=report.errors,
+            warnings=report.warnings,
+            dirty=self.linter.dirty,
+            dirty_reason=self.linter.dirty_reason,
+        ))
+        return events
 
     # -- durable state capture -----------------------------------------------
 
@@ -237,6 +327,8 @@ class DetectionSession:
         return {
             "store": store_blob,
             "detector": self.detector.snapshot(),
+            "lint": (self.linter.snapshot()
+                     if self.linter is not None else None),
             "seq": self.seq,
             "lines": self.lines,
             "failed": self.failed,
@@ -259,6 +351,7 @@ class DetectionSession:
         max_store_states: int = 0,
         delay_per_record: float = 0.0,
         engine: str = "auto",
+        lint: bool = False,
     ) -> "DetectionSession":
         """Rebuild a session from a :meth:`snapshot`; feeding the stream
         suffix afterwards produces exactly the events an uninterrupted
@@ -269,7 +362,8 @@ class DetectionSession:
         # reopen the existing chain, not wipe-and-recreate it.
         sess = cls(tenant, session, header, predicate,
                    max_store_states=max_store_states,
-                   delay_per_record=delay_per_record, engine=engine)
+                   delay_per_record=delay_per_record, engine=engine,
+                   lint=lint)
         blob = snap["store"]
         if isinstance(blob, dict) and "store_ref" in blob:
             from repro.storage import open_backend
@@ -288,6 +382,13 @@ class DetectionSession:
             sess.store, sess.pred, snap["detector"]
         )
         sess.tracker._witness = sess.detector.witness
+        lint_state = snap.get("lint")
+        if lint_state is not None and sess.linter is not None:
+            from repro.analysis.incremental import StreamingLinter
+
+            sess.linter = StreamingLinter.restore(
+                lint_state, predicate=sess.pred
+            )
         sess.seq = int(snap["seq"])
         sess.lines = int(snap.get("lines", 0))
         sess.failed = bool(snap.get("failed", False))

@@ -76,11 +76,12 @@ def _open_session(sessions: Dict[str, DetectionSession], key: str,
             delay_per_record=opts.get("delay_per_record", 0.0),
             engine=opts.get("engine", "auto"),
             store_dir=opts.get("store_dir"),
+            lint=opts.get("lint", False),
         )
     except Exception as exc:
         return [event_error(tenant, session, 0, "protocol", str(exc))]
     sessions[key] = sess
-    return [sess.open_event()]
+    return sess.open_events()
 
 
 def _feed_session(sessions: Dict[str, DetectionSession], key: str,
@@ -158,6 +159,7 @@ def _restore_session(sessions: Dict[str, DetectionSession], key: str,
         max_store_states=opts.get("max_store_states", 0),
         delay_per_record=opts.get("delay_per_record", 0.0),
         engine=opts.get("engine", "auto"),
+        lint=opts.get("lint", False),
     )
     try:
         if snapshot is not None:
@@ -172,7 +174,7 @@ def _restore_session(sessions: Dict[str, DetectionSession], key: str,
             sess = DetectionSession(tenant, session, header, predicate,
                                     store_dir=opts.get("store_dir"),
                                     **kwargs)
-            sess.open_event()
+            sess.open_events()
         sess.feed(tail)
     except Exception as exc:
         return [event_error(tenant, session, 0, "internal",

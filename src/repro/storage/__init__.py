@@ -10,6 +10,7 @@ from repro.storage.base import (
     StorageBackend,
     open_backend,
     parse_store_target,
+    split_store_branch,
 )
 from repro.storage.branches import ensure_base_trace, record_control_branch
 from repro.storage.memory import MemoryBackend
@@ -32,6 +33,7 @@ __all__ = [
     "SqliteBackend",
     "open_backend",
     "parse_store_target",
+    "split_store_branch",
     "STORE_FORMAT",
     "DEFAULT_PAGE_SIZE",
     "init_db",

@@ -82,6 +82,19 @@ def parse_store_target(target: str) -> Tuple[str, Optional[str]]:
     )
 
 
+def split_store_branch(target: str) -> Tuple[str, Optional[str]]:
+    """Split ``sqlite:PATH[@branch]`` into ``(target, branch)``.
+
+    The branch suffix is optional; ``branch`` is ``None`` when absent.
+    The *last* ``@`` wins, so paths containing ``@`` need an explicit
+    branch suffix to disambiguate.
+    """
+    head, sep, tail = target.rpartition("@")
+    if sep and head and "/" not in tail and ":" not in tail:
+        return head, tail
+    return target, None
+
+
 def open_backend(
     target: str,
     *,

@@ -1,0 +1,213 @@
+"""Content-addressed fingerprints, baselines, and inline suppressions.
+
+Fingerprints must identify *what is wrong*, not *where the report came
+from*: the same corruption linted from a file, a stream prefix, or a
+store branch shares one fingerprint, and causal-order-preserving
+reorderings of a stream cannot move a finding out of its baseline.
+"""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fingerprint import (
+    BASELINE_FORMAT,
+    apply_baseline,
+    apply_suppressions,
+    baseline_from_findings,
+    fingerprint,
+    load_baseline,
+    suppressions_from_obs,
+    write_baseline,
+)
+from repro.analysis.incremental import StreamingLinter
+from repro.analysis.raw import parse_stream_lines
+from repro.analysis.runner import run_rules
+from repro.trace.io import write_event_stream
+from repro.workloads import random_deposet
+
+
+def stream_lines(dep, obs=None):
+    buf = io.StringIO()
+    write_event_stream(dep, buf, obs=obs)
+    return buf.getvalue().splitlines()
+
+
+def lint_lines(lines, source):
+    raw, pf = parse_stream_lines(lines, source=source)
+    return run_rules(raw, parse_findings=pf, source=source)
+
+
+HEADER = json.dumps({
+    "format": "repro-events/1", "n": 2,
+    "start": [{"up": True}, {"up": True}],
+})
+# a T006 witness: a process delivering its own message
+BAD_RECV = json.dumps({"t": "recv", "p": 0, "src": [0, 0], "u": {}})
+FILLER = json.dumps({"t": "ev", "p": 1, "u": {"up": False}})
+
+
+# -- location independence ---------------------------------------------------
+
+
+def test_fingerprint_ignores_source_and_location():
+    a = lint_lines([HEADER, json.dumps({"t": "ev", "p": 0, "u": {}}),
+                    BAD_RECV], source="alpha.jsonl")
+    b = lint_lines([HEADER, json.dumps({"t": "ev", "p": 0, "u": {}}),
+                    FILLER, BAD_RECV], source="beta.jsonl")
+    fa = [f for f in a.findings if f.rule_id == "T006"]
+    fb = [f for f in b.findings if f.rule_id == "T006"]
+    assert fa and fb
+    assert fa[0].location != fb[0].location or a is not b
+    assert fingerprint(fa[0]) == fingerprint(fb[0])
+
+
+def test_fingerprint_matches_between_stream_and_batch():
+    lines = [HEADER, json.dumps({"t": "ev", "p": 0, "u": {}}), BAD_RECV]
+    batch = lint_lines(lines, source="t.jsonl")
+    linter = StreamingLinter(source="<live>")
+    for line in lines:
+        linter.feed_line(line)
+    fps_batch = {fingerprint(f) for f in batch.findings}
+    fps_stream = {fingerprint(f) for f in linter.report().findings}
+    assert fps_batch == fps_stream
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), data=st.data())
+def test_fingerprints_stable_under_causal_reordering(seed, data):
+    """Shuffling records while preserving causal order (per-process order
+    and send-before-receive) must not change the fingerprint set."""
+    dep = random_deposet(n=3, events_per_proc=4, message_rate=0.5, seed=seed)
+    lines = stream_lines(dep)
+    header, body = lines[0], [json.loads(ln) for ln in lines[1:]]
+
+    # randomized topological order: a record is ready when it is the next
+    # record of its process (per-process order preserved) and, for a
+    # receive, its source state has already been appended
+    per_proc = {}
+    for i, rec in enumerate(body):
+        if rec["t"] in ("ev", "recv"):
+            per_proc.setdefault(rec["p"], []).append(i)
+    next_slot = {p: 0 for p in per_proc}
+    emitted = [0] * dep.n
+    done = [False] * len(body)
+    order = []
+    while len(order) < len(body):
+        ready = []
+        for i, rec in enumerate(body):
+            if done[i]:
+                continue
+            if rec["t"] == "ctl":
+                ready.append(i)
+                continue
+            p = rec["p"]
+            if per_proc[p][next_slot[p]] != i:
+                continue
+            if rec["t"] == "recv":
+                sp, si = rec["src"]
+                # the T009 contract: the source event must have
+                # *completed* (sp advanced past state si) before the
+                # receive arrives
+                if emitted[sp] < si + 1:
+                    continue
+            ready.append(i)
+        pick = data.draw(st.sampled_from(sorted(ready)))
+        done[pick] = True
+        rec = body[pick]
+        order.append(rec)
+        if rec["t"] in ("ev", "recv"):
+            next_slot[rec["p"]] += 1
+            emitted[rec["p"]] += 1
+
+    shuffled = [header] + [json.dumps(r) for r in order]
+    base = lint_lines(lines, source="a")
+    moved = lint_lines(shuffled, source="b")
+    assert {fingerprint(f) for f in base.findings} == \
+        {fingerprint(f) for f in moved.findings}
+
+
+# -- baseline round trip -----------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    report = lint_lines([HEADER, FILLER, BAD_RECV], source="t.jsonl")
+    assert report.findings
+    path = tmp_path / "baseline.json"
+    n = write_baseline(path, report.findings)
+    assert n == len({fingerprint(f) for f in report.findings})
+
+    doc = json.loads(path.read_text())
+    assert doc["format"] == BASELINE_FORMAT
+    accepted = load_baseline(path)
+    assert accepted == set(doc["fingerprints"])
+
+    fresh = lint_lines([HEADER, FILLER, BAD_RECV], source="other.jsonl")
+    dropped = apply_baseline(fresh, accepted)
+    assert fresh.findings == []
+    assert len(dropped) >= 1
+
+
+def test_baseline_rejects_foreign_files(tmp_path):
+    p = tmp_path / "x.json"
+    p.write_text(json.dumps({"format": "something-else/1"}))
+    with pytest.raises(ValueError, match="baseline file"):
+        load_baseline(p)
+    p.write_text(json.dumps({"format": BASELINE_FORMAT,
+                             "fingerprints": ["list", "not", "dict"]}))
+    with pytest.raises(ValueError, match="must be an object"):
+        load_baseline(p)
+
+
+def test_baseline_from_findings_dedupes():
+    report = lint_lines([HEADER, FILLER, BAD_RECV], source="t.jsonl")
+    doc = baseline_from_findings(list(report.findings) * 3)
+    assert len(doc["fingerprints"]) == \
+        len({fingerprint(f) for f in report.findings})
+
+
+# -- inline suppressions -----------------------------------------------------
+
+
+def test_suppressions_from_obs_shapes():
+    assert suppressions_from_obs(None) == set()
+    assert suppressions_from_obs({"lint": "nope"}) == set()
+    assert suppressions_from_obs({"lint": {"suppress": "T006"}}) == set()
+    assert suppressions_from_obs(
+        {"lint": {"suppress": ["T006", 42, "fp:abcd"]}}
+    ) == {"T006", "fp:abcd"}
+
+
+def test_apply_suppressions_by_rule_and_fp():
+    report = lint_lines([HEADER, FILLER, BAD_RECV], source="t.jsonl")
+    t006 = [f for f in report.findings if f.rule_id == "T006"]
+    assert t006
+    fp = fingerprint(t006[0])
+
+    by_rule = lint_lines([HEADER, FILLER, BAD_RECV], source="t.jsonl")
+    dropped = apply_suppressions(by_rule, {"T006"})
+    assert all(f.rule_id != "T006" for f in by_rule.findings)
+    assert any(f.rule_id == "T006" for f in dropped)
+
+    by_fp = lint_lines([HEADER, FILLER, BAD_RECV], source="t.jsonl")
+    dropped = apply_suppressions(by_fp, {f"fp:{fp}"})
+    assert all(fingerprint(f) != fp for f in by_fp.findings)
+    assert any(fingerprint(f) == fp for f in dropped)
+
+
+def test_obs_suppressions_flow_through_cli(tmp_path, capsys):
+    """A trace carrying its own suppression block lints clean."""
+    from repro.cli import main
+
+    trace = tmp_path / "t.jsonl"
+    lines = [HEADER, FILLER, BAD_RECV,
+             json.dumps({"t": "obs",
+                         "obs": {"lint": {"suppress": ["T006"]}}})]
+    trace.write_text("\n".join(lines) + "\n")
+    rc = main(["lint", str(trace), "--strict"])
+    out = capsys.readouterr()
+    assert "T006" not in out.out
+    assert "suppress" in out.err or rc in (0, 1)

@@ -1,0 +1,314 @@
+"""The streaming rule engine: prefix identity against batch ``run_rules``.
+
+The contract under test is the tentpole invariant of the online linter:
+at **every** prefix of **any** record stream -- clean, corrupted,
+reordered, or epoch-reset mid-flight -- the cumulative findings of
+:class:`StreamingLinter` equal the batch pipeline run over that same
+prefix, as a multiset, with identical pass/skip bookkeeping.
+"""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.findings import RULES
+from repro.analysis.incremental import (
+    INCREMENTAL_SANITIZER_IDS,
+    LINT_STATE_FORMAT,
+    RULE_MODES,
+    StreamingLinter,
+)
+from repro.analysis.raw import parse_stream_lines
+from repro.analysis.runner import run_rules
+from repro.trace.io import write_event_stream
+from repro.workloads import random_deposet
+
+
+def stream_lines(dep, obs=None):
+    buf = io.StringIO()
+    write_event_stream(dep, buf, obs=obs)
+    return buf.getvalue().splitlines()
+
+
+def canon(findings):
+    return sorted(json.dumps(f.to_dict(), sort_keys=True) for f in findings)
+
+
+def batch_prefix(lines, source="<s>"):
+    raw, parse_findings = parse_stream_lines(lines, source=source)
+    return run_rules(raw, parse_findings=parse_findings, source=source)
+
+
+def assert_prefix_identity(lines, *, reset_at=None):
+    """Feed ``lines`` one by one, checking report == batch at each prefix."""
+    linter = StreamingLinter(source="<s>")
+    for k, line in enumerate(lines, start=1):
+        if reset_at is not None and k == reset_at:
+            linter.on_epoch_reset()
+        linter.feed_line(line)
+        streamed = linter.report()
+        batch = batch_prefix(lines[:k])
+        assert canon(streamed.findings) == canon(batch.findings), (
+            f"prefix {k}/{len(lines)}: streamed != batch\n"
+            f"streamed: {[f.describe() for f in streamed.findings]}\n"
+            f"batch:    {[f.describe() for f in batch.findings]}"
+        )
+        assert streamed.passes == batch.passes
+        assert streamed.skipped == batch.skipped
+    return linter
+
+
+# -- random clean streams ---------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_prefix_identity_random_clean(seed):
+    dep = random_deposet(n=3, events_per_proc=5, message_rate=0.4, seed=seed)
+    linter = assert_prefix_identity(stream_lines(dep))
+    assert not linter.dirty
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_prefix_identity_with_control_arrows(seed):
+    dep = random_deposet(n=3, events_per_proc=5, message_rate=0.5, seed=seed)
+    if dep.messages:
+        # shadow a message with a control arrow: valid by construction
+        m = dep.messages[0]
+        dep = dep.with_control([(tuple(m.src), tuple(m.dst))])
+    assert_prefix_identity(stream_lines(dep))
+
+
+# -- random corrupted streams ----------------------------------------------
+
+
+def _mutate(lines, rng):
+    """Apply a random arrival-order/content corruption to a clean stream."""
+    lines = list(lines)
+    body = list(range(1, len(lines)))  # never touch the header slot
+    kind = rng.integers(0, 4)
+    if kind == 0 and len(body) >= 1:  # duplicate a record
+        i = int(rng.choice(body))
+        lines.insert(i, lines[i])
+    elif kind == 1 and len(body) >= 2:  # swap two adjacent records
+        i = int(rng.choice(body[:-1]))
+        lines[i], lines[i + 1] = lines[i + 1], lines[i]
+    elif kind == 2 and len(body) >= 1:  # drop a record
+        del lines[int(rng.choice(body))]
+    else:  # inject garbage
+        pos = int(rng.integers(1, len(lines) + 1))
+        lines.insert(pos, "{not json")
+    return lines
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_prefix_identity_random_corrupted(seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    dep = random_deposet(n=3, events_per_proc=4, message_rate=0.5, seed=seed)
+    lines = stream_lines(dep)
+    for _ in range(int(rng.integers(1, 3))):
+        lines = _mutate(lines, rng)
+    assert_prefix_identity(lines)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), cut=st.integers(2, 10))
+def test_prefix_identity_across_epoch_reset(seed, cut):
+    dep = random_deposet(n=3, events_per_proc=4, message_rate=0.4, seed=seed)
+    lines = stream_lines(dep)
+    linter = assert_prefix_identity(lines, reset_at=min(cut, len(lines)))
+    assert linter.dirty and linter.dirty_reason == "epoch reset"
+
+
+# -- hand-crafted corruption: the dirty path --------------------------------
+
+
+HEADER = json.dumps({
+    "format": "repro-events/1", "n": 2,
+    "start": [{"up": True}, {"up": True}],
+})
+
+
+def test_t009_marks_dirty_and_identity_holds():
+    lines = [
+        HEADER,
+        json.dumps({"t": "ev", "p": 0, "u": {"up": False}}),
+        # recv referencing the just-appended (not yet completed) state
+        json.dumps({"t": "recv", "p": 1, "src": [0, 1], "u": {}}),
+        json.dumps({"t": "ev", "p": 0, "u": {"up": True}}),
+    ]
+    linter = assert_prefix_identity(lines)
+    assert linter.dirty
+    assert "T009" in linter.dirty_reason
+
+
+def test_clean_stream_stays_clean_and_not_dirty():
+    lines = [
+        HEADER,
+        json.dumps({"t": "ev", "p": 0, "u": {"up": False}}),
+        json.dumps({"t": "ev", "p": 0, "u": {"up": True}}),
+        json.dumps({"t": "recv", "p": 1, "src": [0, 0], "u": {}}),
+    ]
+    linter = assert_prefix_identity(lines)
+    assert not linter.dirty
+    assert linter.report().findings == [
+        f for f in linter.report().findings if f.rule_id not in ("T009",)
+    ]
+
+
+def test_t007_crossed_delivery_streams_at_arrival():
+    lines = [
+        HEADER,
+        json.dumps({"t": "ev", "p": 0, "u": {}}),
+        json.dumps({"t": "ev", "p": 0, "u": {}}),
+        json.dumps({"t": "recv", "p": 1, "src": [0, 1], "u": {}}),
+        json.dumps({"t": "recv", "p": 1, "src": [0, 0], "u": {}}),
+    ]
+    linter = StreamingLinter()
+    emitted = []
+    for line in lines:
+        emitted.extend(linter.feed_line(line))
+    # the inversion was emitted the moment the second recv arrived
+    assert [f.rule_id for f in emitted] == ["T007"]
+    assert_prefix_identity(lines)
+
+
+def test_t006_same_process_arrow_streams():
+    lines = [
+        HEADER,
+        json.dumps({"t": "ev", "p": 0, "u": {}}),
+        json.dumps({"t": "recv", "p": 0, "src": [0, 0], "u": {}}),
+    ]
+    linter = StreamingLinter()
+    emitted = []
+    for line in lines:
+        emitted.extend(linter.feed_line(line))
+    assert "T006" in [f.rule_id for f in emitted]
+    assert_prefix_identity(lines)
+
+
+def test_t004_duplicate_delivery_streams():
+    lines = [
+        HEADER,
+        json.dumps({"t": "ev", "p": 0, "u": {}}),
+        json.dumps({"t": "ev", "p": 0, "u": {}}),
+        json.dumps({"t": "recv", "p": 1, "src": [0, 0], "u": {}}),
+        json.dumps({"t": "recv", "p": 1, "src": [0, 0], "u": {}}),
+    ]
+    linter = StreamingLinter()
+    emitted = []
+    for line in lines:
+        emitted.extend(linter.feed_line(line))
+    assert "T004" in [f.rule_id for f in emitted]
+    assert_prefix_identity(lines)
+
+
+def test_garbage_and_bad_header_identity():
+    assert_prefix_identity(["not json at all", HEADER])
+    assert_prefix_identity([json.dumps({"format": "nope"}), HEADER])
+    assert_prefix_identity([])  # degenerate: no lines at all
+
+
+# -- the mode table ---------------------------------------------------------
+
+
+def test_rule_modes_cover_the_catalogue_exactly():
+    assert set(RULE_MODES) == set(RULES)
+    for rid, mode in RULE_MODES.items():
+        assert mode.mode in ("incremental", "finalize"), rid
+        assert mode.reason  # every mode claim carries its argument
+
+
+def test_incremental_sanitizer_ids_are_marked_incremental():
+    for rid in INCREMENTAL_SANITIZER_IDS:
+        assert RULE_MODES[rid].mode == "incremental"
+    # and nothing outside the engine + parse mirror claims incremental
+    incremental = {r for r, m in RULE_MODES.items() if m.mode == "incremental"}
+    assert incremental == INCREMENTAL_SANITIZER_IDS | {"T001", "T009"}
+
+
+# -- work accounting --------------------------------------------------------
+
+
+def _per_record_work(events_per_proc):
+    dep = random_deposet(n=3, events_per_proc=events_per_proc,
+                         message_rate=0.4, seed=7)
+    linter = StreamingLinter()
+    for line in stream_lines(dep):
+        linter.feed_line(line)
+    units = sum(
+        linter.work.get(k, 0)
+        for k in ("events", "arrows", "heap_ops", "channel_cmps")
+    )
+    return units / max(1, linter.records), linter
+
+
+def test_per_record_cost_is_length_independent():
+    small, _ = _per_record_work(5)
+    large, linter = _per_record_work(40)
+    # O(delta) per record: 8x the stream must not raise the per-record
+    # unit cost (allow slack for integer effects on tiny streams)
+    assert large <= small * 1.5 + 1.0, (small, large)
+    assert linter.work["records"] == linter.records
+
+
+def test_work_metrics_reach_the_global_registry():
+    from repro.obs import METRICS
+
+    with METRICS.scoped() as scope:
+        dep = random_deposet(n=3, events_per_proc=4, message_rate=0.4, seed=3)
+        linter = StreamingLinter()
+        for line in stream_lines(dep):
+            linter.feed_line(line)
+    counters = scope.delta()["counters"]
+    assert counters.get("analysis.lint.work.records") == linter.records
+    assert counters.get("analysis.lint.work.events", 0) >= 1
+
+
+# -- snapshot / restore -----------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), cut=st.integers(1, 12))
+def test_snapshot_restore_identity(seed, cut):
+    dep = random_deposet(n=3, events_per_proc=4, message_rate=0.5, seed=seed)
+    lines = stream_lines(dep)
+    cut = min(cut, len(lines))
+
+    live = StreamingLinter(source="<s>")
+    for line in lines[:cut]:
+        live.feed_line(line)
+    snap = json.loads(json.dumps(live.snapshot()))  # must survive JSON
+    assert snap["format"] == LINT_STATE_FORMAT
+    restored = StreamingLinter.restore(snap)
+
+    live_rest, restored_rest = [], []
+    for line in lines[cut:]:
+        live_rest.extend(live.feed_line(line))
+        restored_rest.extend(restored.feed_line(line))
+    assert canon(live_rest) == canon(restored_rest)
+    assert canon(live.report().findings) == canon(restored.report().findings)
+
+
+def test_restore_rejects_unknown_format():
+    with pytest.raises(ValueError, match="unknown lint state format"):
+        StreamingLinter.restore({"format": "bogus/9"})
+
+
+def test_feed_record_and_feed_line_agree():
+    dep = random_deposet(n=2, events_per_proc=4, message_rate=0.5, seed=11)
+    lines = stream_lines(dep)
+    a, b = StreamingLinter(), StreamingLinter()
+    got_a, got_b = [], []
+    for line in lines:
+        got_a.extend(a.feed_line(line))
+        got_b.extend(b.feed_record(json.loads(line)))
+    assert canon(got_a) == canon(got_b)
+    assert canon(a.report().findings) == canon(b.report().findings)

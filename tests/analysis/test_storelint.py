@@ -1,0 +1,210 @@
+"""Lint straight off the SQLite commit chain, and the replay admission gate.
+
+``repro lint --store sqlite:PATH[@branch]`` (and its ``repro db lint``
+alias) snapshots a branch -- including the ``candidate-K`` branches the
+active-debugging loop records -- and lints it with ``branch@cN``
+witness locations.  ``repro replay`` consults the same rules as an
+admission gate: a C104 (Lemma-2 obstruction) candidate is refused with
+a typed error and exit 3 before a controlled re-execution is spent,
+unless ``--force``.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.storelint import GATE_RULES, gate_findings, lint_store
+from repro.cli import main
+from repro.errors import StorageError, UnknownBranchError
+from repro.trace import Deposet, dump_deposet
+from repro.workloads import random_deposet
+
+
+def db_of(tmp_path):
+    return str(tmp_path / "trace.db")
+
+
+def obstructed_dep():
+    """Two concurrent false intervals whose highs are both top: they
+    overlap (Lemma 2), so ``at-least-one:up`` is uncontrollable -> C104."""
+    return Deposet(
+        [[{"up": True}, {"up": False}], [{"up": True}, {"up": False}]], []
+    )
+
+
+@pytest.fixture()
+def clean_store(tmp_path):
+    dep = random_deposet(n=3, events_per_proc=6, message_rate=0.3, seed=1)
+    trace = tmp_path / "t.json"
+    dump_deposet(dep, trace)
+    db = db_of(tmp_path)
+    assert main(["ingest", str(trace), "--store", f"sqlite:{db}"]) == 0
+    return db
+
+
+# -- lint --store ------------------------------------------------------------
+
+
+def test_lint_store_main_branch(clean_store, capsys):
+    capsys.readouterr()
+    rc = main(["lint", "--store", f"sqlite:{clean_store}"])
+    out = capsys.readouterr().out
+    assert rc in (0, 1)
+    assert f"sqlite:{clean_store}@main" in out
+
+
+def test_lint_store_witness_locations_carry_branch_and_commit(tmp_path):
+    db = db_of(tmp_path)
+    from repro.storage import record_control_branch
+
+    dep = obstructed_dep()
+    name, _cid = record_control_branch(
+        f"sqlite:{db}", dep, (), meta={"verdict": "pending"}
+    )
+    assert name == "candidate-1"
+    report, branch, commit = lint_store(
+        f"sqlite:{db}", branch="candidate-1", predicate="at-least-one:up"
+    )
+    c104 = [f for f in report.findings if f.rule_id == "C104"]
+    assert c104, [f.describe() for f in report.findings]
+    assert all(
+        f.location and f.location.startswith(f"candidate-1@c{commit}")
+        for f in c104
+    )
+    assert branch == "candidate-1"
+
+
+def test_lint_store_errors_are_typed_exit_3(tmp_path, capsys):
+    db = db_of(tmp_path)
+    # fresh/missing database
+    assert main(["lint", "--store", f"sqlite:{db}"]) == 3
+    assert "error:" in capsys.readouterr().err
+    # unknown branch on a real store
+    dep = random_deposet(n=2, events_per_proc=3, seed=2)
+    trace = tmp_path / "t.json"
+    dump_deposet(dep, trace)
+    assert main(["ingest", str(trace), "--store", f"sqlite:{db}"]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--store", f"sqlite:{db}@nope"]) == 3
+    err = capsys.readouterr().err
+    assert "nope" in err
+    with pytest.raises(UnknownBranchError):
+        lint_store(f"sqlite:{db}", branch="nope")
+
+
+def test_lint_store_refuses_non_sqlite_targets():
+    with pytest.raises(StorageError, match="durable backend"):
+        lint_store("memory")
+
+
+def test_lint_store_honours_obs_suppressions(tmp_path):
+    from repro.store import TraceStore
+
+    db = db_of(tmp_path)
+    # this seed's delivery order races two concurrent sends -> R302
+    dep = random_deposet(n=3, events_per_proc=4, message_rate=0.5, seed=365)
+    trace = tmp_path / "t.json"
+    dump_deposet(dep, trace)
+    assert main(["ingest", str(trace), "--store", f"sqlite:{db}"]) == 0
+    report, _, _ = lint_store(f"sqlite:{db}")
+    before = {f.rule_id for f in report.findings}
+    assert "R302" in before
+    rule = "R302"
+    store = TraceStore.open(f"sqlite:{db}")
+    try:
+        store.obs = {"lint": {"suppress": [rule]}}
+        store.commit(kind="obs", message="suppress the known race")
+    finally:
+        store.close()
+    report2, _, _ = lint_store(f"sqlite:{db}")
+    assert rule not in {f.rule_id for f in report2.findings}
+
+
+def test_db_lint_alias_matches_lint_store(clean_store, capsys):
+    capsys.readouterr()
+    rc_store = main(["lint", "--store", f"sqlite:{clean_store}",
+                     "--format", "json"])
+    out_store = capsys.readouterr().out
+    rc_db = main(["db", "lint", clean_store, "--format", "json"])
+    out_db = capsys.readouterr().out
+    assert rc_db == rc_store
+    assert json.loads(out_db)["findings"] == \
+        json.loads(out_store)["findings"]
+
+
+def test_gate_findings_selects_only_gate_rules():
+    dep = obstructed_dep()
+    from repro.analysis import lint_deposet
+    from repro.cli import parse_predicate
+
+    rep = lint_deposet(
+        dep, predicate=parse_predicate("at-least-one:up", dep.n)
+    )
+    gate = gate_findings(rep)
+    assert gate and all(f.rule_id in GATE_RULES for f in gate)
+    assert {f.rule_id for f in gate} == {"C104"}
+
+
+# -- the replay admission gate ----------------------------------------------
+
+
+def test_replay_refuses_obstructed_trace(tmp_path, capsys):
+    trace = tmp_path / "bad.json"
+    dump_deposet(obstructed_dep(), trace)
+    rc = main(["replay", str(trace), "--predicate", "at-least-one:up"])
+    err = capsys.readouterr().err
+    assert rc == 3
+    assert "replay refused" in err and "C104" in err and "--force" in err
+
+
+def test_replay_gate_needs_the_predicate_to_see_c104(tmp_path):
+    # without a predicate there is no obstruction to find: replay runs
+    trace = tmp_path / "bad.json"
+    dump_deposet(obstructed_dep(), trace)
+    assert main(["replay", str(trace)]) == 0
+
+
+def test_replay_force_overrides_the_gate(tmp_path, capsys):
+    trace = tmp_path / "bad.json"
+    dump_deposet(obstructed_dep(), trace)
+    rc = main(["replay", str(trace), "--predicate", "at-least-one:up",
+               "--force"])
+    assert rc == 0
+    assert "replayed:" in capsys.readouterr().out
+
+
+def test_replay_gate_records_rejected_verdict_on_store(tmp_path, capsys):
+    """A refused candidate still leaves an audit trail: its branch gets a
+    ``rejected`` verdict commit naming the gate rules."""
+    trace = tmp_path / "bad.json"
+    dump_deposet(obstructed_dep(), trace)
+    db = db_of(tmp_path)
+    rc = main(["replay", str(trace), "--predicate", "at-least-one:up",
+               "--store", f"sqlite:{db}"])
+    captured = capsys.readouterr()
+    assert rc == 3
+    assert "replay refused" in captured.err
+    assert "candidate-1" in captured.out  # the rejected branch was recorded
+    assert main(["db", "log", db, "--branch", "candidate-1"]) == 0
+    log = capsys.readouterr().out
+    assert "rejected" in log
+    assert "C104" in log
+
+
+def test_replay_gate_bites_on_store_branch_input(tmp_path, capsys):
+    """End to end over the chain: record an obstructed candidate, then
+    ask replay to run that branch -- the gate refuses it in place."""
+    from repro.storage import record_control_branch
+
+    db = db_of(tmp_path)
+    name, _cid = record_control_branch(
+        f"sqlite:{db}", obstructed_dep(), (), meta={"verdict": "pending"}
+    )
+    rc = main(["replay", f"sqlite:{db}@{name}",
+               "--predicate", "at-least-one:up"])
+    err = capsys.readouterr().err
+    assert rc == 3
+    assert "replay refused" in err and "C104" in err
+    # and --force replays the very same branch
+    assert main(["replay", f"sqlite:{db}@{name}",
+                 "--predicate", "at-least-one:up", "--force"]) == 0

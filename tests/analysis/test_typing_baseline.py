@@ -1,0 +1,80 @@
+"""``repro.analysis`` is typed to a mypy-strict-adjacent baseline.
+
+The container has no mypy, so CI's mypy job is advisory; this test is
+the enforced floor: every function in ``src/repro/analysis`` must carry
+a return annotation and annotate every parameter (``self``/``cls`` and
+``*args/**kwargs`` of typed protocols excepted).  pyproject.toml pins
+the same modules under ``disallow_untyped_defs`` for environments that
+do have mypy.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro.analysis
+
+ANALYSIS_DIR = Path(repro.analysis.__file__).parent
+MODULES = sorted(ANALYSIS_DIR.glob("*.py"))
+
+
+def _function_defs(tree):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _is_method(node, parents):
+    return isinstance(parents.get(node), ast.ClassDef)
+
+
+def _build_parents(tree):
+    parents = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _unannotated(node, is_method):
+    """The parameter names of ``node`` that lack annotations."""
+    args = node.args
+    missing = []
+    positional = list(args.posonlyargs) + list(args.args)
+    if is_method and positional and positional[0].arg in ("self", "cls"):
+        positional = positional[1:]
+    for a in positional + list(args.kwonlyargs):
+        if a.annotation is None:
+            missing.append(a.arg)
+    for star in (args.vararg, args.kwarg):
+        if star is not None and star.annotation is None:
+            missing.append("*" + star.arg)
+    return missing
+
+
+def test_analysis_package_has_modules():
+    assert len(MODULES) >= 8, [m.name for m in MODULES]
+
+
+@pytest.mark.parametrize("path", MODULES, ids=lambda p: p.name)
+def test_no_untyped_defs(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    parents = _build_parents(tree)
+    problems = []
+    for node in _function_defs(tree):
+        where = f"{path.name}:{node.lineno} {node.name}"
+        if node.returns is None:
+            problems.append(f"{where}: missing return annotation")
+        missing = _unannotated(node, _is_method(node, parents))
+        if missing:
+            problems.append(
+                f"{where}: unannotated parameter(s) {', '.join(missing)}"
+            )
+    assert not problems, "\n".join(problems)
+
+
+def test_pyproject_pins_the_same_floor():
+    pyproject = (ANALYSIS_DIR.parents[2] / "pyproject.toml").read_text()
+    assert 'module = "repro.analysis.*"' in pyproject
+    assert "disallow_untyped_defs = true" in pyproject
